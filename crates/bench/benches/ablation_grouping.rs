@@ -1,0 +1,108 @@
+//! Ablation — FCFS vs location-aware worker grouping.
+//!
+//! Paper, Section 7: "JETS does not currently have a mechanism by which
+//! nodes may be grouped with respect to network location. This feature
+//! could be important if a given workflow is running on multiple clusters
+//! simultaneously, and joining MPI processes on the same cluster should
+//! be preferred to running MPI jobs across clusters." We implemented that
+//! future-work policy (`GroupingPolicy::LocationAware`) and measure what
+//! it buys.
+//!
+//! Setup: a 16-worker pool split across two "clusters" (locations),
+//! assigned round-robin so FCFS naturally builds mixed groups. Jobs are
+//! submitted in waves sized to the machine and each wave is drained
+//! before the next, so every scheduling decision sees the full idle pool
+//! — isolating the *policy* from ready-pool churn (steady-state churn
+//! shrinks the pool to a few workers and both policies degenerate to
+//! near-random grouping). Reported: the mean co-location fraction of
+//! each MPI group (the scheduling metric) and the batch makespan.
+
+use cluster_sim::workload::mpi_sleep_batch;
+use cluster_sim::workload::TimeScale;
+use jets_bench::{banner, boot_with, env_or};
+use jets_core::group::colocation_fraction;
+use jets_core::{DispatcherConfig, EventKind, GroupingPolicy};
+use cluster_sim::AllocationConfig;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+fn run(policy: GroupingPolicy) -> (f64, f64) {
+    let nodes = 16u32;
+    let alloc = AllocationConfig::new(nodes)
+        .with_locations(vec!["cluster-east".to_string(), "cluster-west".to_string()]);
+    let bed = boot_with(
+        nodes,
+        DispatcherConfig {
+            grouping: policy,
+            ..DispatcherConfig::default()
+        },
+        alloc,
+    );
+    let scale = TimeScale::speedup(env_or("JETS_BENCH_SPEEDUP", 50) as f64);
+    let t = Instant::now();
+    // 16 waves of 4 jobs × 4 nodes = the whole pool per wave; drain each
+    // wave so every decision sees all 16 idle workers.
+    for _ in 0..16 {
+        bed.dispatcher
+            .submit_all(mpi_sleep_batch(4, 4, 1, 5.0, scale));
+        assert!(bed.dispatcher.wait_idle(Duration::from_secs(600)));
+    }
+    let makespan = t.elapsed().as_secs_f64();
+
+    // Reconstruct each job's worker group from the event log and score
+    // its co-location.
+    let locations: HashMap<u64, String> = bed
+        .dispatcher
+        .workers()
+        .into_iter()
+        .map(|w| (w.id, w.location))
+        .collect();
+    let events = bed.dispatcher.events().snapshot();
+    let mut groups: HashMap<u64, Vec<u64>> = HashMap::new();
+    for e in &events {
+        if let EventKind::TaskStarted { job, worker, .. } = e.kind {
+            groups.entry(job).or_default().push(worker);
+        }
+    }
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for workers in groups.values().filter(|w| w.len() > 1) {
+        let locs: Vec<&str> = workers
+            .iter()
+            .filter_map(|w| locations.get(w).map(String::as_str))
+            .collect();
+        total += colocation_fraction(&locs);
+        count += 1;
+    }
+    bed.teardown();
+    (total / count.max(1) as f64, makespan)
+}
+
+fn main() {
+    banner(
+        "Ablation: grouping",
+        "FCFS vs location-aware worker aggregation on a two-cluster pool",
+    );
+    println!(
+        "{:>16} {:>22} {:>14}",
+        "policy", "mean co-location", "makespan (s)"
+    );
+    for (name, policy) in [
+        ("fcfs", GroupingPolicy::Fcfs),
+        ("location-aware", GroupingPolicy::LocationAware),
+    ] {
+        let (colocation, makespan) = run(policy);
+        println!(
+            "{:>16} {:>21.1}% {:>14.2}",
+            name,
+            100.0 * colocation,
+            makespan
+        );
+    }
+    println!("\nexpected: FCFS mixes clusters freely (co-location near the random");
+    println!("baseline for 4-node groups over two clusters); the location-aware");
+    println!("policy keeps nearly every group on one cluster, at no makespan cost.");
+    println!("Under steady-state churn (no wave draining) the idle pool shrinks to");
+    println!("a few workers and both policies converge — the policy never delays a");
+    println!("job to wait for a better group.");
+}

@@ -1,0 +1,113 @@
+//! Figure 18 — REM/Swift results.
+//!
+//! Paper, two series on Eureka:
+//! * **(a) single-process segments** — replicas = 2 × nodes, 4 exchanges;
+//!   utilization decreases with allocation size, down to 85.4 % at 64
+//!   nodes (GPFS small-file contention from many independent replicas).
+//! * **(b) MPI segments** — 8 replicas, 4 concurrently executing, PPN 8,
+//!   each segment spanning `alloc/4` nodes, 6 exchanges; utilization
+//!   stays flat between 92.7 % and 95.6 % — "the use of the new
+//!   JETS-based job launch features does not constrain utilization."
+//!
+//! Here: the real generated REM workflow (real MD segments, real
+//! Metropolis exchanges on restart files) through swiftlite → JETS, with
+//! segments paced to their nominal 100 s virtual duration at 1:100 scale.
+//! Utilization is measured from the dispatcher event log (Eq. 1 over
+//! observed busy time), charged against the whole allocation exactly as
+//! the paper charges the long tail.
+
+use cluster_sim::workload::TimeScale;
+use jets_bench::{banner, boot, env_or};
+use jets_core::{stats, DispatcherConfig};
+use namd_sim::{rem_script, stage_initial_replicas, RemParams};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+use swiftlite::{JetsExecutor, RunOptions, Workflow};
+
+fn run_rem(params: &RemParams, alloc: u32) -> f64 {
+    std::fs::remove_dir_all(&params.dir).ok();
+    stage_initial_replicas(params).expect("stage replicas");
+    let bed = boot(alloc, DispatcherConfig::default());
+    let workflow = Workflow::parse(&rem_script(params)).expect("script parses");
+    let executor = JetsExecutor::new(Arc::clone(&bed.dispatcher), Duration::from_secs(600));
+    workflow
+        .run(
+            Arc::new(executor),
+            RunOptions {
+                work_dir: Path::new(&params.dir).join("anon"),
+                wait_timeout: Duration::from_secs(1200),
+            },
+        )
+        .expect("workflow runs");
+    let events = bed.dispatcher.events().snapshot();
+    bed.teardown();
+    std::fs::remove_dir_all(&params.dir).ok();
+    stats::measured_utilization(&events, alloc as usize)
+}
+
+fn main() {
+    banner("Figure 18", "replica-exchange NAMD via Swift over JETS");
+    let speedup = env_or("JETS_BENCH_SPEEDUP", 100) as f64;
+    let scale = TimeScale::speedup(speedup);
+    let pace_ms = scale.real_ms(100.0); // 100 s virtual NAMD segments
+    let max_nodes = env_or("JETS_BENCH_MAX_NODES", 1024) as u32;
+
+    println!("(a) single-process NAMD segments, replicas = 2 × nodes, 4 exchanges");
+    println!("{:>10} {:>10} {:>14}", "alloc", "replicas", "utilization");
+    for alloc in [4u32, 8, 16, 32] {
+        if alloc > max_nodes {
+            continue;
+        }
+        let params = RemParams {
+            replicas: 2 * alloc,
+            segments: 4,
+            nodes: 1,
+            ppn: 1,
+            atoms: 24,
+            steps: 5,
+            pace_ms,
+            dir: std::env::temp_dir()
+                .join(format!("fig18a-{alloc}-{}", std::process::id()))
+                .to_string_lossy()
+                .into_owned(),
+            ..RemParams::default()
+        };
+        let u = run_rem(&params, alloc);
+        println!("{:>10} {:>10} {:>13.1}%", alloc, params.replicas, 100.0 * u);
+    }
+
+    println!("\n(b) MPI NAMD segments, 8 replicas, PPN 8, segment spans alloc/4 nodes, 6 exchanges");
+    println!(
+        "{:>10} {:>12} {:>10} {:>14}",
+        "alloc", "seg shape", "replicas", "utilization"
+    );
+    for alloc in [8u32, 16, 32] {
+        if alloc > max_nodes {
+            continue;
+        }
+        let seg_nodes = alloc / 4;
+        let params = RemParams {
+            replicas: 8,
+            segments: 6,
+            nodes: seg_nodes,
+            ppn: 8,
+            atoms: 24,
+            steps: 5,
+            pace_ms,
+            dir: std::env::temp_dir()
+                .join(format!("fig18b-{alloc}-{}", std::process::id()))
+                .to_string_lossy()
+                .into_owned(),
+            ..RemParams::default()
+        };
+        let u = run_rem(&params, alloc);
+        println!(
+            "{:>10} {:>9}×{:<2} {:>10} {:>13.1}%",
+            alloc, seg_nodes, 8, params.replicas, 100.0 * u
+        );
+    }
+    println!("\npaper shape: (a) drifts down with allocation size (85–97 %);");
+    println!("(b) stays flat in the low-to-mid 90s — MPI launch through JETS");
+    println!("does not constrain utilization.");
+}

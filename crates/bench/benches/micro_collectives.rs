@@ -1,0 +1,66 @@
+//! Microbenchmarks of the MPI collectives (criterion).
+//!
+//! Measures the cost of one collective round over the in-process fabric
+//! (no network model) at several communicator sizes — the launch-path
+//! costs that shape Figures 7, 9, and 15: every task start executes at
+//! least two barriers.
+
+use criterion::Criterion;
+use jets_mpi::{runner, NetModel, ReduceOp};
+use std::time::Duration;
+
+/// Run `rounds` collective rounds at `size` ranks and return the mean
+/// per-round wall time of rank 0.
+fn collective_rounds(size: u32, rounds: usize, which: &'static str) -> f64 {
+    let results = runner::run_threads(size, NetModel::ideal(), move |comm| {
+        comm.barrier().unwrap();
+        let t0 = comm.wtime();
+        match which {
+            "barrier" => {
+                for _ in 0..rounds {
+                    comm.barrier().unwrap();
+                }
+            }
+            "allreduce64" => {
+                let data = vec![1.0f64; 64];
+                for _ in 0..rounds {
+                    comm.allreduce(&data, ReduceOp::Sum).unwrap();
+                }
+            }
+            "bcast4k" => {
+                let data = vec![0u8; 4096];
+                for _ in 0..rounds {
+                    comm.bcast(0, if comm.rank() == 0 { data.clone() } else { vec![] })
+                        .unwrap();
+                }
+            }
+            other => panic!("unknown collective {other}"),
+        }
+        let dt = comm.wtime() - t0;
+        comm.barrier().unwrap();
+        dt / rounds as f64
+    })
+    .unwrap();
+    results[0]
+}
+
+fn main() {
+    let mut criterion = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+        .configure_from_args();
+
+    for size in [2u32, 4, 8] {
+        for which in ["barrier", "allreduce64", "bcast4k"] {
+            criterion.bench_function(&format!("{which}_{size}ranks"), |b| {
+                b.iter_custom(|iters| {
+                    let per_round = collective_rounds(size, (iters as usize).max(8), which);
+                    Duration::from_secs_f64(per_round * iters as f64)
+                });
+            });
+        }
+    }
+
+    criterion.final_summary();
+}

@@ -1,0 +1,85 @@
+//! Microbenchmarks of the dispatcher's hot paths (criterion).
+//!
+//! * `task_round_trip` — submit → assign → execute(noop) → report → idle,
+//!   through real sockets with one worker: the per-task latency floor
+//!   behind Figure 6's launch rates.
+//! * `queue_push_pick` — FIFO queue operations.
+//! * `select_group_fcfs` / `select_group_location` — worker-group
+//!   selection over a large ready pool.
+
+use criterion::{BatchSize, Criterion};
+use jets_bench::boot;
+use jets_core::group::{select_group, Candidate};
+use jets_core::queue::{JobQueue, QueuedJob};
+use jets_core::spec::{CommandSpec, JobSpec};
+use jets_core::{DispatcherConfig, GroupingPolicy, QueuePolicy};
+use std::time::Duration;
+
+fn main() {
+    let mut criterion = Criterion::default()
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_secs(1))
+        .configure_from_args();
+
+    {
+        let bed = boot(1, DispatcherConfig::default());
+        criterion.bench_function("task_round_trip", |b| {
+            b.iter(|| {
+                let id = bed
+                    .dispatcher
+                    .submit(JobSpec::sequential(CommandSpec::builtin("noop", vec![])));
+                bed.dispatcher
+                    .wait_job(id, Duration::from_secs(10))
+                    .expect("task completes")
+            });
+        });
+        bed.teardown();
+    }
+
+    criterion.bench_function("queue_push_pick_1k", |b| {
+        b.iter_batched(
+            || {
+                (0..1000u64)
+                    .map(|id| QueuedJob {
+                        id,
+                        spec: JobSpec::mpi(
+                            (id % 7 + 1) as u32,
+                            CommandSpec::builtin("x", vec![]),
+                        ),
+                        attempts: 0,
+                    })
+                    .collect::<Vec<_>>()
+            },
+            |jobs| {
+                let mut q = JobQueue::new(QueuePolicy::Fifo);
+                for j in jobs {
+                    q.push(j);
+                }
+                let mut n = 0;
+                while q.pick(usize::MAX).is_some() {
+                    n += 1;
+                }
+                n
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    let ready: Vec<Candidate> = (0..1024u64)
+        .map(|w| Candidate {
+            worker: w,
+            location: format!("rack-{}", w % 8),
+        })
+        .collect();
+    criterion.bench_function("select_group_fcfs_64_of_1024", |b| {
+        b.iter(|| select_group(GroupingPolicy::Fcfs, &ready, 64).expect("enough workers"));
+    });
+    criterion.bench_function("select_group_location_64_of_1024", |b| {
+        b.iter(|| {
+            select_group(GroupingPolicy::LocationAware, &ready, 64).expect("enough workers")
+        });
+    });
+
+    criterion.final_summary();
+}

@@ -1,0 +1,77 @@
+//! Shared plumbing for the benchmark harnesses.
+//!
+//! Every figure-bench boots a real dispatcher plus a simulated allocation
+//! (see `cluster-sim`), runs the paper's workload at a virtual-time
+//! scale, and prints the same series the paper plots. Scales and maximum
+//! allocation sizes can be overridden with environment variables:
+//!
+//! * `JETS_BENCH_MAX_NODES` — cap allocation sizes (default: figure
+//!   specific).
+//! * `JETS_BENCH_SPEEDUP` — virtual-seconds-per-real-second factor
+//!   (default: figure specific).
+
+use cluster_sim::{science_registry, Allocation, AllocationConfig};
+use jets_core::{Dispatcher, DispatcherConfig};
+use jets_worker::Executor;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A dispatcher plus its booted allocation.
+pub struct Testbed {
+    /// The dispatcher under test.
+    pub dispatcher: Arc<Dispatcher>,
+    /// Its simulated allocation.
+    pub allocation: Arc<Allocation>,
+}
+
+/// Boot `nodes` workers against a fresh dispatcher and wait for all of
+/// them to register.
+pub fn boot(nodes: u32, config: DispatcherConfig) -> Testbed {
+    boot_with(nodes, config, AllocationConfig::new(nodes))
+}
+
+/// Boot with a custom allocation configuration.
+pub fn boot_with(nodes: u32, config: DispatcherConfig, alloc: AllocationConfig) -> Testbed {
+    let dispatcher = Arc::new(Dispatcher::start(config).expect("start dispatcher"));
+    let allocation = Arc::new(Allocation::start(
+        &dispatcher.addr().to_string(),
+        alloc,
+        Arc::new(Executor::new(science_registry())),
+    ));
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while dispatcher.alive_workers() < nodes as usize {
+        assert!(
+            Instant::now() < deadline,
+            "only {} of {nodes} workers registered",
+            dispatcher.alive_workers()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    Testbed {
+        dispatcher,
+        allocation,
+    }
+}
+
+impl Testbed {
+    /// Shut down and reap everything.
+    pub fn teardown(self) {
+        self.dispatcher.shutdown();
+        self.allocation.join_all();
+    }
+}
+
+/// Environment override helper.
+pub fn env_or(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Print a figure banner.
+pub fn banner(figure: &str, description: &str) {
+    println!("==========================================================");
+    println!("{figure}: {description}");
+    println!("==========================================================");
+}

@@ -1,0 +1,87 @@
+//! The stand-alone `jets` tool (paper Section 5.1).
+//!
+//! ```text
+//! jets TASKFILE [--listen ADDR] [--simulate N] [--timeout SECS]
+//! ```
+//!
+//! Reads a task list (`MPI: <nodes> [ppn=<k>] cmd args...` or bare
+//! command lines), starts the dispatcher, and runs the batch on whatever
+//! workers connect. `--simulate N` boots N in-process worker agents with
+//! the standard + science application registries, so a batch of builtin
+//! (`@`-prefixed) tasks runs with no external setup.
+
+use cluster_sim::{science_registry, Allocation, AllocationConfig};
+use jets_cli::parse_args;
+use jets_core::{Dispatcher, DispatcherConfig, JobStatus};
+use jets_worker::Executor;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1), &["listen", "simulate", "timeout"]);
+    let Some(taskfile) = args.positional.first() else {
+        eprintln!("usage: jets TASKFILE [--listen ADDR] [--simulate N] [--timeout SECS]");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(taskfile) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("jets: cannot read {taskfile}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let config = DispatcherConfig {
+        bind_addr: args.get("listen").unwrap_or("127.0.0.1:0").to_string(),
+        ..DispatcherConfig::default()
+    };
+    let dispatcher = match Dispatcher::start(config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("jets: cannot start dispatcher: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("jets: dispatcher listening on {}", dispatcher.addr());
+
+    let simulate: u32 = args.get_parse("simulate", 0);
+    let allocation = if simulate > 0 {
+        println!("jets: booting {simulate} simulated workers");
+        Some(Allocation::start(
+            &dispatcher.addr().to_string(),
+            AllocationConfig::new(simulate),
+            Arc::new(Executor::new(science_registry())),
+        ))
+    } else {
+        println!("jets: waiting for external workers (start jets-worker --dispatcher {})", dispatcher.addr());
+        None
+    };
+
+    let ids = match dispatcher.submit_input(&text) {
+        Ok(ids) => ids,
+        Err(e) => {
+            eprintln!("jets: {taskfile}: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("jets: submitted {} jobs", ids.len());
+
+    let timeout = Duration::from_secs(args.get_parse("timeout", 3600));
+    if !dispatcher.wait_idle(timeout) {
+        eprintln!("jets: timed out after {timeout:?} with {} jobs outstanding", dispatcher.outstanding());
+        std::process::exit(1);
+    }
+    let mut ok = 0usize;
+    let mut failed = 0usize;
+    for id in &ids {
+        match dispatcher.job_record(*id).map(|r| r.status) {
+            Some(JobStatus::Succeeded) => ok += 1,
+            _ => failed += 1,
+        }
+    }
+    println!("jets: {ok} succeeded, {failed} failed");
+    dispatcher.shutdown();
+    if let Some(alloc) = allocation {
+        alloc.join_all();
+    }
+    std::process::exit(if failed == 0 { 0 } else { 1 });
+}

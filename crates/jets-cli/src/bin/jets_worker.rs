@@ -1,0 +1,49 @@
+//! The pilot-job worker agent (real-process deployment).
+//!
+//! ```text
+//! jets-worker --dispatcher HOST:PORT [--name N] [--cores C]
+//!             [--location L] [--heartbeat SECS]
+//! ```
+//!
+//! Registers with the dispatcher and executes tasks until told to shut
+//! down. Builtin (`@`) tasks resolve against the standard + science
+//! application registries; everything else is executed as an OS process.
+
+use cluster_sim::science_registry;
+use jets_cli::parse_args;
+use jets_worker::{Executor, Worker, WorkerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let args = parse_args(
+        std::env::args().skip(1),
+        &["dispatcher", "name", "cores", "location", "heartbeat"],
+    );
+    let Some(dispatcher) = args.get("dispatcher") else {
+        eprintln!("usage: jets-worker --dispatcher HOST:PORT [--name N] [--cores C] [--location L] [--heartbeat SECS]");
+        std::process::exit(2);
+    };
+    let config = WorkerConfig {
+        dispatcher_addr: dispatcher.to_string(),
+        name: args
+            .get("name")
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("worker-{}", std::process::id())),
+        cores: args.get_parse("cores", 1),
+        location: args.get("location").unwrap_or("default").to_string(),
+        heartbeat: args
+            .get("heartbeat")
+            .and_then(|s| s.parse().ok())
+            .map(Duration::from_secs),
+        connect_delay: Duration::ZERO,
+    };
+    let name = config.name.clone();
+    println!("jets-worker: {name} connecting to {dispatcher}");
+    let worker = Worker::spawn(config, Arc::new(Executor::new(science_registry())));
+    let exit = worker.join();
+    println!(
+        "jets-worker: {name} exiting after {} tasks ({:?})",
+        exit.tasks_done, exit.reason
+    );
+}

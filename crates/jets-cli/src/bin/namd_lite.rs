@@ -1,0 +1,59 @@
+//! `namd-lite` — the molecular-dynamics application binary.
+//!
+//! ```text
+//! namd-lite CONFIG
+//! ```
+//!
+//! Runs one MD segment from a NAMD-style configuration file. When
+//! launched by a JETS proxy the `PMI_*` environment is present and the
+//! segment runs as one rank of an MPI job over real sockets; otherwise it
+//! runs serially.
+
+use jets_mpi::runner::run_rank_from_lookup;
+use namd_sim::{run_segment, MdConfig};
+
+fn main() {
+    let Some(config_path) = std::env::args().nth(1) else {
+        eprintln!("usage: namd-lite CONFIG");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&config_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("namd-lite: cannot read {config_path}: {e}");
+            std::process::exit(3);
+        }
+    };
+    let config = match MdConfig::parse(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("namd-lite: {config_path}: {e}");
+            std::process::exit(4);
+        }
+    };
+    let result = if std::env::var(jets_pmi::ENV_RANK).is_ok() {
+        run_rank_from_lookup(
+            |k| std::env::var(k).ok(),
+            |comm| run_segment(&config, Some(comm)),
+        )
+        .map_err(|e| e.to_string())
+        .and_then(|r| r.map_err(|e| e.to_string()))
+    } else {
+        run_segment(&config, None).map_err(|e| e.to_string())
+    };
+    match result {
+        Ok(segment) => {
+            println!(
+                "namd-lite: {} atoms, step {}, potential {:.6}, temperature {:.4}",
+                segment.system.len(),
+                segment.system.step,
+                segment.potential,
+                segment.temperature
+            );
+        }
+        Err(e) => {
+            eprintln!("namd-lite: {e}");
+            std::process::exit(7);
+        }
+    }
+}

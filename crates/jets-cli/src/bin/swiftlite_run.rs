@@ -1,0 +1,82 @@
+//! `swiftlite` — run a workflow script.
+//!
+//! ```text
+//! swiftlite SCRIPT [--jets HOST:PORT] [--workdir DIR] [--timeout SECS]
+//! ```
+//!
+//! Without `--jets`, apps run as local OS processes (Swift's "local"
+//! provider). With `--jets`, every app call is submitted to the given
+//! JETS dispatcher — the MPICH/Coasters configuration of the paper —
+//! including its `mpi(nodes=…, ppn=…)` shape.
+
+use jets_cli::parse_args;
+use std::sync::Arc;
+use std::time::Duration;
+use swiftlite::{AppExecutor, JetsExecutor, ProcessExecutor, RunOptions, Workflow};
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1), &["jets", "workdir", "timeout"]);
+    let Some(script) = args.positional.first() else {
+        eprintln!("usage: swiftlite SCRIPT [--jets HOST:PORT] [--workdir DIR] [--timeout SECS]");
+        std::process::exit(2);
+    };
+    let source = match std::fs::read_to_string(script) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("swiftlite: cannot read {script}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let workflow = match Workflow::parse(&source) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("swiftlite: {e}");
+            std::process::exit(2);
+        }
+    };
+    let timeout = Duration::from_secs(args.get_parse("timeout", 3600));
+    let executor: Arc<dyn AppExecutor> = match args.get("jets") {
+        Some(addr) => {
+            // Attach to a running dispatcher by address. The executor
+            // submits over the worker protocol? No: submission is an API
+            // call, so attach-by-address requires a local dispatcher —
+            // start one here and tell the user where it listens if the
+            // given address is "start".
+            if addr == "start" {
+                let dispatcher = Arc::new(
+                    jets_core::Dispatcher::start(jets_core::DispatcherConfig::default())
+                        .expect("start dispatcher"),
+                );
+                println!(
+                    "swiftlite: started dispatcher on {} — point jets-worker agents at it",
+                    dispatcher.addr()
+                );
+                Arc::new(JetsExecutor::new(dispatcher, timeout))
+            } else {
+                eprintln!(
+                    "swiftlite: --jets {addr}: remote dispatcher attach is not supported; \
+                     use --jets start and point workers at the printed address"
+                );
+                std::process::exit(2);
+            }
+        }
+        None => Arc::new(ProcessExecutor),
+    };
+    let mut options = RunOptions::default();
+    if let Some(dir) = args.get("workdir") {
+        options.work_dir = dir.into();
+    }
+    options.wait_timeout = timeout;
+    match workflow.run(executor, options) {
+        Ok(report) => {
+            for line in &report.traces {
+                println!("trace: {line}");
+            }
+            println!("swiftlite: {} app invocations completed", report.apps_run);
+        }
+        Err(e) => {
+            eprintln!("swiftlite: workflow failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! # jets-cli — command-line tools
+//!
+//! The deployable faces of the system, mirroring the paper's software
+//! inventory:
+//!
+//! * `jets` — the stand-alone batch tool (Section 5.1): feed it a task
+//!   list (`MPI: 4 namd2.sh in.pdb out.log` per line), point workers at
+//!   it, get your batch executed.
+//! * `jets-worker` — the pilot-job worker agent, started on compute nodes
+//!   by the system scheduler's allocation script.
+//! * `jets-mpiexec` — a manual-launcher `mpiexec`: starts the PMI service
+//!   for one MPI job and *prints* the proxy commands instead of exec'ing
+//!   them (MPICH2 `launcher=manual`).
+//! * `namd-lite` — the molecular-dynamics application, serial or MPI
+//!   (PMI environment detected automatically).
+//! * `rem-exchange` — the replica-exchange step, operating on restart
+//!   files.
+//! * `swiftlite` — run a workflow script locally or through a JETS
+//!   dispatcher.
+//!
+//! This library crate holds the tiny argument-parsing helper the binaries
+//! share; all behaviour lives in `src/bin/`.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+/// Minimal option parser: `--key value` pairs plus positional arguments.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    /// `--key value` options, last occurrence wins.
+    pub options: HashMap<String, String>,
+    /// `--flag` options with no value.
+    pub flags: Vec<String>,
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+}
+
+/// Parse `argv`. `value_keys` lists the option keys that take a value
+/// (everything else starting with `--` is a flag).
+pub fn parse_args(argv: impl IntoIterator<Item = String>, value_keys: &[&str]) -> Args {
+    let mut args = Args::default();
+    let mut iter = argv.into_iter().peekable();
+    while let Some(arg) = iter.next() {
+        if let Some(key) = arg.strip_prefix("--") {
+            if value_keys.contains(&key) {
+                if let Some(value) = iter.next() {
+                    args.options.insert(key.to_string(), value);
+                }
+            } else {
+                args.flags.push(key.to_string());
+            }
+        } else {
+            args.positional.push(arg);
+        }
+    }
+    args
+}
+
+impl Args {
+    /// A `--key value` option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A parsed `--key value` option with a default.
+    pub fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Is `--flag` present?
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str, value_keys: &[&str]) -> Args {
+        parse_args(line.split_whitespace().map(str::to_string), value_keys)
+    }
+
+    #[test]
+    fn parses_options_flags_and_positionals() {
+        let args = parse(
+            "tasks.txt --dispatcher 127.0.0.1:7777 --verbose --nodes 4 extra",
+            &["dispatcher", "nodes"],
+        );
+        assert_eq!(args.get("dispatcher"), Some("127.0.0.1:7777"));
+        assert_eq!(args.get_parse("nodes", 0u32), 4);
+        assert!(args.has_flag("verbose"));
+        assert_eq!(args.positional, vec!["tasks.txt", "extra"]);
+    }
+
+    #[test]
+    fn defaults_apply_when_missing_or_malformed() {
+        let args = parse("--nodes four", &["nodes"]);
+        assert_eq!(args.get_parse("nodes", 7u32), 7);
+        assert_eq!(args.get_parse("absent", 9i64), 9);
+    }
+
+    #[test]
+    fn last_occurrence_wins() {
+        let args = parse("--n 1 --n 2", &["n"]);
+        assert_eq!(args.get("n"), Some("2"));
+    }
+}

@@ -1,0 +1,1015 @@
+//! The JETS engine: accepts workers, aggregates them, launches jobs.
+//!
+//! Pipeline stages, each arbitrarily concurrent (paper Section 3,
+//! principles 1–2):
+//!
+//! * **Socket management** — an accept loop plus one reader and one writer
+//!   thread per worker connection.
+//! * **Handler processing** — job submission (API or input file) feeds the
+//!   [`crate::queue::JobQueue`]; worker `Request`s park in the ready list;
+//!   `try_schedule` matches the two under one lock.
+//! * **External process management** — each MPI job gets a background PMI
+//!   server (the `mpiexec` process of the paper, see `jets-pmi`), whose
+//!   manual-launcher proxy commands are shipped to the group's workers.
+//!
+//! Fault tolerance: a worker death (socket EOF, error, or heartbeat
+//! silence) marks its in-flight job failed, aborts the job's PMI server so
+//! peer ranks unblock, and requeues the job at the front of the queue if
+//! it has retry budget left.
+
+use crate::events::{EventKind, EventLog};
+use crate::group::{select_group, Candidate, GroupingPolicy};
+use crate::protocol::{read_msg, write_msg, DispatcherMsg, TaskAssignment, TaskKind, WorkerMsg};
+use crate::queue::{JobQueue, QueuePolicy, QueuedJob};
+use crate::registry::Registry;
+use crate::spec::{JobId, JobSpec, TaskId, WorkerId};
+use crossbeam::channel::{unbounded, Sender};
+use jets_pmi::{ManualLauncher, PmiServer, PmiServerConfig, RankLayout};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a dispatcher instance.
+#[derive(Debug, Clone)]
+pub struct DispatcherConfig {
+    /// Listen address; use port 0 for an ephemeral port.
+    pub bind_addr: String,
+    /// Pending-job queue discipline.
+    pub queue_policy: QueuePolicy,
+    /// Worker-group selection policy.
+    pub grouping: GroupingPolicy,
+    /// If set, workers silent for longer than this are declared hung and
+    /// disregarded. `None` disables hang detection (socket EOF still
+    /// detects outright death).
+    pub heartbeat_timeout: Option<Duration>,
+    /// Patience for PMI fences inside launched MPI jobs.
+    pub pmi_fence_timeout: Duration,
+    /// When set, each task's captured standard output is also written to
+    /// `<dir>/job<J>.task<T>.out` — the paper's "into a file" step of the
+    /// output path (Section 6.1.6).
+    pub stdout_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for DispatcherConfig {
+    fn default() -> Self {
+        DispatcherConfig {
+            bind_addr: "127.0.0.1:0".to_string(),
+            queue_policy: QueuePolicy::Fifo,
+            grouping: GroupingPolicy::Fcfs,
+            heartbeat_timeout: None,
+            pmi_fence_timeout: Duration::from_secs(60),
+            stdout_dir: None,
+        }
+    }
+}
+
+/// Lifecycle of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in the queue.
+    Pending,
+    /// Tasks shipped to workers.
+    Running,
+    /// All tasks exited zero.
+    Succeeded,
+    /// A task failed or a worker died, and retries were exhausted.
+    Failed,
+}
+
+/// What the dispatcher remembers about a job.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// The job.
+    pub id: JobId,
+    /// Its specification.
+    pub spec: JobSpec,
+    /// Current status.
+    pub status: JobStatus,
+    /// Launch attempts made so far.
+    pub attempts: u32,
+    /// Wall time of the final (successful or last) attempt.
+    pub wall: Option<Duration>,
+    /// Exit codes reported by the final attempt's tasks.
+    pub exit_codes: Vec<i32>,
+    /// Captured standard-output tails from the final attempt's tasks.
+    pub outputs: Vec<String>,
+}
+
+struct ActiveJob {
+    id: JobId,
+    spec: JobSpec,
+    attempts: u32,
+    /// Workers that have not yet reported (or died).
+    pending: HashSet<WorkerId>,
+    exit_codes: Vec<i32>,
+    outputs: Vec<String>,
+    any_failure: bool,
+    /// Keeps the job's PMI server alive for the duration of the job.
+    pmi: Option<PmiServer>,
+    started: Instant,
+}
+
+struct State {
+    queue: JobQueue,
+    registry: Registry,
+    conns: HashMap<WorkerId, Sender<DispatcherMsg>>,
+    /// Parked `Request`s, oldest first.
+    ready: Vec<WorkerId>,
+    active: HashMap<JobId, ActiveJob>,
+    /// Maps in-flight tasks to their jobs.
+    tasks: HashMap<TaskId, JobId>,
+    records: HashMap<JobId, JobRecord>,
+    /// Jobs queued or active; `wait_idle` watches this reach zero.
+    outstanding: usize,
+}
+
+struct Inner {
+    config: DispatcherConfig,
+    log: EventLog,
+    state: Mutex<State>,
+    idle_cv: Condvar,
+    next_worker: AtomicU64,
+    next_job: AtomicU64,
+    next_task: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// Stack size for connection service threads.
+const CONN_STACK: usize = 192 * 1024;
+
+/// A running JETS dispatcher.
+///
+/// Dropping the dispatcher shuts it down: workers receive `Shutdown`, the
+/// accept loop stops, and service threads drain.
+pub struct Dispatcher {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+}
+
+impl Dispatcher {
+    /// Bind and start serving.
+    pub fn start(config: DispatcherConfig) -> io::Result<Dispatcher> {
+        let listener = TcpListener::bind(&config.bind_addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: JobQueue::new(config.queue_policy),
+                registry: Registry::new(),
+                conns: HashMap::new(),
+                ready: Vec::new(),
+                active: HashMap::new(),
+                tasks: HashMap::new(),
+                records: HashMap::new(),
+                outstanding: 0,
+            }),
+            config,
+            log: EventLog::new(),
+            idle_cv: Condvar::new(),
+            next_worker: AtomicU64::new(1),
+            next_job: AtomicU64::new(1),
+            next_task: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_inner = Arc::clone(&inner);
+        thread::Builder::new()
+            .name("jets-accept".to_string())
+            .stack_size(CONN_STACK)
+            .spawn(move || accept_loop(listener, accept_inner))
+            .expect("spawn dispatcher accept thread");
+        if let Some(timeout) = inner.config.heartbeat_timeout {
+            let monitor_inner = Arc::clone(&inner);
+            thread::Builder::new()
+                .name("jets-monitor".to_string())
+                .stack_size(CONN_STACK)
+                .spawn(move || monitor_loop(monitor_inner, timeout))
+                .expect("spawn dispatcher monitor thread");
+        }
+        Ok(Dispatcher { inner, addr })
+    }
+
+    /// Address workers should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The dispatcher's event log (cheap to clone; shared).
+    pub fn events(&self) -> EventLog {
+        self.inner.log.clone()
+    }
+
+    /// Submit one job; returns its identifier.
+    pub fn submit(&self, spec: JobSpec) -> JobId {
+        let id = self.inner.next_job.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.inner.state.lock();
+        self.inner.log.record(EventKind::JobSubmitted {
+            job: id,
+            nodes: spec.nodes,
+            ppn: spec.ppn,
+        });
+        st.records.insert(
+            id,
+            JobRecord {
+                id,
+                spec: spec.clone(),
+                status: JobStatus::Pending,
+                attempts: 0,
+                wall: None,
+                exit_codes: Vec::new(),
+                outputs: Vec::new(),
+            },
+        );
+        st.queue.push(QueuedJob {
+            id,
+            spec,
+            attempts: 0,
+        });
+        st.outstanding += 1;
+        try_schedule(&self.inner, &mut st);
+        id
+    }
+
+    /// Submit many jobs at once.
+    pub fn submit_all(&self, specs: impl IntoIterator<Item = JobSpec>) -> Vec<JobId> {
+        specs.into_iter().map(|s| self.submit(s)).collect()
+    }
+
+    /// Parse and submit a stand-alone input file's jobs.
+    pub fn submit_input(&self, text: &str) -> Result<Vec<JobId>, crate::spec::ParseError> {
+        let specs = crate::spec::parse_input(text)?;
+        Ok(self.submit_all(specs))
+    }
+
+    /// Block until no job is queued or running, or `timeout` passes.
+    /// Returns true if the system went idle.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.state.lock();
+        loop {
+            if st.outstanding == 0 {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.inner.idle_cv.wait_for(&mut st, deadline - now);
+        }
+    }
+
+    /// A job's record, if known.
+    pub fn job_record(&self, id: JobId) -> Option<JobRecord> {
+        self.inner.state.lock().records.get(&id).cloned()
+    }
+
+    /// Block until job `id` reaches a terminal state (succeeded or
+    /// failed), returning its record; `None` on timeout or unknown id.
+    pub fn wait_job(&self, id: JobId, timeout: Duration) -> Option<JobRecord> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.state.lock();
+        loop {
+            match st.records.get(&id) {
+                None => return None,
+                Some(rec)
+                    if matches!(rec.status, JobStatus::Succeeded | JobStatus::Failed) =>
+                {
+                    return Some(rec.clone());
+                }
+                Some(_) => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.inner.idle_cv.wait_for(&mut st, deadline - now);
+        }
+    }
+
+    /// Snapshot of all job records.
+    pub fn records(&self) -> Vec<JobRecord> {
+        let st = self.inner.state.lock();
+        let mut v: Vec<JobRecord> = st.records.values().cloned().collect();
+        v.sort_by_key(|r| r.id);
+        v
+    }
+
+    /// Number of live (registered, non-dead) workers.
+    pub fn alive_workers(&self) -> usize {
+        self.inner.state.lock().registry.alive_count()
+    }
+
+    /// Snapshot of every worker ever registered.
+    pub fn workers(&self) -> Vec<crate::registry::WorkerInfo> {
+        self.inner.state.lock().registry.iter().cloned().collect()
+    }
+
+    /// Number of jobs queued or running.
+    pub fn outstanding(&self) -> usize {
+        self.inner.state.lock().outstanding
+    }
+
+    /// Stop accepting, tell every worker to shut down.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        let st = self.inner.state.lock();
+        for tx in st.conns.values() {
+            let _ = tx.send(DispatcherMsg::Shutdown);
+        }
+    }
+}
+
+impl Drop for Dispatcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
+    let mut backoff = Duration::from_micros(500);
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                backoff = Duration::from_micros(500);
+                let conn_inner = Arc::clone(&inner);
+                thread::Builder::new()
+                    .name("jets-conn".to_string())
+                    .stack_size(CONN_STACK)
+                    .spawn(move || serve_worker(stream, conn_inner))
+                    .expect("spawn worker connection thread");
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(10));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn monitor_loop(inner: Arc<Inner>, timeout: Duration) {
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        thread::sleep(timeout / 2);
+        let stale = {
+            let st = inner.state.lock();
+            st.registry.stale(timeout)
+        };
+        for worker in stale {
+            handle_worker_down(&inner, worker);
+        }
+    }
+}
+
+/// Reader side of one worker connection; owns the registration handshake.
+fn serve_worker(stream: TcpStream, inner: Arc<Inner>) {
+    stream.set_nodelay(true).ok();
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+
+    // Handshake: first message must be Register.
+    let (name, cores, location) = match read_msg::<WorkerMsg>(&mut reader) {
+        Ok(Some(WorkerMsg::Register {
+            name,
+            cores,
+            location,
+        })) => (name, cores, location),
+        _ => return,
+    };
+    let worker_id = inner.next_worker.fetch_add(1, Ordering::Relaxed);
+
+    // Writer thread: channel → socket, so any dispatcher thread can send.
+    let (tx, rx) = unbounded::<DispatcherMsg>();
+    thread::Builder::new()
+        .name(format!("jets-write-{worker_id}"))
+        .stack_size(CONN_STACK)
+        .spawn(move || {
+            let mut sock = write_half;
+            while let Ok(msg) = rx.recv() {
+                if write_msg(&mut sock, &msg).is_err() {
+                    return;
+                }
+            }
+        })
+        .expect("spawn worker writer thread");
+
+    {
+        let mut st = inner.state.lock();
+        st.registry.insert(worker_id, name, cores, location);
+        st.conns.insert(worker_id, tx.clone());
+        inner.log.record(EventKind::WorkerUp { worker: worker_id });
+    }
+    let _ = tx.send(DispatcherMsg::Registered { worker_id });
+
+    loop {
+        match read_msg::<WorkerMsg>(&mut reader) {
+            Ok(Some(WorkerMsg::Request)) => {
+                let mut st = inner.state.lock();
+                st.registry.touch(worker_id);
+                st.ready.push(worker_id);
+                try_schedule(&inner, &mut st);
+            }
+            Ok(Some(WorkerMsg::Done {
+                task_id,
+                exit_code,
+                wall_ms,
+                output,
+            })) => {
+                handle_done(&inner, worker_id, task_id, exit_code, wall_ms, output);
+            }
+            Ok(Some(WorkerMsg::Heartbeat)) => {
+                inner.state.lock().registry.touch(worker_id);
+            }
+            Ok(Some(WorkerMsg::Goodbye)) | Ok(None) => break,
+            Ok(Some(WorkerMsg::Register { .. })) | Err(_) => break,
+        }
+    }
+    handle_worker_down(&inner, worker_id);
+}
+
+/// Match queued jobs against parked workers; runs under the state lock.
+fn try_schedule(inner: &Inner, st: &mut State) {
+    loop {
+        // Purge workers that died while parked.
+        st.ready.retain(|w| {
+            st.registry
+                .get(*w)
+                .is_some_and(|info| info.state == crate::registry::WorkerState::Idle)
+        });
+        let Some(job) = st.queue.pick(st.ready.len()) else {
+            return;
+        };
+        let candidates: Vec<Candidate> = st
+            .ready
+            .iter()
+            .map(|&w| Candidate {
+                worker: w,
+                location: st
+                    .registry
+                    .get(w)
+                    .map(|i| i.location.clone())
+                    .unwrap_or_default(),
+            })
+            .collect();
+        let indices = select_group(inner.config.grouping, &candidates, job.spec.nodes as usize)
+            .expect("queue.pick guaranteed enough ready workers");
+        // Remove chosen workers from the ready list, highest index first.
+        let mut chosen: Vec<WorkerId> = Vec::with_capacity(indices.len());
+        let mut sorted = indices;
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        for idx in sorted {
+            chosen.push(st.ready.remove(idx));
+        }
+        chosen.reverse(); // oldest request first == rank order
+        start_job(inner, st, job, chosen);
+    }
+}
+
+/// Ship a job's tasks to its chosen workers; runs under the state lock.
+fn start_job(inner: &Inner, st: &mut State, job: QueuedJob, workers: Vec<WorkerId>) {
+    let QueuedJob { id, spec, attempts } = job;
+    inner.log.record(EventKind::JobStarted {
+        job: id,
+        nodes: spec.nodes,
+        ppn: spec.ppn,
+    });
+    if let Some(rec) = st.records.get_mut(&id) {
+        rec.status = JobStatus::Running;
+        rec.attempts = attempts + 1;
+    }
+
+    let mut active = ActiveJob {
+        id,
+        spec: spec.clone(),
+        attempts: attempts + 1,
+        pending: workers.iter().copied().collect(),
+        exit_codes: Vec::new(),
+        outputs: Vec::new(),
+        any_failure: false,
+        pmi: None,
+        started: Instant::now(),
+    };
+
+    // Build one assignment per worker.
+    let assignments: Vec<(WorkerId, TaskAssignment)> = if spec.is_mpi() {
+        let pmi_jobid = format!("jets-job-{id}");
+        let mut pmi_config = PmiServerConfig::new(&pmi_jobid, spec.size());
+        pmi_config.fence_timeout = inner.config.pmi_fence_timeout;
+        let pmi = match PmiServer::start(pmi_config) {
+            Ok(s) => s,
+            Err(e) => {
+                // Could not bind a PMI server: fail the job outright and
+                // put the workers back in the ready pool.
+                st.ready.extend(workers);
+                finish_failed_unstarted(inner, st, id, &format!("pmi server: {e}"));
+                return;
+            }
+        };
+        let layout = RankLayout {
+            nodes: spec.nodes,
+            ppn: spec.ppn,
+        };
+        let proxies = ManualLauncher.proxy_commands(&pmi_jobid, layout, &pmi.addr().to_string());
+        active.pmi = Some(pmi);
+        workers
+            .iter()
+            .zip(proxies)
+            .map(|(&w, proxy)| {
+                let task_id = inner.next_task.fetch_add(1, Ordering::Relaxed);
+                (
+                    w,
+                    TaskAssignment {
+                        task_id,
+                        job_id: id,
+                        kind: TaskKind::MpiProxy {
+                            cmd: spec.cmd.clone(),
+                            ranks: proxy.ranks,
+                            size: proxy.size,
+                            pmi_addr: proxy.pmi_addr,
+                            pmi_jobid: proxy.jobid,
+                        },
+                        stage: spec.stage.clone(),
+                    },
+                )
+            })
+            .collect()
+    } else {
+        let worker = workers[0];
+        let task_id = inner.next_task.fetch_add(1, Ordering::Relaxed);
+        vec![(
+            worker,
+            TaskAssignment {
+                task_id,
+                job_id: id,
+                kind: TaskKind::Sequential {
+                    cmd: spec.cmd.clone(),
+                },
+                stage: spec.stage.clone(),
+            },
+        )]
+    };
+
+    for (worker, assignment) in assignments {
+        let task_id = assignment.task_id;
+        st.tasks.insert(task_id, id);
+        st.registry.mark_busy(worker, id);
+        inner.log.record(EventKind::TaskStarted {
+            task: task_id,
+            job: id,
+            worker,
+            ranks: spec.ppn,
+        });
+        let delivered = st
+            .conns
+            .get(&worker)
+            .map(|tx| tx.send(DispatcherMsg::Assign(assignment)).is_ok())
+            .unwrap_or(false);
+        if !delivered {
+            // The worker vanished between parking and assignment; treat
+            // its task as failed immediately.
+            st.tasks.remove(&task_id);
+            inner.log.record(EventKind::TaskEnded {
+                task: task_id,
+                job: id,
+                worker,
+                ranks: spec.ppn,
+                exit_code: -128,
+            });
+            active.pending.remove(&worker);
+            active.any_failure = true;
+            active.exit_codes.push(-128);
+        }
+    }
+
+    if active.pending.is_empty() {
+        // Everything failed to deliver.
+        finish_job(inner, st, active);
+    } else {
+        st.active.insert(id, active);
+    }
+}
+
+/// A worker reported a task result.
+fn handle_done(
+    inner: &Inner,
+    worker: WorkerId,
+    task_id: TaskId,
+    exit_code: i32,
+    _wall_ms: u64,
+    output: Option<String>,
+) {
+    let mut st = inner.state.lock();
+    st.registry.mark_idle(worker);
+    let Some(job_id) = st.tasks.remove(&task_id) else {
+        return; // stale report for an already-failed job
+    };
+    let Some(active) = st.active.get_mut(&job_id) else {
+        return;
+    };
+    let (ppn, job) = (active.spec.ppn, active.id);
+    inner.log.record(EventKind::TaskEnded {
+        task: task_id,
+        job,
+        worker,
+        ranks: ppn,
+        exit_code,
+    });
+    active.pending.remove(&worker);
+    active.exit_codes.push(exit_code);
+    if let Some(text) = output {
+        // The final hop of the paper's output path: "into a file".
+        if let Some(dir) = &inner.config.stdout_dir {
+            let path = dir.join(format!("job{job_id}.task{task_id}.out"));
+            let _ = std::fs::create_dir_all(dir);
+            let _ = std::fs::write(path, &text);
+        }
+        active.outputs.push(text);
+    }
+    if exit_code != 0 {
+        active.any_failure = true;
+    }
+    if active.pending.is_empty() {
+        let active = st.active.remove(&job_id).expect("checked above");
+        finish_job(inner, &mut st, active);
+    }
+}
+
+/// A worker's connection dropped (or it was declared hung).
+fn handle_worker_down(inner: &Inner, worker: WorkerId) {
+    let mut st = inner.state.lock();
+    // Idempotence: the monitor and the reader can both call this.
+    let already_dead = st
+        .registry
+        .get(worker)
+        .map(|w| w.state == crate::registry::WorkerState::Dead)
+        .unwrap_or(true);
+    if already_dead {
+        return;
+    }
+    let inflight_job = st.registry.mark_dead(worker);
+    st.conns.remove(&worker);
+    st.ready.retain(|&w| w != worker);
+    inner.log.record(EventKind::WorkerDown { worker });
+
+    if let Some(job_id) = inflight_job {
+        if let Some(active) = st.active.get_mut(&job_id) {
+            active.any_failure = true;
+            active.pending.remove(&worker);
+            if let Some(pmi) = &active.pmi {
+                pmi.abort(&format!("worker {worker} died"));
+            }
+            let ppn = active.spec.ppn;
+            inner.log.record(EventKind::TaskEnded {
+                task: 0, // synthetic: the dead worker's task id is unknown here
+                job: job_id,
+                worker,
+                ranks: ppn,
+                exit_code: -127,
+            });
+            if active.pending.is_empty() {
+                let active = st.active.remove(&job_id).expect("checked above");
+                finish_job(inner, &mut st, active);
+            }
+        }
+    }
+    try_schedule(inner, &mut st);
+    inner.idle_cv.notify_all();
+}
+
+/// A job finished (all participants accounted for). Requeue or record.
+fn finish_job(inner: &Inner, st: &mut State, active: ActiveJob) {
+    let success = !active.any_failure;
+    let wall = active.started.elapsed();
+    // Drop the PMI server; abort it first if the job failed so lingering
+    // ranks unblock promptly.
+    if let Some(pmi) = &active.pmi {
+        if !success {
+            pmi.abort("job failed");
+        }
+    }
+    inner.log.record(EventKind::JobCompleted {
+        job: active.id,
+        nodes: active.spec.nodes,
+        ppn: active.spec.ppn,
+        success,
+    });
+    let retry = !success && active.attempts <= active.spec.max_retries;
+    if retry {
+        inner.log.record(EventKind::JobRequeued { job: active.id });
+        if let Some(rec) = st.records.get_mut(&active.id) {
+            rec.status = JobStatus::Pending;
+            rec.wall = Some(wall);
+            rec.exit_codes = active.exit_codes.clone();
+            rec.outputs = active.outputs.clone();
+        }
+        st.queue.push_front(QueuedJob {
+            id: active.id,
+            spec: active.spec,
+            attempts: active.attempts,
+        });
+        // outstanding unchanged: the job is still in flight.
+    } else {
+        if let Some(rec) = st.records.get_mut(&active.id) {
+            rec.status = if success {
+                JobStatus::Succeeded
+            } else {
+                JobStatus::Failed
+            };
+            rec.wall = Some(wall);
+            rec.exit_codes = active.exit_codes.clone();
+            rec.outputs = active.outputs.clone();
+        }
+        st.outstanding = st.outstanding.saturating_sub(1);
+        inner.idle_cv.notify_all();
+    }
+    try_schedule(inner, st);
+}
+
+/// Fail a job that never shipped (e.g. PMI bind failure).
+fn finish_failed_unstarted(inner: &Inner, st: &mut State, id: JobId, _reason: &str) {
+    inner.log.record(EventKind::JobCompleted {
+        job: id,
+        nodes: st.records.get(&id).map(|r| r.spec.nodes).unwrap_or(0),
+        ppn: st.records.get(&id).map(|r| r.spec.ppn).unwrap_or(0),
+        success: false,
+    });
+    if let Some(rec) = st.records.get_mut(&id) {
+        rec.status = JobStatus::Failed;
+    }
+    st.outstanding = st.outstanding.saturating_sub(1);
+    inner.idle_cv.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CommandSpec;
+    use std::io::BufReader;
+
+    /// A minimal raw-protocol worker for exercising the dispatcher
+    /// without depending on the jets-worker crate: executes builtin
+    /// "ok" (exit 0), "fail" (exit 1), and "mpi-ok" (PMI handshake) apps.
+    fn raw_worker(addr: SocketAddr, tasks_to_run: usize) -> thread::JoinHandle<usize> {
+        thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            write_msg(
+                &mut writer,
+                &WorkerMsg::Register {
+                    name: "raw".into(),
+                    cores: 1,
+                    location: "test".into(),
+                },
+            )
+            .unwrap();
+            let Some(DispatcherMsg::Registered { .. }) = read_msg(&mut reader).unwrap() else {
+                panic!("expected Registered");
+            };
+            let mut done = 0;
+            for _ in 0..tasks_to_run {
+                write_msg(&mut writer, &WorkerMsg::Request).unwrap();
+                match read_msg::<DispatcherMsg>(&mut reader).unwrap() {
+                    Some(DispatcherMsg::Assign(a)) => {
+                        let exit = run_assignment(&a);
+                        write_msg(
+                            &mut writer,
+                            &WorkerMsg::Done {
+                                task_id: a.task_id,
+                                exit_code: exit,
+                                wall_ms: 1,
+                                output: None,
+                            },
+                        )
+                        .unwrap();
+                        done += 1;
+                    }
+                    Some(DispatcherMsg::Shutdown) | None => break,
+                    other => panic!("unexpected: {other:?}"),
+                }
+            }
+            write_msg(&mut writer, &WorkerMsg::Goodbye).ok();
+            done
+        })
+    }
+
+    fn run_assignment(a: &TaskAssignment) -> i32 {
+        match &a.kind {
+            TaskKind::Sequential { cmd } => match cmd.name() {
+                "ok" => 0,
+                "fail" => 1,
+                other => panic!("unknown builtin {other}"),
+            },
+            TaskKind::MpiProxy {
+                ranks,
+                size,
+                pmi_addr,
+                pmi_jobid,
+                ..
+            } => {
+                // Perform the PMI handshake for each hosted rank, the way
+                // a Hydra proxy would.
+                for &rank in ranks {
+                    let mut c =
+                        jets_pmi::PmiClient::connect(pmi_addr, rank, *size, pmi_jobid).unwrap();
+                    c.put(&format!("bc.{rank}"), "x").unwrap();
+                    c.fence().unwrap();
+                    c.finalize().unwrap();
+                }
+                0
+            }
+        }
+    }
+
+    fn dispatcher() -> Dispatcher {
+        Dispatcher::start(DispatcherConfig::default()).unwrap()
+    }
+
+    const WAIT: Duration = Duration::from_secs(30);
+
+    #[test]
+    fn sequential_job_runs_to_success() {
+        let d = dispatcher();
+        let w = raw_worker(d.addr(), 1);
+        let id = d.submit(JobSpec::sequential(CommandSpec::builtin("ok", vec![])));
+        assert!(d.wait_idle(WAIT));
+        let rec = d.job_record(id).unwrap();
+        assert_eq!(rec.status, JobStatus::Succeeded);
+        assert_eq!(rec.exit_codes, vec![0]);
+        d.shutdown();
+        assert_eq!(w.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn failing_job_is_recorded_failed() {
+        let d = dispatcher();
+        let _w = raw_worker(d.addr(), 1);
+        let id = d.submit(JobSpec::sequential(CommandSpec::builtin("fail", vec![])));
+        assert!(d.wait_idle(WAIT));
+        let rec = d.job_record(id).unwrap();
+        assert_eq!(rec.status, JobStatus::Failed);
+        assert_eq!(rec.exit_codes, vec![1]);
+    }
+
+    #[test]
+    fn mpi_job_aggregates_workers_and_runs_pmi() {
+        let d = dispatcher();
+        let workers: Vec<_> = (0..3).map(|_| raw_worker(d.addr(), 1)).collect();
+        let id = d.submit(JobSpec::mpi(3, CommandSpec::builtin("mpi", vec![])));
+        assert!(d.wait_idle(WAIT));
+        let rec = d.job_record(id).unwrap();
+        assert_eq!(rec.status, JobStatus::Succeeded);
+        assert_eq!(rec.exit_codes.len(), 3);
+        d.shutdown();
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn many_sequential_jobs_complete() {
+        let d = dispatcher();
+        let workers: Vec<_> = (0..4).map(|_| raw_worker(d.addr(), 25)).collect();
+        let ids =
+            d.submit_all((0..100).map(|_| JobSpec::sequential(CommandSpec::builtin("ok", vec![]))));
+        assert!(d.wait_idle(WAIT));
+        for id in ids {
+            assert_eq!(d.job_record(id).unwrap().status, JobStatus::Succeeded);
+        }
+        d.shutdown();
+        let total: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn job_larger_than_pool_waits_until_workers_arrive() {
+        let d = dispatcher();
+        let id = d.submit(JobSpec::mpi(2, CommandSpec::builtin("mpi", vec![])));
+        // Nothing can run yet.
+        assert!(!d.wait_idle(Duration::from_millis(50)));
+        assert_eq!(d.job_record(id).unwrap().status, JobStatus::Pending);
+        let w1 = raw_worker(d.addr(), 1);
+        let w2 = raw_worker(d.addr(), 1);
+        assert!(d.wait_idle(WAIT));
+        assert_eq!(d.job_record(id).unwrap().status, JobStatus::Succeeded);
+        d.shutdown();
+        w1.join().unwrap();
+        w2.join().unwrap();
+    }
+
+    #[test]
+    fn worker_death_requeues_job_with_retries() {
+        let d = dispatcher();
+        // First worker registers, requests, then hangs up without running
+        // anything (simulating death after assignment).
+        let addr = d.addr();
+        let killer = thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            write_msg(
+                &mut writer,
+                &WorkerMsg::Register {
+                    name: "doomed".into(),
+                    cores: 1,
+                    location: "test".into(),
+                },
+            )
+            .unwrap();
+            let _: Option<DispatcherMsg> = read_msg(&mut reader).unwrap();
+            write_msg(&mut writer, &WorkerMsg::Request).unwrap();
+            // Wait for the assignment, then die.
+            let _: Option<DispatcherMsg> = read_msg(&mut reader).unwrap();
+            drop(writer);
+        });
+        let id = d.submit(
+            JobSpec::sequential(CommandSpec::builtin("ok", vec![])).with_retries(2),
+        );
+        killer.join().unwrap();
+        // A healthy worker picks up the requeued job.
+        let w = raw_worker(d.addr(), 1);
+        assert!(d.wait_idle(WAIT));
+        let rec = d.job_record(id).unwrap();
+        assert_eq!(rec.status, JobStatus::Succeeded);
+        assert!(rec.attempts >= 2, "attempts = {}", rec.attempts);
+        d.shutdown();
+        w.join().unwrap();
+    }
+
+    #[test]
+    fn worker_death_without_retries_fails_job() {
+        let d = dispatcher();
+        let addr = d.addr();
+        let killer = thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            write_msg(
+                &mut writer,
+                &WorkerMsg::Register {
+                    name: "doomed".into(),
+                    cores: 1,
+                    location: "test".into(),
+                },
+            )
+            .unwrap();
+            let _: Option<DispatcherMsg> = read_msg(&mut reader).unwrap();
+            write_msg(&mut writer, &WorkerMsg::Request).unwrap();
+            let _: Option<DispatcherMsg> = read_msg(&mut reader).unwrap();
+        });
+        let id = d.submit(JobSpec::sequential(CommandSpec::builtin("ok", vec![])));
+        killer.join().unwrap();
+        assert!(d.wait_idle(WAIT));
+        assert_eq!(d.job_record(id).unwrap().status, JobStatus::Failed);
+    }
+
+    #[test]
+    fn event_log_tells_the_story() {
+        let d = dispatcher();
+        let _w = raw_worker(d.addr(), 1);
+        d.submit(JobSpec::sequential(CommandSpec::builtin("ok", vec![])));
+        assert!(d.wait_idle(WAIT));
+        let events = d.events().snapshot();
+        let kinds: Vec<&'static str> = events
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::WorkerUp { .. } => "up",
+                EventKind::JobSubmitted { .. } => "submit",
+                EventKind::JobStarted { .. } => "start",
+                EventKind::TaskStarted { .. } => "tstart",
+                EventKind::TaskEnded { .. } => "tend",
+                EventKind::JobCompleted { .. } => "complete",
+                _ => "other",
+            })
+            .collect();
+        assert!(kinds.contains(&"up"));
+        assert!(kinds.contains(&"submit"));
+        assert!(kinds.contains(&"tstart"));
+        assert!(kinds.contains(&"tend"));
+        assert!(kinds.contains(&"complete"));
+        // Submission precedes start precedes task end.
+        let pos = |k: &str| kinds.iter().position(|&x| x == k).unwrap();
+        assert!(pos("submit") < pos("start"));
+        assert!(pos("tstart") < pos("tend"));
+    }
+
+    #[test]
+    fn wait_idle_times_out_without_workers() {
+        let d = dispatcher();
+        d.submit(JobSpec::sequential(CommandSpec::builtin("ok", vec![])));
+        assert!(!d.wait_idle(Duration::from_millis(40)));
+        assert_eq!(d.outstanding(), 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! Timestamped event log of dispatcher activity.
+//!
+//! Every consequential dispatcher action is recorded against a shared
+//! epoch. The evaluation section of the paper is computed entirely from
+//! such records: utilization (Eq. 1), load level over time (Fig. 13),
+//! nodes-available versus running-jobs timelines under fault injection
+//! (Fig. 10), and task run-time distributions (Fig. 11). See
+//! [`crate::stats`] for the derived series.
+
+use crate::spec::{JobId, TaskId, WorkerId};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A worker registered.
+    WorkerUp {
+        /// The worker.
+        worker: WorkerId,
+    },
+    /// A worker died or signed off.
+    WorkerDown {
+        /// The worker.
+        worker: WorkerId,
+    },
+    /// A job entered the queue.
+    JobSubmitted {
+        /// The job.
+        job: JobId,
+        /// Its node count.
+        nodes: u32,
+        /// Its ranks-per-node.
+        ppn: u32,
+    },
+    /// A job's workers were selected and its tasks were shipped.
+    JobStarted {
+        /// The job.
+        job: JobId,
+        /// Its node count.
+        nodes: u32,
+        /// Its ranks-per-node.
+        ppn: u32,
+    },
+    /// A job finished (all tasks reported, or failure was established).
+    JobCompleted {
+        /// The job.
+        job: JobId,
+        /// Its node count.
+        nodes: u32,
+        /// Its ranks-per-node.
+        ppn: u32,
+        /// Whether every task exited zero.
+        success: bool,
+    },
+    /// A failed job went back into the queue.
+    JobRequeued {
+        /// The job.
+        job: JobId,
+    },
+    /// One task (proxy or sequential execution) was assigned to a worker.
+    TaskStarted {
+        /// The task.
+        task: TaskId,
+        /// Its job.
+        job: JobId,
+        /// The worker executing it.
+        worker: WorkerId,
+        /// Ranks this task hosts (1 for sequential tasks).
+        ranks: u32,
+    },
+    /// A task completed (the worker reported `Done`).
+    TaskEnded {
+        /// The task.
+        task: TaskId,
+        /// Its job.
+        job: JobId,
+        /// The worker that executed it.
+        worker: WorkerId,
+        /// Ranks this task hosted.
+        ranks: u32,
+        /// Exit code (0 = success).
+        exit_code: i32,
+    },
+}
+
+/// One log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Time since the log's epoch.
+    pub t: Duration,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Shared, thread-safe, append-only event log.
+#[derive(Clone)]
+pub struct EventLog {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    epoch: Instant,
+    events: Mutex<Vec<Event>>,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventLog {
+    /// A fresh log whose epoch is now.
+    pub fn new() -> Self {
+        EventLog {
+            inner: Arc::new(Inner {
+                epoch: Instant::now(),
+                events: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The log's epoch.
+    pub fn epoch(&self) -> Instant {
+        self.inner.epoch
+    }
+
+    /// Time since the epoch.
+    pub fn now(&self) -> Duration {
+        self.inner.epoch.elapsed()
+    }
+
+    /// Append an event stamped with the current time.
+    pub fn record(&self, kind: EventKind) {
+        let t = self.now();
+        self.inner.events.lock().push(Event { t, kind });
+    }
+
+    /// Snapshot all events recorded so far.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.inner.events.lock().clone()
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.inner.events.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn records_are_time_ordered() {
+        let log = EventLog::new();
+        log.record(EventKind::WorkerUp { worker: 1 });
+        thread::sleep(Duration::from_millis(2));
+        log.record(EventKind::WorkerDown { worker: 1 });
+        let evs = log.snapshot();
+        assert_eq!(evs.len(), 2);
+        assert!(evs[0].t <= evs[1].t);
+        assert_eq!(evs[0].kind, EventKind::WorkerUp { worker: 1 });
+    }
+
+    #[test]
+    fn clones_share_the_log() {
+        let log = EventLog::new();
+        let log2 = log.clone();
+        log2.record(EventKind::JobRequeued { job: 3 });
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.epoch(), log2.epoch());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let log = EventLog::new();
+        let mut handles = Vec::new();
+        for w in 0..8u64 {
+            let l = log.clone();
+            handles.push(thread::spawn(move || {
+                for _ in 0..100 {
+                    l.record(EventKind::WorkerUp { worker: w });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(log.len(), 800);
+    }
+}

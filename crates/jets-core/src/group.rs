@@ -1,0 +1,154 @@
+//! Worker-group selection: turning idle workers into an MPI-capable group.
+//!
+//! "The default JETS behavior is to group nodes in first come, first
+//! served order" (paper, Section 6.1.4). Section 7 notes that grouping
+//! with respect to network location would matter for workflows spanning
+//! multiple clusters — joining MPI processes on the same cluster should be
+//! preferred to running MPI jobs across clusters. Both policies live here
+//! and are compared in `bench/ablation_grouping`.
+
+use crate::spec::WorkerId;
+use std::collections::HashMap;
+
+/// How to choose which idle workers form a job's group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GroupingPolicy {
+    /// First come, first served: the `need` longest-waiting idle workers,
+    /// regardless of where they are (the paper's default).
+    #[default]
+    Fcfs,
+    /// Prefer a group entirely within one network location; fall back to
+    /// FCFS across locations only when no single location has enough idle
+    /// workers.
+    LocationAware,
+}
+
+/// An idle worker as seen by the selector: identity plus location label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidate {
+    /// The worker.
+    pub worker: WorkerId,
+    /// Its network location label.
+    pub location: String,
+}
+
+/// Select `need` workers from `ready` (ordered oldest-request-first).
+/// Returns the chosen indices into `ready`, oldest first, or `None` if
+/// fewer than `need` candidates exist.
+pub fn select_group(
+    policy: GroupingPolicy,
+    ready: &[Candidate],
+    need: usize,
+) -> Option<Vec<usize>> {
+    if need == 0 || ready.len() < need {
+        return None;
+    }
+    match policy {
+        GroupingPolicy::Fcfs => Some((0..need).collect()),
+        GroupingPolicy::LocationAware => {
+            // Count candidates per location, preserving FCFS inside each.
+            let mut by_location: HashMap<&str, Vec<usize>> = HashMap::new();
+            for (idx, c) in ready.iter().enumerate() {
+                by_location.entry(c.location.as_str()).or_default().push(idx);
+            }
+            // Among locations that can host the whole group, pick the one
+            // whose oldest candidate has waited longest (keeps FCFS
+            // fairness across locations); ties broken by the scan order of
+            // the first index.
+            let mut best: Option<&Vec<usize>> = None;
+            for indices in by_location.values() {
+                if indices.len() >= need
+                    && best.is_none_or(|b| indices[0] < b[0])
+                {
+                    best = Some(indices);
+                }
+            }
+            match best {
+                Some(indices) => Some(indices[..need].to_vec()),
+                // No single location suffices: cross-location FCFS.
+                None => Some((0..need).collect()),
+            }
+        }
+    }
+}
+
+/// How many of the group's workers share its most common location — the
+/// metric the grouping ablation reports (1.0 = fully co-located).
+pub fn colocation_fraction(locations: &[&str]) -> f64 {
+    if locations.is_empty() {
+        return 1.0;
+    }
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for l in locations {
+        *counts.entry(l).or_default() += 1;
+    }
+    let max = counts.values().copied().max().unwrap_or(0);
+    max as f64 / locations.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cands(spec: &[(WorkerId, &str)]) -> Vec<Candidate> {
+        spec.iter()
+            .map(|&(worker, loc)| Candidate {
+                worker,
+                location: loc.to_string(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fcfs_takes_the_oldest() {
+        let ready = cands(&[(1, "a"), (2, "b"), (3, "a")]);
+        assert_eq!(select_group(GroupingPolicy::Fcfs, &ready, 2), Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn insufficient_workers_yields_none() {
+        let ready = cands(&[(1, "a")]);
+        assert_eq!(select_group(GroupingPolicy::Fcfs, &ready, 2), None);
+        assert_eq!(select_group(GroupingPolicy::LocationAware, &ready, 2), None);
+        assert_eq!(select_group(GroupingPolicy::Fcfs, &ready, 0), None);
+    }
+
+    #[test]
+    fn location_aware_colocates_when_possible() {
+        // FCFS would pick indices 0,1 (a cross-cluster group); the
+        // location-aware policy should find the all-"b" group.
+        let ready = cands(&[(1, "a"), (2, "b"), (3, "b")]);
+        assert_eq!(
+            select_group(GroupingPolicy::LocationAware, &ready, 2),
+            Some(vec![1, 2])
+        );
+    }
+
+    #[test]
+    fn location_aware_prefers_longest_waiting_viable_location() {
+        let ready = cands(&[(1, "a"), (2, "b"), (3, "a"), (4, "b")]);
+        // Both locations have 2 candidates; "a" has the oldest (index 0).
+        assert_eq!(
+            select_group(GroupingPolicy::LocationAware, &ready, 2),
+            Some(vec![0, 2])
+        );
+    }
+
+    #[test]
+    fn location_aware_falls_back_to_fcfs() {
+        let ready = cands(&[(1, "a"), (2, "b"), (3, "c")]);
+        assert_eq!(
+            select_group(GroupingPolicy::LocationAware, &ready, 3),
+            Some(vec![0, 1, 2])
+        );
+    }
+
+    #[test]
+    fn colocation_metric() {
+        assert_eq!(colocation_fraction(&["a", "a", "a"]), 1.0);
+        assert_eq!(colocation_fraction(&["a", "b"]), 0.5);
+        assert_eq!(colocation_fraction(&[]), 1.0);
+        let f = colocation_fraction(&["a", "a", "b", "c"]);
+        assert!((f - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,52 @@
+//! # jets-core — the JETS dispatcher
+//!
+//! The centralized, single-user scheduler at the heart of JETS (Wozniak,
+//! Wilde, Katz; ICPP 2011 / J Grid Computing 2013). Persistent pilot-job
+//! *workers* register over TCP and request work; the dispatcher reads
+//! batches of possibly-MPI job specifications, aggregates free workers
+//! first-come-first-served into MPI-capable groups, runs one background
+//! PMI process manager per MPI job (the `mpiexec launcher=manual`
+//! mechanism, see `jets-pmi`), and ships the resulting proxy launch
+//! commands to the group's workers. Sequential (1-node) jobs skip PMI and
+//! dispatch directly, Falkon-style.
+//!
+//! The architecture follows the paper's stated principles: simple reusable
+//! threading abstractions (channels + mutex/condvar), separate service
+//! pipeline stages (socket management / handler processing / process
+//! management) connected through obvious interfaces, ready composition and
+//! decomposition, and the assumption that disconnection is likely (worker
+//! death is detected by socket EOF and heartbeat timeout; in-flight jobs
+//! are requeued).
+//!
+//! Modules:
+//!
+//! * [`spec`] — job specifications and the stand-alone `jets` input-file
+//!   format (`MPI: 4 namd2.sh input-1.pdb output-1.log`).
+//! * [`protocol`] — the dispatcher ⇄ worker wire protocol (JSON lines).
+//! * [`queue`] — FIFO job queue, plus the priority/backfill policy the
+//!   paper lists as future work (ablated in `bench/ablation_queue`).
+//! * [`registry`] — worker bookkeeping and liveness.
+//! * [`group`] — worker-group selection: first-come-first-served (the
+//!   paper's default) or location-aware (future work, ablated).
+//! * [`events`] — timestamped event log of everything the dispatcher does.
+//! * [`stats`] — utilization (Eq. 1 of the paper), load-level series, and
+//!   run-time histograms computed from the event log.
+//! * [`dispatcher`] — the engine tying it all together.
+
+#![warn(missing_docs)]
+
+pub mod dispatcher;
+pub mod events;
+pub mod group;
+pub mod protocol;
+pub mod queue;
+pub mod registry;
+pub mod spec;
+pub mod stats;
+
+pub use dispatcher::{Dispatcher, DispatcherConfig, JobRecord, JobStatus};
+pub use events::{Event, EventKind, EventLog};
+pub use group::GroupingPolicy;
+pub use protocol::{DispatcherMsg, TaskAssignment, TaskKind, WorkerMsg};
+pub use queue::QueuePolicy;
+pub use spec::{CommandSpec, JobId, JobSpec, TaskId, WorkerId};

@@ -1,0 +1,222 @@
+//! Dispatcher ⇄ worker wire protocol.
+//!
+//! One TCP connection per worker, carrying newline-delimited JSON
+//! messages. The worker speaks first (`Register`), then loops
+//! `Request → Assign → Done`. Fault detection rests on this connection:
+//! an EOF or read error is the dispatcher's signal that the pilot job
+//! died, exactly as in the paper's faulty-allocation experiment (Fig. 10).
+
+use crate::spec::{CommandSpec, JobId, StageFile, TaskId};
+use serde::{de::DeserializeOwned, Deserialize, Serialize};
+use std::io::{self, BufRead, Write};
+
+/// Messages a worker sends to the dispatcher.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkerMsg {
+    /// First message on the connection: announce this pilot job.
+    Register {
+        /// Human-readable worker name (diagnostics only).
+        name: String,
+        /// Cores the node offers (capacity metadata).
+        cores: u32,
+        /// Network location label (cluster/rack); used by the
+        /// location-aware grouping policy.
+        location: String,
+    },
+    /// Ready for work; the dispatcher replies when it has an assignment.
+    Request,
+    /// A previously assigned task finished.
+    Done {
+        /// Which task.
+        task_id: TaskId,
+        /// Process (or builtin) exit code; 0 is success.
+        exit_code: i32,
+        /// Wall time of the execution in milliseconds.
+        wall_ms: u64,
+        /// Captured standard output (tail), routed app → proxy →
+        /// dispatcher exactly as the paper's Section 6.1.6 describes.
+        #[serde(default)]
+        output: Option<String>,
+    },
+    /// Liveness signal while busy or idle.
+    Heartbeat,
+    /// Orderly sign-off (allocation expiring).
+    Goodbye,
+}
+
+/// Messages the dispatcher sends to a worker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DispatcherMsg {
+    /// Registration accepted; `worker_id` names this worker from now on.
+    Registered {
+        /// Dispatcher-assigned identifier.
+        worker_id: u64,
+    },
+    /// Run this task (reply to `Request`).
+    Assign(TaskAssignment),
+    /// No more work will come; the worker should exit.
+    Shutdown,
+}
+
+/// One unit of work shipped to one worker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskAssignment {
+    /// Unique task identifier.
+    pub task_id: TaskId,
+    /// Job this task belongs to.
+    pub job_id: JobId,
+    /// Sequential command or MPI proxy description.
+    pub kind: TaskKind,
+    /// Files the worker must stage to node-local storage first.
+    #[serde(default)]
+    pub stage: Vec<StageFile>,
+}
+
+/// The two shapes of work.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// A single-process job (no PMI involved).
+    Sequential {
+        /// What to run.
+        cmd: CommandSpec,
+    },
+    /// One MPI proxy: start `ranks.len()` ranks of an MPI job of `size`
+    /// total ranks, each configured (via `PMI_*` environment) to connect
+    /// back to the job's PMI server at `pmi_addr`.
+    MpiProxy {
+        /// What each rank runs.
+        cmd: CommandSpec,
+        /// The ranks this node hosts.
+        ranks: Vec<u32>,
+        /// Total ranks in the job.
+        size: u32,
+        /// `host:port` of the job's PMI server.
+        pmi_addr: String,
+        /// PMI job identifier.
+        pmi_jobid: String,
+    },
+}
+
+impl TaskAssignment {
+    /// The command this assignment runs.
+    pub fn cmd(&self) -> &CommandSpec {
+        match &self.kind {
+            TaskKind::Sequential { cmd } => cmd,
+            TaskKind::MpiProxy { cmd, .. } => cmd,
+        }
+    }
+}
+
+/// Write one message as a JSON line.
+pub fn write_msg<M: Serialize>(writer: &mut impl Write, msg: &M) -> io::Result<()> {
+    let mut line = serde_json::to_string(msg).map_err(io::Error::other)?;
+    line.push('\n');
+    writer.write_all(line.as_bytes())
+}
+
+/// Read one JSON-line message; `Ok(None)` on clean EOF.
+pub fn read_msg<M: DeserializeOwned>(reader: &mut impl BufRead) -> io::Result<Option<M>> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    serde_json::from_str(&line)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn round_trip<M: Serialize + DeserializeOwned + PartialEq + std::fmt::Debug>(msg: M) {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &msg).unwrap();
+        let mut reader = BufReader::new(&buf[..]);
+        let back: M = read_msg(&mut reader).unwrap().unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn worker_messages_round_trip() {
+        round_trip(WorkerMsg::Register {
+            name: "node-007".into(),
+            cores: 4,
+            location: "rack-3".into(),
+        });
+        round_trip(WorkerMsg::Request);
+        round_trip(WorkerMsg::Done {
+            task_id: 42,
+            exit_code: -1,
+            wall_ms: 10_500,
+            output: Some("ETITLE: TS   BOND\n".to_string()),
+        });
+        round_trip(WorkerMsg::Heartbeat);
+        round_trip(WorkerMsg::Goodbye);
+    }
+
+    #[test]
+    fn dispatcher_messages_round_trip() {
+        round_trip(DispatcherMsg::Registered { worker_id: 9 });
+        round_trip(DispatcherMsg::Shutdown);
+        round_trip(DispatcherMsg::Assign(TaskAssignment {
+            task_id: 1,
+            job_id: 2,
+            kind: TaskKind::MpiProxy {
+                cmd: CommandSpec::builtin("sleep", vec!["10".into()]),
+                ranks: vec![4, 5],
+                size: 8,
+                pmi_addr: "127.0.0.1:4444".into(),
+                pmi_jobid: "job-2".into(),
+            },
+            stage: vec![StageFile::new("/gpfs/apps/namd2")],
+        }));
+    }
+
+    #[test]
+    fn sequential_assignment_cmd_accessor() {
+        let a = TaskAssignment {
+            task_id: 0,
+            job_id: 0,
+            kind: TaskKind::Sequential {
+                cmd: CommandSpec::exec("echo", vec!["hi".into()]),
+            },
+            stage: Vec::new(),
+        };
+        assert_eq!(a.cmd().name(), "echo");
+    }
+
+    #[test]
+    fn eof_reads_as_none() {
+        let empty: &[u8] = &[];
+        let mut reader = BufReader::new(empty);
+        let got: Option<WorkerMsg> = read_msg(&mut reader).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn garbage_is_an_error_not_a_panic() {
+        let mut reader = BufReader::new(&b"not json\n"[..]);
+        let got: io::Result<Option<WorkerMsg>> = read_msg(&mut reader);
+        assert!(got.is_err());
+    }
+
+    #[test]
+    fn multiple_messages_stream() {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &WorkerMsg::Request).unwrap();
+        write_msg(&mut buf, &WorkerMsg::Heartbeat).unwrap();
+        let mut reader = BufReader::new(&buf[..]);
+        assert_eq!(
+            read_msg::<WorkerMsg>(&mut reader).unwrap().unwrap(),
+            WorkerMsg::Request
+        );
+        assert_eq!(
+            read_msg::<WorkerMsg>(&mut reader).unwrap().unwrap(),
+            WorkerMsg::Heartbeat
+        );
+        assert!(read_msg::<WorkerMsg>(&mut reader).unwrap().is_none());
+    }
+}

@@ -1,0 +1,229 @@
+//! Worker registry: who is alive, where, and what they are doing.
+//!
+//! Workers are persistent pilot jobs; the dispatcher tracks each one from
+//! registration to death. Death is detected two ways, per the paper's
+//! fault-tolerance feature ("JETS automatically disregards workers that
+//! fail or hang"): the connection dropping (fail) and heartbeat silence
+//! (hang).
+
+use crate::spec::{JobId, WorkerId};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// What a worker is doing right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerState {
+    /// Connected, waiting to be handed work.
+    Idle,
+    /// Executing a task of the given job.
+    Busy(JobId),
+    /// Gone (EOF, error, heartbeat timeout, or orderly goodbye).
+    Dead,
+}
+
+/// Everything the dispatcher knows about one worker.
+#[derive(Debug, Clone)]
+pub struct WorkerInfo {
+    /// Dispatcher-assigned identifier.
+    pub id: WorkerId,
+    /// Self-reported name.
+    pub name: String,
+    /// Cores on the node.
+    pub cores: u32,
+    /// Network location label (used by location-aware grouping).
+    pub location: String,
+    /// Current state.
+    pub state: WorkerState,
+    /// Last time we heard anything from this worker.
+    pub last_seen: Instant,
+    /// Completed task count.
+    pub tasks_done: u64,
+}
+
+/// The set of known workers.
+#[derive(Debug, Default)]
+pub struct Registry {
+    workers: HashMap<WorkerId, WorkerInfo>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Record a newly registered worker (state `Idle`).
+    pub fn insert(&mut self, id: WorkerId, name: String, cores: u32, location: String) {
+        self.workers.insert(
+            id,
+            WorkerInfo {
+                id,
+                name,
+                cores,
+                location,
+                state: WorkerState::Idle,
+                last_seen: Instant::now(),
+                tasks_done: 0,
+            },
+        );
+    }
+
+    /// Look up a worker.
+    pub fn get(&self, id: WorkerId) -> Option<&WorkerInfo> {
+        self.workers.get(&id)
+    }
+
+    /// Update a worker's liveness timestamp.
+    pub fn touch(&mut self, id: WorkerId) {
+        if let Some(w) = self.workers.get_mut(&id) {
+            w.last_seen = Instant::now();
+        }
+    }
+
+    /// Transition a worker to `Busy(job)`.
+    pub fn mark_busy(&mut self, id: WorkerId, job: JobId) {
+        if let Some(w) = self.workers.get_mut(&id) {
+            w.state = WorkerState::Busy(job);
+            w.last_seen = Instant::now();
+        }
+    }
+
+    /// Transition a worker back to `Idle`, crediting a completed task.
+    pub fn mark_idle(&mut self, id: WorkerId) {
+        if let Some(w) = self.workers.get_mut(&id) {
+            if matches!(w.state, WorkerState::Busy(_)) {
+                w.tasks_done += 1;
+            }
+            w.state = WorkerState::Idle;
+            w.last_seen = Instant::now();
+        }
+    }
+
+    /// Transition a worker to `Dead`; returns the job it was running, if
+    /// any, so the dispatcher can requeue it.
+    pub fn mark_dead(&mut self, id: WorkerId) -> Option<JobId> {
+        let w = self.workers.get_mut(&id)?;
+        let job = match w.state {
+            WorkerState::Busy(j) => Some(j),
+            _ => None,
+        };
+        w.state = WorkerState::Dead;
+        job
+    }
+
+    /// Workers not seen for longer than `timeout` (hang detection).
+    /// Does not report already-dead workers.
+    pub fn stale(&self, timeout: Duration) -> Vec<WorkerId> {
+        let now = Instant::now();
+        self.workers
+            .values()
+            .filter(|w| w.state != WorkerState::Dead && now - w.last_seen > timeout)
+            .map(|w| w.id)
+            .collect()
+    }
+
+    /// Number of workers in any live state.
+    pub fn alive_count(&self) -> usize {
+        self.workers
+            .values()
+            .filter(|w| w.state != WorkerState::Dead)
+            .count()
+    }
+
+    /// Number of busy workers.
+    pub fn busy_count(&self) -> usize {
+        self.workers
+            .values()
+            .filter(|w| matches!(w.state, WorkerState::Busy(_)))
+            .count()
+    }
+
+    /// All workers (diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = &WorkerInfo> {
+        self.workers.values()
+    }
+
+    /// Total workers ever registered.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// True when no worker has ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg_with(ids: &[WorkerId]) -> Registry {
+        let mut r = Registry::new();
+        for &id in ids {
+            r.insert(id, format!("w{id}"), 4, "rack-0".into());
+        }
+        r
+    }
+
+    #[test]
+    fn lifecycle_idle_busy_idle() {
+        let mut r = reg_with(&[1]);
+        assert_eq!(r.get(1).unwrap().state, WorkerState::Idle);
+        r.mark_busy(1, 77);
+        assert_eq!(r.get(1).unwrap().state, WorkerState::Busy(77));
+        assert_eq!(r.busy_count(), 1);
+        r.mark_idle(1);
+        assert_eq!(r.get(1).unwrap().state, WorkerState::Idle);
+        assert_eq!(r.get(1).unwrap().tasks_done, 1);
+    }
+
+    #[test]
+    fn idle_to_idle_does_not_inflate_task_count() {
+        let mut r = reg_with(&[1]);
+        r.mark_idle(1);
+        assert_eq!(r.get(1).unwrap().tasks_done, 0);
+    }
+
+    #[test]
+    fn death_reports_inflight_job() {
+        let mut r = reg_with(&[1, 2]);
+        r.mark_busy(1, 5);
+        assert_eq!(r.mark_dead(1), Some(5));
+        assert_eq!(r.mark_dead(2), None);
+        assert_eq!(r.alive_count(), 0);
+    }
+
+    #[test]
+    fn stale_detection_skips_dead_workers() {
+        let mut r = reg_with(&[1, 2]);
+        r.mark_dead(2);
+        std::thread::sleep(Duration::from_millis(15));
+        let stale = r.stale(Duration::from_millis(5));
+        assert_eq!(stale, vec![1]);
+        // Touch resets staleness.
+        r.touch(1);
+        assert!(r.stale(Duration::from_millis(5)).is_empty());
+    }
+
+    #[test]
+    fn counts() {
+        let mut r = reg_with(&[1, 2, 3]);
+        r.mark_busy(2, 1);
+        r.mark_dead(3);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.alive_count(), 2);
+        assert_eq!(r.busy_count(), 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn unknown_ids_are_harmless() {
+        let mut r = Registry::new();
+        r.touch(9);
+        r.mark_busy(9, 1);
+        r.mark_idle(9);
+        assert_eq!(r.mark_dead(9), None);
+        assert!(r.get(9).is_none());
+    }
+}

@@ -1,0 +1,158 @@
+//! Typed data movement: encoding slices of plain-old-data into frames.
+//!
+//! MPI programs send typed buffers; our frames carry bytes. [`MpiData`]
+//! provides explicit little-endian encode/decode for the numeric types the
+//! paper's workloads use (no `unsafe` transmutes — portability and
+//! alignment safety are worth the copy). [`ReduceOp`] is the reduction
+//! algebra for `reduce`/`allreduce`.
+
+use crate::error::MpiError;
+
+/// A fixed-width plain-old-data element that can cross the wire.
+pub trait MpiData: Copy + Send + 'static {
+    /// Encoded width in bytes.
+    const WIDTH: usize;
+    /// Append the little-endian encoding of `slice` to `buf`.
+    fn encode_slice(slice: &[Self], buf: &mut Vec<u8>);
+    /// Decode a whole buffer previously produced by [`Self::encode_slice`].
+    fn decode_slice(bytes: &[u8]) -> Result<Vec<Self>, MpiError>;
+}
+
+macro_rules! impl_mpi_data {
+    ($($t:ty),*) => {$(
+        impl MpiData for $t {
+            const WIDTH: usize = std::mem::size_of::<$t>();
+
+            fn encode_slice(slice: &[Self], buf: &mut Vec<u8>) {
+                buf.reserve(slice.len() * Self::WIDTH);
+                for v in slice {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+
+            fn decode_slice(bytes: &[u8]) -> Result<Vec<Self>, MpiError> {
+                if !bytes.len().is_multiple_of(Self::WIDTH) {
+                    return Err(MpiError::Protocol(format!(
+                        "payload of {} bytes is not a whole number of {}-byte elements",
+                        bytes.len(),
+                        Self::WIDTH
+                    )));
+                }
+                Ok(bytes
+                    .chunks_exact(Self::WIDTH)
+                    .map(|c| <$t>::from_le_bytes(c.try_into().expect("exact chunk")))
+                    .collect())
+            }
+        }
+    )*};
+}
+
+impl_mpi_data!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+
+/// Reduction operators for `reduce`/`allreduce`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise product.
+    Prod,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise maximum.
+    Max,
+}
+
+/// Data that supports the [`ReduceOp`] algebra.
+pub trait MpiReduce: MpiData {
+    /// Combine two elements under `op`.
+    fn combine(op: ReduceOp, a: Self, b: Self) -> Self;
+}
+
+macro_rules! impl_mpi_reduce_int {
+    ($($t:ty),*) => {$(
+        impl MpiReduce for $t {
+            fn combine(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Sum => a.wrapping_add(b),
+                    ReduceOp::Prod => a.wrapping_mul(b),
+                    ReduceOp::Min => a.min(b),
+                    ReduceOp::Max => a.max(b),
+                }
+            }
+        }
+    )*};
+}
+
+impl_mpi_reduce_int!(u8, i8, u16, i16, u32, i32, u64, i64);
+
+macro_rules! impl_mpi_reduce_float {
+    ($($t:ty),*) => {$(
+        impl MpiReduce for $t {
+            fn combine(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Sum => a + b,
+                    ReduceOp::Prod => a * b,
+                    ReduceOp::Min => a.min(b),
+                    ReduceOp::Max => a.max(b),
+                }
+            }
+        }
+    )*};
+}
+
+impl_mpi_reduce_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_round_trip() {
+        let xs = [1.5f64, -0.25, f64::MAX, f64::MIN_POSITIVE, 0.0];
+        let mut buf = Vec::new();
+        f64::encode_slice(&xs, &mut buf);
+        assert_eq!(buf.len(), xs.len() * 8);
+        assert_eq!(f64::decode_slice(&buf).unwrap(), xs);
+    }
+
+    #[test]
+    fn u32_round_trip() {
+        let xs = [0u32, 1, u32::MAX, 0xdead_beef];
+        let mut buf = Vec::new();
+        u32::encode_slice(&xs, &mut buf);
+        assert_eq!(u32::decode_slice(&buf).unwrap(), xs);
+    }
+
+    #[test]
+    fn empty_slice_round_trips() {
+        let mut buf = Vec::new();
+        i64::encode_slice(&[], &mut buf);
+        assert!(buf.is_empty());
+        assert_eq!(i64::decode_slice(&buf).unwrap(), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn ragged_payload_rejected() {
+        assert!(matches!(
+            f64::decode_slice(&[0u8; 9]),
+            Err(MpiError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn reduce_ops_on_ints() {
+        assert_eq!(i32::combine(ReduceOp::Sum, 3, 4), 7);
+        assert_eq!(i32::combine(ReduceOp::Prod, 3, 4), 12);
+        assert_eq!(i32::combine(ReduceOp::Min, 3, 4), 3);
+        assert_eq!(i32::combine(ReduceOp::Max, 3, 4), 4);
+        // Wrapping semantics keep reductions total.
+        assert_eq!(u8::combine(ReduceOp::Sum, 255, 1), 0);
+    }
+
+    #[test]
+    fn reduce_ops_on_floats() {
+        assert_eq!(f64::combine(ReduceOp::Sum, 1.5, 2.5), 4.0);
+        assert_eq!(f64::combine(ReduceOp::Max, -1.0, 2.0), 2.0);
+        assert_eq!(f64::combine(ReduceOp::Min, -1.0, 2.0), -1.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Error type shared across the message-passing library.
+
+use std::fmt;
+
+/// Errors surfaced by communicator operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// A peer's connection (or in-process endpoint) went away.
+    Disconnected {
+        /// The unreachable rank.
+        peer: u32,
+    },
+    /// PMI wire-up failed.
+    Pmi(String),
+    /// Socket-level failure.
+    Io(String),
+    /// Frame-level or usage error (bad rank, length mismatch, ...).
+    Protocol(String),
+    /// The job was aborted.
+    Aborted(String),
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::Disconnected { peer } => write!(f, "peer rank {peer} disconnected"),
+            MpiError::Pmi(m) => write!(f, "pmi wire-up failed: {m}"),
+            MpiError::Io(m) => write!(f, "i/o error: {m}"),
+            MpiError::Protocol(m) => write!(f, "protocol error: {m}"),
+            MpiError::Aborted(m) => write!(f, "job aborted: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+impl From<std::io::Error> for MpiError {
+    fn from(e: std::io::Error) -> Self {
+        MpiError::Io(e.to_string())
+    }
+}

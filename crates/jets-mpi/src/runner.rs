@@ -1,0 +1,159 @@
+//! Running MPI programs: thread-per-rank in-process, or PMI-attached.
+//!
+//! [`run_threads`] is the simulated-allocation path: all ranks are threads
+//! of the calling process sharing a [`MemFabric`]. [`run_rank_with_pmi`]
+//! is the authentic path a Hydra-proxied process takes: connect to the
+//! job's PMI server, wire up TCP, run, finalize.
+
+use crate::comm::Communicator;
+use crate::error::MpiError;
+use crate::mem::MemFabric;
+use crate::netmodel::NetModel;
+use jets_pmi::PmiClient;
+use std::thread;
+
+/// Stack size for rank threads: MPI task bodies (MD segments, synthetic
+/// sleeps) are shallow, and thousands of rank threads may coexist.
+const RANK_STACK: usize = 512 * 1024;
+
+/// Run `f` as `size` rank threads over an in-process fabric with the given
+/// network model. Returns each rank's result, indexed by rank.
+///
+/// A panic in any rank aborts the run and is reported as an error naming
+/// the rank (mirroring an MPI job abort).
+pub fn run_threads<R, F>(size: u32, model: NetModel, f: F) -> Result<Vec<R>, MpiError>
+where
+    R: Send + 'static,
+    F: Fn(&mut Communicator) -> R + Send + Sync + 'static,
+{
+    let endpoints = MemFabric::new(size, model);
+    let f = std::sync::Arc::new(f);
+    let mut handles = Vec::with_capacity(size as usize);
+    for endpoint in endpoints {
+        let f = std::sync::Arc::clone(&f);
+        let h = thread::Builder::new()
+            .name(format!("mpi-rank-{}", endpoint_rank(&endpoint)))
+            .stack_size(RANK_STACK)
+            .spawn(move || {
+                let mut comm = Communicator::from_mem(endpoint);
+                f(&mut comm)
+            })
+            .expect("spawn rank thread");
+        handles.push(h);
+    }
+    let mut results = Vec::with_capacity(handles.len());
+    for (rank, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            Ok(r) => results.push(r),
+            Err(_) => {
+                return Err(MpiError::Aborted(format!("rank {rank} panicked")));
+            }
+        }
+    }
+    Ok(results)
+}
+
+fn endpoint_rank(ep: &crate::mem::MemEndpoint) -> u32 {
+    use crate::transport::Transport;
+    ep.rank()
+}
+
+/// Run one rank of a real-process MPI job: connect to the PMI server at
+/// `pmi_addr`, wire up TCP, call `f`, then finalize both layers.
+pub fn run_rank_with_pmi<R>(
+    pmi_addr: &str,
+    rank: u32,
+    size: u32,
+    jobid: &str,
+    f: impl FnOnce(&mut Communicator) -> R,
+) -> Result<R, MpiError> {
+    let mut pmi = PmiClient::connect(pmi_addr, rank, size, jobid)
+        .map_err(|e| MpiError::Pmi(e.to_string()))?;
+    let mut comm = Communicator::via_pmi(&mut pmi)?;
+    let result = f(&mut comm);
+    comm.finalize()?;
+    pmi.finalize().map_err(|e| MpiError::Pmi(e.to_string()))?;
+    Ok(result)
+}
+
+/// Run one rank resolving its PMI coordinates from an environment-style
+/// lookup (the task-assignment env of an in-process worker, or the real
+/// process environment via `std::env::var`).
+pub fn run_rank_from_lookup<R>(
+    lookup: impl Fn(&str) -> Option<String>,
+    f: impl FnOnce(&mut Communicator) -> R,
+) -> Result<R, MpiError> {
+    let mut pmi = PmiClient::from_lookup(lookup).map_err(|e| MpiError::Pmi(e.to_string()))?;
+    let mut comm = Communicator::via_pmi(&mut pmi)?;
+    let result = f(&mut comm);
+    comm.finalize()?;
+    pmi.finalize().map_err(|e| MpiError::Pmi(e.to_string()))?;
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::ReduceOp;
+    use jets_pmi::{JobOutcome, PmiServer, PmiServerConfig};
+    use std::time::Duration;
+
+    #[test]
+    fn thread_ranks_return_in_rank_order() {
+        let out = run_threads(6, NetModel::ideal(), |comm| comm.rank()).unwrap();
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn rank_panic_becomes_abort_error() {
+        let err = run_threads(2, NetModel::ideal(), |comm| {
+            if comm.rank() == 1 {
+                panic!("boom");
+            }
+            0
+        })
+        .unwrap_err();
+        assert!(matches!(err, MpiError::Aborted(m) if m.contains("rank 1")));
+    }
+
+    #[test]
+    fn pmi_attached_job_computes_allreduce() {
+        let size = 3;
+        let server = PmiServer::start(PmiServerConfig::new("runner-test", size)).unwrap();
+        let addr = server.addr().to_string();
+        let mut handles = Vec::new();
+        for rank in 0..size {
+            let addr = addr.clone();
+            handles.push(thread::spawn(move || {
+                run_rank_with_pmi(&addr, rank, size, "runner-test", |comm| {
+                    comm.allreduce_scalar(comm.rank() as i64, ReduceOp::Sum)
+                        .unwrap()
+                })
+                .unwrap()
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 3);
+        }
+        assert_eq!(server.wait(Duration::from_secs(20)), JobOutcome::Success);
+    }
+
+    #[test]
+    fn lookup_based_rank_runs() {
+        let server = PmiServer::start(PmiServerConfig::new("lk", 1)).unwrap();
+        let addr = server.addr().to_string();
+        let env = [
+            (jets_pmi::ENV_RANK, "0".to_string()),
+            (jets_pmi::ENV_SIZE, "1".to_string()),
+            (jets_pmi::ENV_ADDR, addr),
+            (jets_pmi::ENV_JOBID, "lk".to_string()),
+        ];
+        let got = run_rank_from_lookup(
+            |k| env.iter().find(|(n, _)| *n == k).map(|(_, v)| v.clone()),
+            |comm| comm.size(),
+        )
+        .unwrap();
+        assert_eq!(got, 1);
+        assert_eq!(server.wait(Duration::from_secs(10)), JobOutcome::Success);
+    }
+}

@@ -1,0 +1,235 @@
+//! The rank side of PMI: what an MPI process uses during wire-up.
+//!
+//! A Hydra proxy launches each user process with `PMI_RANK`, `PMI_SIZE`,
+//! `PMI_ADDR`, and `PMI_JOBID` in its environment; the MPI library then
+//! constructs a [`PmiClient`] (see [`PmiClient::from_env`] /
+//! [`PmiClient::from_lookup`]), publishes its business card, fences, and
+//! fetches its peers' cards.
+
+use crate::wire::Message;
+use crate::{ENV_ADDR, ENV_JOBID, ENV_RANK, ENV_SIZE};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// Errors surfaced by PMI client operations.
+#[derive(Debug)]
+pub enum PmiError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server answered with something other than the expected ack.
+    Protocol(String),
+    /// The job was aborted.
+    Aborted(String),
+    /// A required `PMI_*` environment variable is missing or malformed.
+    BadEnvironment(String),
+}
+
+impl std::fmt::Display for PmiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PmiError::Io(e) => write!(f, "pmi i/o error: {e}"),
+            PmiError::Protocol(m) => write!(f, "pmi protocol error: {m}"),
+            PmiError::Aborted(r) => write!(f, "pmi job aborted: {r}"),
+            PmiError::BadEnvironment(v) => write!(f, "bad PMI environment: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for PmiError {}
+
+impl From<io::Error> for PmiError {
+    fn from(e: io::Error) -> Self {
+        PmiError::Io(e)
+    }
+}
+
+/// A connected PMI client for one rank of one job.
+#[derive(Debug)]
+pub struct PmiClient {
+    rank: u32,
+    size: u32,
+    jobid: String,
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl PmiClient {
+    /// Connect to the PMI server at `addr` and perform `cmd=init`.
+    pub fn connect(addr: &str, rank: u32, size: u32, jobid: &str) -> Result<PmiClient, PmiError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        let reader = BufReader::new(stream);
+        let mut client = PmiClient {
+            rank,
+            size,
+            jobid: jobid.to_string(),
+            writer,
+            reader,
+        };
+        client.send(&Message::Init {
+            rank,
+            size,
+            jobid: jobid.to_string(),
+        })?;
+        match client.recv()? {
+            Message::InitAck => Ok(client),
+            other => Err(PmiError::Protocol(format!("expected init_ack, got {other:?}"))),
+        }
+    }
+
+    /// Build a client from the `PMI_*` process environment (real-process
+    /// mode, the way Hydra proxies configure user executables).
+    pub fn from_env() -> Result<PmiClient, PmiError> {
+        Self::from_lookup(|k| std::env::var(k).ok())
+    }
+
+    /// Build a client from an arbitrary environment lookup. This is what
+    /// in-process (thread-rank) tasks use: their "environment" is the task
+    /// assignment's env map rather than the process environment.
+    pub fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> Result<PmiClient, PmiError> {
+        let var = |k: &str| {
+            lookup(k).ok_or_else(|| PmiError::BadEnvironment(format!("{k} not set")))
+        };
+        let parse = |k: &str| -> Result<u32, PmiError> {
+            var(k)?
+                .parse()
+                .map_err(|_| PmiError::BadEnvironment(format!("{k} not a number")))
+        };
+        let rank = parse(ENV_RANK)?;
+        let size = parse(ENV_SIZE)?;
+        let addr = var(ENV_ADDR)?;
+        let jobid = var(ENV_JOBID)?;
+        PmiClient::connect(&addr, rank, size, &jobid)
+    }
+
+    /// This rank's index in `0..size`.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// World size of the job.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Job identifier.
+    pub fn jobid(&self) -> &str {
+        &self.jobid
+    }
+
+    /// Publish `key=value` into the job KVS.
+    pub fn put(&mut self, key: &str, value: &str) -> Result<(), PmiError> {
+        self.send(&Message::Put {
+            key: key.to_string(),
+            value: value.to_string(),
+        })?;
+        match self.recv()? {
+            Message::PutAck => Ok(()),
+            other => Err(PmiError::Protocol(format!("expected put_ack, got {other:?}"))),
+        }
+    }
+
+    /// Fetch a key from the job KVS (`None` if absent).
+    pub fn get(&mut self, key: &str) -> Result<Option<String>, PmiError> {
+        self.send(&Message::Get {
+            key: key.to_string(),
+        })?;
+        match self.recv()? {
+            Message::GetAck { value } => Ok(Some(value)),
+            Message::GetFail { .. } => Ok(None),
+            other => Err(PmiError::Protocol(format!("expected get_ack, got {other:?}"))),
+        }
+    }
+
+    /// Enter the collective fence; returns once all ranks have fenced.
+    pub fn fence(&mut self) -> Result<(), PmiError> {
+        self.send(&Message::Fence)?;
+        match self.recv()? {
+            Message::FenceAck => Ok(()),
+            Message::Abort { reason } => Err(PmiError::Aborted(reason)),
+            other => Err(PmiError::Protocol(format!(
+                "expected fence_ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Orderly exit; after this the connection is spent.
+    pub fn finalize(&mut self) -> Result<(), PmiError> {
+        self.send(&Message::Finalize)?;
+        match self.recv()? {
+            Message::FinalizeAck => Ok(()),
+            other => Err(PmiError::Protocol(format!(
+                "expected finalize_ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Abort the whole job from this rank.
+    pub fn abort(&mut self, reason: &str) -> Result<(), PmiError> {
+        self.send(&Message::Abort {
+            reason: reason.to_string(),
+        })
+    }
+
+    fn send(&mut self, msg: &Message) -> Result<(), PmiError> {
+        let mut line = msg.encode();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Message, PmiError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(PmiError::Protocol("server closed connection".to_string()));
+        }
+        Message::decode(&line).map_err(|e| PmiError::Protocol(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{JobOutcome, PmiServer, PmiServerConfig};
+    use std::time::Duration;
+
+    #[test]
+    fn from_lookup_reads_all_variables() {
+        let server = PmiServer::start(PmiServerConfig::new("envjob", 1)).unwrap();
+        let addr = server.addr().to_string();
+        let env = [
+            (ENV_RANK, "0".to_string()),
+            (ENV_SIZE, "1".to_string()),
+            (ENV_ADDR, addr),
+            (ENV_JOBID, "envjob".to_string()),
+        ];
+        let mut client = PmiClient::from_lookup(|k| {
+            env.iter().find(|(n, _)| *n == k).map(|(_, v)| v.clone())
+        })
+        .unwrap();
+        assert_eq!(client.rank(), 0);
+        assert_eq!(client.size(), 1);
+        assert_eq!(client.jobid(), "envjob");
+        client.finalize().unwrap();
+        assert_eq!(server.wait(Duration::from_secs(5)), JobOutcome::Success);
+    }
+
+    #[test]
+    fn from_lookup_rejects_missing_rank() {
+        let err = PmiClient::from_lookup(|_| None).unwrap_err();
+        assert!(matches!(err, PmiError::BadEnvironment(_)));
+    }
+
+    #[test]
+    fn from_lookup_rejects_malformed_size() {
+        let err = PmiClient::from_lookup(|k| match k {
+            ENV_RANK => Some("0".to_string()),
+            ENV_SIZE => Some("many".to_string()),
+            _ => Some("x".to_string()),
+        })
+        .unwrap_err();
+        assert!(matches!(err, PmiError::BadEnvironment(_)));
+    }
+}

@@ -1,0 +1,563 @@
+//! The worker agent: connection lifecycle, task loop, kill switch.
+
+use crate::executor::{TaskExecutor, TaskOutcome};
+use crate::staging::NodeLocalCache;
+use crossbeam::channel::{bounded, RecvTimeoutError};
+use jets_core::protocol::{read_msg, write_msg, DispatcherMsg, TaskAssignment, WorkerMsg};
+use jets_core::spec::CommandSpec;
+use parking_lot::Mutex;
+use std::io::BufReader;
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Configuration for one worker agent.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// `host:port` of the dispatcher.
+    pub dispatcher_addr: String,
+    /// Name reported at registration.
+    pub name: String,
+    /// Cores this node offers.
+    pub cores: u32,
+    /// Network location label.
+    pub location: String,
+    /// Heartbeat period; `None` disables heartbeats.
+    pub heartbeat: Option<Duration>,
+    /// Delay before the agent connects (models node boot time).
+    pub connect_delay: Duration,
+}
+
+impl WorkerConfig {
+    /// A minimal configuration for a worker named `name`.
+    pub fn new(dispatcher_addr: impl Into<String>, name: impl Into<String>) -> Self {
+        WorkerConfig {
+            dispatcher_addr: dispatcher_addr.into(),
+            name: name.into(),
+            cores: 1,
+            location: "default".to_string(),
+            heartbeat: None,
+            connect_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// Why the worker loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitReason {
+    /// The dispatcher sent `Shutdown`.
+    Shutdown,
+    /// The kill switch fired (fault injection).
+    Killed,
+    /// The connection failed or could not be established.
+    ConnectionLost,
+}
+
+/// Final report from a worker agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerExit {
+    /// Tasks executed and reported.
+    pub tasks_done: u64,
+    /// Why the loop ended.
+    pub reason: ExitReason,
+}
+
+/// A running worker agent (persistent pilot job).
+pub struct Worker {
+    kill_flag: Arc<AtomicBool>,
+    sock: Arc<Mutex<Option<TcpStream>>>,
+    handle: Option<JoinHandle<WorkerExit>>,
+    name: String,
+}
+
+impl Worker {
+    /// Start a worker agent on its own thread. Connection happens inside
+    /// the thread, so spawning a large simulated allocation is fast.
+    pub fn spawn(config: WorkerConfig, executor: Arc<dyn TaskExecutor>) -> Worker {
+        let kill_flag = Arc::new(AtomicBool::new(false));
+        let sock = Arc::new(Mutex::new(None));
+        let name = config.name.clone();
+        let loop_kill = Arc::clone(&kill_flag);
+        let loop_sock = Arc::clone(&sock);
+        let handle = thread::Builder::new()
+            .name(format!("worker-{name}"))
+            .stack_size(256 * 1024)
+            .spawn(move || worker_loop(config, executor, loop_kill, loop_sock))
+            .expect("spawn worker thread");
+        Worker {
+            kill_flag,
+            sock,
+            handle: Some(handle),
+            name,
+        }
+    }
+
+    /// The worker's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Kill the worker abruptly: sever the dispatcher connection without a
+    /// goodbye, abandoning any in-flight task. This is the fault-injection
+    /// primitive of the paper's Fig. 10 experiment: the dispatcher sees
+    /// EOF, marks the worker dead, and requeues its job.
+    pub fn kill(&self) {
+        self.kill_flag.store(true, Ordering::Release);
+        if let Some(stream) = self.sock.lock().as_ref() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// True once the agent thread has exited.
+    pub fn is_finished(&self) -> bool {
+        self.handle.as_ref().is_none_or(|h| h.is_finished())
+    }
+
+    /// Wait for the agent to exit and collect its report.
+    pub fn join(mut self) -> WorkerExit {
+        self.handle
+            .take()
+            .expect("join called once")
+            .join()
+            .unwrap_or(WorkerExit {
+                tasks_done: 0,
+                reason: ExitReason::ConnectionLost,
+            })
+    }
+}
+
+/// Exit code reported when node-local staging fails before the task runs.
+pub const EXIT_STAGING_FAILED: i32 = 13;
+
+/// Lazily-created node-local cache (most workers never stage anything).
+#[derive(Default)]
+struct LazyCache {
+    cache: Option<NodeLocalCache>,
+}
+
+impl LazyCache {
+    fn get_or_init(&mut self, worker_name: &str) -> std::io::Result<&NodeLocalCache> {
+        if self.cache.is_none() {
+            let dir = std::env::temp_dir().join(format!(
+                "jets-local-{worker_name}-{}",
+                std::process::id()
+            ));
+            self.cache = Some(NodeLocalCache::new(dir)?);
+        }
+        Ok(self.cache.as_ref().expect("just initialized"))
+    }
+}
+
+/// Append an environment variable to the assignment's command.
+fn push_env(assignment: &mut TaskAssignment, key: &str, value: &str) {
+    let cmd = match &mut assignment.kind {
+        jets_core::protocol::TaskKind::Sequential { cmd } => cmd,
+        jets_core::protocol::TaskKind::MpiProxy { cmd, .. } => cmd,
+    };
+    let env = match cmd {
+        CommandSpec::Exec { env, .. } | CommandSpec::Builtin { env, .. } => env,
+    };
+    env.push((key.to_string(), value.to_string()));
+}
+
+/// Report a task failure that happened before execution started.
+fn report_failure(writer: &Arc<Mutex<TcpStream>>, task_id: u64, exit_code: i32) {
+    let _ = write_msg(
+        &mut *writer.lock(),
+        &WorkerMsg::Done {
+            task_id,
+            exit_code,
+            wall_ms: 0,
+            output: None,
+        },
+    );
+}
+
+fn worker_loop(
+    config: WorkerConfig,
+    executor: Arc<dyn TaskExecutor>,
+    kill: Arc<AtomicBool>,
+    sock_slot: Arc<Mutex<Option<TcpStream>>>,
+) -> WorkerExit {
+    let lost = |tasks_done| WorkerExit {
+        tasks_done,
+        reason: ExitReason::ConnectionLost,
+    };
+    if !config.connect_delay.is_zero() {
+        thread::sleep(config.connect_delay);
+        if kill.load(Ordering::Acquire) {
+            return WorkerExit {
+                tasks_done: 0,
+                reason: ExitReason::Killed,
+            };
+        }
+    }
+    let Ok(stream) = TcpStream::connect(&config.dispatcher_addr) else {
+        return lost(0);
+    };
+    stream.set_nodelay(true).ok();
+    let Ok(write_half) = stream.try_clone() else {
+        return lost(0);
+    };
+    if let Ok(clone) = stream.try_clone() {
+        *sock_slot.lock() = Some(clone);
+    }
+    // All writes (main loop + heartbeats) go through this mutex so JSON
+    // lines never interleave.
+    let writer = Arc::new(Mutex::new(write_half));
+    let mut reader = BufReader::new(stream);
+
+    if write_msg(
+        &mut *writer.lock(),
+        &WorkerMsg::Register {
+            name: config.name.clone(),
+            cores: config.cores,
+            location: config.location.clone(),
+        },
+    )
+    .is_err()
+    {
+        return lost(0);
+    }
+    match read_msg::<DispatcherMsg>(&mut reader) {
+        Ok(Some(DispatcherMsg::Registered { .. })) => {}
+        _ => return lost(0),
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    if let Some(period) = config.heartbeat {
+        let hb_writer = Arc::clone(&writer);
+        let hb_stop = Arc::clone(&stop);
+        let hb_kill = Arc::clone(&kill);
+        thread::Builder::new()
+            .name(format!("hb-{}", config.name))
+            .stack_size(64 * 1024)
+            .spawn(move || {
+                while !hb_stop.load(Ordering::Acquire) && !hb_kill.load(Ordering::Acquire) {
+                    thread::sleep(period);
+                    if write_msg(&mut *hb_writer.lock(), &WorkerMsg::Heartbeat).is_err() {
+                        return;
+                    }
+                }
+            })
+            .expect("spawn heartbeat thread");
+    }
+
+    let mut tasks_done = 0u64;
+    let mut local_cache = LazyCache::default();
+    let exit_reason = loop {
+        if kill.load(Ordering::Acquire) {
+            break ExitReason::Killed;
+        }
+        if write_msg(&mut *writer.lock(), &WorkerMsg::Request).is_err() {
+            break if kill.load(Ordering::Acquire) {
+                ExitReason::Killed
+            } else {
+                ExitReason::ConnectionLost
+            };
+        }
+        let mut assignment = match read_msg::<DispatcherMsg>(&mut reader) {
+            Ok(Some(DispatcherMsg::Assign(a))) => a,
+            Ok(Some(DispatcherMsg::Shutdown)) => break ExitReason::Shutdown,
+            Ok(Some(DispatcherMsg::Registered { .. })) => continue,
+            Ok(None) | Err(_) => {
+                break if kill.load(Ordering::Acquire) {
+                    ExitReason::Killed
+                } else {
+                    ExitReason::ConnectionLost
+                };
+            }
+        };
+
+        // Node-local staging (paper Section 5, feature 2): copy the job's
+        // listed files into this node's cache once, then expose the cache
+        // directory to the task.
+        if !assignment.stage.is_empty() {
+            let cache = match local_cache.get_or_init(&config.name) {
+                Ok(c) => c,
+                Err(_) => {
+                    report_failure(&writer, assignment.task_id, EXIT_STAGING_FAILED);
+                    continue;
+                }
+            };
+            if cache.stage_all(&assignment.stage).is_err() {
+                report_failure(&writer, assignment.task_id, EXIT_STAGING_FAILED);
+                continue;
+            }
+            push_env(
+                &mut assignment,
+                "JETS_LOCAL_DIR",
+                &cache.dir().to_string_lossy(),
+            );
+        }
+
+        // Execute on a dedicated thread so a kill can abandon the task
+        // (the thread finishes in the background, its result discarded —
+        // just as a killed pilot's task dies with the node).
+        let (tx, rx) = bounded(1);
+        let task_executor = Arc::clone(&executor);
+        let started = Instant::now();
+        thread::Builder::new()
+            .name("task".to_string())
+            .stack_size(256 * 1024)
+            .spawn(move || {
+                let outcome = task_executor.execute_captured(&assignment);
+                let _ = tx.send((assignment.task_id, outcome));
+            })
+            .expect("spawn task thread");
+
+        let result = loop {
+            match rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(r) => break Some(r),
+                Err(RecvTimeoutError::Timeout) => {
+                    if kill.load(Ordering::Acquire) {
+                        break None;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => break None,
+            }
+        };
+        match result {
+            Some((task_id, TaskOutcome { exit_code, output })) => {
+                let wall_ms = started.elapsed().as_millis() as u64;
+                if write_msg(
+                    &mut *writer.lock(),
+                    &WorkerMsg::Done {
+                        task_id,
+                        exit_code,
+                        wall_ms,
+                        output,
+                    },
+                )
+                .is_err()
+                {
+                    break if kill.load(Ordering::Acquire) {
+                        ExitReason::Killed
+                    } else {
+                        ExitReason::ConnectionLost
+                    };
+                }
+                tasks_done += 1;
+            }
+            None => break ExitReason::Killed,
+        }
+    };
+
+    stop.store(true, Ordering::Release);
+    if exit_reason == ExitReason::Shutdown {
+        let _ = write_msg(&mut *writer.lock(), &WorkerMsg::Goodbye);
+    }
+    WorkerExit {
+        tasks_done,
+        reason: exit_reason,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::standard_registry;
+    use crate::executor::Executor;
+    use jets_core::spec::{CommandSpec, JobSpec};
+    use jets_core::{Dispatcher, DispatcherConfig, JobStatus};
+
+    const WAIT: Duration = Duration::from_secs(30);
+
+    fn executor() -> Arc<dyn TaskExecutor> {
+        Arc::new(Executor::new(standard_registry()))
+    }
+
+    fn spawn_workers(d: &Dispatcher, n: usize) -> Vec<Worker> {
+        let exec = executor();
+        (0..n)
+            .map(|i| {
+                Worker::spawn(
+                    WorkerConfig::new(d.addr().to_string(), format!("w{i}")),
+                    Arc::clone(&exec),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn worker_runs_sequential_jobs_end_to_end() {
+        let d = Dispatcher::start(DispatcherConfig::default()).unwrap();
+        let workers = spawn_workers(&d, 2);
+        let ids = d.submit_all(
+            (0..10).map(|_| JobSpec::sequential(CommandSpec::builtin("noop", vec![]))),
+        );
+        assert!(d.wait_idle(WAIT));
+        for id in ids {
+            assert_eq!(d.job_record(id).unwrap().status, JobStatus::Succeeded);
+        }
+        d.shutdown();
+        let total: u64 = workers.into_iter().map(|w| w.join().tasks_done).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn worker_runs_mpi_job_end_to_end() {
+        let d = Dispatcher::start(DispatcherConfig::default()).unwrap();
+        let workers = spawn_workers(&d, 4);
+        let id = d.submit(JobSpec::mpi(
+            4,
+            CommandSpec::builtin("mpi-sleep", vec!["10".into()]),
+        ));
+        assert!(d.wait_idle(WAIT));
+        assert_eq!(d.job_record(id).unwrap().status, JobStatus::Succeeded);
+        d.shutdown();
+        for w in workers {
+            assert_eq!(w.join().reason, ExitReason::Shutdown);
+        }
+    }
+
+    #[test]
+    fn mpi_job_with_ppn_runs_all_ranks() {
+        let d = Dispatcher::start(DispatcherConfig::default()).unwrap();
+        let workers = spawn_workers(&d, 2);
+        // 2 nodes × 3 ranks = 6-rank job.
+        let id = d.submit(JobSpec::mpi_ppn(
+            2,
+            3,
+            CommandSpec::builtin("mpi-sleep", vec!["5".into()]),
+        ));
+        assert!(d.wait_idle(WAIT));
+        assert_eq!(d.job_record(id).unwrap().status, JobStatus::Succeeded);
+        d.shutdown();
+        for w in workers {
+            w.join();
+        }
+    }
+
+    #[test]
+    fn killed_worker_reports_killed_and_dispatcher_requeues() {
+        let d = Dispatcher::start(DispatcherConfig::default()).unwrap();
+        let workers = spawn_workers(&d, 1);
+        let id = d.submit(
+            JobSpec::sequential(CommandSpec::builtin("sleep", vec!["500".into()]))
+                .with_retries(1),
+        );
+        // Let the task start, then kill the pilot mid-task.
+        thread::sleep(Duration::from_millis(100));
+        workers[0].kill();
+        let exit = workers.into_iter().next().unwrap().join();
+        assert_eq!(exit.reason, ExitReason::Killed);
+        assert_eq!(exit.tasks_done, 0);
+        // A replacement worker completes the requeued job.
+        let replacement = spawn_workers(&d, 1);
+        assert!(d.wait_idle(WAIT));
+        assert_eq!(d.job_record(id).unwrap().status, JobStatus::Succeeded);
+        d.shutdown();
+        for w in replacement {
+            w.join();
+        }
+    }
+
+    #[test]
+    fn shutdown_reaches_idle_workers() {
+        let d = Dispatcher::start(DispatcherConfig::default()).unwrap();
+        let workers = spawn_workers(&d, 3);
+        // Give them time to park.
+        thread::sleep(Duration::from_millis(100));
+        d.shutdown();
+        for w in workers {
+            assert_eq!(w.join().reason, ExitReason::Shutdown);
+        }
+    }
+
+    #[test]
+    fn staged_files_reach_the_task_through_the_local_cache() {
+        let dir = std::env::temp_dir().join(format!("agent-stage-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let source = dir.join("params.dat");
+        std::fs::write(&source, "force-field v2").unwrap();
+
+        let d = Dispatcher::start(DispatcherConfig::default()).unwrap();
+        let registry = standard_registry();
+        registry.register("read-local", |ctx: &crate::executor::TaskContext| {
+            let Some(local_dir) = ctx.env("JETS_LOCAL_DIR") else {
+                return 40;
+            };
+            match std::fs::read_to_string(std::path::Path::new(&local_dir).join("params.dat")) {
+                Ok(content) if content == "force-field v2" => 0,
+                Ok(_) => 41,
+                Err(_) => 42,
+            }
+        });
+        let w = Worker::spawn(
+            WorkerConfig::new(d.addr().to_string(), "stager"),
+            Arc::new(Executor::new(registry)),
+        );
+        let spec = JobSpec::sequential(CommandSpec::builtin("read-local", vec![]))
+            .with_stage(vec![jets_core::spec::StageFile::new(
+                source.to_string_lossy().into_owned(),
+            )]);
+        // Submit twice: the second run must hit the cache (same success).
+        let a = d.submit(spec.clone());
+        let b = d.submit(spec);
+        assert!(d.wait_idle(WAIT));
+        assert_eq!(d.job_record(a).unwrap().status, JobStatus::Succeeded);
+        assert_eq!(d.job_record(b).unwrap().status, JobStatus::Succeeded);
+        d.shutdown();
+        w.join();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn staging_failure_fails_the_task_not_the_worker() {
+        let d = Dispatcher::start(DispatcherConfig::default()).unwrap();
+        let w = Worker::spawn(
+            WorkerConfig::new(d.addr().to_string(), "stager2"),
+            executor(),
+        );
+        let bad = JobSpec::sequential(CommandSpec::builtin("noop", vec![]))
+            .with_stage(vec![jets_core::spec::StageFile::new("/no/such/input")]);
+        let id = d.submit(bad);
+        // The worker survives and still runs ordinary work afterwards.
+        let ok = d.submit(JobSpec::sequential(CommandSpec::builtin("noop", vec![])));
+        assert!(d.wait_idle(WAIT));
+        let failed = d.job_record(id).unwrap();
+        assert_eq!(failed.status, JobStatus::Failed);
+        assert_eq!(failed.exit_codes, vec![EXIT_STAGING_FAILED]);
+        assert_eq!(d.job_record(ok).unwrap().status, JobStatus::Succeeded);
+        d.shutdown();
+        w.join();
+    }
+
+    #[test]
+    fn connect_failure_is_reported() {
+        // Port 1 on localhost should refuse connections.
+        let w = Worker::spawn(WorkerConfig::new("127.0.0.1:1", "lost"), executor());
+        let exit = w.join();
+        assert_eq!(exit.reason, ExitReason::ConnectionLost);
+    }
+
+    #[test]
+    fn heartbeats_keep_worker_alive_under_hang_detection() {
+        let config = DispatcherConfig {
+            heartbeat_timeout: Some(Duration::from_millis(300)),
+            ..DispatcherConfig::default()
+        };
+        let d = Dispatcher::start(config).unwrap();
+        let exec = executor();
+        let w = Worker::spawn(
+            WorkerConfig {
+                heartbeat: Some(Duration::from_millis(50)),
+                ..WorkerConfig::new(d.addr().to_string(), "hb")
+            },
+            exec,
+        );
+        // A long-running task: heartbeats must prevent the monitor from
+        // declaring the busy worker hung.
+        let id = d.submit(JobSpec::sequential(CommandSpec::builtin(
+            "sleep",
+            vec!["700".into()],
+        )));
+        assert!(d.wait_idle(WAIT));
+        assert_eq!(d.job_record(id).unwrap().status, JobStatus::Succeeded);
+        d.shutdown();
+        assert_eq!(w.join().reason, ExitReason::Shutdown);
+    }
+}

@@ -1,0 +1,213 @@
+//! Standard builtin applications used by the paper's benchmarks.
+//!
+//! * `noop` — exits immediately (the Fig. 6 sequential launch-rate task:
+//!   "an external process that did no work").
+//! * `sleep MS` — sleeps `MS` milliseconds (sequential timed task).
+//! * `fail [CODE]` — exits nonzero (failure-path testing).
+//! * `mpi-sleep MS` — the paper's synthetic MPI benchmark (Section
+//!   6.1.2): "starts up, performs an MPI barrier on all processes, waits
+//!   for a given time, performs a second MPI barrier, and exits."
+//! * `mpi-sleep-write MS DIR` — the Swift-synthetic variant (Section
+//!   6.2.1): barrier, sleep, write the MPI rank to a per-rank file,
+//!   barrier, exit.
+
+use crate::executor::{AppRegistry, TaskContext};
+use std::io::Write;
+use std::time::Duration;
+
+/// Register the standard application set onto `registry`.
+pub fn register_standard(registry: &AppRegistry) {
+    registry.register("noop", |_ctx: &TaskContext| 0);
+
+    registry.register("sleep", |ctx: &TaskContext| {
+        let ms: u64 = match ctx.args.first().map(|a| a.parse()) {
+            Some(Ok(ms)) => ms,
+            _ => return 2,
+        };
+        std::thread::sleep(Duration::from_millis(ms));
+        0
+    });
+
+    registry.register("fail", |ctx: &TaskContext| {
+        ctx.args
+            .first()
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(1)
+    });
+
+    registry.register("mpi-sleep", |ctx: &TaskContext| {
+        let ms: u64 = match ctx.args.first().map(|a| a.parse()) {
+            Some(Ok(ms)) => ms,
+            _ => return 2,
+        };
+        let mut job = match ctx.mpi() {
+            Ok(j) => j,
+            Err(_) => return 3,
+        };
+        if job.comm.barrier().is_err() {
+            return 4;
+        }
+        std::thread::sleep(Duration::from_millis(ms));
+        if job.comm.barrier().is_err() {
+            return 4;
+        }
+        if job.finalize().is_err() {
+            return 5;
+        }
+        0
+    });
+
+    registry.register("mpi-sleep-write", |ctx: &TaskContext| {
+        let (Some(ms), Some(dir)) = (ctx.args.first(), ctx.args.get(1)) else {
+            return 2;
+        };
+        let Ok(ms) = ms.parse::<u64>() else { return 2 };
+        let mut job = match ctx.mpi() {
+            Ok(j) => j,
+            Err(_) => return 3,
+        };
+        let rank = job.comm.rank();
+        if job.comm.barrier().is_err() {
+            return 4;
+        }
+        std::thread::sleep(Duration::from_millis(ms));
+        let path = std::path::Path::new(dir).join(format!("rank-{rank}.out"));
+        let wrote = std::fs::File::create(&path)
+            .and_then(|mut f| writeln!(f, "{rank}"))
+            .is_ok();
+        if job.comm.barrier().is_err() {
+            return 4;
+        }
+        if job.finalize().is_err() {
+            return 5;
+        }
+        if wrote {
+            0
+        } else {
+            6
+        }
+    });
+}
+
+/// A registry pre-loaded with the standard applications.
+pub fn standard_registry() -> AppRegistry {
+    let r = AppRegistry::new();
+    register_standard(&r);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{Executor, TaskExecutor};
+    use jets_core::protocol::{TaskAssignment, TaskKind};
+    use jets_core::spec::CommandSpec;
+    use jets_pmi::{PmiServer, PmiServerConfig};
+    use std::time::Instant;
+
+    fn seq(cmd: CommandSpec) -> TaskAssignment {
+        TaskAssignment {
+            task_id: 1,
+            job_id: 1,
+            kind: TaskKind::Sequential { cmd },
+            stage: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn standard_set_is_registered() {
+        let names = standard_registry().names();
+        for expected in ["noop", "sleep", "fail", "mpi-sleep", "mpi-sleep-write"] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn noop_succeeds_instantly() {
+        let exec = Executor::new(standard_registry());
+        assert_eq!(exec.execute(&seq(CommandSpec::builtin("noop", vec![]))), 0);
+    }
+
+    #[test]
+    fn sleep_sleeps() {
+        let exec = Executor::new(standard_registry());
+        let t = Instant::now();
+        let code = exec.execute(&seq(CommandSpec::builtin("sleep", vec!["30".into()])));
+        assert_eq!(code, 0);
+        assert!(t.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn sleep_rejects_bad_args() {
+        let exec = Executor::new(standard_registry());
+        assert_eq!(exec.execute(&seq(CommandSpec::builtin("sleep", vec![]))), 2);
+        assert_eq!(
+            exec.execute(&seq(CommandSpec::builtin("sleep", vec!["abc".into()]))),
+            2
+        );
+    }
+
+    #[test]
+    fn fail_returns_requested_code() {
+        let exec = Executor::new(standard_registry());
+        assert_eq!(exec.execute(&seq(CommandSpec::builtin("fail", vec![]))), 1);
+        assert_eq!(
+            exec.execute(&seq(CommandSpec::builtin("fail", vec!["9".into()]))),
+            9
+        );
+    }
+
+    #[test]
+    fn mpi_sleep_completes_barrier_sleep_barrier() {
+        let server = PmiServer::start(PmiServerConfig::new("apps-test", 2)).unwrap();
+        let exec = Executor::new(standard_registry());
+        let assignment = TaskAssignment {
+            task_id: 1,
+            job_id: 1,
+            kind: TaskKind::MpiProxy {
+                cmd: CommandSpec::builtin("mpi-sleep", vec!["20".into()]),
+                ranks: vec![0, 1],
+                size: 2,
+                pmi_addr: server.addr().to_string(),
+                pmi_jobid: "apps-test".into(),
+            },
+            stage: Vec::new(),
+        };
+        let t = Instant::now();
+        assert_eq!(exec.execute(&assignment), 0);
+        assert!(t.elapsed() >= Duration::from_millis(20));
+        assert_eq!(
+            server.wait(Duration::from_secs(10)),
+            jets_pmi::JobOutcome::Success
+        );
+    }
+
+    #[test]
+    fn mpi_sleep_write_writes_rank_files() {
+        let dir = std::env::temp_dir().join(format!("jets-apps-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let server = PmiServer::start(PmiServerConfig::new("apps-w", 2)).unwrap();
+        let exec = Executor::new(standard_registry());
+        let assignment = TaskAssignment {
+            task_id: 1,
+            job_id: 1,
+            kind: TaskKind::MpiProxy {
+                cmd: CommandSpec::builtin(
+                    "mpi-sleep-write",
+                    vec!["5".into(), dir.to_string_lossy().into_owned()],
+                ),
+                ranks: vec![0, 1],
+                size: 2,
+                pmi_addr: server.addr().to_string(),
+                pmi_jobid: "apps-w".into(),
+            },
+            stage: Vec::new(),
+        };
+        assert_eq!(exec.execute(&assignment), 0);
+        for rank in 0..2 {
+            let content = std::fs::read_to_string(dir.join(format!("rank-{rank}.out"))).unwrap();
+            assert_eq!(content.trim(), rank.to_string());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

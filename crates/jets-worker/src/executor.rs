@@ -1,0 +1,477 @@
+//! Task execution: builtin in-process applications and real processes.
+
+use jets_core::protocol::{TaskAssignment, TaskKind};
+use jets_core::spec::CommandSpec;
+use jets_mpi::{Communicator, MpiError};
+use jets_pmi::PmiClient;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::process::Command;
+use std::sync::Arc;
+use std::thread;
+
+/// Everything a builtin application sees when it runs.
+pub struct TaskContext {
+    /// Application arguments from the command spec.
+    pub args: Vec<String>,
+    /// Merged environment: command env plus (for MPI ranks) the rank's
+    /// `PMI_*` variables.
+    pub env: Vec<(String, String)>,
+    /// The rank this invocation hosts (None for sequential tasks).
+    pub rank: Option<u32>,
+    /// Total ranks in the job (1 for sequential tasks).
+    pub size: u32,
+}
+
+impl TaskContext {
+    /// Look up a variable in the task environment.
+    pub fn env(&self, key: &str) -> Option<String> {
+        self.env
+            .iter()
+            .rev() // later entries (PMI vars) override command env
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    }
+
+    /// Wire up an MPI communicator for this rank: PMI handshake, business
+    /// card exchange, TCP mesh — the full MPICH-over-sockets path.
+    ///
+    /// Fails for sequential tasks (no `PMI_*` environment).
+    pub fn mpi(&self) -> Result<MpiJob, MpiError> {
+        let mut pmi =
+            PmiClient::from_lookup(|k| self.env(k)).map_err(|e| MpiError::Pmi(e.to_string()))?;
+        let comm = Communicator::via_pmi(&mut pmi)?;
+        Ok(MpiJob { pmi, comm })
+    }
+}
+
+/// A wired-up MPI rank: communicator plus its PMI connection.
+pub struct MpiJob {
+    pmi: PmiClient,
+    /// The rank's communicator.
+    pub comm: Communicator,
+}
+
+impl MpiJob {
+    /// Orderly MPI + PMI teardown. Call at the end of the application.
+    pub fn finalize(mut self) -> Result<(), MpiError> {
+        self.comm.finalize()?;
+        self.pmi
+            .finalize()
+            .map_err(|e| MpiError::Pmi(e.to_string()))
+    }
+}
+
+/// A builtin application: takes a context, returns an exit code.
+pub type AppFn = Arc<dyn Fn(&TaskContext) -> i32 + Send + Sync>;
+
+/// Named in-process applications available to `Builtin` commands.
+#[derive(Clone, Default)]
+pub struct AppRegistry {
+    apps: Arc<RwLock<HashMap<String, AppFn>>>,
+}
+
+impl AppRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) an application.
+    pub fn register(&self, name: impl Into<String>, f: impl Fn(&TaskContext) -> i32 + Send + Sync + 'static) {
+        self.apps.write().insert(name.into(), Arc::new(f));
+    }
+
+    /// Fetch an application by name.
+    pub fn get(&self, name: &str) -> Option<AppFn> {
+        self.apps.read().get(name).cloned()
+    }
+
+    /// Registered application names (sorted, for diagnostics).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.apps.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+/// Result of executing one assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskOutcome {
+    /// Exit code (0 = success).
+    pub exit_code: i32,
+    /// Captured standard-output tail, if the executor captures output.
+    pub output: Option<String>,
+}
+
+/// Upper bound on captured output shipped back to the dispatcher. The
+/// paper's largest run produced 16 MB of stdout over 11 minutes without
+/// congesting this channel; we keep the per-task tail small and let bulk
+/// output go to files.
+pub const OUTPUT_CAPTURE_LIMIT: usize = 4096;
+
+/// Runs assignments; implemented by [`Executor`] and by test doubles.
+pub trait TaskExecutor: Send + Sync {
+    /// Execute the assignment to completion, returning its exit code.
+    fn execute(&self, assignment: &TaskAssignment) -> i32;
+
+    /// Execute and capture standard output where supported. The default
+    /// forwards to [`TaskExecutor::execute`] with no capture.
+    fn execute_captured(&self, assignment: &TaskAssignment) -> TaskOutcome {
+        TaskOutcome {
+            exit_code: self.execute(assignment),
+            output: None,
+        }
+    }
+}
+
+/// Keep the *tail* of output (the end usually carries the verdict).
+fn truncate_output(mut s: String) -> Option<String> {
+    if s.is_empty() {
+        return None;
+    }
+    if s.len() > OUTPUT_CAPTURE_LIMIT {
+        let cut = s.len() - OUTPUT_CAPTURE_LIMIT;
+        // Cut on a char boundary.
+        let boundary = (cut..s.len()).find(|&i| s.is_char_boundary(i)).unwrap_or(0);
+        s = format!("[... truncated ...]{}", &s[boundary..]);
+    }
+    Some(s)
+}
+
+/// Exit code when a builtin application is not registered.
+pub const EXIT_UNKNOWN_APP: i32 = 127;
+/// Exit code when a process could not be spawned or awaited.
+pub const EXIT_SPAWN_FAILED: i32 = 126;
+/// Exit code when a rank thread panicked.
+pub const EXIT_RANK_PANIC: i32 = 125;
+
+/// The standard executor: builtins in-process, `Exec` as OS processes.
+#[derive(Clone, Default)]
+pub struct Executor {
+    registry: AppRegistry,
+}
+
+impl Executor {
+    /// An executor over the given registry.
+    pub fn new(registry: AppRegistry) -> Self {
+        Executor { registry }
+    }
+
+    /// The executor's registry (register more apps through this).
+    pub fn registry(&self) -> &AppRegistry {
+        &self.registry
+    }
+
+    fn run_one(&self, cmd: &CommandSpec, extra_env: Vec<(String, String)>, rank: Option<u32>, size: u32) -> i32 {
+        match cmd {
+            CommandSpec::Builtin { app, args, env } => {
+                let Some(f) = self.registry.get(app) else {
+                    return EXIT_UNKNOWN_APP;
+                };
+                let mut merged = env.clone();
+                merged.extend(extra_env);
+                let ctx = TaskContext {
+                    args: args.clone(),
+                    env: merged,
+                    rank,
+                    size,
+                };
+                f(&ctx)
+            }
+            CommandSpec::Exec { program, args, env } => {
+                let mut command = Command::new(program);
+                command.args(args);
+                for (k, v) in env.iter().chain(extra_env.iter()) {
+                    command.env(k, v);
+                }
+                match command.status() {
+                    Ok(status) => status.code().unwrap_or(EXIT_SPAWN_FAILED),
+                    Err(_) => EXIT_SPAWN_FAILED,
+                }
+            }
+        }
+    }
+
+    /// Like `run_one` but captures stdout for `Exec` commands.
+    fn run_one_captured(
+        &self,
+        cmd: &CommandSpec,
+        extra_env: Vec<(String, String)>,
+        rank: Option<u32>,
+        size: u32,
+    ) -> TaskOutcome {
+        match cmd {
+            CommandSpec::Exec { program, args, env } => {
+                let mut command = Command::new(program);
+                command.args(args);
+                for (k, v) in env.iter().chain(extra_env.iter()) {
+                    command.env(k, v);
+                }
+                match command.output() {
+                    Ok(out) => TaskOutcome {
+                        exit_code: out.status.code().unwrap_or(EXIT_SPAWN_FAILED),
+                        output: truncate_output(
+                            String::from_utf8_lossy(&out.stdout).into_owned(),
+                        ),
+                    },
+                    Err(_) => TaskOutcome {
+                        exit_code: EXIT_SPAWN_FAILED,
+                        output: None,
+                    },
+                }
+            }
+            builtin => TaskOutcome {
+                exit_code: self.run_one(builtin, extra_env, rank, size),
+                output: None,
+            },
+        }
+    }
+}
+
+impl TaskExecutor for Executor {
+    fn execute_captured(&self, assignment: &TaskAssignment) -> TaskOutcome {
+        match &assignment.kind {
+            TaskKind::Sequential { cmd } => self.run_one_captured(cmd, Vec::new(), None, 1),
+            // MPI proxies route each rank's output through the proxy; we
+            // concatenate the local ranks' tails in rank order.
+            TaskKind::MpiProxy {
+                cmd,
+                ranks,
+                size,
+                pmi_addr,
+                pmi_jobid,
+            } => {
+                let mut handles = Vec::with_capacity(ranks.len());
+                for &rank in ranks {
+                    let this = self.clone();
+                    let cmd = cmd.clone();
+                    let pmi_env = vec![
+                        (jets_pmi::ENV_RANK.to_string(), rank.to_string()),
+                        (jets_pmi::ENV_SIZE.to_string(), size.to_string()),
+                        (jets_pmi::ENV_ADDR.to_string(), pmi_addr.clone()),
+                        (jets_pmi::ENV_JOBID.to_string(), pmi_jobid.clone()),
+                    ];
+                    let size = *size;
+                    let h = thread::Builder::new()
+                        .name(format!("rank-{rank}"))
+                        .stack_size(512 * 1024)
+                        .spawn(move || this.run_one_captured(&cmd, pmi_env, Some(rank), size))
+                        .expect("spawn rank thread");
+                    handles.push(h);
+                }
+                let mut exit = 0;
+                let mut combined = String::new();
+                for h in handles {
+                    match h.join() {
+                        Ok(outcome) => {
+                            if outcome.exit_code != 0 && exit == 0 {
+                                exit = outcome.exit_code;
+                            }
+                            if let Some(o) = outcome.output {
+                                combined.push_str(&o);
+                            }
+                        }
+                        Err(_) if exit == 0 => exit = EXIT_RANK_PANIC,
+                        Err(_) => {}
+                    }
+                }
+                TaskOutcome {
+                    exit_code: exit,
+                    output: truncate_output(combined),
+                }
+            }
+        }
+    }
+
+    fn execute(&self, assignment: &TaskAssignment) -> i32 {
+        match &assignment.kind {
+            TaskKind::Sequential { cmd } => self.run_one(cmd, Vec::new(), None, 1),
+            TaskKind::MpiProxy {
+                cmd,
+                ranks,
+                size,
+                pmi_addr,
+                pmi_jobid,
+            } => {
+                // One rank per thread, like a Hydra proxy forking one
+                // process per local rank. Exec commands become real
+                // per-rank OS processes via run_one.
+                let mut handles = Vec::with_capacity(ranks.len());
+                for &rank in ranks {
+                    let this = self.clone();
+                    let cmd = cmd.clone();
+                    let pmi_env = vec![
+                        (jets_pmi::ENV_RANK.to_string(), rank.to_string()),
+                        (jets_pmi::ENV_SIZE.to_string(), size.to_string()),
+                        (jets_pmi::ENV_ADDR.to_string(), pmi_addr.clone()),
+                        (jets_pmi::ENV_JOBID.to_string(), pmi_jobid.clone()),
+                    ];
+                    let size = *size;
+                    let h = thread::Builder::new()
+                        .name(format!("rank-{rank}"))
+                        .stack_size(512 * 1024)
+                        .spawn(move || this.run_one(&cmd, pmi_env, Some(rank), size))
+                        .expect("spawn rank thread");
+                    handles.push(h);
+                }
+                let mut exit = 0;
+                for h in handles {
+                    match h.join() {
+                        Ok(code) if code != 0 && exit == 0 => exit = code,
+                        Ok(_) => {}
+                        Err(_) if exit == 0 => exit = EXIT_RANK_PANIC,
+                        Err(_) => {}
+                    }
+                }
+                exit
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jets_core::spec::CommandSpec;
+    use jets_pmi::{PmiServer, PmiServerConfig};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn seq(cmd: CommandSpec) -> TaskAssignment {
+        TaskAssignment {
+            task_id: 1,
+            job_id: 1,
+            kind: TaskKind::Sequential { cmd },
+            stage: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn builtin_app_runs_with_args() {
+        let exec = Executor::default();
+        exec.registry().register("add", |ctx: &TaskContext| {
+            let a: i32 = ctx.args[0].parse().unwrap();
+            let b: i32 = ctx.args[1].parse().unwrap();
+            a + b
+        });
+        let code = exec.execute(&seq(CommandSpec::builtin(
+            "add",
+            vec!["3".into(), "4".into()],
+        )));
+        assert_eq!(code, 7);
+    }
+
+    #[test]
+    fn unknown_builtin_returns_127() {
+        let exec = Executor::default();
+        assert_eq!(
+            exec.execute(&seq(CommandSpec::builtin("ghost", vec![]))),
+            EXIT_UNKNOWN_APP
+        );
+    }
+
+    #[test]
+    fn exec_command_runs_real_process() {
+        let exec = Executor::default();
+        assert_eq!(exec.execute(&seq(CommandSpec::exec("true", vec![]))), 0);
+        assert_eq!(exec.execute(&seq(CommandSpec::exec("false", vec![]))), 1);
+    }
+
+    #[test]
+    fn exec_missing_program_returns_126() {
+        let exec = Executor::default();
+        assert_eq!(
+            exec.execute(&seq(CommandSpec::exec("/no/such/prog", vec![]))),
+            EXIT_SPAWN_FAILED
+        );
+    }
+
+    #[test]
+    fn env_lookup_prefers_pmi_overrides() {
+        let ctx = TaskContext {
+            args: vec![],
+            env: vec![
+                ("K".into(), "cmd".into()),
+                ("K".into(), "pmi".into()),
+            ],
+            rank: Some(0),
+            size: 1,
+        };
+        assert_eq!(ctx.env("K").as_deref(), Some("pmi"));
+        assert_eq!(ctx.env("missing"), None);
+    }
+
+    #[test]
+    fn mpi_proxy_runs_all_local_ranks_with_pmi() {
+        // A 1-node, 4-rank proxy: the executor must start 4 rank threads
+        // that all complete the PMI + MPI wire-up and a barrier.
+        let server = PmiServer::start(PmiServerConfig::new("exec-test", 4)).unwrap();
+        let counted = Arc::new(AtomicU32::new(0));
+        let exec = Executor::default();
+        let c2 = Arc::clone(&counted);
+        exec.registry().register("mpi-count", move |ctx: &TaskContext| {
+            let job = ctx.mpi().unwrap();
+            let mut job = job;
+            job.comm.barrier().unwrap();
+            c2.fetch_add(1, Ordering::SeqCst);
+            job.finalize().unwrap();
+            0
+        });
+        let assignment = TaskAssignment {
+            task_id: 1,
+            job_id: 1,
+            kind: TaskKind::MpiProxy {
+                cmd: CommandSpec::builtin("mpi-count", vec![]),
+                ranks: vec![0, 1, 2, 3],
+                size: 4,
+                pmi_addr: server.addr().to_string(),
+                pmi_jobid: "exec-test".into(),
+            },
+            stage: Vec::new(),
+        };
+        assert_eq!(exec.execute(&assignment), 0);
+        assert_eq!(counted.load(Ordering::SeqCst), 4);
+        assert_eq!(
+            server.wait(std::time::Duration::from_secs(10)),
+            jets_pmi::JobOutcome::Success
+        );
+    }
+
+    #[test]
+    fn proxy_exit_code_is_first_failure() {
+        let server = PmiServer::start(PmiServerConfig::new("fail-test", 2)).unwrap();
+        let exec = Executor::default();
+        exec.registry().register("rank-fail", |ctx: &TaskContext| {
+            // Both ranks connect to PMI so the server is not left hanging,
+            // then rank 1 reports failure.
+            let mut pmi = PmiClient::from_lookup(|k| ctx.env(k)).unwrap();
+            pmi.finalize().unwrap();
+            if ctx.rank == Some(1) {
+                3
+            } else {
+                0
+            }
+        });
+        let assignment = TaskAssignment {
+            task_id: 1,
+            job_id: 1,
+            kind: TaskKind::MpiProxy {
+                cmd: CommandSpec::builtin("rank-fail", vec![]),
+                ranks: vec![0, 1],
+                size: 2,
+                pmi_addr: server.addr().to_string(),
+                pmi_jobid: "fail-test".into(),
+            },
+            stage: Vec::new(),
+        };
+        assert_eq!(exec.execute(&assignment), 3);
+    }
+
+    #[test]
+    fn registry_lists_names() {
+        let r = AppRegistry::new();
+        r.register("b", |_: &TaskContext| 0);
+        r.register("a", |_: &TaskContext| 0);
+        assert_eq!(r.names(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # jets-worker — the JETS pilot-job worker agent
+//!
+//! A worker is a persistent pilot job running on a compute node: started
+//! once per node by the system scheduler (Cobalt, PBS, ssh), it registers
+//! with the JETS dispatcher, then loops *request → execute → report* for
+//! the lifetime of the allocation, executing many tasks (paper Section 5,
+//! Fig. 4).
+//!
+//! Two execution paths:
+//!
+//! * [`executor::Executor`] runs `Builtin` commands as in-process
+//!   functions from an [`executor::AppRegistry`] (simulated-allocation
+//!   mode — tasks are real code, node boundaries are virtual) and `Exec`
+//!   commands as real OS processes. MPI proxy assignments start one rank
+//!   (thread or process) per hosted rank, each configured with the
+//!   `PMI_*` environment from the proxy command, exactly as a Hydra proxy
+//!   configures user executables.
+//! * [`apps`] registers the standard application set used by the paper's
+//!   benchmarks: no-ops, timed sleeps, and the barrier–sleep–barrier MPI
+//!   synthetic task.
+//!
+//! [`agent::Worker`] owns the connection lifecycle and exposes a *kill
+//! switch* ([`agent::Worker::kill`]) that severs the socket abruptly —
+//! the fault-injection primitive behind the paper's faulty-allocation
+//! experiment (Fig. 10).
+
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod apps;
+pub mod executor;
+pub mod staging;
+
+pub use agent::{Worker, WorkerConfig, WorkerExit};
+pub use executor::{AppRegistry, Executor, TaskContext, TaskExecutor};
+pub use staging::{NodeLocalCache, StageFile};

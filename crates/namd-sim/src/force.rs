@@ -1,0 +1,308 @@
+//! Lennard-Jones forces under the minimum-image convention.
+//!
+//! Truncated-and-shifted 12-6 potential:
+//! `u(r) = 4(r⁻¹² − r⁻⁶) − u_c` for `r < r_cut`, zero beyond. The shift
+//! keeps the potential continuous at the cutoff, which keeps NVE energy
+//! drift small enough to test conservation.
+//!
+//! [`compute_block`] evaluates forces for a contiguous block of *owned*
+//! atoms against all atoms — the atom-decomposition kernel each MPI rank
+//! runs after an allgather of positions.
+
+/// Result of a force evaluation over a block of owned atoms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockForces {
+    /// Flattened forces for the owned block, length `3 × block_len`.
+    pub forces: Vec<f64>,
+    /// This block's share of the potential energy (half of each pair
+    /// involving an owned atom, so summing over blocks counts each pair
+    /// exactly once).
+    pub potential: f64,
+}
+
+/// Compute forces on atoms `[block_start, block_start + block_len)` from
+/// all `positions` (flattened 3N) in a periodic box of edge `box_len`,
+/// with cutoff `r_cut`.
+pub fn compute_block(
+    positions: &[f64],
+    block_start: usize,
+    block_len: usize,
+    box_len: f64,
+    r_cut: f64,
+) -> BlockForces {
+    let n = positions.len() / 3;
+    assert!(block_start + block_len <= n, "block out of range");
+    assert!(r_cut > 0.0, "cutoff must be positive");
+    let r_cut2 = r_cut * r_cut;
+    // Shift so u(r_cut) = 0.
+    let inv6 = 1.0 / (r_cut2 * r_cut2 * r_cut2);
+    let u_shift = 4.0 * (inv6 * inv6 - inv6);
+
+    let mut forces = vec![0.0f64; 3 * block_len];
+    let mut potential = 0.0f64;
+    for bi in 0..block_len {
+        let i = block_start + bi;
+        let (xi, yi, zi) = (
+            positions[3 * i],
+            positions[3 * i + 1],
+            positions[3 * i + 2],
+        );
+        let mut fx = 0.0;
+        let mut fy = 0.0;
+        let mut fz = 0.0;
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            let mut dx = xi - positions[3 * j];
+            let mut dy = yi - positions[3 * j + 1];
+            let mut dz = zi - positions[3 * j + 2];
+            // Minimum image.
+            dx -= box_len * (dx / box_len).round();
+            dy -= box_len * (dy / box_len).round();
+            dz -= box_len * (dz / box_len).round();
+            let r2 = dx * dx + dy * dy + dz * dz;
+            if r2 >= r_cut2 || r2 == 0.0 {
+                continue;
+            }
+            let inv_r2 = 1.0 / r2;
+            let inv_r6 = inv_r2 * inv_r2 * inv_r2;
+            let inv_r12 = inv_r6 * inv_r6;
+            // f(r)/r = 24 (2 r⁻¹² − r⁻⁶) / r².
+            let f_over_r = 24.0 * (2.0 * inv_r12 - inv_r6) * inv_r2;
+            fx += f_over_r * dx;
+            fy += f_over_r * dy;
+            fz += f_over_r * dz;
+            // Half the pair energy; the other half is charged to atom j's
+            // owner.
+            potential += 0.5 * (4.0 * (inv_r12 - inv_r6) - u_shift);
+        }
+        forces[3 * bi] = fx;
+        forces[3 * bi + 1] = fy;
+        forces[3 * bi + 2] = fz;
+    }
+    BlockForces { forces, potential }
+}
+
+/// Convenience: forces on *all* atoms plus total potential energy.
+pub fn compute_all(positions: &[f64], box_len: f64, r_cut: f64) -> BlockForces {
+    compute_block(positions, 0, positions.len() / 3, box_len, r_cut)
+}
+
+/// A harmonic bond between two atoms: `u(r) = ½ k (r − r₀)²`.
+///
+/// NAMD's force field is bonded + nonbonded; chains of harmonic bonds
+/// give our LJ fluid the molecular connectivity that makes restart-file
+/// trajectories structurally NAMD-like.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bond {
+    /// First atom index.
+    pub i: usize,
+    /// Second atom index.
+    pub j: usize,
+    /// Spring constant k.
+    pub k: f64,
+    /// Equilibrium length r₀.
+    pub r0: f64,
+}
+
+/// Add harmonic-bond forces to a block's force array (owned atoms
+/// `[block_start, block_start + block_len)`) and return the block's share
+/// of the bond potential (half per bonded atom owned).
+pub fn add_bond_forces(
+    bonds: &[Bond],
+    positions: &[f64],
+    block_start: usize,
+    block_len: usize,
+    box_len: f64,
+    forces: &mut [f64],
+) -> f64 {
+    let owned = block_start..block_start + block_len;
+    let mut potential = 0.0;
+    for bond in bonds {
+        let i_owned = owned.contains(&bond.i);
+        let j_owned = owned.contains(&bond.j);
+        if !i_owned && !j_owned {
+            continue;
+        }
+        let mut dx = positions[3 * bond.i] - positions[3 * bond.j];
+        let mut dy = positions[3 * bond.i + 1] - positions[3 * bond.j + 1];
+        let mut dz = positions[3 * bond.i + 2] - positions[3 * bond.j + 2];
+        dx -= box_len * (dx / box_len).round();
+        dy -= box_len * (dy / box_len).round();
+        dz -= box_len * (dz / box_len).round();
+        let r = (dx * dx + dy * dy + dz * dz).sqrt().max(1e-12);
+        let stretch = r - bond.r0;
+        // f = −k (r − r₀) r̂ on atom i; opposite on j.
+        let f_over_r = -bond.k * stretch / r;
+        let u = 0.5 * bond.k * stretch * stretch;
+        if i_owned {
+            let bi = bond.i - block_start;
+            forces[3 * bi] += f_over_r * dx;
+            forces[3 * bi + 1] += f_over_r * dy;
+            forces[3 * bi + 2] += f_over_r * dz;
+            potential += 0.5 * u;
+        }
+        if j_owned {
+            let bj = bond.j - block_start;
+            forces[3 * bj] -= f_over_r * dx;
+            forces[3 * bj + 1] -= f_over_r * dy;
+            forces[3 * bj + 2] -= f_over_r * dz;
+            potential += 0.5 * u;
+        }
+    }
+    potential
+}
+
+/// Bond a system into consecutive chains of `chain_len` atoms
+/// (`chain_len < 2` means no bonds).
+pub fn chain_bonds(n_atoms: usize, chain_len: usize, k: f64, r0: f64) -> Vec<Bond> {
+    if chain_len < 2 {
+        return Vec::new();
+    }
+    (0..n_atoms)
+        .filter(|i| i % chain_len != chain_len - 1 && i + 1 < n_atoms)
+        .map(|i| Bond { i, j: i + 1, k, r0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two atoms at the LJ minimum distance 2^(1/6) feel zero force.
+    #[test]
+    fn force_vanishes_at_minimum() {
+        let r_min = 2.0f64.powf(1.0 / 6.0);
+        let positions = vec![0.0, 0.0, 0.0, r_min, 0.0, 0.0];
+        let out = compute_all(&positions, 100.0, 10.0);
+        for f in &out.forces {
+            assert!(f.abs() < 1e-10, "force {f}");
+        }
+    }
+
+    #[test]
+    fn close_pair_repels_along_axis() {
+        let positions = vec![0.0, 0.0, 0.0, 0.9, 0.0, 0.0];
+        let out = compute_all(&positions, 100.0, 10.0);
+        assert!(out.forces[0] < 0.0, "atom 0 pushed in −x");
+        assert!(out.forces[3] > 0.0, "atom 1 pushed in +x");
+        assert_eq!(out.forces[1], 0.0);
+        assert_eq!(out.forces[2], 0.0);
+    }
+
+    #[test]
+    fn newtons_third_law() {
+        let positions = vec![0.1, 0.2, 0.3, 1.0, 1.4, 0.9];
+        let out = compute_all(&positions, 50.0, 10.0);
+        for d in 0..3 {
+            assert!((out.forces[d] + out.forces[3 + d]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn beyond_cutoff_is_exactly_zero() {
+        let positions = vec![0.0, 0.0, 0.0, 3.0, 0.0, 0.0];
+        let out = compute_all(&positions, 100.0, 2.5);
+        assert!(out.forces.iter().all(|&f| f == 0.0));
+        assert_eq!(out.potential, 0.0);
+    }
+
+    #[test]
+    fn minimum_image_wraps_across_boundary() {
+        // Atoms at x = 0.2 and x = L − 0.2 are 0.4 apart through the
+        // boundary, not L − 0.4.
+        let box_len = 10.0;
+        let positions = vec![0.2, 0.0, 0.0, box_len - 0.2, 0.0, 0.0];
+        let out = compute_all(&positions, box_len, 2.5);
+        // Separation 0.4 ≪ r_min: strongly repulsive, pushing atom 0 in
+        // +x (away through the boundary).
+        assert!(out.forces[0] > 0.0, "got {}", out.forces[0]);
+        assert!(out.potential > 0.0);
+    }
+
+    #[test]
+    fn block_decomposition_matches_full_computation() {
+        // 12 atoms, blocks of unequal sizes: concatenated block forces and
+        // summed potentials must equal the all-atom result.
+        let mut positions = Vec::new();
+        let mut v = 0.37f64;
+        for _ in 0..36 {
+            v = (v * 7.13 + 0.517).fract();
+            positions.push(v * 6.0);
+        }
+        let box_len = 6.0;
+        let full = compute_all(&positions, box_len, 2.5);
+        let mut forces = Vec::new();
+        let mut potential = 0.0;
+        for (start, len) in [(0usize, 5usize), (5, 4), (9, 3)] {
+            let b = compute_block(&positions, start, len, box_len, 2.5);
+            forces.extend(b.forces);
+            potential += b.potential;
+        }
+        assert_eq!(forces.len(), full.forces.len());
+        for (a, b) in forces.iter().zip(full.forces.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        assert!((potential - full.potential).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bond_at_equilibrium_exerts_no_force() {
+        let bonds = [Bond { i: 0, j: 1, k: 50.0, r0: 1.5 }];
+        let positions = vec![0.0, 0.0, 0.0, 1.5, 0.0, 0.0];
+        let mut forces = vec![0.0; 6];
+        let u = add_bond_forces(&bonds, &positions, 0, 2, 100.0, &mut forces);
+        assert!(forces.iter().all(|f| f.abs() < 1e-12), "{forces:?}");
+        assert!(u.abs() < 1e-12);
+    }
+
+    #[test]
+    fn stretched_bond_pulls_atoms_together() {
+        let bonds = [Bond { i: 0, j: 1, k: 10.0, r0: 1.0 }];
+        let positions = vec![0.0, 0.0, 0.0, 2.0, 0.0, 0.0]; // stretched by 1
+        let mut forces = vec![0.0; 6];
+        let u = add_bond_forces(&bonds, &positions, 0, 2, 100.0, &mut forces);
+        assert!(forces[0] > 0.0, "atom 0 pulled +x: {forces:?}");
+        assert!(forces[3] < 0.0, "atom 1 pulled −x");
+        assert!((forces[0] + forces[3]).abs() < 1e-12, "Newton's third law");
+        assert!((u - 5.0).abs() < 1e-12, "½·10·1² = 5, got {u}");
+    }
+
+    #[test]
+    fn bond_forces_split_correctly_across_blocks() {
+        let bonds = [Bond { i: 1, j: 2, k: 7.0, r0: 0.5 }];
+        let positions = vec![0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 2.5, 0.0, 0.0];
+        // Whole system in one block...
+        let mut full = vec![0.0; 9];
+        let u_full = add_bond_forces(&bonds, &positions, 0, 3, 100.0, &mut full);
+        // ...versus two blocks split across the bond.
+        let mut a = vec![0.0; 6];
+        let u_a = add_bond_forces(&bonds, &positions, 0, 2, 100.0, &mut a);
+        let mut b = vec![0.0; 3];
+        let u_b = add_bond_forces(&bonds, &positions, 2, 1, 100.0, &mut b);
+        let combined: Vec<f64> = a.into_iter().chain(b).collect();
+        for (x, y) in combined.iter().zip(full.iter()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        assert!((u_a + u_b - u_full).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_bonds_respect_chain_boundaries() {
+        // 7 atoms in chains of 3: chains {0,1,2}, {3,4,5}, {6}.
+        let bonds = chain_bonds(7, 3, 1.0, 1.0);
+        let pairs: Vec<(usize, usize)> = bonds.iter().map(|b| (b.i, b.j)).collect();
+        assert_eq!(pairs, vec![(0, 1), (1, 2), (3, 4), (4, 5)]);
+        assert!(chain_bonds(10, 1, 1.0, 1.0).is_empty());
+        assert!(chain_bonds(10, 0, 1.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn potential_shift_makes_cutoff_continuous() {
+        // Just inside the cutoff, energy must be near zero.
+        let positions = vec![0.0, 0.0, 0.0, 2.4999, 0.0, 0.0];
+        let out = compute_all(&positions, 100.0, 2.5);
+        assert!(out.potential.abs() < 1e-3, "u = {}", out.potential);
+    }
+}

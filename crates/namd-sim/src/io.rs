@@ -1,0 +1,244 @@
+//! Restart-file I/O: `.coor`, `.vel`, and `.xsc` files.
+//!
+//! These are the dataflow artifacts of the REM workflow (paper Section
+//! 6.2.2): each segment reads its predecessor's coordinates, velocities,
+//! and extended-system file, and writes its own; the exchange step swaps
+//! them between neighbouring replicas. Formats are plain text:
+//!
+//! * `.coor` / `.vel` — first line `N`, then `N` lines of `x y z`.
+//! * `.xsc` — key–value lines: `step`, `potential`, `temperature`,
+//!   `boxLength`.
+
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Extended-system data carried between segments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XscData {
+    /// Completed timestep count.
+    pub step: u64,
+    /// Potential energy at the end of the segment.
+    pub potential: f64,
+    /// Kinetic temperature at the end of the segment.
+    pub temperature: f64,
+    /// Periodic box edge length.
+    pub box_length: f64,
+}
+
+/// I/O or format error for restart files.
+#[derive(Debug)]
+pub enum IoError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Content didn't parse.
+    Format(String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "restart i/o error: {e}"),
+            IoError::Format(m) => write!(f, "restart format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Write a flattened 3N vector as a `.coor`/`.vel` file.
+pub fn write_vectors(path: &Path, data: &[f64]) -> Result<(), IoError> {
+    if !data.len().is_multiple_of(3) {
+        return Err(IoError::Format(format!(
+            "vector length {} is not a multiple of 3",
+            data.len()
+        )));
+    }
+    let mut out = String::with_capacity(data.len() * 12);
+    out.push_str(&format!("{}\n", data.len() / 3));
+    for triple in data.chunks_exact(3) {
+        out.push_str(&format!("{:.17e} {:.17e} {:.17e}\n", triple[0], triple[1], triple[2]));
+    }
+    let mut f = fs::File::create(path)?;
+    f.write_all(out.as_bytes())?;
+    Ok(())
+}
+
+/// Read a `.coor`/`.vel` file back into a flattened 3N vector.
+pub fn read_vectors(path: &Path) -> Result<Vec<f64>, IoError> {
+    let text = fs::read_to_string(path)?;
+    let mut lines = text.lines();
+    let n: usize = lines
+        .next()
+        .ok_or_else(|| IoError::Format("empty file".to_string()))?
+        .trim()
+        .parse()
+        .map_err(|_| IoError::Format("bad atom count".to_string()))?;
+    let mut data = Vec::with_capacity(3 * n);
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        for _ in 0..3 {
+            let v: f64 = parts
+                .next()
+                .ok_or_else(|| IoError::Format(format!("line {}: fewer than 3 values", i + 2)))?
+                .parse()
+                .map_err(|_| IoError::Format(format!("line {}: bad number", i + 2)))?;
+            data.push(v);
+        }
+        if parts.next().is_some() {
+            return Err(IoError::Format(format!("line {}: more than 3 values", i + 2)));
+        }
+    }
+    if data.len() != 3 * n {
+        return Err(IoError::Format(format!(
+            "expected {n} atoms, found {}",
+            data.len() / 3
+        )));
+    }
+    Ok(data)
+}
+
+/// Write an `.xsc` file.
+pub fn write_xsc(path: &Path, xsc: &XscData) -> Result<(), IoError> {
+    let text = format!(
+        "step {}\npotential {:.17e}\ntemperature {:.17e}\nboxLength {:.17e}\n",
+        xsc.step, xsc.potential, xsc.temperature, xsc.box_length
+    );
+    fs::write(path, text)?;
+    Ok(())
+}
+
+/// Read an `.xsc` file.
+pub fn read_xsc(path: &Path) -> Result<XscData, IoError> {
+    let text = fs::read_to_string(path)?;
+    let mut step = None;
+    let mut potential = None;
+    let mut temperature = None;
+    let mut box_length = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| IoError::Format(format!("bad xsc line '{line}'")))?;
+        let value = value.trim();
+        match key {
+            "step" => {
+                step = Some(value.parse().map_err(|_| {
+                    IoError::Format(format!("bad step '{value}'"))
+                })?)
+            }
+            "potential" => {
+                potential = Some(value.parse().map_err(|_| {
+                    IoError::Format(format!("bad potential '{value}'"))
+                })?)
+            }
+            "temperature" => {
+                temperature = Some(value.parse().map_err(|_| {
+                    IoError::Format(format!("bad temperature '{value}'"))
+                })?)
+            }
+            "boxLength" => {
+                box_length = Some(value.parse().map_err(|_| {
+                    IoError::Format(format!("bad boxLength '{value}'"))
+                })?)
+            }
+            other => return Err(IoError::Format(format!("unknown xsc key '{other}'"))),
+        }
+    }
+    Ok(XscData {
+        step: step.ok_or_else(|| IoError::Format("missing step".to_string()))?,
+        potential: potential.ok_or_else(|| IoError::Format("missing potential".to_string()))?,
+        temperature: temperature
+            .ok_or_else(|| IoError::Format("missing temperature".to_string()))?,
+        box_length: box_length
+            .ok_or_else(|| IoError::Format("missing boxLength".to_string()))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("namd-io-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn vectors_round_trip_exactly() {
+        let path = tmp("a.coor");
+        let data = vec![0.1, -2.5e-17, 3.0, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300];
+        write_vectors(&path, &data).unwrap();
+        let back = read_vectors(&path).unwrap();
+        assert_eq!(back, data, "17-digit float formatting must be lossless");
+    }
+
+    #[test]
+    fn vectors_reject_ragged_input() {
+        let path = tmp("ragged.coor");
+        assert!(matches!(
+            write_vectors(&path, &[1.0, 2.0]),
+            Err(IoError::Format(_))
+        ));
+        fs::write(&path, "2\n1 2 3\n4 5\n").unwrap();
+        assert!(read_vectors(&path).is_err());
+        fs::write(&path, "1\n1 2 3 4\n").unwrap();
+        assert!(read_vectors(&path).is_err());
+    }
+
+    #[test]
+    fn vectors_reject_count_mismatch() {
+        let path = tmp("short.coor");
+        fs::write(&path, "3\n1 2 3\n").unwrap();
+        assert!(matches!(read_vectors(&path), Err(IoError::Format(m)) if m.contains("expected")));
+    }
+
+    #[test]
+    fn xsc_round_trips() {
+        let path = tmp("a.xsc");
+        let xsc = XscData {
+            step: 170,
+            potential: -432.19,
+            temperature: 1.27,
+            box_length: 5.604,
+        };
+        write_xsc(&path, &xsc).unwrap();
+        assert_eq!(read_xsc(&path).unwrap(), xsc);
+    }
+
+    #[test]
+    fn xsc_rejects_missing_fields() {
+        let path = tmp("bad.xsc");
+        fs::write(&path, "step 1\npotential 2\n").unwrap();
+        assert!(matches!(read_xsc(&path), Err(IoError::Format(m)) if m.contains("temperature")));
+    }
+
+    #[test]
+    fn xsc_rejects_unknown_keys() {
+        let path = tmp("bad2.xsc");
+        fs::write(&path, "step 1\nwhat 2\n").unwrap();
+        assert!(read_xsc(&path).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            read_vectors(Path::new("/no/such/file.coor")),
+            Err(IoError::Io(_))
+        ));
+    }
+}

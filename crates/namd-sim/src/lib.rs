@@ -1,0 +1,42 @@
+//! # namd-sim — a compact parallel molecular-dynamics application
+//!
+//! The JETS paper's driving application is replica-exchange molecular
+//! dynamics (REM) with NAMD: 4-processor NAMD segments of a 44,992-atom
+//! NMA system, ~10 timesteps (~100 s) per segment, exchanged and restarted
+//! thousands of times. NAMD itself is ~30k lines of Charm++; what REM
+//! actually requires of its engine is much smaller:
+//!
+//! * restartable dynamics at a controlled temperature,
+//! * per-segment potential energies (for the Metropolis exchange test),
+//! * NAMD-style restart artifacts (coordinates / velocities / extended
+//!   system files) that an external exchange step can swap,
+//! * and genuine MPI-parallel execution, so segments exercise the JETS
+//!   MPI launch path.
+//!
+//! `namd-sim` provides exactly that: a Lennard-Jones fluid in reduced
+//! units, velocity-Verlet integration with a Langevin thermostat, atom
+//! decomposition over a `jets-mpi` communicator (allgather positions,
+//! allreduce energies), NAMD-flavoured config/restart file I/O, and the
+//! replica-exchange acceptance rule
+//! `P = min(1, exp((1/T_i − 1/T_j)(E_i − E_j)))` with velocity rescaling
+//! on accepted swaps.
+//!
+//! Substitution note (see DESIGN.md): the physics is an LJ fluid rather
+//! than CHARMM force fields — REM's control flow, file traffic, and
+//! statistics are preserved; chemistry is not the system under test.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod force;
+pub mod io;
+pub mod md;
+pub mod rem;
+pub mod system;
+pub mod workflow;
+
+pub use config::MdConfig;
+pub use md::{run_segment, SegmentResult};
+pub use rem::{exchange_delta, metropolis_accept, ReplicaFiles};
+pub use system::ParticleSystem;
+pub use workflow::{rem_script, stage_initial_replicas, RemParams};

@@ -1,0 +1,285 @@
+//! The REM Swift workflow: script generation and input staging.
+//!
+//! The paper implements asynchronous replica exchange "in under 200 lines
+//! of Swift script" (Section 6.2.2): each row of the dataflow is a
+//! replica trajectory, each column an exchange epoch; a segment depends
+//! only on its predecessor's restart files and its pair's exchange token,
+//! so segments launch independently of the state of the workflow at
+//! large. [`rem_script`] emits that script in swiftlite syntax,
+//! parameterized by replica count, segment count, MPI shape, and
+//! temperature ladder; [`stage_initial_replicas`] runs the short serial
+//! equilibration that produces segment-0 restart files (the workflow's
+//! pre-existing mapped inputs).
+
+use crate::config::MdConfig;
+use crate::md::{run_segment, MdError};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Parameters of a generated REM workflow.
+#[derive(Debug, Clone)]
+pub struct RemParams {
+    /// Number of replicas (rows of the dataflow).
+    pub replicas: u32,
+    /// Dynamics segments per replica (exchanges happen between them).
+    pub segments: u32,
+    /// MPI nodes per NAMD segment (1 = single-process mode, Fig. 18a).
+    pub nodes: u32,
+    /// Ranks per node (Fig. 18b used all 8 cores per node).
+    pub ppn: u32,
+    /// Atoms per replica.
+    pub atoms: u32,
+    /// MD steps per segment ("10–100 simulated timesteps").
+    pub steps: u32,
+    /// Coldest temperature of the ladder.
+    pub t_min: f64,
+    /// Multiplicative spacing of the ladder.
+    pub t_ratio: f64,
+    /// Wall-time pacing per segment in milliseconds (0 = run at full
+    /// compute speed); see EXPERIMENTS.md on virtual time.
+    pub pace_ms: u64,
+    /// Working directory for all dataflow files.
+    pub dir: String,
+}
+
+impl Default for RemParams {
+    fn default() -> Self {
+        RemParams {
+            replicas: 4,
+            segments: 4,
+            nodes: 1,
+            ppn: 1,
+            atoms: 48,
+            steps: 10,
+            t_min: 0.9,
+            t_ratio: 1.12,
+            pace_ms: 0,
+            dir: "rem-work".to_string(),
+        }
+    }
+}
+
+impl RemParams {
+    /// Temperature of replica `i` on the geometric ladder.
+    pub fn temperature(&self, i: u32) -> f64 {
+        self.t_min * self.t_ratio.powi(i as i32)
+    }
+
+    /// Flattened segment index of `(replica, segment)`.
+    pub fn index(&self, replica: u32, segment: u32) -> u32 {
+        replica * (self.segments + 1) + segment
+    }
+
+    /// Total NAMD invocations the workflow will make.
+    pub fn namd_invocations(&self) -> u32 {
+        self.replicas * self.segments
+    }
+}
+
+/// Generate the REM workflow script.
+///
+/// Dataflow per replica `i`, epoch `j`:
+/// 1. after segment `j`, replicas pair alternately ((0,1),(2,3),… on even
+///    epochs; (1,2),(3,4),… on odd) and the pair's left member runs the
+///    exchange app on the two segments' restart files;
+/// 2. segment `j+1` of both members consumes the exchange token (plus its
+///    own predecessor files), so it launches the moment its pair's
+///    exchange completes — full asynchrony across replicas, exactly the
+///    paper's Fig. 16 structure.
+pub fn rem_script(p: &RemParams) -> String {
+    let seg = p.segments + 1;
+    let mut s = String::new();
+    let _ = writeln!(s, "# Replica-exchange workflow: {} replicas x {} segments", p.replicas, p.segments);
+    let _ = writeln!(s, "type file;");
+    // Two app flavours: with and without an exchange-token dependency.
+    let _ = writeln!(
+        s,
+        r#"
+app (file c, file v, file x) namd (string outprefix, file c_in, file v_in, file s_in,
+                                   string temp, int steps, int pace) mpi(nodes={nodes}, ppn={ppn}) {{
+    "@namd-lite" strcat("coordinates=", @c_in) strcat("velocities=", @v_in)
+        strcat("extendedSystem=", @s_in) strcat("temperature=", temp)
+        strcat("numsteps=", steps) strcat("paceMilliseconds=", pace)
+        strcat("outputname=", outprefix)
+}}
+
+app (file c, file v, file x) namd_x (string outprefix, file c_in, file v_in, file s_in, file token,
+                                     string temp, int steps, int pace) mpi(nodes={nodes}, ppn={ppn}) {{
+    "@namd-lite" strcat("coordinates=", @c_in) strcat("velocities=", @v_in)
+        strcat("extendedSystem=", @s_in) strcat("temperature=", temp)
+        strcat("numsteps=", steps) strcat("paceMilliseconds=", pace)
+        strcat("outputname=", outprefix)
+}}
+
+app (file verdict) exchange (file s_a, file s_b, string prefix_a, string t_a,
+                             string prefix_b, string t_b, int seed) {{
+    "@rem-exchange" prefix_a t_a prefix_b t_b seed stdout=@verdict
+}}
+"#,
+        nodes = p.nodes,
+        ppn = p.ppn,
+    );
+    let _ = writeln!(s, "int SEG = {seg};");
+    let _ = writeln!(s, "int steps = {};", p.steps);
+    let _ = writeln!(s, "int pace = {};", p.pace_ms);
+    let _ = writeln!(s, "file c[] <simple_mapper; prefix=\"{}/seg_\", suffix=\".coor\">;", p.dir);
+    let _ = writeln!(s, "file v[] <simple_mapper; prefix=\"{}/seg_\", suffix=\".vel\">;", p.dir);
+    let _ = writeln!(s, "file sx[] <simple_mapper; prefix=\"{}/seg_\", suffix=\".xsc\">;", p.dir);
+    let _ = writeln!(s, "file ex[] <simple_mapper; prefix=\"{}/ex_\", suffix=\".token\">;", p.dir);
+
+    // Per-replica temperature ladder, rendered as a pre-filled lookup
+    // array (swiftlite has no user scalar functions).
+    let _ = writeln!(s, "string tempLookup[];");
+    for i in 0..p.replicas {
+        let _ = writeln!(s, "tempLookup[{i}] = \"{:.6}\";", p.temperature(i));
+    }
+
+    let last = p.replicas - 1;
+    let _ = writeln!(
+        s,
+        r#"
+foreach i in [0:{last}] {{
+    foreach j in [0:SEG - 2] {{
+        int k = i * SEG + j;
+        int kn = k + 1;
+        int phase = j %% 2;
+        int pair;
+        if ((i + phase) %% 2 == 0) {{
+            pair = i;
+        }} else {{
+            pair = i - 1;
+        }}
+        string prefix = strcat("{dir}/seg_", kn);
+        string my_prefix = strcat("{dir}/seg_", k);
+        if (pair == i && i + 1 <= {last}) {{
+            int pk = (i + 1) * SEG + j;
+            ex[k] = exchange(sx[k], sx[pk], my_prefix, tempLookup[i],
+                             strcat("{dir}/seg_", pk), tempLookup[i + 1], k + 1);
+        }}
+        if (pair >= 0 && pair + 1 <= {last}) {{
+            (c[kn], v[kn], sx[kn]) = namd_x(prefix, c[k], v[k], sx[k], ex[pair * SEG + j],
+                                            tempLookup[i], steps, pace);
+        }} else {{
+            (c[kn], v[kn], sx[kn]) = namd(prefix, c[k], v[k], sx[k], tempLookup[i], steps, pace);
+        }}
+    }}
+}}
+"#,
+        last = last,
+        dir = p.dir,
+    );
+    s
+}
+
+/// Stage segment-0 restart files for every replica: a short serial
+/// equilibration at the replica's temperature. Returns the staged file
+/// prefixes.
+pub fn stage_initial_replicas(p: &RemParams) -> Result<Vec<String>, MdError> {
+    std::fs::create_dir_all(&p.dir).map_err(|e| {
+        MdError::Io(crate::io::IoError::Io(e))
+    })?;
+    let mut prefixes = Vec::new();
+    for i in 0..p.replicas {
+        let k = p.index(i, 0);
+        let prefix = format!("{}/seg_{k}", p.dir);
+        let config = MdConfig {
+            num_atoms: p.atoms as usize,
+            temperature: p.temperature(i),
+            numsteps: 5,
+            outputname: prefix.clone(),
+            seed: 1000 + i as u64,
+            ..MdConfig::default()
+        };
+        run_segment(&config, None)?;
+        debug_assert!(Path::new(&format!("{prefix}.coor")).exists());
+        prefixes.push(prefix);
+    }
+    Ok(prefixes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temperature_ladder_is_geometric() {
+        let p = RemParams::default();
+        assert!((p.temperature(0) - p.t_min).abs() < 1e-12);
+        let r = p.temperature(3) / p.temperature(2);
+        assert!((r - p.t_ratio).abs() < 1e-12);
+    }
+
+    #[test]
+    fn script_fills_the_temperature_lookup() {
+        let p = RemParams::default();
+        let script = rem_script(&p);
+        assert!(script.contains("tempLookup[i]"));
+        assert!(script.contains("tempLookup[i + 1]"));
+        assert!(script.contains("tempLookup[0] = \"0.900000\";"));
+        assert_eq!(
+            script.matches("tempLookup[").count(),
+            // declaration + per-replica fills + 4 uses in the loop
+            // (exchange ×2, namd_x ×1, namd ×1)
+            1 + p.replicas as usize + 4
+        );
+    }
+
+    #[test]
+    fn script_parses_as_swiftlite() {
+        // The generator and the language must stay in sync; parsing here
+        // catches drift without running anything.
+        let p = RemParams {
+            replicas: 3,
+            segments: 2,
+            ..RemParams::default()
+        };
+        let script = rem_script(&p);
+        // namd-sim cannot depend on swiftlite (it would be circular
+        // through cluster-sim), so this only checks structural markers;
+        // the full parse/run happens in the workspace integration tests.
+        for marker in [
+            "app (file c, file v, file x) namd ",
+            "app (file c, file v, file x) namd_x ",
+            "app (file verdict) exchange ",
+            "foreach i in [0:2]",
+            "foreach j in [0:SEG - 2]",
+            "%% 2",
+        ] {
+            assert!(script.contains(marker), "missing {marker}:\n{script}");
+        }
+    }
+
+    #[test]
+    fn staging_creates_all_segment_zero_files() {
+        let dir = std::env::temp_dir()
+            .join(format!("rem-stage-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let p = RemParams {
+            replicas: 2,
+            segments: 1,
+            atoms: 24,
+            dir: dir.clone(),
+            ..RemParams::default()
+        };
+        let prefixes = stage_initial_replicas(&p).unwrap();
+        assert_eq!(prefixes.len(), 2);
+        for prefix in &prefixes {
+            for ext in ["coor", "vel", "xsc"] {
+                assert!(Path::new(&format!("{prefix}.{ext}")).exists());
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn invocation_count() {
+        let p = RemParams {
+            replicas: 8,
+            segments: 6,
+            ..RemParams::default()
+        };
+        assert_eq!(p.namd_invocations(), 48);
+        assert_eq!(p.index(2, 3), 2 * 7 + 3);
+    }
+}

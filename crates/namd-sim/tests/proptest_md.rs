@@ -1,0 +1,129 @@
+//! Property-based tests of the molecular-dynamics substrate.
+
+use namd_sim::force::compute_all;
+use namd_sim::io::{read_vectors, read_xsc, write_vectors, write_xsc, XscData};
+use namd_sim::system::ParticleSystem;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Momentum conservation: total force over all atoms is ~zero for
+    /// arbitrary configurations (Newton's third law summed).
+    #[test]
+    fn total_force_vanishes(
+        coords in prop::collection::vec(0.0f64..8.0, 3 * 3..3 * 12),
+    ) {
+        prop_assume!(coords.len() % 3 == 0);
+        let out = compute_all(&coords, 8.0, 2.5);
+        for d in 0..3 {
+            let total: f64 = out.forces.iter().skip(d).step_by(3).sum();
+            // Scale tolerance with force magnitude (close random pairs
+            // produce huge repulsions).
+            let magnitude: f64 = out
+                .forces
+                .iter()
+                .skip(d)
+                .step_by(3)
+                .map(|f| f.abs())
+                .sum::<f64>()
+                .max(1.0);
+            prop_assert!(
+                (total / magnitude).abs() < 1e-9,
+                "net force {total} vs magnitude {magnitude}"
+            );
+        }
+    }
+
+    /// The block decomposition equals the monolithic computation for any
+    /// split point — the invariant that makes parallel MD correct.
+    #[test]
+    fn any_block_split_matches_full(
+        coords in prop::collection::vec(0.0f64..6.0, 3 * 4..3 * 10),
+        split_frac in 0.0f64..1.0,
+    ) {
+        prop_assume!(coords.len() % 3 == 0);
+        let n = coords.len() / 3;
+        let split = ((n as f64 * split_frac) as usize).min(n);
+        let full = compute_all(&coords, 6.0, 2.0);
+        let a = namd_sim::force::compute_block(&coords, 0, split, 6.0, 2.0);
+        let b = namd_sim::force::compute_block(&coords, split, n - split, 6.0, 2.0);
+        let mut combined = a.forces;
+        combined.extend(b.forces);
+        for (x, y) in combined.iter().zip(full.forces.iter()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+        prop_assert!((a.potential + b.potential - full.potential).abs() < 1e-9);
+    }
+
+    /// Thermalize hits any requested temperature exactly and removes net
+    /// momentum, for arbitrary system shapes and seeds.
+    #[test]
+    fn thermalize_contract(
+        n in 4usize..60,
+        density in 0.05f64..0.5,
+        temperature in 0.05f64..4.0,
+        seed in 0u64..10_000,
+    ) {
+        let s = ParticleSystem::lattice(n, density, temperature, seed);
+        prop_assert_eq!(s.len(), n);
+        prop_assert!((s.temperature() - temperature).abs() < 1e-9);
+        for d in 0..3 {
+            let p: f64 = (0..n).map(|i| s.velocities[3 * i + d]).sum();
+            prop_assert!(p.abs() < 1e-9);
+        }
+    }
+
+    /// Restart files are bit-exact for arbitrary finite vectors.
+    #[test]
+    fn vector_files_bit_exact(
+        data in prop::collection::vec(
+            any::<f64>().prop_filter("finite", |f| f.is_finite()),
+            0..30,
+        ),
+        tag in 0u64..1_000_000,
+    ) {
+        prop_assume!(data.len() % 3 == 0);
+        let dir = std::env::temp_dir().join(format!("md-prop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("v{tag}.coor"));
+        write_vectors(&path, &data).unwrap();
+        let back = read_vectors(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(back, data);
+    }
+
+    /// XSC files round-trip arbitrary finite values.
+    #[test]
+    fn xsc_files_bit_exact(
+        step in 0u64..1_000_000,
+        potential in -1e12f64..1e12,
+        temperature in 0.0f64..1e6,
+        box_length in 0.1f64..1e6,
+        tag in 0u64..1_000_000,
+    ) {
+        let dir = std::env::temp_dir().join(format!("md-prop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("x{tag}.xsc"));
+        let xsc = XscData { step, potential, temperature, box_length };
+        write_xsc(&path, &xsc).unwrap();
+        let back = read_xsc(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(back, xsc);
+    }
+
+    /// The exchange delta is symmetric under relabelling the replicas —
+    /// both factors negate, so the product is invariant, and the accept
+    /// decision cannot depend on which replica is called "a".
+    #[test]
+    fn exchange_delta_symmetric(
+        t_a in 0.1f64..5.0,
+        t_b in 0.1f64..5.0,
+        e_a in -500.0f64..500.0,
+        e_b in -500.0f64..500.0,
+    ) {
+        let ab = namd_sim::exchange_delta(t_a, e_a, t_b, e_b);
+        let ba = namd_sim::exchange_delta(t_b, e_b, t_a, e_a);
+        prop_assert!((ab - ba).abs() < 1e-9 * (1.0 + ab.abs()));
+    }
+}

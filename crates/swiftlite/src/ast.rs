@@ -1,0 +1,226 @@
+//! Abstract syntax of swiftlite programs.
+
+/// Base types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Type {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+    /// A mapped file (dataflow token whose value is its path).
+    File,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (numeric addition or string concatenation).
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%%` (Swift modulus).
+    Mod,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Numeric negation.
+    Neg,
+    /// Boolean not.
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// Variable reference.
+    Var(String),
+    /// Array element `name[index]`.
+    Index(String, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Builtin function call (`strcat`, `toString`, ...). App calls are
+    /// parsed as this and resolved against app declarations at run time.
+    Call(String, Vec<Expr>),
+    /// `@x` — the filename of a file variable (valid in app bodies and
+    /// expressions).
+    Filename(Box<Expr>),
+}
+
+/// How a file variable maps to a path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mapping {
+    /// `<"literal/path">`.
+    Literal(Expr),
+    /// `<simple_mapper; prefix="p", suffix=".x">` — arrays append the
+    /// element index between prefix and suffix.
+    Simple {
+        /// Path prefix expression.
+        prefix: Expr,
+        /// Path suffix expression.
+        suffix: Expr,
+    },
+}
+
+/// An l-value: a variable or one of its elements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Plain variable.
+    Var(String),
+    /// Array element.
+    Index(String, Expr),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Variable declaration, possibly an array, mapped, or initialized.
+    Decl {
+        /// Element type.
+        ty: Type,
+        /// Name.
+        name: String,
+        /// Declared with `[]`.
+        is_array: bool,
+        /// Optional file mapping.
+        mapping: Option<Mapping>,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// Single assignment `lhs = rhs;` (rhs may be an app call).
+    Assign {
+        /// Target.
+        lhs: LValue,
+        /// Value.
+        rhs: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// Multi-output app call `(a, b) = app(args);`.
+    MultiAssign {
+        /// Targets, in app-output order.
+        lhs: Vec<LValue>,
+        /// The app name.
+        app: String,
+        /// The arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// `foreach v[, idx] in [lo:hi] { body }`.
+    Foreach {
+        /// Loop variable (the range value).
+        var: String,
+        /// Optional index variable (equals the value for ranges).
+        index: Option<String>,
+        /// Range lower bound (inclusive).
+        lo: Expr,
+        /// Range upper bound (inclusive, Swift-style).
+        hi: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: usize,
+    },
+    /// `if (cond) { } else { }`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then_body: Vec<Stmt>,
+        /// Else-branch.
+        else_body: Vec<Stmt>,
+        /// Source line.
+        line: usize,
+    },
+    /// Bare expression statement (e.g. `trace(...)` or an app call whose
+    /// outputs are all pre-mapped).
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Source line.
+        line: usize,
+    },
+}
+
+/// One token of an app command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppToken {
+    /// An expression whose value is rendered as one argument word.
+    Arg(Expr),
+    /// `stdout=@x` — redirect standard output to file variable `x`.
+    StdoutRedirect(String),
+}
+
+/// A declared app (leaf function bound to an executable).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppDecl {
+    /// App name.
+    pub name: String,
+    /// Output parameters `(type, name)` — all must be files or scalars
+    /// produced by the wrapper.
+    pub outputs: Vec<(Type, String)>,
+    /// Input parameters.
+    pub inputs: Vec<(Type, String)>,
+    /// MPI node count expression (default 1).
+    pub nodes: Option<Expr>,
+    /// MPI ranks-per-node expression (default 1).
+    pub ppn: Option<Expr>,
+    /// Command-line template; the first `Arg` is the executable.
+    pub body: Vec<AppToken>,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A parsed program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// App declarations by name.
+    pub apps: Vec<AppDecl>,
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Program {
+    /// Find an app declaration by name.
+    pub fn app(&self, name: &str) -> Option<&AppDecl> {
+        self.apps.iter().find(|a| a.name == name)
+    }
+}

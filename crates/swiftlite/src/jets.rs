@@ -1,0 +1,176 @@
+//! The Swift → JETS bridge: app calls become dispatcher jobs.
+//!
+//! This is the "MPICH/Coasters form" of the paper (Section 5.2): Swift
+//! scripts express the workflow; each app invocation is packed into a job
+//! specification — including its MPI shape — and submitted to the JETS
+//! dispatcher, which aggregates pilot-job workers, runs the PMI process
+//! manager, and launches the proxies.
+
+use crate::executor::{AppCall, AppExecutor};
+use jets_core::spec::{CommandSpec, JobSpec};
+use jets_core::{Dispatcher, JobStatus};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Runs app calls as JETS jobs.
+pub struct JetsExecutor {
+    dispatcher: Arc<Dispatcher>,
+    job_timeout: Duration,
+    max_retries: u32,
+}
+
+impl JetsExecutor {
+    /// Wrap a dispatcher. Jobs get `job_timeout` to finish.
+    pub fn new(dispatcher: Arc<Dispatcher>, job_timeout: Duration) -> JetsExecutor {
+        JetsExecutor {
+            dispatcher,
+            job_timeout,
+            max_retries: 0,
+        }
+    }
+
+    /// Builder-style per-job retry budget (worker-failure tolerance).
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    fn command(&self, call: &AppCall) -> CommandSpec {
+        // A leading '@' names a builtin application in the workers'
+        // registries; anything else is an executable on disk. The stdout
+        // redirect rides along as an environment variable (builtins and
+        // wrapper scripts honour it; see jets-worker docs).
+        let mut env = Vec::new();
+        if let Some(path) = &call.stdout {
+            env.push(("SWIFT_STDOUT".to_string(), path.clone()));
+        }
+        match call.executable.strip_prefix('@') {
+            Some(app) => CommandSpec::Builtin {
+                app: app.to_string(),
+                args: call.args.clone(),
+                env,
+            },
+            None => CommandSpec::Exec {
+                program: call.executable.clone(),
+                args: call.args.clone(),
+                env,
+            },
+        }
+    }
+}
+
+impl AppExecutor for JetsExecutor {
+    fn run(&self, call: &AppCall) -> Result<(), String> {
+        let spec = JobSpec {
+            nodes: call.nodes,
+            ppn: call.ppn,
+            cmd: self.command(call),
+            priority: 0,
+            max_retries: self.max_retries,
+            // Apps with an mpi() attribute always take the MPI path, even
+            // at 1×1 — their code expects a PMI environment.
+            mpi: call.mpi || call.nodes > 1 || call.ppn > 1,
+            stage: Vec::new(),
+        };
+        let id = self.dispatcher.submit(spec);
+        let record = self
+            .dispatcher
+            .wait_job(id, self.job_timeout)
+            .ok_or_else(|| {
+                format!(
+                    "job {id} ({}) did not finish within {:?}",
+                    call.executable, self.job_timeout
+                )
+            })?;
+        match record.status {
+            JobStatus::Succeeded => Ok(()),
+            status => Err(format!(
+                "job {id} ({}) ended {status:?} with exit codes {:?}",
+                call.executable, record.exit_codes
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jets_core::DispatcherConfig;
+    use jets_worker::apps::standard_registry;
+    use jets_worker::{Executor, Worker, WorkerConfig};
+
+    fn call(executable: &str, nodes: u32, ppn: u32) -> AppCall {
+        AppCall {
+            executable: executable.to_string(),
+            args: vec!["5".to_string()],
+            stdout: None,
+            nodes,
+            ppn,
+            mpi: nodes > 1 || ppn > 1,
+        }
+    }
+
+    #[test]
+    fn builtin_and_mpi_jobs_run_through_jets() {
+        let dispatcher = Arc::new(Dispatcher::start(DispatcherConfig::default()).unwrap());
+        let exec_backend = Arc::new(Executor::new(standard_registry()));
+        let workers: Vec<Worker> = (0..2)
+            .map(|i| {
+                Worker::spawn(
+                    WorkerConfig::new(dispatcher.addr().to_string(), format!("w{i}")),
+                    exec_backend.clone() as Arc<dyn jets_worker::TaskExecutor>,
+                )
+            })
+            .collect();
+        let jets = JetsExecutor::new(Arc::clone(&dispatcher), Duration::from_secs(30));
+        // Sequential builtin.
+        jets.run(&call("@sleep", 1, 1)).unwrap();
+        // MPI builtin across both workers.
+        jets.run(&call("@mpi-sleep", 2, 1)).unwrap();
+        // Failure propagates.
+        let err = jets.run(&call("@fail", 1, 1)).unwrap_err();
+        assert!(err.contains("Failed"), "err: {err}");
+        dispatcher.shutdown();
+        for w in workers {
+            w.join();
+        }
+    }
+
+    #[test]
+    fn stdout_redirect_becomes_env() {
+        let dispatcher = Arc::new(Dispatcher::start(DispatcherConfig::default()).unwrap());
+        let jets = JetsExecutor::new(Arc::clone(&dispatcher), Duration::from_secs(5));
+        let c = AppCall {
+            executable: "@x".into(),
+            args: vec![],
+            stdout: Some("/tmp/x.out".into()),
+            nodes: 1,
+            ppn: 1,
+            mpi: false,
+        };
+        match jets.command(&c) {
+            CommandSpec::Builtin { app, env, .. } => {
+                assert_eq!(app, "x");
+                assert_eq!(
+                    env,
+                    vec![("SWIFT_STDOUT".to_string(), "/tmp/x.out".to_string())]
+                );
+            }
+            other => panic!("expected builtin, got {other:?}"),
+        }
+        match jets.command(&AppCall {
+            executable: "bin/tool".into(),
+            args: vec!["a".into()],
+            stdout: None,
+            nodes: 1,
+            ppn: 1,
+            mpi: false,
+        }) {
+            CommandSpec::Exec { program, env, .. } => {
+                assert_eq!(program, "bin/tool");
+                assert!(env.is_empty());
+            }
+            other => panic!("expected exec, got {other:?}"),
+        }
+    }
+}

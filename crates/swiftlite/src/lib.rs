@@ -1,0 +1,62 @@
+//! # swiftlite — a mini-Swift dataflow scripting language
+//!
+//! The "language support" half of the JETS paper: application workflows
+//! are written as implicitly-parallel scripts in (a subset of) the Swift
+//! language (Wilde et al., *Parallel Computing* 37(9), 2011). Variables
+//! are single-assignment dataflow futures; all statements execute
+//! concurrently, limited only by data dependencies; `app` functions bind
+//! leaf tasks to command lines and — through this crate's `mpi(nodes=…,
+//! ppn=…)` extension — to MPI job shapes that the JETS dispatcher
+//! launches.
+//!
+//! The feature set is exactly what the paper's scripts need (Figs. 14 and
+//! 17): `int/float/string/boolean/file` types and arrays, literal and
+//! `simple_mapper` file mappings, `foreach` over ranges, `if`/`else`, the
+//! Swift `%%` modulus, `strcat`/`trace`/`toInt`/`toFloat`/`toString`
+//! builtins, multi-output app calls, and pre-existing mapped files as
+//! workflow inputs.
+//!
+//! ```
+//! use swiftlite::{FnExecutor, RunOptions, Workflow};
+//! use std::sync::Arc;
+//!
+//! // A pre-existing mapped file is treated as a workflow *input*, so
+//! // output paths must be fresh.
+//! let dir = std::env::temp_dir().join(format!("swiftlite-doc-{}", std::process::id()));
+//! std::fs::remove_dir_all(&dir).ok();
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let source = format!(r#"
+//!     app (file o) greet (string who) {{
+//!         "greeter" who stdout=@o
+//!     }}
+//!     foreach i in [0:2] {{
+//!         file out <single_file_mapper; file=strcat("{}/", i, ".out")>;
+//!         out = greet(strcat("world-", i));
+//!         trace("submitted", i);
+//!     }}
+//! "#, dir.display());
+//! let workflow = Workflow::parse(&source).unwrap();
+//! let executor = FnExecutor::new();
+//! executor.register("greeter", |call| {
+//!     std::fs::write(call.stdout.as_ref().unwrap(), &call.args[0]).map_err(|e| e.to_string())
+//! });
+//! let report = workflow.run(Arc::new(executor), RunOptions::default()).unwrap();
+//! assert_eq!(report.apps_run, 3);
+//! assert_eq!(report.traces.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod engine;
+pub mod executor;
+pub mod jets;
+pub mod parser;
+pub mod token;
+pub mod value;
+
+pub use engine::{RunOptions, SwiftError, Workflow, WorkflowReport};
+pub use executor::{AppCall, AppExecutor, FnExecutor, ProcessExecutor};
+pub use jets::JetsExecutor;
+pub use parser::parse;
+pub use value::Value;

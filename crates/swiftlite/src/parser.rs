@@ -1,0 +1,875 @@
+//! Recursive-descent parser for swiftlite.
+
+use crate::ast::*;
+use crate::token::{tokenize, Token, TokenKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parse error with source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a whole program.
+pub fn parse(source: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(source).map_err(|e| ParseError {
+        line: e.line,
+        message: e.message,
+    })?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        type_aliases: default_types(),
+    };
+    parser.program()
+}
+
+fn default_types() -> HashMap<String, Type> {
+    [
+        ("int", Type::Int),
+        ("float", Type::Float),
+        ("string", Type::Str),
+        ("boolean", Type::Bool),
+        ("file", Type::File),
+    ]
+    .into_iter()
+    .map(|(k, v)| (k.to_string(), v))
+    .collect()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    type_aliases: HashMap<String, Type>,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, offset: usize) -> &TokenKind {
+        let idx = (self.pos + offset).min(self.tokens.len() - 1);
+        &self.tokens[idx].kind
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        if self.peek() == kind {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kind}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn is_type_name(&self, name: &str) -> bool {
+        self.type_aliases.contains_key(name)
+    }
+
+    fn type_of(&self, name: &str) -> Option<Type> {
+        self.type_aliases.get(name).copied()
+    }
+
+    // ---- grammar ----
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut program = Program::default();
+        while self.peek() != &TokenKind::Eof {
+            match self.peek() {
+                TokenKind::Ident(name) if name == "type" => self.type_decl()?,
+                TokenKind::Ident(name) if name == "app" => {
+                    let app = self.app_decl()?;
+                    if program.app(&app.name).is_some() {
+                        return Err(self.error(format!("duplicate app '{}'", app.name)));
+                    }
+                    program.apps.push(app);
+                }
+                _ => program.body.push(self.statement()?),
+            }
+        }
+        Ok(program)
+    }
+
+    /// `type name;` — registers a file-like alias (Swift's `type file;`).
+    fn type_decl(&mut self) -> Result<(), ParseError> {
+        self.advance(); // 'type'
+        let name = self.expect_ident()?;
+        self.type_aliases.entry(name).or_insert(Type::File);
+        self.expect(&TokenKind::Semi)
+    }
+
+    /// `app (outputs) name (inputs) [mpi(nodes=…, ppn=…)] { tokens }`
+    fn app_decl(&mut self) -> Result<AppDecl, ParseError> {
+        let line = self.line();
+        self.advance(); // 'app'
+        self.expect(&TokenKind::LParen)?;
+        let outputs = self.param_list()?;
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let inputs = self.param_list()?;
+
+        let mut nodes = None;
+        let mut ppn = None;
+        if let TokenKind::Ident(attr) = self.peek() {
+            if attr == "mpi" {
+                self.advance();
+                self.expect(&TokenKind::LParen)?;
+                loop {
+                    let key = self.expect_ident()?;
+                    self.expect(&TokenKind::Eq)?;
+                    let value = self.expression()?;
+                    match key.as_str() {
+                        "nodes" => nodes = Some(value),
+                        "ppn" => ppn = Some(value),
+                        other => {
+                            return Err(self.error(format!("unknown mpi attribute '{other}'")))
+                        }
+                    }
+                    if self.peek() == &TokenKind::Comma {
+                        self.advance();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+            }
+        }
+
+        self.expect(&TokenKind::LBrace)?;
+        let mut body = Vec::new();
+        while self.peek() != &TokenKind::RBrace {
+            if self.peek() == &TokenKind::Semi {
+                self.advance();
+                continue;
+            }
+            // `stdout=@x` redirect?
+            if let (TokenKind::Ident(id), TokenKind::Eq) = (self.peek(), self.peek_at(1)) {
+                if id == "stdout" {
+                    self.advance();
+                    self.advance();
+                    self.expect(&TokenKind::At)?;
+                    let target = self.expect_ident()?;
+                    body.push(AppToken::StdoutRedirect(target));
+                    continue;
+                }
+            }
+            body.push(AppToken::Arg(self.app_word()?));
+        }
+        self.expect(&TokenKind::RBrace)?;
+        if !body
+            .iter()
+            .any(|t| matches!(t, AppToken::Arg(_)))
+        {
+            return Err(ParseError {
+                line,
+                message: format!("app '{name}' has an empty command line"),
+            });
+        }
+        Ok(AppDecl {
+            name,
+            outputs,
+            inputs,
+            nodes,
+            ppn,
+            body,
+            line,
+        })
+    }
+
+    /// One word of an app command line: a primary expression (no binary
+    /// operators, so adjacent words don't merge).
+    fn app_word(&mut self) -> Result<Expr, ParseError> {
+        self.postfix()
+    }
+
+    fn param_list(&mut self) -> Result<Vec<(Type, String)>, ParseError> {
+        let mut params = Vec::new();
+        if self.peek() == &TokenKind::RParen {
+            self.advance();
+            return Ok(params);
+        }
+        loop {
+            let ty_name = self.expect_ident()?;
+            let ty = self
+                .type_of(&ty_name)
+                .ok_or_else(|| self.error(format!("unknown type '{ty_name}'")))?;
+            let name = self.expect_ident()?;
+            // Array parameters are not supported; keep the door shut
+            // explicitly for a clear diagnostic.
+            if self.peek() == &TokenKind::LBracket {
+                return Err(self.error("array parameters are not supported"));
+            }
+            params.push((ty, name));
+            match self.advance() {
+                TokenKind::Comma => continue,
+                TokenKind::RParen => break,
+                other => {
+                    return Err(ParseError {
+                        line: self.line(),
+                        message: format!("expected ',' or ')', found {other}"),
+                    })
+                }
+            }
+        }
+        Ok(params)
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut body = Vec::new();
+        while self.peek() != &TokenKind::RBrace {
+            body.push(self.statement()?);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(body)
+    }
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        match self.peek().clone() {
+            TokenKind::Ident(name) if name == "foreach" => self.foreach_stmt(),
+            TokenKind::Ident(name) if name == "if" => self.if_stmt(),
+            TokenKind::Ident(name) if self.is_type_name(&name) => self.decl_stmt(),
+            TokenKind::LParen => self.multi_assign(),
+            TokenKind::Ident(_) => {
+                // assignment (x = …, a[i] = …) or expression statement.
+                match self.peek_at(1) {
+                    TokenKind::Eq => {
+                        let name = self.expect_ident()?;
+                        self.advance(); // '='
+                        let rhs = self.expression()?;
+                        self.expect(&TokenKind::Semi)?;
+                        Ok(Stmt::Assign {
+                            lhs: LValue::Var(name),
+                            rhs,
+                            line,
+                        })
+                    }
+                    TokenKind::LBracket => {
+                        let name = self.expect_ident()?;
+                        self.advance(); // '['
+                        let index = self.expression()?;
+                        self.expect(&TokenKind::RBracket)?;
+                        self.expect(&TokenKind::Eq)?;
+                        let rhs = self.expression()?;
+                        self.expect(&TokenKind::Semi)?;
+                        Ok(Stmt::Assign {
+                            lhs: LValue::Index(name, index),
+                            rhs,
+                            line,
+                        })
+                    }
+                    _ => {
+                        let expr = self.expression()?;
+                        self.expect(&TokenKind::Semi)?;
+                        Ok(Stmt::Expr { expr, line })
+                    }
+                }
+            }
+            other => Err(self.error(format!("expected a statement, found {other}"))),
+        }
+    }
+
+    fn decl_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        let ty_name = self.expect_ident()?;
+        let ty = self.type_of(&ty_name).expect("checked by caller");
+        let name = self.expect_ident()?;
+        let mut is_array = false;
+        if self.peek() == &TokenKind::LBracket {
+            self.advance();
+            self.expect(&TokenKind::RBracket)?;
+            is_array = true;
+        }
+        let mut mapping = None;
+        if self.peek() == &TokenKind::Lt {
+            mapping = Some(self.mapping()?);
+        }
+        let mut init = None;
+        if self.peek() == &TokenKind::Eq {
+            self.advance();
+            init = Some(self.expression()?);
+        }
+        self.expect(&TokenKind::Semi)?;
+        if mapping.is_some() && ty != Type::File {
+            return Err(ParseError {
+                line,
+                message: "only file variables can be mapped".to_string(),
+            });
+        }
+        Ok(Stmt::Decl {
+            ty,
+            name,
+            is_array,
+            mapping,
+            init,
+            line,
+        })
+    }
+
+    /// `<"path">` | `<single_file_mapper; file=expr>` |
+    /// `<simple_mapper; prefix=expr[, suffix=expr]>`
+    fn mapping(&mut self) -> Result<Mapping, ParseError> {
+        self.expect(&TokenKind::Lt)?;
+        let mapping = match self.peek().clone() {
+            TokenKind::Ident(mapper) => {
+                self.advance();
+                let mut fields: Vec<(String, Expr)> = Vec::new();
+                if self.peek() == &TokenKind::Semi {
+                    self.advance();
+                    loop {
+                        let key = self.expect_ident()?;
+                        self.expect(&TokenKind::Eq)?;
+                        // Additive level: '>' must stay the closer.
+                        let value = self.additive()?;
+                        fields.push((key, value));
+                        if self.peek() == &TokenKind::Comma {
+                            self.advance();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                let field = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v.clone());
+                match mapper.as_str() {
+                    "single_file_mapper" => Mapping::Literal(
+                        field("file")
+                            .ok_or_else(|| self.error("single_file_mapper needs file="))?,
+                    ),
+                    "simple_mapper" => Mapping::Simple {
+                        prefix: field("prefix")
+                            .ok_or_else(|| self.error("simple_mapper needs prefix="))?,
+                        suffix: field("suffix").unwrap_or(Expr::Str(String::new())),
+                    },
+                    other => return Err(self.error(format!("unknown mapper '{other}'"))),
+                }
+            }
+            _ => {
+                let expr = self.additive()?;
+                Mapping::Literal(expr)
+            }
+        };
+        self.expect(&TokenKind::Gt)?;
+        Ok(mapping)
+    }
+
+    fn foreach_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        self.advance(); // 'foreach'
+        let var = self.expect_ident()?;
+        let mut index = None;
+        if self.peek() == &TokenKind::Comma {
+            self.advance();
+            index = Some(self.expect_ident()?);
+        }
+        match self.advance() {
+            TokenKind::Ident(kw) if kw == "in" => {}
+            other => {
+                return Err(ParseError {
+                    line: self.line(),
+                    message: format!("expected 'in', found {other}"),
+                })
+            }
+        }
+        self.expect(&TokenKind::LBracket)?;
+        let lo = self.expression()?;
+        self.expect(&TokenKind::Colon)?;
+        let hi = self.expression()?;
+        self.expect(&TokenKind::RBracket)?;
+        let body = self.block()?;
+        Ok(Stmt::Foreach {
+            var,
+            index,
+            lo,
+            hi,
+            body,
+            line,
+        })
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        self.advance(); // 'if'
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expression()?;
+        self.expect(&TokenKind::RParen)?;
+        let then_body = self.block()?;
+        let mut else_body = Vec::new();
+        if let TokenKind::Ident(kw) = self.peek() {
+            if kw == "else" {
+                self.advance();
+                if let TokenKind::Ident(kw2) = self.peek() {
+                    if kw2 == "if" {
+                        // else-if chains nest as a single-statement block.
+                        else_body = vec![self.if_stmt()?];
+                        return Ok(Stmt::If {
+                            cond,
+                            then_body,
+                            else_body,
+                            line,
+                        });
+                    }
+                }
+                else_body = self.block()?;
+            }
+        }
+        Ok(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            line,
+        })
+    }
+
+    /// `(a, b) = app(args);`
+    fn multi_assign(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        self.expect(&TokenKind::LParen)?;
+        let mut lhs = Vec::new();
+        loop {
+            let name = self.expect_ident()?;
+            if self.peek() == &TokenKind::LBracket {
+                self.advance();
+                let idx = self.expression()?;
+                self.expect(&TokenKind::RBracket)?;
+                lhs.push(LValue::Index(name, idx));
+            } else {
+                lhs.push(LValue::Var(name));
+            }
+            match self.advance() {
+                TokenKind::Comma => continue,
+                TokenKind::RParen => break,
+                other => {
+                    return Err(ParseError {
+                        line: self.line(),
+                        message: format!("expected ',' or ')', found {other}"),
+                    })
+                }
+            }
+        }
+        self.expect(&TokenKind::Eq)?;
+        let app = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() == &TokenKind::RParen {
+            self.advance();
+        } else {
+            loop {
+                args.push(self.expression()?);
+                match self.advance() {
+                    TokenKind::Comma => continue,
+                    TokenKind::RParen => break,
+                    other => {
+                        return Err(ParseError {
+                            line: self.line(),
+                            message: format!("expected ',' or ')', found {other}"),
+                        })
+                    }
+                }
+            }
+        }
+        self.expect(&TokenKind::Semi)?;
+        Ok(Stmt::MultiAssign {
+            lhs,
+            app,
+            args,
+            line,
+        })
+    }
+
+    // ---- expressions, precedence climbing ----
+
+    fn expression(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == &TokenKind::OrOr {
+            self.advance();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.equality()?;
+        while self.peek() == &TokenKind::AndAnd {
+            self.advance();
+            let rhs = self.equality()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.comparison()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::EqEq => BinOp::Eq,
+                TokenKind::Ne => BinOp::Ne,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.comparison()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.additive()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Mod => BinOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.unary()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            TokenKind::Minus => {
+                self.advance();
+                Ok(Expr::Un(UnOp::Neg, Box::new(self.unary()?)))
+            }
+            TokenKind::Bang => {
+                self.advance();
+                Ok(Expr::Un(UnOp::Not, Box::new(self.unary()?)))
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.advance();
+                Ok(Expr::Int(v))
+            }
+            TokenKind::Float(v) => {
+                self.advance();
+                Ok(Expr::Float(v))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Expr::Str(s))
+            }
+            TokenKind::At => {
+                self.advance();
+                // @x or @(expr) or @a[i]
+                let inner = self.postfix()?;
+                Ok(Expr::Filename(Box::new(inner)))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let e = self.expression()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                match name.as_str() {
+                    "true" => return Ok(Expr::Bool(true)),
+                    "false" => return Ok(Expr::Bool(false)),
+                    _ => {}
+                }
+                match self.peek() {
+                    TokenKind::LParen => {
+                        self.advance();
+                        let mut args = Vec::new();
+                        if self.peek() == &TokenKind::RParen {
+                            self.advance();
+                        } else {
+                            loop {
+                                args.push(self.expression()?);
+                                match self.advance() {
+                                    TokenKind::Comma => continue,
+                                    TokenKind::RParen => break,
+                                    other => {
+                                        return Err(ParseError {
+                                            line: self.line(),
+                                            message: format!(
+                                                "expected ',' or ')', found {other}"
+                                            ),
+                                        })
+                                    }
+                                }
+                            }
+                        }
+                        Ok(Expr::Call(name, args))
+                    }
+                    TokenKind::LBracket => {
+                        self.advance();
+                        let idx = self.expression()?;
+                        self.expect(&TokenKind::RBracket)?;
+                        Ok(Expr::Index(name, Box::new(idx)))
+                    }
+                    _ => Ok(Expr::Var(name)),
+                }
+            }
+            other => Err(self.error(format!("expected an expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_declarations() {
+        let p = parse("int n = 10;\nfloat x;\nstring s = \"hi\";\n").unwrap();
+        assert_eq!(p.body.len(), 3);
+        assert!(matches!(
+            &p.body[0],
+            Stmt::Decl { ty: Type::Int, name, init: Some(Expr::Int(10)), .. } if name == "n"
+        ));
+    }
+
+    #[test]
+    fn parses_mapped_file_declarations() {
+        let p = parse(
+            "file f <\"a.txt\">;\nfile g[] <simple_mapper; prefix=\"out/c_\", suffix=\".coor\">;\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            &p.body[0],
+            Stmt::Decl { ty: Type::File, mapping: Some(Mapping::Literal(Expr::Str(s))), is_array: false, .. } if s == "a.txt"
+        ));
+        assert!(matches!(
+            &p.body[1],
+            Stmt::Decl { is_array: true, mapping: Some(Mapping::Simple { .. }), .. }
+        ));
+    }
+
+    #[test]
+    fn parses_app_declaration_with_mpi_attribute() {
+        let src = r#"
+app (file o) namd (file c, int steps) mpi(nodes=4, ppn=2) {
+    "namd-lite" "--steps" steps @c stdout=@o
+}
+"#;
+        let p = parse(src).unwrap();
+        let app = p.app("namd").unwrap();
+        assert_eq!(app.outputs, vec![(Type::File, "o".to_string())]);
+        assert_eq!(
+            app.inputs,
+            vec![(Type::File, "c".to_string()), (Type::Int, "steps".to_string())]
+        );
+        assert_eq!(app.nodes, Some(Expr::Int(4)));
+        assert_eq!(app.ppn, Some(Expr::Int(2)));
+        assert_eq!(app.body.len(), 5);
+        assert!(matches!(&app.body[4], AppToken::StdoutRedirect(t) if t == "o"));
+        assert!(
+            matches!(&app.body[3], AppToken::Arg(Expr::Filename(inner)) if matches!(**inner, Expr::Var(ref v) if v == "c"))
+        );
+    }
+
+    #[test]
+    fn parses_foreach_over_range() {
+        let p = parse("foreach i in [0:9] { trace(i); }").unwrap();
+        assert!(matches!(
+            &p.body[0],
+            Stmt::Foreach { var, lo: Expr::Int(0), hi: Expr::Int(9), body, .. }
+                if var == "i" && body.len() == 1
+        ));
+    }
+
+    #[test]
+    fn parses_if_else_with_modulus() {
+        let p = parse("if (j %% 2 == 1) { trace(1); } else { trace(2); }").unwrap();
+        let Stmt::If { cond, then_body, else_body, .. } = &p.body[0] else {
+            panic!("expected if");
+        };
+        assert!(matches!(cond, Expr::Bin(BinOp::Eq, _, _)));
+        assert_eq!(then_body.len(), 1);
+        assert_eq!(else_body.len(), 1);
+    }
+
+    #[test]
+    fn parses_else_if_chain() {
+        let p = parse("if (a) { } else if (b) { } else { trace(1); }").unwrap();
+        let Stmt::If { else_body, .. } = &p.body[0] else {
+            panic!()
+        };
+        assert!(matches!(&else_body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parses_array_assignment_and_indexing() {
+        let p = parse("c[i+1] = namd(c[i]);").unwrap();
+        assert!(matches!(
+            &p.body[0],
+            Stmt::Assign { lhs: LValue::Index(name, _), rhs: Expr::Call(app, _), .. }
+                if name == "c" && app == "namd"
+        ));
+    }
+
+    #[test]
+    fn parses_multi_output_assignment() {
+        let p = parse("(c[k], v[k], o) = namd(c[p], v[p], 10);").unwrap();
+        let Stmt::MultiAssign { lhs, app, args, .. } = &p.body[0] else {
+            panic!("expected multi-assign");
+        };
+        assert_eq!(lhs.len(), 3);
+        assert_eq!(app, "namd");
+        assert_eq!(args.len(), 3);
+        assert!(matches!(&lhs[2], LValue::Var(v) if v == "o"));
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let p = parse("int x = 1 + 2 * 3;").unwrap();
+        let Stmt::Decl { init: Some(e), .. } = &p.body[0] else {
+            panic!()
+        };
+        // 1 + (2 * 3)
+        assert!(matches!(
+            e,
+            Expr::Bin(BinOp::Add, lhs, rhs)
+                if matches!(**lhs, Expr::Int(1)) && matches!(**rhs, Expr::Bin(BinOp::Mul, _, _))
+        ));
+    }
+
+    #[test]
+    fn type_alias_declares_file_like_type() {
+        let p = parse("type restart;\nrestart r <\"a.coor\">;\n").unwrap();
+        assert!(matches!(&p.body[0], Stmt::Decl { ty: Type::File, .. }));
+    }
+
+    #[test]
+    fn rejects_mapping_on_non_file() {
+        assert!(parse("int x <\"a\">;").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_app() {
+        let src = "app (file o) a() { \"x\" }\napp (file o) a() { \"y\" }\n";
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("duplicate app"));
+    }
+
+    #[test]
+    fn rejects_empty_app_body() {
+        let e = parse("app (file o) a() { stdout=@o }").unwrap_err();
+        assert!(e.message.contains("empty command line"));
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let e = parse("int x = 1;\nint y = ;\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn parses_rem_style_script() {
+        // A miniature of the paper's Fig. 17 core loop.
+        let src = r#"
+type file;
+app (file c_out, file o) namd (file c_in, int steps) mpi(nodes=2, ppn=1) {
+    "namd-lite" @c_in steps stdout=@o
+}
+app (file x) exchange (file a, file b) {
+    "rem-exchange" @a @b
+}
+int replicas = 4;
+int exchanges = 2;
+file c[] <simple_mapper; prefix="seg_", suffix=".coor">;
+file o[] <simple_mapper; prefix="seg_", suffix=".log">;
+file x[] <simple_mapper; prefix="ex_", suffix=".out">;
+foreach i in [0:replicas-1] {
+    foreach j in [0:exchanges] {
+        int current = i * (exchanges + 1) + j;
+        if (j %% 2 == 1) {
+            trace("exchange phase", i, j);
+        }
+        (c[current], o[current]) = namd(c[current], 10);
+    }
+}
+"#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.apps.len(), 2);
+        assert_eq!(p.body.len(), 6);
+    }
+}

@@ -1,0 +1,439 @@
+//! Lexer for the swiftlite language.
+//!
+//! Token inventory follows Swift's surface syntax where the paper uses
+//! it, including the `%%` modulus operator ("In Swift scripts, the `%%`
+//! operator represents modulus", Section 6.2.2).
+
+use std::fmt;
+
+/// A lexical token with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Double-quoted string literal (escapes processed).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `=`
+    Eq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%%` (Swift modulus)
+    Mod,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `@`
+    At,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier '{s}'"),
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::Float(v) => write!(f, "float {v}"),
+            TokenKind::Str(s) => write!(f, "string \"{s}\""),
+            TokenKind::LParen => write!(f, "'('"),
+            TokenKind::RParen => write!(f, "')'"),
+            TokenKind::LBrace => write!(f, "'{{'"),
+            TokenKind::RBrace => write!(f, "'}}'"),
+            TokenKind::LBracket => write!(f, "'['"),
+            TokenKind::RBracket => write!(f, "']'"),
+            TokenKind::Lt => write!(f, "'<'"),
+            TokenKind::Gt => write!(f, "'>'"),
+            TokenKind::Le => write!(f, "'<='"),
+            TokenKind::Ge => write!(f, "'>='"),
+            TokenKind::EqEq => write!(f, "'=='"),
+            TokenKind::Ne => write!(f, "'!='"),
+            TokenKind::Eq => write!(f, "'='"),
+            TokenKind::Plus => write!(f, "'+'"),
+            TokenKind::Minus => write!(f, "'-'"),
+            TokenKind::Star => write!(f, "'*'"),
+            TokenKind::Slash => write!(f, "'/'"),
+            TokenKind::Mod => write!(f, "'%%'"),
+            TokenKind::AndAnd => write!(f, "'&&'"),
+            TokenKind::OrOr => write!(f, "'||'"),
+            TokenKind::Bang => write!(f, "'!'"),
+            TokenKind::Comma => write!(f, "','"),
+            TokenKind::Semi => write!(f, "';'"),
+            TokenKind::Colon => write!(f, "':'"),
+            TokenKind::At => write!(f, "'@'"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `source`, appending a final [`TokenKind::Eof`].
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let n = bytes.len();
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '#' => {
+                // Line comment.
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                i += 2;
+                loop {
+                    if i + 1 >= n {
+                        return Err(LexError {
+                            line,
+                            message: "unterminated block comment".to_string(),
+                        });
+                    }
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == '*' && bytes[i + 1] == '/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start_line = line;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= n {
+                        return Err(LexError {
+                            line: start_line,
+                            message: "unterminated string literal".to_string(),
+                        });
+                    }
+                    match bytes[i] {
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        '\\' => {
+                            i += 1;
+                            if i >= n {
+                                return Err(LexError {
+                                    line: start_line,
+                                    message: "unterminated escape".to_string(),
+                                });
+                            }
+                            s.push(match bytes[i] {
+                                'n' => '\n',
+                                't' => '\t',
+                                '\\' => '\\',
+                                '"' => '"',
+                                other => {
+                                    return Err(LexError {
+                                        line,
+                                        message: format!("unknown escape '\\{other}'"),
+                                    })
+                                }
+                            });
+                            i += 1;
+                        }
+                        '\n' => {
+                            return Err(LexError {
+                                line: start_line,
+                                message: "newline in string literal".to_string(),
+                            })
+                        }
+                        other => {
+                            s.push(other);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    line: start_line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < n && bytes[i] == '.' && i + 1 < n && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < n && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| LexError {
+                        line,
+                        message: format!("bad float literal '{text}'"),
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| LexError {
+                        line,
+                        message: format!("integer literal '{text}' out of range"),
+                    })?)
+                };
+                tokens.push(Token { kind, line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                tokens.push(Token {
+                    kind: TokenKind::Ident(text),
+                    line,
+                });
+            }
+            _ => {
+                let two: String = bytes[i..n.min(i + 2)].iter().collect();
+                let (kind, width) = match two.as_str() {
+                    "<=" => (TokenKind::Le, 2),
+                    ">=" => (TokenKind::Ge, 2),
+                    "==" => (TokenKind::EqEq, 2),
+                    "!=" => (TokenKind::Ne, 2),
+                    "%%" => (TokenKind::Mod, 2),
+                    "&&" => (TokenKind::AndAnd, 2),
+                    "||" => (TokenKind::OrOr, 2),
+                    _ => match c {
+                        '(' => (TokenKind::LParen, 1),
+                        ')' => (TokenKind::RParen, 1),
+                        '{' => (TokenKind::LBrace, 1),
+                        '}' => (TokenKind::RBrace, 1),
+                        '[' => (TokenKind::LBracket, 1),
+                        ']' => (TokenKind::RBracket, 1),
+                        '<' => (TokenKind::Lt, 1),
+                        '>' => (TokenKind::Gt, 1),
+                        '=' => (TokenKind::Eq, 1),
+                        '+' => (TokenKind::Plus, 1),
+                        '-' => (TokenKind::Minus, 1),
+                        '*' => (TokenKind::Star, 1),
+                        '/' => (TokenKind::Slash, 1),
+                        '!' => (TokenKind::Bang, 1),
+                        ',' => (TokenKind::Comma, 1),
+                        ';' => (TokenKind::Semi, 1),
+                        ':' => (TokenKind::Colon, 1),
+                        '@' => (TokenKind::At, 1),
+                        other => {
+                            return Err(LexError {
+                                line,
+                                message: format!("unexpected character '{other}'"),
+                            })
+                        }
+                    },
+                };
+                tokens.push(Token { kind, line });
+                i += width;
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        assert_eq!(
+            kinds("int x = 42;"),
+            vec![
+                TokenKind::Ident("int".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Eq,
+                TokenKind::Int(42),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_modulus_and_comparisons() {
+        assert_eq!(
+            kinds("j %% 2 == 1 <= 2 >= 3 != 4"),
+            vec![
+                TokenKind::Ident("j".into()),
+                TokenKind::Mod,
+                TokenKind::Int(2),
+                TokenKind::EqEq,
+                TokenKind::Int(1),
+                TokenKind::Le,
+                TokenKind::Int(2),
+                TokenKind::Ge,
+                TokenKind::Int(3),
+                TokenKind::Ne,
+                TokenKind::Int(4),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""a\"b\n" "plain""#),
+            vec![
+                TokenKind::Str("a\"b\n".into()),
+                TokenKind::Str("plain".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_floats_and_ints_distinctly() {
+        assert_eq!(
+            kinds("1.5 2 0.25"),
+            vec![
+                TokenKind::Float(1.5),
+                TokenKind::Int(2),
+                TokenKind::Float(0.25),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_of_all_styles() {
+        let src = "# hash\n1 // slash\n/* block\nstill */ 2";
+        assert_eq!(
+            kinds(src),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let tokens = tokenize("a\nb\n\nc").unwrap();
+        let lines: Vec<usize> = tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(tokenize("\"oops").is_err());
+        assert!(tokenize("\"nl\n\"").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let e = tokenize("a $ b").unwrap_err();
+        assert!(e.message.contains('$'));
+    }
+
+    #[test]
+    fn single_percent_is_an_error() {
+        // Swift modulus is %%; a lone % is not a token.
+        assert!(tokenize("a % b").is_err());
+    }
+
+    #[test]
+    fn lexes_mapping_brackets() {
+        assert_eq!(
+            kinds("<\"f.txt\">"),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Str("f.txt".into()),
+                TokenKind::Gt,
+                TokenKind::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests of the language front-end and evaluator.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use swiftlite::{FnExecutor, RunOptions, Workflow};
+
+/// A model expression we can both render as swiftlite source and
+/// evaluate in Rust.
+#[derive(Debug, Clone)]
+enum ModelExpr {
+    Lit(i64),
+    Add(Box<ModelExpr>, Box<ModelExpr>),
+    Sub(Box<ModelExpr>, Box<ModelExpr>),
+    Mul(Box<ModelExpr>, Box<ModelExpr>),
+    Mod(Box<ModelExpr>, Box<ModelExpr>),
+}
+
+impl ModelExpr {
+    fn render(&self) -> String {
+        match self {
+            ModelExpr::Lit(v) => {
+                if *v < 0 {
+                    format!("(0 - {})", -v)
+                } else {
+                    v.to_string()
+                }
+            }
+            ModelExpr::Add(a, b) => format!("({} + {})", a.render(), b.render()),
+            ModelExpr::Sub(a, b) => format!("({} - {})", a.render(), b.render()),
+            ModelExpr::Mul(a, b) => format!("({} * {})", a.render(), b.render()),
+            ModelExpr::Mod(a, b) => format!("({} %% {})", a.render(), b.render()),
+        }
+    }
+
+    fn eval(&self) -> i64 {
+        match self {
+            ModelExpr::Lit(v) => *v,
+            ModelExpr::Add(a, b) => a.eval().wrapping_add(b.eval()),
+            ModelExpr::Sub(a, b) => a.eval().wrapping_sub(b.eval()),
+            ModelExpr::Mul(a, b) => a.eval().wrapping_mul(b.eval()),
+            ModelExpr::Mod(a, b) => a.eval().rem_euclid(b.eval()),
+        }
+    }
+}
+
+fn model_expr() -> impl Strategy<Value = ModelExpr> {
+    let leaf = (-50i64..50).prop_map(ModelExpr::Lit);
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ModelExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ModelExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ModelExpr::Mul(Box::new(a), Box::new(b))),
+            // Divisor strictly positive so %% is total.
+            (inner, (1i64..40).prop_map(ModelExpr::Lit))
+                .prop_map(|(a, b)| ModelExpr::Mod(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn options(tag: u64) -> RunOptions {
+    RunOptions {
+        work_dir: std::env::temp_dir().join(format!(
+            "swift-prop-{tag}-{}",
+            std::process::id()
+        )),
+        wait_timeout: std::time::Duration::from_secs(20),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The interpreter agrees with a reference evaluator on arbitrary
+    /// integer arithmetic, including the Swift `%%` operator.
+    #[test]
+    fn arithmetic_matches_reference(expr in model_expr(), tag in 0u64..1_000_000) {
+        // Keep magnitudes sane: reject overflow-prone trees by value.
+        let expected = expr.eval();
+        prop_assume!(expected.abs() < 1_000_000_000);
+        let source = format!("int r = {};\ntrace(r);\n", expr.render());
+        let report = Workflow::parse(&source)
+            .unwrap()
+            .run(Arc::new(FnExecutor::new()), options(tag))
+            .unwrap();
+        prop_assert_eq!(&report.traces, &vec![expected.to_string()]);
+    }
+
+    /// The lexer/parser never panic on arbitrary input — they return
+    /// structured errors.
+    #[test]
+    fn parser_total_on_arbitrary_input(src in ".{0,200}") {
+        let _ = Workflow::parse(&src);
+    }
+
+    /// The parser is total on inputs built from language-ish tokens too
+    /// (denser in near-miss programs than uniformly random text).
+    #[test]
+    fn parser_total_on_tokenish_input(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("int".to_string()),
+                Just("file".to_string()),
+                Just("foreach".to_string()),
+                Just("app".to_string()),
+                Just("if".to_string()),
+                Just("=".to_string()),
+                Just(";".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just("[".to_string()),
+                Just("]".to_string()),
+                Just("%%".to_string()),
+                Just("x".to_string()),
+                Just("42".to_string()),
+                Just("\"s\"".to_string()),
+            ],
+            0..30,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = Workflow::parse(&src);
+    }
+
+    /// strcat agrees with plain Rust concatenation for arbitrary
+    /// alphanumeric fragments.
+    #[test]
+    fn strcat_matches_reference(parts in prop::collection::vec("[a-zA-Z0-9_.]{0,10}", 1..6), tag in 0u64..1_000_000) {
+        let args = parts
+            .iter()
+            .map(|p| format!("\"{p}\""))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let source = format!("trace(strcat({args}));\n");
+        let report = Workflow::parse(&source)
+            .unwrap()
+            .run(Arc::new(FnExecutor::new()), options(tag.wrapping_add(1)))
+            .unwrap();
+        prop_assert_eq!(&report.traces, &vec![parts.concat()]);
+    }
+
+    /// foreach over [lo:hi] visits exactly the inclusive range, whatever
+    /// the bounds.
+    #[test]
+    fn foreach_covers_inclusive_range(lo in -20i64..20, span in 0i64..20, tag in 0u64..1_000_000) {
+        let hi = lo + span;
+        let source = format!("foreach i in [{lo}:{hi}] {{ trace(i); }}\n");
+        let report = Workflow::parse(&source)
+            .unwrap()
+            .run(Arc::new(FnExecutor::new()), options(tag.wrapping_add(2)))
+            .unwrap();
+        let mut got: Vec<i64> = report.traces.iter().map(|t| t.parse().unwrap()).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, (lo..=hi).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,82 @@
+//! Quickstart: dispatcher + simulated allocation + a mixed batch.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Boots a 8-node simulated allocation, runs a batch mixing sequential
+//! tasks and MPI jobs of several shapes (exactly what the stand-alone
+//! `jets` tool does from a task file), and prints the per-job records and
+//! overall utilization.
+
+use jets::core::spec::{CommandSpec, JobSpec};
+use jets::core::{stats, Dispatcher, DispatcherConfig, JobStatus};
+use jets::sim::{science_registry, Allocation, AllocationConfig, TimeScale};
+use jets::worker::Executor;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let nodes = 8;
+    let dispatcher = Dispatcher::start(DispatcherConfig::default()).expect("start dispatcher");
+    println!("dispatcher listening on {}", dispatcher.addr());
+
+    let allocation = Allocation::start(
+        &dispatcher.addr().to_string(),
+        AllocationConfig::new(nodes),
+        Arc::new(Executor::new(science_registry())),
+    );
+    while dispatcher.alive_workers() < nodes as usize {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    println!("{nodes} pilot-job workers registered");
+
+    // A batch like the paper's input files: sequential tasks plus MPI
+    // jobs of varying node counts and ranks-per-node. "Seconds" are
+    // virtual, scaled 100× (see EXPERIMENTS.md).
+    let scale = TimeScale::speedup(100.0);
+    let sleep_ms = scale.real_ms(10.0).to_string();
+    let mut jobs = Vec::new();
+    for _ in 0..8 {
+        jobs.push(JobSpec::sequential(CommandSpec::builtin(
+            "sleep",
+            vec![sleep_ms.clone()],
+        )));
+    }
+    for &n in &[2u32, 4, 8] {
+        jobs.push(JobSpec::mpi(
+            n,
+            CommandSpec::builtin("mpi-sleep", vec![sleep_ms.clone()]),
+        ));
+    }
+    jobs.push(JobSpec::mpi_ppn(
+        4,
+        2,
+        CommandSpec::builtin("mpi-sleep", vec![sleep_ms.clone()]),
+    ));
+
+    let ids = dispatcher.submit_all(jobs);
+    println!("submitted {} jobs", ids.len());
+    assert!(dispatcher.wait_idle(Duration::from_secs(60)), "batch hung");
+
+    println!("\n  job  nodes  ppn   status      wall");
+    for id in &ids {
+        let r = dispatcher.job_record(*id).expect("record");
+        println!(
+            "  {:>3}  {:>5}  {:>3}   {:<9}  {:?}",
+            r.id,
+            r.spec.nodes,
+            r.spec.ppn,
+            format!("{:?}", r.status),
+            r.wall.unwrap_or_default()
+        );
+        assert_eq!(r.status, JobStatus::Succeeded);
+    }
+
+    let events = dispatcher.events().snapshot();
+    let utilization = stats::measured_utilization(&events, nodes as usize);
+    println!("\nmeasured utilization (Eq. 1 over the event log): {:.1}%", 100.0 * utilization);
+
+    dispatcher.shutdown();
+    allocation.join_all();
+}

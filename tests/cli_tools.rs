@@ -1,0 +1,241 @@
+//! Integration tests driving the actual command-line binaries.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Locate a workspace binary next to the test executable.
+fn workspace_binary(name: &str) -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let debug_dir = exe.parent()?.parent()?;
+    let candidate = debug_dir.join(name);
+    candidate.exists().then_some(candidate)
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn jets_tool_runs_a_simulated_batch() {
+    let Some(jets) = workspace_binary("jets") else {
+        eprintln!("skipping: jets binary not built");
+        return;
+    };
+    let dir = tmpdir("jets");
+    let taskfile = dir.join("tasks.txt");
+    std::fs::write(
+        &taskfile,
+        "# mixed batch\n@noop\n@sleep 20\nMPI: 2 @mpi-sleep 20\nMPI: 2 ppn=2 @mpi-sleep 10\n",
+    )
+    .unwrap();
+    let output = Command::new(&jets)
+        .arg(&taskfile)
+        .args(["--simulate", "4", "--timeout", "120"])
+        .output()
+        .expect("run jets");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(output.status.success(), "stdout: {stdout}");
+    assert!(stdout.contains("4 succeeded, 0 failed"), "stdout: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn jets_tool_reports_parse_errors() {
+    let Some(jets) = workspace_binary("jets") else {
+        return;
+    };
+    let dir = tmpdir("jets-err");
+    let taskfile = dir.join("bad.txt");
+    std::fs::write(&taskfile, "MPI: zero @noop\n").unwrap();
+    let output = Command::new(&jets)
+        .arg(&taskfile)
+        .args(["--simulate", "1"])
+        .output()
+        .expect("run jets");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("line 1"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn namd_lite_runs_serially_from_cli() {
+    let Some(namd) = workspace_binary("namd-lite") else {
+        return;
+    };
+    let dir = tmpdir("namd");
+    let out = dir.join("seg");
+    std::fs::write(
+        dir.join("seg.conf"),
+        format!(
+            "numAtoms 24\nnumsteps 3\noutputname {}\n",
+            out.to_string_lossy()
+        ),
+    )
+    .unwrap();
+    let output = Command::new(&namd)
+        .arg(dir.join("seg.conf"))
+        .output()
+        .expect("run namd-lite");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(output.status.success(), "stdout: {stdout}");
+    assert!(stdout.contains("24 atoms, step 3"), "stdout: {stdout}");
+    assert!(out.with_extension("coor").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rem_exchange_cli_swaps_files() {
+    let (Some(namd), Some(rem)) = (workspace_binary("namd-lite"), workspace_binary("rem-exchange"))
+    else {
+        return;
+    };
+    let dir = tmpdir("rem");
+    for (name, temp) in [("a", "0.8"), ("b", "1.6")] {
+        std::fs::write(
+            dir.join(format!("{name}.conf")),
+            format!(
+                "numAtoms 24\nnumsteps 3\ntemperature {temp}\noutputname {}\n",
+                dir.join(name).to_string_lossy()
+            ),
+        )
+        .unwrap();
+        assert!(Command::new(&namd)
+            .arg(dir.join(format!("{name}.conf")))
+            .status()
+            .unwrap()
+            .success());
+    }
+    let output = Command::new(&rem)
+        .args([
+            dir.join("a").to_string_lossy().as_ref(),
+            "0.8",
+            dir.join("b").to_string_lossy().as_ref(),
+            "1.6",
+            "7",
+        ])
+        .output()
+        .expect("run rem-exchange");
+    assert!(output.status.success());
+    let verdict = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        verdict.trim() == "accepted" || verdict.trim() == "rejected",
+        "verdict: {verdict}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn swiftlite_cli_runs_local_workflow() {
+    let Some(swift) = workspace_binary("swiftlite") else {
+        return;
+    };
+    let dir = tmpdir("swift");
+    let out = dir.join("hello.out");
+    let script = dir.join("wf.swift");
+    std::fs::write(
+        &script,
+        format!(
+            r#"
+app (file o) hello (string w) {{
+    "echo" w stdout=@o
+}}
+file out <"{}">;
+out = hello("hi-from-swiftlite");
+trace("done");
+"#,
+            out.to_string_lossy()
+        ),
+    )
+    .unwrap();
+    let output = Command::new(&swift)
+        .arg(&script)
+        .args(["--workdir", dir.join("work").to_string_lossy().as_ref()])
+        .output()
+        .expect("run swiftlite");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(output.status.success(), "stdout: {stdout}");
+    assert!(stdout.contains("trace: done"), "stdout: {stdout}");
+    assert!(stdout.contains("1 app invocations completed"), "stdout: {stdout}");
+    assert_eq!(
+        std::fs::read_to_string(&out).unwrap().trim(),
+        "hi-from-swiftlite"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mpiexec_manual_launcher_drives_real_processes() {
+    // The full launcher=manual loop with OS processes: jets-mpiexec
+    // prints proxy environments; we parse them and start real namd-lite
+    // processes that wire up over PMI + TCP.
+    let (Some(mpiexec), Some(namd)) = (
+        workspace_binary("jets-mpiexec"),
+        workspace_binary("namd-lite"),
+    ) else {
+        return;
+    };
+    let dir = tmpdir("mpiexec");
+    let out = dir.join("seg");
+    let conf = dir.join("seg.conf");
+    std::fs::write(
+        &conf,
+        format!(
+            "numAtoms 24\nnumsteps 3\noutputname {}\n",
+            out.to_string_lossy()
+        ),
+    )
+    .unwrap();
+
+    let mut manager = Command::new(&mpiexec)
+        .args(["-n", "2", "--jobid", "cli-test", "--timeout", "60"])
+        .arg("namd-lite")
+        .arg(&conf)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("start jets-mpiexec");
+
+    // Read proxy lines until both ranks are printed.
+    use std::io::BufRead;
+    let stdout = manager.stdout.take().expect("piped stdout");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut ranks = Vec::new();
+    let mut line = String::new();
+    while ranks.len() < 2 {
+        line.clear();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "mpiexec ended early");
+        if let Some(rest) = line.strip_prefix("node ") {
+            // Format: `node NNN: K=V K=V K=V K=V namd-lite CONF`
+            let (_, envs_and_cmd) = rest.split_once(": ").expect("node line format");
+            let env: Vec<(String, String)> = envs_and_cmd
+                .split_whitespace()
+                .take(4)
+                .map(|kv| {
+                    let (k, v) = kv.split_once('=').expect("env pair");
+                    (k.to_string(), v.to_string())
+                })
+                .collect();
+            ranks.push(env);
+        }
+    }
+    // Launch the two user processes ourselves — we are the external
+    // scheduler the manual launcher exists for.
+    let children: Vec<_> = ranks
+        .into_iter()
+        .map(|env| {
+            Command::new(&namd)
+                .arg(&conf)
+                .envs(env)
+                .spawn()
+                .expect("start rank process")
+        })
+        .collect();
+    for mut child in children {
+        assert!(child.wait().unwrap().success());
+    }
+    assert!(manager.wait().unwrap().success(), "mpiexec saw job failure");
+    assert!(out.with_extension("coor").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,174 @@
+//! Property-based tests over cross-crate invariants.
+
+use jets::core::queue::{JobQueue, QueuedJob};
+use jets::core::spec::{parse_input, CommandSpec, JobSpec};
+use jets::core::QueuePolicy;
+use jets::mpi::{runner, NetModel, ReduceOp};
+use jets::pmi::wire::{escape, unescape, Message};
+use jets::pmi::{ManualLauncher, RankLayout};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// PMI escaping is lossless for arbitrary strings.
+    #[test]
+    fn pmi_escape_round_trips(s in ".*") {
+        prop_assert_eq!(unescape(&escape(&s)).unwrap(), s);
+    }
+
+    /// Escaped text never contains characters that would break framing.
+    #[test]
+    fn pmi_escape_output_is_frame_safe(s in ".*") {
+        let e = escape(&s);
+        prop_assert!(!e.contains(' ') && !e.contains('=') && !e.contains('\n'));
+    }
+
+    /// Arbitrary put messages survive the wire.
+    #[test]
+    fn pmi_put_messages_round_trip(key in ".{0,40}", value in ".{0,80}") {
+        let m = Message::Put { key, value };
+        prop_assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    /// The manual launcher covers every rank exactly once, whatever the
+    /// layout.
+    #[test]
+    fn proxy_commands_partition_ranks(nodes in 1u32..40, ppn in 1u32..8) {
+        let layout = RankLayout { nodes, ppn };
+        let cmds = ManualLauncher.proxy_commands("j", layout, "h:1");
+        let mut all: Vec<u32> = cmds.iter().flat_map(|c| c.ranks.clone()).collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..layout.size()).collect::<Vec<_>>());
+    }
+
+    /// FIFO never reorders; every pushed job comes out exactly once.
+    #[test]
+    fn fifo_queue_preserves_order(sizes in prop::collection::vec(1u32..8, 1..30)) {
+        let mut q = JobQueue::new(QueuePolicy::Fifo);
+        for (i, &n) in sizes.iter().enumerate() {
+            q.push(QueuedJob {
+                id: i as u64,
+                spec: JobSpec::mpi(n, CommandSpec::builtin("x", vec![])),
+                attempts: 0,
+            });
+        }
+        let mut out = Vec::new();
+        while let Some(j) = q.pick(usize::MAX) {
+            out.push(j.id);
+        }
+        prop_assert_eq!(out, (0..sizes.len() as u64).collect::<Vec<_>>());
+    }
+
+    /// Backfill never loses or duplicates jobs either, and only emits
+    /// jobs that fit.
+    #[test]
+    fn backfill_queue_conserves_jobs(
+        sizes in prop::collection::vec(1u32..10, 1..30),
+        free in 1usize..10,
+    ) {
+        let mut q = JobQueue::new(QueuePolicy::PriorityBackfill);
+        for (i, &n) in sizes.iter().enumerate() {
+            q.push(QueuedJob {
+                id: i as u64,
+                spec: JobSpec::mpi(n, CommandSpec::builtin("x", vec![])),
+                attempts: 0,
+            });
+        }
+        let mut emitted = Vec::new();
+        while let Some(j) = q.pick(free) {
+            prop_assert!(j.spec.nodes as usize <= free);
+            emitted.push(j.id);
+        }
+        let expected: Vec<u64> = sizes
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n as usize <= free)
+            .map(|(i, _)| i as u64)
+            .collect();
+        let mut sorted = emitted.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, expected);
+        prop_assert_eq!(q.len(), sizes.len() - emitted.len());
+    }
+
+    /// Input-file parsing accepts every well-formed MPI line.
+    #[test]
+    fn input_lines_parse(nodes in 1u32..100, ppn in 1u32..8, arg in "[a-z0-9._/-]{1,20}") {
+        let text = format!("MPI: {nodes} ppn={ppn} prog {arg}\n");
+        let jobs = parse_input(&text).unwrap();
+        prop_assert_eq!(jobs.len(), 1);
+        prop_assert_eq!(jobs[0].nodes, nodes);
+        prop_assert_eq!(jobs[0].ppn, ppn);
+        prop_assert_eq!(jobs[0].cmd.args(), &[arg]);
+    }
+
+    /// Metropolis acceptance stays within probability bounds and is
+    /// certain for non-negative deltas.
+    #[test]
+    fn metropolis_bounds(delta in -30.0f64..30.0, seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let accepted = jets::namd::metropolis_accept(delta, &mut rng);
+        if delta >= 0.0 {
+            prop_assert!(accepted);
+        }
+        // (negative deltas may go either way; determinism is separately
+        // guaranteed by the seeded RNG)
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        prop_assert_eq!(accepted, jets::namd::metropolis_accept(delta, &mut rng2));
+    }
+}
+
+proptest! {
+    // Collective correctness spawns threads; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Allreduce(SUM) agrees with a sequential reduction for arbitrary
+    /// inputs, sizes, and vector lengths.
+    #[test]
+    fn allreduce_matches_sequential(
+        size in 1u32..6,
+        data in prop::collection::vec(-1000i64..1000, 1..8),
+    ) {
+        let len = data.len();
+        let data2 = data.clone();
+        let results = runner::run_threads(size, NetModel::ideal(), move |comm| {
+            // Rank r contributes data rotated by r so every rank differs.
+            let mine: Vec<i64> = (0..len)
+                .map(|i| data2[(i + comm.rank() as usize) % len])
+                .collect();
+            comm.allreduce(&mine, ReduceOp::Sum).unwrap()
+        })
+        .unwrap();
+        let mut expected = vec![0i64; len];
+        for r in 0..size as usize {
+            for (i, e) in expected.iter_mut().enumerate() {
+                *e += data[(i + r) % len];
+            }
+        }
+        for got in results {
+            prop_assert_eq!(&got, &expected);
+        }
+    }
+
+    /// Broadcast delivers the root's data bit-exactly to every rank for
+    /// any root and size.
+    #[test]
+    fn bcast_delivers_exact_data(
+        size in 1u32..6,
+        payload in prop::collection::vec(any::<f64>().prop_filter("finite", |f| f.is_finite()), 0..16),
+    ) {
+        for root in 0..size {
+            let p = payload.clone();
+            let results = runner::run_threads(size, NetModel::ideal(), move |comm| {
+                let data = if comm.rank() == root { p.clone() } else { Vec::new() };
+                comm.bcast(root, data).unwrap()
+            })
+            .unwrap();
+            for got in results {
+                prop_assert_eq!(&got, &payload);
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! End-to-end with *real OS processes*: the dispatcher launches an MPI
+//! job whose ranks are separate `namd-lite` processes wired up over PMI
+//! and TCP — the deployment mode of the paper's commodity-cluster runs.
+
+use jets::core::spec::{CommandSpec, JobSpec};
+use jets::core::{Dispatcher, DispatcherConfig, JobStatus};
+use jets::namd::io::read_xsc;
+use jets::namd::MdConfig;
+use jets::worker::{Executor, Worker, WorkerConfig};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Locate a workspace binary next to the test executable
+/// (`target/debug/deps/this_test` → `target/debug/<name>`).
+fn workspace_binary(name: &str) -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let debug_dir = exe.parent()?.parent()?;
+    let candidate = debug_dir.join(name);
+    candidate.exists().then_some(candidate)
+}
+
+#[test]
+fn real_process_mpi_namd_segment() {
+    let Some(namd_lite) = workspace_binary("namd-lite") else {
+        eprintln!("skipping: namd-lite binary not built (run `cargo build -p jets-cli` first)");
+        return;
+    };
+    let dir = std::env::temp_dir().join(format!("real-mpi-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out_prefix = dir.join("seg");
+    let config = MdConfig {
+        num_atoms: 24,
+        numsteps: 4,
+        outputname: out_prefix.to_string_lossy().into_owned(),
+        ..MdConfig::default()
+    };
+    let config_path = dir.join("seg.conf");
+    std::fs::write(&config_path, config.render()).unwrap();
+
+    let dispatcher = Dispatcher::start(DispatcherConfig::default()).unwrap();
+    // Plain executors: Exec commands spawn real processes.
+    let exec: Arc<dyn jets::worker::TaskExecutor> = Arc::new(Executor::default());
+    let workers: Vec<Worker> = (0..2)
+        .map(|i| {
+            Worker::spawn(
+                WorkerConfig::new(dispatcher.addr().to_string(), format!("proc-{i}")),
+                Arc::clone(&exec),
+            )
+        })
+        .collect();
+
+    let id = dispatcher.submit(JobSpec::mpi(
+        2,
+        CommandSpec::exec(
+            namd_lite.to_string_lossy().into_owned(),
+            vec![config_path.to_string_lossy().into_owned()],
+        ),
+    ));
+    assert!(
+        dispatcher.wait_idle(Duration::from_secs(120)),
+        "real-process MPI job hung"
+    );
+    let record = dispatcher.job_record(id).unwrap();
+    assert_eq!(record.status, JobStatus::Succeeded, "{record:?}");
+
+    // The two processes cooperated on one trajectory; rank 0 wrote it.
+    let xsc = read_xsc(Path::new(&format!("{}.xsc", out_prefix.display()))).unwrap();
+    assert_eq!(xsc.step, 4);
+    assert!(xsc.potential.is_finite());
+
+    dispatcher.shutdown();
+    for w in workers {
+        w.join();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn real_process_sequential_command() {
+    let dispatcher = Dispatcher::start(DispatcherConfig::default()).unwrap();
+    let exec: Arc<dyn jets::worker::TaskExecutor> = Arc::new(Executor::default());
+    let worker = Worker::spawn(
+        WorkerConfig::new(dispatcher.addr().to_string(), "proc"),
+        exec,
+    );
+    let ok = dispatcher.submit(JobSpec::sequential(CommandSpec::exec("true", vec![])));
+    let bad = dispatcher.submit(JobSpec::sequential(CommandSpec::exec("false", vec![])));
+    assert!(dispatcher.wait_idle(Duration::from_secs(60)));
+    assert_eq!(dispatcher.job_record(ok).unwrap().status, JobStatus::Succeeded);
+    let failed = dispatcher.job_record(bad).unwrap();
+    assert_eq!(failed.status, JobStatus::Failed);
+    assert_eq!(failed.exit_codes, vec![1]);
+    dispatcher.shutdown();
+    worker.join();
+}

@@ -1,0 +1,226 @@
+//! End-to-end: the stand-alone batch path over a simulated allocation.
+
+use jets::core::spec::{CommandSpec, JobSpec};
+use jets::core::{stats, Dispatcher, DispatcherConfig, JobStatus, QueuePolicy};
+use jets::sim::{science_registry, Allocation, AllocationConfig, TimeScale};
+use jets::worker::Executor;
+use std::sync::Arc;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(120);
+
+fn boot(nodes: u32) -> (Dispatcher, Allocation) {
+    let dispatcher = Dispatcher::start(DispatcherConfig::default()).unwrap();
+    let allocation = Allocation::start(
+        &dispatcher.addr().to_string(),
+        AllocationConfig::new(nodes),
+        Arc::new(Executor::new(science_registry())),
+    );
+    while dispatcher.alive_workers() < nodes as usize {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    (dispatcher, allocation)
+}
+
+#[test]
+fn input_file_batch_runs_to_completion() {
+    let (dispatcher, allocation) = boot(4);
+    let input = "\
+# mixed batch, the paper's stand-alone format
+@noop
+@sleep 20
+MPI: 2 @mpi-sleep 20
+MPI: 4 @mpi-sleep 10
+MPI: 2 ppn=2 @mpi-sleep 10
+";
+    let ids = dispatcher.submit_input(input).unwrap();
+    assert_eq!(ids.len(), 5);
+    assert!(dispatcher.wait_idle(WAIT));
+    for id in ids {
+        let r = dispatcher.job_record(id).unwrap();
+        assert_eq!(r.status, JobStatus::Succeeded, "job {id}: {r:?}");
+    }
+    dispatcher.shutdown();
+    let exits = allocation.join_all();
+    let tasks: u64 = exits.iter().map(|e| e.tasks_done).sum();
+    // 1 + 1 + 2 + 4 + 2 proxy/sequential tasks.
+    assert_eq!(tasks, 10);
+}
+
+#[test]
+fn event_log_yields_sane_utilization() {
+    let (dispatcher, allocation) = boot(4);
+    let scale = TimeScale::speedup(100.0);
+    let jobs = jets::sim::workload::sleep_batch(16, 5.0, scale);
+    dispatcher.submit_all(jobs);
+    assert!(dispatcher.wait_idle(WAIT));
+    let events = dispatcher.events().snapshot();
+    let utilization = stats::measured_utilization(&events, 4);
+    assert!(
+        utilization > 0.5 && utilization <= 1.0,
+        "utilization {utilization}"
+    );
+    let walls = stats::task_wall_times(&events);
+    assert_eq!(walls.len(), 16);
+    // Every task took at least its nominal 50 ms.
+    assert!(walls.iter().all(|&w| w >= 0.045), "walls: {walls:?}");
+    dispatcher.shutdown();
+    allocation.join_all();
+}
+
+#[test]
+fn mixed_sizes_complete_under_both_queue_policies() {
+    for policy in [QueuePolicy::Fifo, QueuePolicy::PriorityBackfill] {
+        let dispatcher = Dispatcher::start(DispatcherConfig {
+            queue_policy: policy,
+            ..DispatcherConfig::default()
+        })
+        .unwrap();
+        let allocation = Allocation::start(
+            &dispatcher.addr().to_string(),
+            AllocationConfig::new(6),
+            Arc::new(Executor::new(science_registry())),
+        );
+        let mut jobs = Vec::new();
+        for &n in &[1u32, 2, 4, 6, 3, 1, 5, 2] {
+            jobs.push(JobSpec::mpi(
+                n,
+                CommandSpec::builtin("mpi-sleep", vec!["10".into()]),
+            ));
+        }
+        let ids = dispatcher.submit_all(jobs);
+        assert!(dispatcher.wait_idle(WAIT), "policy {policy:?} hung");
+        for id in ids {
+            assert_eq!(
+                dispatcher.job_record(id).unwrap().status,
+                JobStatus::Succeeded,
+                "policy {policy:?}"
+            );
+        }
+        dispatcher.shutdown();
+        allocation.join_all();
+    }
+}
+
+#[test]
+fn oversized_job_fails_gracefully_on_timeout() {
+    let (dispatcher, allocation) = boot(2);
+    // A 4-node job can never run on 2 workers; it must stay pending, not
+    // wedge the dispatcher.
+    let id = dispatcher.submit(JobSpec::mpi(
+        4,
+        CommandSpec::builtin("mpi-sleep", vec!["10".into()]),
+    ));
+    assert!(!dispatcher.wait_idle(Duration::from_millis(200)));
+    assert_eq!(dispatcher.job_record(id).unwrap().status, JobStatus::Pending);
+    // Smaller jobs submitted later still cannot pass it under FIFO...
+    let small = dispatcher.submit(JobSpec::sequential(CommandSpec::builtin("noop", vec![])));
+    assert!(!dispatcher.wait_idle(Duration::from_millis(200)));
+    assert_eq!(
+        dispatcher.job_record(small).unwrap().status,
+        JobStatus::Pending
+    );
+    dispatcher.shutdown();
+    allocation.join_all();
+}
+
+#[test]
+fn backfill_lets_small_jobs_pass_blocked_head() {
+    let dispatcher = Dispatcher::start(DispatcherConfig {
+        queue_policy: QueuePolicy::PriorityBackfill,
+        ..DispatcherConfig::default()
+    })
+    .unwrap();
+    let allocation = Allocation::start(
+        &dispatcher.addr().to_string(),
+        AllocationConfig::new(2),
+        Arc::new(Executor::new(science_registry())),
+    );
+    while dispatcher.alive_workers() < 2 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let blocked = dispatcher.submit(JobSpec::mpi(
+        4,
+        CommandSpec::builtin("mpi-sleep", vec!["10".into()]),
+    ));
+    let small = dispatcher.submit(JobSpec::sequential(CommandSpec::builtin("noop", vec![])));
+    let deadline = std::time::Instant::now() + WAIT;
+    while dispatcher.job_record(small).unwrap().status != JobStatus::Succeeded {
+        assert!(std::time::Instant::now() < deadline, "backfill never ran");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        dispatcher.job_record(blocked).unwrap().status,
+        JobStatus::Pending
+    );
+    dispatcher.shutdown();
+    allocation.join_all();
+}
+
+#[test]
+fn stdout_routes_from_task_to_record_and_file() {
+    // The paper's output path (Section 6.1.6): application stdout flows
+    // through the proxy and dispatcher "and then into a file".
+    let stdout_dir = std::env::temp_dir().join(format!("jets-stdout-{}", std::process::id()));
+    std::fs::remove_dir_all(&stdout_dir).ok();
+    let dispatcher = Dispatcher::start(DispatcherConfig {
+        stdout_dir: Some(stdout_dir.clone()),
+        ..DispatcherConfig::default()
+    })
+    .unwrap();
+    let worker = jets::worker::Worker::spawn(
+        jets::worker::WorkerConfig::new(dispatcher.addr().to_string(), "echoer"),
+        Arc::new(jets::worker::Executor::default()),
+    );
+    let id = dispatcher.submit(JobSpec::sequential(CommandSpec::exec(
+        "echo",
+        vec!["ETITLE:".into(), "TS".into(), "BOND".into()],
+    )));
+    assert!(dispatcher.wait_idle(WAIT));
+    let record = dispatcher.job_record(id).unwrap();
+    assert_eq!(record.status, JobStatus::Succeeded);
+    assert_eq!(record.outputs, vec!["ETITLE: TS BOND\n".to_string()]);
+    // ...and the file landed.
+    let files: Vec<_> = std::fs::read_dir(&stdout_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(files.len(), 1);
+    assert_eq!(
+        std::fs::read_to_string(&files[0]).unwrap(),
+        "ETITLE: TS BOND\n"
+    );
+    dispatcher.shutdown();
+    worker.join();
+    std::fs::remove_dir_all(&stdout_dir).ok();
+}
+
+#[test]
+fn per_job_outputs_stay_separate() {
+    // Outputs are keyed by job: two concurrent echo jobs must not mix
+    // their captured text in the records.
+    let dispatcher = Dispatcher::start(DispatcherConfig::default()).unwrap();
+    let worker = jets::worker::Worker::spawn(
+        jets::worker::WorkerConfig::new(dispatcher.addr().to_string(), "echoer2"),
+        Arc::new(jets::worker::Executor::default()),
+    );
+    let a = dispatcher.submit(JobSpec::sequential(CommandSpec::exec(
+        "echo",
+        vec!["alpha".into()],
+    )));
+    let b = dispatcher.submit(JobSpec::sequential(CommandSpec::exec(
+        "echo",
+        vec!["beta".into()],
+    )));
+    assert!(dispatcher.wait_idle(WAIT));
+    assert_eq!(
+        dispatcher.job_record(a).unwrap().outputs,
+        vec!["alpha\n".to_string()]
+    );
+    assert_eq!(
+        dispatcher.job_record(b).unwrap().outputs,
+        vec!["beta\n".to_string()]
+    );
+    dispatcher.shutdown();
+    worker.join();
+}

@@ -1,0 +1,121 @@
+//! End-to-end: the REM workflow — Swift script → JETS dispatcher →
+//! pilot workers → PMI wire-up → MPI molecular dynamics → file exchange.
+
+use jets::core::{Dispatcher, DispatcherConfig};
+use jets::namd::io::read_xsc;
+use jets::namd::{rem_script, stage_initial_replicas, RemParams};
+use jets::sim::{science_registry, Allocation, AllocationConfig};
+use jets::swift::{JetsExecutor, RunOptions, Workflow};
+use jets::worker::Executor;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn run_rem(params: &RemParams, nodes: u32) -> jets::swift::WorkflowReport {
+    stage_initial_replicas(params).unwrap();
+    let dispatcher = Arc::new(Dispatcher::start(DispatcherConfig::default()).unwrap());
+    let allocation = Allocation::start(
+        &dispatcher.addr().to_string(),
+        AllocationConfig::new(nodes),
+        Arc::new(Executor::new(science_registry())),
+    );
+    let workflow = Workflow::parse(&rem_script(params)).unwrap();
+    let executor = JetsExecutor::new(Arc::clone(&dispatcher), Duration::from_secs(120));
+    let report = workflow
+        .run(
+            Arc::new(executor),
+            RunOptions {
+                work_dir: Path::new(&params.dir).join("anon"),
+                wait_timeout: Duration::from_secs(240),
+            },
+        )
+        .unwrap();
+    dispatcher.shutdown();
+    allocation.join_all();
+    report
+}
+
+fn tmp_dir(tag: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("rem-e2e-{tag}-{}", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn rem_mpi_segments_full_campaign() {
+    let params = RemParams {
+        replicas: 4,
+        segments: 2,
+        nodes: 2,
+        ppn: 1,
+        atoms: 24,
+        steps: 5,
+        dir: tmp_dir("mpi"),
+        ..RemParams::default()
+    };
+    let report = run_rem(&params, 4);
+    // 8 NAMD segments + exchanges (one per pair per epoch: epochs 0 and 1
+    // contribute 2 and 1 pairs respectively for 4 replicas).
+    assert_eq!(report.apps_run as u32, params.namd_invocations() + 3);
+
+    // Every replica's final segment must exist with finite energies and a
+    // correctly advanced step counter (5 staging steps + 2 × 5).
+    for i in 0..params.replicas {
+        let k = params.index(i, params.segments);
+        let xsc = read_xsc(Path::new(&format!("{}/seg_{k}.xsc", params.dir))).unwrap();
+        assert_eq!(xsc.step, 15, "replica {i}");
+        assert!(xsc.potential.is_finite());
+        assert!(xsc.temperature > 0.0 && xsc.temperature < 10.0);
+    }
+    std::fs::remove_dir_all(&params.dir).ok();
+}
+
+#[test]
+fn rem_single_process_segments() {
+    // Fig. 18a mode: single-process NAMD segments.
+    let params = RemParams {
+        replicas: 3,
+        segments: 2,
+        nodes: 1,
+        ppn: 1,
+        atoms: 24,
+        steps: 4,
+        dir: tmp_dir("serial"),
+        ..RemParams::default()
+    };
+    let report = run_rem(&params, 3);
+    assert!(report.apps_run as u32 >= params.namd_invocations());
+    for i in 0..params.replicas {
+        let k = params.index(i, params.segments);
+        assert!(
+            Path::new(&format!("{}/seg_{k}.coor", params.dir)).exists(),
+            "replica {i} final coordinates missing"
+        );
+    }
+    std::fs::remove_dir_all(&params.dir).ok();
+}
+
+#[test]
+fn rem_exchange_tokens_are_written() {
+    let params = RemParams {
+        replicas: 2,
+        segments: 2,
+        nodes: 1,
+        ppn: 1,
+        atoms: 24,
+        steps: 4,
+        dir: tmp_dir("tokens"),
+        ..RemParams::default()
+    };
+    run_rem(&params, 2);
+    // With 2 replicas, exchanges happen on even epochs only (pairing
+    // (0,1) at j=0); epoch j=1 pairs (1,2) which is out of range.
+    let token = format!("{}/ex_{}.token", params.dir, params.index(0, 0));
+    let verdict = std::fs::read_to_string(&token).unwrap();
+    assert!(
+        verdict.trim() == "accepted" || verdict.trim() == "rejected",
+        "token: {verdict:?}"
+    );
+    std::fs::remove_dir_all(&params.dir).ok();
+}
