@@ -3,15 +3,21 @@
 //! * `task_round_trip` — submit → assign → execute(noop) → report → idle,
 //!   through real sockets with one worker: the per-task latency floor
 //!   behind Figure 6's launch rates.
+//! * `dispatch_burst` — one batched submission drained by a pool of
+//!   workers through real sockets: the coalesced `Request`-burst path.
 //! * `queue_push_pick` — FIFO queue operations.
-//! * `select_group_fcfs` / `select_group_location` — worker-group
-//!   selection over a large ready pool.
+//! * `select_group_fcfs` / `select_group_location` — legacy string-based
+//!   worker-group selection over a large ready pool.
+//! * `select_group_ids_*` — the interned, allocation-free selector the
+//!   dispatcher actually runs; compare directly against the legacy pair.
 
 use criterion::{BatchSize, Criterion};
 use jets_bench::boot;
-use jets_core::group::{select_group, Candidate};
+use jets_core::group::{
+    select_group, select_group_ids, Candidate, GroupScratch, LocId,
+};
 use jets_core::queue::{JobQueue, QueuedJob};
-use jets_core::spec::{CommandSpec, JobSpec};
+use jets_core::spec::{CommandSpec, JobSpec, WorkerId};
 use jets_core::{DispatcherConfig, GroupingPolicy, QueuePolicy};
 use std::time::Duration;
 
@@ -32,6 +38,22 @@ fn main() {
                 bed.dispatcher
                     .wait_job(id, Duration::from_secs(10))
                     .expect("task completes")
+            });
+        });
+        bed.teardown();
+    }
+
+    {
+        // A burst: one batched submission fanned out to a worker pool and
+        // drained to idle. Exercises the coalesced Request path and the
+        // batched scheduling passes end to end.
+        let bed = boot(16, DispatcherConfig::default());
+        criterion.bench_function("dispatch_burst_128_jobs_16_workers", |b| {
+            b.iter(|| {
+                bed.dispatcher.submit_all(
+                    (0..128).map(|_| JobSpec::sequential(CommandSpec::builtin("noop", vec![]))),
+                );
+                assert!(bed.dispatcher.wait_idle(Duration::from_secs(30)));
             });
         });
         bed.teardown();
@@ -78,6 +100,33 @@ fn main() {
     criterion.bench_function("select_group_location_64_of_1024", |b| {
         b.iter(|| {
             select_group(GroupingPolicy::LocationAware, &ready, 64).expect("enough workers")
+        });
+    });
+
+    // The interned selector over the same pool shape: no String clones,
+    // no HashMap builds, reusable generation-stamped scratch.
+    let ready_ids: Vec<(WorkerId, LocId)> = (0..1024u64).map(|w| (w, (w % 8) as LocId)).collect();
+    let mut scratch = GroupScratch::new();
+    criterion.bench_function("select_group_ids_fcfs_64_of_1024", |b| {
+        b.iter(|| {
+            assert!(select_group_ids(
+                GroupingPolicy::Fcfs,
+                &ready_ids,
+                64,
+                &mut scratch
+            ));
+            scratch.selected().len()
+        });
+    });
+    criterion.bench_function("select_group_ids_location_64_of_1024", |b| {
+        b.iter(|| {
+            assert!(select_group_ids(
+                GroupingPolicy::LocationAware,
+                &ready_ids,
+                64,
+                &mut scratch
+            ));
+            scratch.selected().len()
         });
     });
 

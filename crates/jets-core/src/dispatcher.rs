@@ -7,10 +7,30 @@
 //!   thread per worker connection.
 //! * **Handler processing** — job submission (API or input file) feeds the
 //!   [`crate::queue::JobQueue`]; worker `Request`s park in the ready list;
-//!   `try_schedule` matches the two under one lock.
+//!   `try_schedule` matches the two under the scheduling lock.
 //! * **External process management** — each MPI job gets a background PMI
 //!   server (the `mpiexec` process of the paper, see `jets-pmi`), whose
 //!   manual-launcher proxy commands are shipped to the group's workers.
+//!
+//! ## Locking domains (see `docs/performance.md`)
+//!
+//! The paper's throughput claim (Figures 6 and 8) lives or dies on how
+//! little the central dispatcher serializes, so shared state is split by
+//! access pattern instead of held under one global mutex:
+//!
+//! * **`sched` lock** — queue + ready list + registry + connections +
+//!   in-flight bookkeeping: everything a scheduling decision reads.
+//! * **`book` lock** — job records and the outstanding count: what the
+//!   client-facing API (`wait_idle`, `wait_job`, `records`) polls. Lock
+//!   order is always `sched` → `book`, never the reverse.
+//! * **no lock** — worker liveness. Each `Heartbeat` is one relaxed
+//!   atomic store through a [`crate::registry::HeartbeatHandle`]; a
+//!   heartbeat storm from ten thousand pilots cannot contend with
+//!   scheduling.
+//!
+//! `Request` handling is *coalesced*: readers push their worker id onto a
+//! lock-free queue and ring a scheduling doorbell; a storm of N parked
+//! workers triggers one batched scheduling pass, not N serialized ones.
 //!
 //! Fault tolerance: a worker death (socket EOF, error, or heartbeat
 //! silence) marks its in-flight job failed, aborts the job's PMI server so
@@ -18,12 +38,14 @@
 //! it has retry budget left.
 
 use crate::events::{EventKind, EventLog};
-use crate::group::{select_group, Candidate, GroupingPolicy};
-use crate::protocol::{read_msg, write_msg, DispatcherMsg, TaskAssignment, TaskKind, WorkerMsg};
+use crate::group::{select_group_ids, GroupScratch, GroupingPolicy};
+use crate::protocol::{DispatcherMsg, MsgReader, MsgWriter, TaskAssignment, TaskKind, WorkerMsg};
 use crate::queue::{JobQueue, QueuePolicy, QueuedJob};
+use crate::ready::ReadyList;
 use crate::registry::Registry;
 use crate::spec::{JobId, JobSpec, TaskId, WorkerId};
 use crossbeam::channel::{unbounded, Sender};
+use crossbeam::queue::SegQueue;
 use jets_pmi::{ManualLauncher, PmiServer, PmiServerConfig, RankLayout};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet};
@@ -114,15 +136,32 @@ struct ActiveJob {
     started: Instant,
 }
 
-struct State {
+/// Scheduling-critical state: everything one scheduling decision reads or
+/// writes. Guarded by `Inner::sched`.
+///
+/// Invariant: every worker in `ready` is `Idle` in `registry` — death
+/// removes it directly ([`handle_worker_down`]) and assignment removes it
+/// before `mark_busy`, so scheduling never has to purge stale entries.
+struct Sched {
     queue: JobQueue,
     registry: Registry,
     conns: HashMap<WorkerId, Sender<DispatcherMsg>>,
-    /// Parked `Request`s, oldest first.
-    ready: Vec<WorkerId>,
+    /// Parked `Request`s, oldest first, with interned locations.
+    ready: ReadyList,
     active: HashMap<JobId, ActiveJob>,
     /// Maps in-flight tasks to their jobs.
     tasks: HashMap<TaskId, JobId>,
+    /// Reusable group-selection scratch: steady-state scheduling passes
+    /// allocate nothing.
+    scratch: GroupScratch,
+    /// Reusable buffer for the workers chosen for one job.
+    chosen: Vec<WorkerId>,
+}
+
+/// Client-facing bookkeeping, split from `Sched` so `wait_idle` /
+/// `wait_job` / `records` polling never contends with scheduling.
+/// Guarded by `Inner::book`; `Inner::idle_cv` is paired with this lock.
+struct Book {
     records: HashMap<JobId, JobRecord>,
     /// Jobs queued or active; `wait_idle` watches this reach zero.
     outstanding: usize,
@@ -131,8 +170,18 @@ struct State {
 struct Inner {
     config: DispatcherConfig,
     log: EventLog,
-    state: Mutex<State>,
+    /// Scheduling-critical state. Lock order: `sched` before `book`,
+    /// never the reverse.
+    sched: Mutex<Sched>,
+    /// Job records and the outstanding count.
+    book: Mutex<Book>,
     idle_cv: Condvar,
+    /// Workers whose `Request` awaits the next scheduling pass. Readers
+    /// push here lock-free and ring [`kick_schedule`]; a burst of N
+    /// requests coalesces into one batched pass.
+    pending_ready: SegQueue<WorkerId>,
+    /// Doorbell for [`kick_schedule`]: true while a pass is owed.
+    sched_kick: AtomicBool,
     next_worker: AtomicU64,
     next_job: AtomicU64,
     next_task: AtomicU64,
@@ -158,19 +207,25 @@ impl Dispatcher {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let inner = Arc::new(Inner {
-            state: Mutex::new(State {
+            sched: Mutex::new(Sched {
                 queue: JobQueue::new(config.queue_policy),
                 registry: Registry::new(),
                 conns: HashMap::new(),
-                ready: Vec::new(),
+                ready: ReadyList::new(),
                 active: HashMap::new(),
                 tasks: HashMap::new(),
+                scratch: GroupScratch::new(),
+                chosen: Vec::new(),
+            }),
+            book: Mutex::new(Book {
                 records: HashMap::new(),
                 outstanding: 0,
             }),
             config,
             log: EventLog::new(),
             idle_cv: Condvar::new(),
+            pending_ready: SegQueue::new(),
+            sched_kick: AtomicBool::new(false),
             next_worker: AtomicU64::new(1),
             next_job: AtomicU64::new(1),
             next_task: AtomicU64::new(1),
@@ -205,38 +260,61 @@ impl Dispatcher {
 
     /// Submit one job; returns its identifier.
     pub fn submit(&self, spec: JobSpec) -> JobId {
-        let id = self.inner.next_job.fetch_add(1, Ordering::Relaxed);
-        let mut st = self.inner.state.lock();
-        self.inner.log.record(EventKind::JobSubmitted {
-            job: id,
-            nodes: spec.nodes,
-            ppn: spec.ppn,
-        });
-        st.records.insert(
-            id,
-            JobRecord {
-                id,
-                spec: spec.clone(),
-                status: JobStatus::Pending,
-                attempts: 0,
-                wall: None,
-                exit_codes: Vec::new(),
-                outputs: Vec::new(),
-            },
-        );
-        st.queue.push(QueuedJob {
-            id,
-            spec,
-            attempts: 0,
-        });
-        st.outstanding += 1;
-        try_schedule(&self.inner, &mut st);
-        id
+        self.submit_batch(vec![spec])[0]
     }
 
-    /// Submit many jobs at once.
+    /// Submit many jobs at once. The whole batch is queued under one
+    /// acquisition of the scheduling lock and triggers one scheduling
+    /// pass, so bulk submission does not serialize per-job against the
+    /// worker traffic.
     pub fn submit_all(&self, specs: impl IntoIterator<Item = JobSpec>) -> Vec<JobId> {
-        specs.into_iter().map(|s| self.submit(s)).collect()
+        self.submit_batch(specs.into_iter().collect())
+    }
+
+    fn submit_batch(&self, specs: Vec<JobSpec>) -> Vec<JobId> {
+        let inner = &self.inner;
+        let mut ids = Vec::with_capacity(specs.len());
+        let mut jobs = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let id = inner.next_job.fetch_add(1, Ordering::Relaxed);
+            inner.log.record(EventKind::JobSubmitted {
+                job: id,
+                nodes: spec.nodes,
+                ppn: spec.ppn,
+            });
+            ids.push(id);
+            jobs.push(QueuedJob {
+                id,
+                spec,
+                attempts: 0,
+            });
+        }
+        {
+            let mut book = inner.book.lock();
+            for job in &jobs {
+                book.records.insert(
+                    job.id,
+                    JobRecord {
+                        id: job.id,
+                        spec: job.spec.clone(),
+                        status: JobStatus::Pending,
+                        attempts: 0,
+                        wall: None,
+                        exit_codes: Vec::new(),
+                        outputs: Vec::new(),
+                    },
+                );
+            }
+            book.outstanding += jobs.len();
+        }
+        // `book` is released before `sched` is taken: the lock order
+        // sched → book must never be reversed.
+        let mut st = inner.sched.lock();
+        for job in jobs {
+            st.queue.push(job);
+        }
+        try_schedule(inner, &mut st);
+        ids
     }
 
     /// Parse and submit a stand-alone input file's jobs.
@@ -249,31 +327,31 @@ impl Dispatcher {
     /// Returns true if the system went idle.
     pub fn wait_idle(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
-        let mut st = self.inner.state.lock();
+        let mut book = self.inner.book.lock();
         loop {
-            if st.outstanding == 0 {
+            if book.outstanding == 0 {
                 return true;
             }
             let now = Instant::now();
             if now >= deadline {
                 return false;
             }
-            self.inner.idle_cv.wait_for(&mut st, deadline - now);
+            self.inner.idle_cv.wait_for(&mut book, deadline - now);
         }
     }
 
     /// A job's record, if known.
     pub fn job_record(&self, id: JobId) -> Option<JobRecord> {
-        self.inner.state.lock().records.get(&id).cloned()
+        self.inner.book.lock().records.get(&id).cloned()
     }
 
     /// Block until job `id` reaches a terminal state (succeeded or
     /// failed), returning its record; `None` on timeout or unknown id.
     pub fn wait_job(&self, id: JobId, timeout: Duration) -> Option<JobRecord> {
         let deadline = Instant::now() + timeout;
-        let mut st = self.inner.state.lock();
+        let mut book = self.inner.book.lock();
         loop {
-            match st.records.get(&id) {
+            match book.records.get(&id) {
                 None => return None,
                 Some(rec)
                     if matches!(rec.status, JobStatus::Succeeded | JobStatus::Failed) =>
@@ -286,37 +364,37 @@ impl Dispatcher {
             if now >= deadline {
                 return None;
             }
-            self.inner.idle_cv.wait_for(&mut st, deadline - now);
+            self.inner.idle_cv.wait_for(&mut book, deadline - now);
         }
     }
 
     /// Snapshot of all job records.
     pub fn records(&self) -> Vec<JobRecord> {
-        let st = self.inner.state.lock();
-        let mut v: Vec<JobRecord> = st.records.values().cloned().collect();
+        let book = self.inner.book.lock();
+        let mut v: Vec<JobRecord> = book.records.values().cloned().collect();
         v.sort_by_key(|r| r.id);
         v
     }
 
     /// Number of live (registered, non-dead) workers.
     pub fn alive_workers(&self) -> usize {
-        self.inner.state.lock().registry.alive_count()
+        self.inner.sched.lock().registry.alive_count()
     }
 
     /// Snapshot of every worker ever registered.
     pub fn workers(&self) -> Vec<crate::registry::WorkerInfo> {
-        self.inner.state.lock().registry.iter().cloned().collect()
+        self.inner.sched.lock().registry.iter().cloned().collect()
     }
 
     /// Number of jobs queued or running.
     pub fn outstanding(&self) -> usize {
-        self.inner.state.lock().outstanding
+        self.inner.book.lock().outstanding
     }
 
     /// Stop accepting, tell every worker to shut down.
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::Release);
-        let st = self.inner.state.lock();
+        let st = self.inner.sched.lock();
         for tx in st.conns.values() {
             let _ = tx.send(DispatcherMsg::Shutdown);
         }
@@ -360,8 +438,10 @@ fn monitor_loop(inner: Arc<Inner>, timeout: Duration) {
             return;
         }
         thread::sleep(timeout / 2);
+        // `stale` reads only the per-worker liveness atomics; the lock is
+        // held just long enough to walk the worker table.
         let stale = {
-            let st = inner.state.lock();
+            let st = inner.sched.lock();
             st.registry.stale(timeout)
         };
         for worker in stale {
@@ -377,10 +457,12 @@ fn serve_worker(stream: TcpStream, inner: Arc<Inner>) {
         Ok(s) => s,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
+    // One `MsgReader` per connection: the line buffer is reused across
+    // every message this worker will ever send.
+    let mut reader = MsgReader::new(BufReader::new(stream));
 
     // Handshake: first message must be Register.
-    let (name, cores, location) = match read_msg::<WorkerMsg>(&mut reader) {
+    let (name, cores, location) = match reader.recv::<WorkerMsg>() {
         Ok(Some(WorkerMsg::Register {
             name,
             cores,
@@ -391,35 +473,38 @@ fn serve_worker(stream: TcpStream, inner: Arc<Inner>) {
     let worker_id = inner.next_worker.fetch_add(1, Ordering::Relaxed);
 
     // Writer thread: channel → socket, so any dispatcher thread can send.
+    // `MsgWriter` reuses its encode buffer across the connection's life.
     let (tx, rx) = unbounded::<DispatcherMsg>();
     thread::Builder::new()
         .name(format!("jets-write-{worker_id}"))
         .stack_size(CONN_STACK)
         .spawn(move || {
-            let mut sock = write_half;
+            let mut writer = MsgWriter::new(write_half);
             while let Ok(msg) = rx.recv() {
-                if write_msg(&mut sock, &msg).is_err() {
+                if writer.send(&msg).is_err() {
                     return;
                 }
             }
         })
         .expect("spawn worker writer thread");
 
-    {
-        let mut st = inner.state.lock();
-        st.registry.insert(worker_id, name, cores, location);
+    let hb = {
+        let mut st = inner.sched.lock();
+        let hb = st.registry.insert(worker_id, name, cores, location);
         st.conns.insert(worker_id, tx.clone());
         inner.log.record(EventKind::WorkerUp { worker: worker_id });
-    }
+        hb
+    };
     let _ = tx.send(DispatcherMsg::Registered { worker_id });
 
     loop {
-        match read_msg::<WorkerMsg>(&mut reader) {
+        match reader.recv::<WorkerMsg>() {
             Ok(Some(WorkerMsg::Request)) => {
-                let mut st = inner.state.lock();
-                st.registry.touch(worker_id);
-                st.ready.push(worker_id);
-                try_schedule(&inner, &mut st);
+                // Lock-free park plus a doorbell ring; a burst of
+                // `Request`s coalesces into one batched scheduling pass.
+                hb.beat();
+                inner.pending_ready.push(worker_id);
+                kick_schedule(&inner);
             }
             Ok(Some(WorkerMsg::Done {
                 task_id,
@@ -427,11 +512,12 @@ fn serve_worker(stream: TcpStream, inner: Arc<Inner>) {
                 wall_ms,
                 output,
             })) => {
+                hb.beat();
                 handle_done(&inner, worker_id, task_id, exit_code, wall_ms, output);
             }
-            Ok(Some(WorkerMsg::Heartbeat)) => {
-                inner.state.lock().registry.touch(worker_id);
-            }
+            // The liveness hot path: one relaxed atomic store. A
+            // heartbeat storm never touches the scheduling lock.
+            Ok(Some(WorkerMsg::Heartbeat)) => hb.beat(),
             Ok(Some(WorkerMsg::Goodbye)) | Ok(None) => break,
             Ok(Some(WorkerMsg::Register { .. })) | Err(_) => break,
         }
@@ -439,55 +525,92 @@ fn serve_worker(stream: TcpStream, inner: Arc<Inner>) {
     handle_worker_down(&inner, worker_id);
 }
 
-/// Match queued jobs against parked workers; runs under the state lock.
-fn try_schedule(inner: &Inner, st: &mut State) {
-    loop {
-        // Purge workers that died while parked.
-        st.ready.retain(|w| {
-            st.registry
-                .get(*w)
-                .is_some_and(|info| info.state == crate::registry::WorkerState::Idle)
-        });
-        let Some(job) = st.queue.pick(st.ready.len()) else {
-            return;
-        };
-        let candidates: Vec<Candidate> = st
-            .ready
-            .iter()
-            .map(|&w| Candidate {
-                worker: w,
-                location: st
-                    .registry
-                    .get(w)
-                    .map(|i| i.location.clone())
-                    .unwrap_or_default(),
-            })
-            .collect();
-        let indices = select_group(inner.config.grouping, &candidates, job.spec.nodes as usize)
-            .expect("queue.pick guaranteed enough ready workers");
-        // Remove chosen workers from the ready list, highest index first.
-        let mut chosen: Vec<WorkerId> = Vec::with_capacity(indices.len());
-        let mut sorted = indices;
-        sorted.sort_unstable_by(|a, b| b.cmp(a));
-        for idx in sorted {
-            chosen.push(st.ready.remove(idx));
-        }
-        chosen.reverse(); // oldest request first == rank order
-        start_job(inner, st, job, chosen);
+/// Ring the scheduling doorbell. At most one caller becomes the pass
+/// owner; everyone else returns immediately, their request absorbed by
+/// the owner's next pass. No wakeup can be lost: a `pending_ready` push
+/// happens-before its `swap(true)`, and whoever observes that flag runs
+/// a pass that drains the queue.
+fn kick_schedule(inner: &Inner) {
+    if inner.sched_kick.swap(true, Ordering::AcqRel) {
+        return; // a pass is already owed; its owner will absorb this kick
+    }
+    while inner.sched_kick.swap(false, Ordering::AcqRel) {
+        let mut st = inner.sched.lock();
+        try_schedule(inner, &mut st);
     }
 }
 
-/// Ship a job's tasks to its chosen workers; runs under the state lock.
-fn start_job(inner: &Inner, st: &mut State, job: QueuedJob, workers: Vec<WorkerId>) {
+/// Move lock-free-parked `Request`s into the ready list. Only workers
+/// still idle enter ([`ReadyList::park`] additionally suppresses
+/// duplicates); a worker that died since pushing is skipped.
+fn drain_parked(inner: &Inner, st: &mut Sched) {
+    while let Some(worker) = inner.pending_ready.pop() {
+        let Sched { ready, registry, .. } = &mut *st;
+        if let Some(info) = registry.get(worker) {
+            if info.state == crate::registry::WorkerState::Idle {
+                ready.park(worker, info.loc);
+            }
+        }
+    }
+}
+
+/// Match queued jobs against parked workers; runs under the scheduling
+/// lock. Absorbs every pending `Request` first, so one pass serves a
+/// whole burst.
+fn try_schedule(inner: &Inner, st: &mut Sched) {
+    drain_parked(inner, st);
+    // Reuse the chosen-workers buffer across passes (restored on exit).
+    let mut chosen = std::mem::take(&mut st.chosen);
+    loop {
+        chosen.clear();
+        let job = {
+            let Sched {
+                queue,
+                ready,
+                scratch,
+                ..
+            } = &mut *st;
+            let Some(job) = queue.pick(ready.len()) else {
+                break;
+            };
+            let need = job.spec.nodes as usize;
+            match inner.config.grouping {
+                // FCFS fast path: dequeue the longest-parked workers.
+                GroupingPolicy::Fcfs => ready.take_front(need, &mut chosen),
+                GroupingPolicy::LocationAware => {
+                    let found = select_group_ids(
+                        GroupingPolicy::LocationAware,
+                        ready.entries(),
+                        need,
+                        scratch,
+                    );
+                    assert!(found, "queue.pick guaranteed enough ready workers");
+                    ready.take_indices(scratch.selected(), &mut chosen);
+                }
+            }
+            job
+        };
+        // `chosen` is oldest-request-first == rank order.
+        start_job(inner, st, job, &chosen);
+    }
+    st.chosen = chosen;
+}
+
+/// Ship a job's tasks to its chosen workers; runs under the scheduling
+/// lock (taking `book` briefly for the status flip).
+fn start_job(inner: &Inner, st: &mut Sched, job: QueuedJob, workers: &[WorkerId]) {
     let QueuedJob { id, spec, attempts } = job;
     inner.log.record(EventKind::JobStarted {
         job: id,
         nodes: spec.nodes,
         ppn: spec.ppn,
     });
-    if let Some(rec) = st.records.get_mut(&id) {
-        rec.status = JobStatus::Running;
-        rec.attempts = attempts + 1;
+    {
+        let mut book = inner.book.lock();
+        if let Some(rec) = book.records.get_mut(&id) {
+            rec.status = JobStatus::Running;
+            rec.attempts = attempts + 1;
+        }
     }
 
     let mut active = ActiveJob {
@@ -511,9 +634,13 @@ fn start_job(inner: &Inner, st: &mut State, job: QueuedJob, workers: Vec<WorkerI
             Ok(s) => s,
             Err(e) => {
                 // Could not bind a PMI server: fail the job outright and
-                // put the workers back in the ready pool.
-                st.ready.extend(workers);
-                finish_failed_unstarted(inner, st, id, &format!("pmi server: {e}"));
+                // put the workers back in the ready pool (nothing was
+                // shipped, so they are all still idle).
+                for &w in workers {
+                    let loc = st.registry.get(w).map(|i| i.loc).unwrap_or(0);
+                    st.ready.park(w, loc);
+                }
+                finish_failed_unstarted(inner, id, spec.nodes, spec.ppn, &format!("pmi server: {e}"));
                 return;
             }
         };
@@ -610,7 +737,7 @@ fn handle_done(
     _wall_ms: u64,
     output: Option<String>,
 ) {
-    let mut st = inner.state.lock();
+    let mut st = inner.sched.lock();
     st.registry.mark_idle(worker);
     let Some(job_id) = st.tasks.remove(&task_id) else {
         return; // stale report for an already-failed job
@@ -648,7 +775,7 @@ fn handle_done(
 
 /// A worker's connection dropped (or it was declared hung).
 fn handle_worker_down(inner: &Inner, worker: WorkerId) {
-    let mut st = inner.state.lock();
+    let mut st = inner.sched.lock();
     // Idempotence: the monitor and the reader can both call this.
     let already_dead = st
         .registry
@@ -660,7 +787,7 @@ fn handle_worker_down(inner: &Inner, worker: WorkerId) {
     }
     let inflight_job = st.registry.mark_dead(worker);
     st.conns.remove(&worker);
-    st.ready.retain(|&w| w != worker);
+    st.ready.remove(worker);
     inner.log.record(EventKind::WorkerDown { worker });
 
     if let Some(job_id) = inflight_job {
@@ -689,7 +816,9 @@ fn handle_worker_down(inner: &Inner, worker: WorkerId) {
 }
 
 /// A job finished (all participants accounted for). Requeue or record.
-fn finish_job(inner: &Inner, st: &mut State, active: ActiveJob) {
+/// Runs under the scheduling lock; record updates take `book` briefly
+/// (lock order sched → book).
+fn finish_job(inner: &Inner, st: &mut Sched, active: ActiveJob) {
     let success = !active.any_failure;
     let wall = active.started.elapsed();
     // Drop the PMI server; abort it first if the job failed so lingering
@@ -708,11 +837,14 @@ fn finish_job(inner: &Inner, st: &mut State, active: ActiveJob) {
     let retry = !success && active.attempts <= active.spec.max_retries;
     if retry {
         inner.log.record(EventKind::JobRequeued { job: active.id });
-        if let Some(rec) = st.records.get_mut(&active.id) {
-            rec.status = JobStatus::Pending;
-            rec.wall = Some(wall);
-            rec.exit_codes = active.exit_codes.clone();
-            rec.outputs = active.outputs.clone();
+        {
+            let mut book = inner.book.lock();
+            if let Some(rec) = book.records.get_mut(&active.id) {
+                rec.status = JobStatus::Pending;
+                rec.wall = Some(wall);
+                rec.exit_codes = active.exit_codes.clone();
+                rec.outputs = active.outputs.clone();
+            }
         }
         st.queue.push_front(QueuedJob {
             id: active.id,
@@ -721,7 +853,8 @@ fn finish_job(inner: &Inner, st: &mut State, active: ActiveJob) {
         });
         // outstanding unchanged: the job is still in flight.
     } else {
-        if let Some(rec) = st.records.get_mut(&active.id) {
+        let mut book = inner.book.lock();
+        if let Some(rec) = book.records.get_mut(&active.id) {
             rec.status = if success {
                 JobStatus::Succeeded
             } else {
@@ -731,30 +864,36 @@ fn finish_job(inner: &Inner, st: &mut State, active: ActiveJob) {
             rec.exit_codes = active.exit_codes.clone();
             rec.outputs = active.outputs.clone();
         }
-        st.outstanding = st.outstanding.saturating_sub(1);
+        book.outstanding = book.outstanding.saturating_sub(1);
+        drop(book);
         inner.idle_cv.notify_all();
     }
     try_schedule(inner, st);
 }
 
-/// Fail a job that never shipped (e.g. PMI bind failure).
-fn finish_failed_unstarted(inner: &Inner, st: &mut State, id: JobId, _reason: &str) {
+/// Fail a job that never shipped (e.g. PMI bind failure). The caller
+/// holds the scheduling lock; only `book` is touched here.
+fn finish_failed_unstarted(inner: &Inner, id: JobId, nodes: u32, ppn: u32, _reason: &str) {
     inner.log.record(EventKind::JobCompleted {
         job: id,
-        nodes: st.records.get(&id).map(|r| r.spec.nodes).unwrap_or(0),
-        ppn: st.records.get(&id).map(|r| r.spec.ppn).unwrap_or(0),
+        nodes,
+        ppn,
         success: false,
     });
-    if let Some(rec) = st.records.get_mut(&id) {
-        rec.status = JobStatus::Failed;
+    {
+        let mut book = inner.book.lock();
+        if let Some(rec) = book.records.get_mut(&id) {
+            rec.status = JobStatus::Failed;
+        }
+        book.outstanding = book.outstanding.saturating_sub(1);
     }
-    st.outstanding = st.outstanding.saturating_sub(1);
     inner.idle_cv.notify_all();
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::{read_msg, write_msg};
     use crate::spec::CommandSpec;
     use std::io::BufReader;
 

@@ -25,9 +25,12 @@
 //! * [`protocol`] — the dispatcher ⇄ worker wire protocol (JSON lines).
 //! * [`queue`] — FIFO job queue, plus the priority/backfill policy the
 //!   paper lists as future work (ablated in `bench/ablation_queue`).
-//! * [`registry`] — worker bookkeeping and liveness.
+//! * [`registry`] — worker bookkeeping; liveness is lock-free per-worker
+//!   atomics ([`registry::HeartbeatHandle`]).
 //! * [`group`] — worker-group selection: first-come-first-served (the
-//!   paper's default) or location-aware (future work, ablated).
+//!   paper's default) or location-aware (future work, ablated), over
+//!   interned location ids.
+//! * [`ready`] — the parked-`Request` ready list the scheduler consumes.
 //! * [`events`] — timestamped event log of everything the dispatcher does.
 //! * [`stats`] — utilization (Eq. 1 of the paper), load-level series, and
 //!   run-time histograms computed from the event log.
@@ -40,6 +43,7 @@ pub mod events;
 pub mod group;
 pub mod protocol;
 pub mod queue;
+pub mod ready;
 pub mod registry;
 pub mod spec;
 pub mod stats;

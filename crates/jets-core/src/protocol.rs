@@ -5,10 +5,27 @@
 //! `Request → Assign → Done`. Fault detection rests on this connection:
 //! an EOF or read error is the dispatcher's signal that the pilot job
 //! died, exactly as in the paper's faulty-allocation experiment (Fig. 10).
+//!
+//! ## Buffer-reuse contract
+//!
+//! The hot paths on both sides of the connection reuse one encode buffer
+//! (`Vec<u8>`) per writer and one line buffer (`String`) per reader, so a
+//! steady stream of `Request`/`Assign`/`Done`/`Heartbeat` messages makes
+//! **zero** allocations once the buffers have grown to the workload's
+//! high-water mark. [`write_msg_buf`] / [`read_msg_buf`] expose the
+//! buffers explicitly; [`MsgWriter`] / [`MsgReader`] own them for callers
+//! that keep a connection around. The legacy [`write_msg`] / [`read_msg`]
+//! entry points allocate fresh buffers per call and remain for one-shot
+//! use and tests; both paths produce identical bytes on the wire.
+//!
+//! Every frame (one JSON line, newline included) is capped at
+//! [`MAX_FRAME_BYTES`]: a corrupt or hostile peer cannot OOM the process
+//! with a single unbounded line — the read fails with
+//! [`io::ErrorKind::InvalidData`] and the connection is torn down.
 
 use crate::spec::{CommandSpec, JobId, StageFile, TaskId};
 use serde::{de::DeserializeOwned, Deserialize, Serialize};
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, Read, Write};
 
 /// Messages a worker sends to the dispatcher.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -107,23 +124,126 @@ impl TaskAssignment {
     }
 }
 
-/// Write one message as a JSON line.
+/// Upper bound on one wire frame — a JSON line, its trailing newline
+/// included. Large enough for any sane task assignment or output tail
+/// (16 MiB), small enough that a corrupt length-less stream cannot OOM
+/// the dispatcher through a single `read_line`.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Write one message as a JSON line (allocates a fresh buffer; see
+/// [`write_msg_buf`] for the reusable-buffer variant the hot paths use).
 pub fn write_msg<M: Serialize>(writer: &mut impl Write, msg: &M) -> io::Result<()> {
-    let mut line = serde_json::to_string(msg).map_err(io::Error::other)?;
-    line.push('\n');
-    writer.write_all(line.as_bytes())
+    let mut buf = Vec::with_capacity(128);
+    write_msg_buf(writer, msg, &mut buf)
 }
 
-/// Read one JSON-line message; `Ok(None)` on clean EOF.
+/// Write one message as a JSON line, encoding into `buf` (cleared first,
+/// capacity kept) so steady-state traffic never allocates. Frames larger
+/// than [`MAX_FRAME_BYTES`] are refused with `InvalidData` before
+/// anything reaches the wire.
+pub fn write_msg_buf<M: Serialize>(
+    writer: &mut impl Write,
+    msg: &M,
+    buf: &mut Vec<u8>,
+) -> io::Result<()> {
+    buf.clear();
+    serde_json::to_writer(&mut *buf, msg).map_err(io::Error::other)?;
+    buf.push(b'\n');
+    if buf.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("outgoing frame of {} bytes exceeds MAX_FRAME_BYTES", buf.len()),
+        ));
+    }
+    writer.write_all(buf)
+}
+
+/// Read one JSON-line message; `Ok(None)` on clean EOF (allocates a fresh
+/// line buffer; see [`read_msg_buf`] for the reusable-buffer variant).
 pub fn read_msg<M: DeserializeOwned>(reader: &mut impl BufRead) -> io::Result<Option<M>> {
     let mut line = String::new();
-    let n = reader.read_line(&mut line)?;
+    read_msg_buf(reader, &mut line)
+}
+
+/// Read one JSON-line message into the reused `line` buffer (cleared
+/// first, capacity kept); `Ok(None)` on clean EOF. Lines longer than
+/// [`MAX_FRAME_BYTES`] yield `InvalidData` instead of growing without
+/// bound — the connection should be dropped, since the remainder of the
+/// oversized line is still in flight.
+pub fn read_msg_buf<M: DeserializeOwned>(
+    reader: &mut impl BufRead,
+    line: &mut String,
+) -> io::Result<Option<M>> {
+    line.clear();
+    // `take` bounds how much one read_line can pull in; one extra byte
+    // distinguishes "exactly at the cap" from "over it".
+    let mut bounded = (&mut *reader).take(MAX_FRAME_BYTES as u64 + 1);
+    let n = bounded.read_line(line)?;
     if n == 0 {
         return Ok(None);
     }
-    serde_json::from_str(&line)
+    if line.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "incoming frame exceeds MAX_FRAME_BYTES",
+        ));
+    }
+    serde_json::from_str(line)
         .map(Some)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// A connection write half plus its reused encode buffer.
+///
+/// Owns the buffer-reuse contract for long-lived connections: every
+/// [`MsgWriter::send`] encodes into the same `Vec<u8>`.
+#[derive(Debug)]
+pub struct MsgWriter<W: Write> {
+    inner: W,
+    buf: Vec<u8>,
+}
+
+impl<W: Write> MsgWriter<W> {
+    /// Wrap a write half.
+    pub fn new(inner: W) -> Self {
+        MsgWriter {
+            inner,
+            buf: Vec::with_capacity(256),
+        }
+    }
+
+    /// Send one message, reusing the internal encode buffer.
+    pub fn send<M: Serialize>(&mut self, msg: &M) -> io::Result<()> {
+        write_msg_buf(&mut self.inner, msg, &mut self.buf)
+    }
+
+    /// Access the underlying writer (e.g. to shut a socket down).
+    pub fn get_ref(&self) -> &W {
+        &self.inner
+    }
+}
+
+/// A connection read half plus its reused line buffer.
+#[derive(Debug)]
+pub struct MsgReader<R: BufRead> {
+    inner: R,
+    line: String,
+}
+
+impl<R: BufRead> MsgReader<R> {
+    /// Wrap a (buffered) read half.
+    pub fn new(inner: R) -> Self {
+        MsgReader {
+            inner,
+            line: String::with_capacity(256),
+        }
+    }
+
+    /// Receive one message, reusing the internal line buffer; `Ok(None)`
+    /// on clean EOF.
+    pub fn recv<M: DeserializeOwned>(&mut self) -> io::Result<Option<M>> {
+        read_msg_buf(&mut self.inner, &mut self.line)
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +321,100 @@ mod tests {
         let mut reader = BufReader::new(&b"not json\n"[..]);
         let got: io::Result<Option<WorkerMsg>> = read_msg(&mut reader);
         assert!(got.is_err());
+    }
+
+    /// Both write paths must produce byte-identical frames, and each
+    /// read path must decode frames produced by either writer.
+    #[test]
+    fn legacy_and_buffered_paths_interoperate() {
+        let msg = WorkerMsg::Done {
+            task_id: 7,
+            exit_code: 0,
+            wall_ms: 12,
+            output: Some("tail".into()),
+        };
+        let mut legacy = Vec::new();
+        write_msg(&mut legacy, &msg).unwrap();
+        let mut buffered = Vec::new();
+        let mut buf = Vec::new();
+        write_msg_buf(&mut buffered, &msg, &mut buf).unwrap();
+        assert_eq!(legacy, buffered);
+
+        // legacy write → buffered read
+        let mut line = String::new();
+        let mut reader = BufReader::new(&legacy[..]);
+        let got: WorkerMsg = read_msg_buf(&mut reader, &mut line).unwrap().unwrap();
+        assert_eq!(got, msg);
+        // buffered write → legacy read
+        let mut reader = BufReader::new(&buffered[..]);
+        let got: WorkerMsg = read_msg(&mut reader).unwrap().unwrap();
+        assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn buffered_reader_writer_round_trip_many() {
+        let mut wire = Vec::new();
+        {
+            let mut w = MsgWriter::new(&mut wire);
+            for i in 0..100u64 {
+                w.send(&WorkerMsg::Done {
+                    task_id: i,
+                    exit_code: 0,
+                    wall_ms: i,
+                    output: None,
+                })
+                .unwrap();
+                w.send(&WorkerMsg::Heartbeat).unwrap();
+            }
+        }
+        let mut r = MsgReader::new(BufReader::new(&wire[..]));
+        for i in 0..100u64 {
+            match r.recv::<WorkerMsg>().unwrap().unwrap() {
+                WorkerMsg::Done { task_id, .. } => assert_eq!(task_id, i),
+                other => panic!("unexpected: {other:?}"),
+            }
+            assert_eq!(r.recv::<WorkerMsg>().unwrap().unwrap(), WorkerMsg::Heartbeat);
+        }
+        assert!(r.recv::<WorkerMsg>().unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_incoming_frame_is_rejected_gracefully() {
+        // A line (sans newline) just over the cap must be InvalidData on
+        // both read paths, not an OOM or a panic.
+        let mut wire = vec![b'x'; MAX_FRAME_BYTES + 16];
+        wire.push(b'\n');
+        let err = read_msg::<WorkerMsg>(&mut BufReader::new(&wire[..])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let mut line = String::new();
+        let err = read_msg_buf::<WorkerMsg>(&mut BufReader::new(&wire[..]), &mut line)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_outgoing_frame_is_refused() {
+        let msg = WorkerMsg::Done {
+            task_id: 1,
+            exit_code: 0,
+            wall_ms: 0,
+            output: Some("y".repeat(MAX_FRAME_BYTES)),
+        };
+        let mut sink = Vec::new();
+        let err = write_msg(&mut sink, &msg).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(sink.is_empty(), "nothing may reach the wire");
+    }
+
+    #[test]
+    fn frame_at_the_cap_still_reads() {
+        // Exactly MAX_FRAME_BYTES including the newline is legal.
+        let payload = "z".repeat(MAX_FRAME_BYTES - "\"\"\n".len());
+        let mut wire = format!("{payload:?}").into_bytes();
+        wire.push(b'\n');
+        assert_eq!(wire.len(), MAX_FRAME_BYTES);
+        let got: String = read_msg(&mut BufReader::new(&wire[..])).unwrap().unwrap();
+        assert_eq!(got.len(), payload.len());
     }
 
     #[test]

@@ -87,10 +87,28 @@ impl JobQueue {
         }
     }
 
-    /// Requeue a failed job at the *front* so a transient worker failure
-    /// does not send the job to the back of a long batch.
+    /// Requeue a failed job at the *front* of its class so a transient
+    /// worker failure does not send the job to the back of a long batch.
+    ///
+    /// Under FIFO that is the literal queue front. Under
+    /// priority/backfill a blind `push_front` would break the
+    /// sorted-by-priority invariant that [`JobQueue::push`]'s insertion
+    /// scan relies on (a low-priority requeue parked at the head would
+    /// make later high-priority pushes land behind it), so the requeue is
+    /// inserted *ahead of equal-priority peers* but still behind strictly
+    /// higher priorities.
     pub fn push_front(&mut self, job: QueuedJob) {
-        self.jobs.push_front(job);
+        match self.policy {
+            QueuePolicy::Fifo => self.jobs.push_front(job),
+            QueuePolicy::PriorityBackfill => {
+                let pos = self
+                    .jobs
+                    .iter()
+                    .position(|j| j.spec.priority <= job.spec.priority)
+                    .unwrap_or(self.jobs.len());
+                self.jobs.insert(pos, job);
+            }
+        }
     }
 
     /// Select the next runnable job given `free_workers` currently-idle
@@ -195,6 +213,36 @@ mod tests {
         q.push(job(1, 1, 0));
         q.push_front(job(9, 1, 0));
         assert_eq!(q.pick(8).unwrap().id, 9);
+    }
+
+    /// Regression: under PriorityBackfill a requeued job must not jump
+    /// ahead of strictly higher-priority work, but must still beat its
+    /// equal-priority peers — and the queue must stay priority-sorted so
+    /// subsequent `push`es land correctly.
+    #[test]
+    fn push_front_respects_priority_order() {
+        let mut q = JobQueue::new(QueuePolicy::PriorityBackfill);
+        q.push(job(1, 1, 10));
+        q.push(job(2, 1, 5));
+        q.push(job(3, 1, 5));
+        q.push(job(4, 1, 0));
+        // Requeue a priority-5 job: behind the 10, ahead of both 5s.
+        q.push_front(job(9, 1, 5));
+        // The sorted invariant must still hold for later pushes.
+        q.push(job(5, 1, 7));
+        let order: Vec<JobId> = std::iter::from_fn(|| q.pick(8).map(|j| j.id)).collect();
+        assert_eq!(order, vec![1, 5, 9, 2, 3, 4]);
+    }
+
+    /// Regression: a requeued low-priority job must not block the head.
+    #[test]
+    fn push_front_low_priority_requeue_does_not_park_at_head() {
+        let mut q = JobQueue::new(QueuePolicy::PriorityBackfill);
+        q.push(job(1, 1, 0));
+        q.push_front(job(9, 1, -3));
+        q.push(job(2, 1, 8));
+        let order: Vec<JobId> = std::iter::from_fn(|| q.pick(8).map(|j| j.id)).collect();
+        assert_eq!(order, vec![2, 1, 9]);
     }
 
     #[test]

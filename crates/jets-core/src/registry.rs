@@ -5,10 +5,57 @@
 //! fault-tolerance feature ("JETS automatically disregards workers that
 //! fail or hang"): the connection dropping (fail) and heartbeat silence
 //! (hang).
+//!
+//! ## Liveness is lock-free
+//!
+//! Last-seen tracking lives in one `AtomicU64` per worker (milliseconds
+//! since the registry's epoch), shared between the registry and the
+//! worker's connection thread through a [`HeartbeatHandle`]. A heartbeat
+//! storm from ten thousand pilots therefore never touches the scheduling
+//! lock — each `Heartbeat` message is a single relaxed atomic store. The
+//! monitor thread reads the same atomics when hunting for hung workers.
 
+use crate::group::{LocId, LocationInterner};
 use crate::spec::{JobId, WorkerId};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A lock-free handle to one worker's last-seen clock.
+///
+/// Cloned into the worker's connection thread at registration;
+/// [`HeartbeatHandle::beat`] is the entire cost of a `Heartbeat` message.
+#[derive(Debug, Clone)]
+pub struct HeartbeatHandle {
+    /// Milliseconds since `epoch` at which the worker was last heard.
+    last_seen_ms: Arc<AtomicU64>,
+    /// The registry's shared epoch.
+    epoch: Instant,
+}
+
+impl HeartbeatHandle {
+    fn new(epoch: Instant) -> Self {
+        let h = HeartbeatHandle {
+            last_seen_ms: Arc::new(AtomicU64::new(0)),
+            epoch,
+        };
+        h.beat();
+        h
+    }
+
+    /// Record "heard from now". Lock-free; safe from any thread.
+    pub fn beat(&self) {
+        self.last_seen_ms
+            .store(self.epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
+    }
+
+    /// Milliseconds since this worker was last heard from.
+    pub fn silence_ms(&self) -> u64 {
+        let now = self.epoch.elapsed().as_millis() as u64;
+        now.saturating_sub(self.last_seen_ms.load(Ordering::Relaxed))
+    }
+}
 
 /// What a worker is doing right now.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,18 +79,32 @@ pub struct WorkerInfo {
     pub cores: u32,
     /// Network location label (used by location-aware grouping).
     pub location: String,
+    /// The label's interned id (what the scheduling hot path uses).
+    pub loc: LocId,
     /// Current state.
     pub state: WorkerState,
-    /// Last time we heard anything from this worker.
-    pub last_seen: Instant,
+    /// Lock-free last-seen clock, shared with the connection thread.
+    pub liveness: HeartbeatHandle,
     /// Completed task count.
     pub tasks_done: u64,
 }
 
 /// The set of known workers.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Registry {
     workers: HashMap<WorkerId, WorkerInfo>,
+    locations: LocationInterner,
+    epoch: Instant,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry {
+            workers: HashMap::new(),
+            locations: LocationInterner::new(),
+            epoch: Instant::now(),
+        }
+    }
 }
 
 impl Registry {
@@ -52,8 +113,17 @@ impl Registry {
         Registry::default()
     }
 
-    /// Record a newly registered worker (state `Idle`).
-    pub fn insert(&mut self, id: WorkerId, name: String, cores: u32, location: String) {
+    /// Record a newly registered worker (state `Idle`), returning its
+    /// liveness handle for the connection thread.
+    pub fn insert(
+        &mut self,
+        id: WorkerId,
+        name: String,
+        cores: u32,
+        location: String,
+    ) -> HeartbeatHandle {
+        let loc = self.locations.intern(&location);
+        let liveness = HeartbeatHandle::new(self.epoch);
         self.workers.insert(
             id,
             WorkerInfo {
@@ -61,11 +131,13 @@ impl Registry {
                 name,
                 cores,
                 location,
+                loc,
                 state: WorkerState::Idle,
-                last_seen: Instant::now(),
+                liveness: liveness.clone(),
                 tasks_done: 0,
             },
         );
+        liveness
     }
 
     /// Look up a worker.
@@ -73,10 +145,17 @@ impl Registry {
         self.workers.get(&id)
     }
 
-    /// Update a worker's liveness timestamp.
-    pub fn touch(&mut self, id: WorkerId) {
-        if let Some(w) = self.workers.get_mut(&id) {
-            w.last_seen = Instant::now();
+    /// The interned-location table (label ↔ id).
+    pub fn locations(&self) -> &LocationInterner {
+        &self.locations
+    }
+
+    /// Update a worker's liveness timestamp. Lock-free once you hold the
+    /// worker's [`HeartbeatHandle`]; this by-id variant is for callers
+    /// that only have the registry.
+    pub fn touch(&self, id: WorkerId) {
+        if let Some(w) = self.workers.get(&id) {
+            w.liveness.beat();
         }
     }
 
@@ -84,7 +163,7 @@ impl Registry {
     pub fn mark_busy(&mut self, id: WorkerId, job: JobId) {
         if let Some(w) = self.workers.get_mut(&id) {
             w.state = WorkerState::Busy(job);
-            w.last_seen = Instant::now();
+            w.liveness.beat();
         }
     }
 
@@ -95,7 +174,7 @@ impl Registry {
                 w.tasks_done += 1;
             }
             w.state = WorkerState::Idle;
-            w.last_seen = Instant::now();
+            w.liveness.beat();
         }
     }
 
@@ -112,12 +191,13 @@ impl Registry {
     }
 
     /// Workers not seen for longer than `timeout` (hang detection).
-    /// Does not report already-dead workers.
+    /// Does not report already-dead workers. Reads only the per-worker
+    /// atomics — no worker's connection thread is ever blocked by this.
     pub fn stale(&self, timeout: Duration) -> Vec<WorkerId> {
-        let now = Instant::now();
+        let timeout_ms = timeout.as_millis() as u64;
         self.workers
             .values()
-            .filter(|w| w.state != WorkerState::Dead && now - w.last_seen > timeout)
+            .filter(|w| w.state != WorkerState::Dead && w.liveness.silence_ms() > timeout_ms)
             .map(|w| w.id)
             .collect()
     }
@@ -204,6 +284,31 @@ mod tests {
         // Touch resets staleness.
         r.touch(1);
         assert!(r.stale(Duration::from_millis(5)).is_empty());
+    }
+
+    /// A heartbeat handle keeps a worker fresh without any registry call
+    /// — the lock-free path the dispatcher's heartbeat handling uses.
+    #[test]
+    fn heartbeat_handle_is_shared_with_the_registry() {
+        let mut r = Registry::new();
+        let hb = r.insert(1, "w1".into(), 1, "rack-0".into());
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(r.stale(Duration::from_millis(5)), vec![1]);
+        hb.beat();
+        assert!(r.stale(Duration::from_millis(5)).is_empty());
+        assert!(hb.silence_ms() < 5);
+    }
+
+    #[test]
+    fn locations_are_interned_per_registry() {
+        let mut r = Registry::new();
+        r.insert(1, "a".into(), 1, "rack-0".into());
+        r.insert(2, "b".into(), 1, "rack-1".into());
+        r.insert(3, "c".into(), 1, "rack-0".into());
+        assert_eq!(r.get(1).unwrap().loc, r.get(3).unwrap().loc);
+        assert_ne!(r.get(1).unwrap().loc, r.get(2).unwrap().loc);
+        assert_eq!(r.locations().len(), 2);
+        assert_eq!(r.locations().name(r.get(2).unwrap().loc), "rack-1");
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Property tests for the scheduling hot path's data structures.
+//!
+//! * [`ReadyList`] is driven with random operation sequences against a
+//!   naive ordered-vector model. The invariants under test are the ones
+//!   the dispatcher relies on: a worker is parked at most once (no
+//!   double assignment), nothing is ever lost (every parked worker is
+//!   either still parked, taken exactly once, or removed), and FCFS
+//!   order is arrival order.
+//! * [`select_group_ids`] must agree with the legacy string-based
+//!   [`select_group`] on arbitrary layouts, needs, and policies.
+
+use jets_core::group::{
+    select_group, select_group_ids, Candidate, GroupScratch, GroupingPolicy, LocId,
+    LocationInterner,
+};
+use jets_core::ready::ReadyList;
+use jets_core::spec::WorkerId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Park(WorkerId, LocId),
+    Remove(WorkerId),
+    /// Take up to this many from the front (clamped to the current len).
+    TakeFront(usize),
+    /// Take the entries whose index bit is set in this mask (indices
+    /// ≥ 64 are never selected; that's fine for these sequences).
+    TakeIndices(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..24, 0u32..5).prop_map(|(w, l)| Op::Park(w, l)),
+        (0u64..24).prop_map(Op::Remove),
+        (0usize..10).prop_map(Op::TakeFront),
+        any::<u64>().prop_map(Op::TakeIndices),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ready_list_matches_ordered_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let mut real = ReadyList::new();
+        // The model: parked (worker, loc) pairs in arrival order.
+        let mut model: Vec<(WorkerId, LocId)> = Vec::new();
+        // Workers handed out by take_*; used to prove no double assignment.
+        let mut assigned: Vec<WorkerId> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Park(w, l) => {
+                    let expect_new = !model.iter().any(|&(m, _)| m == w);
+                    prop_assert_eq!(real.park(w, l), expect_new);
+                    if expect_new {
+                        model.push((w, l));
+                    }
+                }
+                Op::Remove(w) => {
+                    let expect_present = model.iter().any(|&(m, _)| m == w);
+                    prop_assert_eq!(real.remove(w), expect_present);
+                    model.retain(|&(m, _)| m != w);
+                }
+                Op::TakeFront(n) => {
+                    let n = n.min(model.len());
+                    let mut out = Vec::new();
+                    real.take_front(n, &mut out);
+                    let expected: Vec<WorkerId> =
+                        model.drain(..n).map(|(w, _)| w).collect();
+                    prop_assert_eq!(&out, &expected, "take_front must be FCFS");
+                    assigned.extend(out);
+                }
+                Op::TakeIndices(mask) => {
+                    let indices: Vec<usize> = (0..model.len().min(64))
+                        .filter(|i| mask & (1u64 << i) != 0)
+                        .collect();
+                    let mut out = Vec::new();
+                    real.take_indices(&indices, &mut out);
+                    let expected: Vec<WorkerId> =
+                        indices.iter().map(|&i| model[i].0).collect();
+                    prop_assert_eq!(&out, &expected, "take_indices order");
+                    for &i in indices.iter().rev() {
+                        model.remove(i);
+                    }
+                    assigned.extend(out);
+                }
+            }
+            // Core invariants after every operation.
+            prop_assert_eq!(real.len(), model.len());
+            let order: Vec<WorkerId> = real.iter().collect();
+            let model_order: Vec<WorkerId> = model.iter().map(|&(w, _)| w).collect();
+            prop_assert_eq!(order, model_order, "arrival order must be preserved");
+            let entries: Vec<(WorkerId, LocId)> = real.entries().to_vec();
+            prop_assert_eq!(&entries, &model, "locations must track workers");
+            // No double assignment: a worker taken by the scheduler is no
+            // longer parked until it parks again (model membership is the
+            // ground truth the `contains` set must agree with).
+            for &(w, _) in &model {
+                prop_assert!(real.contains(w));
+            }
+            for &w in &assigned {
+                let parked = model.iter().any(|&(m, _)| m == w);
+                prop_assert_eq!(real.contains(w), parked);
+            }
+        }
+    }
+
+    /// The interned selector is a drop-in for the legacy string selector:
+    /// identical accept/reject decisions and identical chosen indices.
+    #[test]
+    fn interned_group_selection_matches_legacy(
+        locs in proptest::collection::vec(0u8..5, 0..24),
+        need in 0usize..10,
+        location_aware in any::<bool>(),
+    ) {
+        let labels: Vec<String> = locs.iter().map(|l| format!("loc{l}")).collect();
+        let ready_strings: Vec<Candidate> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, label)| Candidate {
+                worker: i as WorkerId,
+                location: label.clone(),
+            })
+            .collect();
+        let mut interner = LocationInterner::new();
+        let ready_ids: Vec<(WorkerId, LocId)> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, label)| (i as WorkerId, interner.intern(label)))
+            .collect();
+        let policy = if location_aware {
+            GroupingPolicy::LocationAware
+        } else {
+            GroupingPolicy::Fcfs
+        };
+        let mut scratch = GroupScratch::new();
+        let legacy = select_group(policy, &ready_strings, need);
+        let ok = select_group_ids(policy, &ready_ids, need, &mut scratch);
+        match legacy {
+            None => prop_assert!(!ok),
+            Some(idx) => {
+                prop_assert!(ok);
+                prop_assert_eq!(scratch.selected(), &idx[..]);
+            }
+        }
+    }
+}

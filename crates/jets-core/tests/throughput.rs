@@ -1,0 +1,201 @@
+//! Loopback throughput and contention tests for the dispatcher hot path.
+//!
+//! These drive the real TCP socket path with raw-protocol workers using
+//! the buffered wire API ([`MsgReader`]/[`MsgWriter`]), exercising:
+//!
+//! * many workers × many short jobs submitted as one batch (`Request`
+//!   bursts coalesce into batched scheduling passes);
+//! * a heartbeat flood running concurrently with scheduling — heartbeats
+//!   are lock-free, so the flood must not stall job completion;
+//! * oversized frames, which must drop the offending connection without
+//!   taking the dispatcher down.
+
+use jets_core::protocol::{DispatcherMsg, MsgReader, MsgWriter, WorkerMsg, MAX_FRAME_BYTES};
+use jets_core::spec::{CommandSpec, JobSpec};
+use jets_core::{Dispatcher, DispatcherConfig, JobStatus};
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(60);
+
+/// A minimal raw-protocol worker on the buffered wire paths: requests
+/// work and reports success until the dispatcher says `Shutdown`.
+fn worker(addr: SocketAddr) -> thread::JoinHandle<usize> {
+    thread::spawn(move || {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).ok();
+        let mut writer = MsgWriter::new(stream.try_clone().unwrap());
+        let mut reader = MsgReader::new(BufReader::new(stream));
+        writer
+            .send(&WorkerMsg::Register {
+                name: "loopback".into(),
+                cores: 1,
+                location: "rack-0".into(),
+            })
+            .unwrap();
+        let Ok(Some(DispatcherMsg::Registered { .. })) = reader.recv::<DispatcherMsg>() else {
+            panic!("expected Registered");
+        };
+        let mut done = 0usize;
+        loop {
+            writer.send(&WorkerMsg::Request).unwrap();
+            match reader.recv::<DispatcherMsg>().unwrap() {
+                Some(DispatcherMsg::Assign(a)) => {
+                    writer
+                        .send(&WorkerMsg::Done {
+                            task_id: a.task_id,
+                            exit_code: 0,
+                            wall_ms: 0,
+                            output: None,
+                        })
+                        .unwrap();
+                    done += 1;
+                }
+                Some(DispatcherMsg::Shutdown) | None => break,
+                other => panic!("unexpected message: {other:?}"),
+            }
+        }
+        let _ = writer.send(&WorkerMsg::Goodbye);
+        done
+    })
+}
+
+/// Many workers race through many short jobs submitted as one batch.
+/// Every job must succeed and every completion must be accounted for —
+/// no lost `Request`, no double assignment.
+#[test]
+fn loopback_many_workers_many_short_jobs() {
+    const WORKERS: usize = 16;
+    const JOBS: usize = 400;
+    let d = Dispatcher::start(DispatcherConfig::default()).unwrap();
+    let handles: Vec<_> = (0..WORKERS).map(|_| worker(d.addr())).collect();
+    let ids = d.submit_all(
+        (0..JOBS).map(|_| JobSpec::sequential(CommandSpec::builtin("ok", vec![]))),
+    );
+    assert!(d.wait_idle(WAIT), "jobs did not drain");
+    for id in ids {
+        assert_eq!(d.job_record(id).unwrap().status, JobStatus::Succeeded);
+    }
+    d.shutdown();
+    let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(total, JOBS, "every job ran exactly once");
+}
+
+/// Workers all park *before* any job exists, so submission releases one
+/// burst of parked `Request`s through the coalesced scheduling path.
+#[test]
+fn request_burst_before_submission_is_fully_absorbed() {
+    const WORKERS: usize = 8;
+    let d = Dispatcher::start(DispatcherConfig::default()).unwrap();
+    let handles: Vec<_> = (0..WORKERS).map(|_| worker(d.addr())).collect();
+    // Wait for all workers to register and park their first Request.
+    let deadline = std::time::Instant::now() + WAIT;
+    while d.alive_workers() < WORKERS {
+        assert!(std::time::Instant::now() < deadline, "workers never arrived");
+        thread::sleep(Duration::from_millis(5));
+    }
+    thread::sleep(Duration::from_millis(50));
+    let ids = d.submit_all(
+        (0..WORKERS).map(|_| JobSpec::sequential(CommandSpec::builtin("ok", vec![]))),
+    );
+    assert!(d.wait_idle(WAIT));
+    for id in ids {
+        assert_eq!(d.job_record(id).unwrap().status, JobStatus::Succeeded);
+    }
+    d.shutdown();
+    let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(total, WORKERS);
+}
+
+/// Registered workers hammer heartbeats as fast as the socket allows
+/// while other workers churn through a batch. Heartbeat handling is
+/// lock-free, so the flood must not stall scheduling.
+#[test]
+fn heartbeat_flood_does_not_stall_scheduling() {
+    const FLOODERS: usize = 4;
+    const WORKERS: usize = 4;
+    const JOBS: usize = 200;
+    let d = Dispatcher::start(DispatcherConfig {
+        heartbeat_timeout: Some(Duration::from_secs(10)),
+        ..DispatcherConfig::default()
+    })
+    .unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let flooders: Vec<_> = (0..FLOODERS)
+        .map(|i| {
+            let addr = d.addr();
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let stream = TcpStream::connect(addr).unwrap();
+                let mut writer = MsgWriter::new(stream.try_clone().unwrap());
+                let mut reader = MsgReader::new(BufReader::new(stream));
+                writer
+                    .send(&WorkerMsg::Register {
+                        name: format!("flood{i}"),
+                        cores: 1,
+                        location: "storm".into(),
+                    })
+                    .unwrap();
+                let _ = reader.recv::<DispatcherMsg>().unwrap();
+                let mut beats = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    if writer.send(&WorkerMsg::Heartbeat).is_err() {
+                        break;
+                    }
+                    beats += 1;
+                }
+                let _ = writer.send(&WorkerMsg::Goodbye);
+                beats
+            })
+        })
+        .collect();
+
+    let handles: Vec<_> = (0..WORKERS).map(|_| worker(d.addr())).collect();
+    let ids = d.submit_all(
+        (0..JOBS).map(|_| JobSpec::sequential(CommandSpec::builtin("ok", vec![]))),
+    );
+    assert!(d.wait_idle(WAIT), "scheduling stalled under heartbeat flood");
+    for id in ids {
+        assert_eq!(d.job_record(id).unwrap().status, JobStatus::Succeeded);
+    }
+    stop.store(true, Ordering::Release);
+    let beats: u64 = flooders.into_iter().map(|f| f.join().unwrap()).sum();
+    assert!(beats > 0, "the flood never ran");
+    d.shutdown();
+    let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(total, JOBS);
+}
+
+/// A connection that sends an oversized frame is dropped without
+/// buffering the whole line, and the dispatcher keeps serving others.
+#[test]
+fn oversized_frame_drops_connection_not_dispatcher() {
+    let d = Dispatcher::start(DispatcherConfig::default()).unwrap();
+
+    let mut evil = TcpStream::connect(d.addr()).unwrap();
+    // One newline-free blob just past the cap. The server may close the
+    // connection before consuming it all, so a write error is fine.
+    let blob = vec![b'x'; MAX_FRAME_BYTES + 2];
+    let _ = evil.write_all(&blob);
+    let _ = evil.flush();
+    // The server must hang up (EOF or reset) instead of accumulating.
+    evil.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut sink = [0u8; 64];
+    match evil.read(&mut sink) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("server sent {n} unexpected bytes"),
+    }
+
+    // The dispatcher is still healthy: a normal worker completes a job.
+    let h = worker(d.addr());
+    let id = d.submit(JobSpec::sequential(CommandSpec::builtin("ok", vec![])));
+    assert!(d.wait_idle(WAIT));
+    assert_eq!(d.job_record(id).unwrap().status, JobStatus::Succeeded);
+    d.shutdown();
+    assert_eq!(h.join().unwrap(), 1);
+}

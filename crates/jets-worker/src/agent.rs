@@ -3,7 +3,7 @@
 use crate::executor::{TaskExecutor, TaskOutcome};
 use crate::staging::NodeLocalCache;
 use crossbeam::channel::{bounded, RecvTimeoutError};
-use jets_core::protocol::{read_msg, write_msg, DispatcherMsg, TaskAssignment, WorkerMsg};
+use jets_core::protocol::{DispatcherMsg, MsgReader, MsgWriter, TaskAssignment, WorkerMsg};
 use jets_core::spec::CommandSpec;
 use parking_lot::Mutex;
 use std::io::BufReader;
@@ -163,16 +163,13 @@ fn push_env(assignment: &mut TaskAssignment, key: &str, value: &str) {
 }
 
 /// Report a task failure that happened before execution started.
-fn report_failure(writer: &Arc<Mutex<TcpStream>>, task_id: u64, exit_code: i32) {
-    let _ = write_msg(
-        &mut *writer.lock(),
-        &WorkerMsg::Done {
-            task_id,
-            exit_code,
-            wall_ms: 0,
-            output: None,
-        },
-    );
+fn report_failure(writer: &Arc<Mutex<MsgWriter<TcpStream>>>, task_id: u64, exit_code: i32) {
+    let _ = writer.lock().send(&WorkerMsg::Done {
+        task_id,
+        exit_code,
+        wall_ms: 0,
+        output: None,
+    });
 }
 
 fn worker_loop(
@@ -205,23 +202,24 @@ fn worker_loop(
         *sock_slot.lock() = Some(clone);
     }
     // All writes (main loop + heartbeats) go through this mutex so JSON
-    // lines never interleave.
-    let writer = Arc::new(Mutex::new(write_half));
-    let mut reader = BufReader::new(stream);
+    // lines never interleave. The `MsgWriter` reuses one encode buffer
+    // for every message this worker will ever send; the `MsgReader` does
+    // the same for its line buffer.
+    let writer = Arc::new(Mutex::new(MsgWriter::new(write_half)));
+    let mut reader = MsgReader::new(BufReader::new(stream));
 
-    if write_msg(
-        &mut *writer.lock(),
-        &WorkerMsg::Register {
+    if writer
+        .lock()
+        .send(&WorkerMsg::Register {
             name: config.name.clone(),
             cores: config.cores,
             location: config.location.clone(),
-        },
-    )
-    .is_err()
+        })
+        .is_err()
     {
         return lost(0);
     }
-    match read_msg::<DispatcherMsg>(&mut reader) {
+    match reader.recv::<DispatcherMsg>() {
         Ok(Some(DispatcherMsg::Registered { .. })) => {}
         _ => return lost(0),
     }
@@ -237,7 +235,7 @@ fn worker_loop(
             .spawn(move || {
                 while !hb_stop.load(Ordering::Acquire) && !hb_kill.load(Ordering::Acquire) {
                     thread::sleep(period);
-                    if write_msg(&mut *hb_writer.lock(), &WorkerMsg::Heartbeat).is_err() {
+                    if hb_writer.lock().send(&WorkerMsg::Heartbeat).is_err() {
                         return;
                     }
                 }
@@ -251,14 +249,14 @@ fn worker_loop(
         if kill.load(Ordering::Acquire) {
             break ExitReason::Killed;
         }
-        if write_msg(&mut *writer.lock(), &WorkerMsg::Request).is_err() {
+        if writer.lock().send(&WorkerMsg::Request).is_err() {
             break if kill.load(Ordering::Acquire) {
                 ExitReason::Killed
             } else {
                 ExitReason::ConnectionLost
             };
         }
-        let mut assignment = match read_msg::<DispatcherMsg>(&mut reader) {
+        let mut assignment = match reader.recv::<DispatcherMsg>() {
             Ok(Some(DispatcherMsg::Assign(a))) => a,
             Ok(Some(DispatcherMsg::Shutdown)) => break ExitReason::Shutdown,
             Ok(Some(DispatcherMsg::Registered { .. })) => continue,
@@ -322,16 +320,15 @@ fn worker_loop(
         match result {
             Some((task_id, TaskOutcome { exit_code, output })) => {
                 let wall_ms = started.elapsed().as_millis() as u64;
-                if write_msg(
-                    &mut *writer.lock(),
-                    &WorkerMsg::Done {
+                if writer
+                    .lock()
+                    .send(&WorkerMsg::Done {
                         task_id,
                         exit_code,
                         wall_ms,
                         output,
-                    },
-                )
-                .is_err()
+                    })
+                    .is_err()
                 {
                     break if kill.load(Ordering::Acquire) {
                         ExitReason::Killed
@@ -347,7 +344,7 @@ fn worker_loop(
 
     stop.store(true, Ordering::Release);
     if exit_reason == ExitReason::Shutdown {
-        let _ = write_msg(&mut *writer.lock(), &WorkerMsg::Goodbye);
+        let _ = writer.lock().send(&WorkerMsg::Goodbye);
     }
     WorkerExit {
         tasks_done,

@@ -1,0 +1,76 @@
+//! Offline-check stub of serde: empty marker traits with just enough
+//! impls that `#[derive(Serialize, Deserialize)]`, trait bounds like
+//! `T: Serialize` / `T: DeserializeOwned`, and containers of derived
+//! types all type-check. No actual (de)serialization happens — the
+//! paired `serde_json` stub returns errors / empty output.
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+pub mod de {
+    pub use crate::Deserialize;
+
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+    impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+// Concrete impls for the primitive / container shapes that appear in
+// derived structs. Deliberately not a blanket `impl<T> Serialize for T`,
+// which would conflict with the derive-emitted impls.
+macro_rules! leaf {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+leaf!(
+    (),
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    String,
+);
+
+impl Serialize for str {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+
+impl<T: Serialize> Serialize for [T] {}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+}
