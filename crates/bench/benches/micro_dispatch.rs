@@ -70,6 +70,7 @@ fn main() {
                             CommandSpec::builtin("x", vec![]),
                         ),
                         attempts: 0,
+                        excluded: Vec::new(),
                     })
                     .collect::<Vec<_>>()
             },

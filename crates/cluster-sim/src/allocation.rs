@@ -1,6 +1,6 @@
 //! A simulated allocation: many pilot-job workers against one dispatcher.
 
-use jets_worker::{TaskExecutor, Worker, WorkerConfig, WorkerExit};
+use jets_worker::{ReconnectPolicy, TaskExecutor, Worker, WorkerConfig, WorkerExit};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
@@ -21,6 +21,10 @@ pub struct AllocationConfig {
     pub boot_stagger: Duration,
     /// Worker heartbeat period (`None` disables heartbeats).
     pub heartbeat: Option<Duration>,
+    /// Reconnect-with-backoff policy for every agent (`None` keeps the
+    /// legacy connect-once behaviour). Each worker gets the policy with a
+    /// per-node jitter seed so backoffs decorrelate deterministically.
+    pub reconnect: Option<ReconnectPolicy>,
 }
 
 impl AllocationConfig {
@@ -32,7 +36,14 @@ impl AllocationConfig {
             locations: vec!["sim".to_string()],
             boot_stagger: Duration::ZERO,
             heartbeat: None,
+            reconnect: None,
         }
+    }
+
+    /// Builder-style reconnect policy for every agent.
+    pub fn with_reconnect(mut self, policy: ReconnectPolicy) -> Self {
+        self.reconnect = Some(policy);
+        self
     }
 
     /// Builder-style location labels.
@@ -66,24 +77,7 @@ impl Allocation {
         config: AllocationConfig,
         executor: Arc<dyn TaskExecutor>,
     ) -> Allocation {
-        let mut workers = Vec::with_capacity(config.nodes as usize);
-        for i in 0..config.nodes {
-            let location = config.locations[i as usize % config.locations.len()].clone();
-            let boot_delay = config.boot_stagger * i;
-            let worker_config = WorkerConfig {
-                dispatcher_addr: dispatcher_addr.to_string(),
-                name: format!("node-{i:04}"),
-                cores: config.cores_per_node,
-                location,
-                heartbeat: config.heartbeat,
-                connect_delay: boot_delay,
-            };
-            workers.push(Some(Worker::spawn(worker_config, Arc::clone(&executor))));
-        }
-        Allocation {
-            workers: Mutex::new(workers),
-            exits: Mutex::new(Vec::new()),
-        }
+        Allocation::start_delayed(dispatcher_addr, config, executor, Duration::ZERO)
     }
 
     /// Boot an allocation whose every worker connects only after `delay`
@@ -98,6 +92,11 @@ impl Allocation {
         let mut workers = Vec::with_capacity(config.nodes as usize);
         for i in 0..config.nodes {
             let location = config.locations[i as usize % config.locations.len()].clone();
+            // Decorrelate reconnect jitter across nodes deterministically.
+            let reconnect = config.reconnect.clone().map(|mut p| {
+                p.seed = p.seed.wrapping_add(u64::from(i)).max(1);
+                p
+            });
             let worker_config = WorkerConfig {
                 dispatcher_addr: dispatcher_addr.to_string(),
                 name: format!("node-{i:04}"),
@@ -105,6 +104,8 @@ impl Allocation {
                 location,
                 heartbeat: config.heartbeat,
                 connect_delay: delay + config.boot_stagger * i,
+                reconnect,
+                ..WorkerConfig::new(dispatcher_addr, format!("node-{i:04}"))
             };
             workers.push(Some(Worker::spawn(worker_config, Arc::clone(&executor))));
         }
@@ -141,6 +142,21 @@ impl Allocation {
         }
     }
 
+    /// Partition node `index` from the dispatcher: sever its socket
+    /// without the kill flag, so an agent configured with a reconnect
+    /// policy re-registers after backoff. Returns false if the node was
+    /// already collected, finished, or out of range.
+    pub fn partition(&self, index: usize) -> bool {
+        let guard = self.workers.lock();
+        match guard.get(index).and_then(|w| w.as_ref()) {
+            Some(w) if !w.is_finished() => {
+                w.disconnect();
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Kill one live node chosen by `pick(live_candidates)`; returns the
     /// killed index. `pick` receives the indices of live nodes.
     pub fn kill_one_of(&self, pick: impl FnOnce(&[usize]) -> usize) -> Option<usize> {
@@ -158,6 +174,28 @@ impl Allocation {
         debug_assert!(live.contains(&chosen), "pick must choose a live index");
         if let Some(Some(w)) = guard.get(chosen) {
             w.kill();
+            return Some(chosen);
+        }
+        None
+    }
+
+    /// Partition one live node chosen by `pick(live_candidates)`; returns
+    /// the partitioned index. `pick` receives the indices of live nodes.
+    pub fn partition_one_of(&self, pick: impl FnOnce(&[usize]) -> usize) -> Option<usize> {
+        let guard = self.workers.lock();
+        let live: Vec<usize> = guard
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.as_ref().is_some_and(|w| !w.is_finished()))
+            .map(|(i, _)| i)
+            .collect();
+        if live.is_empty() {
+            return None;
+        }
+        let chosen = pick(&live);
+        debug_assert!(live.contains(&chosen), "pick must choose a live index");
+        if let Some(Some(w)) = guard.get(chosen) {
+            w.disconnect();
             return Some(chosen);
         }
         None

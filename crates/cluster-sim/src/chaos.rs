@@ -1,0 +1,230 @@
+//! Deterministic chaos: a seeded fault plan replayed against an allocation.
+//!
+//! [`crate::faults::FaultInjector`] reproduces the paper's experiment —
+//! permanent kills only, one per tick. The chaos harness generalises it
+//! into a **plan**: a timed sequence of fault events (kill / partition /
+//! calm tick) generated *up front* from a seed, so a failing test run
+//! replays exactly by reusing the seed, and the mix of fault types is a
+//! declared knob instead of an accident of timing.
+//!
+//! Two fault flavours map onto the two worker-agent primitives:
+//!
+//! * **Kill** — `Worker::kill`: the pilot dies for good (the paper's
+//!   Fig. 10 fault).
+//! * **Partition** — `Worker::disconnect`: the socket drops but the agent
+//!   lives; with a reconnect policy it re-registers after backoff, which
+//!   exercises the dispatcher's gang cancellation, quarantine, and
+//!   re-admission paths.
+
+use crate::allocation::Allocation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Kill a randomly chosen live worker permanently.
+    Kill,
+    /// Sever a randomly chosen live worker's connection; a reconnecting
+    /// agent comes back.
+    Partition,
+    /// A calm tick: inject nothing.
+    Calm,
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Offset from injector start.
+    pub at: Duration,
+    /// What to do.
+    pub action: FaultAction,
+    /// Deterministic victim selector: the live worker at index
+    /// `roll % live.len()` is hit.
+    pub roll: u64,
+}
+
+/// Relative weights of the fault flavours in a seeded plan.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultMix {
+    /// Weight of permanent kills.
+    pub kill: u32,
+    /// Weight of partitions.
+    pub partition: u32,
+    /// Weight of calm ticks.
+    pub calm: u32,
+    /// Hard cap on kills in one plan (excess kill draws become
+    /// partitions), so a long plan cannot exhaust the allocation.
+    pub max_kills: u32,
+}
+
+impl Default for FaultMix {
+    fn default() -> Self {
+        FaultMix {
+            kill: 1,
+            partition: 6,
+            calm: 1,
+            max_kills: 2,
+        }
+    }
+}
+
+/// A precomputed, replayable schedule of fault events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The events, in firing order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Generate a `ticks`-event plan, one event per `interval`, from a
+    /// deterministic RNG seeded with `seed`. The same seed always yields
+    /// the same plan.
+    pub fn seeded(seed: u64, ticks: u32, interval: Duration, mix: FaultMix) -> FaultPlan {
+        let total = mix.kill + mix.partition + mix.calm;
+        assert!(total > 0, "fault mix must have nonzero weight");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut kills = 0u32;
+        let mut events = Vec::with_capacity(ticks as usize);
+        for t in 0..ticks {
+            let w = rng.gen_range(0..total);
+            let mut action = if w < mix.kill {
+                FaultAction::Kill
+            } else if w < mix.kill + mix.partition {
+                FaultAction::Partition
+            } else {
+                FaultAction::Calm
+            };
+            if action == FaultAction::Kill {
+                if kills >= mix.max_kills {
+                    action = FaultAction::Partition;
+                } else {
+                    kills += 1;
+                }
+            }
+            events.push(FaultEvent {
+                at: interval * (t + 1),
+                action,
+                roll: rng.gen(),
+            });
+        }
+        FaultPlan { events }
+    }
+}
+
+/// A running chaos injector replaying a [`FaultPlan`].
+pub struct ChaosInjector {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<Vec<(FaultAction, usize)>>>,
+}
+
+impl ChaosInjector {
+    /// Start replaying `plan` against `allocation` on a background
+    /// thread. Event times are measured from this call.
+    pub fn start(allocation: Arc<Allocation>, plan: FaultPlan) -> ChaosInjector {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = thread::Builder::new()
+            .name("chaos-injector".to_string())
+            .spawn(move || {
+                let epoch = Instant::now();
+                let mut applied = Vec::new();
+                for ev in plan.events {
+                    loop {
+                        if stop2.load(Ordering::Acquire) {
+                            return applied;
+                        }
+                        let now = epoch.elapsed();
+                        if now >= ev.at {
+                            break;
+                        }
+                        thread::sleep((ev.at - now).min(Duration::from_millis(10)));
+                    }
+                    let roll = ev.roll as usize;
+                    let hit = match ev.action {
+                        FaultAction::Kill => {
+                            allocation.kill_one_of(|live| live[roll % live.len()])
+                        }
+                        FaultAction::Partition => {
+                            allocation.partition_one_of(|live| live[roll % live.len()])
+                        }
+                        FaultAction::Calm => None,
+                    };
+                    if let Some(idx) = hit {
+                        applied.push((ev.action, idx));
+                    }
+                }
+                applied
+            })
+            .expect("spawn chaos injector");
+        ChaosInjector {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop early and return the faults applied so far, in order.
+    pub fn stop(mut self) -> Vec<(FaultAction, usize)> {
+        self.stop.store(true, Ordering::Release);
+        self.handle
+            .take()
+            .expect("stop called once")
+            .join()
+            .unwrap_or_default()
+    }
+
+    /// Wait until the whole plan has been replayed; returns the faults
+    /// applied, in order.
+    pub fn join(mut self) -> Vec<(FaultAction, usize)> {
+        self.handle
+            .take()
+            .expect("join called once")
+            .join()
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let mix = FaultMix::default();
+        let a = FaultPlan::seeded(42, 50, Duration::from_millis(10), mix);
+        let b = FaultPlan::seeded(42, 50, Duration::from_millis(10), mix);
+        assert_eq!(a, b);
+        let c = FaultPlan::seeded(43, 50, Duration::from_millis(10), mix);
+        assert_ne!(a, c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn kill_cap_is_respected() {
+        let mix = FaultMix {
+            kill: 10,
+            partition: 1,
+            calm: 1,
+            max_kills: 2,
+        };
+        let plan = FaultPlan::seeded(7, 200, Duration::from_millis(1), mix);
+        let kills = plan
+            .events
+            .iter()
+            .filter(|e| e.action == FaultAction::Kill)
+            .count();
+        assert_eq!(kills, 2, "kill-heavy mix must still respect the cap");
+    }
+
+    #[test]
+    fn events_are_time_ordered() {
+        let plan = FaultPlan::seeded(1, 20, Duration::from_millis(5), FaultMix::default());
+        assert_eq!(plan.events.len(), 20);
+        for pair in plan.events.windows(2) {
+            assert!(pair[0].at < pair[1].at);
+        }
+    }
+}

@@ -19,18 +19,22 @@
 //!
 //! [`FaultInjector`] reproduces the paper's faulty-allocation experiment
 //! (Fig. 10): kill one randomly chosen pilot at fixed intervals and watch
-//! the dispatcher keep the survivors busy.
+//! the dispatcher keep the survivors busy. [`chaos`] generalises it into
+//! seeded, replayable fault *plans* that mix permanent kills with
+//! transient partitions (reconnecting agents).
 
 #![warn(missing_docs)]
 
 pub mod allocation;
 pub mod apps;
+pub mod chaos;
 pub mod faults;
 pub mod spectrum;
 pub mod workload;
 
 pub use allocation::{Allocation, AllocationConfig};
 pub use apps::{register_namd, science_registry};
+pub use chaos::{ChaosInjector, FaultAction, FaultEvent, FaultMix, FaultPlan};
 pub use faults::FaultInjector;
 pub use spectrum::{halving_spectrum, linear_wait, SpectrumAllocator};
 pub use workload::{NamdDurationModel, TimeScale};

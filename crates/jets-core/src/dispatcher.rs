@@ -39,16 +39,19 @@
 
 use crate::events::{EventKind, EventLog};
 use crate::group::{select_group_ids, GroupScratch, GroupingPolicy};
-use crate::protocol::{DispatcherMsg, MsgReader, MsgWriter, TaskAssignment, TaskKind, WorkerMsg};
+use crate::protocol::{
+    DispatcherMsg, MsgReader, MsgWriter, TaskAssignment, TaskKind, WorkerMsg, EXIT_CANCELED,
+    EXIT_DEADLINE, EXIT_UNDELIVERABLE, EXIT_WORKER_LOST,
+};
 use crate::queue::{JobQueue, QueuePolicy, QueuedJob};
 use crate::ready::ReadyList;
-use crate::registry::Registry;
+use crate::registry::{QuarantinePolicy, Registry, WorkerState};
 use crate::spec::{JobId, JobSpec, TaskId, WorkerId};
 use crossbeam::channel::{unbounded, Sender};
 use crossbeam::queue::SegQueue;
 use jets_pmi::{ManualLauncher, PmiServer, PmiServerConfig, RankLayout};
 use parking_lot::{Condvar, Mutex};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -75,6 +78,12 @@ pub struct DispatcherConfig {
     /// `<dir>/job<J>.task<T>.out` — the paper's "into a file" step of the
     /// output path (Section 6.1.6).
     pub stdout_dir: Option<std::path::PathBuf>,
+    /// Bench policy for workers whose name keeps killing gangs; `None`
+    /// disables quarantine (every registration is admitted `Idle`).
+    pub quarantine: Option<QuarantinePolicy>,
+    /// Period of the monitor loop that enforces hang detection, job
+    /// deadlines, and quarantine release.
+    pub monitor_tick: Duration,
 }
 
 impl Default for DispatcherConfig {
@@ -86,6 +95,8 @@ impl Default for DispatcherConfig {
             heartbeat_timeout: None,
             pmi_fence_timeout: Duration::from_secs(60),
             stdout_dir: None,
+            quarantine: Some(QuarantinePolicy::default()),
+            monitor_tick: Duration::from_millis(25),
         }
     }
 }
@@ -126,14 +137,21 @@ struct ActiveJob {
     id: JobId,
     spec: JobSpec,
     attempts: u32,
-    /// Workers that have not yet reported (or died).
-    pending: HashSet<WorkerId>,
+    /// Workers that have not yet reported (or died), with the task each
+    /// one is running — the id a gang cancel must name and the id a dead
+    /// worker's synthetic `TaskEnded` records.
+    pending: HashMap<WorkerId, TaskId>,
     exit_codes: Vec<i32>,
     outputs: Vec<String>,
     any_failure: bool,
+    /// Workers this attempt blames (died mid-gang, nonzero exit, or
+    /// unreachable); becomes the requeue's `excluded` hint.
+    failed_workers: Vec<WorkerId>,
     /// Keeps the job's PMI server alive for the duration of the job.
     pmi: Option<PmiServer>,
     started: Instant,
+    /// Wall-clock cutoff derived from the spec's `deadline_ms`.
+    deadline: Option<Instant>,
 }
 
 /// Scheduling-critical state: everything one scheduling decision reads or
@@ -156,6 +174,9 @@ struct Sched {
     scratch: GroupScratch,
     /// Reusable buffer for the workers chosen for one job.
     chosen: Vec<WorkerId>,
+    /// Quarantined workers whose `Request` is being held; the monitor
+    /// moves them back into `pending_ready` once their bench expires.
+    quarantined_ready: Vec<WorkerId>,
 }
 
 /// Client-facing bookkeeping, split from `Sched` so `wait_idle` /
@@ -209,13 +230,14 @@ impl Dispatcher {
         let inner = Arc::new(Inner {
             sched: Mutex::new(Sched {
                 queue: JobQueue::new(config.queue_policy),
-                registry: Registry::new(),
+                registry: Registry::with_quarantine(config.quarantine.clone()),
                 conns: HashMap::new(),
                 ready: ReadyList::new(),
                 active: HashMap::new(),
                 tasks: HashMap::new(),
                 scratch: GroupScratch::new(),
                 chosen: Vec::new(),
+                quarantined_ready: Vec::new(),
             }),
             book: Mutex::new(Book {
                 records: HashMap::new(),
@@ -237,14 +259,12 @@ impl Dispatcher {
             .stack_size(CONN_STACK)
             .spawn(move || accept_loop(listener, accept_inner))
             .expect("spawn dispatcher accept thread");
-        if let Some(timeout) = inner.config.heartbeat_timeout {
-            let monitor_inner = Arc::clone(&inner);
-            thread::Builder::new()
-                .name("jets-monitor".to_string())
-                .stack_size(CONN_STACK)
-                .spawn(move || monitor_loop(monitor_inner, timeout))
-                .expect("spawn dispatcher monitor thread");
-        }
+        let monitor_inner = Arc::clone(&inner);
+        thread::Builder::new()
+            .name("jets-monitor".to_string())
+            .stack_size(CONN_STACK)
+            .spawn(move || monitor_loop(monitor_inner))
+            .expect("spawn dispatcher monitor thread");
         Ok(Dispatcher { inner, addr })
     }
 
@@ -287,6 +307,7 @@ impl Dispatcher {
                 id,
                 spec,
                 attempts: 0,
+                excluded: Vec::new(),
             });
         }
         {
@@ -432,20 +453,53 @@ fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
     }
 }
 
-fn monitor_loop(inner: Arc<Inner>, timeout: Duration) {
+/// The dispatcher's periodic duties: hang detection (when a heartbeat
+/// timeout is configured), per-job deadline enforcement, and quarantine
+/// release. One thread, one tick.
+fn monitor_loop(inner: Arc<Inner>) {
+    let tick = inner.config.monitor_tick.max(Duration::from_millis(1));
     loop {
         if inner.shutdown.load(Ordering::Acquire) {
             return;
         }
-        thread::sleep(timeout / 2);
-        // `stale` reads only the per-worker liveness atomics; the lock is
-        // held just long enough to walk the worker table.
-        let stale = {
-            let st = inner.sched.lock();
-            st.registry.stale(timeout)
-        };
-        for worker in stale {
-            handle_worker_down(&inner, worker);
+        thread::sleep(tick);
+        // Hang detection: `stale` reads only the per-worker liveness
+        // atomics; the lock is held just long enough to walk the table.
+        if let Some(timeout) = inner.config.heartbeat_timeout {
+            let stale = {
+                let st = inner.sched.lock();
+                st.registry.stale(timeout)
+            };
+            for worker in stale {
+                handle_worker_down(&inner, worker);
+            }
+        }
+        let mut st = inner.sched.lock();
+        // Deadline enforcement: cancel the whole gang of any attempt that
+        // blew its wall-time budget; the failure consumes a retry.
+        let now = Instant::now();
+        let expired: Vec<JobId> = st
+            .active
+            .iter()
+            .filter(|(_, a)| a.deadline.is_some_and(|d| now >= d))
+            .map(|(&id, _)| id)
+            .collect();
+        for job in expired {
+            inner.log.record(EventKind::DeadlineExceeded { job });
+            cancel_gang(&inner, &mut st, job, EXIT_DEADLINE, "deadline exceeded");
+        }
+        // Quarantine release: benched workers whose penalty expired get
+        // their held `Request` replayed through the normal park path.
+        let mut replayed = false;
+        for worker in st.registry.release_expired() {
+            if let Some(pos) = st.quarantined_ready.iter().position(|&w| w == worker) {
+                st.quarantined_ready.swap_remove(pos);
+                inner.pending_ready.push(worker);
+                replayed = true;
+            }
+        }
+        if replayed {
+            try_schedule(&inner, &mut st);
         }
     }
 }
@@ -493,6 +547,16 @@ fn serve_worker(stream: TcpStream, inner: Arc<Inner>) {
         let hb = st.registry.insert(worker_id, name, cores, location);
         st.conns.insert(worker_id, tx.clone());
         inner.log.record(EventKind::WorkerUp { worker: worker_id });
+        // A name with too many recent gang-kills is admitted benched.
+        if let Some(WorkerState::Quarantined { until_ms }) =
+            st.registry.get(worker_id).map(|w| w.state)
+        {
+            inner.log.record(EventKind::WorkerQuarantined {
+                worker: worker_id,
+                strikes: st.registry.strikes(worker_id),
+                until_ms,
+            });
+        }
         hb
     };
     let _ = tx.send(DispatcherMsg::Registered { worker_id });
@@ -542,13 +606,29 @@ fn kick_schedule(inner: &Inner) {
 
 /// Move lock-free-parked `Request`s into the ready list. Only workers
 /// still idle enter ([`ReadyList::park`] additionally suppresses
-/// duplicates); a worker that died since pushing is skipped.
+/// duplicates); a worker that died since pushing is skipped, and a
+/// quarantined worker's request is *held* in `quarantined_ready` — the
+/// monitor replays it when the bench expires, so the worker never has to
+/// re-request.
 fn drain_parked(inner: &Inner, st: &mut Sched) {
     while let Some(worker) = inner.pending_ready.pop() {
-        let Sched { ready, registry, .. } = &mut *st;
+        let Sched {
+            ready,
+            registry,
+            quarantined_ready,
+            ..
+        } = &mut *st;
         if let Some(info) = registry.get(worker) {
-            if info.state == crate::registry::WorkerState::Idle {
-                ready.park(worker, info.loc);
+            match info.state {
+                WorkerState::Idle => {
+                    ready.park(worker, info.loc);
+                }
+                WorkerState::Quarantined { .. } => {
+                    if !quarantined_ready.contains(&worker) {
+                        quarantined_ready.push(worker);
+                    }
+                }
+                WorkerState::Busy(_) | WorkerState::Dead => {}
             }
         }
     }
@@ -574,18 +654,25 @@ fn try_schedule(inner: &Inner, st: &mut Sched) {
                 break;
             };
             let need = job.spec.nodes as usize;
-            match inner.config.grouping {
-                // FCFS fast path: dequeue the longest-parked workers.
-                GroupingPolicy::Fcfs => ready.take_front(need, &mut chosen),
-                GroupingPolicy::LocationAware => {
-                    let found = select_group_ids(
-                        GroupingPolicy::LocationAware,
-                        ready.entries(),
-                        need,
-                        scratch,
-                    );
-                    assert!(found, "queue.pick guaranteed enough ready workers");
-                    ready.take_indices(scratch.selected(), &mut chosen);
+            // A requeued job first tries a group avoiding the workers its
+            // last attempt blames. Best effort: if the pool minus those is
+            // too small, the hint is waived and normal selection runs.
+            let picked_avoiding = !job.excluded.is_empty()
+                && take_excluding(ready, &job.excluded, need, &mut chosen);
+            if !picked_avoiding {
+                match inner.config.grouping {
+                    // FCFS fast path: dequeue the longest-parked workers.
+                    GroupingPolicy::Fcfs => ready.take_front(need, &mut chosen),
+                    GroupingPolicy::LocationAware => {
+                        let found = select_group_ids(
+                            GroupingPolicy::LocationAware,
+                            ready.entries(),
+                            need,
+                            scratch,
+                        );
+                        assert!(found, "queue.pick guaranteed enough ready workers");
+                        ready.take_indices(scratch.selected(), &mut chosen);
+                    }
                 }
             }
             job
@@ -596,10 +683,37 @@ fn try_schedule(inner: &Inner, st: &mut Sched) {
     st.chosen = chosen;
 }
 
+/// Dequeue `need` ready workers, oldest first, skipping `excluded`.
+/// Returns `false` — taking nothing — when the non-excluded pool is too
+/// small (the caller falls back to normal selection).
+fn take_excluding(
+    ready: &mut ReadyList,
+    excluded: &[WorkerId],
+    need: usize,
+    out: &mut Vec<WorkerId>,
+) -> bool {
+    let mut idxs = Vec::with_capacity(need);
+    for (i, &(w, _)) in ready.entries().iter().enumerate() {
+        if !excluded.contains(&w) {
+            idxs.push(i);
+            if idxs.len() == need {
+                break;
+            }
+        }
+    }
+    if idxs.len() < need {
+        return false;
+    }
+    ready.take_indices(&idxs, out);
+    true
+}
+
 /// Ship a job's tasks to its chosen workers; runs under the scheduling
 /// lock (taking `book` briefly for the status flip).
 fn start_job(inner: &Inner, st: &mut Sched, job: QueuedJob, workers: &[WorkerId]) {
-    let QueuedJob { id, spec, attempts } = job;
+    let QueuedJob {
+        id, spec, attempts, ..
+    } = job;
     inner.log.record(EventKind::JobStarted {
         job: id,
         nodes: spec.nodes,
@@ -613,16 +727,21 @@ fn start_job(inner: &Inner, st: &mut Sched, job: QueuedJob, workers: &[WorkerId]
         }
     }
 
+    let started = Instant::now();
     let mut active = ActiveJob {
         id,
         spec: spec.clone(),
         attempts: attempts + 1,
-        pending: workers.iter().copied().collect(),
+        pending: HashMap::new(),
         exit_codes: Vec::new(),
         outputs: Vec::new(),
         any_failure: false,
+        failed_workers: Vec::new(),
         pmi: None,
-        started: Instant::now(),
+        started,
+        deadline: spec
+            .deadline_ms
+            .map(|ms| started + Duration::from_millis(ms)),
     };
 
     // Build one assignment per worker.
@@ -692,6 +811,7 @@ fn start_job(inner: &Inner, st: &mut Sched, job: QueuedJob, workers: &[WorkerId]
         let task_id = assignment.task_id;
         st.tasks.insert(task_id, id);
         st.registry.mark_busy(worker, id);
+        active.pending.insert(worker, task_id);
         inner.log.record(EventKind::TaskStarted {
             task: task_id,
             job: id,
@@ -712,17 +832,24 @@ fn start_job(inner: &Inner, st: &mut Sched, job: QueuedJob, workers: &[WorkerId]
                 job: id,
                 worker,
                 ranks: spec.ppn,
-                exit_code: -128,
+                exit_code: EXIT_UNDELIVERABLE,
             });
             active.pending.remove(&worker);
             active.any_failure = true;
-            active.exit_codes.push(-128);
+            active.failed_workers.push(worker);
+            active.exit_codes.push(EXIT_UNDELIVERABLE);
         }
     }
 
     if active.pending.is_empty() {
         // Everything failed to deliver.
         finish_job(inner, st, active);
+    } else if active.any_failure {
+        // Part of the gang is unreachable. The delivered members would
+        // block on the PMI fence until its timeout, so tear the gang down
+        // now; the failure requeues through the normal retry path.
+        st.active.insert(id, active);
+        cancel_gang(inner, st, id, EXIT_CANCELED, "peer assignment undeliverable");
     } else {
         st.active.insert(id, active);
     }
@@ -766,6 +893,7 @@ fn handle_done(
     }
     if exit_code != 0 {
         active.any_failure = true;
+        active.failed_workers.push(worker);
     }
     if active.pending.is_empty() {
         let active = st.active.remove(&job_id).expect("checked above");
@@ -788,31 +916,80 @@ fn handle_worker_down(inner: &Inner, worker: WorkerId) {
     let inflight_job = st.registry.mark_dead(worker);
     st.conns.remove(&worker);
     st.ready.remove(worker);
+    st.quarantined_ready.retain(|&w| w != worker);
     inner.log.record(EventKind::WorkerDown { worker });
 
     if let Some(job_id) = inflight_job {
-        if let Some(active) = st.active.get_mut(&job_id) {
+        // Dying mid-gang is a strike; enough strikes and the name's next
+        // registration is admitted quarantined.
+        st.registry.record_fault(worker);
+        if let Some(mut active) = st.active.remove(&job_id) {
             active.any_failure = true;
-            active.pending.remove(&worker);
-            if let Some(pmi) = &active.pmi {
-                pmi.abort(&format!("worker {worker} died"));
+            active.failed_workers.push(worker);
+            if let Some(task) = active.pending.remove(&worker) {
+                st.tasks.remove(&task);
+                inner.log.record(EventKind::TaskEnded {
+                    task,
+                    job: job_id,
+                    worker,
+                    ranks: active.spec.ppn,
+                    exit_code: EXIT_WORKER_LOST,
+                });
+                active.exit_codes.push(EXIT_WORKER_LOST);
             }
-            let ppn = active.spec.ppn;
-            inner.log.record(EventKind::TaskEnded {
-                task: 0, // synthetic: the dead worker's task id is unknown here
-                job: job_id,
-                worker,
-                ranks: ppn,
-                exit_code: -127,
-            });
             if active.pending.is_empty() {
-                let active = st.active.remove(&job_id).expect("checked above");
                 finish_job(inner, &mut st, active);
+            } else {
+                // Survivors would hang at the PMI fence until its timeout;
+                // tear the whole gang down so the job requeues promptly.
+                st.active.insert(job_id, active);
+                cancel_gang(
+                    inner,
+                    &mut st,
+                    job_id,
+                    EXIT_CANCELED,
+                    &format!("worker {worker} died"),
+                );
             }
         }
     }
     try_schedule(inner, &mut st);
     inner.idle_cv.notify_all();
+}
+
+/// Tear down a running gang: abort its PMI server (unblocking ranks stuck
+/// at a fence), send `Cancel` to every worker still pending, and finish
+/// the job as failed — which requeues it if retry budget remains.
+///
+/// Survivors are *not* added to `failed_workers`: only the worker that
+/// triggered the teardown (dead, unreachable, or nonzero-exit) is blamed,
+/// and a deadline cancel blames nobody. Each survivor's eventual `Done`
+/// arrives as a stale report: `handle_done` marks the worker idle and
+/// drops it, so canceled workers rejoin the pool on their next `Request`.
+fn cancel_gang(inner: &Inner, st: &mut Sched, job_id: JobId, exit_code: i32, reason: &str) {
+    let Some(mut active) = st.active.remove(&job_id) else {
+        return;
+    };
+    if let Some(pmi) = &active.pmi {
+        pmi.abort(reason);
+    }
+    let pending = std::mem::take(&mut active.pending);
+    for (&worker, &task) in &pending {
+        st.tasks.remove(&task);
+        if let Some(tx) = st.conns.get(&worker) {
+            let _ = tx.send(DispatcherMsg::Cancel { task_id: task });
+        }
+        inner.log.record(EventKind::TaskEnded {
+            task,
+            job: job_id,
+            worker,
+            ranks: active.spec.ppn,
+            exit_code,
+        });
+        active.exit_codes.push(exit_code);
+    }
+    active.any_failure = true;
+    finish_job(inner, st, active);
 }
 
 /// A job finished (all participants accounted for). Requeue or record.
@@ -846,10 +1023,14 @@ fn finish_job(inner: &Inner, st: &mut Sched, active: ActiveJob) {
                 rec.outputs = active.outputs.clone();
             }
         }
+        let mut excluded = active.failed_workers;
+        excluded.sort_unstable();
+        excluded.dedup();
         st.queue.push_front(QueuedJob {
             id: active.id,
             spec: active.spec,
             attempts: active.attempts,
+            excluded,
         });
         // outstanding unchanged: the job is still in flight.
     } else {

@@ -59,6 +59,21 @@ pub enum EventKind {
         /// The job.
         job: JobId,
     },
+    /// A running attempt blew its wall-time budget; its gang was
+    /// canceled and the failure charged against the retry budget.
+    DeadlineExceeded {
+        /// The job.
+        job: JobId,
+    },
+    /// A re-registering worker was benched for killing recent gangs.
+    WorkerQuarantined {
+        /// The worker (the fresh connection's id).
+        worker: WorkerId,
+        /// Live strikes against the worker's name.
+        strikes: u32,
+        /// Release time, milliseconds since the registry epoch.
+        until_ms: u64,
+    },
     /// One task (proxy or sequential execution) was assigned to a worker.
     TaskStarted {
         /// The task.

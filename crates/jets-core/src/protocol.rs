@@ -71,9 +71,34 @@ pub enum DispatcherMsg {
     },
     /// Run this task (reply to `Request`).
     Assign(TaskAssignment),
+    /// Kill the named in-flight task: its gang is being torn down (a peer
+    /// died, the job's deadline passed, or an assignment was
+    /// undeliverable). The worker kills the task's processes, reports
+    /// `Done` with [`EXIT_CANCELED`], and goes back to requesting work.
+    /// Ignored if the task already completed (the race is benign: the
+    /// dispatcher drops the stale report).
+    Cancel {
+        /// The task to kill.
+        task_id: TaskId,
+    },
     /// No more work will come; the worker should exit.
     Shutdown,
 }
+
+/// Synthetic exit code the dispatcher records when a worker dies (EOF,
+/// error, or heartbeat silence) while its task was in flight.
+pub const EXIT_WORKER_LOST: i32 = -127;
+/// Synthetic exit code for an assignment that could not be delivered:
+/// the worker vanished between parking and assignment.
+pub const EXIT_UNDELIVERABLE: i32 = -128;
+/// Exit code for a task killed by gang cancellation (a peer worker died
+/// or the assignment was partially undeliverable). Recorded by the
+/// dispatcher when it sends [`DispatcherMsg::Cancel`] and reported by the
+/// worker once the kill lands.
+pub const EXIT_CANCELED: i32 = -125;
+/// Exit code for a task killed because its job exceeded its wall-time
+/// deadline ([`crate::spec::JobSpec::deadline_ms`]).
+pub const EXIT_DEADLINE: i32 = -126;
 
 /// One unit of work shipped to one worker.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -281,6 +306,7 @@ mod tests {
     fn dispatcher_messages_round_trip() {
         round_trip(DispatcherMsg::Registered { worker_id: 9 });
         round_trip(DispatcherMsg::Shutdown);
+        round_trip(DispatcherMsg::Cancel { task_id: 17 });
         round_trip(DispatcherMsg::Assign(TaskAssignment {
             task_id: 1,
             job_id: 2,

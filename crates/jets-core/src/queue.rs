@@ -14,7 +14,7 @@
 //!   job that cannot start yet to *backfill* smaller jobs onto idle
 //!   workers.
 
-use crate::spec::{JobId, JobSpec};
+use crate::spec::{JobId, JobSpec, WorkerId};
 use std::collections::VecDeque;
 
 /// Queue discipline for pending jobs.
@@ -37,6 +37,11 @@ pub struct QueuedJob {
     /// Retries already consumed (set when a job is requeued after a
     /// worker failure).
     pub attempts: u32,
+    /// Workers the previous attempt blames (died mid-gang, reported a
+    /// nonzero exit, or went unreachable). The scheduler avoids them for
+    /// exactly one attempt — best effort, never blocking: if avoiding
+    /// them would leave the job unschedulable, they are used anyway.
+    pub excluded: Vec<WorkerId>,
 }
 
 /// Pending-job queue under a [`QueuePolicy`].
@@ -156,6 +161,7 @@ mod tests {
             spec: JobSpec::mpi(nodes, CommandSpec::builtin("x", vec![]))
                 .with_priority(priority),
             attempts: 0,
+            excluded: Vec::new(),
         }
     }
 

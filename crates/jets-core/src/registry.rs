@@ -64,8 +64,55 @@ pub enum WorkerState {
     Idle,
     /// Executing a task of the given job.
     Busy(JobId),
+    /// Connected but benched: this worker's *name* killed too many recent
+    /// gangs, so the scheduler skips it until the penalty expires at
+    /// `until_ms` (milliseconds since the registry epoch). Quarantined
+    /// workers still count as alive and their `Request` is held, not
+    /// dropped.
+    Quarantined {
+        /// Release time, in milliseconds since the registry's epoch.
+        until_ms: u64,
+    },
     /// Gone (EOF, error, heartbeat timeout, or orderly goodbye).
     Dead,
+}
+
+/// Policy for benching workers that keep killing gangs.
+///
+/// Strikes are charged to the worker's *name*, not its connection: a
+/// pilot that dies mid-gang and reconnects gets a fresh `WorkerId` but
+/// inherits its record. A strike older than `decay` clears the whole
+/// record (the node has been behaving), and a worker re-registering with
+/// `threshold` or more live strikes is admitted `Quarantined` for
+/// `penalty × strikes`, capped at `max_penalty`.
+#[derive(Debug, Clone)]
+pub struct QuarantinePolicy {
+    /// Live strikes at which a re-registering worker is benched.
+    pub threshold: u32,
+    /// Bench time per live strike.
+    pub penalty: Duration,
+    /// A strike this old clears the record.
+    pub decay: Duration,
+    /// Upper bound on one bench period.
+    pub max_penalty: Duration,
+}
+
+impl Default for QuarantinePolicy {
+    fn default() -> Self {
+        QuarantinePolicy {
+            threshold: 2,
+            penalty: Duration::from_millis(500),
+            decay: Duration::from_secs(60),
+            max_penalty: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A worker name's recent gang-kill record.
+#[derive(Debug, Clone, Copy)]
+struct FaultRecord {
+    strikes: u32,
+    last_ms: u64,
 }
 
 /// Everything the dispatcher knows about one worker.
@@ -95,6 +142,9 @@ pub struct Registry {
     workers: HashMap<WorkerId, WorkerInfo>,
     locations: LocationInterner,
     epoch: Instant,
+    /// Gang-kill strikes by worker *name*, surviving reconnects.
+    faults: HashMap<String, FaultRecord>,
+    quarantine: Option<QuarantinePolicy>,
 }
 
 impl Default for Registry {
@@ -103,18 +153,36 @@ impl Default for Registry {
             workers: HashMap::new(),
             locations: LocationInterner::new(),
             epoch: Instant::now(),
+            faults: HashMap::new(),
+            quarantine: None,
         }
     }
 }
 
 impl Registry {
-    /// An empty registry.
+    /// An empty registry with no quarantine policy.
     pub fn new() -> Self {
         Registry::default()
     }
 
-    /// Record a newly registered worker (state `Idle`), returning its
-    /// liveness handle for the connection thread.
+    /// An empty registry that benches repeat gang-killers per `policy`.
+    pub fn with_quarantine(policy: Option<QuarantinePolicy>) -> Self {
+        Registry {
+            quarantine: policy,
+            ..Registry::default()
+        }
+    }
+
+    /// Milliseconds since the registry's epoch (the clock quarantine
+    /// release times are expressed in).
+    pub fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Record a newly registered worker, returning its liveness handle
+    /// for the connection thread. Admitted `Idle` unless the name has
+    /// `threshold`+ live strikes under the quarantine policy, in which
+    /// case it starts `Quarantined`.
     pub fn insert(
         &mut self,
         id: WorkerId,
@@ -124,6 +192,7 @@ impl Registry {
     ) -> HeartbeatHandle {
         let loc = self.locations.intern(&location);
         let liveness = HeartbeatHandle::new(self.epoch);
+        let state = self.admission_state(&name);
         self.workers.insert(
             id,
             WorkerInfo {
@@ -132,12 +201,78 @@ impl Registry {
                 cores,
                 location,
                 loc,
-                state: WorkerState::Idle,
+                state,
                 liveness: liveness.clone(),
                 tasks_done: 0,
             },
         );
         liveness
+    }
+
+    /// Decide a (re-)registering name's initial state under the
+    /// quarantine policy, pruning decayed strike records on the way.
+    fn admission_state(&mut self, name: &str) -> WorkerState {
+        let Some(policy) = &self.quarantine else {
+            return WorkerState::Idle;
+        };
+        let now = self.epoch.elapsed().as_millis() as u64;
+        let decay_ms = policy.decay.as_millis() as u64;
+        let Some(rec) = self.faults.get(name) else {
+            return WorkerState::Idle;
+        };
+        if now.saturating_sub(rec.last_ms) > decay_ms {
+            self.faults.remove(name);
+            return WorkerState::Idle;
+        }
+        if rec.strikes < policy.threshold {
+            return WorkerState::Idle;
+        }
+        let bench = (policy.penalty * rec.strikes).min(policy.max_penalty);
+        WorkerState::Quarantined {
+            until_ms: now + bench.as_millis() as u64,
+        }
+    }
+
+    /// Charge a gang-kill strike to `id`'s name (the worker died or hung
+    /// while a task was in flight). Returns the name's live strike count,
+    /// or `None` when the id is unknown or no quarantine policy is set.
+    pub fn record_fault(&mut self, id: WorkerId) -> Option<u32> {
+        self.quarantine.as_ref()?;
+        let name = self.workers.get(&id)?.name.clone();
+        let now = self.epoch.elapsed().as_millis() as u64;
+        let rec = self.faults.entry(name).or_insert(FaultRecord {
+            strikes: 0,
+            last_ms: now,
+        });
+        rec.strikes += 1;
+        rec.last_ms = now;
+        Some(rec.strikes)
+    }
+
+    /// Live strike count against a worker's name (diagnostics; does not
+    /// prune decayed records).
+    pub fn strikes(&self, id: WorkerId) -> u32 {
+        self.workers
+            .get(&id)
+            .and_then(|w| self.faults.get(&w.name))
+            .map(|r| r.strikes)
+            .unwrap_or(0)
+    }
+
+    /// Release every quarantined worker whose penalty has expired,
+    /// returning their ids (now `Idle`). Called by the monitor loop.
+    pub fn release_expired(&mut self) -> Vec<WorkerId> {
+        let now = self.epoch.elapsed().as_millis() as u64;
+        let mut released = Vec::new();
+        for w in self.workers.values_mut() {
+            if let WorkerState::Quarantined { until_ms } = w.state {
+                if now >= until_ms {
+                    w.state = WorkerState::Idle;
+                    released.push(w.id);
+                }
+            }
+        }
+        released
     }
 
     /// Look up a worker.
@@ -168,12 +303,19 @@ impl Registry {
     }
 
     /// Transition a worker back to `Idle`, crediting a completed task.
+    /// Dead and quarantined workers stay put: a late `Done` (stale report
+    /// after a hang verdict or a cancellation) must not resurrect or
+    /// un-bench them.
     pub fn mark_idle(&mut self, id: WorkerId) {
         if let Some(w) = self.workers.get_mut(&id) {
-            if matches!(w.state, WorkerState::Busy(_)) {
-                w.tasks_done += 1;
+            match w.state {
+                WorkerState::Busy(_) => {
+                    w.tasks_done += 1;
+                    w.state = WorkerState::Idle;
+                }
+                WorkerState::Idle => {}
+                WorkerState::Quarantined { .. } | WorkerState::Dead => return,
             }
-            w.state = WorkerState::Idle;
             w.liveness.beat();
         }
     }
@@ -320,6 +462,73 @@ mod tests {
         assert_eq!(r.alive_count(), 2);
         assert_eq!(r.busy_count(), 1);
         assert!(!r.is_empty());
+    }
+
+    fn quarantine_policy(penalty_ms: u64, decay_ms: u64) -> QuarantinePolicy {
+        QuarantinePolicy {
+            threshold: 2,
+            penalty: Duration::from_millis(penalty_ms),
+            decay: Duration::from_millis(decay_ms),
+            max_penalty: Duration::from_secs(10),
+        }
+    }
+
+    #[test]
+    fn strikes_quarantine_a_reconnecting_name() {
+        let mut r = Registry::with_quarantine(Some(quarantine_policy(50, 10_000)));
+        // First incarnation dies mid-gang twice (reconnect between).
+        r.insert(1, "flaky".into(), 1, "rack-0".into());
+        r.mark_busy(1, 9);
+        assert_eq!(r.record_fault(1), Some(1));
+        r.mark_dead(1);
+        r.insert(2, "flaky".into(), 1, "rack-0".into());
+        assert_eq!(r.get(2).unwrap().state, WorkerState::Idle, "one strike is tolerated");
+        r.mark_busy(2, 10);
+        assert_eq!(r.record_fault(2), Some(2));
+        r.mark_dead(2);
+        // Third incarnation is benched.
+        r.insert(3, "flaky".into(), 1, "rack-0".into());
+        assert!(matches!(
+            r.get(3).unwrap().state,
+            WorkerState::Quarantined { .. }
+        ));
+        // Quarantined still counts as alive, and a stale Done does not
+        // un-bench it.
+        assert_eq!(r.alive_count(), 1);
+        r.mark_idle(3);
+        assert!(matches!(
+            r.get(3).unwrap().state,
+            WorkerState::Quarantined { .. }
+        ));
+        // The penalty expires and the monitor releases it.
+        std::thread::sleep(Duration::from_millis(150));
+        assert_eq!(r.release_expired(), vec![3]);
+        assert_eq!(r.get(3).unwrap().state, WorkerState::Idle);
+    }
+
+    #[test]
+    fn strikes_decay() {
+        let mut r = Registry::with_quarantine(Some(quarantine_policy(50, 20)));
+        r.insert(1, "w".into(), 1, "rack-0".into());
+        r.mark_busy(1, 1);
+        r.record_fault(1);
+        r.record_fault(1);
+        r.mark_dead(1);
+        std::thread::sleep(Duration::from_millis(40));
+        // Strikes are stale: the name re-registers Idle.
+        r.insert(2, "w".into(), 1, "rack-0".into());
+        assert_eq!(r.get(2).unwrap().state, WorkerState::Idle);
+    }
+
+    #[test]
+    fn no_policy_means_no_quarantine() {
+        let mut r = reg_with(&[1]);
+        r.mark_busy(1, 1);
+        assert_eq!(r.record_fault(1), None);
+        r.mark_dead(1);
+        r.insert(2, "w1".into(), 4, "rack-0".into());
+        assert_eq!(r.get(2).unwrap().state, WorkerState::Idle);
+        assert!(r.release_expired().is_empty());
     }
 
     #[test]

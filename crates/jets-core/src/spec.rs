@@ -147,6 +147,12 @@ pub struct JobSpec {
     /// Files to stage to node-local storage before the task runs.
     #[serde(default)]
     pub stage: Vec<StageFile>,
+    /// Wall-time budget per attempt, in milliseconds. When an attempt
+    /// runs longer the dispatcher cancels the whole gang and the failure
+    /// counts against `max_retries` (a requeued attempt gets a fresh
+    /// budget). `None` means no deadline.
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
 }
 
 impl JobSpec {
@@ -160,6 +166,7 @@ impl JobSpec {
             max_retries: 0,
             mpi: false,
             stage: Vec::new(),
+            deadline_ms: None,
         }
     }
 
@@ -173,6 +180,7 @@ impl JobSpec {
             max_retries: 0,
             mpi: true,
             stage: Vec::new(),
+            deadline_ms: None,
         }
     }
 
@@ -186,6 +194,7 @@ impl JobSpec {
             max_retries: 0,
             mpi: true,
             stage: Vec::new(),
+            deadline_ms: None,
         }
     }
 
@@ -204,6 +213,12 @@ impl JobSpec {
     /// Builder-style priority.
     pub fn with_priority(mut self, priority: i32) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Builder-style per-attempt wall-time deadline.
+    pub fn with_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.deadline_ms = Some(deadline.as_millis() as u64);
         self
     }
 

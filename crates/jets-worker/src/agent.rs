@@ -1,9 +1,12 @@
-//! The worker agent: connection lifecycle, task loop, kill switch.
+//! The worker agent: connection lifecycle, task loop, kill switch,
+//! reconnect with backoff, and dispatcher-driven task cancellation.
 
-use crate::executor::{TaskExecutor, TaskOutcome};
+use crate::executor::{CancelToken, TaskExecutor, TaskOutcome};
 use crate::staging::NodeLocalCache;
-use crossbeam::channel::{bounded, RecvTimeoutError};
-use jets_core::protocol::{DispatcherMsg, MsgReader, MsgWriter, TaskAssignment, WorkerMsg};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError};
+use jets_core::protocol::{
+    DispatcherMsg, MsgReader, MsgWriter, TaskAssignment, WorkerMsg, EXIT_CANCELED,
+};
 use jets_core::spec::CommandSpec;
 use parking_lot::Mutex;
 use std::io::BufReader;
@@ -12,6 +15,40 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// How an agent retries a lost dispatcher connection.
+///
+/// A pilot job on a real allocation outlives transient network faults:
+/// losing the dispatcher for a moment should cost one re-registration,
+/// not the node. Backoff is exponential from `base_backoff`, capped at
+/// `max_backoff`, with a deterministic seeded jitter shaving up to
+/// `jitter` of each sleep so a partitioned allocation's agents do not
+/// reconnect in lockstep.
+#[derive(Debug, Clone)]
+pub struct ReconnectPolicy {
+    /// Consecutive failed connection attempts tolerated before giving up.
+    pub max_attempts: u32,
+    /// First retry delay.
+    pub base_backoff: Duration,
+    /// Upper bound on one retry delay.
+    pub max_backoff: Duration,
+    /// Fraction of each delay randomly shaved off (0.0 disables jitter).
+    pub jitter: f64,
+    /// Seed for the jitter PRNG (deterministic per worker).
+    pub seed: u64,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            jitter: 0.25,
+            seed: 1,
+        }
+    }
+}
 
 /// Configuration for one worker agent.
 #[derive(Debug, Clone)]
@@ -28,6 +65,13 @@ pub struct WorkerConfig {
     pub heartbeat: Option<Duration>,
     /// Delay before the agent connects (models node boot time).
     pub connect_delay: Duration,
+    /// Reconnect-with-backoff policy; `None` keeps the legacy
+    /// connect-once behaviour (any connection loss ends the agent).
+    pub reconnect: Option<ReconnectPolicy>,
+    /// After a dispatcher `Cancel`, how long the agent waits for the task
+    /// to acknowledge the token before abandoning its thread and
+    /// reporting [`EXIT_CANCELED`].
+    pub cancel_grace: Duration,
 }
 
 impl WorkerConfig {
@@ -40,7 +84,15 @@ impl WorkerConfig {
             location: "default".to_string(),
             heartbeat: None,
             connect_delay: Duration::ZERO,
+            reconnect: None,
+            cancel_grace: Duration::from_millis(200),
         }
+    }
+
+    /// Builder-style reconnect policy.
+    pub fn with_reconnect(mut self, policy: ReconnectPolicy) -> Self {
+        self.reconnect = Some(policy);
+        self
     }
 }
 
@@ -110,6 +162,17 @@ impl Worker {
         }
     }
 
+    /// Sever the dispatcher connection *without* setting the kill flag:
+    /// the agent sees EOF and — when configured with a
+    /// [`ReconnectPolicy`] — registers again after backoff. This is the
+    /// chaos harness's network-partition primitive; [`Worker::kill`]
+    /// remains the permanent-death primitive.
+    pub fn disconnect(&self) {
+        if let Some(stream) = self.sock.lock().as_ref() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+
     /// True once the agent thread has exited.
     pub fn is_finished(&self) -> bool {
         self.handle.as_ref().is_none_or(|h| h.is_finished())
@@ -172,16 +235,34 @@ fn report_failure(writer: &Arc<Mutex<MsgWriter<TcpStream>>>, task_id: u64, exit_
     });
 }
 
+/// One xorshift64 step. The agent has no RNG dependency; this is plenty
+/// for backoff jitter and fully deterministic per seed.
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// How one dispatcher session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SessionEnd {
+    /// Dispatcher said `Shutdown` — the agent is done.
+    Shutdown,
+    /// The kill switch fired — the agent is done.
+    Killed,
+    /// The connection dropped; a reconnect policy may start a new session.
+    Lost,
+}
+
 fn worker_loop(
     config: WorkerConfig,
     executor: Arc<dyn TaskExecutor>,
     kill: Arc<AtomicBool>,
     sock_slot: Arc<Mutex<Option<TcpStream>>>,
 ) -> WorkerExit {
-    let lost = |tasks_done| WorkerExit {
-        tasks_done,
-        reason: ExitReason::ConnectionLost,
-    };
     if !config.connect_delay.is_zero() {
         thread::sleep(config.connect_delay);
         if kill.load(Ordering::Acquire) {
@@ -191,22 +272,142 @@ fn worker_loop(
             };
         }
     }
-    let Ok(stream) = TcpStream::connect(&config.dispatcher_addr) else {
-        return lost(0);
-    };
+    let mut tasks_done = 0u64;
+    let mut local_cache = LazyCache::default();
+    let mut failed_attempts = 0u32;
+    let mut jitter_state = config
+        .reconnect
+        .as_ref()
+        .map(|p| p.seed)
+        .unwrap_or(1)
+        .max(1);
+    loop {
+        if kill.load(Ordering::Acquire) {
+            return WorkerExit {
+                tasks_done,
+                reason: ExitReason::Killed,
+            };
+        }
+        if let Ok(stream) = TcpStream::connect(&config.dispatcher_addr) {
+            failed_attempts = 0;
+            match run_session(
+                stream,
+                &config,
+                &executor,
+                &kill,
+                &sock_slot,
+                &mut local_cache,
+                &mut tasks_done,
+            ) {
+                SessionEnd::Shutdown => {
+                    return WorkerExit {
+                        tasks_done,
+                        reason: ExitReason::Shutdown,
+                    }
+                }
+                SessionEnd::Killed => {
+                    return WorkerExit {
+                        tasks_done,
+                        reason: ExitReason::Killed,
+                    }
+                }
+                SessionEnd::Lost => {}
+            }
+        }
+        // Connection failed or the session dropped: retry under the
+        // reconnect policy, or end the agent the legacy way.
+        let Some(policy) = &config.reconnect else {
+            return WorkerExit {
+                tasks_done,
+                reason: ExitReason::ConnectionLost,
+            };
+        };
+        failed_attempts += 1;
+        if failed_attempts > policy.max_attempts {
+            return WorkerExit {
+                tasks_done,
+                reason: ExitReason::ConnectionLost,
+            };
+        }
+        // Exponential backoff, capped, with up to `jitter` shaved off so
+        // a partitioned allocation does not reconnect in lockstep.
+        let shift = (failed_attempts - 1).min(16);
+        let backoff = policy
+            .base_backoff
+            .saturating_mul(1u32 << shift)
+            .min(policy.max_backoff);
+        let frac = (xorshift64(&mut jitter_state) >> 11) as f64 / (1u64 << 53) as f64;
+        let mut remaining = backoff.mul_f64(1.0 - policy.jitter.clamp(0.0, 1.0) * frac);
+        // Sleep in slices so a kill during backoff is honoured promptly.
+        while !remaining.is_zero() {
+            if kill.load(Ordering::Acquire) {
+                return WorkerExit {
+                    tasks_done,
+                    reason: ExitReason::Killed,
+                };
+            }
+            let slice = remaining.min(Duration::from_millis(20));
+            thread::sleep(slice);
+            remaining = remaining.saturating_sub(slice);
+        }
+    }
+}
+
+/// Run one registered dispatcher session over an established stream:
+/// register, heartbeat, request/execute/report until the connection ends.
+fn run_session(
+    stream: TcpStream,
+    config: &WorkerConfig,
+    executor: &Arc<dyn TaskExecutor>,
+    kill: &Arc<AtomicBool>,
+    sock_slot: &Arc<Mutex<Option<TcpStream>>>,
+    local_cache: &mut LazyCache,
+    tasks_done: &mut u64,
+) -> SessionEnd {
     stream.set_nodelay(true).ok();
     let Ok(write_half) = stream.try_clone() else {
-        return lost(0);
+        return SessionEnd::Lost;
     };
     if let Ok(clone) = stream.try_clone() {
         *sock_slot.lock() = Some(clone);
     }
-    // All writes (main loop + heartbeats) go through this mutex so JSON
+    // All writes (task loop + heartbeats) go through this mutex so JSON
     // lines never interleave. The `MsgWriter` reuses one encode buffer
-    // for every message this worker will ever send; the `MsgReader` does
-    // the same for its line buffer.
+    // for every message this session will ever send.
     let writer = Arc::new(Mutex::new(MsgWriter::new(write_half)));
-    let mut reader = MsgReader::new(BufReader::new(stream));
+
+    // Reader thread: socket → inbox channel, `None` marking connection
+    // loss. Decoupling the read from the task loop is what lets a
+    // `Cancel` arrive *while* a task is running.
+    let (inbox_tx, inbox) = unbounded::<Option<DispatcherMsg>>();
+    {
+        let mut reader = MsgReader::new(BufReader::new(stream));
+        thread::Builder::new()
+            .name(format!("rx-{}", config.name))
+            .stack_size(128 * 1024)
+            .spawn(move || loop {
+                match reader.recv::<DispatcherMsg>() {
+                    Ok(Some(msg)) => {
+                        if inbox_tx.send(Some(msg)).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(None) | Err(_) => {
+                        let _ = inbox_tx.send(None);
+                        return;
+                    }
+                }
+            })
+            .expect("spawn reader thread");
+    }
+
+    let lost_or_killed = || {
+        if kill.load(Ordering::Acquire) {
+            SessionEnd::Killed
+        } else {
+            SessionEnd::Lost
+        }
+    };
 
     if writer
         .lock()
@@ -217,18 +418,18 @@ fn worker_loop(
         })
         .is_err()
     {
-        return lost(0);
+        return lost_or_killed();
     }
-    match reader.recv::<DispatcherMsg>() {
+    match inbox.recv() {
         Ok(Some(DispatcherMsg::Registered { .. })) => {}
-        _ => return lost(0),
+        _ => return lost_or_killed(),
     }
 
     let stop = Arc::new(AtomicBool::new(false));
     if let Some(period) = config.heartbeat {
         let hb_writer = Arc::clone(&writer);
         let hb_stop = Arc::clone(&stop);
-        let hb_kill = Arc::clone(&kill);
+        let hb_kill = Arc::clone(kill);
         thread::Builder::new()
             .name(format!("hb-{}", config.name))
             .stack_size(64 * 1024)
@@ -243,29 +444,46 @@ fn worker_loop(
             .expect("spawn heartbeat thread");
     }
 
-    let mut tasks_done = 0u64;
-    let mut local_cache = LazyCache::default();
-    let exit_reason = loop {
+    let end = session_task_loop(config, executor, kill, local_cache, tasks_done, &writer, &inbox);
+    stop.store(true, Ordering::Release);
+    if end == SessionEnd::Shutdown {
+        let _ = writer.lock().send(&WorkerMsg::Goodbye);
+    }
+    end
+}
+
+/// The request → execute → report loop of one session.
+fn session_task_loop(
+    config: &WorkerConfig,
+    executor: &Arc<dyn TaskExecutor>,
+    kill: &Arc<AtomicBool>,
+    local_cache: &mut LazyCache,
+    tasks_done: &mut u64,
+    writer: &Arc<Mutex<MsgWriter<TcpStream>>>,
+    inbox: &Receiver<Option<DispatcherMsg>>,
+) -> SessionEnd {
+    let lost_or_killed = || {
         if kill.load(Ordering::Acquire) {
-            break ExitReason::Killed;
+            SessionEnd::Killed
+        } else {
+            SessionEnd::Lost
+        }
+    };
+    'session: loop {
+        if kill.load(Ordering::Acquire) {
+            break SessionEnd::Killed;
         }
         if writer.lock().send(&WorkerMsg::Request).is_err() {
-            break if kill.load(Ordering::Acquire) {
-                ExitReason::Killed
-            } else {
-                ExitReason::ConnectionLost
-            };
+            break lost_or_killed();
         }
-        let mut assignment = match reader.recv::<DispatcherMsg>() {
-            Ok(Some(DispatcherMsg::Assign(a))) => a,
-            Ok(Some(DispatcherMsg::Shutdown)) => break ExitReason::Shutdown,
-            Ok(Some(DispatcherMsg::Registered { .. })) => continue,
-            Ok(None) | Err(_) => {
-                break if kill.load(Ordering::Acquire) {
-                    ExitReason::Killed
-                } else {
-                    ExitReason::ConnectionLost
-                };
+        let mut assignment = loop {
+            match inbox.recv() {
+                Ok(Some(DispatcherMsg::Assign(a))) => break a,
+                Ok(Some(DispatcherMsg::Shutdown)) => break 'session SessionEnd::Shutdown,
+                // A cancel racing a task that already reported: ignore.
+                Ok(Some(DispatcherMsg::Cancel { .. })) => continue,
+                Ok(Some(DispatcherMsg::Registered { .. })) => continue,
+                Ok(None) | Err(_) => break 'session lost_or_killed(),
             }
         };
 
@@ -276,12 +494,12 @@ fn worker_loop(
             let cache = match local_cache.get_or_init(&config.name) {
                 Ok(c) => c,
                 Err(_) => {
-                    report_failure(&writer, assignment.task_id, EXIT_STAGING_FAILED);
+                    report_failure(writer, assignment.task_id, EXIT_STAGING_FAILED);
                     continue;
                 }
             };
             if cache.stage_all(&assignment.stage).is_err() {
-                report_failure(&writer, assignment.task_id, EXIT_STAGING_FAILED);
+                report_failure(writer, assignment.task_id, EXIT_STAGING_FAILED);
                 continue;
             }
             push_env(
@@ -291,64 +509,97 @@ fn worker_loop(
             );
         }
 
-        // Execute on a dedicated thread so a kill can abandon the task
-        // (the thread finishes in the background, its result discarded —
-        // just as a killed pilot's task dies with the node).
+        // Execute on a dedicated thread so a kill or an expired cancel
+        // grace can abandon the task (the thread finishes in the
+        // background, its result discarded — just as a killed pilot's
+        // task dies with the node).
         let (tx, rx) = bounded(1);
-        let task_executor = Arc::clone(&executor);
+        let task_executor = Arc::clone(executor);
+        let cancel = CancelToken::new();
+        let task_cancel = cancel.clone();
+        let task_id = assignment.task_id;
         let started = Instant::now();
         thread::Builder::new()
             .name("task".to_string())
             .stack_size(256 * 1024)
             .spawn(move || {
-                let outcome = task_executor.execute_captured(&assignment);
-                let _ = tx.send((assignment.task_id, outcome));
+                let outcome = task_executor.execute_cancellable(&assignment, &task_cancel);
+                let _ = tx.send(outcome);
             })
             .expect("spawn task thread");
 
-        let result = loop {
+        let mut canceled = false;
+        let mut cancel_deadline: Option<Instant> = None;
+        let mut conn_lost = false;
+        let mut shutdown_after = false;
+        let result: Option<TaskOutcome> = loop {
+            // Drain dispatcher traffic first: a `Cancel` naming the
+            // running task trips the token and starts the grace clock.
+            while let Ok(msg) = inbox.try_recv() {
+                match msg {
+                    Some(DispatcherMsg::Cancel { task_id: t }) if t == task_id => {
+                        if !canceled {
+                            canceled = true;
+                            cancel.cancel();
+                            cancel_deadline = Some(Instant::now() + config.cancel_grace);
+                        }
+                    }
+                    Some(DispatcherMsg::Cancel { .. }) => {} // stale
+                    Some(DispatcherMsg::Shutdown) => shutdown_after = true,
+                    Some(_) => {}
+                    None => conn_lost = true,
+                }
+            }
+            if conn_lost && !kill.load(Ordering::Acquire) {
+                // The dispatcher already counted this worker dead and
+                // requeued its job; abandon the task and reconnect.
+                break 'session SessionEnd::Lost;
+            }
             match rx.recv_timeout(Duration::from_millis(20)) {
-                Ok(r) => break Some(r),
+                Ok(outcome) => break Some(outcome),
                 Err(RecvTimeoutError::Timeout) => {
                     if kill.load(Ordering::Acquire) {
-                        break None;
+                        break 'session SessionEnd::Killed;
+                    }
+                    if cancel_deadline.is_some_and(|d| Instant::now() >= d) {
+                        break None; // grace expired: abandon the thread
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => break None,
             }
         };
-        match result {
-            Some((task_id, TaskOutcome { exit_code, output })) => {
-                let wall_ms = started.elapsed().as_millis() as u64;
-                if writer
-                    .lock()
-                    .send(&WorkerMsg::Done {
-                        task_id,
-                        exit_code,
-                        wall_ms,
-                        output,
-                    })
-                    .is_err()
-                {
-                    break if kill.load(Ordering::Acquire) {
-                        ExitReason::Killed
-                    } else {
-                        ExitReason::ConnectionLost
-                    };
-                }
-                tasks_done += 1;
-            }
-            None => break ExitReason::Killed,
+        let outcome = match result {
+            // A canceled task always reports EXIT_CANCELED — the
+            // dispatcher already discounted the task, so the report's
+            // only job is recycling this worker via the stale-Done path.
+            Some(o) if canceled => TaskOutcome {
+                exit_code: EXIT_CANCELED,
+                output: o.output,
+            },
+            Some(o) => o,
+            None if canceled => TaskOutcome {
+                exit_code: EXIT_CANCELED,
+                output: None,
+            },
+            None => break SessionEnd::Killed,
+        };
+        let wall_ms = started.elapsed().as_millis() as u64;
+        if writer
+            .lock()
+            .send(&WorkerMsg::Done {
+                task_id,
+                exit_code: outcome.exit_code,
+                wall_ms,
+                output: outcome.output,
+            })
+            .is_err()
+        {
+            break lost_or_killed();
         }
-    };
-
-    stop.store(true, Ordering::Release);
-    if exit_reason == ExitReason::Shutdown {
-        let _ = writer.lock().send(&WorkerMsg::Goodbye);
-    }
-    WorkerExit {
-        tasks_done,
-        reason: exit_reason,
+        *tasks_done += 1;
+        if shutdown_after {
+            break SessionEnd::Shutdown;
+        }
     }
 }
 

@@ -1,14 +1,40 @@
 //! Task execution: builtin in-process applications and real processes.
 
-use jets_core::protocol::{TaskAssignment, TaskKind};
+use jets_core::protocol::{TaskAssignment, TaskKind, EXIT_CANCELED};
 use jets_core::spec::CommandSpec;
 use jets_mpi::{Communicator, MpiError};
 use jets_pmi::PmiClient;
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::process::Command;
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
+
+/// Cooperative cancellation flag shared between a worker agent and the
+/// task it is running. Cloning shares the flag: the agent trips it when
+/// the dispatcher cancels the task (gang teardown, deadline), and the
+/// executor polls it to kill child processes.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trip the token. Irreversible.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called.
+    pub fn is_canceled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
 
 /// Everything a builtin application sees when it runs.
 pub struct TaskContext {
@@ -123,6 +149,16 @@ pub trait TaskExecutor: Send + Sync {
             output: None,
         }
     }
+
+    /// Execute under a cancellation token: an executor that supports it
+    /// kills the task's child processes when the token trips and returns
+    /// [`EXIT_CANCELED`]. The default ignores the token and forwards to
+    /// [`TaskExecutor::execute_captured`] — the agent's grace-period
+    /// abandonment still bounds such executors.
+    fn execute_cancellable(&self, assignment: &TaskAssignment, cancel: &CancelToken) -> TaskOutcome {
+        let _ = cancel;
+        self.execute_captured(assignment)
+    }
 }
 
 /// Keep the *tail* of output (the end usually carries the verdict).
@@ -227,6 +263,125 @@ impl Executor {
             },
         }
     }
+
+    /// Like `run_one_captured` for `Exec` commands, but polls `cancel`
+    /// while the child runs and kills it when the token trips. Builtins
+    /// run to completion — in-process code cannot be safely killed; the
+    /// agent abandons the task thread after its cancel grace instead.
+    fn run_one_cancellable(
+        &self,
+        cmd: &CommandSpec,
+        extra_env: Vec<(String, String)>,
+        rank: Option<u32>,
+        size: u32,
+        cancel: &CancelToken,
+    ) -> TaskOutcome {
+        let CommandSpec::Exec { program, args, env } = cmd else {
+            return self.run_one_captured(cmd, extra_env, rank, size);
+        };
+        let mut command = Command::new(program);
+        command.args(args);
+        for (k, v) in env.iter().chain(extra_env.iter()) {
+            command.env(k, v);
+        }
+        command.stdout(Stdio::piped());
+        let mut child = match command.spawn() {
+            Ok(c) => c,
+            Err(_) => {
+                return TaskOutcome {
+                    exit_code: EXIT_SPAWN_FAILED,
+                    output: None,
+                }
+            }
+        };
+        // Drain stdout on a side thread so a chatty child never blocks on
+        // a full pipe while this thread polls `try_wait`.
+        let drain = child.stdout.take().map(|mut out| {
+            thread::spawn(move || {
+                use std::io::Read;
+                let mut buf = String::new();
+                let _ = out.read_to_string(&mut buf);
+                buf
+            })
+        });
+        let exit_code = loop {
+            match child.try_wait() {
+                Ok(Some(status)) => break status.code().unwrap_or(EXIT_SPAWN_FAILED),
+                Ok(None) => {
+                    if cancel.is_canceled() {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break EXIT_CANCELED;
+                    }
+                    thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    break EXIT_SPAWN_FAILED;
+                }
+            }
+        };
+        let output = drain.and_then(|h| h.join().ok()).and_then(truncate_output);
+        TaskOutcome { exit_code, output }
+    }
+
+    /// Run an MPI proxy's local ranks, one thread each (like a Hydra
+    /// proxy forking one process per local rank), concatenating their
+    /// captured output tails in rank order. When `cancel` is supplied,
+    /// each rank's `Exec` child is killable.
+    #[allow(clippy::too_many_arguments)]
+    fn proxy_captured(
+        &self,
+        cmd: &CommandSpec,
+        ranks: &[u32],
+        size: u32,
+        pmi_addr: &str,
+        pmi_jobid: &str,
+        cancel: Option<&CancelToken>,
+    ) -> TaskOutcome {
+        let mut handles = Vec::with_capacity(ranks.len());
+        for &rank in ranks {
+            let this = self.clone();
+            let cmd = cmd.clone();
+            let pmi_env = vec![
+                (jets_pmi::ENV_RANK.to_string(), rank.to_string()),
+                (jets_pmi::ENV_SIZE.to_string(), size.to_string()),
+                (jets_pmi::ENV_ADDR.to_string(), pmi_addr.to_string()),
+                (jets_pmi::ENV_JOBID.to_string(), pmi_jobid.to_string()),
+            ];
+            let cancel = cancel.cloned();
+            let h = thread::Builder::new()
+                .name(format!("rank-{rank}"))
+                .stack_size(512 * 1024)
+                .spawn(move || match &cancel {
+                    Some(c) => this.run_one_cancellable(&cmd, pmi_env, Some(rank), size, c),
+                    None => this.run_one_captured(&cmd, pmi_env, Some(rank), size),
+                })
+                .expect("spawn rank thread");
+            handles.push(h);
+        }
+        let mut exit = 0;
+        let mut combined = String::new();
+        for h in handles {
+            match h.join() {
+                Ok(outcome) => {
+                    if outcome.exit_code != 0 && exit == 0 {
+                        exit = outcome.exit_code;
+                    }
+                    if let Some(o) = outcome.output {
+                        combined.push_str(&o);
+                    }
+                }
+                Err(_) if exit == 0 => exit = EXIT_RANK_PANIC,
+                Err(_) => {}
+            }
+        }
+        TaskOutcome {
+            exit_code: exit,
+            output: truncate_output(combined),
+        }
+    }
 }
 
 impl TaskExecutor for Executor {
@@ -241,46 +396,22 @@ impl TaskExecutor for Executor {
                 size,
                 pmi_addr,
                 pmi_jobid,
-            } => {
-                let mut handles = Vec::with_capacity(ranks.len());
-                for &rank in ranks {
-                    let this = self.clone();
-                    let cmd = cmd.clone();
-                    let pmi_env = vec![
-                        (jets_pmi::ENV_RANK.to_string(), rank.to_string()),
-                        (jets_pmi::ENV_SIZE.to_string(), size.to_string()),
-                        (jets_pmi::ENV_ADDR.to_string(), pmi_addr.clone()),
-                        (jets_pmi::ENV_JOBID.to_string(), pmi_jobid.clone()),
-                    ];
-                    let size = *size;
-                    let h = thread::Builder::new()
-                        .name(format!("rank-{rank}"))
-                        .stack_size(512 * 1024)
-                        .spawn(move || this.run_one_captured(&cmd, pmi_env, Some(rank), size))
-                        .expect("spawn rank thread");
-                    handles.push(h);
-                }
-                let mut exit = 0;
-                let mut combined = String::new();
-                for h in handles {
-                    match h.join() {
-                        Ok(outcome) => {
-                            if outcome.exit_code != 0 && exit == 0 {
-                                exit = outcome.exit_code;
-                            }
-                            if let Some(o) = outcome.output {
-                                combined.push_str(&o);
-                            }
-                        }
-                        Err(_) if exit == 0 => exit = EXIT_RANK_PANIC,
-                        Err(_) => {}
-                    }
-                }
-                TaskOutcome {
-                    exit_code: exit,
-                    output: truncate_output(combined),
-                }
+            } => self.proxy_captured(cmd, ranks, *size, pmi_addr, pmi_jobid, None),
+        }
+    }
+
+    fn execute_cancellable(&self, assignment: &TaskAssignment, cancel: &CancelToken) -> TaskOutcome {
+        match &assignment.kind {
+            TaskKind::Sequential { cmd } => {
+                self.run_one_cancellable(cmd, Vec::new(), None, 1, cancel)
             }
+            TaskKind::MpiProxy {
+                cmd,
+                ranks,
+                size,
+                pmi_addr,
+                pmi_jobid,
+            } => self.proxy_captured(cmd, ranks, *size, pmi_addr, pmi_jobid, Some(cancel)),
         }
     }
 

@@ -31,6 +31,6 @@ pub mod apps;
 pub mod executor;
 pub mod staging;
 
-pub use agent::{Worker, WorkerConfig, WorkerExit};
-pub use executor::{AppRegistry, Executor, TaskContext, TaskExecutor};
+pub use agent::{ReconnectPolicy, Worker, WorkerConfig, WorkerExit};
+pub use executor::{AppRegistry, CancelToken, Executor, TaskContext, TaskExecutor};
 pub use staging::{NodeLocalCache, StageFile};

@@ -71,6 +71,7 @@ impl AppExecutor for JetsExecutor {
             // at 1×1 — their code expects a PMI environment.
             mpi: call.mpi || call.nodes > 1 || call.ppn > 1,
             stage: Vec::new(),
+            deadline_ms: None,
         };
         let id = self.dispatcher.submit(spec);
         let record = self

@@ -57,6 +57,8 @@ fn main() {
         .iter()
         .filter(|r| r.status == JobStatus::Succeeded)
         .count();
+    assert_eq!(succeeded, records.len(), "some jobs never recovered");
+    assert!(killed.len() >= 3, "fault injector fell behind");
     let retried = records.iter().filter(|r| r.attempts > 1).count();
     println!("{succeeded}/{} jobs succeeded; {retried} needed retries", records.len());
 

@@ -116,6 +116,125 @@ fn availability_series_reflects_deaths() {
 }
 
 #[test]
+fn exhausted_retry_budget_fails_exactly_once() {
+    // Retry accounting: a job that fails on every attempt burns its
+    // budget and ends `Failed` exactly once — one `JobCompleted` per
+    // launch attempt, one `JobRequeued` per retry, no double finish
+    // from the monitor and reader racing.
+    let (dispatcher, allocation) = boot(2);
+    let id = dispatcher.submit(
+        JobSpec::sequential(CommandSpec::builtin("fail", vec!["7".into()])).with_retries(2),
+    );
+    assert!(dispatcher.wait_idle(WAIT), "failing job wedged");
+    let rec = dispatcher.job_record(id).unwrap();
+    assert_eq!(rec.status, JobStatus::Failed);
+    assert_eq!(rec.attempts, 3, "max_retries=2 means exactly 3 attempts");
+    assert_eq!(rec.exit_codes, vec![7]);
+    assert_eq!(dispatcher.outstanding(), 0);
+    let events = dispatcher.events().snapshot();
+    let completions: Vec<bool> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            jets::core::EventKind::JobCompleted { job, success, .. } if job == id => {
+                Some(success)
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(completions, vec![false, false, false]);
+    let requeues = events
+        .iter()
+        .filter(|e| matches!(e.kind, jets::core::EventKind::JobRequeued { job } if job == id))
+        .count();
+    assert_eq!(requeues, 2);
+    dispatcher.shutdown();
+    allocation.join_all();
+}
+
+#[test]
+fn partitioned_worker_is_quarantined_then_reused() {
+    // A worker that dies mid-gang and reconnects must be benched
+    // (quarantined) on re-registration, then released and reused once
+    // the penalty expires — the full strike → bench → release cycle.
+    use jets::core::registry::QuarantinePolicy;
+    use jets::core::EventKind;
+    use jets::worker::{ReconnectPolicy, Worker, WorkerConfig};
+    let dispatcher = Dispatcher::start(DispatcherConfig {
+        quarantine: Some(QuarantinePolicy {
+            threshold: 1,
+            penalty: Duration::from_millis(300),
+            decay: Duration::from_secs(60),
+            max_penalty: Duration::from_secs(5),
+        }),
+        monitor_tick: Duration::from_millis(10),
+        ..DispatcherConfig::default()
+    })
+    .unwrap();
+    let worker = Worker::spawn(
+        WorkerConfig {
+            heartbeat: Some(Duration::from_millis(100)),
+            reconnect: Some(ReconnectPolicy::default()),
+            ..WorkerConfig::new(dispatcher.addr().to_string(), "flaky")
+        },
+        Arc::new(Executor::new(science_registry())),
+    );
+    let deadline = std::time::Instant::now() + WAIT;
+    while dispatcher.alive_workers() != 1 {
+        assert!(std::time::Instant::now() < deadline, "worker never registered");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let id = dispatcher.submit(
+        JobSpec::sequential(CommandSpec::builtin("sleep", vec!["1000".into()])).with_retries(3),
+    );
+    while dispatcher.job_record(id).unwrap().status != JobStatus::Running {
+        assert!(std::time::Instant::now() < deadline, "job never started");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Sever the socket mid-task. The dispatcher charges a strike against
+    // the worker's name and requeues the job; the agent reconnects.
+    worker.disconnect();
+    assert!(dispatcher.wait_idle(WAIT), "job never recovered");
+    let rec = dispatcher.job_record(id).unwrap();
+    assert_eq!(rec.status, JobStatus::Succeeded);
+    assert_eq!(rec.attempts, 2, "exactly one retry after the partition");
+
+    let events = dispatcher.events().snapshot();
+    let ups: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::WorkerUp { worker } => Some(worker),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(ups.len(), 2, "expected the one agent to register twice");
+    let benched: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::WorkerQuarantined { worker, strikes, .. } => {
+                assert_eq!(strikes, 1);
+                Some(worker)
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(benched, vec![ups[1]], "the reconnection must be benched");
+    // The successful run happened on the *second* registration — the
+    // benched worker was released and reused.
+    let last_ended = events
+        .iter()
+        .rev()
+        .find_map(|e| match e.kind {
+            EventKind::TaskEnded { worker, exit_code, .. } if exit_code == 0 => Some(worker),
+            _ => None,
+        })
+        .expect("no successful task");
+    assert_eq!(last_ended, ups[1]);
+    dispatcher.shutdown();
+    worker.kill();
+    worker.join();
+}
+
+#[test]
 fn hung_worker_is_disregarded_and_job_rescued() {
     // Paper Section 5, feature 3: "JETS automatically disregards workers
     // that fail or hang." A worker whose task never finishes (and that

@@ -1,0 +1,103 @@
+//! Offline-check stub of the `rand` 0.8 subset JETS uses:
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64`, `Rng::gen`, and
+//! `Rng::gen_range` over integer `Range`s.
+//!
+//! Backed by splitmix64 — NOT the real StdRng stream. That is fine for
+//! a type-check harness; it only has to compile the same call sites.
+
+use std::ops::Range;
+
+/// Types an RNG can produce via [`Rng::gen`].
+pub trait Standard: Sized {
+    fn from_u64(word: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_u64(word: u64) -> Self {
+        word
+    }
+}
+
+impl Standard for u32 {
+    fn from_u64(word: u64) -> Self {
+        (word >> 32) as u32
+    }
+}
+
+impl Standard for f64 {
+    fn from_u64(word: u64) -> Self {
+        // 53 mantissa bits -> [0, 1)
+        (word >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    type Output;
+    fn sample(self, word: u64) -> Self::Output;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, word: u64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (word % span) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(u32, u64, usize);
+
+/// The subset of rand's `Rng` trait the workspace calls.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self.next_u64())
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seeding entry point, matching rand's associated-function shape.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Stand-in for rand's `StdRng`: splitmix64 over a 64-bit state.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
