@@ -19,10 +19,10 @@
 
 use cluster_sim::workload::mpi_sleep_batch;
 use cluster_sim::workload::TimeScale;
+use cluster_sim::AllocationConfig;
 use jets_bench::{banner, boot_with, env_or};
 use jets_core::group::colocation_fraction;
 use jets_core::{DispatcherConfig, EventKind, GroupingPolicy};
-use cluster_sim::AllocationConfig;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 

@@ -27,7 +27,14 @@ fn main() {
 
     let bed = boot(nodes, DispatcherConfig::default());
     let mut rng = StdRng::seed_from_u64(11);
-    let batch = namd_batch(jobs, nproc, 1, NamdDurationModel::default(), scale, &mut rng);
+    let batch = namd_batch(
+        jobs,
+        nproc,
+        1,
+        NamdDurationModel::default(),
+        scale,
+        &mut rng,
+    );
     bed.dispatcher.submit_all(batch);
     assert!(bed.dispatcher.wait_idle(Duration::from_secs(1200)));
     let events = bed.dispatcher.events().snapshot();

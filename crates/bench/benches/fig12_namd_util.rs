@@ -22,9 +22,7 @@ fn main() {
     let max_nodes = env_or("JETS_BENCH_MAX_NODES", 1024) as u32;
     let nproc = 4u32;
     let model = NamdDurationModel::default();
-    println!(
-        "4-proc NAMD-profile tasks, 6 per node, 1:{speedup} scale\n"
-    );
+    println!("4-proc NAMD-profile tasks, 6 per node, 1:{speedup} scale\n");
     println!(
         "{:>10} {:>8} {:>12} {:>14} {:>14}",
         "alloc", "jobs", "wall(s)", "util (Eq.1)", "util (events)"

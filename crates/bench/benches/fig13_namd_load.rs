@@ -43,7 +43,10 @@ fn main() {
         "{jobs} jobs × {nproc} ranks on {nodes} nodes (capacity {} concurrent jobs)\n",
         nodes / nproc
     );
-    println!("{:>12} {:>12} {:>10}  load", "t(virt s)", "busy nodes", "% of peak");
+    println!(
+        "{:>12} {:>12} {:>10}  load",
+        "t(virt s)", "busy nodes", "% of peak"
+    );
     for s in &series {
         let busy = s.running_tasks; // each task occupies one node
         let bar = "#".repeat(busy * 50 / capacity.max(1));

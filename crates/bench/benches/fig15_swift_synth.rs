@@ -92,7 +92,10 @@ fn main() {
             continue;
         }
         println!("allocation: {alloc} nodes");
-        println!("{:>14} {:>8} {:>8} {:>8}", "nodes/job", "PPN 1", "PPN 4", "PPN 8");
+        println!(
+            "{:>14} {:>8} {:>8} {:>8}",
+            "nodes/job", "PPN 1", "PPN 4", "PPN 8"
+        );
         for nodes_per_job in [1u32, 2, 4] {
             let mut row = format!("{nodes_per_job:>14}");
             for ppn in [1u32, 4, 8] {

@@ -77,7 +77,9 @@ fn main() {
         println!("{:>10} {:>10} {:>13.1}%", alloc, params.replicas, 100.0 * u);
     }
 
-    println!("\n(b) MPI NAMD segments, 8 replicas, PPN 8, segment spans alloc/4 nodes, 6 exchanges");
+    println!(
+        "\n(b) MPI NAMD segments, 8 replicas, PPN 8, segment spans alloc/4 nodes, 6 exchanges"
+    );
     println!(
         "{:>10} {:>12} {:>10} {:>14}",
         "alloc", "seg shape", "replicas", "utilization"
@@ -104,7 +106,11 @@ fn main() {
         let u = run_rem(&params, alloc);
         println!(
             "{:>10} {:>9}×{:<2} {:>10} {:>13.1}%",
-            alloc, seg_nodes, 8, params.replicas, 100.0 * u
+            alloc,
+            seg_nodes,
+            8,
+            params.replicas,
+            100.0 * u
         );
     }
     println!("\npaper shape: (a) drifts down with allocation size (85–97 %);");

@@ -30,8 +30,15 @@ fn collective_rounds(size: u32, rounds: usize, which: &'static str) -> f64 {
             "bcast4k" => {
                 let data = vec![0u8; 4096];
                 for _ in 0..rounds {
-                    comm.bcast(0, if comm.rank() == 0 { data.clone() } else { vec![] })
-                        .unwrap();
+                    comm.bcast(
+                        0,
+                        if comm.rank() == 0 {
+                            data.clone()
+                        } else {
+                            vec![]
+                        },
+                    )
+                    .unwrap();
                 }
             }
             other => panic!("unknown collective {other}"),

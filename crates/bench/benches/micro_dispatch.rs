@@ -13,9 +13,7 @@
 
 use criterion::{BatchSize, Criterion};
 use jets_bench::boot;
-use jets_core::group::{
-    select_group, select_group_ids, Candidate, GroupScratch, LocId,
-};
+use jets_core::group::{select_group, select_group_ids, Candidate, GroupScratch, LocId};
 use jets_core::queue::{JobQueue, QueuedJob};
 use jets_core::spec::{CommandSpec, JobSpec, WorkerId};
 use jets_core::{DispatcherConfig, GroupingPolicy, QueuePolicy};
@@ -65,10 +63,7 @@ fn main() {
                 (0..1000u64)
                     .map(|id| QueuedJob {
                         id,
-                        spec: JobSpec::mpi(
-                            (id % 7 + 1) as u32,
-                            CommandSpec::builtin("x", vec![]),
-                        ),
+                        spec: JobSpec::mpi((id % 7 + 1) as u32, CommandSpec::builtin("x", vec![])),
                         attempts: 0,
                         excluded: Vec::new(),
                     })
@@ -99,9 +94,7 @@ fn main() {
         b.iter(|| select_group(GroupingPolicy::Fcfs, &ready, 64).expect("enough workers"));
     });
     criterion.bench_function("select_group_location_64_of_1024", |b| {
-        b.iter(|| {
-            select_group(GroupingPolicy::LocationAware, &ready, 64).expect("enough workers")
-        });
+        b.iter(|| select_group(GroupingPolicy::LocationAware, &ready, 64).expect("enough workers"));
     });
 
     // The interned selector over the same pool shape: no String clones,

@@ -1,0 +1,97 @@
+//! Microbenchmarks of the relay tier (criterion): the same worker pool
+//! direct vs behind one relay.
+//!
+//! * `dispatch_burst_{direct,relayed}_…` — one batched submission
+//!   drained to idle by 16 workers, connected directly vs through a
+//!   single relay. Measures what the routed-envelope hop costs the
+//!   assignment fan-out path end to end.
+//! * `heartbeat_flood_{direct,batched}_32` — wire-encoding cost of a
+//!   liveness interval for a 32-node block: 32 individual `Heartbeat`
+//!   frames vs the one `BatchedHeartbeat` frame a relay sends instead.
+//!
+//! Run with:
+//!   cargo bench -p jets-bench --features criterion --bench micro_relay
+
+use cluster_sim::{science_registry, RelayedAllocation, RelayedAllocationConfig};
+use criterion::Criterion;
+use jets_bench::boot;
+use jets_core::protocol::{MsgWriter, WorkerMsg};
+use jets_core::spec::{CommandSpec, JobSpec};
+use jets_core::{Dispatcher, DispatcherConfig};
+use jets_worker::Executor;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn drain_burst(dispatcher: &Dispatcher, jobs: usize) {
+    dispatcher
+        .submit_all((0..jobs).map(|_| JobSpec::sequential(CommandSpec::builtin("noop", vec![]))));
+    assert!(dispatcher.wait_idle(Duration::from_secs(30)));
+}
+
+fn main() {
+    let mut criterion = Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_secs(1))
+        .configure_from_args();
+
+    {
+        let bed = boot(16, DispatcherConfig::default());
+        criterion.bench_function("dispatch_burst_direct_128_jobs_16_workers", |b| {
+            b.iter(|| drain_burst(&bed.dispatcher, 128));
+        });
+        bed.teardown();
+    }
+
+    {
+        let dispatcher = Dispatcher::start(DispatcherConfig::default()).expect("start dispatcher");
+        let topo = RelayedAllocation::start(
+            &dispatcher.addr().to_string(),
+            RelayedAllocationConfig::new(1, 16),
+            Arc::new(Executor::new(science_registry())),
+        )
+        .expect("start relayed allocation");
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while dispatcher.alive_workers() < 16 {
+            assert!(
+                Instant::now() < deadline,
+                "relayed workers never registered"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(dispatcher.connections_accepted(), 1);
+        criterion.bench_function("dispatch_burst_relayed_128_jobs_16_workers", |b| {
+            b.iter(|| drain_burst(&dispatcher, 128));
+        });
+        dispatcher.shutdown();
+        topo.join_all();
+    }
+
+    // One liveness interval for a 32-node block, at the wire-encoding
+    // level: what the dispatcher's reader must ingest either way.
+    criterion.bench_function("heartbeat_flood_direct_32", |b| {
+        let mut writer = MsgWriter::new(Vec::with_capacity(4096));
+        b.iter(|| {
+            writer.get_mut().clear();
+            for _ in 0..32 {
+                writer.send(&WorkerMsg::Heartbeat).expect("encode");
+            }
+            writer.get_ref().len()
+        });
+    });
+    criterion.bench_function("heartbeat_flood_batched_32", |b| {
+        let mut writer = MsgWriter::new(Vec::with_capacity(4096));
+        let workers: Vec<u64> = (0..32).collect();
+        b.iter(|| {
+            writer.get_mut().clear();
+            writer
+                .send(&WorkerMsg::BatchedHeartbeat {
+                    workers: workers.clone(),
+                })
+                .expect("encode");
+            writer.get_ref().len()
+        });
+    });
+
+    criterion.final_summary();
+}

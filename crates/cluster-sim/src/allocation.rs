@@ -25,6 +25,11 @@ pub struct AllocationConfig {
     /// legacy connect-once behaviour). Each worker gets the policy with a
     /// per-node jitter seed so backoffs decorrelate deterministically.
     pub reconnect: Option<ReconnectPolicy>,
+    /// Worker-name prefix: node `i` is named `{name_prefix}-{i:04}`.
+    /// Distinct prefixes keep blocks from colliding in the dispatcher's
+    /// name-keyed quarantine ledger when several allocations coexist
+    /// (e.g. one block per relay).
+    pub name_prefix: String,
 }
 
 impl AllocationConfig {
@@ -37,7 +42,14 @@ impl AllocationConfig {
             boot_stagger: Duration::ZERO,
             heartbeat: None,
             reconnect: None,
+            name_prefix: "node".to_string(),
         }
+    }
+
+    /// Builder-style worker-name prefix.
+    pub fn with_name_prefix(mut self, prefix: impl Into<String>) -> Self {
+        self.name_prefix = prefix.into();
+        self
     }
 
     /// Builder-style reconnect policy for every agent.
@@ -97,15 +109,16 @@ impl Allocation {
                 p.seed = p.seed.wrapping_add(u64::from(i)).max(1);
                 p
             });
+            let name = format!("{}-{i:04}", config.name_prefix);
             let worker_config = WorkerConfig {
                 dispatcher_addr: dispatcher_addr.to_string(),
-                name: format!("node-{i:04}"),
+                name: name.clone(),
                 cores: config.cores_per_node,
                 location,
                 heartbeat: config.heartbeat,
                 connect_delay: delay + config.boot_stagger * i,
                 reconnect,
-                ..WorkerConfig::new(dispatcher_addr, format!("node-{i:04}"))
+                ..WorkerConfig::new(dispatcher_addr, name)
             };
             workers.push(Some(Worker::spawn(worker_config, Arc::clone(&executor))));
         }
@@ -233,7 +246,10 @@ mod tests {
     fn wait_for_workers(d: &Dispatcher, n: usize) {
         let deadline = std::time::Instant::now() + WAIT;
         while d.alive_workers() < n {
-            assert!(std::time::Instant::now() < deadline, "workers never arrived");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "workers never arrived"
+            );
             std::thread::sleep(Duration::from_millis(10));
         }
     }
@@ -241,17 +257,12 @@ mod tests {
     #[test]
     fn allocation_boots_and_runs_jobs() {
         let d = Dispatcher::start(DispatcherConfig::default()).unwrap();
-        let alloc = Allocation::start(
-            &d.addr().to_string(),
-            AllocationConfig::new(8),
-            executor(),
-        );
+        let alloc = Allocation::start(&d.addr().to_string(), AllocationConfig::new(8), executor());
         wait_for_workers(&d, 8);
         assert_eq!(alloc.size(), 8);
         assert_eq!(alloc.live_count(), 8);
-        let ids = d.submit_all(
-            (0..32).map(|_| JobSpec::sequential(CommandSpec::builtin("noop", vec![]))),
-        );
+        let ids = d
+            .submit_all((0..32).map(|_| JobSpec::sequential(CommandSpec::builtin("noop", vec![]))));
         assert!(d.wait_idle(WAIT));
         for id in ids {
             assert_eq!(d.job_record(id).unwrap().status, JobStatus::Succeeded);
@@ -266,11 +277,7 @@ mod tests {
     #[test]
     fn allocation_runs_mpi_jobs() {
         let d = Dispatcher::start(DispatcherConfig::default()).unwrap();
-        let alloc = Allocation::start(
-            &d.addr().to_string(),
-            AllocationConfig::new(4),
-            executor(),
-        );
+        let alloc = Allocation::start(&d.addr().to_string(), AllocationConfig::new(4), executor());
         wait_for_workers(&d, 4);
         let id = d.submit(JobSpec::mpi(
             4,
@@ -285,11 +292,7 @@ mod tests {
     #[test]
     fn kill_reduces_live_count() {
         let d = Dispatcher::start(DispatcherConfig::default()).unwrap();
-        let alloc = Allocation::start(
-            &d.addr().to_string(),
-            AllocationConfig::new(3),
-            executor(),
-        );
+        let alloc = Allocation::start(&d.addr().to_string(), AllocationConfig::new(3), executor());
         wait_for_workers(&d, 3);
         assert!(alloc.kill(1));
         let deadline = std::time::Instant::now() + WAIT;
@@ -307,11 +310,7 @@ mod tests {
     #[test]
     fn kill_one_of_selects_from_live() {
         let d = Dispatcher::start(DispatcherConfig::default()).unwrap();
-        let alloc = Allocation::start(
-            &d.addr().to_string(),
-            AllocationConfig::new(2),
-            executor(),
-        );
+        let alloc = Allocation::start(&d.addr().to_string(), AllocationConfig::new(2), executor());
         wait_for_workers(&d, 2);
         let first = alloc.kill_one_of(|live| live[0]).unwrap();
         let deadline = std::time::Instant::now() + WAIT;
@@ -331,8 +330,7 @@ mod tests {
 
     #[test]
     fn locations_cycle_round_robin() {
-        let config = AllocationConfig::new(4)
-            .with_locations(vec!["east".into(), "west".into()]);
+        let config = AllocationConfig::new(4).with_locations(vec!["east".into(), "west".into()]);
         assert_eq!(config.locations.len(), 2);
         // Verified end-to-end by the grouping ablation; here just the
         // builder contract.

@@ -146,9 +146,7 @@ impl ChaosInjector {
                     }
                     let roll = ev.roll as usize;
                     let hit = match ev.action {
-                        FaultAction::Kill => {
-                            allocation.kill_one_of(|live| live[roll % live.len()])
-                        }
+                        FaultAction::Kill => allocation.kill_one_of(|live| live[roll % live.len()]),
                         FaultAction::Partition => {
                             allocation.partition_one_of(|live| live[roll % live.len()])
                         }

@@ -92,8 +92,7 @@ mod tests {
             assert!(std::time::Instant::now() < deadline);
             thread::sleep(Duration::from_millis(10));
         }
-        let injector =
-            FaultInjector::start(Arc::clone(&alloc), Duration::from_millis(20), 42);
+        let injector = FaultInjector::start(Arc::clone(&alloc), Duration::from_millis(20), 42);
         let killed = injector.join();
         assert_eq!(killed.len(), 5);
         // All distinct indices.
@@ -118,8 +117,7 @@ mod tests {
             assert!(std::time::Instant::now() < deadline);
             thread::sleep(Duration::from_millis(10));
         }
-        let injector =
-            FaultInjector::start(Arc::clone(&alloc), Duration::from_millis(30), 7);
+        let injector = FaultInjector::start(Arc::clone(&alloc), Duration::from_millis(30), 7);
         thread::sleep(Duration::from_millis(100));
         let killed = injector.stop();
         assert!(!killed.is_empty() && killed.len() < 4, "killed: {killed:?}");

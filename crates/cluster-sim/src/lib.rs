@@ -29,6 +29,7 @@ pub mod allocation;
 pub mod apps;
 pub mod chaos;
 pub mod faults;
+pub mod relays;
 pub mod spectrum;
 pub mod workload;
 
@@ -36,5 +37,6 @@ pub use allocation::{Allocation, AllocationConfig};
 pub use apps::{register_namd, science_registry};
 pub use chaos::{ChaosInjector, FaultAction, FaultEvent, FaultMix, FaultPlan};
 pub use faults::FaultInjector;
+pub use relays::{RelayedAllocation, RelayedAllocationConfig};
 pub use spectrum::{halving_spectrum, linear_wait, SpectrumAllocator};
 pub use workload::{NamdDurationModel, TimeScale};

@@ -150,12 +150,8 @@ mod tests {
             Arc::new(Executor::new(science_registry()));
         // 3 blocks: 8, 4, 2 nodes; waits 300/150/50 ms.
         let model = linear_wait(Duration::from_millis(10), Duration::from_millis(36));
-        let spectrum = SpectrumAllocator::start(
-            &dispatcher.addr().to_string(),
-            &[8, 4, 2],
-            model,
-            executor,
-        );
+        let spectrum =
+            SpectrumAllocator::start(&dispatcher.addr().to_string(), &[8, 4, 2], model, executor);
         assert_eq!(spectrum.total_nodes(), 14);
         // The 2-node block clears the queue first.
         let deadline = std::time::Instant::now() + Duration::from_secs(20);

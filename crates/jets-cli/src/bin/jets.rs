@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! jets TASKFILE [--listen ADDR] [--simulate N] [--timeout SECS]
+//!               [--events-out FILE]
+//! jets events --in FILE [--nodes N] [--step-ms MS]
 //! ```
 //!
 //! Reads a task list (`MPI: <nodes> [ppn=<k>] cmd args...` or bare
@@ -9,18 +11,35 @@
 //! workers connect. `--simulate N` boots N in-process worker agents with
 //! the standard + science application registries, so a batch of builtin
 //! (`@`-prefixed) tasks runs with no external setup.
+//!
+//! `--events-out FILE` dumps the dispatcher's event log as JSON Lines
+//! after the run; `jets events --in FILE` recomputes the paper's
+//! utilization / load / availability statistics from such a dump
+//! offline, with no dispatcher running.
 
 use cluster_sim::{science_registry, Allocation, AllocationConfig};
-use jets_cli::parse_args;
-use jets_core::{Dispatcher, DispatcherConfig, JobStatus};
+use jets_cli::{parse_args, Args};
+use jets_core::{stats, Dispatcher, DispatcherConfig, EventKind, JobStatus};
 use jets_worker::Executor;
+use std::collections::HashSet;
+use std::io::BufReader;
 use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
-    let args = parse_args(std::env::args().skip(1), &["listen", "simulate", "timeout"]);
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("events") {
+        let args = parse_args(argv.into_iter().skip(1), &["in", "nodes", "step-ms"]);
+        events_main(&args);
+    }
+    let args = parse_args(
+        argv.into_iter(),
+        &["listen", "simulate", "timeout", "events-out"],
+    );
     let Some(taskfile) = args.positional.first() else {
-        eprintln!("usage: jets TASKFILE [--listen ADDR] [--simulate N] [--timeout SECS]");
+        eprintln!(
+            "usage: jets TASKFILE [--listen ADDR] [--simulate N] [--timeout SECS] [--events-out FILE]\n       jets events --in FILE [--nodes N] [--step-ms MS]"
+        );
         std::process::exit(2);
     };
     let text = match std::fs::read_to_string(taskfile) {
@@ -52,7 +71,10 @@ fn main() {
             Arc::new(Executor::new(science_registry())),
         ))
     } else {
-        println!("jets: waiting for external workers (start jets-worker --dispatcher {})", dispatcher.addr());
+        println!(
+            "jets: waiting for external workers (start jets-worker --dispatcher {})",
+            dispatcher.addr()
+        );
         None
     };
 
@@ -67,7 +89,10 @@ fn main() {
 
     let timeout = Duration::from_secs(args.get_parse("timeout", 3600));
     if !dispatcher.wait_idle(timeout) {
-        eprintln!("jets: timed out after {timeout:?} with {} jobs outstanding", dispatcher.outstanding());
+        eprintln!(
+            "jets: timed out after {timeout:?} with {} jobs outstanding",
+            dispatcher.outstanding()
+        );
         std::process::exit(1);
     }
     let mut ok = 0usize;
@@ -83,5 +108,92 @@ fn main() {
     if let Some(alloc) = allocation {
         alloc.join_all();
     }
+    if let Some(path) = args.get("events-out") {
+        match std::fs::File::create(path) {
+            Ok(mut file) => match dispatcher.events().write_jsonl(&mut file) {
+                Ok(()) => println!("jets: wrote {} events to {path}", dispatcher.events().len()),
+                Err(e) => eprintln!("jets: cannot write events to {path}: {e}"),
+            },
+            Err(e) => eprintln!("jets: cannot create {path}: {e}"),
+        }
+    }
     std::process::exit(if failed == 0 { 0 } else { 1 });
+}
+
+/// `jets events --in FILE`: recompute run statistics from a JSONL event
+/// dump, offline.
+fn events_main(args: &Args) -> ! {
+    let Some(path) = args.get("in") else {
+        eprintln!("usage: jets events --in FILE [--nodes N] [--step-ms MS]");
+        std::process::exit(2);
+    };
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("jets: cannot open {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let events = match jets_core::read_jsonl(BufReader::new(file)) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("jets: {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    if events.is_empty() {
+        println!("jets: {path}: empty event log");
+        std::process::exit(0);
+    }
+    let span = events.last().map(|e| e.t).unwrap_or_default();
+    // Allocation size: given, or inferred as the distinct workers seen.
+    let nodes = {
+        let given: usize = args.get_parse("nodes", 0);
+        if given > 0 {
+            given
+        } else {
+            let mut seen = HashSet::new();
+            for e in &events {
+                if let EventKind::WorkerUp { worker } = &e.kind {
+                    seen.insert(*worker);
+                }
+            }
+            seen.len()
+        }
+    };
+    let step = Duration::from_millis(args.get_parse("step-ms", 1000u64));
+    println!(
+        "jets: {path}: {} events over {:.3}s",
+        events.len(),
+        span.as_secs_f64()
+    );
+    println!("  allocation size: {nodes}");
+    let done = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::TaskEnded { .. }))
+        .count();
+    println!("  tasks ended:     {done}");
+    if nodes > 0 {
+        println!(
+            "  utilization:     {:.1}%",
+            100.0 * stats::measured_utilization(&events, nodes)
+        );
+    }
+    let load = stats::load_series(&events, step);
+    if let Some(peak) = load.iter().max_by_key(|s| s.busy_ranks) {
+        println!(
+            "  peak load:       {} tasks / {} busy ranks at t={:.1}s",
+            peak.running_tasks,
+            peak.busy_ranks,
+            peak.t.as_secs_f64()
+        );
+    }
+    let avail = stats::availability_series(&events, step);
+    if let (Some(min), Some(max)) = (
+        avail.iter().map(|s| s.alive).min(),
+        avail.iter().map(|s| s.alive).max(),
+    ) {
+        println!("  workers alive:   min {min}, max {max}");
+    }
+    std::process::exit(0);
 }

@@ -22,7 +22,9 @@ fn main() {
     let args = parse_args(argv, &["n", "ppn", "jobid", "timeout"]);
     let nodes: u32 = args.get_parse("n", 0);
     if nodes == 0 {
-        eprintln!("usage: jets-mpiexec -n NODES [--ppn P] [--jobid ID] [--timeout SECS] CMD ARGS...");
+        eprintln!(
+            "usage: jets-mpiexec -n NODES [--ppn P] [--jobid ID] [--timeout SECS] CMD ARGS..."
+        );
         std::process::exit(2);
     }
     let ppn: u32 = args.get_parse("ppn", 1);
@@ -39,7 +41,10 @@ fn main() {
         }
     };
     let command = args.positional.join(" ");
-    println!("# jets-mpiexec: PMI service for job {jobid} at {}", server.addr());
+    println!(
+        "# jets-mpiexec: PMI service for job {jobid} at {}",
+        server.addr()
+    );
     println!("# launcher=manual: start these proxies yourself:");
     for proxy in ManualLauncher.proxy_commands(&jobid, layout, &server.addr().to_string()) {
         for &rank in &proxy.ranks {
@@ -48,7 +53,12 @@ fn main() {
                 .into_iter()
                 .map(|(k, v)| format!("{k}={v}"))
                 .collect();
-            println!("node {:03}: {} {}", proxy.node_index, env.join(" "), command);
+            println!(
+                "node {:03}: {} {}",
+                proxy.node_index,
+                env.join(" "),
+                command
+            );
         }
     }
     let timeout = Duration::from_secs(args.get_parse("timeout", 3600));

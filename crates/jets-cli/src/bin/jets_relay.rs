@@ -1,0 +1,102 @@
+//! The relay daemon (real-process deployment).
+//!
+//! ```text
+//! jets-relay --dispatcher HOST:PORT [--listen HOST:PORT] [--name N]
+//!            [--location L] [--flush-ms MS] [--stale-ms MS]
+//!            [--reconnect-attempts N] [--reconnect-base-ms MS]
+//!            [--reconnect-cap-ms MS] [--reconnect-jitter F]
+//!            [--reconnect-seed S]
+//! ```
+//!
+//! Fronts a block of workers over one dispatcher connection: point
+//! `jets-worker --relay` at the printed listen address. The relay
+//! aggregates registrations, coalesces heartbeats into batched liveness
+//! frames every `--flush-ms`, routes assignments and results, fans gang
+//! cancellation out locally, and rides out dispatcher restarts with the
+//! configured reconnect policy. It exits when the dispatcher tells the
+//! fleet to shut down (or when reconnect attempts are exhausted).
+
+use jets_cli::parse_args;
+use jets_relay::{Relay, RelayConfig};
+use jets_worker::ReconnectPolicy;
+use std::time::Duration;
+
+fn main() {
+    let args = parse_args(
+        std::env::args().skip(1),
+        &[
+            "dispatcher",
+            "listen",
+            "name",
+            "location",
+            "flush-ms",
+            "stale-ms",
+            "reconnect-attempts",
+            "reconnect-base-ms",
+            "reconnect-cap-ms",
+            "reconnect-jitter",
+            "reconnect-seed",
+        ],
+    );
+    let Some(dispatcher) = args.get("dispatcher") else {
+        eprintln!(
+            "usage: jets-relay --dispatcher HOST:PORT [--listen HOST:PORT] [--name N] \
+             [--location L] [--flush-ms MS] [--stale-ms MS] [--reconnect-attempts N] \
+             [--reconnect-base-ms MS] [--reconnect-cap-ms MS] [--reconnect-jitter F] \
+             [--reconnect-seed S]"
+        );
+        std::process::exit(2);
+    };
+    let defaults = ReconnectPolicy::default();
+    let mut config = RelayConfig::new(
+        dispatcher,
+        args.get("name")
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("relay-{}", std::process::id())),
+    );
+    if let Some(listen) = args.get("listen") {
+        config.listen_addr = listen.to_string();
+    }
+    if let Some(location) = args.get("location") {
+        config.location = location.to_string();
+    }
+    config.liveness_flush = Duration::from_millis(args.get_parse("flush-ms", 100u64));
+    config.worker_stale_after = Duration::from_millis(args.get_parse("stale-ms", 1000u64));
+    config.reconnect = ReconnectPolicy {
+        max_attempts: args.get_parse("reconnect-attempts", defaults.max_attempts),
+        base_backoff: Duration::from_millis(args.get_parse(
+            "reconnect-base-ms",
+            defaults.base_backoff.as_millis() as u64,
+        )),
+        max_backoff: Duration::from_millis(
+            args.get_parse("reconnect-cap-ms", defaults.max_backoff.as_millis() as u64),
+        ),
+        jitter: args.get_parse("reconnect-jitter", defaults.jitter),
+        seed: args.get_parse("reconnect-seed", defaults.seed),
+    };
+    let name = config.name.clone();
+    let relay = match Relay::start(config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("jets-relay: cannot bind listener: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "jets-relay: {name} listening on {} for dispatcher {dispatcher}",
+        relay.addr()
+    );
+    // The daemon runs on its own threads; park this one until the
+    // dispatcher's shutdown (or reconnect exhaustion) stops the relay.
+    loop {
+        std::thread::sleep(Duration::from_millis(200));
+        if relay.is_stopped() {
+            break;
+        }
+    }
+    let stats = relay.stats();
+    println!(
+        "jets-relay: {name} exiting ({} members, {} batched frames, {} sessions, {} local cancels)",
+        stats.members, stats.batched_frames, stats.upstream_sessions, stats.local_cancels
+    );
+}

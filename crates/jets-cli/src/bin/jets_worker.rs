@@ -3,29 +3,76 @@
 //! ```text
 //! jets-worker --dispatcher HOST:PORT [--name N] [--cores C]
 //!             [--location L] [--heartbeat SECS]
+//!             [--reconnect] [--reconnect-attempts N]
+//!             [--reconnect-base-ms MS] [--reconnect-cap-ms MS]
+//!             [--reconnect-jitter F] [--reconnect-seed S]
+//! jets-worker --relay HOST:PORT [...]
 //! ```
 //!
 //! Registers with the dispatcher and executes tasks until told to shut
-//! down. Builtin (`@`) tasks resolve against the standard + science
+//! down. `--relay` points the agent at a relay daemon instead — the wire
+//! protocol is identical, so the two options differ only in intent.
+//! Builtin (`@`) tasks resolve against the standard + science
 //! application registries; everything else is executed as an OS process.
+//!
+//! Any `--reconnect*` option enables reconnect-with-backoff; unset knobs
+//! keep their defaults.
 
 use cluster_sim::science_registry;
 use jets_cli::parse_args;
-use jets_worker::{Executor, Worker, WorkerConfig};
+use jets_worker::{Executor, ReconnectPolicy, Worker, WorkerConfig};
 use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
     let args = parse_args(
         std::env::args().skip(1),
-        &["dispatcher", "name", "cores", "location", "heartbeat"],
+        &[
+            "dispatcher",
+            "relay",
+            "name",
+            "cores",
+            "location",
+            "heartbeat",
+            "reconnect-attempts",
+            "reconnect-base-ms",
+            "reconnect-cap-ms",
+            "reconnect-jitter",
+            "reconnect-seed",
+        ],
     );
-    let Some(dispatcher) = args.get("dispatcher") else {
-        eprintln!("usage: jets-worker --dispatcher HOST:PORT [--name N] [--cores C] [--location L] [--heartbeat SECS]");
-        std::process::exit(2);
+    let endpoint = match (args.get("dispatcher"), args.get("relay")) {
+        (Some(d), None) => d.to_string(),
+        (None, Some(r)) => r.to_string(),
+        _ => {
+            eprintln!(
+                "usage: jets-worker (--dispatcher HOST:PORT | --relay HOST:PORT) \
+                 [--name N] [--cores C] [--location L] [--heartbeat SECS] \
+                 [--reconnect] [--reconnect-attempts N] [--reconnect-base-ms MS] \
+                 [--reconnect-cap-ms MS] [--reconnect-jitter F] [--reconnect-seed S]"
+            );
+            std::process::exit(2);
+        }
     };
+    let defaults = ReconnectPolicy::default();
+    let wants_reconnect = args.has_flag("reconnect")
+        || ["attempts", "base-ms", "cap-ms", "jitter", "seed"]
+            .iter()
+            .any(|k| args.get(&format!("reconnect-{k}")).is_some());
+    let reconnect = wants_reconnect.then(|| ReconnectPolicy {
+        max_attempts: args.get_parse("reconnect-attempts", defaults.max_attempts),
+        base_backoff: Duration::from_millis(args.get_parse(
+            "reconnect-base-ms",
+            defaults.base_backoff.as_millis() as u64,
+        )),
+        max_backoff: Duration::from_millis(
+            args.get_parse("reconnect-cap-ms", defaults.max_backoff.as_millis() as u64),
+        ),
+        jitter: args.get_parse("reconnect-jitter", defaults.jitter),
+        seed: args.get_parse("reconnect-seed", defaults.seed),
+    });
     let config = WorkerConfig {
-        dispatcher_addr: dispatcher.to_string(),
+        dispatcher_addr: endpoint.clone(),
         name: args
             .get("name")
             .map(str::to_string)
@@ -36,10 +83,11 @@ fn main() {
             .get("heartbeat")
             .and_then(|s| s.parse().ok())
             .map(Duration::from_secs),
-        connect_delay: Duration::ZERO,
+        reconnect,
+        ..WorkerConfig::new(endpoint.clone(), "unnamed")
     };
     let name = config.name.clone();
-    println!("jets-worker: {name} connecting to {dispatcher}");
+    println!("jets-worker: {name} connecting to {endpoint}");
     let worker = Worker::spawn(config, Arc::new(Executor::new(science_registry())));
     let exit = worker.join();
     println!(

@@ -45,7 +45,7 @@ use crate::protocol::{
 };
 use crate::queue::{JobQueue, QueuePolicy, QueuedJob};
 use crate::ready::ReadyList;
-use crate::registry::{QuarantinePolicy, Registry, WorkerState};
+use crate::registry::{HeartbeatHandle, QuarantinePolicy, Registry, WorkerState};
 use crate::spec::{JobId, JobSpec, TaskId, WorkerId};
 use crossbeam::channel::{unbounded, Sender};
 use crossbeam::queue::SegQueue;
@@ -154,6 +154,42 @@ struct ActiveJob {
     deadline: Option<Instant>,
 }
 
+/// The write channel that reaches one worker.
+///
+/// A direct worker owns its connection; a relayed worker shares its
+/// relay's, and traffic addressed to it travels in routed envelopes
+/// (`RelayAssign` / `RelayCancel`) the relay unwraps. Scheduling is
+/// oblivious to the difference — it calls [`ConnHandle::send_assign`] /
+/// [`ConnHandle::send_cancel`] and the envelope happens here.
+enum ConnHandle {
+    /// The worker's own connection (classic one-socket-per-worker).
+    Direct(Sender<DispatcherMsg>),
+    /// The worker's relay connection (shared by the whole block).
+    Relayed(Sender<DispatcherMsg>),
+}
+
+impl ConnHandle {
+    /// Ship an assignment to `worker`; false if the channel is gone.
+    fn send_assign(&self, worker: WorkerId, assignment: TaskAssignment) -> bool {
+        match self {
+            ConnHandle::Direct(tx) => tx.send(DispatcherMsg::Assign(assignment)).is_ok(),
+            ConnHandle::Relayed(tx) => tx
+                .send(DispatcherMsg::RelayAssign { worker, assignment })
+                .is_ok(),
+        }
+    }
+
+    /// Ship a task cancellation to `worker`.
+    fn send_cancel(&self, worker: WorkerId, task_id: TaskId) -> bool {
+        match self {
+            ConnHandle::Direct(tx) => tx.send(DispatcherMsg::Cancel { task_id }).is_ok(),
+            ConnHandle::Relayed(tx) => tx
+                .send(DispatcherMsg::RelayCancel { worker, task_id })
+                .is_ok(),
+        }
+    }
+}
+
 /// Scheduling-critical state: everything one scheduling decision reads or
 /// writes. Guarded by `Inner::sched`.
 ///
@@ -163,7 +199,10 @@ struct ActiveJob {
 struct Sched {
     queue: JobQueue,
     registry: Registry,
-    conns: HashMap<WorkerId, Sender<DispatcherMsg>>,
+    conns: HashMap<WorkerId, ConnHandle>,
+    /// Connected relay daemons (ids share the worker id space). Shutdown
+    /// is sent once per relay, not once per relayed worker.
+    relays: HashMap<WorkerId, Sender<DispatcherMsg>>,
     /// Parked `Request`s, oldest first, with interned locations.
     ready: ReadyList,
     active: HashMap<JobId, ActiveJob>,
@@ -206,6 +245,9 @@ struct Inner {
     next_worker: AtomicU64,
     next_job: AtomicU64,
     next_task: AtomicU64,
+    /// Total TCP connections the accept loop has taken — the number the
+    /// relay tier exists to shrink from O(workers) to O(relays).
+    accepted: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -232,6 +274,7 @@ impl Dispatcher {
                 queue: JobQueue::new(config.queue_policy),
                 registry: Registry::with_quarantine(config.quarantine.clone()),
                 conns: HashMap::new(),
+                relays: HashMap::new(),
                 ready: ReadyList::new(),
                 active: HashMap::new(),
                 tasks: HashMap::new(),
@@ -251,6 +294,7 @@ impl Dispatcher {
             next_worker: AtomicU64::new(1),
             next_job: AtomicU64::new(1),
             next_task: AtomicU64::new(1),
+            accepted: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         });
         let accept_inner = Arc::clone(&inner);
@@ -374,9 +418,7 @@ impl Dispatcher {
         loop {
             match book.records.get(&id) {
                 None => return None,
-                Some(rec)
-                    if matches!(rec.status, JobStatus::Succeeded | JobStatus::Failed) =>
-                {
+                Some(rec) if matches!(rec.status, JobStatus::Succeeded | JobStatus::Failed) => {
                     return Some(rec.clone());
                 }
                 Some(_) => {}
@@ -402,6 +444,18 @@ impl Dispatcher {
         self.inner.sched.lock().registry.alive_count()
     }
 
+    /// Total TCP connections accepted so far (direct workers + relays).
+    /// With a relay tier this stays at O(relays) however many workers
+    /// register behind them.
+    pub fn connections_accepted(&self) -> u64 {
+        self.inner.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Number of currently connected relay daemons.
+    pub fn relay_count(&self) -> usize {
+        self.inner.sched.lock().relays.len()
+    }
+
     /// Snapshot of every worker ever registered.
     pub fn workers(&self) -> Vec<crate::registry::WorkerInfo> {
         self.inner.sched.lock().registry.iter().cloned().collect()
@@ -412,11 +466,18 @@ impl Dispatcher {
         self.inner.book.lock().outstanding
     }
 
-    /// Stop accepting, tell every worker to shut down.
+    /// Stop accepting, tell every worker to shut down. Each direct worker
+    /// is told on its own connection; each relay is told once and fans
+    /// the shutdown out to its block.
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::Release);
         let st = self.inner.sched.lock();
-        for tx in st.conns.values() {
+        for conn in st.conns.values() {
+            if let ConnHandle::Direct(tx) = conn {
+                let _ = tx.send(DispatcherMsg::Shutdown);
+            }
+        }
+        for tx in st.relays.values() {
             let _ = tx.send(DispatcherMsg::Shutdown);
         }
     }
@@ -437,6 +498,7 @@ fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
         match listener.accept() {
             Ok((stream, _)) => {
                 backoff = Duration::from_micros(500);
+                inner.accepted.fetch_add(1, Ordering::Relaxed);
                 let conn_inner = Arc::clone(&inner);
                 thread::Builder::new()
                     .name("jets-conn".to_string())
@@ -504,7 +566,9 @@ fn monitor_loop(inner: Arc<Inner>) {
     }
 }
 
-/// Reader side of one worker connection; owns the registration handshake.
+/// Reader side of one inbound connection; owns the handshake. The first
+/// frame decides what the peer is: `Register` makes it a direct worker,
+/// `RelayHello` makes it a relay fronting a block of workers.
 fn serve_worker(stream: TcpStream, inner: Arc<Inner>) {
     stream.set_nodelay(true).ok();
     let write_half = match stream.try_clone() {
@@ -512,25 +576,28 @@ fn serve_worker(stream: TcpStream, inner: Arc<Inner>) {
         Err(_) => return,
     };
     // One `MsgReader` per connection: the line buffer is reused across
-    // every message this worker will ever send.
+    // every message this peer will ever send.
     let mut reader = MsgReader::new(BufReader::new(stream));
-
-    // Handshake: first message must be Register.
-    let (name, cores, location) = match reader.recv::<WorkerMsg>() {
+    match reader.recv::<WorkerMsg>() {
         Ok(Some(WorkerMsg::Register {
             name,
             cores,
             location,
-        })) => (name, cores, location),
-        _ => return,
-    };
-    let worker_id = inner.next_worker.fetch_add(1, Ordering::Relaxed);
+        })) => serve_direct(reader, write_half, inner, name, cores, location),
+        Ok(Some(WorkerMsg::RelayHello { name, .. })) => {
+            serve_relay(reader, write_half, inner, name)
+        }
+        _ => {}
+    }
+}
 
-    // Writer thread: channel → socket, so any dispatcher thread can send.
-    // `MsgWriter` reuses its encode buffer across the connection's life.
+/// Spawn the writer thread for one connection: channel → socket, so any
+/// dispatcher thread can send. `MsgWriter` reuses its encode buffer
+/// across the connection's life.
+fn spawn_conn_writer(write_half: TcpStream, label: &str) -> Sender<DispatcherMsg> {
     let (tx, rx) = unbounded::<DispatcherMsg>();
     thread::Builder::new()
-        .name(format!("jets-write-{worker_id}"))
+        .name(format!("jets-write-{label}"))
         .stack_size(CONN_STACK)
         .spawn(move || {
             let mut writer = MsgWriter::new(write_half);
@@ -540,25 +607,59 @@ fn serve_worker(stream: TcpStream, inner: Arc<Inner>) {
                 }
             }
         })
-        .expect("spawn worker writer thread");
+        .expect("spawn connection writer thread");
+    tx
+}
 
-    let hb = {
-        let mut st = inner.sched.lock();
-        let hb = st.registry.insert(worker_id, name, cores, location);
-        st.conns.insert(worker_id, tx.clone());
-        inner.log.record(EventKind::WorkerUp { worker: worker_id });
-        // A name with too many recent gang-kills is admitted benched.
-        if let Some(WorkerState::Quarantined { until_ms }) =
-            st.registry.get(worker_id).map(|w| w.state)
-        {
-            inner.log.record(EventKind::WorkerQuarantined {
-                worker: worker_id,
-                strikes: st.registry.strikes(worker_id),
-                until_ms,
-            });
-        }
-        hb
-    };
+/// Register one worker under the scheduling lock, reachable through
+/// `conn`; returns its liveness handle for the caller's reader loop.
+fn register_worker(
+    inner: &Inner,
+    worker_id: WorkerId,
+    name: String,
+    cores: u32,
+    location: String,
+    relay: Option<WorkerId>,
+    conn: ConnHandle,
+) -> HeartbeatHandle {
+    let mut st = inner.sched.lock();
+    let hb = st
+        .registry
+        .insert_via(worker_id, name, cores, location, relay);
+    st.conns.insert(worker_id, conn);
+    inner.log.record(EventKind::WorkerUp { worker: worker_id });
+    // A name with too many recent gang-kills is admitted benched.
+    if let Some(WorkerState::Quarantined { until_ms }) = st.registry.get(worker_id).map(|w| w.state)
+    {
+        inner.log.record(EventKind::WorkerQuarantined {
+            worker: worker_id,
+            strikes: st.registry.strikes(worker_id),
+            until_ms,
+        });
+    }
+    hb
+}
+
+/// Service loop of one direct worker connection.
+fn serve_direct(
+    mut reader: MsgReader<BufReader<TcpStream>>,
+    write_half: TcpStream,
+    inner: Arc<Inner>,
+    name: String,
+    cores: u32,
+    location: String,
+) {
+    let worker_id = inner.next_worker.fetch_add(1, Ordering::Relaxed);
+    let tx = spawn_conn_writer(write_half, &worker_id.to_string());
+    let hb = register_worker(
+        &inner,
+        worker_id,
+        name,
+        cores,
+        location,
+        None,
+        ConnHandle::Direct(tx.clone()),
+    );
     let _ = tx.send(DispatcherMsg::Registered { worker_id });
 
     loop {
@@ -583,10 +684,117 @@ fn serve_worker(stream: TcpStream, inner: Arc<Inner>) {
             // heartbeat storm never touches the scheduling lock.
             Ok(Some(WorkerMsg::Heartbeat)) => hb.beat(),
             Ok(Some(WorkerMsg::Goodbye)) | Ok(None) => break,
-            Ok(Some(WorkerMsg::Register { .. })) | Err(_) => break,
+            // Re-registration or relay-scoped frames on a worker
+            // connection are protocol violations; sever.
+            Ok(Some(_)) | Err(_) => break,
         }
     }
     handle_worker_down(&inner, worker_id);
+}
+
+/// Service loop of one relay connection: a single socket carrying a whole
+/// block's registrations, requests, results, and batched liveness.
+///
+/// The relay's members are ordinary registry entries (inserted with
+/// `relay = Some(relay_id)`) whose [`ConnHandle::Relayed`] points at this
+/// connection's writer. Their liveness handles live in a relay-local map
+/// here, so a `BatchedHeartbeat` frame fans out to N relaxed atomic
+/// stores without touching the scheduling lock — the same cost N direct
+/// heartbeats would have paid, on 1/Nth the connections.
+fn serve_relay(
+    mut reader: MsgReader<BufReader<TcpStream>>,
+    write_half: TcpStream,
+    inner: Arc<Inner>,
+    name: String,
+) {
+    let relay_id = inner.next_worker.fetch_add(1, Ordering::Relaxed);
+    let tx = spawn_conn_writer(write_half, &format!("relay-{relay_id}"));
+    {
+        let mut st = inner.sched.lock();
+        st.relays.insert(relay_id, tx.clone());
+    }
+    inner.log.record(EventKind::RelayUp { relay: relay_id });
+    let _ = tx.send(DispatcherMsg::Registered {
+        worker_id: relay_id,
+    });
+    let _ = name; // diagnostics only (the wire carries it for operators)
+
+    // Liveness handles of this relay's members, keyed by global id.
+    let mut members: HashMap<WorkerId, HeartbeatHandle> = HashMap::new();
+    loop {
+        match reader.recv::<WorkerMsg>() {
+            Ok(Some(WorkerMsg::RelayRegister {
+                local,
+                name,
+                cores,
+                location,
+            })) => {
+                let worker_id = inner.next_worker.fetch_add(1, Ordering::Relaxed);
+                let hb = register_worker(
+                    &inner,
+                    worker_id,
+                    name,
+                    cores,
+                    location,
+                    Some(relay_id),
+                    ConnHandle::Relayed(tx.clone()),
+                );
+                members.insert(worker_id, hb);
+                let _ = tx.send(DispatcherMsg::RelayRegistered { local, worker_id });
+            }
+            Ok(Some(WorkerMsg::RelayRequest { worker })) => {
+                // Same coalesced park as a direct Request; a relay that
+                // routes for a worker it never registered is ignored.
+                if let Some(hb) = members.get(&worker) {
+                    hb.beat();
+                    inner.pending_ready.push(worker);
+                    kick_schedule(&inner);
+                }
+            }
+            Ok(Some(WorkerMsg::RelayDone {
+                worker,
+                task_id,
+                exit_code,
+                wall_ms,
+                output,
+            })) => {
+                if let Some(hb) = members.get(&worker) {
+                    hb.beat();
+                    handle_done(&inner, worker, task_id, exit_code, wall_ms, output);
+                }
+            }
+            // Batched-liveness ingestion: one frame, N relaxed atomic
+            // stores into the same lock-free path direct heartbeats use.
+            Ok(Some(WorkerMsg::BatchedHeartbeat { workers })) => {
+                for worker in workers {
+                    if let Some(hb) = members.get(&worker) {
+                        hb.beat();
+                    }
+                }
+            }
+            Ok(Some(WorkerMsg::RelayWorkerGone { worker })) => {
+                if members.remove(&worker).is_some() {
+                    handle_worker_down(&inner, worker);
+                }
+            }
+            // The relay's own keepalive; member liveness arrives batched.
+            Ok(Some(WorkerMsg::Heartbeat)) => {}
+            Ok(Some(WorkerMsg::Goodbye)) | Ok(None) => break,
+            // Direct-worker frames on a relay connection are protocol
+            // violations; sever (taking the block down with it).
+            Ok(Some(_)) | Err(_) => break,
+        }
+    }
+    // Relay gone: every worker it still fronted is unreachable. Each
+    // death cancels its gang exactly as a direct disconnect would.
+    {
+        let mut st = inner.sched.lock();
+        st.relays.remove(&relay_id);
+    }
+    inner.log.record(EventKind::RelayDown { relay: relay_id });
+    for (worker, _) in members {
+        handle_worker_down(&inner, worker);
+    }
 }
 
 /// Ring the scheduling doorbell. At most one caller becomes the pass
@@ -657,8 +865,8 @@ fn try_schedule(inner: &Inner, st: &mut Sched) {
             // A requeued job first tries a group avoiding the workers its
             // last attempt blames. Best effort: if the pool minus those is
             // too small, the hint is waived and normal selection runs.
-            let picked_avoiding = !job.excluded.is_empty()
-                && take_excluding(ready, &job.excluded, need, &mut chosen);
+            let picked_avoiding =
+                !job.excluded.is_empty() && take_excluding(ready, &job.excluded, need, &mut chosen);
             if !picked_avoiding {
                 match inner.config.grouping {
                     // FCFS fast path: dequeue the longest-parked workers.
@@ -759,7 +967,13 @@ fn start_job(inner: &Inner, st: &mut Sched, job: QueuedJob, workers: &[WorkerId]
                     let loc = st.registry.get(w).map(|i| i.loc).unwrap_or(0);
                     st.ready.park(w, loc);
                 }
-                finish_failed_unstarted(inner, id, spec.nodes, spec.ppn, &format!("pmi server: {e}"));
+                finish_failed_unstarted(
+                    inner,
+                    id,
+                    spec.nodes,
+                    spec.ppn,
+                    &format!("pmi server: {e}"),
+                );
                 return;
             }
         };
@@ -821,7 +1035,7 @@ fn start_job(inner: &Inner, st: &mut Sched, job: QueuedJob, workers: &[WorkerId]
         let delivered = st
             .conns
             .get(&worker)
-            .map(|tx| tx.send(DispatcherMsg::Assign(assignment)).is_ok())
+            .map(|conn| conn.send_assign(worker, assignment))
             .unwrap_or(false);
         if !delivered {
             // The worker vanished between parking and assignment; treat
@@ -849,7 +1063,13 @@ fn start_job(inner: &Inner, st: &mut Sched, job: QueuedJob, workers: &[WorkerId]
         // block on the PMI fence until its timeout, so tear the gang down
         // now; the failure requeues through the normal retry path.
         st.active.insert(id, active);
-        cancel_gang(inner, st, id, EXIT_CANCELED, "peer assignment undeliverable");
+        cancel_gang(
+            inner,
+            st,
+            id,
+            EXIT_CANCELED,
+            "peer assignment undeliverable",
+        );
     } else {
         st.active.insert(id, active);
     }
@@ -976,8 +1196,8 @@ fn cancel_gang(inner: &Inner, st: &mut Sched, job_id: JobId, exit_code: i32, rea
     let pending = std::mem::take(&mut active.pending);
     for (&worker, &task) in &pending {
         st.tasks.remove(&task);
-        if let Some(tx) = st.conns.get(&worker) {
-            let _ = tx.send(DispatcherMsg::Cancel { task_id: task });
+        if let Some(conn) = st.conns.get(&worker) {
+            conn.send_cancel(worker, task);
         }
         inner.log.record(EventKind::TaskEnded {
             task,
@@ -1254,9 +1474,7 @@ mod tests {
             let _: Option<DispatcherMsg> = read_msg(&mut reader).unwrap();
             drop(writer);
         });
-        let id = d.submit(
-            JobSpec::sequential(CommandSpec::builtin("ok", vec![])).with_retries(2),
-        );
+        let id = d.submit(JobSpec::sequential(CommandSpec::builtin("ok", vec![])).with_retries(2));
         killer.join().unwrap();
         // A healthy worker picks up the requeued job.
         let w = raw_worker(d.addr(), 1);
@@ -1331,5 +1549,208 @@ mod tests {
         d.submit(JobSpec::sequential(CommandSpec::builtin("ok", vec![])));
         assert!(!d.wait_idle(Duration::from_millis(40)));
         assert_eq!(d.outstanding(), 1);
+    }
+
+    /// Speak the relay side of the handshake by hand: hello, register
+    /// `members` workers, return (writer, reader, member global ids).
+    fn raw_relay_handshake(
+        addr: SocketAddr,
+        members: usize,
+    ) -> (TcpStream, BufReader<TcpStream>, Vec<u64>) {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        write_msg(
+            &mut writer,
+            &WorkerMsg::RelayHello {
+                name: "raw-relay".into(),
+                location: "test".into(),
+            },
+        )
+        .unwrap();
+        let Some(DispatcherMsg::Registered { .. }) = read_msg(&mut reader).unwrap() else {
+            panic!("expected relay Registered ack");
+        };
+        let mut ids = Vec::with_capacity(members);
+        for local in 0..members as u64 {
+            write_msg(
+                &mut writer,
+                &WorkerMsg::RelayRegister {
+                    local,
+                    name: format!("blk-{local}"),
+                    cores: 1,
+                    location: "test".into(),
+                },
+            )
+            .unwrap();
+            match read_msg(&mut reader).unwrap() {
+                Some(DispatcherMsg::RelayRegistered {
+                    local: echoed,
+                    worker_id,
+                }) => {
+                    assert_eq!(echoed, local);
+                    ids.push(worker_id);
+                }
+                other => panic!("expected RelayRegistered, got {other:?}"),
+            }
+        }
+        (writer, reader, ids)
+    }
+
+    /// A relay fronting 4 workers runs a batch of sequential jobs over a
+    /// single inbound connection.
+    #[test]
+    fn relayed_workers_run_jobs_over_one_connection() {
+        let d = dispatcher();
+        let addr = d.addr();
+        let relay = thread::spawn(move || {
+            let (mut writer, mut reader, ids) = raw_relay_handshake(addr, 4);
+            for &w in &ids {
+                write_msg(&mut writer, &WorkerMsg::RelayRequest { worker: w }).unwrap();
+            }
+            let mut done = 0usize;
+            while done < 20 {
+                match read_msg::<DispatcherMsg>(&mut reader).unwrap() {
+                    Some(DispatcherMsg::RelayAssign { worker, assignment }) => {
+                        assert!(ids.contains(&worker), "routed to a member we own");
+                        let exit = run_assignment(&assignment);
+                        write_msg(
+                            &mut writer,
+                            &WorkerMsg::RelayDone {
+                                worker,
+                                task_id: assignment.task_id,
+                                exit_code: exit,
+                                wall_ms: 1,
+                                output: None,
+                            },
+                        )
+                        .unwrap();
+                        write_msg(&mut writer, &WorkerMsg::RelayRequest { worker }).unwrap();
+                        done += 1;
+                    }
+                    Some(DispatcherMsg::Shutdown) | None => break,
+                    other => panic!("unexpected: {other:?}"),
+                }
+            }
+            write_msg(&mut writer, &WorkerMsg::Goodbye).ok();
+            done
+        });
+        // Wait for the block to register.
+        let deadline = Instant::now() + WAIT;
+        while d.alive_workers() < 4 {
+            assert!(Instant::now() < deadline, "relayed workers never arrived");
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(d.relay_count(), 1);
+        assert_eq!(
+            d.connections_accepted(),
+            1,
+            "one socket for the whole block"
+        );
+        let ids =
+            d.submit_all((0..20).map(|_| JobSpec::sequential(CommandSpec::builtin("ok", vec![]))));
+        assert!(d.wait_idle(WAIT));
+        for id in ids {
+            assert_eq!(d.job_record(id).unwrap().status, JobStatus::Succeeded);
+        }
+        // Every registered worker is marked as relayed in the registry.
+        for w in d.workers() {
+            assert!(w.relay.is_some());
+        }
+        d.shutdown();
+        assert_eq!(relay.join().unwrap(), 20);
+    }
+
+    /// Batched liveness frames keep relayed workers alive under hang
+    /// detection; once the frames stop, the monitor declares them hung.
+    #[test]
+    fn batched_heartbeats_feed_the_liveness_path() {
+        let d = Dispatcher::start(DispatcherConfig {
+            heartbeat_timeout: Some(Duration::from_millis(250)),
+            monitor_tick: Duration::from_millis(10),
+            ..DispatcherConfig::default()
+        })
+        .unwrap();
+        let addr = d.addr();
+        let (beats_tx, beats_rx) = unbounded::<()>();
+        let relay = thread::spawn(move || {
+            let (mut writer, _reader, ids) = raw_relay_handshake(addr, 2);
+            // Batch liveness until told to stop, then keep the connection
+            // open silently so only the heartbeat path can kill them.
+            while beats_rx.recv_timeout(Duration::from_millis(50)).is_err() {
+                write_msg(
+                    &mut writer,
+                    &WorkerMsg::BatchedHeartbeat {
+                        workers: ids.clone(),
+                    },
+                )
+                .unwrap();
+            }
+            thread::sleep(Duration::from_secs(1));
+        });
+        let deadline = Instant::now() + WAIT;
+        while d.alive_workers() < 2 {
+            assert!(Instant::now() < deadline);
+            thread::sleep(Duration::from_millis(5));
+        }
+        // Well past the heartbeat timeout, the batched frames alone keep
+        // both members alive.
+        thread::sleep(Duration::from_millis(600));
+        assert_eq!(
+            d.alive_workers(),
+            2,
+            "batched frames must count as liveness"
+        );
+        // Stop the batches: the monitor declares both hung.
+        beats_tx.send(()).unwrap();
+        let deadline = Instant::now() + WAIT;
+        while d.alive_workers() != 0 {
+            assert!(
+                Instant::now() < deadline,
+                "silent members never declared hung"
+            );
+            thread::sleep(Duration::from_millis(10));
+        }
+        relay.join().unwrap();
+    }
+
+    /// A relay connection dropping takes its whole block down: the
+    /// in-flight job fails with EXIT_WORKER_LOST and the log records the
+    /// relay's lifecycle.
+    #[test]
+    fn relay_death_downs_all_members() {
+        let d = dispatcher();
+        let addr = d.addr();
+        let relay = thread::spawn(move || {
+            let (mut writer, mut reader, ids) = raw_relay_handshake(addr, 3);
+            write_msg(&mut writer, &WorkerMsg::RelayRequest { worker: ids[0] }).unwrap();
+            // Take one assignment, then die without reporting.
+            let _: Option<DispatcherMsg> = read_msg(&mut reader).unwrap();
+        });
+        let id = d.submit(JobSpec::sequential(CommandSpec::builtin("ok", vec![])));
+        relay.join().unwrap();
+        assert!(d.wait_idle(WAIT));
+        let rec = d.job_record(id).unwrap();
+        assert_eq!(rec.status, JobStatus::Failed);
+        assert!(rec.exit_codes.contains(&EXIT_WORKER_LOST));
+        let deadline = Instant::now() + WAIT;
+        while d.alive_workers() != 0 {
+            assert!(Instant::now() < deadline, "members outlived their relay");
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(d.relay_count(), 0);
+        let events = d.events().snapshot();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RelayUp { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RelayDown { .. })));
+        // All three members were declared down.
+        let downs = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::WorkerDown { .. }))
+            .count();
+        assert_eq!(downs, 3);
     }
 }

@@ -6,9 +6,18 @@
 //! nodes-available versus running-jobs timelines under fault injection
 //! (Fig. 10), and task run-time distributions (Fig. 11). See
 //! [`crate::stats`] for the derived series.
+//!
+//! ## Offline persistence
+//!
+//! [`EventLog::write_jsonl`] saves the log as one JSON object per line
+//! (a flat [`EventRecord`] per event) and [`read_jsonl`] loads it back,
+//! so every series in [`crate::stats`] can be recomputed later from a
+//! saved run — `jets events --in run.jsonl` does exactly that.
 
 use crate::spec::{JobId, TaskId, WorkerId};
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::io::{self, BufRead, Write};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -85,6 +94,17 @@ pub enum EventKind {
         /// Ranks this task hosts (1 for sequential tasks).
         ranks: u32,
     },
+    /// A relay daemon connected and was assigned an id.
+    RelayUp {
+        /// The relay (ids share the worker id space).
+        relay: WorkerId,
+    },
+    /// A relay's connection dropped; every worker it fronted is treated
+    /// as down.
+    RelayDown {
+        /// The relay.
+        relay: WorkerId,
+    },
     /// A task completed (the worker reported `Done`).
     TaskEnded {
         /// The task.
@@ -107,6 +127,238 @@ pub struct Event {
     pub t: Duration,
     /// What happened.
     pub kind: EventKind,
+}
+
+/// Flat wire form of one [`Event`] — one JSONL line.
+///
+/// Deliberately a bag of primitives (no `Duration`, no nested enums):
+/// the timestamp is microseconds since the epoch, the kind is a string
+/// tag, and every payload field is optional. This keeps each line
+/// greppable/`jq`-able and the schema stable as `EventKind` grows —
+/// unknown fields are ignored on read, absent ones default to `None`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Microseconds since the log's epoch.
+    pub t_us: u64,
+    /// Event tag: the `EventKind` variant name.
+    pub kind: String,
+    /// Worker id (worker/task events).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub worker: Option<u64>,
+    /// Relay id (relay events).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub relay: Option<u64>,
+    /// Job id (job/task events).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub job: Option<u64>,
+    /// Task id (task events).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub task: Option<u64>,
+    /// Job node count.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub nodes: Option<u32>,
+    /// Job ranks-per-node.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub ppn: Option<u32>,
+    /// Ranks hosted by a task.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub ranks: Option<u32>,
+    /// Task exit code.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub exit_code: Option<i32>,
+    /// Job success flag.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub success: Option<bool>,
+    /// Quarantine strike count.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub strikes: Option<u32>,
+    /// Quarantine release time (ms since registry epoch).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub until_ms: Option<u64>,
+}
+
+impl From<&Event> for EventRecord {
+    fn from(e: &Event) -> Self {
+        let mut r = EventRecord {
+            t_us: e.t.as_micros() as u64,
+            ..EventRecord::default()
+        };
+        match &e.kind {
+            EventKind::WorkerUp { worker } => {
+                r.kind = "WorkerUp".into();
+                r.worker = Some(*worker);
+            }
+            EventKind::WorkerDown { worker } => {
+                r.kind = "WorkerDown".into();
+                r.worker = Some(*worker);
+            }
+            EventKind::RelayUp { relay } => {
+                r.kind = "RelayUp".into();
+                r.relay = Some(*relay);
+            }
+            EventKind::RelayDown { relay } => {
+                r.kind = "RelayDown".into();
+                r.relay = Some(*relay);
+            }
+            EventKind::JobSubmitted { job, nodes, ppn } => {
+                r.kind = "JobSubmitted".into();
+                r.job = Some(*job);
+                r.nodes = Some(*nodes);
+                r.ppn = Some(*ppn);
+            }
+            EventKind::JobStarted { job, nodes, ppn } => {
+                r.kind = "JobStarted".into();
+                r.job = Some(*job);
+                r.nodes = Some(*nodes);
+                r.ppn = Some(*ppn);
+            }
+            EventKind::JobCompleted {
+                job,
+                nodes,
+                ppn,
+                success,
+            } => {
+                r.kind = "JobCompleted".into();
+                r.job = Some(*job);
+                r.nodes = Some(*nodes);
+                r.ppn = Some(*ppn);
+                r.success = Some(*success);
+            }
+            EventKind::JobRequeued { job } => {
+                r.kind = "JobRequeued".into();
+                r.job = Some(*job);
+            }
+            EventKind::DeadlineExceeded { job } => {
+                r.kind = "DeadlineExceeded".into();
+                r.job = Some(*job);
+            }
+            EventKind::WorkerQuarantined {
+                worker,
+                strikes,
+                until_ms,
+            } => {
+                r.kind = "WorkerQuarantined".into();
+                r.worker = Some(*worker);
+                r.strikes = Some(*strikes);
+                r.until_ms = Some(*until_ms);
+            }
+            EventKind::TaskStarted {
+                task,
+                job,
+                worker,
+                ranks,
+            } => {
+                r.kind = "TaskStarted".into();
+                r.task = Some(*task);
+                r.job = Some(*job);
+                r.worker = Some(*worker);
+                r.ranks = Some(*ranks);
+            }
+            EventKind::TaskEnded {
+                task,
+                job,
+                worker,
+                ranks,
+                exit_code,
+            } => {
+                r.kind = "TaskEnded".into();
+                r.task = Some(*task);
+                r.job = Some(*job);
+                r.worker = Some(*worker);
+                r.ranks = Some(*ranks);
+                r.exit_code = Some(*exit_code);
+            }
+        }
+        r
+    }
+}
+
+impl EventRecord {
+    /// Reconstruct the in-memory [`Event`]. Fails with `InvalidData` on
+    /// an unknown tag or a missing payload field.
+    pub fn into_event(self) -> io::Result<Event> {
+        let missing = || io::Error::new(io::ErrorKind::InvalidData, "event record missing field");
+        let kind = match self.kind.as_str() {
+            "WorkerUp" => EventKind::WorkerUp {
+                worker: self.worker.ok_or_else(missing)?,
+            },
+            "WorkerDown" => EventKind::WorkerDown {
+                worker: self.worker.ok_or_else(missing)?,
+            },
+            "RelayUp" => EventKind::RelayUp {
+                relay: self.relay.ok_or_else(missing)?,
+            },
+            "RelayDown" => EventKind::RelayDown {
+                relay: self.relay.ok_or_else(missing)?,
+            },
+            "JobSubmitted" => EventKind::JobSubmitted {
+                job: self.job.ok_or_else(missing)?,
+                nodes: self.nodes.ok_or_else(missing)?,
+                ppn: self.ppn.ok_or_else(missing)?,
+            },
+            "JobStarted" => EventKind::JobStarted {
+                job: self.job.ok_or_else(missing)?,
+                nodes: self.nodes.ok_or_else(missing)?,
+                ppn: self.ppn.ok_or_else(missing)?,
+            },
+            "JobCompleted" => EventKind::JobCompleted {
+                job: self.job.ok_or_else(missing)?,
+                nodes: self.nodes.ok_or_else(missing)?,
+                ppn: self.ppn.ok_or_else(missing)?,
+                success: self.success.ok_or_else(missing)?,
+            },
+            "JobRequeued" => EventKind::JobRequeued {
+                job: self.job.ok_or_else(missing)?,
+            },
+            "DeadlineExceeded" => EventKind::DeadlineExceeded {
+                job: self.job.ok_or_else(missing)?,
+            },
+            "WorkerQuarantined" => EventKind::WorkerQuarantined {
+                worker: self.worker.ok_or_else(missing)?,
+                strikes: self.strikes.ok_or_else(missing)?,
+                until_ms: self.until_ms.ok_or_else(missing)?,
+            },
+            "TaskStarted" => EventKind::TaskStarted {
+                task: self.task.ok_or_else(missing)?,
+                job: self.job.ok_or_else(missing)?,
+                worker: self.worker.ok_or_else(missing)?,
+                ranks: self.ranks.ok_or_else(missing)?,
+            },
+            "TaskEnded" => EventKind::TaskEnded {
+                task: self.task.ok_or_else(missing)?,
+                job: self.job.ok_or_else(missing)?,
+                worker: self.worker.ok_or_else(missing)?,
+                ranks: self.ranks.ok_or_else(missing)?,
+                exit_code: self.exit_code.ok_or_else(missing)?,
+            },
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown event kind {other:?}"),
+                ))
+            }
+        };
+        Ok(Event {
+            t: Duration::from_micros(self.t_us),
+            kind,
+        })
+    }
+}
+
+/// Load a JSONL event stream written by [`EventLog::write_jsonl`].
+/// Blank lines are skipped; a malformed line fails the whole load.
+pub fn read_jsonl(reader: impl BufRead) -> io::Result<Vec<Event>> {
+    let mut events = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: EventRecord = serde_json::from_str(&line)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        events.push(rec.into_event()?);
+    }
+    Ok(events)
 }
 
 /// Shared, thread-safe, append-only event log.
@@ -167,6 +419,20 @@ impl EventLog {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Persist the log as JSONL: one flat [`EventRecord`] object per
+    /// line, in recording order. The result round-trips through
+    /// [`read_jsonl`] so every [`crate::stats`] series can be recomputed
+    /// offline.
+    pub fn write_jsonl(&self, writer: &mut impl Write) -> io::Result<()> {
+        for event in self.snapshot() {
+            let rec = EventRecord::from(&event);
+            let line = serde_json::to_string(&rec).map_err(io::Error::other)?;
+            writer.write_all(line.as_bytes())?;
+            writer.write_all(b"\n")?;
+        }
+        writer.flush()
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +459,114 @@ mod tests {
         log2.record(EventKind::JobRequeued { job: 3 });
         assert_eq!(log.len(), 1);
         assert_eq!(log.epoch(), log2.epoch());
+    }
+
+    /// Every `EventKind` variant must survive the JSONL round trip with
+    /// its timestamp (at microsecond resolution) and payload intact.
+    #[test]
+    fn jsonl_round_trips_every_kind() {
+        let log = EventLog::new();
+        log.record(EventKind::WorkerUp { worker: 1 });
+        log.record(EventKind::RelayUp { relay: 7 });
+        log.record(EventKind::JobSubmitted {
+            job: 2,
+            nodes: 4,
+            ppn: 2,
+        });
+        log.record(EventKind::JobStarted {
+            job: 2,
+            nodes: 4,
+            ppn: 2,
+        });
+        log.record(EventKind::TaskStarted {
+            task: 3,
+            job: 2,
+            worker: 1,
+            ranks: 2,
+        });
+        log.record(EventKind::TaskEnded {
+            task: 3,
+            job: 2,
+            worker: 1,
+            ranks: 2,
+            exit_code: -125,
+        });
+        log.record(EventKind::JobCompleted {
+            job: 2,
+            nodes: 4,
+            ppn: 2,
+            success: false,
+        });
+        log.record(EventKind::JobRequeued { job: 2 });
+        log.record(EventKind::DeadlineExceeded { job: 2 });
+        log.record(EventKind::WorkerQuarantined {
+            worker: 1,
+            strikes: 3,
+            until_ms: 99,
+        });
+        log.record(EventKind::RelayDown { relay: 7 });
+        log.record(EventKind::WorkerDown { worker: 1 });
+
+        let mut buf = Vec::new();
+        log.write_jsonl(&mut buf).unwrap();
+        assert_eq!(buf.iter().filter(|&&b| b == b'\n').count(), log.len());
+
+        let back = read_jsonl(std::io::BufReader::new(&buf[..])).unwrap();
+        let original = log.snapshot();
+        assert_eq!(back.len(), original.len());
+        for (b, o) in back.iter().zip(&original) {
+            assert_eq!(b.kind, o.kind);
+            assert_eq!(b.t.as_micros(), o.t.as_micros());
+        }
+    }
+
+    /// Saved logs must feed the stats module unchanged: the recomputed
+    /// series from a reloaded log match the in-memory ones.
+    #[test]
+    fn reloaded_log_recomputes_stats() {
+        let log = EventLog::new();
+        log.record(EventKind::WorkerUp { worker: 1 });
+        log.record(EventKind::TaskStarted {
+            task: 1,
+            job: 1,
+            worker: 1,
+            ranks: 4,
+        });
+        thread::sleep(Duration::from_millis(5));
+        log.record(EventKind::TaskEnded {
+            task: 1,
+            job: 1,
+            worker: 1,
+            ranks: 4,
+            exit_code: 0,
+        });
+        let mut buf = Vec::new();
+        log.write_jsonl(&mut buf).unwrap();
+        let back = read_jsonl(std::io::BufReader::new(&buf[..])).unwrap();
+        let live = crate::stats::measured_utilization(&log.snapshot(), 4);
+        let offline = crate::stats::measured_utilization(&back, 4);
+        assert!((live - offline).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage_and_unknown_kinds() {
+        let err = read_jsonl(std::io::BufReader::new(&b"not json\n"[..])).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let rec = EventRecord {
+            kind: "NoSuchKind".into(),
+            ..EventRecord::default()
+        };
+        assert!(rec.into_event().is_err());
+        // A known kind with a missing payload field is also rejected.
+        let rec = EventRecord {
+            kind: "WorkerUp".into(),
+            ..EventRecord::default()
+        };
+        assert!(rec.into_event().is_err());
+        // Blank lines are tolerated.
+        assert!(read_jsonl(std::io::BufReader::new(&b"\n  \n"[..]))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -100,7 +100,10 @@ pub fn select_group(
             // Count candidates per location, preserving FCFS inside each.
             let mut by_location: HashMap<&str, Vec<usize>> = HashMap::new();
             for (idx, c) in ready.iter().enumerate() {
-                by_location.entry(c.location.as_str()).or_default().push(idx);
+                by_location
+                    .entry(c.location.as_str())
+                    .or_default()
+                    .push(idx);
             }
             // Among locations that can host the whole group, pick the one
             // whose oldest candidate has waited longest (keeps FCFS
@@ -108,9 +111,7 @@ pub fn select_group(
             // the first index.
             let mut best: Option<&Vec<usize>> = None;
             for indices in by_location.values() {
-                if indices.len() >= need
-                    && best.is_none_or(|b| indices[0] < b[0])
-                {
+                if indices.len() >= need && best.is_none_or(|b| indices[0] < b[0]) {
                     best = Some(indices);
                 }
             }
@@ -257,7 +258,10 @@ mod tests {
     #[test]
     fn fcfs_takes_the_oldest() {
         let ready = cands(&[(1, "a"), (2, "b"), (3, "a")]);
-        assert_eq!(select_group(GroupingPolicy::Fcfs, &ready, 2), Some(vec![0, 1]));
+        assert_eq!(
+            select_group(GroupingPolicy::Fcfs, &ready, 2),
+            Some(vec![0, 1])
+        );
     }
 
     #[test]

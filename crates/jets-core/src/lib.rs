@@ -49,7 +49,7 @@ pub mod spec;
 pub mod stats;
 
 pub use dispatcher::{Dispatcher, DispatcherConfig, JobRecord, JobStatus};
-pub use events::{Event, EventKind, EventLog};
+pub use events::{read_jsonl, Event, EventKind, EventLog, EventRecord};
 pub use group::GroupingPolicy;
 pub use protocol::{DispatcherMsg, TaskAssignment, TaskKind, WorkerMsg};
 pub use queue::QueuePolicy;

@@ -59,6 +59,69 @@ pub enum WorkerMsg {
     Heartbeat,
     /// Orderly sign-off (allocation expiring).
     Goodbye,
+    /// First message on a **relay** connection: this peer is not a worker
+    /// but a relay daemon fronting a block of workers (`jets-relay`). The
+    /// dispatcher replies with [`DispatcherMsg::Registered`] carrying the
+    /// relay's own id, then expects only relay-scoped frames
+    /// (`RelayRegister` / `RelayRequest` / `RelayDone` /
+    /// `BatchedHeartbeat` / `RelayWorkerGone`) on this connection.
+    RelayHello {
+        /// Human-readable relay name (diagnostics only).
+        name: String,
+        /// Location label the relay fronts (cluster/rack).
+        location: String,
+    },
+    /// A worker registered at the relay; the relay forwards the
+    /// registration upstream. `local` is the relay's own handle for the
+    /// worker — the dispatcher echoes it back in
+    /// [`DispatcherMsg::RelayRegistered`] together with the global
+    /// [`WorkerId`](crate::spec) it assigned, so the relay can fill its
+    /// routing table.
+    RelayRegister {
+        /// Relay-local worker handle (unique per relay lifetime).
+        local: u64,
+        /// Worker name, as in [`WorkerMsg::Register`].
+        name: String,
+        /// Cores the node offers.
+        cores: u32,
+        /// Network location label.
+        location: String,
+    },
+    /// Routed envelope for a relayed worker's `Request`.
+    RelayRequest {
+        /// Dispatcher-assigned id of the requesting worker.
+        worker: u64,
+    },
+    /// Routed envelope for a relayed worker's `Done`.
+    RelayDone {
+        /// Dispatcher-assigned id of the reporting worker.
+        worker: u64,
+        /// Which task.
+        task_id: TaskId,
+        /// Process (or builtin) exit code; 0 is success.
+        exit_code: i32,
+        /// Wall time of the execution in milliseconds.
+        wall_ms: u64,
+        /// Captured standard output (tail).
+        #[serde(default)]
+        output: Option<String>,
+    },
+    /// Coalesced liveness for a relay's whole block: one periodic frame
+    /// replaces per-worker `Heartbeat` traffic upstream. Each listed
+    /// worker was heard from recently at the relay; the dispatcher feeds
+    /// every id into the same lock-free AtomicU64 liveness path a direct
+    /// heartbeat takes.
+    BatchedHeartbeat {
+        /// Dispatcher-assigned ids of workers the relay vouches for.
+        workers: Vec<u64>,
+    },
+    /// A relayed worker disconnected from its relay (death or partition).
+    /// The dispatcher treats this exactly like a direct worker's EOF:
+    /// `handle_worker_down`, gang cancellation for its in-flight task.
+    RelayWorkerGone {
+        /// Dispatcher-assigned id of the departed worker.
+        worker: u64,
+    },
 }
 
 /// Messages the dispatcher sends to a worker.
@@ -83,6 +146,32 @@ pub enum DispatcherMsg {
     },
     /// No more work will come; the worker should exit.
     Shutdown,
+    /// Ack of a [`WorkerMsg::RelayRegister`]: the dispatcher assigned
+    /// `worker_id` to the relay-local worker `local`. The relay records
+    /// the `local ↔ worker_id` mapping and forwards a plain
+    /// [`DispatcherMsg::Registered`] downstream.
+    RelayRegistered {
+        /// The relay-local handle echoed from the registration.
+        local: u64,
+        /// The dispatcher-assigned global worker id.
+        worker_id: u64,
+    },
+    /// Routed envelope for an `Assign` to a relayed worker: the relay
+    /// unwraps it and delivers a plain [`DispatcherMsg::Assign`] to the
+    /// addressed worker.
+    RelayAssign {
+        /// Dispatcher-assigned id of the target worker.
+        worker: u64,
+        /// The assignment itself.
+        assignment: TaskAssignment,
+    },
+    /// Routed envelope for a `Cancel` to a relayed worker.
+    RelayCancel {
+        /// Dispatcher-assigned id of the target worker.
+        worker: u64,
+        /// The task to kill.
+        task_id: TaskId,
+    },
 }
 
 /// Synthetic exit code the dispatcher records when a worker dies (EOF,
@@ -177,7 +266,10 @@ pub fn write_msg_buf<M: Serialize>(
     if buf.len() > MAX_FRAME_BYTES {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("outgoing frame of {} bytes exceeds MAX_FRAME_BYTES", buf.len()),
+            format!(
+                "outgoing frame of {} bytes exceeds MAX_FRAME_BYTES",
+                buf.len()
+            ),
         ));
     }
     writer.write_all(buf)
@@ -245,6 +337,12 @@ impl<W: Write> MsgWriter<W> {
     /// Access the underlying writer (e.g. to shut a socket down).
     pub fn get_ref(&self) -> &W {
         &self.inner
+    }
+
+    /// Mutable access to the underlying writer (e.g. to drain a sink
+    /// between benchmark iterations).
+    pub fn get_mut(&mut self) -> &mut W {
+        &mut self.inner
     }
 }
 
@@ -319,6 +417,70 @@ mod tests {
             },
             stage: vec![StageFile::new("/gpfs/apps/namd2")],
         }));
+    }
+
+    #[test]
+    fn relay_worker_messages_round_trip() {
+        round_trip(WorkerMsg::RelayHello {
+            name: "relay-0".into(),
+            location: "rack-3".into(),
+        });
+        round_trip(WorkerMsg::RelayRegister {
+            local: 3,
+            name: "node-0003".into(),
+            cores: 4,
+            location: "rack-3".into(),
+        });
+        round_trip(WorkerMsg::RelayRequest { worker: 12 });
+        round_trip(WorkerMsg::RelayDone {
+            worker: 12,
+            task_id: 42,
+            exit_code: 0,
+            wall_ms: 99,
+            output: Some("tail".into()),
+        });
+        round_trip(WorkerMsg::BatchedHeartbeat {
+            workers: vec![3, 5, 8, 13],
+        });
+        round_trip(WorkerMsg::BatchedHeartbeat { workers: vec![] });
+        round_trip(WorkerMsg::RelayWorkerGone { worker: 8 });
+    }
+
+    #[test]
+    fn relay_dispatcher_messages_round_trip() {
+        round_trip(DispatcherMsg::RelayRegistered {
+            local: 3,
+            worker_id: 12,
+        });
+        round_trip(DispatcherMsg::RelayCancel {
+            worker: 12,
+            task_id: 42,
+        });
+        round_trip(DispatcherMsg::RelayAssign {
+            worker: 12,
+            assignment: TaskAssignment {
+                task_id: 1,
+                job_id: 2,
+                kind: TaskKind::Sequential {
+                    cmd: CommandSpec::builtin("noop", vec![]),
+                },
+                stage: Vec::new(),
+            },
+        });
+    }
+
+    /// A batched frame for a big block must still be one line well under
+    /// the frame cap (the whole point of coalescing).
+    #[test]
+    fn batched_heartbeat_scales_within_frame_cap() {
+        let msg = WorkerMsg::BatchedHeartbeat {
+            workers: (0..4096u64).collect(),
+        };
+        let mut wire = Vec::new();
+        write_msg(&mut wire, &msg).unwrap();
+        assert!(wire.len() < MAX_FRAME_BYTES / 16);
+        let got: WorkerMsg = read_msg(&mut BufReader::new(&wire[..])).unwrap().unwrap();
+        assert_eq!(got, msg);
     }
 
     #[test]
@@ -399,7 +561,10 @@ mod tests {
                 WorkerMsg::Done { task_id, .. } => assert_eq!(task_id, i),
                 other => panic!("unexpected: {other:?}"),
             }
-            assert_eq!(r.recv::<WorkerMsg>().unwrap().unwrap(), WorkerMsg::Heartbeat);
+            assert_eq!(
+                r.recv::<WorkerMsg>().unwrap().unwrap(),
+                WorkerMsg::Heartbeat
+            );
         }
         assert!(r.recv::<WorkerMsg>().unwrap().is_none());
     }
@@ -413,8 +578,7 @@ mod tests {
         let err = read_msg::<WorkerMsg>(&mut BufReader::new(&wire[..])).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         let mut line = String::new();
-        let err = read_msg_buf::<WorkerMsg>(&mut BufReader::new(&wire[..]), &mut line)
-            .unwrap_err();
+        let err = read_msg_buf::<WorkerMsg>(&mut BufReader::new(&wire[..]), &mut line).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 

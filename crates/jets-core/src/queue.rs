@@ -158,8 +158,7 @@ mod tests {
     fn job(id: JobId, nodes: u32, priority: i32) -> QueuedJob {
         QueuedJob {
             id,
-            spec: JobSpec::mpi(nodes, CommandSpec::builtin("x", vec![]))
-                .with_priority(priority),
+            spec: JobSpec::mpi(nodes, CommandSpec::builtin("x", vec![])).with_priority(priority),
             attempts: 0,
             excluded: Vec::new(),
         }

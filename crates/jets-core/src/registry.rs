@@ -134,6 +134,10 @@ pub struct WorkerInfo {
     pub liveness: HeartbeatHandle,
     /// Completed task count.
     pub tasks_done: u64,
+    /// The relay this worker registered through (`None` for a direct
+    /// connection). Relayed workers share their relay's TCP connection;
+    /// their liveness arrives in `BatchedHeartbeat` frames.
+    pub relay: Option<WorkerId>,
 }
 
 /// The set of known workers.
@@ -190,6 +194,19 @@ impl Registry {
         cores: u32,
         location: String,
     ) -> HeartbeatHandle {
+        self.insert_via(id, name, cores, location, None)
+    }
+
+    /// [`Registry::insert`], recording the relay the worker registered
+    /// through (`None` for a direct connection).
+    pub fn insert_via(
+        &mut self,
+        id: WorkerId,
+        name: String,
+        cores: u32,
+        location: String,
+        relay: Option<WorkerId>,
+    ) -> HeartbeatHandle {
         let loc = self.locations.intern(&location);
         let liveness = HeartbeatHandle::new(self.epoch);
         let state = self.admission_state(&name);
@@ -204,9 +221,19 @@ impl Registry {
                 state,
                 liveness: liveness.clone(),
                 tasks_done: 0,
+                relay,
             },
         );
         liveness
+    }
+
+    /// Ids of live workers registered through `relay`.
+    pub fn relayed_by(&self, relay: WorkerId) -> Vec<WorkerId> {
+        self.workers
+            .values()
+            .filter(|w| w.relay == Some(relay) && w.state != WorkerState::Dead)
+            .map(|w| w.id)
+            .collect()
     }
 
     /// Decide a (re-)registering name's initial state under the
@@ -482,7 +509,11 @@ mod tests {
         assert_eq!(r.record_fault(1), Some(1));
         r.mark_dead(1);
         r.insert(2, "flaky".into(), 1, "rack-0".into());
-        assert_eq!(r.get(2).unwrap().state, WorkerState::Idle, "one strike is tolerated");
+        assert_eq!(
+            r.get(2).unwrap().state,
+            WorkerState::Idle,
+            "one strike is tolerated"
+        );
         r.mark_busy(2, 10);
         assert_eq!(r.record_fault(2), Some(2));
         r.mark_dead(2);
@@ -529,6 +560,24 @@ mod tests {
         r.insert(2, "w1".into(), 4, "rack-0".into());
         assert_eq!(r.get(2).unwrap().state, WorkerState::Idle);
         assert!(r.release_expired().is_empty());
+    }
+
+    #[test]
+    fn relayed_workers_are_tracked_per_relay() {
+        let mut r = Registry::new();
+        r.insert(1, "direct".into(), 4, "rack-0".into());
+        r.insert_via(2, "a".into(), 4, "rack-0".into(), Some(100));
+        r.insert_via(3, "b".into(), 4, "rack-0".into(), Some(100));
+        r.insert_via(4, "c".into(), 4, "rack-0".into(), Some(200));
+        assert_eq!(r.get(1).unwrap().relay, None);
+        assert_eq!(r.get(2).unwrap().relay, Some(100));
+        let mut via_100 = r.relayed_by(100);
+        via_100.sort_unstable();
+        assert_eq!(via_100, vec![2, 3]);
+        r.mark_dead(3);
+        assert_eq!(r.relayed_by(100), vec![2]);
+        assert_eq!(r.relayed_by(200), vec![4]);
+        assert!(r.relayed_by(999).is_empty());
     }
 
     #[test]

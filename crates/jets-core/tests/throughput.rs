@@ -73,9 +73,8 @@ fn loopback_many_workers_many_short_jobs() {
     const JOBS: usize = 400;
     let d = Dispatcher::start(DispatcherConfig::default()).unwrap();
     let handles: Vec<_> = (0..WORKERS).map(|_| worker(d.addr())).collect();
-    let ids = d.submit_all(
-        (0..JOBS).map(|_| JobSpec::sequential(CommandSpec::builtin("ok", vec![]))),
-    );
+    let ids =
+        d.submit_all((0..JOBS).map(|_| JobSpec::sequential(CommandSpec::builtin("ok", vec![]))));
     assert!(d.wait_idle(WAIT), "jobs did not drain");
     for id in ids {
         assert_eq!(d.job_record(id).unwrap().status, JobStatus::Succeeded);
@@ -95,13 +94,15 @@ fn request_burst_before_submission_is_fully_absorbed() {
     // Wait for all workers to register and park their first Request.
     let deadline = std::time::Instant::now() + WAIT;
     while d.alive_workers() < WORKERS {
-        assert!(std::time::Instant::now() < deadline, "workers never arrived");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "workers never arrived"
+        );
         thread::sleep(Duration::from_millis(5));
     }
     thread::sleep(Duration::from_millis(50));
-    let ids = d.submit_all(
-        (0..WORKERS).map(|_| JobSpec::sequential(CommandSpec::builtin("ok", vec![]))),
-    );
+    let ids =
+        d.submit_all((0..WORKERS).map(|_| JobSpec::sequential(CommandSpec::builtin("ok", vec![]))));
     assert!(d.wait_idle(WAIT));
     for id in ids {
         assert_eq!(d.job_record(id).unwrap().status, JobStatus::Succeeded);
@@ -156,10 +157,12 @@ fn heartbeat_flood_does_not_stall_scheduling() {
         .collect();
 
     let handles: Vec<_> = (0..WORKERS).map(|_| worker(d.addr())).collect();
-    let ids = d.submit_all(
-        (0..JOBS).map(|_| JobSpec::sequential(CommandSpec::builtin("ok", vec![]))),
+    let ids =
+        d.submit_all((0..JOBS).map(|_| JobSpec::sequential(CommandSpec::builtin("ok", vec![]))));
+    assert!(
+        d.wait_idle(WAIT),
+        "scheduling stalled under heartbeat flood"
     );
-    assert!(d.wait_idle(WAIT), "scheduling stalled under heartbeat flood");
     for id in ids {
         assert_eq!(d.job_record(id).unwrap().status, JobStatus::Succeeded);
     }
@@ -184,7 +187,8 @@ fn oversized_frame_drops_connection_not_dispatcher() {
     let _ = evil.write_all(&blob);
     let _ = evil.flush();
     // The server must hang up (EOF or reset) instead of accumulating.
-    evil.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    evil.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
     let mut sink = [0u8; 64];
     match evil.read(&mut sink) {
         Ok(0) | Err(_) => {}

@@ -40,7 +40,9 @@ impl Communicator {
         self.check_live()?;
         let size = self.size();
         if root >= size {
-            return Err(MpiError::Protocol(format!("bcast root {root} out of range")));
+            return Err(MpiError::Protocol(format!(
+                "bcast root {root} out of range"
+            )));
         }
         let tag = self.next_collective_tag();
         if size == 1 {
@@ -65,7 +67,11 @@ impl Communicator {
         };
 
         // ...then forward to children below our lowest set bit.
-        let lowest = if vrank == 0 { next_pow2(size) } else { vrank & vrank.wrapping_neg() };
+        let lowest = if vrank == 0 {
+            next_pow2(size)
+        } else {
+            vrank & vrank.wrapping_neg()
+        };
         let mut mask = lowest >> 1;
         while mask > 0 {
             let vchild = vrank | mask;
@@ -147,7 +153,11 @@ impl Communicator {
     }
 
     /// Scalar convenience wrapper over [`Communicator::allreduce`].
-    pub fn allreduce_scalar<T: MpiReduce>(&mut self, value: T, op: ReduceOp) -> Result<T, MpiError> {
+    pub fn allreduce_scalar<T: MpiReduce>(
+        &mut self,
+        value: T,
+        op: ReduceOp,
+    ) -> Result<T, MpiError> {
         let v = self.allreduce(&[value], op)?;
         v.into_iter()
             .next()
@@ -218,9 +228,8 @@ impl Communicator {
         }
         let tag = self.next_collective_tag();
         if self.rank() == root {
-            let data = data.ok_or_else(|| {
-                MpiError::Protocol("scatter root must supply data".to_string())
-            })?;
+            let data = data
+                .ok_or_else(|| MpiError::Protocol("scatter root must supply data".to_string()))?;
             if data.len() % size as usize != 0 {
                 return Err(MpiError::Protocol(format!(
                     "scatter length {} not divisible by {size}",

@@ -45,8 +45,8 @@ pub mod datatype;
 pub mod error;
 pub mod mem;
 pub mod mpiio;
-pub mod nonblocking;
 pub mod netmodel;
+pub mod nonblocking;
 pub mod runner;
 pub mod tcp;
 pub mod transport;
@@ -56,6 +56,6 @@ pub use datatype::{MpiData, ReduceOp};
 pub use error::MpiError;
 pub use mem::MemFabric;
 pub use mpiio::CollectiveFile;
-pub use nonblocking::{RecvRequest, SendRequest};
 pub use netmodel::NetModel;
+pub use nonblocking::{RecvRequest, SendRequest};
 pub use transport::{Frame, Transport};

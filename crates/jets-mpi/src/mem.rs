@@ -79,9 +79,9 @@ impl Transport for MemEndpoint {
         match self.incoming.recv_timeout(timeout) {
             Ok(frame) => Ok(Some(frame)),
             Err(RecvTimeoutError::Timeout) => Ok(None),
-            Err(RecvTimeoutError::Disconnected) => Err(MpiError::Protocol(
-                "all fabric senders dropped".to_string(),
-            )),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(MpiError::Protocol("all fabric senders dropped".to_string()))
+            }
         }
     }
 

@@ -142,7 +142,7 @@ mod tests {
                     Err(req) => req,
                 };
                 comm.barrier().unwrap(); // now rank 1 sends
-                // Eventually the poll succeeds.
+                                         // Eventually the poll succeeds.
                 let mut req = req;
                 let data = loop {
                     match req.test::<u8>(comm).unwrap() {

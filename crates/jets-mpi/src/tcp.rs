@@ -348,7 +348,11 @@ mod tests {
             } else {
                 let f = t.recv(timeout).unwrap().unwrap();
                 assert_eq!(f.payload.len(), 1_000_000);
-                assert!(f.payload.iter().enumerate().all(|(i, &b)| b == (i % 251) as u8));
+                assert!(f
+                    .payload
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &b)| b == (i % 251) as u8));
             }
         });
         assert_eq!(outcome, jets_pmi::JobOutcome::Success);

@@ -74,7 +74,9 @@ impl PmiClient {
         })?;
         match client.recv()? {
             Message::InitAck => Ok(client),
-            other => Err(PmiError::Protocol(format!("expected init_ack, got {other:?}"))),
+            other => Err(PmiError::Protocol(format!(
+                "expected init_ack, got {other:?}"
+            ))),
         }
     }
 
@@ -88,9 +90,8 @@ impl PmiClient {
     /// in-process (thread-rank) tasks use: their "environment" is the task
     /// assignment's env map rather than the process environment.
     pub fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> Result<PmiClient, PmiError> {
-        let var = |k: &str| {
-            lookup(k).ok_or_else(|| PmiError::BadEnvironment(format!("{k} not set")))
-        };
+        let var =
+            |k: &str| lookup(k).ok_or_else(|| PmiError::BadEnvironment(format!("{k} not set")));
         let parse = |k: &str| -> Result<u32, PmiError> {
             var(k)?
                 .parse()
@@ -126,7 +127,9 @@ impl PmiClient {
         })?;
         match self.recv()? {
             Message::PutAck => Ok(()),
-            other => Err(PmiError::Protocol(format!("expected put_ack, got {other:?}"))),
+            other => Err(PmiError::Protocol(format!(
+                "expected put_ack, got {other:?}"
+            ))),
         }
     }
 
@@ -138,7 +141,9 @@ impl PmiClient {
         match self.recv()? {
             Message::GetAck { value } => Ok(Some(value)),
             Message::GetFail { .. } => Ok(None),
-            other => Err(PmiError::Protocol(format!("expected get_ack, got {other:?}"))),
+            other => Err(PmiError::Protocol(format!(
+                "expected get_ack, got {other:?}"
+            ))),
         }
     }
 
@@ -205,10 +210,9 @@ mod tests {
             (ENV_ADDR, addr),
             (ENV_JOBID, "envjob".to_string()),
         ];
-        let mut client = PmiClient::from_lookup(|k| {
-            env.iter().find(|(n, _)| *n == k).map(|(_, v)| v.clone())
-        })
-        .unwrap();
+        let mut client =
+            PmiClient::from_lookup(|k| env.iter().find(|(n, _)| *n == k).map(|(_, v)| v.clone()))
+                .unwrap();
         assert_eq!(client.rank(), 0);
         assert_eq!(client.size(), 1);
         assert_eq!(client.jobid(), "envjob");

@@ -192,10 +192,7 @@ mod tests {
     #[test]
     fn fence_times_out_when_peers_never_arrive() {
         let kvs = KeyValueSpace::new(2);
-        assert_eq!(
-            kvs.fence(Duration::from_millis(20)),
-            FenceResult::TimedOut
-        );
+        assert_eq!(kvs.fence(Duration::from_millis(20)), FenceResult::TimedOut);
         // After the timeout the withdrawn arrival must not poison a later
         // successful fence.
         let k = kvs.clone();

@@ -153,8 +153,7 @@ mod tests {
 
     #[test]
     fn env_for_rank_is_complete() {
-        let cmds =
-            ManualLauncher.proxy_commands("j2", RankLayout { nodes: 2, ppn: 2 }, "h:1");
+        let cmds = ManualLauncher.proxy_commands("j2", RankLayout { nodes: 2, ppn: 2 }, "h:1");
         let env = cmds[1].env_for_rank(3);
         let get = |k: &str| {
             env.iter()
@@ -171,8 +170,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "not hosted")]
     fn env_for_foreign_rank_panics() {
-        let cmds =
-            ManualLauncher.proxy_commands("j", RankLayout { nodes: 2, ppn: 1 }, "h:1");
+        let cmds = ManualLauncher.proxy_commands("j", RankLayout { nodes: 2, ppn: 1 }, "h:1");
         cmds[0].env_for_rank(1);
     }
 }

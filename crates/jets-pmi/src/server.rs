@@ -81,10 +81,7 @@ impl Shared {
     }
 
     fn aborted(&self) -> bool {
-        matches!(
-            self.completion.lock().outcome,
-            Some(JobOutcome::Aborted(_))
-        )
+        matches!(self.completion.lock().outcome, Some(JobOutcome::Aborted(_)))
     }
 }
 

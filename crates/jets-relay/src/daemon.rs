@@ -1,0 +1,992 @@
+//! The relay daemon: one upstream dispatcher connection fronting a
+//! block of downstream workers.
+//!
+//! ## Thread anatomy
+//!
+//! * **accept loop** — takes worker connections on the relay's listen
+//!   socket and spawns one `serve_member` reader per worker (plus a
+//!   writer thread per worker, channel → socket, exactly like the
+//!   dispatcher's).
+//! * **upstream pump** — owns the dispatcher connection: connects (with
+//!   the PR 2 reconnect/backoff machinery), says `RelayHello`,
+//!   re-registers every member, then drains the upstream frame queue.
+//!   The queue doubles as the outage buffer: frames enqueued while the
+//!   dispatcher is away are replayed into the next session.
+//! * **upstream reader** — one per session; routes `RelayRegistered`
+//!   acks into the local↔global tables and unwraps routed
+//!   `RelayAssign`/`RelayCancel` envelopes to the addressed member.
+//! * **liveness ticker** — every `liveness_flush`, queues a `Flush`
+//!   frame; the pump turns it into one `BatchedHeartbeat` covering all
+//!   recently-heard members.
+//!
+//! ## Locking
+//!
+//! One mutex guards the member tables. Member heartbeats do **not**
+//! take it — each member's last-heard clock is a relay-local
+//! `AtomicU64`, mirroring the dispatcher's lock-free liveness path — so
+//! a heartbeat storm from the block costs the relay N relaxed stores
+//! and the dispatcher one frame per flush period.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use jets_core::protocol::{DispatcherMsg, MsgReader, MsgWriter, WorkerMsg};
+use jets_core::spec::{JobId, TaskId, WorkerId};
+use jets_worker::ReconnectPolicy;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::io::{self, BufReader};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Stack size for relay service threads.
+const CONN_STACK: usize = 192 * 1024;
+
+/// Tuning knobs for one relay daemon.
+#[derive(Debug, Clone)]
+pub struct RelayConfig {
+    /// Worker-facing listen address; use port 0 for an ephemeral port.
+    pub listen_addr: String,
+    /// The dispatcher to front for.
+    pub dispatcher_addr: String,
+    /// Relay name (diagnostics; travels in `RelayHello`).
+    pub name: String,
+    /// Location label reported upstream for the relay itself.
+    pub location: String,
+    /// Period of the batched liveness frame. Every flush, one
+    /// `BatchedHeartbeat` vouches for all recently-heard members.
+    pub liveness_flush: Duration,
+    /// A member not heard from for longer than this drops out of the
+    /// batched frames (the dispatcher's hang detection then applies to
+    /// it exactly as to a silent direct worker).
+    pub worker_stale_after: Duration,
+    /// Reconnect-with-backoff policy for the upstream connection — the
+    /// same machinery a worker agent uses toward the dispatcher. When
+    /// attempts are exhausted the relay gives up and severs its block.
+    pub reconnect: ReconnectPolicy,
+}
+
+impl RelayConfig {
+    /// A relay for `dispatcher_addr` on an ephemeral local port.
+    pub fn new(dispatcher_addr: impl Into<String>, name: impl Into<String>) -> Self {
+        RelayConfig {
+            listen_addr: "127.0.0.1:0".to_string(),
+            dispatcher_addr: dispatcher_addr.into(),
+            name: name.into(),
+            location: "relay".to_string(),
+            liveness_flush: Duration::from_millis(100),
+            worker_stale_after: Duration::from_secs(1),
+            reconnect: ReconnectPolicy::default(),
+        }
+    }
+
+    /// Builder-style liveness flush period.
+    pub fn with_liveness_flush(mut self, period: Duration) -> Self {
+        self.liveness_flush = period;
+        self
+    }
+
+    /// Builder-style upstream reconnect policy.
+    pub fn with_reconnect(mut self, policy: ReconnectPolicy) -> Self {
+        self.reconnect = policy;
+        self
+    }
+}
+
+/// Counters a test or operator can read off a running relay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RelayStats {
+    /// Currently connected members.
+    pub members: usize,
+    /// `Cancel`s fanned out locally (same-relay gang teardown) without
+    /// an upstream round-trip.
+    pub local_cancels: u64,
+    /// Batched liveness frames sent upstream.
+    pub batched_frames: u64,
+    /// Upstream sessions established (>1 means the relay survived a
+    /// dispatcher reconnect).
+    pub upstream_sessions: u64,
+}
+
+/// A worker's task result held for replay (at most one per member: a
+/// worker reports one `Done` per assignment before requesting again).
+type DoneFrame = (TaskId, i32, u64, Option<String>);
+
+/// One downstream worker, as the relay sees it.
+struct Member {
+    name: String,
+    cores: u32,
+    location: String,
+    /// Dispatcher-assigned id under the *current* upstream session;
+    /// `None` until the `RelayRegistered` ack lands.
+    global: Option<WorkerId>,
+    /// Channel to the member's writer thread.
+    tx: Sender<DispatcherMsg>,
+    /// Socket clone for severing ([`Relay::kill`]).
+    sock: Option<TcpStream>,
+    /// Milliseconds since the relay epoch at which the member was last
+    /// heard (lock-free; the member's reader thread stores, the flush
+    /// path loads).
+    last_heard: Arc<AtomicU64>,
+    /// The task/job the member is executing, for local gang fan-out.
+    inflight: Option<(TaskId, JobId)>,
+    /// True between the member's `Request` and its next `Assign`; used
+    /// to re-issue the request after an upstream re-registration.
+    wants_work: bool,
+    /// A `Done` that could not be forwarded (produced while the
+    /// dispatcher was away); replayed right after the next ack.
+    pending_done: Option<DoneFrame>,
+}
+
+/// Member tables, guarded by one mutex.
+#[derive(Default)]
+struct State {
+    /// Members by relay-local id.
+    members: HashMap<u64, Member>,
+    /// Reverse routing table: current-session global id → local id.
+    by_global: HashMap<WorkerId, u64>,
+}
+
+/// Frames queued for the upstream pump. The queue is unbounded and
+/// survives session loss — it *is* the reconnect replay buffer.
+enum UpFrame {
+    /// Register member `local` (new member, or replay after reconnect).
+    Register(u64),
+    /// Member `local` wants work.
+    Request(u64),
+    /// Member `local` finished a task.
+    Done {
+        /// The member.
+        local: u64,
+        /// Which task.
+        task_id: TaskId,
+        /// Its exit code.
+        exit_code: i32,
+        /// Wall time in milliseconds.
+        wall_ms: u64,
+        /// Captured output tail.
+        output: Option<String>,
+    },
+    /// The worker with this *global* id is gone.
+    Gone(WorkerId),
+    /// Emit a batched liveness frame now.
+    Flush,
+}
+
+struct Inner {
+    config: RelayConfig,
+    epoch: Instant,
+    shutdown: AtomicBool,
+    state: Mutex<State>,
+    up_tx: Sender<UpFrame>,
+    next_local: AtomicU64,
+    /// Socket of the current upstream session, for severing.
+    upstream: Mutex<Option<TcpStream>>,
+    local_cancels: AtomicU64,
+    batched_frames: AtomicU64,
+    upstream_sessions: AtomicU64,
+}
+
+fn now_ms(inner: &Inner) -> u64 {
+    inner.epoch.elapsed().as_millis() as u64
+}
+
+/// A running relay daemon.
+///
+/// Dropping the relay kills it abruptly (socket severance), the same
+/// fault the chaos harness injects; call [`Relay::shutdown`] first for
+/// an orderly stop.
+pub struct Relay {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+}
+
+impl Relay {
+    /// Bind the worker-facing listener and start all service threads.
+    /// Returns immediately; the upstream connection is established (and
+    /// re-established) in the background.
+    pub fn start(config: RelayConfig) -> io::Result<Relay> {
+        let listener = TcpListener::bind(&config.listen_addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let (up_tx, up_rx) = unbounded::<UpFrame>();
+        let inner = Arc::new(Inner {
+            config,
+            epoch: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            state: Mutex::new(State::default()),
+            up_tx,
+            next_local: AtomicU64::new(0),
+            upstream: Mutex::new(None),
+            local_cancels: AtomicU64::new(0),
+            batched_frames: AtomicU64::new(0),
+            upstream_sessions: AtomicU64::new(0),
+        });
+        let accept_inner = Arc::clone(&inner);
+        thread::Builder::new()
+            .name("relay-accept".to_string())
+            .stack_size(CONN_STACK)
+            .spawn(move || accept_loop(listener, accept_inner))
+            .expect("spawn relay accept thread");
+        let tick_inner = Arc::clone(&inner);
+        thread::Builder::new()
+            .name("relay-tick".to_string())
+            .stack_size(CONN_STACK)
+            .spawn(move || liveness_ticker(tick_inner))
+            .expect("spawn relay ticker thread");
+        let pump_inner = Arc::clone(&inner);
+        thread::Builder::new()
+            .name("relay-pump".to_string())
+            .stack_size(CONN_STACK)
+            .spawn(move || upstream_pump(pump_inner, up_rx))
+            .expect("spawn relay pump thread");
+        Ok(Relay { inner, addr })
+    }
+
+    /// Address workers should connect to (in place of a dispatcher's).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Currently connected members.
+    pub fn member_count(&self) -> usize {
+        self.inner.state.lock().members.len()
+    }
+
+    /// True while an upstream session is established.
+    pub fn is_connected(&self) -> bool {
+        self.inner.upstream.lock().is_some()
+    }
+
+    /// True once the relay has stopped — dispatcher-ordered shutdown,
+    /// [`Relay::kill`]/[`Relay::shutdown`], or reconnect exhaustion.
+    pub fn is_stopped(&self) -> bool {
+        self.inner.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> RelayStats {
+        RelayStats {
+            members: self.member_count(),
+            local_cancels: self.inner.local_cancels.load(Ordering::Relaxed),
+            batched_frames: self.inner.batched_frames.load(Ordering::Relaxed),
+            upstream_sessions: self.inner.upstream_sessions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Sever the upstream connection *without* stopping the relay: the
+    /// pump reconnects with backoff and re-registers the block. This is
+    /// the dispatcher-outage fault-injection primitive (the relay-side
+    /// analogue of `Worker::disconnect`).
+    pub fn partition_upstream(&self) {
+        if let Some(sock) = self.inner.upstream.lock().take() {
+            let _ = sock.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Kill the relay abruptly: sever the upstream connection and every
+    /// member socket, no goodbyes. This is the chaos harness's
+    /// relay-death primitive — workers see EOF and fall back on their
+    /// own reconnect policies; the dispatcher sees EOF and declares the
+    /// whole block down.
+    pub fn kill(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        if let Some(sock) = self.inner.upstream.lock().take() {
+            let _ = sock.shutdown(Shutdown::Both);
+        }
+        let st = self.inner.state.lock();
+        for m in st.members.values() {
+            if let Some(sock) = &m.sock {
+                let _ = sock.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
+    /// Orderly stop: forward `Shutdown` to every member (so their
+    /// agents exit cleanly), then sever upstream and stop accepting.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        {
+            let st = self.inner.state.lock();
+            for m in st.members.values() {
+                let _ = m.tx.send(DispatcherMsg::Shutdown);
+            }
+        }
+        if let Some(sock) = self.inner.upstream.lock().take() {
+            let _ = sock.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for Relay {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
+    let mut backoff = Duration::from_micros(500);
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                backoff = Duration::from_micros(500);
+                let member_inner = Arc::clone(&inner);
+                thread::Builder::new()
+                    .name("relay-member".to_string())
+                    .stack_size(CONN_STACK)
+                    .spawn(move || serve_member(stream, member_inner))
+                    .expect("spawn relay member thread");
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(10));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn liveness_ticker(inner: Arc<Inner>) {
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        thread::sleep(inner.config.liveness_flush);
+        if inner.up_tx.send(UpFrame::Flush).is_err() {
+            return;
+        }
+    }
+}
+
+/// Reader side of one member connection; speaks the ordinary worker
+/// protocol — a worker cannot tell a relay from a dispatcher.
+fn serve_member(stream: TcpStream, inner: Arc<Inner>) {
+    stream.set_nodelay(true).ok();
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let sock = stream.try_clone().ok();
+    let mut reader = MsgReader::new(BufReader::new(stream));
+
+    // Handshake: first message must be Register (relays do not chain).
+    let (name, cores, location) = match reader.recv::<WorkerMsg>() {
+        Ok(Some(WorkerMsg::Register {
+            name,
+            cores,
+            location,
+        })) => (name, cores, location),
+        _ => return,
+    };
+    let local = inner.next_local.fetch_add(1, Ordering::Relaxed);
+
+    let (tx, rx) = unbounded::<DispatcherMsg>();
+    thread::Builder::new()
+        .name(format!("relay-mwrite-{local}"))
+        .stack_size(CONN_STACK)
+        .spawn(move || {
+            let mut writer = MsgWriter::new(write_half);
+            while let Ok(msg) = rx.recv() {
+                if writer.send(&msg).is_err() {
+                    return;
+                }
+            }
+        })
+        .expect("spawn member writer thread");
+
+    let last_heard = Arc::new(AtomicU64::new(now_ms(&inner)));
+    {
+        let mut st = inner.state.lock();
+        st.members.insert(
+            local,
+            Member {
+                name,
+                cores,
+                location,
+                global: None,
+                tx,
+                sock,
+                last_heard: Arc::clone(&last_heard),
+                inflight: None,
+                wants_work: false,
+                pending_done: None,
+            },
+        );
+    }
+    // The worker's Registered ack is sent only once the dispatcher acks
+    // the forwarded registration, so a member can never race ahead of
+    // its own global id.
+    let _ = inner.up_tx.send(UpFrame::Register(local));
+
+    loop {
+        match reader.recv::<WorkerMsg>() {
+            Ok(Some(WorkerMsg::Request)) => {
+                last_heard.store(now_ms(&inner), Ordering::Relaxed);
+                {
+                    let mut st = inner.state.lock();
+                    if let Some(m) = st.members.get_mut(&local) {
+                        m.wants_work = true;
+                    }
+                }
+                let _ = inner.up_tx.send(UpFrame::Request(local));
+            }
+            Ok(Some(WorkerMsg::Done {
+                task_id,
+                exit_code,
+                wall_ms,
+                output,
+            })) => {
+                last_heard.store(now_ms(&inner), Ordering::Relaxed);
+                {
+                    let mut st = inner.state.lock();
+                    if let Some(m) = st.members.get_mut(&local) {
+                        m.inflight = None;
+                    }
+                }
+                let _ = inner.up_tx.send(UpFrame::Done {
+                    local,
+                    task_id,
+                    exit_code,
+                    wall_ms,
+                    output,
+                });
+            }
+            // The relay-local liveness hot path: one relaxed store, no
+            // lock, no upstream frame — the flush batches it.
+            Ok(Some(WorkerMsg::Heartbeat)) => {
+                last_heard.store(now_ms(&inner), Ordering::Relaxed);
+            }
+            Ok(Some(WorkerMsg::Goodbye)) | Ok(None) => break,
+            Ok(Some(_)) | Err(_) => break,
+        }
+    }
+    member_down(&inner, local);
+}
+
+/// A member's connection dropped. Remove it, fan gang cancellation out
+/// to same-job members locally (no dispatcher round-trip), and tell the
+/// dispatcher the worker is gone.
+fn member_down(inner: &Inner, local: u64) {
+    let (gone_global, cancels) = {
+        let mut st = inner.state.lock();
+        let Some(m) = st.members.remove(&local) else {
+            return;
+        };
+        if let Some(g) = m.global {
+            st.by_global.remove(&g);
+        }
+        let mut cancels = 0u64;
+        if let Some((_, job)) = m.inflight {
+            // Local gang fan-out: a worker death inside this relay
+            // reaches same-relay survivors immediately; the dispatcher's
+            // own RelayCancel for them arrives later and is ignored as a
+            // duplicate by the worker.
+            for sib in st.members.values() {
+                if let Some((sib_task, sib_job)) = sib.inflight {
+                    if sib_job == job {
+                        let _ = sib.tx.send(DispatcherMsg::Cancel { task_id: sib_task });
+                        cancels += 1;
+                    }
+                }
+            }
+        }
+        (m.global, cancels)
+    };
+    inner.local_cancels.fetch_add(cancels, Ordering::Relaxed);
+    if let Some(worker) = gone_global {
+        let _ = inner.up_tx.send(UpFrame::Gone(worker));
+    }
+    // A member that died before its ack simply never existed upstream;
+    // if the ack is in flight, the routed reply path reports it gone.
+}
+
+/// One xorshift64 step (deterministic backoff jitter, as in the worker
+/// agent).
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Sleep `dur` in slices, returning early on shutdown.
+fn interruptible_sleep(inner: &Inner, mut dur: Duration) {
+    while !dur.is_zero() {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let slice = dur.min(Duration::from_millis(20));
+        thread::sleep(slice);
+        dur -= slice;
+    }
+}
+
+/// The upstream pump: connect (with backoff) → hello → re-register the
+/// block → drain the frame queue until the session dies, then repeat.
+fn upstream_pump(inner: Arc<Inner>, up_rx: Receiver<UpFrame>) {
+    let policy = inner.config.reconnect.clone();
+    let mut failed_attempts: u32 = 0;
+    let mut jitter_state = policy.seed.max(1);
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let stream = match TcpStream::connect(&inner.config.dispatcher_addr) {
+            Ok(s) => s,
+            Err(_) => {
+                failed_attempts += 1;
+                if failed_attempts >= policy.max_attempts {
+                    // Out of budget: the relay is dead. Sever the block
+                    // so workers fall back on their own policies.
+                    give_up(&inner);
+                    return;
+                }
+                let shift = (failed_attempts - 1).min(16);
+                let backoff = policy
+                    .base_backoff
+                    .saturating_mul(1u32 << shift)
+                    .min(policy.max_backoff);
+                let frac = (xorshift64(&mut jitter_state) >> 11) as f64 / (1u64 << 53) as f64;
+                let dur = backoff.mul_f64(1.0 - policy.jitter.clamp(0.0, 1.0) * frac);
+                interruptible_sleep(&inner, dur);
+                continue;
+            }
+        };
+        failed_attempts = 0;
+        stream.set_nodelay(true).ok();
+        let read_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        *inner.upstream.lock() = stream.try_clone().ok();
+        inner.upstream_sessions.fetch_add(1, Ordering::Relaxed);
+
+        // Per-session reader: routes acks and envelopes until EOF.
+        let session_dead = Arc::new(AtomicBool::new(false));
+        {
+            let reader_inner = Arc::clone(&inner);
+            let dead = Arc::clone(&session_dead);
+            thread::Builder::new()
+                .name("relay-upread".to_string())
+                .stack_size(CONN_STACK)
+                .spawn(move || {
+                    let mut reader = MsgReader::new(BufReader::new(read_half));
+                    loop {
+                        match reader.recv::<DispatcherMsg>() {
+                            Ok(Some(msg)) => {
+                                if !handle_upstream(&reader_inner, msg) {
+                                    break;
+                                }
+                            }
+                            Ok(None) | Err(_) => break,
+                        }
+                    }
+                    dead.store(true, Ordering::Release);
+                })
+                .expect("spawn upstream reader thread");
+        }
+
+        let mut writer = MsgWriter::new(stream);
+        let mut session_ok = writer
+            .send(&WorkerMsg::RelayHello {
+                name: inner.config.name.clone(),
+                location: inner.config.location.clone(),
+            })
+            .is_ok();
+
+        // Locals registered in *this* session (suppresses duplicates
+        // when buffered Register frames drain after the bulk replay).
+        let mut sent: HashSet<u64> = HashSet::new();
+        if session_ok {
+            // New session, new global ids: invalidate the old mapping
+            // and re-register every member.
+            let locals: Vec<u64> = {
+                let mut st = inner.state.lock();
+                st.by_global.clear();
+                for m in st.members.values_mut() {
+                    m.global = None;
+                }
+                let mut l: Vec<u64> = st.members.keys().copied().collect();
+                l.sort_unstable();
+                l
+            };
+            for local in locals {
+                if !send_register(&inner, &mut writer, local, &mut sent) {
+                    session_ok = false;
+                    break;
+                }
+            }
+        }
+
+        while session_ok
+            && !inner.shutdown.load(Ordering::Acquire)
+            && !session_dead.load(Ordering::Acquire)
+        {
+            match up_rx.recv_timeout(Duration::from_millis(25)) {
+                Ok(frame) => session_ok = forward(&inner, &mut writer, frame, &mut sent),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+
+        // Session over (EOF, write error, partition, or shutdown).
+        *inner.upstream.lock() = None;
+        let _ = writer.get_ref().shutdown(Shutdown::Both);
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Loop: reconnect with backoff and replay.
+    }
+}
+
+/// Upstream reconnects exhausted: sever every member so their agents'
+/// own reconnect policies take over, and stop the relay.
+fn give_up(inner: &Inner) {
+    inner.shutdown.store(true, Ordering::Release);
+    let st = inner.state.lock();
+    for m in st.members.values() {
+        if let Some(sock) = &m.sock {
+            let _ = sock.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Forward member `local`'s registration upstream, once per session.
+/// The state lock is released before the (blocking) socket write.
+fn send_register(
+    inner: &Inner,
+    writer: &mut MsgWriter<TcpStream>,
+    local: u64,
+    sent: &mut HashSet<u64>,
+) -> bool {
+    if sent.contains(&local) {
+        return true;
+    }
+    let info = {
+        let st = inner.state.lock();
+        st.members
+            .get(&local)
+            .map(|m| (m.name.clone(), m.cores, m.location.clone()))
+    };
+    let Some((name, cores, location)) = info else {
+        return true; // member already left; nothing to register
+    };
+    sent.insert(local);
+    writer
+        .send(&WorkerMsg::RelayRegister {
+            local,
+            name,
+            cores,
+            location,
+        })
+        .is_ok()
+}
+
+/// Translate one queued frame into wire traffic for the current
+/// session. Returns false when the session's socket is dead.
+fn forward(
+    inner: &Inner,
+    writer: &mut MsgWriter<TcpStream>,
+    frame: UpFrame,
+    sent: &mut HashSet<u64>,
+) -> bool {
+    match frame {
+        UpFrame::Register(local) => send_register(inner, writer, local, sent),
+        UpFrame::Request(local) => {
+            let global = {
+                let st = inner.state.lock();
+                st.members.get(&local).and_then(|m| m.global)
+            };
+            match global {
+                Some(worker) => writer.send(&WorkerMsg::RelayRequest { worker }).is_ok(),
+                // Not yet (re-)acked this session: `wants_work` re-issues
+                // the request as soon as the ack lands. Dropping here is
+                // what makes buffered pre-outage requests idempotent.
+                None => true,
+            }
+        }
+        UpFrame::Done {
+            local,
+            task_id,
+            exit_code,
+            wall_ms,
+            output,
+        } => {
+            let global = {
+                let st = inner.state.lock();
+                st.members.get(&local).and_then(|m| m.global)
+            };
+            match global {
+                Some(worker) => writer
+                    .send(&WorkerMsg::RelayDone {
+                        worker,
+                        task_id,
+                        exit_code,
+                        wall_ms,
+                        output,
+                    })
+                    .is_ok(),
+                None => {
+                    // Produced while the dispatcher was away: hold it and
+                    // replay right after the member's re-registration ack
+                    // (the dispatcher will drop it as stale, but the
+                    // replay keeps the frame order intact).
+                    let mut st = inner.state.lock();
+                    if let Some(m) = st.members.get_mut(&local) {
+                        m.pending_done = Some((task_id, exit_code, wall_ms, output));
+                    }
+                    true
+                }
+            }
+        }
+        UpFrame::Gone(worker) => writer.send(&WorkerMsg::RelayWorkerGone { worker }).is_ok(),
+        UpFrame::Flush => {
+            let stale_ms = inner.config.worker_stale_after.as_millis() as u64;
+            let now = now_ms(inner);
+            let workers: Vec<u64> = {
+                let st = inner.state.lock();
+                st.members
+                    .values()
+                    .filter(|m| {
+                        now.saturating_sub(m.last_heard.load(Ordering::Relaxed)) <= stale_ms
+                    })
+                    .filter_map(|m| m.global)
+                    .collect()
+            };
+            if workers.is_empty() {
+                return true;
+            }
+            inner.batched_frames.fetch_add(1, Ordering::Relaxed);
+            writer
+                .send(&WorkerMsg::BatchedHeartbeat { workers })
+                .is_ok()
+        }
+    }
+}
+
+/// Route one dispatcher message. Returns false to end the session
+/// (orderly shutdown).
+fn handle_upstream(inner: &Inner, msg: DispatcherMsg) -> bool {
+    match msg {
+        // The relay's own hello ack; nothing to route.
+        DispatcherMsg::Registered { .. } => true,
+        DispatcherMsg::RelayRegistered { local, worker_id } => {
+            let mut st = inner.state.lock();
+            if let Some(m) = st.members.get_mut(&local) {
+                m.global = Some(worker_id);
+                // The member's own Registered completes its handshake
+                // (a re-registration's duplicate ack is ignored by the
+                // agent's inbox loop).
+                let _ = m.tx.send(DispatcherMsg::Registered { worker_id });
+                // Replay traffic held across the outage, in order.
+                if let Some((task_id, exit_code, wall_ms, output)) = m.pending_done.take() {
+                    let _ = inner.up_tx.send(UpFrame::Done {
+                        local,
+                        task_id,
+                        exit_code,
+                        wall_ms,
+                        output,
+                    });
+                }
+                if m.wants_work {
+                    let _ = inner.up_tx.send(UpFrame::Request(local));
+                }
+                st.by_global.insert(worker_id, local);
+            } else {
+                // The member left between registration and ack.
+                let _ = inner.up_tx.send(UpFrame::Gone(worker_id));
+            }
+            true
+        }
+        DispatcherMsg::RelayAssign { worker, assignment } => {
+            let mut st = inner.state.lock();
+            let local = st.by_global.get(&worker).copied();
+            match local.and_then(|l| st.members.get_mut(&l)) {
+                Some(m) => {
+                    m.inflight = Some((assignment.task_id, assignment.job_id));
+                    m.wants_work = false;
+                    let _ = m.tx.send(DispatcherMsg::Assign(assignment));
+                }
+                None => {
+                    // Assigned to a member that just died; tell the
+                    // dispatcher so it tears the gang down promptly.
+                    let _ = inner.up_tx.send(UpFrame::Gone(worker));
+                }
+            }
+            true
+        }
+        DispatcherMsg::RelayCancel { worker, task_id } => {
+            let mut st = inner.state.lock();
+            let local = st.by_global.get(&worker).copied();
+            if let Some(m) = local.and_then(|l| st.members.get_mut(&l)) {
+                if m.inflight.map(|(t, _)| t) == Some(task_id) {
+                    m.inflight = None;
+                }
+                let _ = m.tx.send(DispatcherMsg::Cancel { task_id });
+            }
+            true
+        }
+        DispatcherMsg::Shutdown => {
+            // Fan the shutdown out to the block and stop.
+            inner.shutdown.store(true, Ordering::Release);
+            let st = inner.state.lock();
+            for m in st.members.values() {
+                let _ = m.tx.send(DispatcherMsg::Shutdown);
+            }
+            false
+        }
+        // Unrouted worker-directed frames on the relay connection are a
+        // dispatcher bug; drop them rather than guessing a member.
+        DispatcherMsg::Assign(_) | DispatcherMsg::Cancel { .. } => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jets_core::registry::WorkerState;
+    use jets_core::spec::{CommandSpec, JobSpec};
+    use jets_core::{Dispatcher, DispatcherConfig, JobStatus};
+    use jets_worker::apps::standard_registry;
+    use jets_worker::{Executor, TaskExecutor, Worker, WorkerConfig};
+
+    const WAIT: Duration = Duration::from_secs(60);
+
+    fn executor() -> Arc<dyn TaskExecutor> {
+        Arc::new(Executor::new(standard_registry()))
+    }
+
+    fn spawn_worker(addr: &str, name: &str) -> Worker {
+        let config = WorkerConfig {
+            heartbeat: Some(Duration::from_millis(25)),
+            ..WorkerConfig::new(addr, name)
+        };
+        Worker::spawn(config, executor())
+    }
+
+    fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+        let deadline = Instant::now() + WAIT;
+        while !cond() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn config_defaults() {
+        let c =
+            RelayConfig::new("127.0.0.1:9999", "r0").with_liveness_flush(Duration::from_millis(40));
+        assert_eq!(c.name, "r0");
+        assert_eq!(c.liveness_flush, Duration::from_millis(40));
+        assert_eq!(
+            c.reconnect.max_attempts,
+            ReconnectPolicy::default().max_attempts
+        );
+    }
+
+    /// Workers behind one relay run a batch end to end while the
+    /// dispatcher accepts exactly one connection.
+    #[test]
+    fn relay_fronts_workers_end_to_end() {
+        let d = Dispatcher::start(DispatcherConfig::default()).unwrap();
+        let relay = Relay::start(RelayConfig::new(d.addr().to_string(), "relay-0")).unwrap();
+        let addr = relay.addr().to_string();
+        let workers: Vec<Worker> = (0..3)
+            .map(|i| spawn_worker(&addr, &format!("blk-{i}")))
+            .collect();
+        wait_until("relayed workers to register", || d.alive_workers() == 3);
+        assert_eq!(d.connections_accepted(), 1, "one socket fronts the block");
+        assert_eq!(relay.member_count(), 3);
+        assert!(relay.is_connected());
+        let ids = d
+            .submit_all((0..12).map(|_| JobSpec::sequential(CommandSpec::builtin("noop", vec![]))));
+        assert!(d.wait_idle(WAIT));
+        for id in ids {
+            assert_eq!(d.job_record(id).unwrap().status, JobStatus::Succeeded);
+        }
+        d.shutdown();
+        for w in workers {
+            w.join();
+        }
+    }
+
+    /// Severing the upstream connection re-registers the block under a
+    /// fresh session and replays held traffic: jobs submitted after the
+    /// outage still run, and workers never reconnect themselves.
+    #[test]
+    fn upstream_partition_reconnects_and_resumes() {
+        let d = Dispatcher::start(DispatcherConfig::default()).unwrap();
+        let relay = Relay::start(
+            RelayConfig::new(d.addr().to_string(), "relay-p")
+                .with_liveness_flush(Duration::from_millis(25)),
+        )
+        .unwrap();
+        let addr = relay.addr().to_string();
+        let workers: Vec<Worker> = (0..2)
+            .map(|i| spawn_worker(&addr, &format!("pp-{i}")))
+            .collect();
+        wait_until("initial registration", || d.alive_workers() == 2);
+        let ids =
+            d.submit_all((0..4).map(|_| JobSpec::sequential(CommandSpec::builtin("noop", vec![]))));
+        assert!(d.wait_idle(WAIT));
+        for id in ids {
+            assert_eq!(d.job_record(id).unwrap().status, JobStatus::Succeeded);
+        }
+
+        relay.partition_upstream();
+        // The dispatcher sees the relay die and downs the whole block…
+        wait_until("block declared down", || d.alive_workers() == 0);
+        // …then the pump reconnects and re-registers both members.
+        wait_until("block re-registered", || d.alive_workers() == 2);
+        assert!(relay.stats().upstream_sessions >= 2);
+        // The members never reconnected themselves — same sockets, new
+        // session — and they still get work.
+        assert_eq!(relay.member_count(), 2);
+        let ids =
+            d.submit_all((0..4).map(|_| JobSpec::sequential(CommandSpec::builtin("noop", vec![]))));
+        assert!(d.wait_idle(WAIT));
+        for id in ids {
+            assert_eq!(d.job_record(id).unwrap().status, JobStatus::Succeeded);
+        }
+        d.shutdown();
+        for w in workers {
+            w.join();
+        }
+    }
+
+    /// A member dying mid-gang cancels its same-relay gang peers
+    /// locally, without waiting for the dispatcher round-trip.
+    #[test]
+    fn member_death_cancels_same_gang_locally() {
+        let d = Dispatcher::start(DispatcherConfig::default()).unwrap();
+        let relay = Relay::start(RelayConfig::new(d.addr().to_string(), "relay-c")).unwrap();
+        let addr = relay.addr().to_string();
+        let w0 = spawn_worker(&addr, "cc-0");
+        let w1 = spawn_worker(&addr, "cc-1");
+        wait_until("registration", || d.alive_workers() == 2);
+        let id = d.submit(JobSpec::mpi(
+            2,
+            CommandSpec::builtin("mpi-sleep", vec!["2000".into()]),
+        ));
+        wait_until("gang to start", || {
+            d.workers()
+                .iter()
+                .filter(|w| matches!(w.state, WorkerState::Busy(_)))
+                .count()
+                == 2
+        });
+        w0.kill();
+        assert!(d.wait_idle(WAIT));
+        assert_eq!(d.job_record(id).unwrap().status, JobStatus::Failed);
+        wait_until("local cancel fan-out", || relay.stats().local_cancels >= 1);
+        d.shutdown();
+        w1.join();
+        w0.join();
+    }
+}

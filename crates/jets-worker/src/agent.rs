@@ -203,10 +203,8 @@ struct LazyCache {
 impl LazyCache {
     fn get_or_init(&mut self, worker_name: &str) -> std::io::Result<&NodeLocalCache> {
         if self.cache.is_none() {
-            let dir = std::env::temp_dir().join(format!(
-                "jets-local-{worker_name}-{}",
-                std::process::id()
-            ));
+            let dir = std::env::temp_dir()
+                .join(format!("jets-local-{worker_name}-{}", std::process::id()));
             self.cache = Some(NodeLocalCache::new(dir)?);
         }
         Ok(self.cache.as_ref().expect("just initialized"))
@@ -444,7 +442,15 @@ fn run_session(
             .expect("spawn heartbeat thread");
     }
 
-    let end = session_task_loop(config, executor, kill, local_cache, tasks_done, &writer, &inbox);
+    let end = session_task_loop(
+        config,
+        executor,
+        kill,
+        local_cache,
+        tasks_done,
+        &writer,
+        &inbox,
+    );
     stop.store(true, Ordering::Release);
     if end == SessionEnd::Shutdown {
         let _ = writer.lock().send(&WorkerMsg::Goodbye);
@@ -482,7 +488,9 @@ fn session_task_loop(
                 Ok(Some(DispatcherMsg::Shutdown)) => break 'session SessionEnd::Shutdown,
                 // A cancel racing a task that already reported: ignore.
                 Ok(Some(DispatcherMsg::Cancel { .. })) => continue,
-                Ok(Some(DispatcherMsg::Registered { .. })) => continue,
+                // Stray acks and relay-scoped envelopes (a worker never
+                // receives routed frames — its relay unwraps them): ignore.
+                Ok(Some(_)) => continue,
                 Ok(None) | Err(_) => break 'session lost_or_killed(),
             }
         };
@@ -633,9 +641,8 @@ mod tests {
     fn worker_runs_sequential_jobs_end_to_end() {
         let d = Dispatcher::start(DispatcherConfig::default()).unwrap();
         let workers = spawn_workers(&d, 2);
-        let ids = d.submit_all(
-            (0..10).map(|_| JobSpec::sequential(CommandSpec::builtin("noop", vec![]))),
-        );
+        let ids = d
+            .submit_all((0..10).map(|_| JobSpec::sequential(CommandSpec::builtin("noop", vec![]))));
         assert!(d.wait_idle(WAIT));
         for id in ids {
             assert_eq!(d.job_record(id).unwrap().status, JobStatus::Succeeded);
@@ -684,8 +691,7 @@ mod tests {
         let d = Dispatcher::start(DispatcherConfig::default()).unwrap();
         let workers = spawn_workers(&d, 1);
         let id = d.submit(
-            JobSpec::sequential(CommandSpec::builtin("sleep", vec!["500".into()]))
-                .with_retries(1),
+            JobSpec::sequential(CommandSpec::builtin("sleep", vec!["500".into()])).with_retries(1),
         );
         // Let the task start, then kill the pilot mid-task.
         thread::sleep(Duration::from_millis(100));
@@ -738,10 +744,10 @@ mod tests {
             WorkerConfig::new(d.addr().to_string(), "stager"),
             Arc::new(Executor::new(registry)),
         );
-        let spec = JobSpec::sequential(CommandSpec::builtin("read-local", vec![]))
-            .with_stage(vec![jets_core::spec::StageFile::new(
-                source.to_string_lossy().into_owned(),
-            )]);
+        let spec =
+            JobSpec::sequential(CommandSpec::builtin("read-local", vec![])).with_stage(vec![
+                jets_core::spec::StageFile::new(source.to_string_lossy().into_owned()),
+            ]);
         // Submit twice: the second run must hit the cache (same success).
         let a = d.submit(spec.clone());
         let b = d.submit(spec);

@@ -29,10 +29,7 @@ pub fn register_standard(registry: &AppRegistry) {
     });
 
     registry.register("fail", |ctx: &TaskContext| {
-        ctx.args
-            .first()
-            .and_then(|a| a.parse().ok())
-            .unwrap_or(1)
+        ctx.args.first().and_then(|a| a.parse().ok()).unwrap_or(1)
     });
 
     registry.register("mpi-sleep", |ctx: &TaskContext| {

@@ -104,7 +104,11 @@ impl AppRegistry {
     }
 
     /// Register (or replace) an application.
-    pub fn register(&self, name: impl Into<String>, f: impl Fn(&TaskContext) -> i32 + Send + Sync + 'static) {
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        f: impl Fn(&TaskContext) -> i32 + Send + Sync + 'static,
+    ) {
         self.apps.write().insert(name.into(), Arc::new(f));
     }
 
@@ -155,7 +159,11 @@ pub trait TaskExecutor: Send + Sync {
     /// [`EXIT_CANCELED`]. The default ignores the token and forwards to
     /// [`TaskExecutor::execute_captured`] — the agent's grace-period
     /// abandonment still bounds such executors.
-    fn execute_cancellable(&self, assignment: &TaskAssignment, cancel: &CancelToken) -> TaskOutcome {
+    fn execute_cancellable(
+        &self,
+        assignment: &TaskAssignment,
+        cancel: &CancelToken,
+    ) -> TaskOutcome {
         let _ = cancel;
         self.execute_captured(assignment)
     }
@@ -199,7 +207,13 @@ impl Executor {
         &self.registry
     }
 
-    fn run_one(&self, cmd: &CommandSpec, extra_env: Vec<(String, String)>, rank: Option<u32>, size: u32) -> i32 {
+    fn run_one(
+        &self,
+        cmd: &CommandSpec,
+        extra_env: Vec<(String, String)>,
+        rank: Option<u32>,
+        size: u32,
+    ) -> i32 {
         match cmd {
             CommandSpec::Builtin { app, args, env } => {
                 let Some(f) = self.registry.get(app) else {
@@ -247,9 +261,7 @@ impl Executor {
                 match command.output() {
                     Ok(out) => TaskOutcome {
                         exit_code: out.status.code().unwrap_or(EXIT_SPAWN_FAILED),
-                        output: truncate_output(
-                            String::from_utf8_lossy(&out.stdout).into_owned(),
-                        ),
+                        output: truncate_output(String::from_utf8_lossy(&out.stdout).into_owned()),
                     },
                     Err(_) => TaskOutcome {
                         exit_code: EXIT_SPAWN_FAILED,
@@ -400,7 +412,11 @@ impl TaskExecutor for Executor {
         }
     }
 
-    fn execute_cancellable(&self, assignment: &TaskAssignment, cancel: &CancelToken) -> TaskOutcome {
+    fn execute_cancellable(
+        &self,
+        assignment: &TaskAssignment,
+        cancel: &CancelToken,
+    ) -> TaskOutcome {
         match &assignment.kind {
             TaskKind::Sequential { cmd } => {
                 self.run_one_cancellable(cmd, Vec::new(), None, 1, cancel)
@@ -521,10 +537,7 @@ mod tests {
     fn env_lookup_prefers_pmi_overrides() {
         let ctx = TaskContext {
             args: vec![],
-            env: vec![
-                ("K".into(), "cmd".into()),
-                ("K".into(), "pmi".into()),
-            ],
+            env: vec![("K".into(), "cmd".into()), ("K".into(), "pmi".into())],
             rank: Some(0),
             size: 1,
         };
@@ -540,14 +553,15 @@ mod tests {
         let counted = Arc::new(AtomicU32::new(0));
         let exec = Executor::default();
         let c2 = Arc::clone(&counted);
-        exec.registry().register("mpi-count", move |ctx: &TaskContext| {
-            let job = ctx.mpi().unwrap();
-            let mut job = job;
-            job.comm.barrier().unwrap();
-            c2.fetch_add(1, Ordering::SeqCst);
-            job.finalize().unwrap();
-            0
-        });
+        exec.registry()
+            .register("mpi-count", move |ctx: &TaskContext| {
+                let job = ctx.mpi().unwrap();
+                let mut job = job;
+                job.comm.barrier().unwrap();
+                c2.fetch_add(1, Ordering::SeqCst);
+                job.finalize().unwrap();
+                0
+            });
         let assignment = TaskAssignment {
             task_id: 1,
             job_id: 1,

@@ -147,8 +147,7 @@ impl MdConfig {
                 }
                 "cutoff" => config.cutoff = value.parse().map_err(|_| bad("expected a number"))?,
                 "langevinDamping" => {
-                    config.langevin_damping =
-                        value.parse().map_err(|_| bad("expected a number"))?
+                    config.langevin_damping = value.parse().map_err(|_| bad("expected a number"))?
                 }
                 "outputname" => config.outputname = value.to_string(),
                 "seed" => config.seed = value.parse().map_err(|_| bad("expected an integer"))?,
@@ -160,12 +159,8 @@ impl MdConfig {
                     config.bond_chain_length =
                         value.parse().map_err(|_| bad("expected an integer"))?
                 }
-                "bondK" => {
-                    config.bond_k = value.parse().map_err(|_| bad("expected a number"))?
-                }
-                "bondR0" => {
-                    config.bond_r0 = value.parse().map_err(|_| bad("expected a number"))?
-                }
+                "bondK" => config.bond_k = value.parse().map_err(|_| bad("expected a number"))?,
+                "bondR0" => config.bond_r0 = value.parse().map_err(|_| bad("expected a number"))?,
                 // NAMD compatibility: accept-and-ignore structural keys so
                 // real-looking inputs parse.
                 "structure" | "parameters" | "paraTypeCharmm" | "exclude" | "outputEnergies" => {}
@@ -177,10 +172,9 @@ impl MdConfig {
                 }
             }
         }
-        config.validate().map_err(|message| ConfigError {
-            line: 0,
-            message,
-        })?;
+        config
+            .validate()
+            .map_err(|message| ConfigError { line: 0, message })?;
         Ok(config)
     }
 

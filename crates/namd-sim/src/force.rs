@@ -42,11 +42,7 @@ pub fn compute_block(
     let mut potential = 0.0f64;
     for bi in 0..block_len {
         let i = block_start + bi;
-        let (xi, yi, zi) = (
-            positions[3 * i],
-            positions[3 * i + 1],
-            positions[3 * i + 2],
-        );
+        let (xi, yi, zi) = (positions[3 * i], positions[3 * i + 1], positions[3 * i + 2]);
         let mut fx = 0.0;
         let mut fy = 0.0;
         let mut fz = 0.0;
@@ -249,7 +245,12 @@ mod tests {
 
     #[test]
     fn bond_at_equilibrium_exerts_no_force() {
-        let bonds = [Bond { i: 0, j: 1, k: 50.0, r0: 1.5 }];
+        let bonds = [Bond {
+            i: 0,
+            j: 1,
+            k: 50.0,
+            r0: 1.5,
+        }];
         let positions = vec![0.0, 0.0, 0.0, 1.5, 0.0, 0.0];
         let mut forces = vec![0.0; 6];
         let u = add_bond_forces(&bonds, &positions, 0, 2, 100.0, &mut forces);
@@ -259,7 +260,12 @@ mod tests {
 
     #[test]
     fn stretched_bond_pulls_atoms_together() {
-        let bonds = [Bond { i: 0, j: 1, k: 10.0, r0: 1.0 }];
+        let bonds = [Bond {
+            i: 0,
+            j: 1,
+            k: 10.0,
+            r0: 1.0,
+        }];
         let positions = vec![0.0, 0.0, 0.0, 2.0, 0.0, 0.0]; // stretched by 1
         let mut forces = vec![0.0; 6];
         let u = add_bond_forces(&bonds, &positions, 0, 2, 100.0, &mut forces);
@@ -271,7 +277,12 @@ mod tests {
 
     #[test]
     fn bond_forces_split_correctly_across_blocks() {
-        let bonds = [Bond { i: 1, j: 2, k: 7.0, r0: 0.5 }];
+        let bonds = [Bond {
+            i: 1,
+            j: 2,
+            k: 7.0,
+            r0: 0.5,
+        }];
         let positions = vec![0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 2.5, 0.0, 0.0];
         // Whole system in one block...
         let mut full = vec![0.0; 9];

@@ -64,7 +64,10 @@ pub fn write_vectors(path: &Path, data: &[f64]) -> Result<(), IoError> {
     let mut out = String::with_capacity(data.len() * 12);
     out.push_str(&format!("{}\n", data.len() / 3));
     for triple in data.chunks_exact(3) {
-        out.push_str(&format!("{:.17e} {:.17e} {:.17e}\n", triple[0], triple[1], triple[2]));
+        out.push_str(&format!(
+            "{:.17e} {:.17e} {:.17e}\n",
+            triple[0], triple[1], triple[2]
+        ));
     }
     let mut f = fs::File::create(path)?;
     f.write_all(out.as_bytes())?;
@@ -96,7 +99,10 @@ pub fn read_vectors(path: &Path) -> Result<Vec<f64>, IoError> {
             data.push(v);
         }
         if parts.next().is_some() {
-            return Err(IoError::Format(format!("line {}: more than 3 values", i + 2)));
+            return Err(IoError::Format(format!(
+                "line {}: more than 3 values",
+                i + 2
+            )));
         }
     }
     if data.len() != 3 * n {
@@ -136,24 +142,32 @@ pub fn read_xsc(path: &Path) -> Result<XscData, IoError> {
         let value = value.trim();
         match key {
             "step" => {
-                step = Some(value.parse().map_err(|_| {
-                    IoError::Format(format!("bad step '{value}'"))
-                })?)
+                step = Some(
+                    value
+                        .parse()
+                        .map_err(|_| IoError::Format(format!("bad step '{value}'")))?,
+                )
             }
             "potential" => {
-                potential = Some(value.parse().map_err(|_| {
-                    IoError::Format(format!("bad potential '{value}'"))
-                })?)
+                potential = Some(
+                    value
+                        .parse()
+                        .map_err(|_| IoError::Format(format!("bad potential '{value}'")))?,
+                )
             }
             "temperature" => {
-                temperature = Some(value.parse().map_err(|_| {
-                    IoError::Format(format!("bad temperature '{value}'"))
-                })?)
+                temperature = Some(
+                    value
+                        .parse()
+                        .map_err(|_| IoError::Format(format!("bad temperature '{value}'")))?,
+                )
             }
             "boxLength" => {
-                box_length = Some(value.parse().map_err(|_| {
-                    IoError::Format(format!("bad boxLength '{value}'"))
-                })?)
+                box_length = Some(
+                    value
+                        .parse()
+                        .map_err(|_| IoError::Format(format!("bad boxLength '{value}'")))?,
+                )
             }
             other => return Err(IoError::Format(format!("unknown xsc key '{other}'"))),
         }
@@ -163,8 +177,7 @@ pub fn read_xsc(path: &Path) -> Result<XscData, IoError> {
         potential: potential.ok_or_else(|| IoError::Format("missing potential".to_string()))?,
         temperature: temperature
             .ok_or_else(|| IoError::Format("missing temperature".to_string()))?,
-        box_length: box_length
-            .ok_or_else(|| IoError::Format("missing boxLength".to_string()))?,
+        box_length: box_length.ok_or_else(|| IoError::Format("missing boxLength".to_string()))?,
     })
 }
 

@@ -168,7 +168,14 @@ pub fn run_segment(
 
     // --- Complete the velocity vector on every rank (positions already
     // complete after the last exchange; velocities only for owned atoms).
-    exchange_velocities(&mut comm, &mut system.velocities, my_start, my_len, chunk, n)?;
+    exchange_velocities(
+        &mut comm,
+        &mut system.velocities,
+        my_start,
+        my_len,
+        chunk,
+        n,
+    )?;
     system.wrap_positions();
 
     // --- Rank 0 writes the restart artifacts.
@@ -293,7 +300,8 @@ fn exchange_velocities(
 /// Decomposition-independent and restart-stable.
 fn counter_gaussian(seed: u64, step: u64, atom: u64, dim: u64) -> f64 {
     let a = splitmix64(
-        seed ^ step.wrapping_mul(0x9E3779B97F4A7C15) ^ atom.wrapping_mul(0xBF58476D1CE4E5B9)
+        seed ^ step.wrapping_mul(0x9E3779B97F4A7C15)
+            ^ atom.wrapping_mul(0xBF58476D1CE4E5B9)
             ^ dim.wrapping_mul(0x94D049BB133111EB),
     );
     let b = splitmix64(a);

@@ -151,16 +151,15 @@ mod tests {
             .count();
         let rate = accepted as f64 / trials as f64;
         let expect = delta.exp();
-        assert!(
-            (rate - expect).abs() < 0.02,
-            "rate {rate} vs e^Δ {expect}"
-        );
+        assert!((rate - expect).abs() < 0.02, "rate {rate} vs e^Δ {expect}");
     }
 
     #[test]
     fn metropolis_rejects_very_negative_delta() {
         let mut rng = StdRng::seed_from_u64(2);
-        let accepted = (0..1000).filter(|_| metropolis_accept(-50.0, &mut rng)).count();
+        let accepted = (0..1000)
+            .filter(|_| metropolis_accept(-50.0, &mut rng))
+            .count();
         assert_eq!(accepted, 0);
     }
 

@@ -89,7 +89,11 @@ impl RemParams {
 pub fn rem_script(p: &RemParams) -> String {
     let seg = p.segments + 1;
     let mut s = String::new();
-    let _ = writeln!(s, "# Replica-exchange workflow: {} replicas x {} segments", p.replicas, p.segments);
+    let _ = writeln!(
+        s,
+        "# Replica-exchange workflow: {} replicas x {} segments",
+        p.replicas, p.segments
+    );
     let _ = writeln!(s, "type file;");
     // Two app flavours: with and without an exchange-token dependency.
     let _ = writeln!(
@@ -122,10 +126,26 @@ app (file verdict) exchange (file s_a, file s_b, string prefix_a, string t_a,
     let _ = writeln!(s, "int SEG = {seg};");
     let _ = writeln!(s, "int steps = {};", p.steps);
     let _ = writeln!(s, "int pace = {};", p.pace_ms);
-    let _ = writeln!(s, "file c[] <simple_mapper; prefix=\"{}/seg_\", suffix=\".coor\">;", p.dir);
-    let _ = writeln!(s, "file v[] <simple_mapper; prefix=\"{}/seg_\", suffix=\".vel\">;", p.dir);
-    let _ = writeln!(s, "file sx[] <simple_mapper; prefix=\"{}/seg_\", suffix=\".xsc\">;", p.dir);
-    let _ = writeln!(s, "file ex[] <simple_mapper; prefix=\"{}/ex_\", suffix=\".token\">;", p.dir);
+    let _ = writeln!(
+        s,
+        "file c[] <simple_mapper; prefix=\"{}/seg_\", suffix=\".coor\">;",
+        p.dir
+    );
+    let _ = writeln!(
+        s,
+        "file v[] <simple_mapper; prefix=\"{}/seg_\", suffix=\".vel\">;",
+        p.dir
+    );
+    let _ = writeln!(
+        s,
+        "file sx[] <simple_mapper; prefix=\"{}/seg_\", suffix=\".xsc\">;",
+        p.dir
+    );
+    let _ = writeln!(
+        s,
+        "file ex[] <simple_mapper; prefix=\"{}/ex_\", suffix=\".token\">;",
+        p.dir
+    );
 
     // Per-replica temperature ladder, rendered as a pre-filled lookup
     // array (swiftlite has no user scalar functions).
@@ -175,9 +195,7 @@ foreach i in [0:{last}] {{
 /// equilibration at the replica's temperature. Returns the staged file
 /// prefixes.
 pub fn stage_initial_replicas(p: &RemParams) -> Result<Vec<String>, MdError> {
-    std::fs::create_dir_all(&p.dir).map_err(|e| {
-        MdError::Io(crate::io::IoError::Io(e))
-    })?;
+    std::fs::create_dir_all(&p.dir).map_err(|e| MdError::Io(crate::io::IoError::Io(e)))?;
     let mut prefixes = Vec::new();
     for i in 0..p.replicas {
         let k = p.index(i, 0);

@@ -13,7 +13,9 @@
 use crate::ast::*;
 use crate::executor::{AppCall, AppExecutor};
 use crate::parser::{parse, ParseError};
-use crate::value::{ArrayHandle, Binding, CancelToken, ElementMapper, Future, Scope, Value, WaitError};
+use crate::value::{
+    ArrayHandle, Binding, CancelToken, ElementMapper, Future, Scope, Value, WaitError,
+};
 use parking_lot::Mutex;
 use std::fmt;
 use std::path::PathBuf;
@@ -279,7 +281,8 @@ impl Engine {
                                 decl.outputs.len()
                             )));
                         }
-                        self.run_app(scope, &decl, args, vec![target]).map_err(&at)?;
+                        self.run_app(scope, &decl, args, vec![target])
+                            .map_err(&at)?;
                         return Ok(());
                     }
                 }
@@ -333,7 +336,9 @@ impl Engine {
                     if let Some(index_name) = index {
                         let idx = Future::new();
                         idx.set(Value::Int(i)).expect("fresh future");
-                        child.define(index_name, Binding::Scalar(idx)).map_err(&at)?;
+                        child
+                            .define(index_name, Binding::Scalar(idx))
+                            .map_err(&at)?;
                     }
                     self.exec_block(&child, body);
                 }
@@ -382,9 +387,7 @@ impl Engine {
         match lvalue {
             LValue::Var(name) => match scope.lookup(name) {
                 Some(Binding::Scalar(f)) => Ok(f),
-                Some(Binding::Array(_)) => {
-                    Err(format!("'{name}' is an array; index it to assign"))
-                }
+                Some(Binding::Array(_)) => Err(format!("'{name}' is an array; index it to assign")),
                 None => Err(format!("undefined variable '{name}'")),
             },
             LValue::Index(name, index_expr) => {
@@ -552,9 +555,7 @@ impl Engine {
                     Expr::Index(name, index) => {
                         let idx = self.eval_int(scope, index)?;
                         match scope.lookup(name) {
-                            Some(Binding::Array(a)) => {
-                                Some(a.element(idx, || self.anon_path()))
-                            }
+                            Some(Binding::Array(a)) => Some(a.element(idx, || self.anon_path())),
                             _ => None,
                         }
                     }
@@ -622,9 +623,7 @@ impl Engine {
         use Value::*;
         match (op, &l, &r) {
             // String concatenation when either side is a string.
-            (Add, Str(_), _) | (Add, _, Str(_)) => {
-                Ok(Str(format!("{}{}", l.render(), r.render())))
-            }
+            (Add, Str(_), _) | (Add, _, Str(_)) => Ok(Str(format!("{}{}", l.render(), r.render()))),
             (Add, Int(a), Int(b)) => Ok(Int(a.wrapping_add(*b))),
             (Sub, Int(a), Int(b)) => Ok(Int(a.wrapping_sub(*b))),
             (Mul, Int(a), Int(b)) => Ok(Int(a.wrapping_mul(*b))),

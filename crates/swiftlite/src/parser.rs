@@ -162,9 +162,7 @@ impl Parser {
                     match key.as_str() {
                         "nodes" => nodes = Some(value),
                         "ppn" => ppn = Some(value),
-                        other => {
-                            return Err(self.error(format!("unknown mpi attribute '{other}'")))
-                        }
+                        other => return Err(self.error(format!("unknown mpi attribute '{other}'"))),
                     }
                     if self.peek() == &TokenKind::Comma {
                         self.advance();
@@ -197,10 +195,7 @@ impl Parser {
             body.push(AppToken::Arg(self.app_word()?));
         }
         self.expect(&TokenKind::RBrace)?;
-        if !body
-            .iter()
-            .any(|t| matches!(t, AppToken::Arg(_)))
-        {
+        if !body.iter().any(|t| matches!(t, AppToken::Arg(_))) {
             return Err(ParseError {
                 line,
                 message: format!("app '{name}' has an empty command line"),
@@ -371,7 +366,12 @@ impl Parser {
                         }
                     }
                 }
-                let field = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v.clone());
+                let field = |name: &str| {
+                    fields
+                        .iter()
+                        .find(|(k, _)| k == name)
+                        .map(|(_, v)| v.clone())
+                };
                 match mapper.as_str() {
                     "single_file_mapper" => Mapping::Literal(
                         field("file")
@@ -669,9 +669,7 @@ impl Parser {
                                     other => {
                                         return Err(ParseError {
                                             line: self.line(),
-                                            message: format!(
-                                                "expected ',' or ')', found {other}"
-                                            ),
+                                            message: format!("expected ',' or ')', found {other}"),
                                         })
                                     }
                                 }
@@ -719,7 +717,11 @@ mod tests {
         ));
         assert!(matches!(
             &p.body[1],
-            Stmt::Decl { is_array: true, mapping: Some(Mapping::Simple { .. }), .. }
+            Stmt::Decl {
+                is_array: true,
+                mapping: Some(Mapping::Simple { .. }),
+                ..
+            }
         ));
     }
 
@@ -735,7 +737,10 @@ app (file o) namd (file c, int steps) mpi(nodes=4, ppn=2) {
         assert_eq!(app.outputs, vec![(Type::File, "o".to_string())]);
         assert_eq!(
             app.inputs,
-            vec![(Type::File, "c".to_string()), (Type::Int, "steps".to_string())]
+            vec![
+                (Type::File, "c".to_string()),
+                (Type::Int, "steps".to_string())
+            ]
         );
         assert_eq!(app.nodes, Some(Expr::Int(4)));
         assert_eq!(app.ppn, Some(Expr::Int(2)));
@@ -759,7 +764,13 @@ app (file o) namd (file c, int steps) mpi(nodes=4, ppn=2) {
     #[test]
     fn parses_if_else_with_modulus() {
         let p = parse("if (j %% 2 == 1) { trace(1); } else { trace(2); }").unwrap();
-        let Stmt::If { cond, then_body, else_body, .. } = &p.body[0] else {
+        let Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } = &p.body[0]
+        else {
             panic!("expected if");
         };
         assert!(matches!(cond, Expr::Bin(BinOp::Eq, _, _)));

@@ -173,9 +173,7 @@ impl Future {
                 return Err(WaitError::TimedOut);
             }
             // Wake periodically to observe cancellation.
-            self.inner
-                .cv
-                .wait_for(&mut cell, Duration::from_millis(50));
+            self.inner.cv.wait_for(&mut cell, Duration::from_millis(50));
         }
     }
 

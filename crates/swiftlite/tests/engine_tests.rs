@@ -209,11 +209,7 @@ fn missing_producer_times_out_with_diagnosis() {
         .unwrap()
         .run(Arc::new(FnExecutor::new()), opts)
         .unwrap_err();
-    assert!(
-        err.message.contains("timed out"),
-        "got: {}",
-        err.message
-    );
+    assert!(err.message.contains("timed out"), "got: {}", err.message);
 }
 
 #[test]

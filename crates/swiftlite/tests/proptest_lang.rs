@@ -62,10 +62,7 @@ fn model_expr() -> impl Strategy<Value = ModelExpr> {
 
 fn options(tag: u64) -> RunOptions {
     RunOptions {
-        work_dir: std::env::temp_dir().join(format!(
-            "swift-prop-{tag}-{}",
-            std::process::id()
-        )),
+        work_dir: std::env::temp_dir().join(format!("swift-prop-{tag}-{}", std::process::id())),
         wait_timeout: std::time::Duration::from_secs(20),
     }
 }

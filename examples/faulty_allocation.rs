@@ -32,8 +32,7 @@ fn main() {
     // Enough retries that every job survives repeated worker deaths.
     let jobs: Vec<JobSpec> = (0..96)
         .map(|_| {
-            JobSpec::sequential(CommandSpec::builtin("sleep", vec!["400".into()]))
-                .with_retries(10)
+            JobSpec::sequential(CommandSpec::builtin("sleep", vec!["400".into()])).with_retries(10)
         })
         .collect();
     let ids = dispatcher.submit_all(jobs);
@@ -60,7 +59,10 @@ fn main() {
     assert_eq!(succeeded, records.len(), "some jobs never recovered");
     assert!(killed.len() >= 3, "fault injector fell behind");
     let retried = records.iter().filter(|r| r.attempts > 1).count();
-    println!("{succeeded}/{} jobs succeeded; {retried} needed retries", records.len());
+    println!(
+        "{succeeded}/{} jobs succeeded; {retried} needed retries",
+        records.len()
+    );
 
     // The Fig. 10 timelines.
     let events = dispatcher.events().snapshot();

@@ -75,7 +75,10 @@ fn main() {
 
     let events = dispatcher.events().snapshot();
     let utilization = stats::measured_utilization(&events, nodes as usize);
-    println!("\nmeasured utilization (Eq. 1 over the event log): {:.1}%", 100.0 * utilization);
+    println!(
+        "\nmeasured utilization (Eq. 1 over the event log): {:.1}%",
+        100.0 * utilization
+    );
 
     dispatcher.shutdown();
     allocation.join_all();

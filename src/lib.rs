@@ -14,6 +14,7 @@
 //! | [`pmi`] | `jets-pmi` | the PMI process-management substrate (`mpiexec launcher=manual`) |
 //! | [`mpi`] | `jets-mpi` | the sockets message-passing library tasks link against |
 //! | [`worker`] | `jets-worker` | the pilot-job worker agent |
+//! | [`relay`] | `jets-relay` | the hierarchical relay tier: one dispatcher connection per worker block |
 //! | [`sim`] | `cluster-sim` | simulated allocations, fault injection, workloads |
 //! | [`swift`] | `swiftlite` | the mini-Swift dataflow language and the JETS bridge |
 //! | [`namd`] | `namd-sim` | the parallel molecular-dynamics application and REM |
@@ -51,6 +52,7 @@ pub use cluster_sim as sim;
 pub use jets_core as core;
 pub use jets_mpi as mpi;
 pub use jets_pmi as pmi;
+pub use jets_relay as relay;
 pub use jets_worker as worker;
 pub use namd_sim as namd;
 pub use swiftlite as swift;

@@ -88,8 +88,10 @@ fn namd_lite_runs_serially_from_cli() {
 
 #[test]
 fn rem_exchange_cli_swaps_files() {
-    let (Some(namd), Some(rem)) = (workspace_binary("namd-lite"), workspace_binary("rem-exchange"))
-    else {
+    let (Some(namd), Some(rem)) = (
+        workspace_binary("namd-lite"),
+        workspace_binary("rem-exchange"),
+    ) else {
         return;
     };
     let dir = tmpdir("rem");
@@ -158,7 +160,10 @@ trace("done");
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(output.status.success(), "stdout: {stdout}");
     assert!(stdout.contains("trace: done"), "stdout: {stdout}");
-    assert!(stdout.contains("1 app invocations completed"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("1 app invocations completed"),
+        "stdout: {stdout}"
+    );
     assert_eq!(
         std::fs::read_to_string(&out).unwrap().trim(),
         "hi-from-swiftlite"
@@ -205,7 +210,10 @@ fn mpiexec_manual_launcher_drives_real_processes() {
     let mut line = String::new();
     while ranks.len() < 2 {
         line.clear();
-        assert!(reader.read_line(&mut line).unwrap() > 0, "mpiexec ended early");
+        assert!(
+            reader.read_line(&mut line).unwrap() > 0,
+            "mpiexec ended early"
+        );
         if let Some(rest) = line.strip_prefix("node ") {
             // Format: `node NNN: K=V K=V K=V K=V namd-lite CONF`
             let (_, envs_and_cmd) = rest.split_once(": ").expect("node line format");

@@ -135,9 +135,7 @@ fn exhausted_retry_budget_fails_exactly_once() {
     let completions: Vec<bool> = events
         .iter()
         .filter_map(|e| match e.kind {
-            jets::core::EventKind::JobCompleted { job, success, .. } if job == id => {
-                Some(success)
-            }
+            jets::core::EventKind::JobCompleted { job, success, .. } if job == id => Some(success),
             _ => None,
         })
         .collect();
@@ -180,7 +178,10 @@ fn partitioned_worker_is_quarantined_then_reused() {
     );
     let deadline = std::time::Instant::now() + WAIT;
     while dispatcher.alive_workers() != 1 {
-        assert!(std::time::Instant::now() < deadline, "worker never registered");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "worker never registered"
+        );
         std::thread::sleep(Duration::from_millis(5));
     }
     let id = dispatcher.submit(
@@ -210,7 +211,9 @@ fn partitioned_worker_is_quarantined_then_reused() {
     let benched: Vec<u64> = events
         .iter()
         .filter_map(|e| match e.kind {
-            EventKind::WorkerQuarantined { worker, strikes, .. } => {
+            EventKind::WorkerQuarantined {
+                worker, strikes, ..
+            } => {
                 assert_eq!(strikes, 1);
                 Some(worker)
             }
@@ -224,7 +227,9 @@ fn partitioned_worker_is_quarantined_then_reused() {
         .iter()
         .rev()
         .find_map(|e| match e.kind {
-            EventKind::TaskEnded { worker, exit_code, .. } if exit_code == 0 => Some(worker),
+            EventKind::TaskEnded {
+                worker, exit_code, ..
+            } if exit_code == 0 => Some(worker),
             _ => None,
         })
         .expect("no successful task");
@@ -262,12 +267,14 @@ fn hung_worker_is_disregarded_and_job_rescued() {
     // guaranteed to be the one that takes the job.
     let deadline = std::time::Instant::now() + WAIT;
     while dispatcher.alive_workers() != 1 {
-        assert!(std::time::Instant::now() < deadline, "worker never registered");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "worker never registered"
+        );
         std::thread::sleep(Duration::from_millis(10));
     }
-    let id = dispatcher.submit(
-        JobSpec::sequential(CommandSpec::builtin("tarpit", vec![])).with_retries(2),
-    );
+    let id = dispatcher
+        .submit(JobSpec::sequential(CommandSpec::builtin("tarpit", vec![])).with_retries(2));
     // The job must start on the tarpit worker...
     while dispatcher.job_record(id).unwrap().status != JobStatus::Running {
         assert!(std::time::Instant::now() < deadline, "job never started");

@@ -87,7 +87,10 @@ fn real_process_sequential_command() {
     let ok = dispatcher.submit(JobSpec::sequential(CommandSpec::exec("true", vec![])));
     let bad = dispatcher.submit(JobSpec::sequential(CommandSpec::exec("false", vec![])));
     assert!(dispatcher.wait_idle(Duration::from_secs(60)));
-    assert_eq!(dispatcher.job_record(ok).unwrap().status, JobStatus::Succeeded);
+    assert_eq!(
+        dispatcher.job_record(ok).unwrap().status,
+        JobStatus::Succeeded
+    );
     let failed = dispatcher.job_record(bad).unwrap();
     assert_eq!(failed.status, JobStatus::Failed);
     assert_eq!(failed.exit_codes, vec![1]);

@@ -112,7 +112,10 @@ fn oversized_job_fails_gracefully_on_timeout() {
         CommandSpec::builtin("mpi-sleep", vec!["10".into()]),
     ));
     assert!(!dispatcher.wait_idle(Duration::from_millis(200)));
-    assert_eq!(dispatcher.job_record(id).unwrap().status, JobStatus::Pending);
+    assert_eq!(
+        dispatcher.job_record(id).unwrap().status,
+        JobStatus::Pending
+    );
     // Smaller jobs submitted later still cannot pass it under FIFO...
     let small = dispatcher.submit(JobSpec::sequential(CommandSpec::builtin("noop", vec![])));
     assert!(!dispatcher.wait_idle(Duration::from_millis(200)));
