@@ -32,10 +32,7 @@ fn main() {
         let args = parse_args(argv.into_iter().skip(1), &["in", "nodes", "step-ms"]);
         events_main(&args);
     }
-    let args = parse_args(
-        argv.into_iter(),
-        &["listen", "simulate", "timeout", "events-out"],
-    );
+    let args = parse_args(argv, &["listen", "simulate", "timeout", "events-out"]);
     let Some(taskfile) = args.positional.first() else {
         eprintln!(
             "usage: jets TASKFILE [--listen ADDR] [--simulate N] [--timeout SECS] [--events-out FILE]\n       jets events --in FILE [--nodes N] [--step-ms MS]"

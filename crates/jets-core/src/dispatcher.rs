@@ -301,14 +301,12 @@ impl Dispatcher {
         thread::Builder::new()
             .name("jets-accept".to_string())
             .stack_size(CONN_STACK)
-            .spawn(move || accept_loop(listener, accept_inner))
-            .expect("spawn dispatcher accept thread");
+            .spawn(move || accept_loop(listener, accept_inner))?;
         let monitor_inner = Arc::clone(&inner);
         thread::Builder::new()
             .name("jets-monitor".to_string())
             .stack_size(CONN_STACK)
-            .spawn(move || monitor_loop(monitor_inner))
-            .expect("spawn dispatcher monitor thread");
+            .spawn(move || monitor_loop(monitor_inner))?;
         Ok(Dispatcher { inner, addr })
     }
 
@@ -500,11 +498,17 @@ fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
                 backoff = Duration::from_micros(500);
                 inner.accepted.fetch_add(1, Ordering::Relaxed);
                 let conn_inner = Arc::clone(&inner);
-                thread::Builder::new()
+                // Spawn failure (thread exhaustion) is peer-drivable
+                // load, not a dispatcher bug: shed this connection and
+                // keep accepting rather than panic.
+                if thread::Builder::new()
                     .name("jets-conn".to_string())
                     .stack_size(CONN_STACK)
                     .spawn(move || serve_worker(stream, conn_inner))
-                    .expect("spawn worker connection thread");
+                    .is_err()
+                {
+                    continue;
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 thread::sleep(backoff);
@@ -587,14 +591,30 @@ fn serve_worker(stream: TcpStream, inner: Arc<Inner>) {
         Ok(Some(WorkerMsg::RelayHello { name, .. })) => {
             serve_relay(reader, write_half, inner, name)
         }
-        _ => {}
+        // Any other first frame is a protocol violation: the peer never
+        // completed a handshake, so there is no state to unwind — just
+        // drop the connection.
+        Ok(Some(
+            WorkerMsg::Request
+            | WorkerMsg::Done { .. }
+            | WorkerMsg::Heartbeat
+            | WorkerMsg::Goodbye
+            | WorkerMsg::RelayRegister { .. }
+            | WorkerMsg::RelayRequest { .. }
+            | WorkerMsg::RelayDone { .. }
+            | WorkerMsg::BatchedHeartbeat { .. }
+            | WorkerMsg::RelayWorkerGone { .. },
+        )) => {}
+        Ok(None) | Err(_) => {}
     }
 }
 
 /// Spawn the writer thread for one connection: channel → socket, so any
 /// dispatcher thread can send. `MsgWriter` reuses its encode buffer
-/// across the connection's life.
-fn spawn_conn_writer(write_half: TcpStream, label: &str) -> Sender<DispatcherMsg> {
+/// across the connection's life. Returns `None` when the thread cannot
+/// be spawned (resource exhaustion under connection load) — the caller
+/// severs the connection instead of panicking the dispatcher.
+fn spawn_conn_writer(write_half: TcpStream, label: &str) -> Option<Sender<DispatcherMsg>> {
     let (tx, rx) = unbounded::<DispatcherMsg>();
     thread::Builder::new()
         .name(format!("jets-write-{label}"))
@@ -607,8 +627,8 @@ fn spawn_conn_writer(write_half: TcpStream, label: &str) -> Sender<DispatcherMsg
                 }
             }
         })
-        .expect("spawn connection writer thread");
-    tx
+        .ok()?;
+    Some(tx)
 }
 
 /// Register one worker under the scheduling lock, reachable through
@@ -650,7 +670,9 @@ fn serve_direct(
     location: String,
 ) {
     let worker_id = inner.next_worker.fetch_add(1, Ordering::Relaxed);
-    let tx = spawn_conn_writer(write_half, &worker_id.to_string());
+    let Some(tx) = spawn_conn_writer(write_half, &worker_id.to_string()) else {
+        return; // can't service this peer; it will retry its connection
+    };
     let hb = register_worker(
         &inner,
         worker_id,
@@ -686,7 +708,16 @@ fn serve_direct(
             Ok(Some(WorkerMsg::Goodbye)) | Ok(None) => break,
             // Re-registration or relay-scoped frames on a worker
             // connection are protocol violations; sever.
-            Ok(Some(_)) | Err(_) => break,
+            Ok(Some(
+                WorkerMsg::Register { .. }
+                | WorkerMsg::RelayHello { .. }
+                | WorkerMsg::RelayRegister { .. }
+                | WorkerMsg::RelayRequest { .. }
+                | WorkerMsg::RelayDone { .. }
+                | WorkerMsg::BatchedHeartbeat { .. }
+                | WorkerMsg::RelayWorkerGone { .. },
+            ))
+            | Err(_) => break,
         }
     }
     handle_worker_down(&inner, worker_id);
@@ -708,7 +739,9 @@ fn serve_relay(
     name: String,
 ) {
     let relay_id = inner.next_worker.fetch_add(1, Ordering::Relaxed);
-    let tx = spawn_conn_writer(write_half, &format!("relay-{relay_id}"));
+    let Some(tx) = spawn_conn_writer(write_half, &format!("relay-{relay_id}")) else {
+        return; // can't service this relay; it will reconnect
+    };
     {
         let mut st = inner.sched.lock();
         st.relays.insert(relay_id, tx.clone());
@@ -782,7 +815,13 @@ fn serve_relay(
             Ok(Some(WorkerMsg::Goodbye)) | Ok(None) => break,
             // Direct-worker frames on a relay connection are protocol
             // violations; sever (taking the block down with it).
-            Ok(Some(_)) | Err(_) => break,
+            Ok(Some(
+                WorkerMsg::Register { .. }
+                | WorkerMsg::Request
+                | WorkerMsg::Done { .. }
+                | WorkerMsg::RelayHello { .. },
+            ))
+            | Err(_) => break,
         }
     }
     // Relay gone: every worker it still fronted is unreachable. Each
@@ -1116,8 +1155,12 @@ fn handle_done(
         active.failed_workers.push(worker);
     }
     if active.pending.is_empty() {
-        let active = st.active.remove(&job_id).expect("checked above");
-        finish_job(inner, &mut st, active);
+        // `get_mut` above proved the entry exists, but structure the
+        // removal so a future refactor can't turn this into a panic on
+        // a peer-driven path.
+        if let Some(active) = st.active.remove(&job_id) {
+            finish_job(inner, &mut st, active);
+        }
     }
 }
 

@@ -489,7 +489,7 @@ mod tests {
             job: 2,
             worker: 1,
             ranks: 2,
-            exit_code: -125,
+            exit_code: crate::spec::EXIT_CANCELED,
         });
         log.record(EventKind::JobCompleted {
             job: 2,

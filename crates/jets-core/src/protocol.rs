@@ -174,20 +174,11 @@ pub enum DispatcherMsg {
     },
 }
 
-/// Synthetic exit code the dispatcher records when a worker dies (EOF,
-/// error, or heartbeat silence) while its task was in flight.
-pub const EXIT_WORKER_LOST: i32 = -127;
-/// Synthetic exit code for an assignment that could not be delivered:
-/// the worker vanished between parking and assignment.
-pub const EXIT_UNDELIVERABLE: i32 = -128;
-/// Exit code for a task killed by gang cancellation (a peer worker died
-/// or the assignment was partially undeliverable). Recorded by the
-/// dispatcher when it sends [`DispatcherMsg::Cancel`] and reported by the
-/// worker once the kill lands.
-pub const EXIT_CANCELED: i32 = -125;
-/// Exit code for a task killed because its job exceeded its wall-time
-/// deadline ([`crate::spec::JobSpec::deadline_ms`]).
-pub const EXIT_DEADLINE: i32 = -126;
+// The synthetic exit-code registry lives in `spec.rs` (the one file
+// allowed to write the sentinel literals; see jets-lint rule J5).
+// Re-exported here because every protocol peer needs them alongside the
+// envelope types.
+pub use crate::spec::{EXIT_CANCELED, EXIT_DEADLINE, EXIT_UNDELIVERABLE, EXIT_WORKER_LOST};
 
 /// One unit of work shipped to one worker.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

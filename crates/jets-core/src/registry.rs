@@ -46,6 +46,7 @@ impl HeartbeatHandle {
 
     /// Record "heard from now". Lock-free; safe from any thread.
     pub fn beat(&self) {
+        // jets-lint: allow(relaxed) monotonic liveness clock: the monitor tolerates a stale read (one extra tick of apparent silence); no data is published through this store
         self.last_seen_ms
             .store(self.epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
     }

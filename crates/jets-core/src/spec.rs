@@ -312,6 +312,32 @@ fn command_from_words(mut words: Vec<String>) -> CommandSpec {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Exit-code registry.
+//
+// The dispatcher synthesizes *negative* exit codes for tasks that never
+// produced one of their own; they can't collide with a real process
+// status (0..=255) or the worker's positive spawn-failure conventions.
+// This table is the single place such sentinels may be written as
+// literals — jets-lint rule J5 (`exit-code`) flags the raw numbers
+// anywhere else in the tree.
+// ---------------------------------------------------------------------------
+
+/// Synthetic exit code the dispatcher records when a worker dies (EOF,
+/// error, or heartbeat silence) while its task was in flight.
+pub const EXIT_WORKER_LOST: i32 = -127;
+/// Synthetic exit code for an assignment that could not be delivered:
+/// the worker vanished between parking and assignment.
+pub const EXIT_UNDELIVERABLE: i32 = -128;
+/// Exit code for a task killed by gang cancellation (a peer worker died
+/// or the assignment was partially undeliverable). Recorded by the
+/// dispatcher when it sends a `Cancel` envelope and reported by the
+/// worker once the kill lands.
+pub const EXIT_CANCELED: i32 = -125;
+/// Exit code for a task killed because its job exceeded its wall-time
+/// deadline ([`JobSpec::deadline_ms`]).
+pub const EXIT_DEADLINE: i32 = -126;
+
 #[cfg(test)]
 mod tests {
     use super::*;

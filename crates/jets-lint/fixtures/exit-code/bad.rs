@@ -1,0 +1,7 @@
+fn worker_lost_code() -> i32 {
+    -127
+}
+
+fn undeliverable(rec: &mut Record) {
+    rec.exit_codes.push(-128);
+}

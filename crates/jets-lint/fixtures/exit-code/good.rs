@@ -1,0 +1,9 @@
+const EXIT_RANK_PANIC: i32 = 125;
+
+fn positive_spawn_failure() -> i32 {
+    126
+}
+
+fn subtraction(x: i32) -> i32 {
+    x - 127
+}

@@ -1,0 +1,4 @@
+pub const EXIT_WORKER_LOST: i32 = -127;
+pub const EXIT_UNDELIVERABLE: i32 = -128;
+pub const EXIT_CANCELED: i32 = -125;
+pub const EXIT_DEADLINE: i32 = -126;

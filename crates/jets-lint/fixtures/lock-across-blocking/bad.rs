@@ -1,0 +1,5 @@
+fn holds_across_recv(inner: &Inner, rx: &Receiver<u8>) {
+    let st = inner.sched.lock();
+    let v = rx.recv();
+    st.touch(v);
+}

@@ -1,0 +1,12 @@
+fn releases_before_recv(inner: &Inner, rx: &Receiver<u8>) {
+    {
+        let mut st = inner.sched.lock();
+        st.touch();
+    }
+    let v = rx.recv();
+    consume(v);
+}
+
+fn temporary_guard_send(writer: &Mutex<MsgWriter>) {
+    writer.lock().send(&msg);
+}

@@ -1,0 +1,5 @@
+fn inverted(inner: &Inner) {
+    let bk = inner.book.lock();
+    let st = inner.sched.lock();
+    st.touch(&bk);
+}

@@ -1,0 +1,14 @@
+fn canonical(inner: &Inner) {
+    let st = inner.sched.lock();
+    let bk = inner.book.lock();
+    bk.touch(&st);
+}
+
+fn sequential(inner: &Inner) {
+    {
+        let bk = inner.book.lock();
+        bk.touch();
+    }
+    let st = inner.sched.lock();
+    st.touch();
+}

@@ -1,0 +1,12 @@
+enum WorkerMsg {
+    Register,
+    Done,
+    Heartbeat,
+}
+
+fn dispatch(m: WorkerMsg) {
+    match m {
+        WorkerMsg::Register => {}
+        _ => {}
+    }
+}

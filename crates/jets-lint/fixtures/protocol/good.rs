@@ -1,0 +1,21 @@
+enum DispatcherMsg {
+    Assign(u64),
+    Cancel { id: u64 },
+    Shutdown,
+}
+
+fn relayable(m: &DispatcherMsg) -> bool {
+    match m {
+        DispatcherMsg::Assign(_) | DispatcherMsg::Cancel { .. } => true,
+        DispatcherMsg::Shutdown => false,
+    }
+}
+
+fn pump(rx: &Receiver) {
+    match rx.recv() {
+        Ok(Some(DispatcherMsg::Assign(a))) => consume(a),
+        Ok(Some(DispatcherMsg::Cancel { id })) => cancel(id),
+        Ok(Some(DispatcherMsg::Shutdown)) | Ok(None) => {}
+        Err(_) => {}
+    }
+}

@@ -1,0 +1,7 @@
+fn signal(flag: &AtomicBool) {
+    flag.store(true, Ordering::Relaxed);
+}
+
+fn watch(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Acquire)
+}

@@ -1,0 +1,12 @@
+fn signal(flag: &AtomicBool) {
+    // jets-lint: allow(relaxed) liveness clock only: readers tolerate one stale tick
+    flag.store(true, Ordering::Relaxed);
+}
+
+fn watch(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Acquire)
+}
+
+fn local_counter(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}

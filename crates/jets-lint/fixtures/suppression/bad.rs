@@ -1,0 +1,10 @@
+fn missing_reason() -> i32 {
+    // jets-lint: allow(exit-code)
+    -128
+}
+
+// jets-lint: allow(bogus-key) the key does not exist
+fn unknown_key() {}
+
+// jets-lint: allow(unwrap) nothing below ever unwraps
+fn unused_suppression() {}

@@ -1,0 +1,4 @@
+fn documented_sentinel() -> i32 {
+    // jets-lint: allow(exit-code) chaos harness exercises the raw sentinel on purpose
+    -128
+}

@@ -1,0 +1,9 @@
+fn serve_worker(stream: TcpStream) {
+    let msg = read_frame(&stream).unwrap();
+    consume(msg);
+}
+
+fn handle_done(book: &mut Book, job: u64) {
+    let rec = book.remove(&job).expect("present");
+    rec.close();
+}

@@ -1,0 +1,11 @@
+fn parse_flag(s: &str) -> u32 {
+    s.parse().unwrap()
+}
+
+fn serve_worker(stream: TcpStream) {
+    let Ok(msg) = read_frame(&stream) else {
+        return;
+    };
+    let fallback = msg.field.unwrap_or_default();
+    consume(fallback);
+}

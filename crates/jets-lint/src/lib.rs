@@ -1,0 +1,1685 @@
+//! jets-lint: workspace-wide invariant checker for the JETS runtime.
+//!
+//! The dispatcher and relay are built around a handful of concurrency
+//! invariants that ordinary type checking cannot see: the canonical
+//! `sched` → `book` lock order, the rule that no lock is held across
+//! blocking socket I/O, the `AcqRel` doorbell discipline around
+//! `Ordering::Relaxed` atomics, exhaustive handling of every protocol
+//! envelope, and the negative exit-code registry. This crate turns
+//! those prose invariants (see `docs/static-analysis.md`) into a
+//! machine-checked pass that runs as a hard CI gate.
+//!
+//! The analysis is token-based (see [`lexer`]) rather than `syn`-based
+//! so it works with zero dependencies in offline environments. Each
+//! rule is deliberately narrow: it targets the exact shape of the
+//! invariant in this codebase, preferring a missed exotic case over a
+//! false positive that trains people to sprinkle suppressions.
+//!
+//! Rules:
+//!
+//! | id | key                  | invariant                                         |
+//! |----|----------------------|---------------------------------------------------|
+//! | J0 | (meta)               | suppression comments must be well-formed + reasoned|
+//! | J1 | `lock-order`         | `sched` before `book`, never reversed or re-entered|
+//! | J2 | `lock-across-blocking` | no let-bound lock guard live across blocking ops |
+//! | J3 | `relaxed`            | Relaxed store/swap on a cross-thread flag needs a reason |
+//! | J4 | `protocol`           | WorkerMsg/DispatcherMsg matches name every variant |
+//! | J5 | `exit-code`          | negative sentinel exit codes only in `spec.rs`    |
+//! | J6 | `unwrap`             | no unwrap/expect in connection-handler paths      |
+//!
+//! Suppression syntax (the reason is mandatory):
+//!
+//! ```text
+//! // jets-lint: allow(lock-across-blocking) handshake runs before the writer thread exists
+//! ```
+//!
+//! A suppression covers findings with the matching key on its own line
+//! and the next three lines, so it can sit above a multi-line statement.
+
+pub mod lexer;
+
+use lexer::{lex, Lexed, Tok, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Rule identifiers, used in diagnostics (`J4`) and JSON output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Malformed suppression comment.
+    J0,
+    /// Lock-order violation (`book` held while acquiring `sched`, or
+    /// re-acquiring a held lock).
+    J1,
+    /// Lock guard live across a blocking operation.
+    J2,
+    /// `Ordering::Relaxed` store/swap on a cross-thread flag without an
+    /// `allow(relaxed)` marker.
+    J3,
+    /// Non-exhaustive protocol match.
+    J4,
+    /// Magic negative exit-code literal outside `spec.rs`.
+    J5,
+    /// `unwrap`/`expect` in a connection-handler function.
+    J6,
+}
+
+impl Rule {
+    /// The suppression key for this rule (what goes inside `allow(..)`).
+    pub fn key(self) -> &'static str {
+        match self {
+            Rule::J0 => "suppression",
+            Rule::J1 => "lock-order",
+            Rule::J2 => "lock-across-blocking",
+            Rule::J3 => "relaxed",
+            Rule::J4 => "protocol",
+            Rule::J5 => "exit-code",
+            Rule::J6 => "unwrap",
+        }
+    }
+
+    /// Short id (`J1`…) for human output.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::J0 => "J0",
+            Rule::J1 => "J1",
+            Rule::J2 => "J2",
+            Rule::J3 => "J3",
+            Rule::J4 => "J4",
+            Rule::J5 => "J5",
+            Rule::J6 => "J6",
+        }
+    }
+}
+
+/// Suppression keys accepted inside `allow(..)`. `suppression` (J0)
+/// itself is intentionally absent: hygiene findings cannot be waived.
+const ALLOW_KEYS: &[&str] = &[
+    "lock-order",
+    "lock-across-blocking",
+    "relaxed",
+    "protocol",
+    "exit-code",
+    "unwrap",
+];
+
+/// How many lines below a suppression comment it still covers, so the
+/// comment can sit above a multi-line statement.
+const SUPPRESSION_REACH: u32 = 3;
+
+/// One diagnostic.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// File the finding is in.
+    pub path: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}/{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule.id(),
+            self.rule.key(),
+            self.message
+        )
+    }
+}
+
+impl Finding {
+    /// Serialize as a JSON object (hand-rolled; no serde available).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"key\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            self.rule.id(),
+            self.rule.key(),
+            json_escape(&self.path.display().to_string()),
+            self.line,
+            json_escape(&self.message)
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A parsed, well-formed suppression.
+#[derive(Debug, Clone)]
+struct Suppression {
+    line: u32,
+    key: String,
+    used: bool,
+}
+
+/// A function body within the token stream.
+#[derive(Debug)]
+struct Func {
+    name: String,
+    /// Token index range of the body, *inside* the braces.
+    body: std::ops::Range<usize>,
+    in_test: bool,
+}
+
+/// One source file prepared for analysis.
+struct SourceFile {
+    path: PathBuf,
+    lexed: Lexed,
+    /// Whole file is test-ish scope (tests/, benches/, examples/ dirs).
+    file_is_test: bool,
+    funcs: Vec<Func>,
+}
+
+/// Variant sets of the protocol enums found in the analysis set,
+/// keyed by enum name (`WorkerMsg`, `DispatcherMsg`).
+type EnumDefs = BTreeMap<String, BTreeSet<String>>;
+
+/// Lint in-memory sources: `(path, contents)` pairs. This is the core
+/// entry point; [`lint_paths`] reads files and delegates here. Enum
+/// definitions for rule J4 and cross-function load sites for rule J3
+/// are resolved across the whole set, so fixtures can carry their own
+/// mini enum definitions.
+pub fn lint_sources(sources: &[(PathBuf, String)]) -> Vec<Finding> {
+    let mut files: Vec<SourceFile> = Vec::with_capacity(sources.len());
+    for (path, src) in sources {
+        files.push(prepare(path.clone(), src));
+    }
+
+    let enums = collect_protocol_enums(&files);
+    // J3 needs to know which atomic field names are loaded in *some
+    // other* function than the store site; collect (field -> functions
+    // that load it) across the whole set.
+    let load_sites = collect_atomic_loads(&files);
+
+    let mut findings = Vec::new();
+    let mut suppressions: Vec<(usize, Vec<Suppression>)> = Vec::new();
+
+    for (fi, file) in files.iter().enumerate() {
+        let (mut sup, mut j0) = parse_suppressions(file);
+        findings.append(&mut j0);
+        rule_lock_order(file, &mut findings);
+        rule_lock_across_blocking(file, &mut findings);
+        rule_relaxed_atomics(file, &load_sites, &mut findings);
+        rule_protocol_exhaustive(file, &enums, &mut findings);
+        rule_exit_code(file, &mut findings);
+        rule_unwrap_in_handler(file, &mut findings);
+        sup.sort_by_key(|s| s.line);
+        suppressions.push((fi, sup));
+    }
+
+    // Apply suppressions per file.
+    let mut kept = Vec::new();
+    'finding: for f in findings {
+        if f.rule != Rule::J0 {
+            for (fi, sups) in suppressions.iter_mut() {
+                if files[*fi].path != f.path {
+                    continue;
+                }
+                for s in sups.iter_mut() {
+                    if s.key == f.rule.key()
+                        && f.line >= s.line
+                        && f.line <= s.line + SUPPRESSION_REACH
+                    {
+                        s.used = true;
+                        continue 'finding;
+                    }
+                }
+            }
+        }
+        kept.push(f);
+    }
+
+    // Unused suppressions are hygiene findings too: they document an
+    // invariant exemption that no longer exists.
+    for (fi, sups) in &suppressions {
+        for s in sups {
+            if !s.used {
+                kept.push(Finding {
+                    rule: Rule::J0,
+                    path: files[*fi].path.clone(),
+                    line: s.line,
+                    message: format!(
+                        "unused suppression `allow({})`: no matching finding within {} lines",
+                        s.key, SUPPRESSION_REACH
+                    ),
+                });
+            }
+        }
+    }
+
+    kept.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    kept
+}
+
+/// Read and lint files from disk. Unreadable files are skipped (the
+/// walker only hands us paths it just saw).
+pub fn lint_paths(paths: &[PathBuf]) -> Vec<Finding> {
+    let mut sources = Vec::with_capacity(paths.len());
+    for p in paths {
+        if let Ok(src) = std::fs::read_to_string(p) {
+            sources.push((p.clone(), src));
+        }
+    }
+    lint_sources(&sources)
+}
+
+/// Collect the `.rs` files of a workspace rooted at `root`, excluding
+/// build output, fixtures (known-bad code), and vendored tooling stubs.
+pub fn workspace_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(_) => continue,
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target"
+                    || name == ".git"
+                    || name == "fixtures"
+                    || name == "tools"
+                    || name == "node_modules"
+                {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Preparation: lexing, test-scope masking, function splitting.
+// ---------------------------------------------------------------------------
+
+fn prepare(path: PathBuf, src: &str) -> SourceFile {
+    let lexed = lex(src);
+    let file_is_test = {
+        let s = path.to_string_lossy().replace('\\', "/");
+        s.contains("/tests/") || s.contains("/benches/") || s.contains("/examples/")
+    };
+    let test_mask = compute_test_mask(&lexed.toks);
+    let funcs = split_functions(&lexed.toks, &test_mask);
+    SourceFile {
+        path,
+        lexed,
+        file_is_test,
+        funcs,
+    }
+}
+
+/// Mark tokens inside `#[cfg(test)]`-gated items and `#[test]` fns.
+fn compute_test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct("#") && i + 1 < toks.len() && toks[i + 1].is_punct("[") {
+            // Scan the attribute tokens.
+            let attr_start = i + 2;
+            let mut j = attr_start;
+            let mut depth = 1;
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct("[") {
+                    depth += 1;
+                } else if toks[j].is_punct("]") {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+            let attr = &toks[attr_start..j.saturating_sub(1)];
+            let is_test_attr = attr.first().map(|t| t.is_ident("test")).unwrap_or(false)
+                || (attr.first().map(|t| t.is_ident("cfg")).unwrap_or(false)
+                    && attr.iter().any(|t| t.is_ident("test")));
+            if is_test_attr {
+                // Mark through the attached item: scan forward past any
+                // further attributes to the item's braced body (or `;`).
+                let mut k = j;
+                // Skip stacked attributes.
+                while k + 1 < toks.len() && toks[k].is_punct("#") && toks[k + 1].is_punct("[") {
+                    let mut d = 0;
+                    k += 1;
+                    while k < toks.len() {
+                        if toks[k].is_punct("[") {
+                            d += 1;
+                        } else if toks[k].is_punct("]") {
+                            d -= 1;
+                            if d == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                }
+                // Find the first `{` at depth 0 relative to here, or `;`.
+                let mut d = 0i32;
+                let mut end = k;
+                while end < toks.len() {
+                    let t = &toks[end];
+                    if t.is_punct("{") {
+                        d += 1;
+                    } else if t.is_punct("}") {
+                        d -= 1;
+                        if d == 0 {
+                            end += 1;
+                            break;
+                        }
+                    } else if t.is_punct(";") && d == 0 {
+                        end += 1;
+                        break;
+                    }
+                    end += 1;
+                }
+                for m in mask.iter_mut().take(end.min(toks.len())).skip(i) {
+                    *m = true;
+                }
+                i = end;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Split the token stream into named functions with body ranges.
+fn split_functions(toks: &[Tok], test_mask: &[bool]) -> Vec<Func> {
+    let mut funcs = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") && i + 1 < toks.len() && toks[i + 1].kind == TokKind::Ident {
+            let name = toks[i + 1].text.clone();
+            let in_test = test_mask.get(i).copied().unwrap_or(false);
+            // Find the opening `{` of the body, skipping generics,
+            // params, return types, and where clauses. `;` first means
+            // a trait method declaration with no body.
+            let mut j = i + 2;
+            let mut angle = 0i32;
+            let mut paren = 0i32;
+            let mut body_start = None;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct("<") {
+                    angle += 1;
+                } else if t.is_punct(">") {
+                    angle -= 1;
+                } else if t.is_punct("(") {
+                    paren += 1;
+                } else if t.is_punct(")") {
+                    paren -= 1;
+                } else if t.is_punct(";") && paren == 0 {
+                    break;
+                } else if t.is_punct("{") && paren == 0 && angle <= 0 {
+                    body_start = Some(j + 1);
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(start) = body_start {
+                let mut depth = 1i32;
+                let mut k = start;
+                while k < toks.len() && depth > 0 {
+                    if toks[k].is_punct("{") {
+                        depth += 1;
+                    } else if toks[k].is_punct("}") {
+                        depth -= 1;
+                    }
+                    k += 1;
+                }
+                let body = start..k.saturating_sub(1);
+                funcs.push(Func {
+                    name,
+                    body: body.clone(),
+                    in_test,
+                });
+                // Continue *inside* the body so nested fns are found too.
+                i = start;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    funcs
+}
+
+// ---------------------------------------------------------------------------
+// J0: suppression hygiene.
+// ---------------------------------------------------------------------------
+
+fn parse_suppressions(file: &SourceFile) -> (Vec<Suppression>, Vec<Finding>) {
+    let mut sups = Vec::new();
+    let mut findings = Vec::new();
+    for raw in &file.lexed.suppressions {
+        let text = raw.text.trim();
+        let bad = |msg: String| Finding {
+            rule: Rule::J0,
+            path: file.path.clone(),
+            line: raw.line,
+            message: msg,
+        };
+        let Some(rest) = text.strip_prefix("allow(") else {
+            findings.push(bad(format!(
+                "malformed jets-lint comment `{text}`: expected `allow(<key>) <reason>`"
+            )));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            findings.push(bad(format!(
+                "malformed jets-lint comment `{text}`: missing `)`"
+            )));
+            continue;
+        };
+        let key = rest[..close].trim().to_string();
+        let reason = rest[close + 1..].trim();
+        if !ALLOW_KEYS.contains(&key.as_str()) {
+            findings.push(bad(format!(
+                "unknown suppression key `{key}` (expected one of: {})",
+                ALLOW_KEYS.join(", ")
+            )));
+            continue;
+        }
+        if reason.is_empty() {
+            findings.push(bad(format!(
+                "suppression `allow({key})` is missing its mandatory reason"
+            )));
+            continue;
+        }
+        sups.push(Suppression {
+            line: raw.line,
+            key,
+            used: false,
+        });
+    }
+    (sups, findings)
+}
+
+// ---------------------------------------------------------------------------
+// Shared guard tracking for J1/J2.
+// ---------------------------------------------------------------------------
+
+/// The locks with a canonical order. Lower rank is acquired first.
+fn lock_rank(field: &str) -> Option<u8> {
+    match field {
+        "sched" => Some(0),
+        "book" => Some(1),
+        _ => None,
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Guard {
+    name: String,
+    /// The field the lock was taken on (`sched`, `book`, `writer`, …).
+    field: String,
+    /// Brace depth the binding was created at; the guard dies when the
+    /// enclosing block closes.
+    depth: i32,
+    line: u32,
+}
+
+/// Scan a function body, calling `on_lock` at every `.lock()` call with
+/// (receiver-field, live guards, is-let-binding, token index) and
+/// `on_tok` for every token with the live-guard list. Maintains the
+/// guard list: let-bound guards live until `drop(name)`, shadowing, or
+/// scope exit; temporary `x.lock().y` guards are not tracked as live
+/// past the statement (they die at the end of the expression).
+fn scan_guards<FL, FT>(file: &SourceFile, func: &Func, mut on_lock: FL, mut on_tok: FT)
+where
+    FL: FnMut(&str, &[Guard], bool, usize),
+    FT: FnMut(&Tok, usize, &[Guard]),
+{
+    let toks = &file.lexed.toks;
+    let body = func.body.clone();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = body.start;
+    while i < body.end {
+        let t = &toks[i];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            guards.retain(|g| g.depth <= depth);
+        }
+
+        // drop(name) kills a guard.
+        if t.is_ident("drop")
+            && i + 2 < body.end
+            && toks[i + 1].is_punct("(")
+            && toks[i + 2].kind == TokKind::Ident
+        {
+            let victim = &toks[i + 2].text;
+            guards.retain(|g| &g.name != victim);
+        }
+
+        // `.lock()` / `.lock().` — find the receiver field: the ident
+        // immediately before the `.`.
+        if t.is_punct(".")
+            && i + 3 < body.end
+            && toks[i + 1].is_ident("lock")
+            && toks[i + 2].is_punct("(")
+            && toks[i + 3].is_punct(")")
+        {
+            let field = if i > body.start && toks[i - 1].kind == TokKind::Ident {
+                toks[i - 1].text.clone()
+            } else {
+                String::new()
+            };
+            // Is this a let binding? Walk back to the statement start.
+            let binding = find_let_binding(toks, body.start, i);
+            on_lock(&field, &guards, binding.is_some(), i);
+            if let Some((name, _let_idx)) = binding {
+                // Shadowing: a rebound name kills the old guard.
+                guards.retain(|g| g.name != name);
+                guards.push(Guard {
+                    name,
+                    field,
+                    depth,
+                    line: t.line,
+                });
+            }
+            i += 4;
+            // If this was a temporary (no let), the guard lives only to
+            // the end of the statement; we simply don't track it.
+            continue;
+        }
+
+        on_tok(t, i, &guards);
+        i += 1;
+    }
+}
+
+/// If the `.lock()` at token `dot` is the RHS of `let [mut] NAME = …`,
+/// return (NAME, index of `let`). Walks back to the nearest `;`, `{`,
+/// or `}` and checks the statement starts with `let`.
+fn find_let_binding(toks: &[Tok], lo: usize, dot: usize) -> Option<(String, usize)> {
+    let mut j = dot;
+    while j > lo {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            j += 1;
+            break;
+        }
+        // A `=` between here and the dot is fine; keep walking.
+    }
+    if !toks.get(j)?.is_ident("let") {
+        return None;
+    }
+    let mut k = j + 1;
+    if toks.get(k)?.is_ident("mut") {
+        k += 1;
+    }
+    let name_tok = toks.get(k)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    // Require `= … .lock()` to follow (not `let (a, b) = …` patterns).
+    let eq = toks.get(k + 1)?;
+    if !(eq.is_punct("=") || eq.is_punct(":")) {
+        return None;
+    }
+    Some((name_tok.text.clone(), j))
+}
+
+// ---------------------------------------------------------------------------
+// J1: lock order.
+// ---------------------------------------------------------------------------
+
+fn rule_lock_order(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if file.file_is_test {
+        return;
+    }
+    for func in &file.funcs {
+        if func.in_test {
+            continue;
+        }
+        let toks = &file.lexed.toks;
+        scan_guards(
+            file,
+            func,
+            |field, guards, _is_let, idx| {
+                let Some(rank) = lock_rank(field) else {
+                    return;
+                };
+                for g in guards {
+                    let Some(held) = lock_rank(&g.field) else {
+                        continue;
+                    };
+                    let line = toks[idx].line;
+                    if held == rank {
+                        findings.push(Finding {
+                            rule: Rule::J1,
+                            path: file.path.clone(),
+                            line,
+                            message: format!(
+                                "`{field}` re-acquired while guard `{}` (line {}) already holds it: self-deadlock",
+                                g.name, g.line
+                            ),
+                        });
+                    } else if held > rank {
+                        findings.push(Finding {
+                            rule: Rule::J1,
+                            path: file.path.clone(),
+                            line,
+                            message: format!(
+                                "lock-order inversion: `{field}` acquired while `{}` guard `{}` (line {}) is live; canonical order is sched → book",
+                                g.field, g.name, g.line
+                            ),
+                        });
+                    }
+                }
+            },
+            |_t, _i, _guards| {},
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// J2: no lock across blocking.
+// ---------------------------------------------------------------------------
+
+/// Method names (called as `.name(`) that block on I/O or time.
+const BLOCKING_METHODS: &[&str] = &[
+    "recv",
+    "recv_timeout",
+    "read_line",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "write_all",
+    "accept",
+    "connect",
+];
+
+/// Free functions / paths that block (`thread::sleep`, frame I/O).
+const BLOCKING_CALLS: &[&str] = &[
+    "sleep",
+    "read_msg",
+    "read_msg_buf",
+    "write_msg",
+    "write_msg_buf",
+];
+
+fn rule_lock_across_blocking(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if file.file_is_test {
+        return;
+    }
+    for func in &file.funcs {
+        if func.in_test {
+            continue;
+        }
+        let toks = &file.lexed.toks;
+        scan_guards(
+            file,
+            func,
+            |_field, _guards, _is_let, _idx| {},
+            |t, i, guards| {
+                if guards.is_empty() {
+                    return;
+                }
+                let blocking: Option<String> = if t.is_punct(".")
+                    && toks
+                        .get(i + 1)
+                        .map(|n| n.kind == TokKind::Ident)
+                        .unwrap_or(false)
+                {
+                    let name = &toks[i + 1].text;
+                    let called = is_called(toks, i + 1);
+                    if called && BLOCKING_METHODS.contains(&name.as_str()) {
+                        Some(format!(".{name}()"))
+                    } else if called && name == "send" {
+                        // `.send` is blocking only on a socket writer
+                        // (channel sends are non-blocking for the
+                        // unbounded channels used here).
+                        let recv = if i > 0 && toks[i - 1].kind == TokKind::Ident {
+                            toks[i - 1].text.as_str()
+                        } else {
+                            ""
+                        };
+                        if recv.contains("writer")
+                            || recv.contains("sock")
+                            || recv.contains("stream")
+                        {
+                            Some(format!("{recv}.send()"))
+                        } else {
+                            None
+                        }
+                    } else {
+                        None
+                    }
+                } else if t.kind == TokKind::Ident
+                    && BLOCKING_CALLS.contains(&t.text.as_str())
+                    && is_called(toks, i)
+                // Exclude method position: `x.read_msg()` still counts,
+                // but `guard.recv()` is handled above; here we accept
+                // both free and method calls of the frame helpers.
+                {
+                    Some(format!("{}()", t.text))
+                } else {
+                    None
+                };
+                if let Some(op) = blocking {
+                    for g in guards {
+                        // Condvar waits release the lock; they are
+                        // filtered by not being in the blocking sets.
+                        findings.push(Finding {
+                            rule: Rule::J2,
+                            path: file.path.clone(),
+                            line: t.line,
+                            message: format!(
+                                "blocking call {op} while lock guard `{}` (on `{}`, line {}) is live",
+                                g.name, g.field, g.line
+                            ),
+                        });
+                    }
+                }
+            },
+        );
+    }
+}
+
+/// Token at `i` (an ident) is immediately invoked: `name(` or
+/// `name::<T>(`.
+fn is_called(toks: &[Tok], i: usize) -> bool {
+    match toks.get(i + 1) {
+        Some(t) if t.is_punct("(") => true,
+        Some(t) if t.is_punct("::") => {
+            // turbofish: name::<T>(
+            let mut j = i + 2;
+            if toks.get(j).map(|t| t.is_punct("<")).unwrap_or(false) {
+                let mut depth = 1;
+                j += 1;
+                while j < toks.len() && depth > 0 {
+                    if toks[j].is_punct("<") {
+                        depth += 1;
+                    } else if toks[j].is_punct(">") {
+                        depth -= 1;
+                    }
+                    j += 1;
+                }
+                toks.get(j).map(|t| t.is_punct("(")).unwrap_or(false)
+            } else {
+                false
+            }
+        }
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// J3: Relaxed atomics policy.
+// ---------------------------------------------------------------------------
+
+/// Map from atomic field name to the set of functions that `.load(` it.
+fn collect_atomic_loads(files: &[SourceFile]) -> BTreeMap<String, BTreeSet<String>> {
+    let mut loads: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for file in files {
+        for func in &file.funcs {
+            let toks = &file.lexed.toks;
+            let mut i = func.body.start;
+            while i + 2 < func.body.end {
+                if toks[i].is_punct(".")
+                    && toks[i + 1].is_ident("load")
+                    && toks[i + 2].is_punct("(")
+                    && i > 0
+                    && toks[i - 1].kind == TokKind::Ident
+                {
+                    loads
+                        .entry(toks[i - 1].text.clone())
+                        .or_default()
+                        .insert(func.name.clone());
+                }
+                i += 1;
+            }
+        }
+    }
+    loads
+}
+
+fn rule_relaxed_atomics(
+    file: &SourceFile,
+    load_sites: &BTreeMap<String, BTreeSet<String>>,
+    findings: &mut Vec<Finding>,
+) {
+    if file.file_is_test {
+        return;
+    }
+    for func in &file.funcs {
+        if func.in_test {
+            continue;
+        }
+        let toks = &file.lexed.toks;
+        let mut i = func.body.start;
+        while i + 2 < func.body.end {
+            // Shape: `.store(` or `.swap(` with receiver ident, whose
+            // argument list mentions `Relaxed`.
+            if toks[i].is_punct(".")
+                && (toks[i + 1].is_ident("store") || toks[i + 1].is_ident("swap"))
+                && toks[i + 2].is_punct("(")
+                && i > 0
+                && toks[i - 1].kind == TokKind::Ident
+            {
+                let field = toks[i - 1].text.clone();
+                let op = toks[i + 1].text.clone();
+                // Scan the argument list for `Relaxed`.
+                let mut j = i + 3;
+                let mut depth = 1;
+                let mut relaxed = false;
+                while j < func.body.end && depth > 0 {
+                    if toks[j].is_punct("(") {
+                        depth += 1;
+                    } else if toks[j].is_punct(")") {
+                        depth -= 1;
+                    } else if toks[j].is_ident("Relaxed") {
+                        relaxed = true;
+                    }
+                    j += 1;
+                }
+                if relaxed {
+                    // Cross-thread shape: the same field is loaded in a
+                    // different function somewhere in the analysis set.
+                    let cross = load_sites
+                        .get(&field)
+                        .map(|fns| fns.iter().any(|f| f != &func.name))
+                        .unwrap_or(false);
+                    if cross {
+                        findings.push(Finding {
+                            rule: Rule::J3,
+                            path: file.path.clone(),
+                            line: toks[i].line,
+                            message: format!(
+                                "`{field}.{op}(.., Ordering::Relaxed)` on a flag read elsewhere (cross-thread signal shape); annotate with `// jets-lint: allow(relaxed) <reason>` or upgrade the ordering"
+                            ),
+                        });
+                    }
+                }
+                i = j;
+                continue;
+            }
+            i += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// J4: protocol exhaustiveness.
+// ---------------------------------------------------------------------------
+
+/// Enum names whose matches must be exhaustive without wildcards.
+const PROTOCOL_ENUMS: &[&str] = &["WorkerMsg", "DispatcherMsg"];
+
+/// Collect variant sets for the protocol enums from `enum Name { … }`
+/// definitions anywhere in the analysis set.
+fn collect_protocol_enums(files: &[SourceFile]) -> EnumDefs {
+    let mut defs = EnumDefs::new();
+    for file in files {
+        let toks = &file.lexed.toks;
+        let mut i = 0;
+        while i + 2 < toks.len() {
+            if toks[i].is_ident("enum")
+                && toks[i + 1].kind == TokKind::Ident
+                && PROTOCOL_ENUMS.contains(&toks[i + 1].text.as_str())
+            {
+                let name = toks[i + 1].text.clone();
+                // Find the `{`, then variants are idents at depth 1
+                // that either start the body or follow a `,` at depth 1.
+                let mut j = i + 2;
+                while j < toks.len() && !toks[j].is_punct("{") {
+                    j += 1;
+                }
+                let mut depth = 0i32;
+                let mut variants = BTreeSet::new();
+                let mut expect_variant = true;
+                while j < toks.len() {
+                    let t = &toks[j];
+                    if t.is_punct("{") {
+                        depth += 1;
+                        if depth > 1 {
+                            // struct-variant payload; skip it wholesale
+                        }
+                    } else if t.is_punct("}") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if depth == 1 {
+                        if t.is_punct(",") {
+                            expect_variant = true;
+                        } else if t.is_punct("#") {
+                            // attribute on a variant; skip the [ ... ]
+                            let mut d = 0;
+                            j += 1;
+                            while j < toks.len() {
+                                if toks[j].is_punct("[") {
+                                    d += 1;
+                                } else if toks[j].is_punct("]") {
+                                    d -= 1;
+                                    if d == 0 {
+                                        break;
+                                    }
+                                }
+                                j += 1;
+                            }
+                        } else if expect_variant && t.kind == TokKind::Ident {
+                            variants.insert(t.text.clone());
+                            expect_variant = false;
+                        }
+                    } else if depth > 1 || t.is_punct("(") {
+                        // payload tokens: irrelevant. Parens don't
+                        // change `depth` (brace depth) so tuple-variant
+                        // payload idents could slip in at depth 1 —
+                        // guard by flipping expect_variant off above.
+                    }
+                    j += 1;
+                }
+                defs.entry(name).or_default().extend(variants);
+                i = j;
+                continue;
+            }
+            i += 1;
+        }
+    }
+    defs
+}
+
+fn rule_protocol_exhaustive(file: &SourceFile, enums: &EnumDefs, findings: &mut Vec<Finding>) {
+    if file.file_is_test {
+        return;
+    }
+    let toks = &file.lexed.toks;
+    for func in &file.funcs {
+        if func.in_test {
+            continue;
+        }
+        let mut i = func.body.start;
+        while i < func.body.end {
+            if toks[i].is_ident("match") {
+                if let Some(m) = parse_match(toks, i, func.body.end) {
+                    check_match(file, enums, &m, findings);
+                    // Continue scanning *inside* the match for nested
+                    // matches; just advance past the keyword.
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// A parsed match expression: arm pattern token ranges.
+struct MatchExpr {
+    line: u32,
+    /// Pattern token ranges (pattern is everything before `=>` in the arm).
+    arms: Vec<std::ops::Range<usize>>,
+}
+
+/// Parse the match starting at `match_idx` (`match` keyword). Returns
+/// None for malformed input.
+fn parse_match(toks: &[Tok], match_idx: usize, limit: usize) -> Option<MatchExpr> {
+    // Scrutinee: tokens until the `{` at depth 0 (tracking parens and
+    // braces of struct literals is the hard part; in this codebase
+    // scrutinees are simple expressions, so track (), [], and stop at
+    // the first `{` outside them).
+    let mut i = match_idx + 1;
+    let mut paren = 0i32;
+    while i < limit {
+        let t = &toks[i];
+        if t.is_punct("(") || t.is_punct("[") {
+            paren += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            paren -= 1;
+        } else if t.is_punct("{") && paren == 0 {
+            break;
+        }
+        i += 1;
+    }
+    if i >= limit {
+        return None;
+    }
+    let body_start = i + 1;
+    // Split arms: pattern = tokens up to `=>` at depth 0; then the arm
+    // value runs to `,` at depth 0 or a `{ … }` block.
+    let mut arms = Vec::new();
+    let mut j = body_start;
+    let mut depth = 0i32; // braces/parens/brackets within the match body
+    let mut pat_start = j;
+    let mut in_pattern = true;
+    while j < limit {
+        let t = &toks[j];
+        if t.is_punct("{") || t.is_punct("(") || t.is_punct("[") {
+            if t.is_punct("{") && depth == 0 && !in_pattern {
+                // Block-bodied arm: skip the block, then next arm.
+                let mut d = 1;
+                j += 1;
+                while j < limit && d > 0 {
+                    if toks[j].is_punct("{") {
+                        d += 1;
+                    } else if toks[j].is_punct("}") {
+                        d -= 1;
+                    }
+                    j += 1;
+                }
+                // Optional trailing comma.
+                if j < limit && toks[j].is_punct(",") {
+                    j += 1;
+                }
+                in_pattern = true;
+                pat_start = j;
+                continue;
+            }
+            depth += 1;
+        } else if t.is_punct("}") || t.is_punct(")") || t.is_punct("]") {
+            if t.is_punct("}") && depth == 0 {
+                // End of the match body.
+                break;
+            }
+            depth -= 1;
+        } else if t.is_punct("=>") && depth == 0 && in_pattern {
+            arms.push(pat_start..j);
+            in_pattern = false;
+        } else if t.is_punct(",") && depth == 0 && !in_pattern {
+            in_pattern = true;
+            pat_start = j + 1;
+        }
+        j += 1;
+    }
+    Some(MatchExpr {
+        line: toks[match_idx].line,
+        arms,
+    })
+}
+
+/// Check one match expression against the protocol enums. The match is
+/// in scope iff at least one arm pattern mentions `WorkerMsg::` or
+/// `DispatcherMsg::`.
+fn check_match(file: &SourceFile, enums: &EnumDefs, m: &MatchExpr, findings: &mut Vec<Finding>) {
+    let toks = &file.lexed.toks;
+    let mut touched: BTreeSet<&str> = BTreeSet::new();
+    for arm in &m.arms {
+        let mut i = arm.start;
+        while i + 1 < arm.end {
+            if toks[i].kind == TokKind::Ident
+                && PROTOCOL_ENUMS.contains(&toks[i].text.as_str())
+                && toks[i + 1].is_punct("::")
+            {
+                touched.insert(if toks[i].text == "WorkerMsg" {
+                    "WorkerMsg"
+                } else {
+                    "DispatcherMsg"
+                });
+            }
+            i += 1;
+        }
+    }
+    if touched.is_empty() {
+        return;
+    }
+
+    // Collect named variants per enum and look for wildcard arms in
+    // enum position.
+    let mut named: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
+    for arm in &m.arms {
+        // Wildcard in enum position: an arm whose pattern, after
+        // stripping wrappers (Ok / Some / Err / parens / references),
+        // is `_` or a bare binding ident with no `::` path. A `_`
+        // *inside* a variant payload (`Assign(_)`, `Cancel { .. }`) or
+        // inside `Err(..)` is fine.
+        if wildcard_in_enum_position(toks, arm.clone()) {
+            findings.push(Finding {
+                rule: Rule::J4,
+                path: file.path.clone(),
+                line: toks.get(arm.start).map(|t| t.line).unwrap_or(m.line),
+                message: format!(
+                    "wildcard arm in a {} match: name every variant so new envelopes force a decision",
+                    touched.iter().cloned().collect::<Vec<_>>().join("/")
+                ),
+            });
+        }
+        let mut i = arm.start;
+        while i + 2 < arm.end {
+            if toks[i].kind == TokKind::Ident
+                && PROTOCOL_ENUMS.contains(&toks[i].text.as_str())
+                && toks[i + 1].is_punct("::")
+                && toks[i + 2].kind == TokKind::Ident
+            {
+                let e = if toks[i].text == "WorkerMsg" {
+                    "WorkerMsg"
+                } else {
+                    "DispatcherMsg"
+                };
+                named.entry(e).or_default().insert(toks[i + 2].text.clone());
+            }
+            i += 1;
+        }
+    }
+
+    for e in &touched {
+        let Some(def) = enums.get(*e) else {
+            continue; // enum not defined in the analysis set
+        };
+        let have = named.remove(*e).unwrap_or_default();
+        let missing: Vec<&String> = def.difference(&have).collect();
+        if !missing.is_empty() {
+            findings.push(Finding {
+                rule: Rule::J4,
+                path: file.path.clone(),
+                line: m.line,
+                message: format!(
+                    "{e} match does not name variant(s): {}",
+                    missing
+                        .iter()
+                        .map(|s| s.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            });
+        }
+    }
+}
+
+/// Does this arm pattern contain a `_` (or bare catch-all binding) in
+/// *enum position* — i.e. standing in for a whole protocol-enum value
+/// rather than a variant payload?
+///
+/// Heuristic: strip leading wrappers `Ok(` / `Some(` / `&` / `(`
+/// (recursively). If what remains starts with `_` or is a single bare
+/// ident (no `::`, not a known variant path), that's a catch-all. Also
+/// treat `Ok(Some(_))` as enum position. `Err(_)`, `None`, and `_`
+/// inside a `Variant(..)` payload are not.
+fn wildcard_in_enum_position(toks: &[Tok], arm: std::ops::Range<usize>) -> bool {
+    // Patterns may be or-patterns: split on `|` at depth 0.
+    let mut segments: Vec<std::ops::Range<usize>> = Vec::new();
+    let mut depth = 0i32;
+    let mut start = arm.start;
+    for i in arm.clone() {
+        let t = &toks[i];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth -= 1;
+        } else if t.is_punct("|") && depth == 0 {
+            segments.push(start..i);
+            start = i + 1;
+        }
+    }
+    segments.push(start..arm.end);
+
+    for seg in segments {
+        let mut i = seg.start;
+        // Strip guards: stop the segment at `if` (match guards).
+        let mut end = seg.end;
+        for k in seg.clone() {
+            if toks[k].is_ident("if") {
+                end = k;
+                break;
+            }
+        }
+        // Strip wrappers.
+        while let Some(t) = toks.get(i).filter(|_| i < end) {
+            if t.is_punct("&") || t.is_punct("(") {
+                i += 1;
+            } else if (t.is_ident("Ok") || t.is_ident("Some"))
+                && toks.get(i + 1).map(|n| n.is_punct("(")).unwrap_or(false)
+            {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let Some(t) = toks.get(i).filter(|_| i < end) else {
+            continue;
+        };
+        if t.is_ident("_") {
+            return true;
+        }
+        // Bare binding ident acting as catch-all: single ident, no `::`
+        // after it, not a unit-ish known name (None / Err wrappers are
+        // different enums — allowed).
+        if t.kind == TokKind::Ident
+            && !t.is_ident("None")
+            && !t.is_ident("Err")
+            && !t.is_ident("Ok")
+            && !t.is_ident("Some")
+        {
+            let next = toks.get(i + 1).filter(|_| i + 1 < end);
+            let is_path = next.map(|n| n.is_punct("::")).unwrap_or(false);
+            let is_struct = next
+                .map(|n| n.is_punct("(") || n.is_punct("{") || n.is_punct("@"))
+                .unwrap_or(false);
+            if !is_path && !is_struct && next.is_none() {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// J5: exit-code registry.
+// ---------------------------------------------------------------------------
+
+/// Sentinel exit codes owned by `spec.rs`. 127 is also claimed by the
+/// worker's *positive* spawn-failure convention, so only the negative
+/// (dispatcher-synthesized) forms are restricted.
+const SENTINEL_CODES: &[&str] = &["125", "126", "127", "128"];
+
+fn rule_exit_code(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let fname = file
+        .path
+        .file_name()
+        .map(|s| s.to_string_lossy().to_string())
+        .unwrap_or_default();
+    if fname == "spec.rs" {
+        return; // the registry itself
+    }
+    let toks = &file.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Int {
+            continue;
+        }
+        let digits = t
+            .text
+            .split(|c: char| c.is_alphabetic())
+            .next()
+            .unwrap_or("");
+        let digits = digits.trim_end_matches('_');
+        if !SENTINEL_CODES.contains(&digits) {
+            continue;
+        }
+        // Must be a *negative* literal: preceded by unary `-`.
+        if i == 0 || !toks[i - 1].is_punct("-") {
+            continue;
+        }
+        // Unary position: the token before the `-` must not be a value
+        // (ident/number/closing bracket), otherwise it's subtraction.
+        if i >= 2 {
+            let prev = &toks[i - 2];
+            let is_value = matches!(prev.kind, TokKind::Ident | TokKind::Int | TokKind::Float)
+                || prev.is_punct(")")
+                || prev.is_punct("]");
+            // `=> -125`, `(-125`, `== -125`, `, -125` are unary; but
+            // keyword idents (`return`) are not values.
+            let keyword_ok = matches!(
+                prev.text.as_str(),
+                "return" | "=>" | "=" | "," | "(" | "[" | "==" | "!=" | "<" | ">" | "<=" | ">="
+            );
+            if is_value && !keyword_ok {
+                continue;
+            }
+        }
+        findings.push(Finding {
+            rule: Rule::J5,
+            path: file.path.clone(),
+            line: t.line,
+            message: format!(
+                "magic exit-code literal -{digits}: use the named constant from jets-core `spec.rs` (EXIT_*)"
+            ),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// J6: unwrap/expect in connection handlers.
+// ---------------------------------------------------------------------------
+
+/// Function-name predicate for handler scope: these run against
+/// peer-controlled input or per-connection resources, where a panic
+/// tears down state shared with healthy peers.
+fn is_handler_fn(name: &str) -> bool {
+    name.starts_with("serve_")
+        || name.starts_with("handle_")
+        || name.starts_with("accept_")
+        || name.ends_with("_loop")
+        || name.ends_with("_pump")
+        || name.contains("session")
+}
+
+fn rule_unwrap_in_handler(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if file.file_is_test {
+        return;
+    }
+    let toks = &file.lexed.toks;
+    for func in &file.funcs {
+        if func.in_test || !is_handler_fn(&func.name) {
+            continue;
+        }
+        let mut i = func.body.start;
+        while i + 1 < func.body.end {
+            if toks[i].is_punct(".")
+                && (toks[i + 1].is_ident("unwrap") || toks[i + 1].is_ident("expect"))
+                && toks.get(i + 2).map(|t| t.is_punct("(")).unwrap_or(false)
+            {
+                findings.push(Finding {
+                    rule: Rule::J6,
+                    path: file.path.clone(),
+                    line: toks[i + 1].line,
+                    message: format!(
+                        "`.{}()` in connection handler `{}`: a peer-triggered panic here tears down shared state; handle the error or suppress with a reason",
+                        toks[i + 1].text, func.name
+                    ),
+                });
+                i += 3;
+                continue;
+            }
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_one(src: &str) -> Vec<Finding> {
+        lint_sources(&[(PathBuf::from("crates/x/src/lib.rs"), src.to_string())])
+    }
+
+    #[test]
+    fn clean_code_has_no_findings() {
+        let src = r#"
+            fn canonical(inner: &Inner) {
+                let mut st = inner.sched.lock();
+                let mut bk = inner.book.lock();
+                bk.note(&mut st);
+            }
+        "#;
+        assert!(lint_one(src).is_empty(), "{:?}", lint_one(src));
+    }
+
+    #[test]
+    fn inverted_lock_order_fires_j1() {
+        let src = r#"
+            fn inverted(inner: &Inner) {
+                let bk = inner.book.lock();
+                let st = inner.sched.lock();
+            }
+        "#;
+        let f = lint_one(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::J1);
+    }
+
+    #[test]
+    fn guard_scope_exit_clears_locks() {
+        let src = r#"
+            fn scoped(inner: &Inner) {
+                {
+                    let bk = inner.book.lock();
+                }
+                let st = inner.sched.lock();
+            }
+        "#;
+        assert!(lint_one(src).is_empty());
+    }
+
+    #[test]
+    fn drop_clears_guard() {
+        let src = r#"
+            fn dropped(inner: &Inner) {
+                let bk = inner.book.lock();
+                drop(bk);
+                let st = inner.sched.lock();
+            }
+        "#;
+        assert!(lint_one(src).is_empty());
+    }
+
+    #[test]
+    fn blocking_under_guard_fires_j2() {
+        let src = r#"
+            fn bad(inner: &Inner, rx: &Receiver<u8>) {
+                let st = inner.sched.lock();
+                let x = rx.recv();
+            }
+        "#;
+        let f = lint_one(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::J2);
+    }
+
+    #[test]
+    fn temporary_guard_send_is_fine() {
+        // The agent's writer.lock().send(..) idiom: the guard is a
+        // temporary, dead by the end of the statement.
+        let src = r#"
+            fn ok(writer: &Mutex<MsgWriter>) {
+                writer.lock().send(&msg);
+            }
+        "#;
+        assert!(lint_one(src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                fn helper(inner: &Inner) {
+                    let bk = inner.book.lock();
+                    let st = inner.sched.lock();
+                    let v = rx.recv().unwrap();
+                }
+            }
+        "#;
+        assert!(lint_one(src).is_empty());
+    }
+
+    #[test]
+    fn suppression_with_reason_silences() {
+        let src = r#"
+            fn bad(inner: &Inner, rx: &Receiver<u8>) {
+                let st = inner.sched.lock();
+                // jets-lint: allow(lock-across-blocking) bounded by test harness
+                let x = rx.recv();
+            }
+        "#;
+        assert!(lint_one(src).is_empty());
+    }
+
+    #[test]
+    fn suppression_without_reason_is_j0_and_does_not_silence() {
+        let src = r#"
+            fn bad(inner: &Inner, rx: &Receiver<u8>) {
+                let st = inner.sched.lock();
+                // jets-lint: allow(lock-across-blocking)
+                let x = rx.recv();
+            }
+        "#;
+        let f = lint_one(src);
+        assert!(f.iter().any(|f| f.rule == Rule::J0));
+        assert!(f.iter().any(|f| f.rule == Rule::J2));
+    }
+
+    #[test]
+    fn unused_suppression_is_j0() {
+        let src = r#"
+            // jets-lint: allow(exit-code) nothing here actually needs this
+            fn fine() {}
+        "#;
+        let f = lint_one(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::J0);
+        assert!(f[0].message.contains("unused"));
+    }
+
+    #[test]
+    fn relaxed_signal_fires_j3() {
+        let src = r#"
+            fn writer_side(flag: &AtomicBool) {
+                flag.store(true, Ordering::Relaxed);
+            }
+            fn reader_side(flag: &AtomicBool) -> bool {
+                flag.load(Ordering::Acquire)
+            }
+        "#;
+        let f = lint_one(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::J3);
+    }
+
+    #[test]
+    fn relaxed_counter_without_cross_fn_load_is_fine() {
+        let src = r#"
+            fn bump(c: &AtomicU64) {
+                c.fetch_add(1, Ordering::Relaxed);
+                local.store(7, Ordering::Relaxed);
+            }
+        "#;
+        assert!(lint_one(src).is_empty());
+    }
+
+    #[test]
+    fn wildcard_protocol_match_fires_j4() {
+        let src = r#"
+            enum WorkerMsg { Register, Done }
+            fn dispatch(m: WorkerMsg) {
+                match m {
+                    WorkerMsg::Register => {}
+                    _ => {}
+                }
+            }
+        "#;
+        let f = lint_one(src);
+        assert!(f.iter().any(|f| f.rule == Rule::J4), "{f:?}");
+    }
+
+    #[test]
+    fn payload_wildcard_is_allowed() {
+        let src = r#"
+            enum DispatcherMsg { Assign(u8), Cancel { id: u64 } }
+            fn relayable(m: &DispatcherMsg) -> bool {
+                match m {
+                    DispatcherMsg::Assign(_) | DispatcherMsg::Cancel { .. } => true,
+                }
+            }
+        "#;
+        assert!(lint_one(src).is_empty(), "{:?}", lint_one(src));
+    }
+
+    #[test]
+    fn missing_variant_fires_j4() {
+        let src = r#"
+            enum WorkerMsg { Register, Done, Heartbeat }
+            fn dispatch(m: WorkerMsg) {
+                match m {
+                    WorkerMsg::Register => {}
+                    WorkerMsg::Done => {}
+                }
+            }
+        "#;
+        let f = lint_one(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::J4);
+        assert!(f[0].message.contains("Heartbeat"));
+    }
+
+    #[test]
+    fn ok_some_wrapper_wildcard_fires_j4() {
+        let src = r#"
+            enum DispatcherMsg { Assign(u8), Cancel }
+            fn pump(rx: &Receiver) {
+                match rx.recv() {
+                    Ok(Some(DispatcherMsg::Assign(a))) => {}
+                    Ok(Some(_)) | Err(_) => {}
+                    Ok(None) => {}
+                }
+            }
+        "#;
+        let f = lint_one(src);
+        assert!(f.iter().any(|f| f.rule == Rule::J4), "{f:?}");
+    }
+
+    #[test]
+    fn err_wildcard_alone_is_fine() {
+        let src = r#"
+            enum DispatcherMsg { Assign(u8), Cancel }
+            fn pump(rx: &Receiver) {
+                match rx.recv() {
+                    Ok(Some(DispatcherMsg::Assign(a))) => {}
+                    Ok(Some(DispatcherMsg::Cancel)) => {}
+                    Ok(None) => {}
+                    Err(_) => {}
+                }
+            }
+        "#;
+        assert!(lint_one(src).is_empty(), "{:?}", lint_one(src));
+    }
+
+    #[test]
+    fn negative_exit_literal_fires_j5() {
+        let src = r#"
+            fn synth() -> i32 { -125 }
+        "#;
+        let f = lint_one(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::J5);
+    }
+
+    #[test]
+    fn positive_and_subtraction_literals_are_fine() {
+        let src = r#"
+            const EXIT_RANK_PANIC: i32 = 125;
+            fn sub(x: i32) -> i32 { x - 126 }
+        "#;
+        assert!(lint_one(src).is_empty(), "{:?}", lint_one(src));
+    }
+
+    #[test]
+    fn spec_rs_is_exempt_from_j5() {
+        let f = lint_sources(&[(
+            PathBuf::from("crates/jets-core/src/spec.rs"),
+            "pub const EXIT_CANCELED: i32 = -125;".to_string(),
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unwrap_in_handler_fires_j6() {
+        let src = r#"
+            fn serve_worker(stream: TcpStream) {
+                let msg = read_msg(&mut stream).unwrap();
+            }
+        "#;
+        let f = lint_one(src);
+        assert!(f.iter().any(|f| f.rule == Rule::J6), "{f:?}");
+    }
+
+    #[test]
+    fn unwrap_outside_handler_scope_is_fine() {
+        let src = r#"
+            fn parse_config(s: &str) -> Config {
+                s.parse().unwrap()
+            }
+        "#;
+        assert!(lint_one(src).is_empty());
+    }
+}

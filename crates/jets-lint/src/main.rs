@@ -1,0 +1,115 @@
+//! jets-lint CLI.
+//!
+//! ```text
+//! jets-lint --workspace [--deny] [--json] [--root <dir>]
+//! jets-lint <file.rs> [<file.rs> ...] [--deny] [--json]
+//! ```
+//!
+//! `--workspace` walks the repo's Rust sources (crates/, src/, tests/)
+//! excluding build output, lint fixtures, and vendored tooling.
+//! `--deny` exits non-zero when any finding survives suppression — that
+//! is the CI mode. `--json` emits one JSON object per finding on
+//! stdout (a JSON-lines stream) for machine consumption.
+
+use jets_lint::{lint_paths, workspace_files, Finding};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut deny = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("jets-lint: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: jets-lint [--workspace] [--deny] [--json] [--root <dir>] [files...]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("jets-lint: unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+            other => files.push(PathBuf::from(other)),
+        }
+    }
+
+    if workspace {
+        let root =
+            root.unwrap_or_else(|| find_workspace_root().unwrap_or_else(|| PathBuf::from(".")));
+        files.extend(workspace_files(&root));
+    }
+    if files.is_empty() {
+        eprintln!("jets-lint: no input files (use --workspace or pass paths)");
+        return ExitCode::from(2);
+    }
+
+    let findings = lint_paths(&files);
+    report(&findings, json);
+
+    if deny && !findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn report(findings: &[Finding], json: bool) {
+    if json {
+        for f in findings {
+            println!("{}", f.to_json());
+        }
+        return;
+    }
+    for f in findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("jets-lint: clean");
+    } else {
+        eprintln!("jets-lint: {} finding(s)", findings.len());
+    }
+}
+
+/// Walk up from the current directory until the JETS workspace root is
+/// recognized (the dispatcher source exists). Robust both from the real
+/// repo root and from the offline-check shadow workspace, which runs
+/// the same sources from a different cwd.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("crates/jets-core/src/dispatcher.rs").exists() {
+            return Some(dir);
+        }
+        if !pop(&mut dir) {
+            return None;
+        }
+    }
+}
+
+fn pop(dir: &mut PathBuf) -> bool {
+    let parent: Option<&Path> = dir.parent();
+    match parent {
+        Some(p) => {
+            let p = p.to_path_buf();
+            *dir = p;
+            true
+        }
+        None => false,
+    }
+}

@@ -1,0 +1,171 @@
+//! Fixture-driven self-test: every rule must be proven live by a
+//! known-bad snippet (exact rule ids and line spans, nothing else), and
+//! every known-good snippet must pass clean. A final test lints the
+//! real workspace and asserts zero unsuppressed findings — the CI gate,
+//! enforced from the test suite as well.
+
+use jets_lint::{lint_paths, Finding};
+use std::path::{Path, PathBuf};
+
+fn fixture(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(rel)
+}
+
+/// Lint one fixture file and return `(rule_id, line)` pairs, sorted.
+fn fired(rel: &str) -> Vec<(String, u32)> {
+    let findings = lint_paths(&[fixture(rel)]);
+    let mut out: Vec<(String, u32)> = findings
+        .iter()
+        .map(|f| (f.rule.id().to_string(), f.line))
+        .collect();
+    out.sort();
+    out
+}
+
+fn assert_clean(rel: &str) {
+    let findings = lint_paths(&[fixture(rel)]);
+    assert!(
+        findings.is_empty(),
+        "expected {rel} to be clean, got:\n{}",
+        render(&findings)
+    );
+}
+
+fn render(findings: &[Finding]) -> String {
+    findings
+        .iter()
+        .map(|f| f.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn lock_order_bad_fires_exactly() {
+    assert_eq!(fired("lock-order/bad.rs"), vec![("J1".to_string(), 3)]);
+}
+
+#[test]
+fn lock_order_good_is_clean() {
+    assert_clean("lock-order/good.rs");
+}
+
+#[test]
+fn lock_across_blocking_bad_fires_exactly() {
+    assert_eq!(
+        fired("lock-across-blocking/bad.rs"),
+        vec![("J2".to_string(), 3)]
+    );
+}
+
+#[test]
+fn lock_across_blocking_good_is_clean() {
+    assert_clean("lock-across-blocking/good.rs");
+}
+
+#[test]
+fn relaxed_bad_fires_exactly() {
+    assert_eq!(fired("relaxed/bad.rs"), vec![("J3".to_string(), 2)]);
+}
+
+#[test]
+fn relaxed_good_is_clean() {
+    assert_clean("relaxed/good.rs");
+}
+
+#[test]
+fn protocol_bad_fires_exactly() {
+    // The wildcard arm (line 10) and the missing-variant summary on the
+    // match itself (line 8).
+    assert_eq!(
+        fired("protocol/bad.rs"),
+        vec![("J4".to_string(), 8), ("J4".to_string(), 10)]
+    );
+}
+
+#[test]
+fn protocol_good_is_clean() {
+    assert_clean("protocol/good.rs");
+}
+
+#[test]
+fn exit_code_bad_fires_exactly() {
+    assert_eq!(
+        fired("exit-code/bad.rs"),
+        vec![("J5".to_string(), 2), ("J5".to_string(), 6)]
+    );
+}
+
+#[test]
+fn exit_code_good_is_clean() {
+    assert_clean("exit-code/good.rs");
+}
+
+#[test]
+fn exit_code_registry_file_is_exempt() {
+    assert_clean("exit-code/spec.rs");
+}
+
+#[test]
+fn unwrap_bad_fires_exactly() {
+    assert_eq!(
+        fired("unwrap/bad.rs"),
+        vec![("J6".to_string(), 2), ("J6".to_string(), 7)]
+    );
+}
+
+#[test]
+fn unwrap_good_is_clean() {
+    assert_clean("unwrap/good.rs");
+}
+
+#[test]
+fn suppression_bad_fires_exactly() {
+    // Missing reason (J0@2) does NOT silence the sentinel (J5@3);
+    // unknown key (J0@6); unused suppression (J0@9).
+    assert_eq!(
+        fired("suppression/bad.rs"),
+        vec![
+            ("J0".to_string(), 2),
+            ("J0".to_string(), 6),
+            ("J0".to_string(), 9),
+            ("J5".to_string(), 3),
+        ]
+    );
+}
+
+#[test]
+fn suppression_good_is_clean() {
+    assert_clean("suppression/good.rs");
+}
+
+/// The acceptance gate, runnable from the test suite: the real tree
+/// must carry zero unsuppressed findings. Walks up from this crate to
+/// the workspace root (works from the real crate and from the
+/// offline-check shadow, whose sources are symlinks).
+#[test]
+fn workspace_is_clean() {
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = loop {
+        if root.join("crates/jets-core/src/dispatcher.rs").exists() {
+            break root;
+        }
+        assert!(
+            root.pop(),
+            "workspace root not found above CARGO_MANIFEST_DIR"
+        );
+    };
+    let files = jets_lint::workspace_files(&root);
+    assert!(
+        files.len() > 20,
+        "workspace walk found suspiciously few files ({})",
+        files.len()
+    );
+    let findings = lint_paths(&files);
+    assert!(
+        findings.is_empty(),
+        "workspace has unsuppressed jets-lint findings:\n{}",
+        render(&findings)
+    );
+}

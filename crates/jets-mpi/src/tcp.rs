@@ -171,11 +171,16 @@ fn accept_loop(listener: TcpListener, incoming: Sender<Frame>, shutdown: Arc<Ato
                 backoff = Duration::from_micros(200);
                 stream.set_nodelay(true).ok();
                 let tx = incoming.clone();
-                thread::Builder::new()
+                // Spawn failure sheds this connection; the peer rank's
+                // connect will fail or time out and surface there.
+                if thread::Builder::new()
                     .name("mpi-read".to_string())
                     .stack_size(SERVICE_STACK)
                     .spawn(move || read_loop(stream, tx))
-                    .expect("spawn mpi reader");
+                    .is_err()
+                {
+                    continue;
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 thread::sleep(backoff);
@@ -184,6 +189,12 @@ fn accept_loop(listener: TcpListener, incoming: Sender<Frame>, shutdown: Arc<Ato
             Err(_) => return,
         }
     }
+}
+
+/// Decode a little-endian u32 from a 4-byte slice without a fallible
+/// conversion (callers index fixed-size header arrays).
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
 }
 
 fn read_loop(mut stream: TcpStream, incoming: Sender<Frame>) {
@@ -197,9 +208,9 @@ fn read_loop(mut stream: TcpStream, incoming: Sender<Frame>) {
         if stream.read_exact(&mut header).is_err() {
             return; // peer closed: normal teardown, communicator handles it
         }
-        let frame_src = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
-        let tag = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
-        let len = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        let frame_src = le_u32(&header[0..4]);
+        let tag = le_u32(&header[4..8]);
+        let len = le_u32(&header[8..12]);
         if frame_src != src || len > MAX_FRAME {
             return; // corrupt stream; drop the connection
         }

@@ -175,7 +175,10 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 backoff = Duration::from_micros(200);
                 let conn_shared = Arc::clone(&shared);
                 let name = format!("pmi-conn-{}", shared.config.jobid);
-                thread::Builder::new()
+                // A rank that never gets a handler thread can never
+                // barrier: abort the job cleanly instead of panicking
+                // the server thread and hanging every other rank.
+                if thread::Builder::new()
                     .name(name)
                     .stack_size(HANDLER_STACK)
                     .spawn(move || {
@@ -183,7 +186,11 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                             conn_shared.record_abort(&reason);
                         }
                     })
-                    .expect("spawn pmi connection thread");
+                    .is_err()
+                {
+                    shared.record_abort("pmi: failed to spawn connection handler");
+                    return;
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 thread::sleep(backoff);

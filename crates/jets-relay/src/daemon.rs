@@ -227,20 +227,17 @@ impl Relay {
         thread::Builder::new()
             .name("relay-accept".to_string())
             .stack_size(CONN_STACK)
-            .spawn(move || accept_loop(listener, accept_inner))
-            .expect("spawn relay accept thread");
+            .spawn(move || accept_loop(listener, accept_inner))?;
         let tick_inner = Arc::clone(&inner);
         thread::Builder::new()
             .name("relay-tick".to_string())
             .stack_size(CONN_STACK)
-            .spawn(move || liveness_ticker(tick_inner))
-            .expect("spawn relay ticker thread");
+            .spawn(move || liveness_ticker(tick_inner))?;
         let pump_inner = Arc::clone(&inner);
         thread::Builder::new()
             .name("relay-pump".to_string())
             .stack_size(CONN_STACK)
-            .spawn(move || upstream_pump(pump_inner, up_rx))
-            .expect("spawn relay pump thread");
+            .spawn(move || upstream_pump(pump_inner, up_rx))?;
         Ok(Relay { inner, addr })
     }
 
@@ -335,11 +332,17 @@ fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
             Ok((stream, _)) => {
                 backoff = Duration::from_micros(500);
                 let member_inner = Arc::clone(&inner);
-                thread::Builder::new()
+                // Thread exhaustion is worker-drivable load: shed this
+                // connection (the worker retries) instead of panicking
+                // the relay and orphaning its whole block.
+                if thread::Builder::new()
                     .name("relay-member".to_string())
                     .stack_size(CONN_STACK)
                     .spawn(move || serve_member(stream, member_inner))
-                    .expect("spawn relay member thread");
+                    .is_err()
+                {
+                    continue;
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 thread::sleep(backoff);
@@ -374,18 +377,35 @@ fn serve_member(stream: TcpStream, inner: Arc<Inner>) {
     let mut reader = MsgReader::new(BufReader::new(stream));
 
     // Handshake: first message must be Register (relays do not chain).
+    // Anything else is a protocol violation with no member state yet to
+    // unwind — drop the connection.
     let (name, cores, location) = match reader.recv::<WorkerMsg>() {
         Ok(Some(WorkerMsg::Register {
             name,
             cores,
             location,
         })) => (name, cores, location),
-        _ => return,
+        Ok(Some(
+            WorkerMsg::Request
+            | WorkerMsg::Done { .. }
+            | WorkerMsg::Heartbeat
+            | WorkerMsg::Goodbye
+            | WorkerMsg::RelayHello { .. }
+            | WorkerMsg::RelayRegister { .. }
+            | WorkerMsg::RelayRequest { .. }
+            | WorkerMsg::RelayDone { .. }
+            | WorkerMsg::BatchedHeartbeat { .. }
+            | WorkerMsg::RelayWorkerGone { .. },
+        ))
+        | Ok(None)
+        | Err(_) => return,
     };
     let local = inner.next_local.fetch_add(1, Ordering::Relaxed);
 
     let (tx, rx) = unbounded::<DispatcherMsg>();
-    thread::Builder::new()
+    // No writer thread means this member cannot be serviced: sever
+    // before any state is registered and let the worker reconnect.
+    if thread::Builder::new()
         .name(format!("relay-mwrite-{local}"))
         .stack_size(CONN_STACK)
         .spawn(move || {
@@ -396,7 +416,10 @@ fn serve_member(stream: TcpStream, inner: Arc<Inner>) {
                 }
             }
         })
-        .expect("spawn member writer thread");
+        .is_err()
+    {
+        return;
+    }
 
     let last_heard = Arc::new(AtomicU64::new(now_ms(&inner)));
     {
@@ -425,6 +448,7 @@ fn serve_member(stream: TcpStream, inner: Arc<Inner>) {
     loop {
         match reader.recv::<WorkerMsg>() {
             Ok(Some(WorkerMsg::Request)) => {
+                // jets-lint: allow(relaxed) liveness timestamp only: the flush filter tolerates staleness; ordering is irrelevant
                 last_heard.store(now_ms(&inner), Ordering::Relaxed);
                 {
                     let mut st = inner.state.lock();
@@ -440,6 +464,7 @@ fn serve_member(stream: TcpStream, inner: Arc<Inner>) {
                 wall_ms,
                 output,
             })) => {
+                // jets-lint: allow(relaxed) liveness timestamp only: the flush filter tolerates staleness; ordering is irrelevant
                 last_heard.store(now_ms(&inner), Ordering::Relaxed);
                 {
                     let mut st = inner.state.lock();
@@ -458,10 +483,22 @@ fn serve_member(stream: TcpStream, inner: Arc<Inner>) {
             // The relay-local liveness hot path: one relaxed store, no
             // lock, no upstream frame — the flush batches it.
             Ok(Some(WorkerMsg::Heartbeat)) => {
+                // jets-lint: allow(relaxed) liveness timestamp only: the flush filter tolerates staleness; ordering is irrelevant
                 last_heard.store(now_ms(&inner), Ordering::Relaxed);
             }
             Ok(Some(WorkerMsg::Goodbye)) | Ok(None) => break,
-            Ok(Some(_)) | Err(_) => break,
+            // Relay-scoped frames (or a second Register) on a member
+            // connection are protocol violations; sever.
+            Ok(Some(
+                WorkerMsg::Register { .. }
+                | WorkerMsg::RelayHello { .. }
+                | WorkerMsg::RelayRegister { .. }
+                | WorkerMsg::RelayRequest { .. }
+                | WorkerMsg::RelayDone { .. }
+                | WorkerMsg::BatchedHeartbeat { .. }
+                | WorkerMsg::RelayWorkerGone { .. },
+            ))
+            | Err(_) => break,
         }
     }
     member_down(&inner, local);
@@ -572,24 +609,24 @@ fn upstream_pump(inner: Arc<Inner>, up_rx: Receiver<UpFrame>) {
         {
             let reader_inner = Arc::clone(&inner);
             let dead = Arc::clone(&session_dead);
-            thread::Builder::new()
+            let spawned = thread::Builder::new()
                 .name("relay-upread".to_string())
                 .stack_size(CONN_STACK)
                 .spawn(move || {
                     let mut reader = MsgReader::new(BufReader::new(read_half));
-                    loop {
-                        match reader.recv::<DispatcherMsg>() {
-                            Ok(Some(msg)) => {
-                                if !handle_upstream(&reader_inner, msg) {
-                                    break;
-                                }
-                            }
-                            Ok(None) | Err(_) => break,
+                    while let Ok(Some(msg)) = reader.recv::<DispatcherMsg>() {
+                        if !handle_upstream(&reader_inner, msg) {
+                            break;
                         }
                     }
                     dead.store(true, Ordering::Release);
-                })
-                .expect("spawn upstream reader thread");
+                });
+            // No reader means no session: tear this attempt down and
+            // let the outer loop reconnect with backoff.
+            if spawned.is_err() {
+                *inner.upstream.lock() = None;
+                continue;
+            }
         }
 
         let mut writer = MsgWriter::new(stream);

@@ -380,7 +380,10 @@ fn run_session(
     let (inbox_tx, inbox) = unbounded::<Option<DispatcherMsg>>();
     {
         let mut reader = MsgReader::new(BufReader::new(stream));
-        thread::Builder::new()
+        // A session without a reader cannot hear assignments: treat a
+        // failed spawn like a lost connection and retry via the normal
+        // reconnect policy.
+        if thread::Builder::new()
             .name(format!("rx-{}", config.name))
             .stack_size(128 * 1024)
             .spawn(move || loop {
@@ -396,7 +399,10 @@ fn run_session(
                     }
                 }
             })
-            .expect("spawn reader thread");
+            .is_err()
+        {
+            return SessionEnd::Lost;
+        }
     }
 
     let lost_or_killed = || {
@@ -420,7 +426,19 @@ fn run_session(
     }
     match inbox.recv() {
         Ok(Some(DispatcherMsg::Registered { .. })) => {}
-        _ => return lost_or_killed(),
+        // Anything but the Registered ack before the handshake
+        // completes means a confused or dying dispatcher: resync by
+        // tearing the session down and reconnecting.
+        Ok(Some(
+            DispatcherMsg::Assign(_)
+            | DispatcherMsg::Cancel { .. }
+            | DispatcherMsg::Shutdown
+            | DispatcherMsg::RelayRegistered { .. }
+            | DispatcherMsg::RelayAssign { .. }
+            | DispatcherMsg::RelayCancel { .. },
+        ))
+        | Ok(None)
+        | Err(_) => return lost_or_killed(),
     }
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -428,7 +446,10 @@ fn run_session(
         let hb_writer = Arc::clone(&writer);
         let hb_stop = Arc::clone(&stop);
         let hb_kill = Arc::clone(kill);
-        thread::Builder::new()
+        // Without heartbeats the dispatcher would eventually declare
+        // this worker hung; better to fail the session now and retry
+        // than to register silently and be quarantined later.
+        if thread::Builder::new()
             .name(format!("hb-{}", config.name))
             .stack_size(64 * 1024)
             .spawn(move || {
@@ -439,7 +460,10 @@ fn run_session(
                     }
                 }
             })
-            .expect("spawn heartbeat thread");
+            .is_err()
+        {
+            return lost_or_killed();
+        }
     }
 
     let end = session_task_loop(
@@ -490,7 +514,12 @@ fn session_task_loop(
                 Ok(Some(DispatcherMsg::Cancel { .. })) => continue,
                 // Stray acks and relay-scoped envelopes (a worker never
                 // receives routed frames — its relay unwraps them): ignore.
-                Ok(Some(_)) => continue,
+                Ok(Some(
+                    DispatcherMsg::Registered { .. }
+                    | DispatcherMsg::RelayRegistered { .. }
+                    | DispatcherMsg::RelayAssign { .. }
+                    | DispatcherMsg::RelayCancel { .. },
+                )) => continue,
                 Ok(None) | Err(_) => break 'session lost_or_killed(),
             }
         };
@@ -527,14 +556,21 @@ fn session_task_loop(
         let task_cancel = cancel.clone();
         let task_id = assignment.task_id;
         let started = Instant::now();
-        thread::Builder::new()
+        // A task that never got a thread reports the executor's spawn
+        // failure code, exactly as if the process itself had failed to
+        // start; the dispatcher's retry ladder takes it from there.
+        if thread::Builder::new()
             .name("task".to_string())
             .stack_size(256 * 1024)
             .spawn(move || {
                 let outcome = task_executor.execute_cancellable(&assignment, &task_cancel);
                 let _ = tx.send(outcome);
             })
-            .expect("spawn task thread");
+            .is_err()
+        {
+            report_failure(writer, task_id, crate::executor::EXIT_SPAWN_FAILED);
+            continue;
+        }
 
         let mut canceled = false;
         let mut cancel_deadline: Option<Instant> = None;
@@ -554,7 +590,15 @@ fn session_task_loop(
                     }
                     Some(DispatcherMsg::Cancel { .. }) => {} // stale
                     Some(DispatcherMsg::Shutdown) => shutdown_after = true,
-                    Some(_) => {}
+                    // Stray acks / relay-scoped envelopes mid-task: a
+                    // worker never acts on routed frames.
+                    Some(
+                        DispatcherMsg::Registered { .. }
+                        | DispatcherMsg::Assign(_)
+                        | DispatcherMsg::RelayRegistered { .. }
+                        | DispatcherMsg::RelayAssign { .. }
+                        | DispatcherMsg::RelayCancel { .. },
+                    ) => {}
                     None => conn_lost = true,
                 }
             }

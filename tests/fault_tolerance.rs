@@ -228,8 +228,10 @@ fn partitioned_worker_is_quarantined_then_reused() {
         .rev()
         .find_map(|e| match e.kind {
             EventKind::TaskEnded {
-                worker, exit_code, ..
-            } if exit_code == 0 => Some(worker),
+                worker,
+                exit_code: 0,
+                ..
+            } => Some(worker),
             _ => None,
         })
         .expect("no successful task");
