@@ -66,6 +66,8 @@ fn main() {
                         spec: JobSpec::mpi((id % 7 + 1) as u32, CommandSpec::builtin("x", vec![])),
                         attempts: 0,
                         excluded: Vec::new(),
+                        submitted_at: std::time::Instant::now(),
+                        enqueued_at: std::time::Instant::now(),
                     })
                     .collect::<Vec<_>>()
             },

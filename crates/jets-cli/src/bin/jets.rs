@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! jets TASKFILE [--listen ADDR] [--simulate N] [--timeout SECS]
-//!               [--events-out FILE]
-//! jets events --in FILE [--nodes N] [--step-ms MS]
+//!               [--events-out FILE] [--metrics-addr ADDR]
+//! jets events --in FILE [--nodes N] [--step-ms MS] [--stats]
+//! jets top --metrics ADDR [--interval-ms MS] [--once]
 //! ```
 //!
 //! Reads a task list (`MPI: <nodes> [ppn=<k>] cmd args...` or bare
@@ -15,11 +16,20 @@
 //! `--events-out FILE` dumps the dispatcher's event log as JSON Lines
 //! after the run; `jets events --in FILE` recomputes the paper's
 //! utilization / load / availability statistics from such a dump
-//! offline, with no dispatcher running.
+//! offline, with no dispatcher running — `--stats` adds the per-phase
+//! latency percentile table, under the same metric names a live
+//! `/metrics` scrape uses.
+//!
+//! `--metrics-addr ADDR` serves `GET /metrics` (Prometheus text) and
+//! `GET /healthz` off the running dispatcher; `jets top --metrics ADDR`
+//! polls that endpoint and renders a one-screen cluster snapshot. See
+//! `docs/observability.md`.
 
 use cluster_sim::{science_registry, Allocation, AllocationConfig};
+use jets_cli::prom::Scrape;
 use jets_cli::{parse_args, Args};
 use jets_core::{stats, Dispatcher, DispatcherConfig, EventKind, JobStatus};
+use jets_obs::Histogram;
 use jets_worker::Executor;
 use std::collections::HashSet;
 use std::io::BufReader;
@@ -32,10 +42,17 @@ fn main() {
         let args = parse_args(argv.into_iter().skip(1), &["in", "nodes", "step-ms"]);
         events_main(&args);
     }
-    let args = parse_args(argv, &["listen", "simulate", "timeout", "events-out"]);
+    if argv.first().map(String::as_str) == Some("top") {
+        let args = parse_args(argv.into_iter().skip(1), &["metrics", "interval-ms"]);
+        top_main(&args);
+    }
+    let args = parse_args(
+        argv,
+        &["listen", "simulate", "timeout", "events-out", "metrics-addr"],
+    );
     let Some(taskfile) = args.positional.first() else {
         eprintln!(
-            "usage: jets TASKFILE [--listen ADDR] [--simulate N] [--timeout SECS] [--events-out FILE]\n       jets events --in FILE [--nodes N] [--step-ms MS]"
+            "usage: jets TASKFILE [--listen ADDR] [--simulate N] [--timeout SECS] [--events-out FILE] [--metrics-addr ADDR]\n       jets events --in FILE [--nodes N] [--step-ms MS] [--stats]\n       jets top --metrics ADDR [--interval-ms MS] [--once]"
         );
         std::process::exit(2);
     };
@@ -58,6 +75,15 @@ fn main() {
         }
     };
     println!("jets: dispatcher listening on {}", dispatcher.addr());
+    if let Some(addr) = args.get("metrics-addr") {
+        match dispatcher.serve_metrics(addr) {
+            Ok(local) => println!("jets: serving http://{local}/metrics"),
+            Err(e) => {
+                eprintln!("jets: cannot serve metrics on {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     let simulate: u32 = args.get_parse("simulate", 0);
     let allocation = if simulate > 0 {
@@ -192,5 +218,160 @@ fn events_main(args: &Args) -> ! {
     ) {
         println!("  workers alive:   min {min}, max {max}");
     }
+    if args.has_flag("stats") {
+        print_phase_stats(&events);
+    }
     std::process::exit(0);
+}
+
+/// `jets events --stats`: per-phase latency percentiles by job size,
+/// computed from `JobPhases` records through the same histogram type
+/// (and under the same metric name) a live `/metrics` scrape uses.
+fn print_phase_stats(events: &[jets_core::Event]) {
+    use std::collections::BTreeMap;
+
+    struct SizeRow {
+        jobs: u64,
+        queue: Histogram,
+        launch: Histogram,
+        run: Histogram,
+    }
+    let mut by_size: BTreeMap<u32, SizeRow> = BTreeMap::new();
+    for e in events {
+        if let EventKind::JobPhases {
+            nodes,
+            queue_us,
+            launch_us,
+            run_us,
+            ..
+        } = &e.kind
+        {
+            let row = by_size.entry(*nodes).or_insert_with(|| SizeRow {
+                jobs: 0,
+                queue: Histogram::new(),
+                launch: Histogram::new(),
+                run: Histogram::new(),
+            });
+            row.jobs += 1;
+            row.queue.record(*queue_us);
+            row.launch.record(*launch_us);
+            row.run.record(*run_us);
+        }
+    }
+    if by_size.is_empty() {
+        println!("  no JobPhases records (log predates lifecycle tracing)");
+        return;
+    }
+    let fmt = |s: &jets_obs::HistogramSnapshot| {
+        format!(
+            "{:.6}/{:.6}/{:.6}",
+            s.p50 as f64 / 1e6,
+            s.p95 as f64 / 1e6,
+            s.p99 as f64 / 1e6
+        )
+    };
+    println!(
+        "  {} p50/p95/p99 by job size (seconds):",
+        jets_core::metrics::JOB_PHASE_METRIC
+    );
+    println!(
+        "  {:>5} {:>6}  {:<28} {:<28} {:<28}",
+        "nodes", "jobs", "queue", "launch", "run"
+    );
+    for (nodes, row) in &by_size {
+        println!(
+            "  {:>5} {:>6}  {:<28} {:<28} {:<28}",
+            nodes,
+            row.jobs,
+            fmt(&row.queue.snapshot()),
+            fmt(&row.launch.snapshot()),
+            fmt(&row.run.snapshot())
+        );
+    }
+}
+
+/// `jets top`: poll a `/metrics` endpoint and render a one-screen
+/// snapshot of the dispatcher.
+fn top_main(args: &Args) -> ! {
+    let Some(addr) = args.get("metrics") else {
+        eprintln!("usage: jets top --metrics ADDR [--interval-ms MS] [--once]");
+        std::process::exit(2);
+    };
+    let interval = Duration::from_millis(args.get_parse("interval-ms", 1000u64));
+    let once = args.has_flag("once");
+    scrape_loop(addr, interval, once);
+}
+
+/// The polling loop behind `jets top`. Never panics: a failed scrape is
+/// reported and retried (`--once` turns it into a nonzero exit).
+fn scrape_loop(addr: &str, interval: Duration, once: bool) -> ! {
+    let mut tick = 0u64;
+    loop {
+        tick += 1;
+        match jets_obs::scrape(addr, "/metrics") {
+            Ok(text) => {
+                let scrape = Scrape::parse(&text);
+                if !once {
+                    // Clear and home, terminal-top style.
+                    print!("\x1b[2J\x1b[H");
+                }
+                render_top(addr, tick, &scrape);
+            }
+            Err(e) => {
+                eprintln!("jets top: scrape {addr} failed: {e}");
+                if once {
+                    std::process::exit(1);
+                }
+            }
+        }
+        if once {
+            std::process::exit(0);
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// Print one `jets top` frame from a parsed scrape.
+fn render_top(addr: &str, tick: u64, s: &Scrape) {
+    let v = |name: &str| s.value(name).unwrap_or(0.0);
+    println!("jets top — {addr} (scrape #{tick})");
+    println!();
+    println!(
+        "  jobs     submitted {:>8}  completed {:>8}  failed {:>6}  requeued {:>6}",
+        v("jets_jobs_submitted_total"),
+        v("jets_jobs_completed_total"),
+        v("jets_jobs_failed_total"),
+        v("jets_jobs_requeued_total"),
+    );
+    println!(
+        "  queue    depth {:>8}      running gangs {:>6}",
+        v("jets_queue_depth"),
+        v("jets_running_gangs"),
+    );
+    println!(
+        "  workers  alive {:>6}  ready {:>6}  busy {:>6}  quarantined {:>4}  relays {:>4}",
+        v("jets_workers_alive"),
+        v("jets_workers_ready"),
+        v("jets_workers_busy"),
+        v("jets_quarantined_current"),
+        v("jets_relays_current"),
+    );
+    println!(
+        "  faults   reconnects {:>6}  deadline-exceeded {:>6}",
+        v("jets_reconnects_total"),
+        v("jets_deadline_exceeded_total"),
+    );
+    println!();
+    println!("  phase latency (seconds)        p50         p95         p99");
+    for phase in jets_core::metrics::JOB_PHASES {
+        let q = s.quantiles(jets_core::metrics::JOB_PHASE_METRIC, "phase", phase);
+        let get = |k: &str| q.get(k).copied().unwrap_or(0.0);
+        println!(
+            "    {:<8} {:>21.6} {:>11.6} {:>11.6}",
+            phase,
+            get("0.5"),
+            get("0.95"),
+            get("0.99"),
+        );
+    }
 }

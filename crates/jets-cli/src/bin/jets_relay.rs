@@ -5,7 +5,7 @@
 //!            [--location L] [--flush-ms MS] [--stale-ms MS]
 //!            [--reconnect-attempts N] [--reconnect-base-ms MS]
 //!            [--reconnect-cap-ms MS] [--reconnect-jitter F]
-//!            [--reconnect-seed S]
+//!            [--reconnect-seed S] [--metrics-addr ADDR]
 //! ```
 //!
 //! Fronts a block of workers over one dispatcher connection: point
@@ -36,6 +36,7 @@ fn main() {
             "reconnect-cap-ms",
             "reconnect-jitter",
             "reconnect-seed",
+            "metrics-addr",
         ],
     );
     let Some(dispatcher) = args.get("dispatcher") else {
@@ -86,6 +87,15 @@ fn main() {
         "jets-relay: {name} listening on {} for dispatcher {dispatcher}",
         relay.addr()
     );
+    if let Some(addr) = args.get("metrics-addr") {
+        match relay.serve_metrics(addr) {
+            Ok(local) => println!("jets-relay: serving http://{local}/metrics"),
+            Err(e) => {
+                eprintln!("jets-relay: cannot serve metrics on {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     // The daemon runs on its own threads; park this one until the
     // dispatcher's shutdown (or reconnect exhaustion) stops the relay.
     loop {

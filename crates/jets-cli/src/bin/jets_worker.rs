@@ -6,6 +6,7 @@
 //!             [--reconnect] [--reconnect-attempts N]
 //!             [--reconnect-base-ms MS] [--reconnect-cap-ms MS]
 //!             [--reconnect-jitter F] [--reconnect-seed S]
+//!             [--metrics-addr ADDR]
 //! jets-worker --relay HOST:PORT [...]
 //! ```
 //!
@@ -17,10 +18,13 @@
 //!
 //! Any `--reconnect*` option enables reconnect-with-backoff; unset knobs
 //! keep their defaults.
+//!
+//! `--metrics-addr ADDR` serves this agent's `GET /metrics` (Prometheus
+//! text) and `GET /healthz`; see `docs/observability.md`.
 
 use cluster_sim::science_registry;
 use jets_cli::parse_args;
-use jets_worker::{Executor, ReconnectPolicy, Worker, WorkerConfig};
+use jets_worker::{Executor, ReconnectPolicy, Worker, WorkerConfig, WorkerMetrics};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -39,6 +43,7 @@ fn main() {
             "reconnect-cap-ms",
             "reconnect-jitter",
             "reconnect-seed",
+            "metrics-addr",
         ],
     );
     let endpoint = match (args.get("dispatcher"), args.get("relay")) {
@@ -71,7 +76,7 @@ fn main() {
         jitter: args.get_parse("reconnect-jitter", defaults.jitter),
         seed: args.get_parse("reconnect-seed", defaults.seed),
     });
-    let config = WorkerConfig {
+    let mut config = WorkerConfig {
         dispatcher_addr: endpoint.clone(),
         name: args
             .get("name")
@@ -86,6 +91,22 @@ fn main() {
         reconnect,
         ..WorkerConfig::new(endpoint.clone(), "unnamed")
     };
+    let metrics = Arc::new(WorkerMetrics::new());
+    config.metrics = Some(Arc::clone(&metrics));
+    // Held for the process lifetime; dropping it would close the port.
+    let mut _metrics_server = None;
+    if let Some(addr) = args.get("metrics-addr") {
+        match jets_obs::serve_metrics(addr, metrics.registry()) {
+            Ok(server) => {
+                println!("jets-worker: serving http://{}/metrics", server.addr());
+                _metrics_server = Some(server);
+            }
+            Err(e) => {
+                eprintln!("jets-worker: cannot serve metrics on {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let name = config.name.clone();
     println!("jets-worker: {name} connecting to {endpoint}");
     let worker = Worker::spawn(config, Arc::new(Executor::new(science_registry())));

@@ -23,6 +23,8 @@
 
 #![warn(missing_docs)]
 
+pub mod prom;
+
 use std::collections::HashMap;
 
 /// Minimal option parser: `--key value` pairs plus positional arguments.

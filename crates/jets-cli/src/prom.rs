@@ -1,0 +1,225 @@
+//! A small parser for the Prometheus text exposition format, as
+//! rendered by `jets-obs` registries.
+//!
+//! `jets top` scrapes `GET /metrics` off a live dispatcher (or relay,
+//! or worker process) and reads individual samples back through
+//! [`Scrape`]; the loopback tests use the same parser to assert on
+//! mid-run metric values, so the parser is deliberately strict about
+//! nothing and tolerant of everything — an unparseable line is skipped,
+//! not fatal (a monitoring path must never take the batch down).
+
+use std::collections::HashMap;
+
+/// One parsed sample line: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (the part before `{` or whitespace).
+    pub name: String,
+    /// Label pairs in appearance order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed scrape: every sample, in document order.
+#[derive(Debug, Default, Clone)]
+pub struct Scrape {
+    /// All samples in the scrape.
+    pub samples: Vec<Sample>,
+}
+
+impl Scrape {
+    /// Parse Prometheus text. Comment (`#`) and blank lines are
+    /// skipped; malformed sample lines are dropped silently.
+    pub fn parse(text: &str) -> Scrape {
+        let samples = text.lines().filter_map(parse_sample).collect();
+        Scrape { samples }
+    }
+
+    /// The first sample named `name` with no labels (plain counters and
+    /// gauges).
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .map(|s| s.value)
+    }
+
+    /// The first sample named `name` whose labels include `key="val"`.
+    pub fn labeled(&self, name: &str, key: &str, val: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.label(key) == Some(val))
+            .map(|s| s.value)
+    }
+
+    /// All samples named `name`, e.g. every quantile of a summary.
+    pub fn all(&self, name: &str) -> Vec<&Sample> {
+        self.samples.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// Summary quantiles of `name` filtered by one extra label, keyed
+    /// by the `quantile` label value (`"0.5"`, `"0.95"`, `"0.99"`).
+    pub fn quantiles(&self, name: &str, key: &str, val: &str) -> HashMap<String, f64> {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name && s.label(key) == Some(val))
+            .filter_map(|s| s.label("quantile").map(|q| (q.to_string(), s.value)))
+            .collect()
+    }
+}
+
+/// Parse one sample line; `None` for comments, blanks, and noise.
+fn parse_sample(line: &str) -> Option<Sample> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    let (head, value_str) = match line.find('}') {
+        // `name{...} value` — split after the closing brace.
+        Some(close) => {
+            let (head, rest) = line.split_at(close + 1);
+            (head, rest.trim())
+        }
+        // `name value` — split on whitespace.
+        None => {
+            let mut it = line.splitn(2, char::is_whitespace);
+            (it.next()?, it.next()?.trim())
+        }
+    };
+    let value: f64 = value_str.split_whitespace().next()?.parse().ok()?;
+    let (name, labels) = match head.split_once('{') {
+        Some((name, rest)) => (name, parse_labels(rest.strip_suffix('}')?)),
+        None => (head, Vec::new()),
+    };
+    if name.is_empty() {
+        return None;
+    }
+    Some(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// Parse `k1="v1",k2="v2"`. Escapes beyond `\\`, `\"`, and `\n` are
+/// passed through untouched — jets-obs never emits others.
+fn parse_labels(body: &str) -> Vec<(String, String)> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    loop {
+        rest = rest.trim_start_matches(',').trim();
+        if rest.is_empty() {
+            break;
+        }
+        let Some((key, after_eq)) = rest.split_once("=\"") else {
+            break;
+        };
+        // Find the closing unescaped quote.
+        let mut val = String::new();
+        let mut chars = after_eq.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => {
+                    if let Some((_, esc)) = chars.next() {
+                        val.push(match esc {
+                            'n' => '\n',
+                            other => other,
+                        });
+                    }
+                }
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                other => val.push(other),
+            }
+        }
+        let Some(end) = end else {
+            break;
+        };
+        labels.push((key.trim().to_string(), val));
+        rest = &after_eq[end + 1..];
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_counters_and_gauges() {
+        let s = Scrape::parse(
+            "# HELP jets_jobs_submitted_total Jobs accepted\n\
+             # TYPE jets_jobs_submitted_total counter\n\
+             jets_jobs_submitted_total 1600\n\
+             jets_queue_depth 7\n",
+        );
+        assert_eq!(s.value("jets_jobs_submitted_total"), Some(1600.0));
+        assert_eq!(s.value("jets_queue_depth"), Some(7.0));
+        assert_eq!(s.value("jets_absent"), None);
+    }
+
+    #[test]
+    fn parses_labeled_summary_lines() {
+        let s = Scrape::parse(
+            "jets_job_phase_seconds{phase=\"queue\",quantile=\"0.5\"} 0.000131\n\
+             jets_job_phase_seconds{phase=\"queue\",quantile=\"0.99\"} 0.002047\n\
+             jets_job_phase_seconds_count{phase=\"queue\"} 1600\n",
+        );
+        let q = s.quantiles("jets_job_phase_seconds", "phase", "queue");
+        assert_eq!(q.get("0.5"), Some(&0.000131));
+        assert_eq!(q.get("0.99"), Some(&0.002047));
+        assert_eq!(
+            s.labeled("jets_job_phase_seconds_count", "phase", "queue"),
+            Some(1600.0)
+        );
+    }
+
+    #[test]
+    fn tolerates_noise_without_failing() {
+        let s = Scrape::parse("garbage\nname_only\nx 1 2 3\nok 4.5\n{} 9\n");
+        assert_eq!(s.value("ok"), Some(4.5));
+        // `x 1 2 3` keeps the first numeric field, Prometheus-style
+        // (trailing fields are timestamps).
+        assert_eq!(s.value("x"), Some(1.0));
+        assert_eq!(s.samples.len(), 2);
+    }
+
+    #[test]
+    fn unescapes_label_values() {
+        let s = Scrape::parse("m{k=\"a\\\"b\\\\c\\nd\"} 1\n");
+        assert_eq!(s.samples[0].label("k"), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn round_trips_a_real_jets_obs_render() {
+        let m = jets_core::DispatcherMetrics::new();
+        m.jobs_submitted_total.add(3);
+        m.workers_ready.set(12);
+        for us in [100, 200, 400, 800] {
+            m.phase_queue.record(us);
+        }
+        let s = Scrape::parse(&m.render());
+        assert_eq!(s.value("jets_jobs_submitted_total"), Some(3.0));
+        assert_eq!(s.value("jets_workers_ready"), Some(12.0));
+        let q = s.quantiles(jets_core::metrics::JOB_PHASE_METRIC, "phase", "queue");
+        assert!(q.contains_key("0.5") && q.contains_key("0.95") && q.contains_key("0.99"));
+        assert_eq!(
+            s.labeled("jets_job_phase_seconds_count", "phase", "queue"),
+            Some(4.0)
+        );
+    }
+}

@@ -39,6 +39,7 @@
 
 use crate::events::{EventKind, EventLog};
 use crate::group::{select_group_ids, GroupScratch, GroupingPolicy};
+use crate::metrics::DispatcherMetrics;
 use crate::protocol::{
     DispatcherMsg, MsgReader, MsgWriter, TaskAssignment, TaskKind, WorkerMsg, EXIT_CANCELED,
     EXIT_DEADLINE, EXIT_UNDELIVERABLE, EXIT_WORKER_LOST,
@@ -49,6 +50,7 @@ use crate::registry::{HeartbeatHandle, QuarantinePolicy, Registry, WorkerState};
 use crate::spec::{JobId, JobSpec, TaskId, WorkerId};
 use crossbeam::channel::{unbounded, Sender};
 use crossbeam::queue::SegQueue;
+use jets_obs::MetricsServer;
 use jets_pmi::{ManualLauncher, PmiServer, PmiServerConfig, RankLayout};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
@@ -152,6 +154,13 @@ struct ActiveJob {
     started: Instant,
     /// Wall-clock cutoff derived from the spec's `deadline_ms`.
     deadline: Option<Instant>,
+    /// Lifecycle span timestamps (see `EventKind::JobPhases`): when the
+    /// job was first submitted, when this attempt entered the queue, and
+    /// when its assignments finished shipping (`started` doubles as the
+    /// group-assembled stamp).
+    submitted_at: Instant,
+    enqueued_at: Instant,
+    shipped_at: Option<Instant>,
 }
 
 /// The write channel that reaches one worker.
@@ -230,6 +239,9 @@ struct Book {
 struct Inner {
     config: DispatcherConfig,
     log: EventLog,
+    /// Live metric handles; every recording is a relaxed `fetch_add` (or
+    /// a gauge store), so instrumentation never contends with scheduling.
+    metrics: Arc<DispatcherMetrics>,
     /// Scheduling-critical state. Lock order: `sched` before `book`,
     /// never the reverse.
     sched: Mutex<Sched>,
@@ -261,6 +273,9 @@ const CONN_STACK: usize = 192 * 1024;
 pub struct Dispatcher {
     inner: Arc<Inner>,
     addr: SocketAddr,
+    /// The `/metrics` responder, when one was started; dropping the
+    /// dispatcher stops it.
+    metrics_server: Mutex<Option<MetricsServer>>,
 }
 
 impl Dispatcher {
@@ -288,6 +303,7 @@ impl Dispatcher {
             }),
             config,
             log: EventLog::new(),
+            metrics: Arc::new(DispatcherMetrics::new()),
             idle_cv: Condvar::new(),
             pending_ready: SegQueue::new(),
             sched_kick: AtomicBool::new(false),
@@ -307,7 +323,11 @@ impl Dispatcher {
             .name("jets-monitor".to_string())
             .stack_size(CONN_STACK)
             .spawn(move || monitor_loop(monitor_inner))?;
-        Ok(Dispatcher { inner, addr })
+        Ok(Dispatcher {
+            inner,
+            addr,
+            metrics_server: Mutex::new(None),
+        })
     }
 
     /// Address workers should connect to.
@@ -318,6 +338,23 @@ impl Dispatcher {
     /// The dispatcher's event log (cheap to clone; shared).
     pub fn events(&self) -> EventLog {
         self.inner.log.clone()
+    }
+
+    /// The dispatcher's live metric handles (cheap to clone; shared).
+    /// Tests and embedders read counters and gauges directly; operators
+    /// scrape the same values via [`Dispatcher::serve_metrics`].
+    pub fn metrics(&self) -> Arc<DispatcherMetrics> {
+        Arc::clone(&self.inner.metrics)
+    }
+
+    /// Start a `/metrics` + `/healthz` HTTP responder on `addr` (port 0
+    /// picks an ephemeral port) and return the bound address. The
+    /// responder lives until the dispatcher is dropped.
+    pub fn serve_metrics(&self, addr: &str) -> io::Result<SocketAddr> {
+        let server = jets_obs::serve_metrics(addr, self.inner.metrics.registry())?;
+        let local = server.addr();
+        *self.metrics_server.lock() = Some(server);
+        Ok(local)
     }
 
     /// Submit one job; returns its identifier.
@@ -335,6 +372,7 @@ impl Dispatcher {
 
     fn submit_batch(&self, specs: Vec<JobSpec>) -> Vec<JobId> {
         let inner = &self.inner;
+        let now = Instant::now();
         let mut ids = Vec::with_capacity(specs.len());
         let mut jobs = Vec::with_capacity(specs.len());
         for spec in specs {
@@ -350,8 +388,11 @@ impl Dispatcher {
                 spec,
                 attempts: 0,
                 excluded: Vec::new(),
+                submitted_at: now,
+                enqueued_at: now,
             });
         }
+        inner.metrics.jobs_submitted_total.add(jobs.len() as u64);
         {
             let mut book = inner.book.lock();
             for job in &jobs {
@@ -497,6 +538,7 @@ fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
             Ok((stream, _)) => {
                 backoff = Duration::from_micros(500);
                 inner.accepted.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.connections_accepted_total.inc();
                 let conn_inner = Arc::clone(&inner);
                 // Spawn failure (thread exhaustion) is peer-drivable
                 // load, not a dispatcher bug: shed this connection and
@@ -552,6 +594,7 @@ fn monitor_loop(inner: Arc<Inner>) {
             .collect();
         for job in expired {
             inner.log.record(EventKind::DeadlineExceeded { job });
+            inner.metrics.deadline_exceeded_total.inc();
             cancel_gang(&inner, &mut st, job, EXIT_DEADLINE, "deadline exceeded");
         }
         // Quarantine release: benched workers whose penalty expired get
@@ -567,7 +610,24 @@ fn monitor_loop(inner: Arc<Inner>) {
         if replayed {
             try_schedule(&inner, &mut st);
         }
+        // Gauge sampling: the O(workers) counts are refreshed here, once
+        // per tick, so the scheduling hot path never walks the registry
+        // for metrics' sake (it maintains only the O(1) gauges inline).
+        sample_gauges(&inner, &st);
     }
+}
+
+/// Refresh every sampled gauge from scheduler state; caller holds the
+/// scheduling lock.
+fn sample_gauges(inner: &Inner, st: &Sched) {
+    let m = &inner.metrics;
+    m.queue_depth.set(st.queue.len() as i64);
+    m.workers_ready.set(st.ready.len() as i64);
+    m.running_gangs.set(st.active.len() as i64);
+    m.relays_current.set(st.relays.len() as i64);
+    m.workers_alive.set(st.registry.alive_count() as i64);
+    m.workers_busy.set(st.registry.busy_count() as i64);
+    m.quarantined_current.set(st.registry.quarantined_count() as i64);
 }
 
 /// Reader side of one inbound connection; owns the handshake. The first
@@ -643,6 +703,12 @@ fn register_worker(
     conn: ConnHandle,
 ) -> HeartbeatHandle {
     let mut st = inner.sched.lock();
+    // A name the registry has seen before is a pilot coming back after a
+    // disconnect: count it so the fault layer's reconnect behavior is
+    // observable from the metrics surface.
+    if st.registry.known_name(&name) {
+        inner.metrics.reconnects_total.inc();
+    }
     let hb = st
         .registry
         .insert_via(worker_id, name, cores, location, relay);
@@ -928,6 +994,13 @@ fn try_schedule(inner: &Inner, st: &mut Sched) {
         start_job(inner, st, job, &chosen);
     }
     st.chosen = chosen;
+    // The O(1) gauges are maintained inline so scrapes between monitor
+    // ticks see fresh queue/ready levels; three relaxed stores per
+    // *pass* (not per job), invisible to the burst benchmarks.
+    let m = &inner.metrics;
+    m.queue_depth.set(st.queue.len() as i64);
+    m.workers_ready.set(st.ready.len() as i64);
+    m.running_gangs.set(st.active.len() as i64);
 }
 
 /// Dequeue `need` ready workers, oldest first, skipping `excluded`.
@@ -959,7 +1032,12 @@ fn take_excluding(
 /// lock (taking `book` briefly for the status flip).
 fn start_job(inner: &Inner, st: &mut Sched, job: QueuedJob, workers: &[WorkerId]) {
     let QueuedJob {
-        id, spec, attempts, ..
+        id,
+        spec,
+        attempts,
+        submitted_at,
+        enqueued_at,
+        ..
     } = job;
     inner.log.record(EventKind::JobStarted {
         job: id,
@@ -986,6 +1064,9 @@ fn start_job(inner: &Inner, st: &mut Sched, job: QueuedJob, workers: &[WorkerId]
         failed_workers: Vec::new(),
         pmi: None,
         started,
+        submitted_at,
+        enqueued_at,
+        shipped_at: None,
         deadline: spec
             .deadline_ms
             .map(|ms| started + Duration::from_millis(ms)),
@@ -1065,6 +1146,7 @@ fn start_job(inner: &Inner, st: &mut Sched, job: QueuedJob, workers: &[WorkerId]
         st.tasks.insert(task_id, id);
         st.registry.mark_busy(worker, id);
         active.pending.insert(worker, task_id);
+        inner.metrics.tasks_started_total.inc();
         inner.log.record(EventKind::TaskStarted {
             task: task_id,
             job: id,
@@ -1093,6 +1175,8 @@ fn start_job(inner: &Inner, st: &mut Sched, job: QueuedJob, workers: &[WorkerId]
             active.exit_codes.push(EXIT_UNDELIVERABLE);
         }
     }
+
+    active.shipped_at = Some(Instant::now());
 
     if active.pending.is_empty() {
         // Everything failed to deliver.
@@ -1132,6 +1216,7 @@ fn handle_done(
         return;
     };
     let (ppn, job) = (active.spec.ppn, active.id);
+    inner.metrics.tasks_ended_total.inc();
     inner.log.record(EventKind::TaskEnded {
         task: task_id,
         job,
@@ -1260,6 +1345,7 @@ fn cancel_gang(inner: &Inner, st: &mut Sched, job_id: JobId, exit_code: i32, rea
 /// (lock order sched → book).
 fn finish_job(inner: &Inner, st: &mut Sched, active: ActiveJob) {
     let success = !active.any_failure;
+    let done = Instant::now();
     let wall = active.started.elapsed();
     // Drop the PMI server; abort it first if the job failed so lingering
     // ranks unblock promptly.
@@ -1276,6 +1362,7 @@ fn finish_job(inner: &Inner, st: &mut Sched, active: ActiveJob) {
     });
     let retry = !success && active.attempts <= active.spec.max_retries;
     if retry {
+        inner.metrics.jobs_requeued_total.inc();
         inner.log.record(EventKind::JobRequeued { job: active.id });
         {
             let mut book = inner.book.lock();
@@ -1294,9 +1381,18 @@ fn finish_job(inner: &Inner, st: &mut Sched, active: ActiveJob) {
             spec: active.spec,
             attempts: active.attempts,
             excluded,
+            // The end-to-end epoch survives the requeue; the queue-wait
+            // epoch restarts now.
+            submitted_at: active.submitted_at,
+            enqueued_at: done,
         });
         // outstanding unchanged: the job is still in flight.
     } else {
+        record_job_phases(inner, &active, done);
+        inner.metrics.jobs_completed_total.inc();
+        if !success {
+            inner.metrics.jobs_failed_total.inc();
+        }
         let mut book = inner.book.lock();
         if let Some(rec) = book.records.get_mut(&active.id) {
             rec.status = if success {
@@ -1315,9 +1411,51 @@ fn finish_job(inner: &Inner, st: &mut Sched, active: ActiveJob) {
     try_schedule(inner, st);
 }
 
+/// Microseconds from `a` to `b`, saturating to zero if the clock reads
+/// backwards across threads (spans must stay monotone, never panic).
+fn micros_between(a: Instant, b: Instant) -> u64 {
+    b.checked_duration_since(a).unwrap_or_default().as_micros() as u64
+}
+
+/// Stamp the finished job's lifecycle breakdown into the phase
+/// histograms and the event log (`EventKind::JobPhases`).
+///
+/// Phase boundaries, in order: `enqueued_at` (this attempt entered the
+/// queue) → `started` (group assembled) → `shipped_at` (assignments on
+/// the wire) → first PMI fence release (MPI jobs only) → `done`. The
+/// `total` phase alone uses `submitted_at`, which predates any requeues.
+fn record_job_phases(inner: &Inner, active: &ActiveJob, done: Instant) {
+    let m = &inner.metrics;
+    let shipped = active.shipped_at.unwrap_or(active.started);
+    let queue_us = micros_between(active.enqueued_at, active.started);
+    let launch_us = micros_between(active.started, shipped);
+    let barrier = active.pmi.as_ref().and_then(|p| p.first_barrier_at());
+    let pmi_us = barrier.map(|b| micros_between(shipped, b));
+    let run_us = micros_between(barrier.unwrap_or(shipped), done);
+    let total_us = micros_between(active.submitted_at, done);
+    m.phase_queue.record(queue_us);
+    m.phase_launch.record(launch_us);
+    if let Some(us) = pmi_us {
+        m.phase_pmi.record(us);
+    }
+    m.phase_run.record(run_us);
+    m.phase_total.record(total_us);
+    inner.log.record(EventKind::JobPhases {
+        job: active.id,
+        nodes: active.spec.nodes,
+        queue_us,
+        launch_us,
+        pmi_us,
+        run_us,
+        total_us,
+    });
+}
+
 /// Fail a job that never shipped (e.g. PMI bind failure). The caller
 /// holds the scheduling lock; only `book` is touched here.
 fn finish_failed_unstarted(inner: &Inner, id: JobId, nodes: u32, ppn: u32, _reason: &str) {
+    inner.metrics.jobs_completed_total.inc();
+    inner.metrics.jobs_failed_total.inc();
     inner.log.record(EventKind::JobCompleted {
         job: id,
         nodes,

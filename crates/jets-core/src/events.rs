@@ -63,6 +63,29 @@ pub enum EventKind {
         /// Whether every task exited zero.
         success: bool,
     },
+    /// Per-phase latency breakdown of a finished job's final attempt,
+    /// emitted alongside its terminal [`EventKind::JobCompleted`]. The
+    /// same durations feed the live `jets_job_phase_seconds` histograms,
+    /// so offline analysis (`jets events --stats`) matches `/metrics`
+    /// one-to-one.
+    JobPhases {
+        /// The job.
+        job: JobId,
+        /// Its node count (the per-size key used by `--stats`).
+        nodes: u32,
+        /// Queue wait: last enqueue → workers selected.
+        queue_us: u64,
+        /// Launch: workers selected → all assignments shipped.
+        launch_us: u64,
+        /// PMI negotiation: assignments shipped → first barrier
+        /// released. `None` for jobs that never fence (sequential).
+        pmi_us: Option<u64>,
+        /// Run: start of execution → terminal state.
+        run_us: u64,
+        /// End-to-end: first submission → terminal state (includes
+        /// requeued attempts).
+        total_us: u64,
+    },
     /// A failed job went back into the queue.
     JobRequeued {
         /// The job.
@@ -175,6 +198,22 @@ pub struct EventRecord {
     /// Quarantine release time (ms since registry epoch).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub until_ms: Option<u64>,
+    /// Queue-wait phase duration (`JobPhases`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub queue_us: Option<u64>,
+    /// Launch phase duration (`JobPhases`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub launch_us: Option<u64>,
+    /// PMI-negotiation phase duration (`JobPhases`; absent for jobs
+    /// that never fence).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub pmi_us: Option<u64>,
+    /// Run phase duration (`JobPhases`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub run_us: Option<u64>,
+    /// End-to-end duration (`JobPhases`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub total_us: Option<u64>,
 }
 
 impl From<&Event> for EventRecord {
@@ -223,6 +262,24 @@ impl From<&Event> for EventRecord {
                 r.nodes = Some(*nodes);
                 r.ppn = Some(*ppn);
                 r.success = Some(*success);
+            }
+            EventKind::JobPhases {
+                job,
+                nodes,
+                queue_us,
+                launch_us,
+                pmi_us,
+                run_us,
+                total_us,
+            } => {
+                r.kind = "JobPhases".into();
+                r.job = Some(*job);
+                r.nodes = Some(*nodes);
+                r.queue_us = Some(*queue_us);
+                r.launch_us = Some(*launch_us);
+                r.pmi_us = *pmi_us;
+                r.run_us = Some(*run_us);
+                r.total_us = Some(*total_us);
             }
             EventKind::JobRequeued { job } => {
                 r.kind = "JobRequeued".into();
@@ -306,6 +363,15 @@ impl EventRecord {
                 nodes: self.nodes.ok_or_else(missing)?,
                 ppn: self.ppn.ok_or_else(missing)?,
                 success: self.success.ok_or_else(missing)?,
+            },
+            "JobPhases" => EventKind::JobPhases {
+                job: self.job.ok_or_else(missing)?,
+                nodes: self.nodes.ok_or_else(missing)?,
+                queue_us: self.queue_us.ok_or_else(missing)?,
+                launch_us: self.launch_us.ok_or_else(missing)?,
+                pmi_us: self.pmi_us,
+                run_us: self.run_us.ok_or_else(missing)?,
+                total_us: self.total_us.ok_or_else(missing)?,
             },
             "JobRequeued" => EventKind::JobRequeued {
                 job: self.job.ok_or_else(missing)?,
@@ -497,6 +563,26 @@ mod tests {
             ppn: 2,
             success: false,
         });
+        log.record(EventKind::JobPhases {
+            job: 2,
+            nodes: 4,
+            queue_us: 1_500,
+            launch_us: 200,
+            pmi_us: Some(900),
+            run_us: 10_000,
+            total_us: 12_600,
+        });
+        // A sequential job has no PMI phase: `pmi_us` must round-trip
+        // as absent, not as zero.
+        log.record(EventKind::JobPhases {
+            job: 5,
+            nodes: 1,
+            queue_us: 10,
+            launch_us: 5,
+            pmi_us: None,
+            run_us: 50,
+            total_us: 65,
+        });
         log.record(EventKind::JobRequeued { job: 2 });
         log.record(EventKind::DeadlineExceeded { job: 2 });
         log.record(EventKind::WorkerQuarantined {
@@ -517,6 +603,34 @@ mod tests {
         for (b, o) in back.iter().zip(&original) {
             assert_eq!(b.kind, o.kind);
             assert_eq!(b.t.as_micros(), o.t.as_micros());
+        }
+
+        // Exhaustiveness guard: this wildcard-free match breaks the
+        // build when a variant is added, and the count below fails until
+        // the new variant is actually exercised above.
+        fn tag(k: &EventKind) -> &'static str {
+            match k {
+                EventKind::WorkerUp { .. } => "WorkerUp",
+                EventKind::WorkerDown { .. } => "WorkerDown",
+                EventKind::JobSubmitted { .. } => "JobSubmitted",
+                EventKind::JobStarted { .. } => "JobStarted",
+                EventKind::JobCompleted { .. } => "JobCompleted",
+                EventKind::JobPhases { .. } => "JobPhases",
+                EventKind::JobRequeued { .. } => "JobRequeued",
+                EventKind::DeadlineExceeded { .. } => "DeadlineExceeded",
+                EventKind::WorkerQuarantined { .. } => "WorkerQuarantined",
+                EventKind::TaskStarted { .. } => "TaskStarted",
+                EventKind::RelayUp { .. } => "RelayUp",
+                EventKind::RelayDown { .. } => "RelayDown",
+                EventKind::TaskEnded { .. } => "TaskEnded",
+            }
+        }
+        let covered: std::collections::BTreeSet<&str> =
+            original.iter().map(|e| tag(&e.kind)).collect();
+        assert_eq!(covered.len(), 13, "a variant is not exercised: {covered:?}");
+        // The wire tag written is exactly the variant name.
+        for o in &original {
+            assert_eq!(EventRecord::from(o).kind, tag(&o.kind));
         }
     }
 

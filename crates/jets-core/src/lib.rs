@@ -34,6 +34,8 @@
 //! * [`events`] — timestamped event log of everything the dispatcher does.
 //! * [`stats`] — utilization (Eq. 1 of the paper), load-level series, and
 //!   run-time histograms computed from the event log.
+//! * [`metrics`] — the live metric surface (`jets-obs` handles) behind
+//!   `GET /metrics`; see `docs/observability.md`.
 //! * [`dispatcher`] — the engine tying it all together.
 
 #![warn(missing_docs)]
@@ -41,6 +43,7 @@
 pub mod dispatcher;
 pub mod events;
 pub mod group;
+pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod ready;
@@ -51,6 +54,7 @@ pub mod stats;
 pub use dispatcher::{Dispatcher, DispatcherConfig, JobRecord, JobStatus};
 pub use events::{read_jsonl, Event, EventKind, EventLog, EventRecord};
 pub use group::GroupingPolicy;
+pub use metrics::DispatcherMetrics;
 pub use protocol::{DispatcherMsg, TaskAssignment, TaskKind, WorkerMsg};
 pub use queue::QueuePolicy;
 pub use spec::{CommandSpec, JobId, JobSpec, TaskId, WorkerId};

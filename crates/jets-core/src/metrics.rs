@@ -1,0 +1,168 @@
+//! The dispatcher's live metric surface.
+//!
+//! One [`DispatcherMetrics`] per dispatcher: a fixed set of `jets-obs`
+//! handles registered at startup, so every hot-path recording is a field
+//! access plus one relaxed `fetch_add` — no map lookup, no lock, no
+//! allocation. The registry behind the handles renders Prometheus text
+//! for `GET /metrics` (see [`crate::Dispatcher::serve_metrics`]) and the
+//! name constants here are shared with `jets events --stats`, so offline
+//! percentile tables and live scrapes use identical metric names.
+//!
+//! Deliberately absent: a heartbeats counter. Worker liveness is one
+//! relaxed store into a *per-worker* atomic precisely so a heartbeat
+//! storm shares no cache line across connections; a single shared
+//! counter would reintroduce that contention for a number nobody pages
+//! on. The monitor samples liveness-derived gauges instead.
+
+use jets_obs::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
+
+/// Metric name of the per-phase job latency summary. Series are labelled
+/// `phase="queue" | "launch" | "pmi" | "run" | "total"`.
+pub const JOB_PHASE_METRIC: &str = "jets_job_phase_seconds";
+
+/// The phase labels of [`JOB_PHASE_METRIC`], in lifecycle order.
+pub const JOB_PHASES: [&str; 5] = ["queue", "launch", "pmi", "run", "total"];
+
+/// Static metric handles for one dispatcher instance.
+pub struct DispatcherMetrics {
+    registry: Arc<Registry>,
+    /// Jobs accepted into the queue (`submit_batch`).
+    pub jobs_submitted_total: Arc<Counter>,
+    /// Jobs that reached a terminal state (succeeded or failed).
+    pub jobs_completed_total: Arc<Counter>,
+    /// Terminal jobs whose final attempt failed.
+    pub jobs_failed_total: Arc<Counter>,
+    /// Failed attempts sent back to the queue with retry budget left.
+    pub jobs_requeued_total: Arc<Counter>,
+    /// Attempts canceled for blowing their wall-time budget.
+    pub deadline_exceeded_total: Arc<Counter>,
+    /// Task assignments shipped to workers.
+    pub tasks_started_total: Arc<Counter>,
+    /// Task results reported by workers.
+    pub tasks_ended_total: Arc<Counter>,
+    /// Registrations under a name seen before: pilots coming back after
+    /// a disconnect (the fault layer's reconnect path).
+    pub reconnects_total: Arc<Counter>,
+    /// TCP connections taken by the accept loop (workers + relays).
+    pub connections_accepted_total: Arc<Counter>,
+    /// Jobs waiting in the queue.
+    pub queue_depth: Arc<Gauge>,
+    /// Gangs currently executing.
+    pub running_gangs: Arc<Gauge>,
+    /// Registered workers in any live state.
+    pub workers_alive: Arc<Gauge>,
+    /// Idle workers parked in the ready list.
+    pub workers_ready: Arc<Gauge>,
+    /// Workers executing a task.
+    pub workers_busy: Arc<Gauge>,
+    /// Workers currently benched by quarantine.
+    pub quarantined_current: Arc<Gauge>,
+    /// Connected relay daemons.
+    pub relays_current: Arc<Gauge>,
+    /// Queue-wait phase: last enqueue → workers selected.
+    pub phase_queue: Arc<Histogram>,
+    /// Launch phase: workers selected → assignments shipped.
+    pub phase_launch: Arc<Histogram>,
+    /// PMI-negotiation phase: assignments shipped → first fence release.
+    pub phase_pmi: Arc<Histogram>,
+    /// Run phase: execution start → terminal state.
+    pub phase_run: Arc<Histogram>,
+    /// End-to-end: first submission → terminal state.
+    pub phase_total: Arc<Histogram>,
+}
+
+impl DispatcherMetrics {
+    /// Register the dispatcher's full metric set on a fresh registry.
+    pub fn new() -> DispatcherMetrics {
+        let r = Arc::new(Registry::new());
+        let phase = |name: &'static str| {
+            r.histogram_micros(
+                JOB_PHASE_METRIC,
+                "Per-phase job latency breakdown (final attempt)",
+                &[("phase", name)],
+            )
+        };
+        DispatcherMetrics {
+            jobs_submitted_total: r.counter("jets_jobs_submitted_total", "Jobs accepted into the queue"),
+            jobs_completed_total: r.counter("jets_jobs_completed_total", "Jobs that reached a terminal state"),
+            jobs_failed_total: r.counter("jets_jobs_failed_total", "Terminal jobs whose final attempt failed"),
+            jobs_requeued_total: r.counter("jets_jobs_requeued_total", "Failed attempts requeued for retry"),
+            deadline_exceeded_total: r.counter("jets_deadline_exceeded_total", "Attempts canceled for exceeding their deadline"),
+            tasks_started_total: r.counter("jets_tasks_started_total", "Task assignments shipped to workers"),
+            tasks_ended_total: r.counter("jets_tasks_ended_total", "Task results reported by workers"),
+            reconnects_total: r.counter("jets_reconnects_total", "Registrations under a previously seen worker name"),
+            connections_accepted_total: r.counter("jets_connections_accepted_total", "TCP connections accepted (workers + relays)"),
+            queue_depth: r.gauge("jets_queue_depth", "Jobs waiting in the queue"),
+            running_gangs: r.gauge("jets_running_gangs", "Gangs currently executing"),
+            workers_alive: r.gauge("jets_workers_alive", "Registered workers in any live state"),
+            workers_ready: r.gauge("jets_workers_ready", "Idle workers parked in the ready list"),
+            workers_busy: r.gauge("jets_workers_busy", "Workers executing a task"),
+            quarantined_current: r.gauge("jets_quarantined_current", "Workers currently benched by quarantine"),
+            relays_current: r.gauge("jets_relays_current", "Connected relay daemons"),
+            phase_queue: phase("queue"),
+            phase_launch: phase("launch"),
+            phase_pmi: phase("pmi"),
+            phase_run: phase("run"),
+            phase_total: phase("total"),
+            registry: r,
+        }
+    }
+
+    /// The registry backing these handles (what `/metrics` renders).
+    pub fn registry(&self) -> Arc<Registry> {
+        self.registry.clone()
+    }
+
+    /// Render the current values as Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        self.registry.render()
+    }
+}
+
+impl Default for DispatcherMetrics {
+    fn default() -> Self {
+        DispatcherMetrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_metric_names_render() {
+        let m = DispatcherMetrics::new();
+        m.jobs_submitted_total.inc();
+        m.workers_ready.set(4);
+        m.phase_queue.record(1_000);
+        let text = m.render();
+        for name in [
+            "jets_jobs_submitted_total",
+            "jets_jobs_completed_total",
+            "jets_jobs_failed_total",
+            "jets_jobs_requeued_total",
+            "jets_deadline_exceeded_total",
+            "jets_tasks_started_total",
+            "jets_tasks_ended_total",
+            "jets_reconnects_total",
+            "jets_connections_accepted_total",
+            "jets_queue_depth",
+            "jets_running_gangs",
+            "jets_workers_alive",
+            "jets_workers_ready",
+            "jets_workers_busy",
+            "jets_quarantined_current",
+            "jets_relays_current",
+            JOB_PHASE_METRIC,
+        ] {
+            assert!(text.contains(name), "missing {name} in render");
+        }
+        for phase in JOB_PHASES {
+            assert!(
+                text.contains(&format!("phase=\"{phase}\"")),
+                "missing phase {phase}"
+            );
+        }
+    }
+}

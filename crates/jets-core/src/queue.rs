@@ -16,6 +16,7 @@
 
 use crate::spec::{JobId, JobSpec, WorkerId};
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// Queue discipline for pending jobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -42,6 +43,12 @@ pub struct QueuedJob {
     /// exactly one attempt — best effort, never blocking: if avoiding
     /// them would leave the job unschedulable, they are used anyway.
     pub excluded: Vec<WorkerId>,
+    /// When the job was first submitted: the span epoch for the
+    /// end-to-end (`total`) phase, carried unchanged across requeues.
+    pub submitted_at: Instant,
+    /// When this attempt entered the queue: the span epoch for the
+    /// queue-wait phase, reset on every requeue.
+    pub enqueued_at: Instant,
 }
 
 /// Pending-job queue under a [`QueuePolicy`].
@@ -161,6 +168,8 @@ mod tests {
             spec: JobSpec::mpi(nodes, CommandSpec::builtin("x", vec![])).with_priority(priority),
             attempts: 0,
             excluded: Vec::new(),
+            submitted_at: Instant::now(),
+            enqueued_at: Instant::now(),
         }
     }
 

@@ -150,6 +150,11 @@ pub struct Registry {
     /// Gang-kill strikes by worker *name*, surviving reconnects.
     faults: HashMap<String, FaultRecord>,
     quarantine: Option<QuarantinePolicy>,
+    /// Every name that has ever registered. A registration whose name is
+    /// already here is a *reconnect* — the same pilot coming back after a
+    /// disconnect — which the dispatcher surfaces as `reconnects_total`
+    /// so fault-layer behavior is observable without private accessors.
+    seen_names: std::collections::HashSet<String>,
 }
 
 impl Default for Registry {
@@ -160,6 +165,7 @@ impl Default for Registry {
             epoch: Instant::now(),
             faults: HashMap::new(),
             quarantine: None,
+            seen_names: std::collections::HashSet::new(),
         }
     }
 }
@@ -211,6 +217,7 @@ impl Registry {
         let loc = self.locations.intern(&location);
         let liveness = HeartbeatHandle::new(self.epoch);
         let state = self.admission_state(&name);
+        self.seen_names.insert(name.clone());
         self.workers.insert(
             id,
             WorkerInfo {
@@ -386,6 +393,21 @@ impl Registry {
             .values()
             .filter(|w| matches!(w.state, WorkerState::Busy(_)))
             .count()
+    }
+
+    /// Number of currently quarantined workers (the live value behind
+    /// the `jets_quarantined_current` gauge).
+    pub fn quarantined_count(&self) -> usize {
+        self.workers
+            .values()
+            .filter(|w| matches!(w.state, WorkerState::Quarantined { .. }))
+            .count()
+    }
+
+    /// True if `name` has registered before — i.e. a registration under
+    /// this name now would be a reconnect, not a first contact.
+    pub fn known_name(&self, name: &str) -> bool {
+        self.seen_names.contains(name)
     }
 
     /// All workers (diagnostics).

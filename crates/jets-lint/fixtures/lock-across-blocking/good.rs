@@ -10,3 +10,12 @@ fn releases_before_recv(inner: &Inner, rx: &Receiver<u8>) {
 fn temporary_guard_send(writer: &Mutex<MsgWriter>) {
     writer.lock().send(&msg);
 }
+
+fn serve_metrics(inner: &Inner, sock: &mut TcpStream) {
+    let page = {
+        let st = inner.sched.lock();
+        st.render()
+    };
+    sock.write_all(page.as_bytes());
+    sock.flush();
+}

@@ -7,3 +7,8 @@ fn handle_done(book: &mut Book, job: u64) {
     let rec = book.remove(&job).expect("present");
     rec.close();
 }
+
+fn scrape_loop(addr: &str) {
+    let text = scrape(addr, "/metrics").unwrap();
+    render(&text);
+}

@@ -717,6 +717,7 @@ const BLOCKING_METHODS: &[&str] = &[
     "read_to_end",
     "read_to_string",
     "write_all",
+    "flush",
     "accept",
     "connect",
 ];

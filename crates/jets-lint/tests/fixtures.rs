@@ -55,7 +55,7 @@ fn lock_order_good_is_clean() {
 fn lock_across_blocking_bad_fires_exactly() {
     assert_eq!(
         fired("lock-across-blocking/bad.rs"),
-        vec![("J2".to_string(), 3)]
+        vec![("J2".to_string(), 3), ("J2".to_string(), 9)]
     );
 }
 
@@ -111,7 +111,11 @@ fn exit_code_registry_file_is_exempt() {
 fn unwrap_bad_fires_exactly() {
     assert_eq!(
         fired("unwrap/bad.rs"),
-        vec![("J6".to_string(), 2), ("J6".to_string(), 7)]
+        vec![
+            ("J6".to_string(), 2),
+            ("J6".to_string(), 7),
+            ("J6".to_string(), 12)
+        ]
     );
 }
 

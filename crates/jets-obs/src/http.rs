@@ -1,0 +1,184 @@
+//! Std-only HTTP/1.0 responder for `GET /metrics` and `GET /healthz`.
+//!
+//! One named thread accepts connections on a non-blocking listener and
+//! answers each request inline — a scrape is a single short-lived
+//! connection, so there is no per-connection thread and nothing shared
+//! with the dispatcher beyond the lock-free metric handles. The registry
+//! is rendered to a `String` *before* any socket write, so no lock is
+//! ever held across network I/O.
+
+use crate::metrics::Registry;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_IDLE: Duration = Duration::from_millis(5);
+/// Per-request socket timeout: a scraper that stalls cannot wedge the
+/// responder thread for longer than this.
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Handle for a running metrics responder. Dropping it stops the thread.
+pub struct MetricsServer {
+    local: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The address the responder actually bound (resolves `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Stop the responder thread and wait for it to exit.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Bind `addr` and serve the registry over HTTP until the returned
+/// handle is dropped. `GET /metrics` answers with Prometheus text
+/// exposition format, `GET /healthz` with `ok`; anything else is 404.
+pub fn serve_metrics(addr: &str, registry: Arc<Registry>) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let handle = thread::Builder::new()
+        .name("jets-obs-http".into())
+        .spawn(move || accept_loop(listener, registry, stop2))?;
+    Ok(MetricsServer {
+        local,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+fn accept_loop(listener: TcpListener, registry: Arc<Registry>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((sock, _)) => handle_scrape(sock, &registry),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_IDLE),
+            // Transient accept errors (EMFILE, reset during handshake):
+            // back off and keep serving.
+            Err(_) => thread::sleep(ACCEPT_IDLE),
+        }
+    }
+}
+
+/// Answer one scrape. All errors are swallowed: a broken scraper must
+/// never take the responder (or anything it observes) down with it.
+fn handle_scrape(sock: TcpStream, registry: &Registry) {
+    let _ = sock.set_read_timeout(Some(REQUEST_TIMEOUT));
+    let _ = sock.set_write_timeout(Some(REQUEST_TIMEOUT));
+    let mut reader = BufReader::new(sock);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            registry.render(),
+        ),
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    };
+    let header = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let mut sock = reader.into_inner();
+    if sock.write_all(header.as_bytes()).is_err() {
+        return;
+    }
+    let _ = sock.write_all(body.as_bytes());
+    let _ = sock.flush();
+}
+
+/// Fetch `path` from a metrics responder at `addr` and return the body.
+/// This is the client half used by `jets top` and the scrape tests; it
+/// speaks just enough HTTP to talk to [`serve_metrics`].
+pub fn scrape(addr: &str, path: &str) -> std::io::Result<String> {
+    let mut sock = TcpStream::connect(addr)?;
+    sock.set_read_timeout(Some(REQUEST_TIMEOUT))?;
+    sock.set_write_timeout(Some(REQUEST_TIMEOUT))?;
+    let req = format!("GET {path} HTTP/1.0\r\nHost: jets\r\nConnection: close\r\n\r\n");
+    sock.write_all(req.as_bytes())?;
+    let mut reader = BufReader::new(sock);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    if !status_line.contains("200") {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("scrape {path}: {}", status_line.trim()),
+        ));
+    }
+    // Skip the remaining headers, then read the body to EOF.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut body = String::new();
+    let mut buf = Vec::new();
+    std::io::Read::read_to_end(&mut reader, &mut buf)?;
+    body.push_str(&String::from_utf8_lossy(&buf));
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_metrics_healthz_and_404() {
+        let registry = Arc::new(Registry::new());
+        let c = registry.counter("jets_test_total", "A test counter");
+        c.add(9);
+        let server = serve_metrics("127.0.0.1:0", registry).expect("bind");
+        let addr = server.addr().to_string();
+
+        let body = scrape(&addr, "/metrics").expect("scrape metrics");
+        assert!(body.contains("# TYPE jets_test_total counter"));
+        assert!(body.contains("jets_test_total 9"));
+
+        let health = scrape(&addr, "/healthz").expect("scrape healthz");
+        assert_eq!(health, "ok\n");
+
+        let err = scrape(&addr, "/nope").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn shutdown_releases_the_port() {
+        let registry = Arc::new(Registry::new());
+        let mut server = serve_metrics("127.0.0.1:0", registry).expect("bind");
+        let addr = server.addr();
+        server.shutdown();
+        // After shutdown the port is free to rebind.
+        let rebind = TcpListener::bind(addr);
+        assert!(rebind.is_ok(), "port still held after shutdown: {rebind:?}");
+    }
+}

@@ -59,6 +59,11 @@ struct Shared {
     cond: Condvar,
     kvs: KeyValueSpace,
     config: PmiServerConfig,
+    /// When the first fence released: the moment the whole gang had
+    /// connected, exchanged cards, and cleared PMI negotiation. The
+    /// dispatcher reads this to split a job's launch latency into
+    /// PMI-wait versus run time (the `pmi` phase of `JobPhases`).
+    first_fence: Mutex<Option<Instant>>,
 }
 
 impl Shared {
@@ -114,6 +119,7 @@ impl PmiServer {
             cond: Condvar::new(),
             kvs: KeyValueSpace::new(config.size),
             config,
+            first_fence: Mutex::new(None),
         });
         let accept_shared = Arc::clone(&shared);
         thread::Builder::new()
@@ -159,6 +165,14 @@ impl PmiServer {
     /// Outcome if the job already finished, without blocking.
     pub fn try_outcome(&self) -> Option<JobOutcome> {
         self.shared.completion.lock().outcome.clone()
+    }
+
+    /// When the job's first fence released — the end of PMI negotiation
+    /// (every rank connected, exchanged cards, and hit the barrier).
+    /// `None` while negotiation is still in flight or if the job never
+    /// fences.
+    pub fn first_barrier_at(&self) -> Option<Instant> {
+        *self.shared.first_fence.lock()
     }
 }
 
@@ -259,7 +273,15 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> Result<(), String> {
                 None => send(&mut writer, &Message::GetFail { key })?,
             },
             Message::Fence => match shared.kvs.fence(shared.config.fence_timeout) {
-                FenceResult::Released => send(&mut writer, &Message::FenceAck)?,
+                FenceResult::Released => {
+                    {
+                        let mut first = shared.first_fence.lock();
+                        if first.is_none() {
+                            *first = Some(Instant::now());
+                        }
+                    }
+                    send(&mut writer, &Message::FenceAck)?
+                }
                 FenceResult::Aborted => {
                     let reason = shared
                         .kvs

@@ -27,9 +27,11 @@
 //! a heartbeat storm from the block costs the relay N relaxed stores
 //! and the dispatcher one frame per flush period.
 
+use crate::metrics::RelayMetrics;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use jets_core::protocol::{DispatcherMsg, MsgReader, MsgWriter, WorkerMsg};
 use jets_core::spec::{JobId, TaskId, WorkerId};
+use jets_obs::MetricsServer;
 use jets_worker::ReconnectPolicy;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
@@ -186,6 +188,10 @@ struct Inner {
     local_cancels: AtomicU64,
     batched_frames: AtomicU64,
     upstream_sessions: AtomicU64,
+    /// Scrapeable mirror of the stats atomics (see [`RelayMetrics`]).
+    metrics: Arc<RelayMetrics>,
+    /// The `/metrics` responder, when one was started.
+    metrics_server: Mutex<Option<MetricsServer>>,
 }
 
 fn now_ms(inner: &Inner) -> u64 {
@@ -222,6 +228,8 @@ impl Relay {
             local_cancels: AtomicU64::new(0),
             batched_frames: AtomicU64::new(0),
             upstream_sessions: AtomicU64::new(0),
+            metrics: Arc::new(RelayMetrics::new()),
+            metrics_server: Mutex::new(None),
         });
         let accept_inner = Arc::clone(&inner);
         thread::Builder::new()
@@ -270,6 +278,21 @@ impl Relay {
             batched_frames: self.inner.batched_frames.load(Ordering::Relaxed),
             upstream_sessions: self.inner.upstream_sessions.load(Ordering::Relaxed),
         }
+    }
+
+    /// This relay's live metric handles.
+    pub fn metrics(&self) -> Arc<RelayMetrics> {
+        Arc::clone(&self.inner.metrics)
+    }
+
+    /// Serve `GET /metrics` (Prometheus text) and `GET /healthz` on
+    /// `addr`; returns the bound address (use port 0 for ephemeral).
+    /// The responder stops when the relay is dropped.
+    pub fn serve_metrics(&self, addr: &str) -> io::Result<SocketAddr> {
+        let server = jets_obs::serve_metrics(addr, self.inner.metrics.registry())?;
+        let local = server.addr();
+        *self.inner.metrics_server.lock() = Some(server);
+        Ok(local)
     }
 
     /// Sever the upstream connection *without* stopping the relay: the
@@ -439,6 +462,7 @@ fn serve_member(stream: TcpStream, inner: Arc<Inner>) {
                 pending_done: None,
             },
         );
+        inner.metrics.members.set(st.members.len() as i64);
     }
     // The worker's Registered ack is sent only once the dispatcher acks
     // the forwarded registration, so a member can never race ahead of
@@ -531,9 +555,11 @@ fn member_down(inner: &Inner, local: u64) {
                 }
             }
         }
+        inner.metrics.members.set(st.members.len() as i64);
         (m.global, cancels)
     };
     inner.local_cancels.fetch_add(cancels, Ordering::Relaxed);
+    inner.metrics.local_cancels_total.add(cancels);
     if let Some(worker) = gone_global {
         let _ = inner.up_tx.send(UpFrame::Gone(worker));
     }
@@ -603,6 +629,8 @@ fn upstream_pump(inner: Arc<Inner>, up_rx: Receiver<UpFrame>) {
         };
         *inner.upstream.lock() = stream.try_clone().ok();
         inner.upstream_sessions.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.upstream_sessions_total.inc();
+        inner.metrics.upstream_connected.set(1);
 
         // Per-session reader: routes acks and envelopes until EOF.
         let session_dead = Arc::new(AtomicBool::new(false));
@@ -625,6 +653,7 @@ fn upstream_pump(inner: Arc<Inner>, up_rx: Receiver<UpFrame>) {
             // let the outer loop reconnect with backoff.
             if spawned.is_err() {
                 *inner.upstream.lock() = None;
+                inner.metrics.upstream_connected.set(0);
                 continue;
             }
         }
@@ -674,6 +703,7 @@ fn upstream_pump(inner: Arc<Inner>, up_rx: Receiver<UpFrame>) {
 
         // Session over (EOF, write error, partition, or shutdown).
         *inner.upstream.lock() = None;
+        inner.metrics.upstream_connected.set(0);
         let _ = writer.get_ref().shutdown(Shutdown::Both);
         if inner.shutdown.load(Ordering::Acquire) {
             return;
@@ -800,6 +830,7 @@ fn forward(
                 return true;
             }
             inner.batched_frames.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.batched_heartbeats_total.inc();
             writer
                 .send(&WorkerMsg::BatchedHeartbeat { workers })
                 .is_ok()

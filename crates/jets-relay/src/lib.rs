@@ -35,5 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod daemon;
+pub mod metrics;
 
 pub use daemon::{Relay, RelayConfig, RelayStats};
+pub use metrics::RelayMetrics;

@@ -2,6 +2,7 @@
 //! reconnect with backoff, and dispatcher-driven task cancellation.
 
 use crate::executor::{CancelToken, TaskExecutor, TaskOutcome};
+use crate::metrics::WorkerMetrics;
 use crate::staging::NodeLocalCache;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError};
 use jets_core::protocol::{
@@ -72,6 +73,10 @@ pub struct WorkerConfig {
     /// to acknowledge the token before abandoning its thread and
     /// reporting [`EXIT_CANCELED`].
     pub cancel_grace: Duration,
+    /// Process-wide metric handles; `None` disables recording. Shared by
+    /// every agent of a simulated allocation, so one scrape covers them
+    /// all.
+    pub metrics: Option<Arc<WorkerMetrics>>,
 }
 
 impl WorkerConfig {
@@ -86,12 +91,19 @@ impl WorkerConfig {
             connect_delay: Duration::ZERO,
             reconnect: None,
             cancel_grace: Duration::from_millis(200),
+            metrics: None,
         }
     }
 
     /// Builder-style reconnect policy.
     pub fn with_reconnect(mut self, policy: ReconnectPolicy) -> Self {
         self.reconnect = Some(policy);
+        self
+    }
+
+    /// Builder-style metric handles (shared across a process's agents).
+    pub fn with_metrics(mut self, metrics: Arc<WorkerMetrics>) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 }
@@ -244,6 +256,16 @@ fn xorshift64(state: &mut u64) -> u64 {
     x
 }
 
+/// Decrements the in-flight gauge when the task wait loop exits, on
+/// every path (report, session loss, kill, abandoned grace).
+struct InflightGuard<'a>(&'a jets_obs::Gauge);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.dec();
+    }
+}
+
 /// How one dispatcher session ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SessionEnd {
@@ -309,7 +331,11 @@ fn worker_loop(
                         reason: ExitReason::Killed,
                     }
                 }
-                SessionEnd::Lost => {}
+                SessionEnd::Lost => {
+                    if let Some(m) = &config.metrics {
+                        m.connections_lost_total.inc();
+                    }
+                }
             }
         }
         // Connection failed or the session dropped: retry under the
@@ -425,7 +451,11 @@ fn run_session(
         return lost_or_killed();
     }
     match inbox.recv() {
-        Ok(Some(DispatcherMsg::Registered { .. })) => {}
+        Ok(Some(DispatcherMsg::Registered { .. })) => {
+            if let Some(m) = &config.metrics {
+                m.sessions_total.inc();
+            }
+        }
         // Anything but the Registered ack before the handshake
         // completes means a confused or dying dispatcher: resync by
         // tearing the session down and reconnecting.
@@ -531,11 +561,17 @@ fn session_task_loop(
             let cache = match local_cache.get_or_init(&config.name) {
                 Ok(c) => c,
                 Err(_) => {
+                    if let Some(m) = &config.metrics {
+                        m.staging_failed_total.inc();
+                    }
                     report_failure(writer, assignment.task_id, EXIT_STAGING_FAILED);
                     continue;
                 }
             };
             if cache.stage_all(&assignment.stage).is_err() {
+                if let Some(m) = &config.metrics {
+                    m.staging_failed_total.inc();
+                }
                 report_failure(writer, assignment.task_id, EXIT_STAGING_FAILED);
                 continue;
             }
@@ -571,6 +607,13 @@ fn session_task_loop(
             report_failure(writer, task_id, crate::executor::EXIT_SPAWN_FAILED);
             continue;
         }
+        // Guard, not paired inc/dec calls: the wait loop below exits the
+        // session from several arms, and the gauge must balance on all
+        // of them.
+        let _inflight = config.metrics.as_ref().map(|m| {
+            m.tasks_inflight.inc();
+            InflightGuard(&m.tasks_inflight)
+        });
 
         let mut canceled = false;
         let mut cancel_deadline: Option<Instant> = None;
@@ -636,6 +679,15 @@ fn session_task_loop(
             None => break SessionEnd::Killed,
         };
         let wall_ms = started.elapsed().as_millis() as u64;
+        if let Some(m) = &config.metrics {
+            m.tasks_executed_total.inc();
+            if canceled {
+                m.tasks_canceled_total.inc();
+            } else if outcome.exit_code != 0 {
+                m.tasks_failed_total.inc();
+            }
+            m.task_seconds.record(wall_ms.saturating_mul(1_000));
+        }
         if writer
             .lock()
             .send(&WorkerMsg::Done {

@@ -29,8 +29,10 @@
 pub mod agent;
 pub mod apps;
 pub mod executor;
+pub mod metrics;
 pub mod staging;
 
 pub use agent::{ReconnectPolicy, Worker, WorkerConfig, WorkerExit};
+pub use metrics::WorkerMetrics;
 pub use executor::{AppRegistry, CancelToken, Executor, TaskContext, TaskExecutor};
 pub use staging::{NodeLocalCache, StageFile};

@@ -10,6 +10,7 @@
 //!
 //! | Module | Crate | Role |
 //! |---|---|---|
+//! | [`obs`] | `jets-obs` | live metrics: counters, gauges, histograms, the `/metrics` responder |
 //! | [`core`] | `jets-core` | the dispatcher: worker registry, job queue, MPI-group aggregation, statistics |
 //! | [`pmi`] | `jets-pmi` | the PMI process-management substrate (`mpiexec launcher=manual`) |
 //! | [`mpi`] | `jets-mpi` | the sockets message-passing library tasks link against |
@@ -51,6 +52,7 @@
 pub use cluster_sim as sim;
 pub use jets_core as core;
 pub use jets_mpi as mpi;
+pub use jets_obs as obs;
 pub use jets_pmi as pmi;
 pub use jets_relay as relay;
 pub use jets_worker as worker;

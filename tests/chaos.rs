@@ -135,6 +135,16 @@ fn seeded_chaos_run_converges() {
         .count();
     assert!(ups > NODES as usize, "no reconnects observed ({ups} ups)");
 
+    // The metrics surface agrees with the event log: every registration
+    // beyond the allocation size was a pilot coming back under a known
+    // name, every job reached exactly one terminal completion, and each
+    // got a phase breakdown.
+    let m = dispatcher.metrics();
+    assert_eq!(m.reconnects_total.get(), (ups - NODES as usize) as u64);
+    assert_eq!(m.jobs_completed_total.get(), ids.len() as u64);
+    assert_eq!(m.jobs_failed_total.get(), 0);
+    assert_eq!(m.phase_total.count(), ids.len() as u64);
+
     // No task outlived its job's deadline by more than the cancel slack
     // (monitor tick + executor grace, padded generously).
     let slack = Duration::from_secs(2);

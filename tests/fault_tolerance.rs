@@ -236,6 +236,19 @@ fn partitioned_worker_is_quarantined_then_reused() {
         })
         .expect("no successful task");
     assert_eq!(last_ended, ups[1]);
+    // The fault counters tell the same story through /metrics: one
+    // pilot came back under a known name, its job was requeued once,
+    // and the bench emptied before the queue drained.
+    let m = dispatcher.metrics();
+    assert_eq!(m.reconnects_total.get(), 1);
+    assert_eq!(m.jobs_requeued_total.get(), 1);
+    while m.quarantined_current.get() != 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "quarantine gauge never drained"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
     dispatcher.shutdown();
     worker.kill();
     worker.join();

@@ -51,6 +51,9 @@ proptest! {
                 id: i as u64,
                 spec: JobSpec::mpi(n, CommandSpec::builtin("x", vec![])),
                 attempts: 0,
+                excluded: Vec::new(),
+                submitted_at: std::time::Instant::now(),
+                enqueued_at: std::time::Instant::now(),
             });
         }
         let mut out = Vec::new();
@@ -73,6 +76,9 @@ proptest! {
                 id: i as u64,
                 spec: JobSpec::mpi(n, CommandSpec::builtin("x", vec![])),
                 attempts: 0,
+                excluded: Vec::new(),
+                submitted_at: std::time::Instant::now(),
+                enqueued_at: std::time::Instant::now(),
             });
         }
         let mut emitted = Vec::new();
