@@ -3,8 +3,11 @@
 //! Pipeline stages, each arbitrarily concurrent (paper Section 3,
 //! principles 1–2):
 //!
-//! * **Socket management** — an accept loop plus one reader and one writer
-//!   thread per worker connection.
+//! * **Socket management** — a fixed handful of `jets-reactor` event
+//!   loops multiplexing every worker and relay connection: nonblocking
+//!   reads reassemble frames across wakeups, writes drain bounded
+//!   per-connection outboxes. The thread bill is O(event loops), not
+//!   O(connections).
 //! * **Handler processing** — job submission (API or input file) feeds the
 //!   [`crate::queue::JobQueue`]; worker `Request`s park in the ready list;
 //!   `try_schedule` matches the two under the scheduling lock.
@@ -41,20 +44,22 @@ use crate::events::{EventKind, EventLog};
 use crate::group::{select_group_ids, GroupScratch, GroupingPolicy};
 use crate::metrics::DispatcherMetrics;
 use crate::protocol::{
-    DispatcherMsg, MsgReader, MsgWriter, TaskAssignment, TaskKind, WorkerMsg, EXIT_CANCELED,
-    EXIT_DEADLINE, EXIT_UNDELIVERABLE, EXIT_WORKER_LOST,
+    decode_msg, encode_msg_buf, DispatcherMsg, TaskAssignment, TaskKind, WorkerMsg, EXIT_CANCELED,
+    EXIT_DEADLINE, EXIT_UNDELIVERABLE, EXIT_WORKER_LOST, MAX_FRAME_BYTES,
 };
 use crate::queue::{JobQueue, QueuePolicy, QueuedJob};
 use crate::ready::ReadyList;
 use crate::registry::{HeartbeatHandle, QuarantinePolicy, Registry, WorkerState};
 use crate::spec::{JobId, JobSpec, TaskId, WorkerId};
-use crossbeam::channel::{unbounded, Sender};
 use crossbeam::queue::SegQueue;
 use jets_obs::MetricsServer;
 use jets_pmi::{ManualLauncher, PmiServer, PmiServerConfig, RankLayout};
+use jets_reactor::{
+    CloseReason, ConnHandler, Flow, Outbox, Reactor, ReactorConfig, ReactorStats,
+};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::io::{self, BufReader};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -86,6 +91,14 @@ pub struct DispatcherConfig {
     /// Period of the monitor loop that enforces hang detection, job
     /// deadlines, and quarantine release.
     pub monitor_tick: Duration,
+    /// Reactor event-loop threads multiplexing every connection. This —
+    /// not the connection count — is the dispatcher's thread bill for
+    /// socket handling.
+    pub event_loops: usize,
+    /// Bounded per-connection outbound buffer, in bytes. A peer that
+    /// stops reading fills it and is disconnected (the slow-consumer
+    /// policy) instead of growing dispatcher memory without limit.
+    pub outbox_limit: usize,
 }
 
 impl Default for DispatcherConfig {
@@ -99,6 +112,8 @@ impl Default for DispatcherConfig {
             stdout_dir: None,
             quarantine: Some(QuarantinePolicy::default()),
             monitor_tick: Duration::from_millis(25),
+            event_loops: 2,
+            outbox_limit: 16 * 1024 * 1024,
         }
     }
 }
@@ -163,7 +178,8 @@ struct ActiveJob {
     shipped_at: Option<Instant>,
 }
 
-/// The write channel that reaches one worker.
+/// The write path that reaches one worker: its connection's bounded
+/// reactor [`Outbox`].
 ///
 /// A direct worker owns its connection; a relayed worker shares its
 /// relay's, and traffic addressed to it travels in routed envelopes
@@ -172,31 +188,46 @@ struct ActiveJob {
 /// [`ConnHandle::send_cancel`] and the envelope happens here.
 enum ConnHandle {
     /// The worker's own connection (classic one-socket-per-worker).
-    Direct(Sender<DispatcherMsg>),
+    Direct(Arc<Outbox>),
     /// The worker's relay connection (shared by the whole block).
-    Relayed(Sender<DispatcherMsg>),
+    Relayed(Arc<Outbox>),
 }
 
 impl ConnHandle {
-    /// Ship an assignment to `worker`; false if the channel is gone.
-    fn send_assign(&self, worker: WorkerId, assignment: TaskAssignment) -> bool {
+    /// Ship an assignment to `worker`, encoding through `enc`; false if
+    /// the connection is gone or its bounded outbox overflowed.
+    fn send_assign(
+        &self,
+        worker: WorkerId,
+        assignment: TaskAssignment,
+        enc: &mut Vec<u8>,
+    ) -> bool {
         match self {
-            ConnHandle::Direct(tx) => tx.send(DispatcherMsg::Assign(assignment)).is_ok(),
-            ConnHandle::Relayed(tx) => tx
-                .send(DispatcherMsg::RelayAssign { worker, assignment })
-                .is_ok(),
+            ConnHandle::Direct(out) => send_frame(out, enc, &DispatcherMsg::Assign(assignment)),
+            ConnHandle::Relayed(out) => send_frame(
+                out,
+                enc,
+                &DispatcherMsg::RelayAssign { worker, assignment },
+            ),
         }
     }
 
     /// Ship a task cancellation to `worker`.
-    fn send_cancel(&self, worker: WorkerId, task_id: TaskId) -> bool {
+    fn send_cancel(&self, worker: WorkerId, task_id: TaskId, enc: &mut Vec<u8>) -> bool {
         match self {
-            ConnHandle::Direct(tx) => tx.send(DispatcherMsg::Cancel { task_id }).is_ok(),
-            ConnHandle::Relayed(tx) => tx
-                .send(DispatcherMsg::RelayCancel { worker, task_id })
-                .is_ok(),
+            ConnHandle::Direct(out) => send_frame(out, enc, &DispatcherMsg::Cancel { task_id }),
+            ConnHandle::Relayed(out) => {
+                send_frame(out, enc, &DispatcherMsg::RelayCancel { worker, task_id })
+            }
         }
     }
+}
+
+/// Encode `msg` into `enc` (newline framing included) and queue it on
+/// `outbox`. Never blocks — `Outbox::send` is a bounded-buffer push —
+/// so this is safe while holding the scheduling lock.
+fn send_frame(outbox: &Outbox, enc: &mut Vec<u8>, msg: &DispatcherMsg) -> bool {
+    encode_msg_buf(msg, enc).is_ok() && outbox.send(enc)
 }
 
 /// Scheduling-critical state: everything one scheduling decision reads or
@@ -211,7 +242,7 @@ struct Sched {
     conns: HashMap<WorkerId, ConnHandle>,
     /// Connected relay daemons (ids share the worker id space). Shutdown
     /// is sent once per relay, not once per relayed worker.
-    relays: HashMap<WorkerId, Sender<DispatcherMsg>>,
+    relays: HashMap<WorkerId, Arc<Outbox>>,
     /// Parked `Request`s, oldest first, with interned locations.
     ready: ReadyList,
     active: HashMap<JobId, ActiveJob>,
@@ -225,6 +256,10 @@ struct Sched {
     /// Quarantined workers whose `Request` is being held; the monitor
     /// moves them back into `pending_ready` once their bench expires.
     quarantined_ready: Vec<WorkerId>,
+    /// Reusable wire-encode buffer for frames sent under this lock
+    /// (assignments, cancels, shutdown): steady-state sends allocate
+    /// nothing.
+    enc: Vec<u8>,
 }
 
 /// Client-facing bookkeeping, split from `Sched` so `wait_idle` /
@@ -257,25 +292,32 @@ struct Inner {
     next_worker: AtomicU64,
     next_job: AtomicU64,
     next_task: AtomicU64,
-    /// Total TCP connections the accept loop has taken — the number the
-    /// relay tier exists to shrink from O(workers) to O(relays).
+    /// Total TCP connections the reactor listener has taken — the number
+    /// the relay tier exists to shrink from O(workers) to O(relays).
     accepted: AtomicU64,
     shutdown: AtomicBool,
+    /// The reactor's monotonic counters; the monitor bridges them into
+    /// the metric surface each tick.
+    reactor_stats: Arc<ReactorStats>,
 }
 
-/// Stack size for connection service threads.
+/// Stack size for dispatcher service threads (event loops + monitor).
 const CONN_STACK: usize = 192 * 1024;
 
 /// A running JETS dispatcher.
 ///
-/// Dropping the dispatcher shuts it down: workers receive `Shutdown`, the
-/// accept loop stops, and service threads drain.
+/// Dropping the dispatcher shuts it down: workers receive `Shutdown`,
+/// the reactor's event loops stop, and service threads drain.
 pub struct Dispatcher {
     inner: Arc<Inner>,
     addr: SocketAddr,
     /// The `/metrics` responder, when one was started; dropping the
     /// dispatcher stops it.
     metrics_server: Mutex<Option<MetricsServer>>,
+    /// The event-loop core serving every connection. Declared after
+    /// `metrics_server` so queued `Shutdown` frames get the reactor's
+    /// final flush when the dispatcher drops.
+    reactor: Reactor,
 }
 
 impl Dispatcher {
@@ -283,7 +325,13 @@ impl Dispatcher {
     pub fn start(config: DispatcherConfig) -> io::Result<Dispatcher> {
         let listener = TcpListener::bind(&config.bind_addr)?;
         let addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
+        let reactor = Reactor::start(ReactorConfig {
+            event_loops: config.event_loops,
+            outbox_limit: config.outbox_limit,
+            max_frame: MAX_FRAME_BYTES,
+            thread_stack: CONN_STACK,
+            ..ReactorConfig::default()
+        })?;
         let inner = Arc::new(Inner {
             sched: Mutex::new(Sched {
                 queue: JobQueue::new(config.queue_policy),
@@ -296,6 +344,7 @@ impl Dispatcher {
                 scratch: GroupScratch::new(),
                 chosen: Vec::new(),
                 quarantined_ready: Vec::new(),
+                enc: Vec::new(),
             }),
             book: Mutex::new(Book {
                 records: HashMap::new(),
@@ -312,12 +361,31 @@ impl Dispatcher {
             next_task: AtomicU64::new(1),
             accepted: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            reactor_stats: reactor.stats(),
         });
-        let accept_inner = Arc::clone(&inner);
-        thread::Builder::new()
-            .name("jets-accept".to_string())
-            .stack_size(CONN_STACK)
-            .spawn(move || accept_loop(listener, accept_inner))?;
+        inner
+            .metrics
+            .reactor_event_loops
+            .set(reactor.event_loops() as i64);
+        let factory_inner = Arc::clone(&inner);
+        reactor.listen(
+            listener,
+            Arc::new(move |_stream: &TcpStream, _peer: SocketAddr| {
+                // Refuse peers once shutdown begins; `None` sheds the
+                // connection without registering it.
+                if factory_inner.shutdown.load(Ordering::Acquire) {
+                    return None;
+                }
+                factory_inner.accepted.fetch_add(1, Ordering::Relaxed);
+                factory_inner.metrics.connections_accepted_total.inc();
+                Some(Box::new(DispatcherConn {
+                    inner: Arc::clone(&factory_inner),
+                    outbox: None,
+                    enc: Vec::new(),
+                    state: ConnState::Handshake,
+                }) as Box<dyn ConnHandler>)
+            }),
+        )?;
         let monitor_inner = Arc::clone(&inner);
         thread::Builder::new()
             .name("jets-monitor".to_string())
@@ -327,6 +395,7 @@ impl Dispatcher {
             inner,
             addr,
             metrics_server: Mutex::new(None),
+            reactor,
         })
     }
 
@@ -495,6 +564,19 @@ impl Dispatcher {
         self.inner.sched.lock().relays.len()
     }
 
+    /// The reactor's live counters (connections, wakeups, bytes, slow-
+    /// consumer disconnects) — the event-loop core serving every
+    /// connection.
+    pub fn reactor_stats(&self) -> Arc<ReactorStats> {
+        self.reactor.stats()
+    }
+
+    /// Number of reactor event-loop threads. The dispatcher's whole
+    /// socket-handling thread bill, independent of connection count.
+    pub fn reactor_event_loops(&self) -> usize {
+        self.reactor.event_loops()
+    }
+
     /// Snapshot of every worker ever registered.
     pub fn workers(&self) -> Vec<crate::registry::WorkerInfo> {
         self.inner.sched.lock().registry.iter().cloned().collect()
@@ -510,14 +592,17 @@ impl Dispatcher {
     /// the shutdown out to its block.
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::Release);
-        let st = self.inner.sched.lock();
-        for conn in st.conns.values() {
-            if let ConnHandle::Direct(tx) = conn {
-                let _ = tx.send(DispatcherMsg::Shutdown);
+        let mut st = self.inner.sched.lock();
+        let Sched {
+            conns, relays, enc, ..
+        } = &mut *st;
+        for conn in conns.values() {
+            if let ConnHandle::Direct(out) = conn {
+                send_frame(out, enc, &DispatcherMsg::Shutdown);
             }
         }
-        for tx in st.relays.values() {
-            let _ = tx.send(DispatcherMsg::Shutdown);
+        for out in relays.values() {
+            send_frame(out, enc, &DispatcherMsg::Shutdown);
         }
     }
 }
@@ -528,49 +613,23 @@ impl Drop for Dispatcher {
     }
 }
 
-fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
-    let mut backoff = Duration::from_micros(500);
-    loop {
-        if inner.shutdown.load(Ordering::Acquire) {
-            return;
-        }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                backoff = Duration::from_micros(500);
-                inner.accepted.fetch_add(1, Ordering::Relaxed);
-                inner.metrics.connections_accepted_total.inc();
-                let conn_inner = Arc::clone(&inner);
-                // Spawn failure (thread exhaustion) is peer-drivable
-                // load, not a dispatcher bug: shed this connection and
-                // keep accepting rather than panic.
-                if thread::Builder::new()
-                    .name("jets-conn".to_string())
-                    .stack_size(CONN_STACK)
-                    .spawn(move || serve_worker(stream, conn_inner))
-                    .is_err()
-                {
-                    continue;
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                thread::sleep(backoff);
-                backoff = (backoff * 2).min(Duration::from_millis(10));
-            }
-            Err(_) => return,
-        }
-    }
-}
-
 /// The dispatcher's periodic duties: hang detection (when a heartbeat
-/// timeout is configured), per-job deadline enforcement, and quarantine
-/// release. One thread, one tick.
+/// timeout is configured), per-job deadline enforcement, quarantine
+/// release, and bridging reactor counters into the metric surface. One
+/// thread, one tick.
 fn monitor_loop(inner: Arc<Inner>) {
     let tick = inner.config.monitor_tick.max(Duration::from_millis(1));
+    // The reactor's counters are monotonic; remembering the previous
+    // sample lets the bridge publish deltas so the jets-obs counters
+    // stay monotonic too.
+    let mut prev_wakeups = 0u64;
+    let mut prev_slow = 0u64;
     loop {
         if inner.shutdown.load(Ordering::Acquire) {
             return;
         }
         thread::sleep(tick);
+        bridge_reactor_stats(&inner, &mut prev_wakeups, &mut prev_slow);
         // Hang detection: `stale` reads only the per-worker liveness
         // atomics; the lock is held just long enough to walk the table.
         if let Some(timeout) = inner.config.heartbeat_timeout {
@@ -630,31 +689,158 @@ fn sample_gauges(inner: &Inner, st: &Sched) {
     m.quarantined_current.set(st.registry.quarantined_count() as i64);
 }
 
-/// Reader side of one inbound connection; owns the handshake. The first
-/// frame decides what the peer is: `Register` makes it a direct worker,
-/// `RelayHello` makes it a relay fronting a block of workers.
-fn serve_worker(stream: TcpStream, inner: Arc<Inner>) {
-    stream.set_nodelay(true).ok();
-    let write_half = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    // One `MsgReader` per connection: the line buffer is reused across
-    // every message this peer will ever send.
-    let mut reader = MsgReader::new(BufReader::new(stream));
-    match reader.recv::<WorkerMsg>() {
-        Ok(Some(WorkerMsg::Register {
-            name,
-            cores,
-            location,
-        })) => serve_direct(reader, write_half, inner, name, cores, location),
-        Ok(Some(WorkerMsg::RelayHello { name, .. })) => {
-            serve_relay(reader, write_half, inner, name)
+/// Publish the reactor's counters into the metric surface. Lock-free on
+/// both sides: reactor stats are atomics, metric handles are atomics.
+fn bridge_reactor_stats(inner: &Inner, prev_wakeups: &mut u64, prev_slow: &mut u64) {
+    let rs = &inner.reactor_stats;
+    let m = &inner.metrics;
+    m.reactor_connections.set(rs.connections_open() as i64);
+    m.reactor_outbox_high_water_bytes
+        .set(rs.outbox_high_water() as i64);
+    let wakeups = rs.wakeups();
+    m.reactor_wakeups_total
+        .add(wakeups.saturating_sub(*prev_wakeups));
+    *prev_wakeups = wakeups;
+    let slow = rs.slow_consumer_disconnects();
+    m.reactor_slow_consumer_disconnects_total
+        .add(slow.saturating_sub(*prev_slow));
+    *prev_slow = slow;
+}
+
+/// What one reactor connection has proven itself to be. The first frame
+/// decides: `Register` makes the peer a direct worker, `RelayHello` a
+/// relay fronting a block of workers.
+enum ConnState {
+    /// No handshake frame yet.
+    Handshake,
+    /// A direct worker's connection.
+    Direct {
+        worker_id: WorkerId,
+        hb: HeartbeatHandle,
+    },
+    /// A relay's connection. Member liveness handles live here — relay-
+    /// local, keyed by global id — so a `BatchedHeartbeat` frame fans
+    /// out to N relaxed atomic stores without touching the scheduling
+    /// lock: the same cost N direct heartbeats would have paid, on 1/Nth
+    /// the connections.
+    Relay {
+        relay_id: WorkerId,
+        members: HashMap<WorkerId, HeartbeatHandle>,
+    },
+}
+
+/// Protocol state machine for one inbound connection (worker or relay),
+/// driven by a reactor event loop. Callbacks run on the loop thread and
+/// never block (rule J7): outbound frames are queued on the connection's
+/// bounded [`Outbox`], and every inbound frame arrives fully reassembled.
+struct DispatcherConn {
+    inner: Arc<Inner>,
+    outbox: Option<Arc<Outbox>>,
+    /// Reusable wire-encode buffer for this connection's own replies
+    /// (registration acks); frames sent under the scheduling lock use
+    /// `Sched::enc` instead.
+    enc: Vec<u8>,
+    state: ConnState,
+}
+
+impl ConnHandler for DispatcherConn {
+    fn on_open(&mut self, outbox: &Arc<Outbox>) {
+        self.outbox = Some(Arc::clone(outbox));
+    }
+
+    fn on_frame(&mut self, frame: &[u8]) -> Flow {
+        // An unparseable frame is a protocol violation; sever. The
+        // close path unwinds whatever state the peer had.
+        let Ok(msg) = decode_msg::<WorkerMsg>(frame) else {
+            return Flow::Close;
+        };
+        if matches!(self.state, ConnState::Handshake) {
+            self.on_handshake(msg)
+        } else if matches!(self.state, ConnState::Direct { .. }) {
+            self.on_direct(msg)
+        } else {
+            self.on_relay(msg)
         }
-        // Any other first frame is a protocol violation: the peer never
-        // completed a handshake, so there is no state to unwind — just
-        // drop the connection.
-        Ok(Some(
+    }
+
+    fn on_close(&mut self, _reason: CloseReason) {
+        match std::mem::replace(&mut self.state, ConnState::Handshake) {
+            // The peer never completed a handshake, so there is no
+            // state to unwind.
+            ConnState::Handshake => {}
+            // Socket EOF, error, slow-consumer overflow, and `Goodbye`
+            // all converge here: one death, handled exactly once.
+            ConnState::Direct { worker_id, hb: _ } => {
+                handle_worker_down(&self.inner, worker_id);
+            }
+            // Relay gone: every worker it still fronted is unreachable.
+            // Each death cancels its gang exactly as a direct disconnect
+            // would.
+            ConnState::Relay { relay_id, members } => {
+                {
+                    let mut st = self.inner.sched.lock();
+                    st.relays.remove(&relay_id);
+                }
+                self.inner
+                    .log
+                    .record(EventKind::RelayDown { relay: relay_id });
+                for (worker, _) in members {
+                    handle_worker_down(&self.inner, worker);
+                }
+            }
+        }
+    }
+}
+
+impl DispatcherConn {
+    /// The handshake: the first frame decides what this peer is.
+    fn on_handshake(&mut self, msg: WorkerMsg) -> Flow {
+        let Some(outbox) = self.outbox.clone() else {
+            return Flow::Close;
+        };
+        match msg {
+            WorkerMsg::Register {
+                name,
+                cores,
+                location,
+            } => {
+                let worker_id = self.inner.next_worker.fetch_add(1, Ordering::Relaxed);
+                let hb = register_worker(
+                    &self.inner,
+                    worker_id,
+                    name,
+                    cores,
+                    location,
+                    None,
+                    ConnHandle::Direct(Arc::clone(&outbox)),
+                );
+                send_frame(&outbox, &mut self.enc, &DispatcherMsg::Registered { worker_id });
+                self.state = ConnState::Direct { worker_id, hb };
+                Flow::Continue
+            }
+            WorkerMsg::RelayHello { name, .. } => {
+                let relay_id = self.inner.next_worker.fetch_add(1, Ordering::Relaxed);
+                {
+                    let mut st = self.inner.sched.lock();
+                    st.relays.insert(relay_id, Arc::clone(&outbox));
+                }
+                self.inner.log.record(EventKind::RelayUp { relay: relay_id });
+                send_frame(
+                    &outbox,
+                    &mut self.enc,
+                    &DispatcherMsg::Registered {
+                        worker_id: relay_id,
+                    },
+                );
+                let _ = name; // diagnostics only (the wire carries it for operators)
+                self.state = ConnState::Relay {
+                    relay_id,
+                    members: HashMap::new(),
+                };
+                Flow::Continue
+            }
+            // Any other first frame is a protocol violation: the peer
+            // never completed a handshake — just drop the connection.
             WorkerMsg::Request
             | WorkerMsg::Done { .. }
             | WorkerMsg::Heartbeat
@@ -663,32 +849,141 @@ fn serve_worker(stream: TcpStream, inner: Arc<Inner>) {
             | WorkerMsg::RelayRequest { .. }
             | WorkerMsg::RelayDone { .. }
             | WorkerMsg::BatchedHeartbeat { .. }
-            | WorkerMsg::RelayWorkerGone { .. },
-        )) => {}
-        Ok(None) | Err(_) => {}
+            | WorkerMsg::RelayWorkerGone { .. } => Flow::Close,
+        }
     }
-}
 
-/// Spawn the writer thread for one connection: channel → socket, so any
-/// dispatcher thread can send. `MsgWriter` reuses its encode buffer
-/// across the connection's life. Returns `None` when the thread cannot
-/// be spawned (resource exhaustion under connection load) — the caller
-/// severs the connection instead of panicking the dispatcher.
-fn spawn_conn_writer(write_half: TcpStream, label: &str) -> Option<Sender<DispatcherMsg>> {
-    let (tx, rx) = unbounded::<DispatcherMsg>();
-    thread::Builder::new()
-        .name(format!("jets-write-{label}"))
-        .stack_size(CONN_STACK)
-        .spawn(move || {
-            let mut writer = MsgWriter::new(write_half);
-            while let Ok(msg) = rx.recv() {
-                if writer.send(&msg).is_err() {
-                    return;
-                }
+    /// A frame from a registered direct worker.
+    fn on_direct(&mut self, msg: WorkerMsg) -> Flow {
+        let ConnState::Direct { worker_id, hb } = &self.state else {
+            return Flow::Close;
+        };
+        let worker_id = *worker_id;
+        match msg {
+            WorkerMsg::Request => {
+                // Lock-free park plus a doorbell ring; a burst of
+                // `Request`s coalesces into one batched scheduling pass.
+                hb.beat();
+                self.inner.pending_ready.push(worker_id);
+                kick_schedule(&self.inner);
+                Flow::Continue
             }
-        })
-        .ok()?;
-    Some(tx)
+            WorkerMsg::Done {
+                task_id,
+                exit_code,
+                wall_ms,
+                output,
+            } => {
+                hb.beat();
+                handle_done(&self.inner, worker_id, task_id, exit_code, wall_ms, output);
+                Flow::Continue
+            }
+            // The liveness hot path: one relaxed atomic store. A
+            // heartbeat storm never touches the scheduling lock.
+            WorkerMsg::Heartbeat => {
+                hb.beat();
+                Flow::Continue
+            }
+            // `on_close` runs the worker-down path, exactly as EOF would.
+            WorkerMsg::Goodbye => Flow::Close,
+            // Re-registration or relay-scoped frames on a worker
+            // connection are protocol violations; sever.
+            WorkerMsg::Register { .. }
+            | WorkerMsg::RelayHello { .. }
+            | WorkerMsg::RelayRegister { .. }
+            | WorkerMsg::RelayRequest { .. }
+            | WorkerMsg::RelayDone { .. }
+            | WorkerMsg::BatchedHeartbeat { .. }
+            | WorkerMsg::RelayWorkerGone { .. } => Flow::Close,
+        }
+    }
+
+    /// A frame from a registered relay: a single socket carrying a whole
+    /// block's registrations, requests, results, and batched liveness.
+    fn on_relay(&mut self, msg: WorkerMsg) -> Flow {
+        let ConnState::Relay { relay_id, members } = &mut self.state else {
+            return Flow::Close;
+        };
+        let relay_id = *relay_id;
+        match msg {
+            WorkerMsg::RelayRegister {
+                local,
+                name,
+                cores,
+                location,
+            } => {
+                let Some(outbox) = &self.outbox else {
+                    return Flow::Close;
+                };
+                let worker_id = self.inner.next_worker.fetch_add(1, Ordering::Relaxed);
+                let hb = register_worker(
+                    &self.inner,
+                    worker_id,
+                    name,
+                    cores,
+                    location,
+                    Some(relay_id),
+                    ConnHandle::Relayed(Arc::clone(outbox)),
+                );
+                members.insert(worker_id, hb);
+                send_frame(
+                    outbox,
+                    &mut self.enc,
+                    &DispatcherMsg::RelayRegistered { local, worker_id },
+                );
+                Flow::Continue
+            }
+            WorkerMsg::RelayRequest { worker } => {
+                // Same coalesced park as a direct Request; a relay that
+                // routes for a worker it never registered is ignored.
+                if let Some(hb) = members.get(&worker) {
+                    hb.beat();
+                    self.inner.pending_ready.push(worker);
+                    kick_schedule(&self.inner);
+                }
+                Flow::Continue
+            }
+            WorkerMsg::RelayDone {
+                worker,
+                task_id,
+                exit_code,
+                wall_ms,
+                output,
+            } => {
+                if let Some(hb) = members.get(&worker) {
+                    hb.beat();
+                    handle_done(&self.inner, worker, task_id, exit_code, wall_ms, output);
+                }
+                Flow::Continue
+            }
+            // Batched-liveness ingestion: one frame, N relaxed atomic
+            // stores into the same lock-free path direct heartbeats use.
+            WorkerMsg::BatchedHeartbeat { workers } => {
+                for worker in workers {
+                    if let Some(hb) = members.get(&worker) {
+                        hb.beat();
+                    }
+                }
+                Flow::Continue
+            }
+            WorkerMsg::RelayWorkerGone { worker } => {
+                if members.remove(&worker).is_some() {
+                    handle_worker_down(&self.inner, worker);
+                }
+                Flow::Continue
+            }
+            // The relay's own keepalive; member liveness arrives batched.
+            WorkerMsg::Heartbeat => Flow::Continue,
+            // `on_close` unwinds the whole block, exactly as EOF would.
+            WorkerMsg::Goodbye => Flow::Close,
+            // Direct-worker frames on a relay connection are protocol
+            // violations; sever (taking the block down with it).
+            WorkerMsg::Register { .. }
+            | WorkerMsg::Request
+            | WorkerMsg::Done { .. }
+            | WorkerMsg::RelayHello { .. } => Flow::Close,
+        }
+    }
 }
 
 /// Register one worker under the scheduling lock, reachable through
@@ -724,182 +1019,6 @@ fn register_worker(
         });
     }
     hb
-}
-
-/// Service loop of one direct worker connection.
-fn serve_direct(
-    mut reader: MsgReader<BufReader<TcpStream>>,
-    write_half: TcpStream,
-    inner: Arc<Inner>,
-    name: String,
-    cores: u32,
-    location: String,
-) {
-    let worker_id = inner.next_worker.fetch_add(1, Ordering::Relaxed);
-    let Some(tx) = spawn_conn_writer(write_half, &worker_id.to_string()) else {
-        return; // can't service this peer; it will retry its connection
-    };
-    let hb = register_worker(
-        &inner,
-        worker_id,
-        name,
-        cores,
-        location,
-        None,
-        ConnHandle::Direct(tx.clone()),
-    );
-    let _ = tx.send(DispatcherMsg::Registered { worker_id });
-
-    loop {
-        match reader.recv::<WorkerMsg>() {
-            Ok(Some(WorkerMsg::Request)) => {
-                // Lock-free park plus a doorbell ring; a burst of
-                // `Request`s coalesces into one batched scheduling pass.
-                hb.beat();
-                inner.pending_ready.push(worker_id);
-                kick_schedule(&inner);
-            }
-            Ok(Some(WorkerMsg::Done {
-                task_id,
-                exit_code,
-                wall_ms,
-                output,
-            })) => {
-                hb.beat();
-                handle_done(&inner, worker_id, task_id, exit_code, wall_ms, output);
-            }
-            // The liveness hot path: one relaxed atomic store. A
-            // heartbeat storm never touches the scheduling lock.
-            Ok(Some(WorkerMsg::Heartbeat)) => hb.beat(),
-            Ok(Some(WorkerMsg::Goodbye)) | Ok(None) => break,
-            // Re-registration or relay-scoped frames on a worker
-            // connection are protocol violations; sever.
-            Ok(Some(
-                WorkerMsg::Register { .. }
-                | WorkerMsg::RelayHello { .. }
-                | WorkerMsg::RelayRegister { .. }
-                | WorkerMsg::RelayRequest { .. }
-                | WorkerMsg::RelayDone { .. }
-                | WorkerMsg::BatchedHeartbeat { .. }
-                | WorkerMsg::RelayWorkerGone { .. },
-            ))
-            | Err(_) => break,
-        }
-    }
-    handle_worker_down(&inner, worker_id);
-}
-
-/// Service loop of one relay connection: a single socket carrying a whole
-/// block's registrations, requests, results, and batched liveness.
-///
-/// The relay's members are ordinary registry entries (inserted with
-/// `relay = Some(relay_id)`) whose [`ConnHandle::Relayed`] points at this
-/// connection's writer. Their liveness handles live in a relay-local map
-/// here, so a `BatchedHeartbeat` frame fans out to N relaxed atomic
-/// stores without touching the scheduling lock — the same cost N direct
-/// heartbeats would have paid, on 1/Nth the connections.
-fn serve_relay(
-    mut reader: MsgReader<BufReader<TcpStream>>,
-    write_half: TcpStream,
-    inner: Arc<Inner>,
-    name: String,
-) {
-    let relay_id = inner.next_worker.fetch_add(1, Ordering::Relaxed);
-    let Some(tx) = spawn_conn_writer(write_half, &format!("relay-{relay_id}")) else {
-        return; // can't service this relay; it will reconnect
-    };
-    {
-        let mut st = inner.sched.lock();
-        st.relays.insert(relay_id, tx.clone());
-    }
-    inner.log.record(EventKind::RelayUp { relay: relay_id });
-    let _ = tx.send(DispatcherMsg::Registered {
-        worker_id: relay_id,
-    });
-    let _ = name; // diagnostics only (the wire carries it for operators)
-
-    // Liveness handles of this relay's members, keyed by global id.
-    let mut members: HashMap<WorkerId, HeartbeatHandle> = HashMap::new();
-    loop {
-        match reader.recv::<WorkerMsg>() {
-            Ok(Some(WorkerMsg::RelayRegister {
-                local,
-                name,
-                cores,
-                location,
-            })) => {
-                let worker_id = inner.next_worker.fetch_add(1, Ordering::Relaxed);
-                let hb = register_worker(
-                    &inner,
-                    worker_id,
-                    name,
-                    cores,
-                    location,
-                    Some(relay_id),
-                    ConnHandle::Relayed(tx.clone()),
-                );
-                members.insert(worker_id, hb);
-                let _ = tx.send(DispatcherMsg::RelayRegistered { local, worker_id });
-            }
-            Ok(Some(WorkerMsg::RelayRequest { worker })) => {
-                // Same coalesced park as a direct Request; a relay that
-                // routes for a worker it never registered is ignored.
-                if let Some(hb) = members.get(&worker) {
-                    hb.beat();
-                    inner.pending_ready.push(worker);
-                    kick_schedule(&inner);
-                }
-            }
-            Ok(Some(WorkerMsg::RelayDone {
-                worker,
-                task_id,
-                exit_code,
-                wall_ms,
-                output,
-            })) => {
-                if let Some(hb) = members.get(&worker) {
-                    hb.beat();
-                    handle_done(&inner, worker, task_id, exit_code, wall_ms, output);
-                }
-            }
-            // Batched-liveness ingestion: one frame, N relaxed atomic
-            // stores into the same lock-free path direct heartbeats use.
-            Ok(Some(WorkerMsg::BatchedHeartbeat { workers })) => {
-                for worker in workers {
-                    if let Some(hb) = members.get(&worker) {
-                        hb.beat();
-                    }
-                }
-            }
-            Ok(Some(WorkerMsg::RelayWorkerGone { worker })) => {
-                if members.remove(&worker).is_some() {
-                    handle_worker_down(&inner, worker);
-                }
-            }
-            // The relay's own keepalive; member liveness arrives batched.
-            Ok(Some(WorkerMsg::Heartbeat)) => {}
-            Ok(Some(WorkerMsg::Goodbye)) | Ok(None) => break,
-            // Direct-worker frames on a relay connection are protocol
-            // violations; sever (taking the block down with it).
-            Ok(Some(
-                WorkerMsg::Register { .. }
-                | WorkerMsg::Request
-                | WorkerMsg::Done { .. }
-                | WorkerMsg::RelayHello { .. },
-            ))
-            | Err(_) => break,
-        }
-    }
-    // Relay gone: every worker it still fronted is unreachable. Each
-    // death cancels its gang exactly as a direct disconnect would.
-    {
-        let mut st = inner.sched.lock();
-        st.relays.remove(&relay_id);
-    }
-    inner.log.record(EventKind::RelayDown { relay: relay_id });
-    for (worker, _) in members {
-        handle_worker_down(&inner, worker);
-    }
 }
 
 /// Ring the scheduling doorbell. At most one caller becomes the pass
@@ -1153,11 +1272,13 @@ fn start_job(inner: &Inner, st: &mut Sched, job: QueuedJob, workers: &[WorkerId]
             worker,
             ranks: spec.ppn,
         });
-        let delivered = st
-            .conns
-            .get(&worker)
-            .map(|conn| conn.send_assign(worker, assignment))
-            .unwrap_or(false);
+        let delivered = {
+            let Sched { conns, enc, .. } = &mut *st;
+            conns
+                .get(&worker)
+                .map(|conn| conn.send_assign(worker, assignment, enc))
+                .unwrap_or(false)
+        };
         if !delivered {
             // The worker vanished between parking and assignment; treat
             // its task as failed immediately.
@@ -1324,8 +1445,11 @@ fn cancel_gang(inner: &Inner, st: &mut Sched, job_id: JobId, exit_code: i32, rea
     let pending = std::mem::take(&mut active.pending);
     for (&worker, &task) in &pending {
         st.tasks.remove(&task);
-        if let Some(conn) = st.conns.get(&worker) {
-            conn.send_cancel(worker, task);
+        {
+            let Sched { conns, enc, .. } = &mut *st;
+            if let Some(conn) = conns.get(&worker) {
+                conn.send_cancel(worker, task, enc);
+            }
         }
         inner.log.record(EventKind::TaskEnded {
             task,
@@ -1477,6 +1601,7 @@ mod tests {
     use super::*;
     use crate::protocol::{read_msg, write_msg};
     use crate::spec::CommandSpec;
+    use crossbeam::channel::unbounded;
     use std::io::BufReader;
 
     /// A minimal raw-protocol worker for exercising the dispatcher

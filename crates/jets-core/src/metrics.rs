@@ -60,6 +60,19 @@ pub struct DispatcherMetrics {
     pub quarantined_current: Arc<Gauge>,
     /// Connected relay daemons.
     pub relays_current: Arc<Gauge>,
+    /// Connections currently registered on the reactor's event loops
+    /// (workers + relays + anything else the reactor multiplexes).
+    pub reactor_connections: Arc<Gauge>,
+    /// Event-loop threads the reactor runs — the dispatcher's whole
+    /// connection-handling thread bill, independent of connections.
+    pub reactor_event_loops: Arc<Gauge>,
+    /// Readiness wakeups across all event loops.
+    pub reactor_wakeups_total: Arc<Counter>,
+    /// High-water mark of any single connection's bounded outbox.
+    pub reactor_outbox_high_water_bytes: Arc<Gauge>,
+    /// Connections dropped because their bounded outbox overflowed
+    /// (the slow-consumer disconnect policy).
+    pub reactor_slow_consumer_disconnects_total: Arc<Counter>,
     /// Queue-wait phase: last enqueue → workers selected.
     pub phase_queue: Arc<Histogram>,
     /// Launch phase: workers selected → assignments shipped.
@@ -100,6 +113,11 @@ impl DispatcherMetrics {
             workers_busy: r.gauge("jets_workers_busy", "Workers executing a task"),
             quarantined_current: r.gauge("jets_quarantined_current", "Workers currently benched by quarantine"),
             relays_current: r.gauge("jets_relays_current", "Connected relay daemons"),
+            reactor_connections: r.gauge("jets_reactor_connections", "Connections registered on the reactor event loops"),
+            reactor_event_loops: r.gauge("jets_reactor_event_loops", "Reactor event-loop threads"),
+            reactor_wakeups_total: r.counter("jets_reactor_wakeups_total", "Readiness wakeups across all event loops"),
+            reactor_outbox_high_water_bytes: r.gauge("jets_reactor_outbox_high_water_bytes", "High-water mark of any connection's bounded outbox"),
+            reactor_slow_consumer_disconnects_total: r.counter("jets_reactor_slow_consumer_disconnects_total", "Connections dropped for overflowing their bounded outbox"),
             phase_queue: phase("queue"),
             phase_launch: phase("launch"),
             phase_pmi: phase("pmi"),
@@ -154,6 +172,11 @@ mod tests {
             "jets_workers_busy",
             "jets_quarantined_current",
             "jets_relays_current",
+            "jets_reactor_connections",
+            "jets_reactor_event_loops",
+            "jets_reactor_wakeups_total",
+            "jets_reactor_outbox_high_water_bytes",
+            "jets_reactor_slow_consumer_disconnects_total",
             JOB_PHASE_METRIC,
         ] {
             assert!(text.contains(name), "missing {name} in render");

@@ -251,6 +251,17 @@ pub fn write_msg_buf<M: Serialize>(
     msg: &M,
     buf: &mut Vec<u8>,
 ) -> io::Result<()> {
+    encode_msg_buf(msg, buf)?;
+    writer.write_all(buf)
+}
+
+/// Encode one message as a newline-terminated JSON frame into `buf`
+/// (cleared first, capacity kept) without touching any socket. This is
+/// the half of [`write_msg_buf`] the reactor paths use: the frame is
+/// queued on a nonblocking outbox instead of written inline, so the
+/// encoder must never block. Frames larger than [`MAX_FRAME_BYTES`]
+/// are refused with `InvalidData` before anything is queued.
+pub fn encode_msg_buf<M: Serialize>(msg: &M, buf: &mut Vec<u8>) -> io::Result<()> {
     buf.clear();
     serde_json::to_writer(&mut *buf, msg).map_err(io::Error::other)?;
     buf.push(b'\n');
@@ -263,7 +274,17 @@ pub fn write_msg_buf<M: Serialize>(
             ),
         ));
     }
-    writer.write_all(buf)
+    Ok(())
+}
+
+/// Decode one already-reassembled frame body into a message. This is
+/// the read-side half of [`encode_msg_buf`] for reactor paths: the
+/// reactor delivers complete frames (trailing newline stripped), so no
+/// buffered reader is involved.
+pub fn decode_msg<M: DeserializeOwned>(frame: &[u8]) -> io::Result<M> {
+    let text = std::str::from_utf8(frame)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    serde_json::from_str(text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 /// Read one JSON-line message; `Ok(None)` on clean EOF (allocates a fresh

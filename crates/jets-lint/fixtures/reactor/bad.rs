@@ -1,0 +1,9 @@
+fn on_frame(frame: &[u8]) -> Flow {
+    let reply = rx.recv();
+    thread::spawn(move || fanout(reply));
+    Flow::Continue
+}
+
+fn serve_member(stream: TcpStream) {
+    thread::spawn(move || pump(stream));
+}

@@ -1,0 +1,13 @@
+fn on_frame(frame: &[u8]) -> Flow {
+    outbox.send(frame);
+    Flow::Continue
+}
+
+fn serve_member(stream: TcpStream) {
+    register(stream);
+}
+
+fn on_close(reason: CloseReason) {
+    // jets-lint: allow(reactor) teardown: the event loop has already released this connection
+    thread::spawn(cleanup);
+}

@@ -26,6 +26,7 @@
 //! | J4 | `protocol`           | WorkerMsg/DispatcherMsg matches name every variant |
 //! | J5 | `exit-code`          | negative sentinel exit codes only in `spec.rs`    |
 //! | J6 | `unwrap`             | no unwrap/expect in connection-handler paths      |
+//! | J7 | `reactor`            | no thread spawns in per-connection serve paths; no blocking calls in reactor callbacks |
 //!
 //! Suppression syntax (the reason is mandatory):
 //!
@@ -62,6 +63,10 @@ pub enum Rule {
     J5,
     /// `unwrap`/`expect` in a connection-handler function.
     J6,
+    /// Reactor discipline: thread spawn in a per-connection serve path
+    /// of a reactor-converted crate, or a blocking call inside a
+    /// reactor callback (`on_open`/`on_frame`/`on_close`).
+    J7,
 }
 
 impl Rule {
@@ -75,6 +80,7 @@ impl Rule {
             Rule::J4 => "protocol",
             Rule::J5 => "exit-code",
             Rule::J6 => "unwrap",
+            Rule::J7 => "reactor",
         }
     }
 
@@ -88,6 +94,7 @@ impl Rule {
             Rule::J4 => "J4",
             Rule::J5 => "J5",
             Rule::J6 => "J6",
+            Rule::J7 => "J7",
         }
     }
 }
@@ -101,6 +108,7 @@ const ALLOW_KEYS: &[&str] = &[
     "protocol",
     "exit-code",
     "unwrap",
+    "reactor",
 ];
 
 /// How many lines below a suppression comment it still covers, so the
@@ -222,6 +230,7 @@ pub fn lint_sources(sources: &[(PathBuf, String)]) -> Vec<Finding> {
         rule_protocol_exhaustive(file, &enums, &mut findings);
         rule_exit_code(file, &mut findings);
         rule_unwrap_in_handler(file, &mut findings);
+        rule_reactor_discipline(file, &mut findings);
         sup.sort_by_key(|s| s.line);
         suppressions.push((fi, sup));
     }
@@ -731,6 +740,47 @@ const BLOCKING_CALLS: &[&str] = &[
     "write_msg_buf",
 ];
 
+/// If the token at `i` begins a blocking operation, describe it.
+/// Shapes: `.recv()`-style method calls from [`BLOCKING_METHODS`],
+/// `.send(` on a socket-writer receiver (channel sends are
+/// non-blocking for the unbounded channels used here), and free or
+/// method calls of the [`BLOCKING_CALLS`] frame helpers. Shared by J2
+/// (blocking under a lock guard) and J7 (blocking in a reactor
+/// callback).
+fn blocking_op_at(toks: &[Tok], i: usize) -> Option<String> {
+    let t = toks.get(i)?;
+    if t.is_punct(".")
+        && toks
+            .get(i + 1)
+            .map(|n| n.kind == TokKind::Ident)
+            .unwrap_or(false)
+    {
+        let name = &toks[i + 1].text;
+        let called = is_called(toks, i + 1);
+        if called && BLOCKING_METHODS.contains(&name.as_str()) {
+            return Some(format!(".{name}()"));
+        }
+        if called && name == "send" {
+            let recv = if i > 0 && toks[i - 1].kind == TokKind::Ident {
+                toks[i - 1].text.as_str()
+            } else {
+                ""
+            };
+            if recv.contains("writer") || recv.contains("sock") || recv.contains("stream") {
+                return Some(format!("{recv}.send()"));
+            }
+        }
+        return None;
+    }
+    // Exclude method position: `x.read_msg()` still counts, but
+    // `guard.recv()` is handled above; here we accept both free and
+    // method calls of the frame helpers.
+    if t.kind == TokKind::Ident && BLOCKING_CALLS.contains(&t.text.as_str()) && is_called(toks, i) {
+        return Some(format!("{}()", t.text));
+    }
+    None
+}
+
 fn rule_lock_across_blocking(file: &SourceFile, findings: &mut Vec<Finding>) {
     if file.file_is_test {
         return;
@@ -748,48 +798,7 @@ fn rule_lock_across_blocking(file: &SourceFile, findings: &mut Vec<Finding>) {
                 if guards.is_empty() {
                     return;
                 }
-                let blocking: Option<String> = if t.is_punct(".")
-                    && toks
-                        .get(i + 1)
-                        .map(|n| n.kind == TokKind::Ident)
-                        .unwrap_or(false)
-                {
-                    let name = &toks[i + 1].text;
-                    let called = is_called(toks, i + 1);
-                    if called && BLOCKING_METHODS.contains(&name.as_str()) {
-                        Some(format!(".{name}()"))
-                    } else if called && name == "send" {
-                        // `.send` is blocking only on a socket writer
-                        // (channel sends are non-blocking for the
-                        // unbounded channels used here).
-                        let recv = if i > 0 && toks[i - 1].kind == TokKind::Ident {
-                            toks[i - 1].text.as_str()
-                        } else {
-                            ""
-                        };
-                        if recv.contains("writer")
-                            || recv.contains("sock")
-                            || recv.contains("stream")
-                        {
-                            Some(format!("{recv}.send()"))
-                        } else {
-                            None
-                        }
-                    } else {
-                        None
-                    }
-                } else if t.kind == TokKind::Ident
-                    && BLOCKING_CALLS.contains(&t.text.as_str())
-                    && is_called(toks, i)
-                // Exclude method position: `x.read_msg()` still counts,
-                // but `guard.recv()` is handled above; here we accept
-                // both free and method calls of the frame helpers.
-                {
-                    Some(format!("{}()", t.text))
-                } else {
-                    None
-                };
-                if let Some(op) = blocking {
+                if let Some(op) = blocking_op_at(toks, i) {
                     for g in guards {
                         // Condvar waits release the lock; they are
                         // filtered by not being in the blocking sets.
@@ -1396,6 +1405,97 @@ fn rule_unwrap_in_handler(file: &SourceFile, findings: &mut Vec<Finding>) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// J7: reactor discipline.
+// ---------------------------------------------------------------------------
+
+/// Reactor callback names. These run inline on an event-loop thread:
+/// one blocking call stalls every connection multiplexed on that loop.
+const REACTOR_CALLBACKS: &[&str] = &["on_open", "on_frame", "on_close"];
+
+/// Path predicate for the reactor-converted fan-in crates: their
+/// per-connection serve/accept paths must not spawn threads, because
+/// connection concurrency belongs to the reactor. The blocking client
+/// crates (worker agent, jets-pmi, jets-mpi) keep their thread-per-
+/// connection accept loops by design and are exempt by path.
+fn reactor_scoped_path(path: &Path) -> bool {
+    let s = path.to_string_lossy().replace('\\', "/");
+    s.split('/').any(|comp| {
+        comp.contains("jets-core")
+            || comp.contains("jets-relay")
+            || comp.contains("jets-reactor")
+            || comp == "reactor"
+    })
+}
+
+fn rule_reactor_discipline(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if file.file_is_test {
+        return;
+    }
+    let toks = &file.lexed.toks;
+    for func in &file.funcs {
+        if func.in_test {
+            continue;
+        }
+        let is_callback = REACTOR_CALLBACKS.contains(&func.name.as_str());
+        let is_serve_path = (func.name.starts_with("serve_") || func.name.starts_with("accept_"))
+            && reactor_scoped_path(&file.path);
+        if !is_callback && !is_serve_path {
+            continue;
+        }
+        let mut i = func.body.start;
+        while i < func.body.end {
+            let t = &toks[i];
+            // `thread::spawn` / `thread::Builder`: banned in both scopes.
+            if t.is_ident("thread")
+                && toks.get(i + 1).map(|n| n.is_punct("::")).unwrap_or(false)
+                && toks
+                    .get(i + 2)
+                    .map(|n| n.is_ident("spawn") || n.is_ident("Builder"))
+                    .unwrap_or(false)
+            {
+                let what = &toks[i + 2].text;
+                let message = if is_callback {
+                    format!(
+                        "`thread::{what}` inside reactor callback `{}`: callbacks run on the event loop; queue work instead of spawning",
+                        func.name
+                    )
+                } else {
+                    format!(
+                        "`thread::{what}` inside per-connection path `{}`: connection concurrency belongs to the reactor, not ad-hoc threads",
+                        func.name
+                    )
+                };
+                findings.push(Finding {
+                    rule: Rule::J7,
+                    path: file.path.clone(),
+                    line: t.line,
+                    message,
+                });
+                i += 3;
+                continue;
+            }
+            // Blocking calls: banned in callbacks only (serve paths on
+            // the blocking side may legitimately block, they just may
+            // not spawn).
+            if is_callback {
+                if let Some(op) = blocking_op_at(toks, i) {
+                    findings.push(Finding {
+                        rule: Rule::J7,
+                        path: file.path.clone(),
+                        line: t.line,
+                        message: format!(
+                            "blocking call {op} inside reactor callback `{}`: the event loop must never block; queue on the outbox or defer to a service thread",
+                            func.name
+                        ),
+                    });
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1682,5 +1782,84 @@ mod tests {
             }
         "#;
         assert!(lint_one(src).is_empty());
+    }
+
+    #[test]
+    fn spawn_in_reactor_scoped_serve_fires_j7() {
+        let src = r#"
+            fn serve_member(stream: TcpStream) {
+                thread::spawn(move || pump(stream));
+            }
+        "#;
+        let f = lint_sources(&[(
+            PathBuf::from("crates/jets-relay/src/daemon.rs"),
+            src.to_string(),
+        )]);
+        assert!(f.iter().any(|f| f.rule == Rule::J7), "{f:?}");
+    }
+
+    #[test]
+    fn spawn_in_blocking_client_serve_is_fine() {
+        // jets-pmi keeps its thread-per-connection accept loop by design.
+        let src = r#"
+            fn serve_rank(stream: TcpStream) {
+                thread::spawn(move || pump(stream));
+            }
+        "#;
+        let f = lint_sources(&[(
+            PathBuf::from("crates/jets-pmi/src/server.rs"),
+            src.to_string(),
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn blocking_call_in_reactor_callback_fires_j7() {
+        // Callbacks are scanned regardless of path: any on_frame runs on
+        // an event loop, and recv() there stalls every connection on it.
+        let src = r#"
+            fn on_frame(&mut self, frame: &[u8]) -> Flow {
+                let reply = self.rx.recv();
+                Flow::Continue
+            }
+        "#;
+        let f = lint_one(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::J7);
+    }
+
+    #[test]
+    fn spawn_in_reactor_callback_fires_j7() {
+        let src = r#"
+            fn on_open(&mut self, outbox: &Arc<Outbox>) {
+                thread::Builder::new().spawn(|| {}).ok();
+            }
+        "#;
+        let f = lint_one(src);
+        assert!(f.iter().any(|f| f.rule == Rule::J7), "{f:?}");
+    }
+
+    #[test]
+    fn outbox_send_in_callback_is_fine() {
+        // Outbox::send never blocks (bounded buffer, drop-on-overflow),
+        // so the non-blocking send idiom must stay clean.
+        let src = r#"
+            fn on_frame(&mut self, frame: &[u8]) -> Flow {
+                self.outbox.send(frame);
+                Flow::Continue
+            }
+        "#;
+        assert!(lint_one(src).is_empty(), "{:?}", lint_one(src));
+    }
+
+    #[test]
+    fn j7_suppression_with_reason_silences() {
+        let src = r#"
+            fn on_close(&mut self, reason: CloseReason) {
+                // jets-lint: allow(reactor) teardown path; loop is already dead
+                thread::spawn(move || cleanup());
+            }
+        "#;
+        assert!(lint_one(src).is_empty(), "{:?}", lint_one(src));
     }
 }

@@ -125,6 +125,25 @@ fn unwrap_good_is_clean() {
 }
 
 #[test]
+fn reactor_bad_fires_exactly() {
+    // Blocking recv in a callback (line 2), spawn in a callback (line
+    // 3), spawn in a reactor-scoped serve path (line 8).
+    assert_eq!(
+        fired("reactor/bad.rs"),
+        vec![
+            ("J7".to_string(), 2),
+            ("J7".to_string(), 3),
+            ("J7".to_string(), 8)
+        ]
+    );
+}
+
+#[test]
+fn reactor_good_is_clean() {
+    assert_clean("reactor/good.rs");
+}
+
+#[test]
 fn suppression_bad_fires_exactly() {
     // Missing reason (J0@2) does NOT silence the sentinel (J5@3);
     // unknown key (J0@6); unused suppression (J0@9).

@@ -6,6 +6,11 @@
 //! with the dispatcher beyond the lock-free metric handles. The registry
 //! is rendered to a `String` *before* any socket write, so no lock is
 //! ever held across network I/O.
+//!
+//! Between scrapes the accept loop parks on `poll(2)` (via
+//! `jets_reactor::wait_readable`) rather than sleep-polling: an idle
+//! responder wakes only for a connection or the periodic stop-flag
+//! check, never on a busy-wait timer.
 
 use crate::metrics::Registry;
 use std::io::{BufRead, BufReader, Write};
@@ -15,8 +20,9 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-/// How long the accept loop sleeps when no connection is pending.
-const ACCEPT_IDLE: Duration = Duration::from_millis(5);
+/// Upper bound on one idle park: the loop re-checks the stop flag at
+/// least this often even if no connection ever arrives.
+const ACCEPT_IDLE: Duration = Duration::from_millis(50);
 /// Per-request socket timeout: a scraper that stalls cannot wedge the
 /// responder thread for longer than this.
 const REQUEST_TIMEOUT: Duration = Duration::from_secs(2);
@@ -72,12 +78,29 @@ fn accept_loop(listener: TcpListener, registry: Arc<Registry>, stop: Arc<AtomicB
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((sock, _)) => handle_scrape(sock, &registry),
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_IDLE),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => park_for_accept(&listener),
             // Transient accept errors (EMFILE, reset during handshake):
             // back off and keep serving.
             Err(_) => thread::sleep(ACCEPT_IDLE),
         }
     }
+}
+
+/// Park until the listener is readable (a connection is pending) or the
+/// idle bound passes, whichever comes first — no busy-wait.
+#[cfg(unix)]
+fn park_for_accept(listener: &TcpListener) {
+    use std::os::fd::AsRawFd;
+    if jets_reactor::wait_readable(listener.as_raw_fd(), ACCEPT_IDLE).is_err() {
+        // poll(2) failing is unheard of on a valid fd; degrade to the
+        // old sleep rather than spinning on the error.
+        thread::sleep(ACCEPT_IDLE);
+    }
+}
+
+#[cfg(not(unix))]
+fn park_for_accept(_listener: &TcpListener) {
+    thread::sleep(ACCEPT_IDLE);
 }
 
 /// Answer one scrape. All errors are swallowed: a broken scraper must

@@ -1,0 +1,945 @@
+//! Event loops, connection state machines, and the router.
+//!
+//! A [`Reactor`] owns a fixed handful of event-loop threads (the count
+//! is configuration, not connection count). Each loop owns one
+//! platform [`Poller`](crate::poller::Poller), a self-pipe waker, and
+//! the connections assigned to it. Connections are nonblocking state
+//! machines: reads reassemble newline-delimited frames across wakeups
+//! and hand each complete frame to the connection's [`ConnHandler`];
+//! writes drain the connection's bounded [`Outbox`], arming write
+//! interest only while bytes remain (the `WOULDBLOCK` re-arm
+//! protocol).
+//!
+//! Cross-thread interaction is funnelled through each loop's inbox: a
+//! short mutex push plus one byte on the wake pipe. `Outbox::send`
+//! therefore never blocks and is safe under scheduler locks. Handlers
+//! run on the loop thread and must not block — jets-lint rule J7
+//! enforces that textually.
+
+use crate::outbox::{CloseReason, Outbox};
+use crate::poller::{new_poller, Event, Interest, Poller};
+use crate::{lock, sys};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+/// Token reserved for each loop's wake pipe.
+const WAKE_TOKEN: u64 = 0;
+
+/// What a handler wants done with its connection after a frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Flow {
+    /// Keep the connection open.
+    Continue,
+    /// Tear the connection down ([`CloseReason::Handler`]).
+    Close,
+}
+
+/// Per-connection protocol logic, driven by the owning event loop.
+///
+/// All three callbacks run on the loop thread. They must never block:
+/// no channel `recv`, no sleeps, no blocking socket I/O — queue
+/// outbound frames on an [`Outbox`] instead (rule J7).
+pub trait ConnHandler: Send {
+    /// Called once when the connection is registered with its loop.
+    fn on_open(&mut self, outbox: &Arc<Outbox>);
+    /// Called for every complete incoming frame (newline stripped).
+    fn on_frame(&mut self, frame: &[u8]) -> Flow;
+    /// Called exactly once when the connection is torn down.
+    fn on_close(&mut self, reason: CloseReason);
+}
+
+/// Factory invoked for every accepted connection. Returning `None`
+/// sheds the connection (it is dropped without registration). The
+/// `&TcpStream` lets factories `try_clone` a raw handle (e.g. for
+/// out-of-band kill switches) before the reactor takes ownership.
+pub type AcceptFn = dyn Fn(&TcpStream, SocketAddr) -> Option<Box<dyn ConnHandler>> + Send + Sync;
+
+/// Monotonic reactor counters, shared with observability bridges.
+#[derive(Default)]
+pub struct ReactorStats {
+    pub(crate) connections_registered: AtomicU64,
+    pub(crate) connections_closed: AtomicU64,
+    pub(crate) wakeups: AtomicU64,
+    pub(crate) frames_in: AtomicU64,
+    pub(crate) bytes_in: AtomicU64,
+    pub(crate) bytes_out: AtomicU64,
+    pub(crate) outbox_hwm: AtomicU64,
+    pub(crate) slow_consumer_disconnects: AtomicU64,
+}
+
+impl ReactorStats {
+    /// Connections ever registered on a loop.
+    pub fn connections_registered(&self) -> u64 {
+        self.connections_registered.load(Ordering::Relaxed)
+    }
+
+    /// Connections torn down.
+    pub fn connections_closed(&self) -> u64 {
+        self.connections_closed.load(Ordering::Relaxed)
+    }
+
+    /// Currently open connections (registered − closed).
+    pub fn connections_open(&self) -> u64 {
+        self.connections_registered()
+            .saturating_sub(self.connections_closed())
+    }
+
+    /// Event-loop wait returns.
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups.load(Ordering::Relaxed)
+    }
+
+    /// Complete frames delivered to handlers.
+    pub fn frames_in(&self) -> u64 {
+        self.frames_in.load(Ordering::Relaxed)
+    }
+
+    /// Bytes read off sockets.
+    pub fn bytes_in(&self) -> u64 {
+        self.bytes_in.load(Ordering::Relaxed)
+    }
+
+    /// Bytes written to sockets.
+    pub fn bytes_out(&self) -> u64 {
+        self.bytes_out.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of any single connection's outbox, in bytes.
+    pub fn outbox_high_water(&self) -> u64 {
+        self.outbox_hwm.load(Ordering::Relaxed)
+    }
+
+    /// Connections dropped because their bounded outbox overflowed.
+    pub fn slow_consumer_disconnects(&self) -> u64 {
+        self.slow_consumer_disconnects.load(Ordering::Relaxed)
+    }
+}
+
+/// Reactor sizing and policy knobs.
+#[derive(Clone, Debug)]
+pub struct ReactorConfig {
+    /// Event-loop threads. The whole point: this, not the connection
+    /// count, is the process's thread bill for connection handling.
+    pub event_loops: usize,
+    /// Bounded per-connection outbox capacity in bytes; overflow
+    /// disconnects the slow consumer.
+    pub outbox_limit: usize,
+    /// Maximum bytes buffered for a single incoming frame before the
+    /// connection is dropped as oversize.
+    pub max_frame: usize,
+    /// Per-loop scratch read buffer size.
+    pub read_chunk: usize,
+    /// Event-loop thread name prefix.
+    pub thread_name: String,
+    /// Event-loop thread stack size.
+    pub thread_stack: usize,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> ReactorConfig {
+        ReactorConfig {
+            event_loops: 2,
+            outbox_limit: 16 << 20,
+            max_frame: 16 << 20,
+            read_chunk: 64 << 10,
+            thread_name: "jets-reactor".to_string(),
+            thread_stack: 256 * 1024,
+        }
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct LoopInbox {
+    new: Vec<Injected>,
+    kicks: Vec<u64>,
+}
+
+/// The cross-thread face of one event loop: its waker write end and
+/// the inbox other threads push work through.
+pub(crate) struct LoopShared {
+    wake_tx: OwnedFd,
+    inbox: Mutex<LoopInbox>,
+}
+
+impl LoopShared {
+    /// Ask the loop to revisit connection `id` (flush or teardown).
+    pub(crate) fn kick(&self, id: u64) {
+        lock(&self.inbox).kicks.push(id);
+        self.wake();
+    }
+
+    fn inject(&self, inj: Injected) {
+        lock(&self.inbox).new.push(inj);
+        self.wake();
+    }
+
+    fn wake(&self) {
+        // Nonblocking; a full pipe already guarantees a pending wakeup.
+        let _ = sys::write_fd(self.wake_tx.as_raw_fd(), &[1]);
+    }
+}
+
+enum Injected {
+    Conn {
+        id: u64,
+        stream: TcpStream,
+        handler: Box<dyn ConnHandler>,
+        outbox: Arc<Outbox>,
+    },
+    Listener {
+        id: u64,
+        listener: TcpListener,
+        factory: Arc<AcceptFn>,
+    },
+}
+
+struct Conn {
+    stream: TcpStream,
+    fd: RawFd,
+    handler: Box<dyn ConnHandler>,
+    outbox: Arc<Outbox>,
+    /// Reassembly buffer for partial frames.
+    rbuf: Vec<u8>,
+    /// Prefix of `rbuf` already scanned for a newline.
+    scanned: usize,
+    /// Whether write interest is currently armed.
+    want_write: bool,
+}
+
+enum Entry {
+    Conn(Conn),
+    Listener {
+        listener: TcpListener,
+        factory: Arc<AcceptFn>,
+    },
+}
+
+/// Shared routing state: loop handles, id allocation, stats, policy.
+pub(crate) struct Router {
+    loops: Vec<Arc<LoopShared>>,
+    next_loop: AtomicUsize,
+    next_id: AtomicU64,
+    pub(crate) stats: Arc<ReactorStats>,
+    shutdown: AtomicBool,
+    max_frame: usize,
+    outbox_limit: usize,
+    read_chunk: usize,
+}
+
+impl Router {
+    fn next_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn pick_loop(&self) -> Arc<LoopShared> {
+        let i = self.next_loop.fetch_add(1, Ordering::Relaxed) % self.loops.len();
+        self.loops[i].clone()
+    }
+
+    fn register_stream(
+        &self,
+        stream: TcpStream,
+        handler: Box<dyn ConnHandler>,
+    ) -> io::Result<Arc<Outbox>> {
+        if self.shutdown.load(Ordering::Acquire) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "reactor is shut down",
+            ));
+        }
+        let id = self.next_id();
+        let shared = self.pick_loop();
+        let outbox = Outbox::new(id, self.outbox_limit, shared.clone(), self.stats.clone());
+        shared.inject(Injected::Conn {
+            id,
+            stream,
+            handler,
+            outbox: outbox.clone(),
+        });
+        Ok(outbox)
+    }
+
+    fn register_listener(&self, listener: TcpListener, factory: Arc<AcceptFn>) -> io::Result<()> {
+        if self.shutdown.load(Ordering::Acquire) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "reactor is shut down",
+            ));
+        }
+        listener.set_nonblocking(true)?;
+        let id = self.next_id();
+        let shared = self.pick_loop();
+        shared.inject(Injected::Listener {
+            id,
+            listener,
+            factory,
+        });
+        Ok(())
+    }
+}
+
+/// A running set of event loops multiplexing many connections onto a
+/// fixed number of threads.
+pub struct Reactor {
+    router: Arc<Router>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Reactor {
+    /// Start `config.event_loops` loop threads (at least one).
+    pub fn start(config: ReactorConfig) -> io::Result<Reactor> {
+        let n = config.event_loops.max(1);
+        let stats = Arc::new(ReactorStats::default());
+        let mut loops = Vec::with_capacity(n);
+        let mut tails = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (rx, tx) = sys::make_wake_pipe()?;
+            let rx = unsafe { OwnedFd::from_raw_fd(rx) };
+            let tx = unsafe { OwnedFd::from_raw_fd(tx) };
+            let poller = new_poller()?;
+            loops.push(Arc::new(LoopShared {
+                wake_tx: tx,
+                inbox: Mutex::new(LoopInbox::default()),
+            }));
+            tails.push((rx, poller));
+        }
+        let router = Arc::new(Router {
+            loops,
+            next_loop: AtomicUsize::new(0),
+            // Token 0 is every loop's waker.
+            next_id: AtomicU64::new(1),
+            stats,
+            shutdown: AtomicBool::new(false),
+            max_frame: config.max_frame,
+            outbox_limit: config.outbox_limit,
+            read_chunk: config.read_chunk.max(1024),
+        });
+        let mut threads = Vec::with_capacity(n);
+        for (i, (rx, poller)) in tails.into_iter().enumerate() {
+            let r = router.clone();
+            let spawned = thread::Builder::new()
+                .name(format!("{}-{i}", config.thread_name))
+                .stack_size(config.thread_stack)
+                .spawn(move || run_loop(r, i, rx, poller));
+            match spawned {
+                Ok(handle) => threads.push(handle),
+                Err(err) => {
+                    router.shutdown.store(true, Ordering::Release);
+                    for l in &router.loops {
+                        l.wake();
+                    }
+                    for handle in threads {
+                        let _ = handle.join();
+                    }
+                    return Err(err);
+                }
+            }
+        }
+        Ok(Reactor {
+            router,
+            threads: Mutex::new(threads),
+        })
+    }
+
+    /// Serve accepted connections from `listener` through `factory`.
+    /// The listener is made nonblocking and owned by one event loop.
+    pub fn listen(&self, listener: TcpListener, factory: Arc<AcceptFn>) -> io::Result<()> {
+        self.router.register_listener(listener, factory)
+    }
+
+    /// Adopt an already-connected stream onto an event loop.
+    pub fn add_stream(
+        &self,
+        stream: TcpStream,
+        handler: Box<dyn ConnHandler>,
+    ) -> io::Result<Arc<Outbox>> {
+        self.router.register_stream(stream, handler)
+    }
+
+    /// Shared counters for observability bridges.
+    pub fn stats(&self) -> Arc<ReactorStats> {
+        self.router.stats.clone()
+    }
+
+    /// Number of event-loop threads.
+    pub fn event_loops(&self) -> usize {
+        self.router.loops.len()
+    }
+
+    /// Stop all loops and join their threads. Queued outbound bytes
+    /// get one best-effort nonblocking flush; handlers do not receive
+    /// `on_close` for connections torn down by shutdown.
+    pub fn shutdown(&self) {
+        self.router.shutdown.store(true, Ordering::Release);
+        for l in &self.router.loops {
+            l.wake();
+        }
+        let handles = std::mem::take(&mut *lock(&self.threads));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn run_loop(router: Arc<Router>, me: usize, wake_rx: OwnedFd, mut poller: Box<dyn Poller>) {
+    let shared = router.loops[me].clone();
+    let mut entries: HashMap<u64, Entry> = HashMap::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut chunk = vec![0u8; router.read_chunk];
+    // If the waker cannot be registered the loop degrades to timed
+    // polling so shutdown and kicks still land.
+    let waker_armed = poller
+        .add(wake_rx.as_raw_fd(), WAKE_TOKEN, Interest::READ)
+        .is_ok();
+    let timeout_ms = if waker_armed { -1 } else { 20 };
+    loop {
+        if poller.wait(&mut events, timeout_ms).is_err() {
+            break;
+        }
+        router.stats.wakeups.fetch_add(1, Ordering::Relaxed);
+        for i in 0..events.len() {
+            let ev = events[i];
+            if ev.token == WAKE_TOKEN {
+                let mut buf = [0u8; 64];
+                while sys::read_fd(wake_rx.as_raw_fd(), &mut buf) > 0 {}
+                continue;
+            }
+            if ev.readable {
+                if matches!(entries.get(&ev.token), Some(Entry::Listener { .. })) {
+                    accept_ready(&entries, &router, ev.token);
+                } else if let Some(Entry::Conn(conn)) = entries.get_mut(&ev.token) {
+                    if let Err(reason) = pump_frames(conn, &mut chunk, &router) {
+                        teardown(&mut entries, poller.as_mut(), &router, ev.token, reason);
+                    }
+                }
+            }
+            if ev.writable && entries.contains_key(&ev.token) {
+                flush_and_apply(&mut entries, poller.as_mut(), &router, ev.token);
+            }
+        }
+        drain_inbox(&router, &shared, &mut entries, poller.as_mut());
+        if router.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+    }
+    // Shutdown path: flush what the kernel will take without waiting,
+    // mark every outbox closed so senders fail fast, and drop the
+    // entries without per-connection on_close callbacks.
+    for (_, entry) in entries.drain() {
+        if let Entry::Conn(conn) = entry {
+            let mut q = lock(&conn.outbox.q);
+            while !q.buf.is_empty() {
+                let n = {
+                    let (front, _) = q.buf.as_slices();
+                    match (&conn.stream).write(front) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => n,
+                    }
+                };
+                q.buf.drain(..n);
+                router.stats.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+            }
+            q.buf.clear();
+            if q.closed.is_none() {
+                q.closed = Some(CloseReason::Closed);
+            }
+        }
+    }
+    let mut inbox = lock(&shared.inbox);
+    for inj in inbox.new.drain(..) {
+        if let Injected::Conn { outbox, .. } = inj {
+            outbox.mark_closed(CloseReason::Closed);
+        }
+    }
+    inbox.kicks.clear();
+}
+
+/// Drain pending registrations and kicks pushed by other threads.
+fn drain_inbox(
+    router: &Arc<Router>,
+    shared: &Arc<LoopShared>,
+    entries: &mut HashMap<u64, Entry>,
+    poller: &mut dyn Poller,
+) {
+    let (new, kicks) = {
+        let mut inbox = lock(&shared.inbox);
+        (
+            std::mem::take(&mut inbox.new),
+            std::mem::take(&mut inbox.kicks),
+        )
+    };
+    for inj in new {
+        match inj {
+            Injected::Conn {
+                id,
+                stream,
+                mut handler,
+                outbox,
+            } => {
+                router
+                    .stats
+                    .connections_registered
+                    .fetch_add(1, Ordering::Relaxed);
+                let fd = stream.as_raw_fd();
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err()
+                    || poller.add(fd, id, Interest::READ).is_err()
+                {
+                    outbox.mark_closed(CloseReason::ReadError);
+                    router
+                        .stats
+                        .connections_closed
+                        .fetch_add(1, Ordering::Relaxed);
+                    handler.on_close(CloseReason::ReadError);
+                    continue;
+                }
+                handler.on_open(&outbox);
+                entries.insert(
+                    id,
+                    Entry::Conn(Conn {
+                        stream,
+                        fd,
+                        handler,
+                        outbox,
+                        rbuf: Vec::new(),
+                        scanned: 0,
+                        want_write: false,
+                    }),
+                );
+                // on_open may have queued frames already.
+                flush_and_apply(entries, poller, router, id);
+            }
+            Injected::Listener {
+                id,
+                listener,
+                factory,
+            } => {
+                if poller.add(listener.as_raw_fd(), id, Interest::READ).is_ok() {
+                    entries.insert(id, Entry::Listener { listener, factory });
+                    // Connections may have queued while registration
+                    // was in flight.
+                    accept_ready(entries, router, id);
+                }
+            }
+        }
+    }
+    for id in kicks {
+        flush_and_apply(entries, poller, router, id);
+    }
+}
+
+/// Accept until the listener would block, registering each connection
+/// with the router's next loop (round-robin).
+fn accept_ready(entries: &HashMap<u64, Entry>, router: &Arc<Router>, id: u64) {
+    let Some(Entry::Listener { listener, factory }) = entries.get(&id) else {
+        return;
+    };
+    loop {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                if let Some(handler) = factory(&stream, peer) {
+                    // Shed silently if the reactor is shutting down.
+                    let _ = router.register_stream(stream, handler);
+                }
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => return,
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+            // Transient accept failures (EMFILE, ECONNABORTED): stop
+            // this round; the listener stays registered.
+            Err(_) => return,
+        }
+    }
+}
+
+/// Read until the socket would block, delivering every complete frame.
+fn pump_frames(conn: &mut Conn, chunk: &mut [u8], router: &Arc<Router>) -> Result<(), CloseReason> {
+    loop {
+        let n = match (&conn.stream).read(chunk) {
+            Ok(0) => return Err(CloseReason::PeerClosed),
+            Ok(n) => n,
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(CloseReason::ReadError),
+        };
+        router.stats.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+        conn.rbuf.extend_from_slice(&chunk[..n]);
+        let mut consumed = 0;
+        while let Some(off) = conn.rbuf[conn.scanned..].iter().position(|&b| b == b'\n') {
+            let nl = conn.scanned + off;
+            router.stats.frames_in.fetch_add(1, Ordering::Relaxed);
+            let flow = conn.handler.on_frame(&conn.rbuf[consumed..nl]);
+            consumed = nl + 1;
+            conn.scanned = consumed;
+            if flow == Flow::Close {
+                return Err(CloseReason::Handler);
+            }
+        }
+        if consumed > 0 {
+            conn.rbuf.drain(..consumed);
+        }
+        conn.scanned = conn.rbuf.len();
+        if conn.rbuf.len() > router.max_frame {
+            return Err(CloseReason::Oversize);
+        }
+    }
+}
+
+enum FlushResult {
+    /// Outbox drained; write interest can be disarmed.
+    Idle,
+    /// Socket would block with bytes left; write interest must be armed.
+    Arm,
+    /// Connection must be torn down.
+    Close(CloseReason),
+}
+
+/// Drain the outbox into the socket without blocking.
+fn flush_outbox(conn: &mut Conn, router: &Arc<Router>) -> FlushResult {
+    let mut q = lock(&conn.outbox.q);
+    if let Some(reason) = q.closed {
+        // Graceful close still flushes; every other reason is immediate.
+        if reason != CloseReason::Closed {
+            return FlushResult::Close(reason);
+        }
+    }
+    while !q.buf.is_empty() {
+        let n = {
+            let (front, _) = q.buf.as_slices();
+            match (&conn.stream).write(front) {
+                Ok(0) => return FlushResult::Close(CloseReason::WriteError),
+                Ok(n) => n,
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => return FlushResult::Arm,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return FlushResult::Close(CloseReason::WriteError),
+            }
+        };
+        q.buf.drain(..n);
+        router.stats.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+    }
+    if q.closed == Some(CloseReason::Closed) {
+        FlushResult::Close(CloseReason::Closed)
+    } else {
+        FlushResult::Idle
+    }
+}
+
+/// Flush a connection's outbox, then re-arm interest or tear down.
+fn flush_and_apply(
+    entries: &mut HashMap<u64, Entry>,
+    poller: &mut dyn Poller,
+    router: &Arc<Router>,
+    id: u64,
+) {
+    let result = match entries.get_mut(&id) {
+        Some(Entry::Conn(conn)) => flush_outbox(conn, router),
+        _ => return,
+    };
+    match result {
+        FlushResult::Idle => {
+            let rearm_failed = match entries.get_mut(&id) {
+                Some(Entry::Conn(conn)) if conn.want_write => {
+                    conn.want_write = false;
+                    poller.modify(conn.fd, id, Interest::READ).is_err()
+                }
+                _ => false,
+            };
+            if rearm_failed {
+                teardown(entries, poller, router, id, CloseReason::WriteError);
+            }
+        }
+        FlushResult::Arm => {
+            let arm_failed = match entries.get_mut(&id) {
+                Some(Entry::Conn(conn)) if !conn.want_write => {
+                    conn.want_write = true;
+                    poller.modify(conn.fd, id, Interest::READ_WRITE).is_err()
+                }
+                _ => false,
+            };
+            if arm_failed {
+                teardown(entries, poller, router, id, CloseReason::WriteError);
+            }
+        }
+        FlushResult::Close(reason) => teardown(entries, poller, router, id, reason),
+    }
+}
+
+/// Remove a connection, deregister its fd, and fire `on_close` once.
+fn teardown(
+    entries: &mut HashMap<u64, Entry>,
+    poller: &mut dyn Poller,
+    router: &Arc<Router>,
+    id: u64,
+    reason: CloseReason,
+) {
+    if let Some(Entry::Conn(mut conn)) = entries.remove(&id) {
+        let _ = poller.remove(conn.fd);
+        conn.outbox.mark_closed(reason);
+        router
+            .stats
+            .connections_closed
+            .fetch_add(1, Ordering::Relaxed);
+        conn.handler.on_close(reason);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    /// Shared recording surface the test handlers write into.
+    #[derive(Default)]
+    struct Probe {
+        frames: Mutex<Vec<Vec<u8>>>,
+        closes: Mutex<Vec<CloseReason>>,
+        outboxes: Mutex<Vec<Arc<Outbox>>>,
+    }
+
+    impl Probe {
+        fn frames(&self) -> Vec<Vec<u8>> {
+            lock(&self.frames).clone()
+        }
+        fn closes(&self) -> Vec<CloseReason> {
+            lock(&self.closes).clone()
+        }
+        fn outbox(&self) -> Option<Arc<Outbox>> {
+            lock(&self.outboxes).first().cloned()
+        }
+    }
+
+    struct ProbeConn {
+        probe: Arc<Probe>,
+        greeting: Vec<Vec<u8>>,
+        close_after: Option<usize>,
+        seen: usize,
+    }
+
+    impl ConnHandler for ProbeConn {
+        fn on_open(&mut self, outbox: &Arc<Outbox>) {
+            lock(&self.probe.outboxes).push(outbox.clone());
+            for frame in &self.greeting {
+                outbox.send(frame);
+            }
+        }
+
+        fn on_frame(&mut self, frame: &[u8]) -> Flow {
+            lock(&self.probe.frames).push(frame.to_vec());
+            self.seen += 1;
+            if self.close_after == Some(self.seen) {
+                Flow::Close
+            } else {
+                Flow::Continue
+            }
+        }
+
+        fn on_close(&mut self, reason: CloseReason) {
+            lock(&self.probe.closes).push(reason);
+        }
+    }
+
+    fn start_probe(
+        config: ReactorConfig,
+        greeting: Vec<Vec<u8>>,
+        close_after: Option<usize>,
+    ) -> (Reactor, Arc<Probe>, SocketAddr) {
+        let reactor = Reactor::start(config).unwrap();
+        let probe = Arc::new(Probe::default());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let p = probe.clone();
+        reactor
+            .listen(
+                listener,
+                Arc::new(move |_stream, _peer| {
+                    Some(Box::new(ProbeConn {
+                        probe: p.clone(),
+                        greeting: greeting.clone(),
+                        close_after,
+                        seen: 0,
+                    }) as Box<dyn ConnHandler>)
+                }),
+            )
+            .unwrap();
+        (reactor, probe, addr)
+    }
+
+    fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !cond() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn reassembles_partial_frames_across_wakeups() {
+        let (reactor, probe, addr) = start_probe(ReactorConfig::default(), vec![], None);
+        let mut client = TcpStream::connect(addr).unwrap();
+        // Split two frames across three writes with pauses so each
+        // lands in a separate readiness wakeup.
+        client.write_all(b"hel").unwrap();
+        thread::sleep(Duration::from_millis(30));
+        client.write_all(b"lo\nwor").unwrap();
+        thread::sleep(Duration::from_millis(30));
+        client.write_all(b"ld\n").unwrap();
+        wait_until("two frames", || probe.frames().len() == 2);
+        assert_eq!(probe.frames(), vec![b"hello".to_vec(), b"world".to_vec()]);
+        assert_eq!(reactor.stats().frames_in(), 2);
+        assert!(probe.closes().is_empty());
+    }
+
+    #[test]
+    fn write_backpressure_rearms_and_drains() {
+        // One 4 MiB greeting: far beyond any loopback socket buffer,
+        // so the first flush hits WOULDBLOCK and the drain must ride
+        // writable wakeups.
+        let mut frame = vec![b'x'; 4 << 20];
+        frame.push(b'\n');
+        let total = frame.len();
+        let (reactor, probe, addr) = start_probe(ReactorConfig::default(), vec![frame], None);
+        let mut client = TcpStream::connect(addr).unwrap();
+        // Let the outbox fill and write interest arm before reading.
+        wait_until("outbox queues bytes", || {
+            probe.outbox().map(|o| o.queued() > 0).unwrap_or(false)
+        });
+        let mut got = Vec::with_capacity(total);
+        let mut buf = vec![0u8; 64 << 10];
+        while got.len() < total {
+            let n = client.read(&mut buf).unwrap();
+            assert!(n > 0, "connection closed after {} bytes", got.len());
+            got.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(got.len(), total);
+        assert_eq!(got[total - 1], b'\n');
+        assert!(got[..total - 1].iter().all(|&b| b == b'x'));
+        wait_until("outbox drains", || {
+            probe.outbox().map(|o| o.queued() == 0).unwrap_or(false)
+        });
+        assert!(reactor.stats().bytes_out() >= total as u64);
+        assert!(reactor.stats().outbox_high_water() > 0);
+    }
+
+    #[test]
+    fn slow_consumer_overflow_disconnects() {
+        let config = ReactorConfig {
+            outbox_limit: 16 << 10,
+            ..ReactorConfig::default()
+        };
+        let (reactor, probe, addr) = start_probe(config, vec![], None);
+        let client = TcpStream::connect(addr).unwrap();
+        wait_until("registration", || probe.outbox().is_some());
+        let outbox = probe.outbox().unwrap();
+        // Never read on the client: the socket buffer fills, then the
+        // bounded outbox overflows and send reports the disconnect.
+        let mut frame = vec![b'y'; 1023];
+        frame.push(b'\n');
+        let mut overflowed = false;
+        for _ in 0..1_000_000 {
+            if !outbox.send(&frame) {
+                overflowed = true;
+                break;
+            }
+        }
+        assert!(overflowed, "bounded outbox never overflowed");
+        wait_until("slow-consumer close", || {
+            probe.closes() == vec![CloseReason::SlowConsumer]
+        });
+        assert_eq!(reactor.stats().slow_consumer_disconnects(), 1);
+        assert!(!outbox.send(&frame), "send after disconnect must fail");
+        drop(client);
+    }
+
+    #[test]
+    fn peer_close_mid_frame_reports_peer_closed() {
+        let (_reactor, probe, addr) = start_probe(ReactorConfig::default(), vec![], None);
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(b"incomplete frame without newline").unwrap();
+        drop(client);
+        wait_until("peer close", || !probe.closes().is_empty());
+        assert_eq!(probe.closes(), vec![CloseReason::PeerClosed]);
+        // The partial frame must not have been delivered.
+        assert!(probe.frames().is_empty());
+    }
+
+    #[test]
+    fn handler_flow_close_tears_down() {
+        let (_reactor, probe, addr) = start_probe(ReactorConfig::default(), vec![], Some(1));
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(b"bye\n").unwrap();
+        wait_until("handler close", || !probe.closes().is_empty());
+        assert_eq!(probe.closes(), vec![CloseReason::Handler]);
+        let mut buf = [0u8; 16];
+        // The reactor side closed: reads drain to EOF.
+        loop {
+            match client.read(&mut buf) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(err) => panic!("expected EOF, got {err}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversize_frame_disconnects() {
+        let config = ReactorConfig {
+            max_frame: 1024,
+            ..ReactorConfig::default()
+        };
+        let (_reactor, probe, addr) = start_probe(config, vec![], None);
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(&vec![b'z'; 4096]).unwrap();
+        wait_until("oversize close", || !probe.closes().is_empty());
+        assert_eq!(probe.closes(), vec![CloseReason::Oversize]);
+    }
+
+    #[test]
+    fn graceful_close_flushes_queued_bytes_first() {
+        let (_reactor, probe, addr) = start_probe(ReactorConfig::default(), vec![], None);
+        let mut client = TcpStream::connect(addr).unwrap();
+        wait_until("registration", || probe.outbox().is_some());
+        let outbox = probe.outbox().unwrap();
+        assert!(outbox.send(b"farewell\n"));
+        outbox.close();
+        let mut got = Vec::new();
+        client.read_to_end(&mut got).unwrap();
+        assert_eq!(got, b"farewell\n");
+        wait_until("graceful close", || !probe.closes().is_empty());
+        assert_eq!(probe.closes(), vec![CloseReason::Closed]);
+    }
+
+    #[test]
+    fn thread_count_tracks_loops_not_connections() {
+        let config = ReactorConfig {
+            event_loops: 2,
+            ..ReactorConfig::default()
+        };
+        let (reactor, probe, addr) = start_probe(config, vec![], None);
+        assert_eq!(reactor.event_loops(), 2);
+        let mut clients = Vec::new();
+        for _ in 0..64 {
+            clients.push(TcpStream::connect(addr).unwrap());
+        }
+        wait_until("64 registrations", || {
+            reactor.stats().connections_registered() == 64
+        });
+        // Every connection answers through the same two loops.
+        for (i, client) in clients.iter_mut().enumerate() {
+            client
+                .write_all(format!("ping {i}\n").as_bytes())
+                .unwrap();
+        }
+        wait_until("64 frames", || probe.frames().len() == 64);
+        assert_eq!(reactor.stats().connections_open(), 64);
+    }
+}

@@ -3,15 +3,19 @@
 //!
 //! ## Thread anatomy
 //!
-//! * **accept loop** — takes worker connections on the relay's listen
-//!   socket and spawns one `serve_member` reader per worker (plus a
-//!   writer thread per worker, channel → socket, exactly like the
-//!   dispatcher's).
+//! * **reactor event loop** — every member connection is multiplexed
+//!   onto one `jets-reactor` event loop: nonblocking reads drive the
+//!   [`MemberConn`] state machine, writes drain bounded per-member
+//!   outboxes. The worker-facing thread bill is O(1) in block size —
+//!   the old design spent a reader thread plus a writer thread (and an
+//!   unbounded channel) per member.
 //! * **upstream pump** — owns the dispatcher connection: connects (with
 //!   the PR 2 reconnect/backoff machinery), says `RelayHello`,
 //!   re-registers every member, then drains the upstream frame queue.
 //!   The queue doubles as the outage buffer: frames enqueued while the
-//!   dispatcher is away are replayed into the next session.
+//!   dispatcher is away are replayed into the next session. It is
+//!   bounded ([`RelayConfig::upqueue_limit`]) with a drop-oldest
+//!   overflow policy — see [`crate::upqueue`].
 //! * **upstream reader** — one per session; routes `RelayRegistered`
 //!   acks into the local↔global tables and unwraps routed
 //!   `RelayAssign`/`RelayCancel` envelopes to the addressed member.
@@ -28,10 +32,13 @@
 //! and the dispatcher one frame per flush period.
 
 use crate::metrics::RelayMetrics;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use jets_core::protocol::{DispatcherMsg, MsgReader, MsgWriter, WorkerMsg};
+use crate::upqueue::UpQueue;
+use jets_core::protocol::{
+    decode_msg, encode_msg_buf, DispatcherMsg, MsgReader, MsgWriter, WorkerMsg, MAX_FRAME_BYTES,
+};
 use jets_core::spec::{JobId, TaskId, WorkerId};
 use jets_obs::MetricsServer;
+use jets_reactor::{CloseReason, ConnHandler, Flow, Outbox, Reactor, ReactorConfig, ReactorStats};
 use jets_worker::ReconnectPolicy;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
@@ -67,6 +74,11 @@ pub struct RelayConfig {
     /// same machinery a worker agent uses toward the dispatcher. When
     /// attempts are exhausted the relay gives up and severs its block.
     pub reconnect: ReconnectPolicy,
+    /// High-water mark, in frames, of the bounded upstream replay
+    /// queue. At the mark the oldest frame is dropped to admit the
+    /// newest, so a long partition under a busy block caps relay memory
+    /// instead of growing it without bound.
+    pub upqueue_limit: usize,
 }
 
 impl RelayConfig {
@@ -80,6 +92,7 @@ impl RelayConfig {
             liveness_flush: Duration::from_millis(100),
             worker_stale_after: Duration::from_secs(1),
             reconnect: ReconnectPolicy::default(),
+            upqueue_limit: 65_536,
         }
     }
 
@@ -92,6 +105,12 @@ impl RelayConfig {
     /// Builder-style upstream reconnect policy.
     pub fn with_reconnect(mut self, policy: ReconnectPolicy) -> Self {
         self.reconnect = policy;
+        self
+    }
+
+    /// Builder-style replay-queue high-water mark.
+    pub fn with_upqueue_limit(mut self, limit: usize) -> Self {
+        self.upqueue_limit = limit;
         self
     }
 }
@@ -123,8 +142,9 @@ struct Member {
     /// Dispatcher-assigned id under the *current* upstream session;
     /// `None` until the `RelayRegistered` ack lands.
     global: Option<WorkerId>,
-    /// Channel to the member's writer thread.
-    tx: Sender<DispatcherMsg>,
+    /// The member's bounded reactor outbox: frames queue here and the
+    /// event loop drains them to the socket. Never blocks.
+    out: Arc<Outbox>,
     /// Socket clone for severing ([`Relay::kill`]).
     sock: Option<TcpStream>,
     /// Milliseconds since the relay epoch at which the member was last
@@ -148,10 +168,13 @@ struct State {
     members: HashMap<u64, Member>,
     /// Reverse routing table: current-session global id → local id.
     by_global: HashMap<WorkerId, u64>,
+    /// Reusable wire-encode buffer for frames sent under this lock.
+    enc: Vec<u8>,
 }
 
-/// Frames queued for the upstream pump. The queue is unbounded and
-/// survives session loss — it *is* the reconnect replay buffer.
+/// Frames queued for the upstream pump. The queue is bounded
+/// (drop-oldest at [`RelayConfig::upqueue_limit`]) and survives session
+/// loss — it *is* the reconnect replay buffer.
 enum UpFrame {
     /// Register member `local` (new member, or replay after reconnect).
     Register(u64),
@@ -181,7 +204,9 @@ struct Inner {
     epoch: Instant,
     shutdown: AtomicBool,
     state: Mutex<State>,
-    up_tx: Sender<UpFrame>,
+    /// Bounded upstream frame queue — the replay buffer across
+    /// dispatcher outages (see [`crate::upqueue`]).
+    up_q: Arc<UpQueue<UpFrame>>,
     next_local: AtomicU64,
     /// Socket of the current upstream session, for severing.
     upstream: Mutex<Option<TcpStream>>,
@@ -198,6 +223,23 @@ fn now_ms(inner: &Inner) -> u64 {
     inner.epoch.elapsed().as_millis() as u64
 }
 
+/// Queue one frame for the upstream pump, surfacing queue depth and
+/// drop-oldest evictions on the metric surface. Never blocks.
+fn queue_up(inner: &Inner, frame: UpFrame) {
+    if inner.up_q.push(frame) {
+        inner.metrics.upqueue_dropped_total.inc();
+    }
+    inner.metrics.upqueue_depth.set(inner.up_q.len() as i64);
+}
+
+/// Encode `msg` and queue it on a member's bounded outbox. Never
+/// blocks, so it is safe under the state lock; `false` means the outbox
+/// is closed or overflowed (the reactor is disconnecting the member,
+/// and the close path unwinds its state).
+fn send_member(m: &Member, enc: &mut Vec<u8>, msg: &DispatcherMsg) -> bool {
+    encode_msg_buf(msg, enc).is_ok() && m.out.send(enc)
+}
+
 /// A running relay daemon.
 ///
 /// Dropping the relay kills it abruptly (socket severance), the same
@@ -206,6 +248,9 @@ fn now_ms(inner: &Inner) -> u64 {
 pub struct Relay {
     inner: Arc<Inner>,
     addr: SocketAddr,
+    /// Member-facing event loops. Declared last so the reactor drops
+    /// (and flushes queued frames) after everything else is torn down.
+    reactor: Reactor,
 }
 
 impl Relay {
@@ -215,14 +260,22 @@ impl Relay {
     pub fn start(config: RelayConfig) -> io::Result<Relay> {
         let listener = TcpListener::bind(&config.listen_addr)?;
         let addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
-        let (up_tx, up_rx) = unbounded::<UpFrame>();
+        // One event loop multiplexes the whole block: a relay fronts a
+        // machine-room's worth of workers, not a cluster's.
+        let reactor = Reactor::start(ReactorConfig {
+            event_loops: 1,
+            max_frame: MAX_FRAME_BYTES,
+            thread_name: "relay-loop".to_string(),
+            thread_stack: CONN_STACK,
+            ..ReactorConfig::default()
+        })?;
+        let up_q = Arc::new(UpQueue::new(config.upqueue_limit));
         let inner = Arc::new(Inner {
             config,
             epoch: Instant::now(),
             shutdown: AtomicBool::new(false),
             state: Mutex::new(State::default()),
-            up_tx,
+            up_q,
             next_local: AtomicU64::new(0),
             upstream: Mutex::new(None),
             local_cancels: AtomicU64::new(0),
@@ -231,11 +284,23 @@ impl Relay {
             metrics: Arc::new(RelayMetrics::new()),
             metrics_server: Mutex::new(None),
         });
-        let accept_inner = Arc::clone(&inner);
-        thread::Builder::new()
-            .name("relay-accept".to_string())
-            .stack_size(CONN_STACK)
-            .spawn(move || accept_loop(listener, accept_inner))?;
+        let factory_inner = Arc::clone(&inner);
+        reactor.listen(
+            listener,
+            Arc::new(move |stream: &TcpStream, _peer: SocketAddr| {
+                if factory_inner.shutdown.load(Ordering::Acquire) {
+                    return None;
+                }
+                Some(Box::new(MemberConn {
+                    inner: Arc::clone(&factory_inner),
+                    outbox: None,
+                    // Clone taken before the reactor owns the stream, so
+                    // kill()/give_up() can sever the member later.
+                    sock: stream.try_clone().ok(),
+                    state: MemberConnState::Handshake,
+                }) as Box<dyn ConnHandler>)
+            }),
+        )?;
         let tick_inner = Arc::clone(&inner);
         thread::Builder::new()
             .name("relay-tick".to_string())
@@ -245,8 +310,12 @@ impl Relay {
         thread::Builder::new()
             .name("relay-pump".to_string())
             .stack_size(CONN_STACK)
-            .spawn(move || upstream_pump(pump_inner, up_rx))?;
-        Ok(Relay { inner, addr })
+            .spawn(move || upstream_pump(pump_inner))?;
+        Ok(Relay {
+            inner,
+            addr,
+            reactor,
+        })
     }
 
     /// Address workers should connect to (in place of a dispatcher's).
@@ -283,6 +352,12 @@ impl Relay {
     /// This relay's live metric handles.
     pub fn metrics(&self) -> Arc<RelayMetrics> {
         Arc::clone(&self.inner.metrics)
+    }
+
+    /// Live counters from the member-facing reactor (connections,
+    /// wakeups, outbox high-water, slow-consumer disconnects).
+    pub fn reactor_stats(&self) -> Arc<ReactorStats> {
+        self.reactor.stats()
     }
 
     /// Serve `GET /metrics` (Prometheus text) and `GET /healthz` on
@@ -328,9 +403,10 @@ impl Relay {
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::Release);
         {
-            let st = self.inner.state.lock();
-            for m in st.members.values() {
-                let _ = m.tx.send(DispatcherMsg::Shutdown);
+            let mut st = self.inner.state.lock();
+            let State { members, enc, .. } = &mut *st;
+            for m in members.values() {
+                send_member(m, enc, &DispatcherMsg::Shutdown);
             }
         }
         if let Some(sock) = self.inner.upstream.lock().take() {
@@ -345,70 +421,82 @@ impl Drop for Relay {
     }
 }
 
-fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
-    let mut backoff = Duration::from_micros(500);
-    loop {
-        if inner.shutdown.load(Ordering::Acquire) {
-            return;
-        }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                backoff = Duration::from_micros(500);
-                let member_inner = Arc::clone(&inner);
-                // Thread exhaustion is worker-drivable load: shed this
-                // connection (the worker retries) instead of panicking
-                // the relay and orphaning its whole block.
-                if thread::Builder::new()
-                    .name("relay-member".to_string())
-                    .stack_size(CONN_STACK)
-                    .spawn(move || serve_member(stream, member_inner))
-                    .is_err()
-                {
-                    continue;
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                thread::sleep(backoff);
-                backoff = (backoff * 2).min(Duration::from_millis(10));
-            }
-            Err(_) => return,
-        }
-    }
-}
-
 fn liveness_ticker(inner: Arc<Inner>) {
     loop {
         if inner.shutdown.load(Ordering::Acquire) {
             return;
         }
         thread::sleep(inner.config.liveness_flush);
-        if inner.up_tx.send(UpFrame::Flush).is_err() {
-            return;
-        }
+        queue_up(&inner, UpFrame::Flush);
     }
 }
 
-/// Reader side of one member connection; speaks the ordinary worker
-/// protocol — a worker cannot tell a relay from a dispatcher.
-fn serve_member(stream: TcpStream, inner: Arc<Inner>) {
-    stream.set_nodelay(true).ok();
-    let write_half = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let sock = stream.try_clone().ok();
-    let mut reader = MsgReader::new(BufReader::new(stream));
+/// One member connection as a reactor state machine; speaks the
+/// ordinary worker protocol — a worker cannot tell a relay from a
+/// dispatcher. Replaces the old per-member reader + writer threads.
+struct MemberConn {
+    inner: Arc<Inner>,
+    /// The reactor-managed write side, captured in `on_open`.
+    outbox: Option<Arc<Outbox>>,
+    /// Socket clone taken at accept time; moves into the member table
+    /// at registration so [`Relay::kill`] can sever it.
+    sock: Option<TcpStream>,
+    state: MemberConnState,
+}
 
-    // Handshake: first message must be Register (relays do not chain).
-    // Anything else is a protocol violation with no member state yet to
-    // unwind — drop the connection.
-    let (name, cores, location) = match reader.recv::<WorkerMsg>() {
-        Ok(Some(WorkerMsg::Register {
-            name,
-            cores,
-            location,
-        })) => (name, cores, location),
-        Ok(Some(
+enum MemberConnState {
+    /// Waiting for the first frame, which must be `Register`.
+    Handshake,
+    /// Registered as member `local`.
+    Registered {
+        /// The member's relay-local id.
+        local: u64,
+        /// The member's last-heard clock, shared with the member table
+        /// (lock-free; the event loop stores, the flush path loads).
+        last_heard: Arc<AtomicU64>,
+    },
+}
+
+impl ConnHandler for MemberConn {
+    fn on_open(&mut self, outbox: &Arc<Outbox>) {
+        self.outbox = Some(Arc::clone(outbox));
+    }
+
+    fn on_frame(&mut self, frame: &[u8]) -> Flow {
+        // An unparseable frame is a protocol violation; sever. The
+        // close path unwinds whatever state the member had.
+        let Ok(msg) = decode_msg::<WorkerMsg>(frame) else {
+            return Flow::Close;
+        };
+        if matches!(self.state, MemberConnState::Handshake) {
+            self.on_handshake(msg)
+        } else {
+            self.on_member(msg)
+        }
+    }
+
+    fn on_close(&mut self, _reason: CloseReason) {
+        if let MemberConnState::Registered { local, .. } =
+            std::mem::replace(&mut self.state, MemberConnState::Handshake)
+        {
+            member_down(&self.inner, local);
+        }
+        // A connection that never finished its handshake registered no
+        // state; nothing to unwind.
+    }
+}
+
+impl MemberConn {
+    /// Handshake: the first message must be `Register` (relays do not
+    /// chain). Anything else is a protocol violation with no member
+    /// state yet to unwind — drop the connection.
+    fn on_handshake(&mut self, msg: WorkerMsg) -> Flow {
+        let (name, cores, location) = match msg {
+            WorkerMsg::Register {
+                name,
+                cores,
+                location,
+            } => (name, cores, location),
             WorkerMsg::Request
             | WorkerMsg::Done { .. }
             | WorkerMsg::Heartbeat
@@ -418,114 +506,104 @@ fn serve_member(stream: TcpStream, inner: Arc<Inner>) {
             | WorkerMsg::RelayRequest { .. }
             | WorkerMsg::RelayDone { .. }
             | WorkerMsg::BatchedHeartbeat { .. }
-            | WorkerMsg::RelayWorkerGone { .. },
-        ))
-        | Ok(None)
-        | Err(_) => return,
-    };
-    let local = inner.next_local.fetch_add(1, Ordering::Relaxed);
-
-    let (tx, rx) = unbounded::<DispatcherMsg>();
-    // No writer thread means this member cannot be serviced: sever
-    // before any state is registered and let the worker reconnect.
-    if thread::Builder::new()
-        .name(format!("relay-mwrite-{local}"))
-        .stack_size(CONN_STACK)
-        .spawn(move || {
-            let mut writer = MsgWriter::new(write_half);
-            while let Ok(msg) = rx.recv() {
-                if writer.send(&msg).is_err() {
-                    return;
-                }
-            }
-        })
-        .is_err()
-    {
-        return;
+            | WorkerMsg::RelayWorkerGone { .. } => return Flow::Close,
+        };
+        let Some(outbox) = &self.outbox else {
+            return Flow::Close;
+        };
+        let local = self.inner.next_local.fetch_add(1, Ordering::Relaxed);
+        let last_heard = Arc::new(AtomicU64::new(now_ms(&self.inner)));
+        {
+            let mut st = self.inner.state.lock();
+            st.members.insert(
+                local,
+                Member {
+                    name,
+                    cores,
+                    location,
+                    global: None,
+                    out: Arc::clone(outbox),
+                    sock: self.sock.take(),
+                    last_heard: Arc::clone(&last_heard),
+                    inflight: None,
+                    wants_work: false,
+                    pending_done: None,
+                },
+            );
+            self.inner.metrics.members.set(st.members.len() as i64);
+        }
+        // The worker's Registered ack is sent only once the dispatcher
+        // acks the forwarded registration, so a member can never race
+        // ahead of its own global id.
+        queue_up(&self.inner, UpFrame::Register(local));
+        self.state = MemberConnState::Registered { local, last_heard };
+        Flow::Continue
     }
 
-    let last_heard = Arc::new(AtomicU64::new(now_ms(&inner)));
-    {
-        let mut st = inner.state.lock();
-        st.members.insert(
-            local,
-            Member {
-                name,
-                cores,
-                location,
-                global: None,
-                tx,
-                sock,
-                last_heard: Arc::clone(&last_heard),
-                inflight: None,
-                wants_work: false,
-                pending_done: None,
-            },
-        );
-        inner.metrics.members.set(st.members.len() as i64);
-    }
-    // The worker's Registered ack is sent only once the dispatcher acks
-    // the forwarded registration, so a member can never race ahead of
-    // its own global id.
-    let _ = inner.up_tx.send(UpFrame::Register(local));
-
-    loop {
-        match reader.recv::<WorkerMsg>() {
-            Ok(Some(WorkerMsg::Request)) => {
+    /// One frame from a registered member.
+    fn on_member(&self, msg: WorkerMsg) -> Flow {
+        let MemberConnState::Registered { local, last_heard } = &self.state else {
+            return Flow::Close;
+        };
+        let local = *local;
+        match msg {
+            WorkerMsg::Request => {
                 // jets-lint: allow(relaxed) liveness timestamp only: the flush filter tolerates staleness; ordering is irrelevant
-                last_heard.store(now_ms(&inner), Ordering::Relaxed);
+                last_heard.store(now_ms(&self.inner), Ordering::Relaxed);
                 {
-                    let mut st = inner.state.lock();
+                    let mut st = self.inner.state.lock();
                     if let Some(m) = st.members.get_mut(&local) {
                         m.wants_work = true;
                     }
                 }
-                let _ = inner.up_tx.send(UpFrame::Request(local));
+                queue_up(&self.inner, UpFrame::Request(local));
+                Flow::Continue
             }
-            Ok(Some(WorkerMsg::Done {
+            WorkerMsg::Done {
                 task_id,
                 exit_code,
                 wall_ms,
                 output,
-            })) => {
+            } => {
                 // jets-lint: allow(relaxed) liveness timestamp only: the flush filter tolerates staleness; ordering is irrelevant
-                last_heard.store(now_ms(&inner), Ordering::Relaxed);
+                last_heard.store(now_ms(&self.inner), Ordering::Relaxed);
                 {
-                    let mut st = inner.state.lock();
+                    let mut st = self.inner.state.lock();
                     if let Some(m) = st.members.get_mut(&local) {
                         m.inflight = None;
                     }
                 }
-                let _ = inner.up_tx.send(UpFrame::Done {
-                    local,
-                    task_id,
-                    exit_code,
-                    wall_ms,
-                    output,
-                });
+                queue_up(
+                    &self.inner,
+                    UpFrame::Done {
+                        local,
+                        task_id,
+                        exit_code,
+                        wall_ms,
+                        output,
+                    },
+                );
+                Flow::Continue
             }
             // The relay-local liveness hot path: one relaxed store, no
             // lock, no upstream frame — the flush batches it.
-            Ok(Some(WorkerMsg::Heartbeat)) => {
+            WorkerMsg::Heartbeat => {
                 // jets-lint: allow(relaxed) liveness timestamp only: the flush filter tolerates staleness; ordering is irrelevant
-                last_heard.store(now_ms(&inner), Ordering::Relaxed);
+                last_heard.store(now_ms(&self.inner), Ordering::Relaxed);
+                Flow::Continue
             }
-            Ok(Some(WorkerMsg::Goodbye)) | Ok(None) => break,
+            WorkerMsg::Goodbye => Flow::Close,
             // Relay-scoped frames (or a second Register) on a member
             // connection are protocol violations; sever.
-            Ok(Some(
-                WorkerMsg::Register { .. }
-                | WorkerMsg::RelayHello { .. }
-                | WorkerMsg::RelayRegister { .. }
-                | WorkerMsg::RelayRequest { .. }
-                | WorkerMsg::RelayDone { .. }
-                | WorkerMsg::BatchedHeartbeat { .. }
-                | WorkerMsg::RelayWorkerGone { .. },
-            ))
-            | Err(_) => break,
+            WorkerMsg::Register { .. }
+            | WorkerMsg::RelayHello { .. }
+            | WorkerMsg::RelayRegister { .. }
+            | WorkerMsg::RelayRequest { .. }
+            | WorkerMsg::RelayDone { .. }
+            | WorkerMsg::BatchedHeartbeat { .. }
+            | WorkerMsg::RelayWorkerGone { .. } => Flow::Close,
         }
     }
-    member_down(&inner, local);
 }
 
 /// A member's connection dropped. Remove it, fan gang cancellation out
@@ -534,11 +612,16 @@ fn serve_member(stream: TcpStream, inner: Arc<Inner>) {
 fn member_down(inner: &Inner, local: u64) {
     let (gone_global, cancels) = {
         let mut st = inner.state.lock();
-        let Some(m) = st.members.remove(&local) else {
+        let State {
+            members,
+            by_global,
+            enc,
+        } = &mut *st;
+        let Some(m) = members.remove(&local) else {
             return;
         };
         if let Some(g) = m.global {
-            st.by_global.remove(&g);
+            by_global.remove(&g);
         }
         let mut cancels = 0u64;
         if let Some((_, job)) = m.inflight {
@@ -546,22 +629,22 @@ fn member_down(inner: &Inner, local: u64) {
             // reaches same-relay survivors immediately; the dispatcher's
             // own RelayCancel for them arrives later and is ignored as a
             // duplicate by the worker.
-            for sib in st.members.values() {
+            for sib in members.values() {
                 if let Some((sib_task, sib_job)) = sib.inflight {
                     if sib_job == job {
-                        let _ = sib.tx.send(DispatcherMsg::Cancel { task_id: sib_task });
+                        send_member(sib, enc, &DispatcherMsg::Cancel { task_id: sib_task });
                         cancels += 1;
                     }
                 }
             }
         }
-        inner.metrics.members.set(st.members.len() as i64);
+        inner.metrics.members.set(members.len() as i64);
         (m.global, cancels)
     };
     inner.local_cancels.fetch_add(cancels, Ordering::Relaxed);
     inner.metrics.local_cancels_total.add(cancels);
     if let Some(worker) = gone_global {
-        let _ = inner.up_tx.send(UpFrame::Gone(worker));
+        queue_up(inner, UpFrame::Gone(worker));
     }
     // A member that died before its ack simply never existed upstream;
     // if the ack is in flight, the routed reply path reports it gone.
@@ -592,7 +675,7 @@ fn interruptible_sleep(inner: &Inner, mut dur: Duration) {
 
 /// The upstream pump: connect (with backoff) → hello → re-register the
 /// block → drain the frame queue until the session dies, then repeat.
-fn upstream_pump(inner: Arc<Inner>, up_rx: Receiver<UpFrame>) {
+fn upstream_pump(inner: Arc<Inner>) {
     let policy = inner.config.reconnect.clone();
     let mut failed_attempts: u32 = 0;
     let mut jitter_state = policy.seed.max(1);
@@ -694,10 +777,9 @@ fn upstream_pump(inner: Arc<Inner>, up_rx: Receiver<UpFrame>) {
             && !inner.shutdown.load(Ordering::Acquire)
             && !session_dead.load(Ordering::Acquire)
         {
-            match up_rx.recv_timeout(Duration::from_millis(25)) {
-                Ok(frame) => session_ok = forward(&inner, &mut writer, frame, &mut sent),
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => return,
+            if let Some(frame) = inner.up_q.pop_timeout(Duration::from_millis(25)) {
+                inner.metrics.upqueue_depth.set(inner.up_q.len() as i64);
+                session_ok = forward(&inner, &mut writer, frame, &mut sent);
             }
         }
 
@@ -846,66 +928,85 @@ fn handle_upstream(inner: &Inner, msg: DispatcherMsg) -> bool {
         DispatcherMsg::Registered { .. } => true,
         DispatcherMsg::RelayRegistered { local, worker_id } => {
             let mut st = inner.state.lock();
-            if let Some(m) = st.members.get_mut(&local) {
+            let State {
+                members,
+                by_global,
+                enc,
+            } = &mut *st;
+            if let Some(m) = members.get_mut(&local) {
                 m.global = Some(worker_id);
                 // The member's own Registered completes its handshake
                 // (a re-registration's duplicate ack is ignored by the
                 // agent's inbox loop).
-                let _ = m.tx.send(DispatcherMsg::Registered { worker_id });
+                send_member(m, enc, &DispatcherMsg::Registered { worker_id });
                 // Replay traffic held across the outage, in order.
                 if let Some((task_id, exit_code, wall_ms, output)) = m.pending_done.take() {
-                    let _ = inner.up_tx.send(UpFrame::Done {
-                        local,
-                        task_id,
-                        exit_code,
-                        wall_ms,
-                        output,
-                    });
+                    queue_up(
+                        inner,
+                        UpFrame::Done {
+                            local,
+                            task_id,
+                            exit_code,
+                            wall_ms,
+                            output,
+                        },
+                    );
                 }
                 if m.wants_work {
-                    let _ = inner.up_tx.send(UpFrame::Request(local));
+                    queue_up(inner, UpFrame::Request(local));
                 }
-                st.by_global.insert(worker_id, local);
+                by_global.insert(worker_id, local);
             } else {
                 // The member left between registration and ack.
-                let _ = inner.up_tx.send(UpFrame::Gone(worker_id));
+                queue_up(inner, UpFrame::Gone(worker_id));
             }
             true
         }
         DispatcherMsg::RelayAssign { worker, assignment } => {
             let mut st = inner.state.lock();
-            let local = st.by_global.get(&worker).copied();
-            match local.and_then(|l| st.members.get_mut(&l)) {
+            let State {
+                members,
+                by_global,
+                enc,
+            } = &mut *st;
+            let local = by_global.get(&worker).copied();
+            match local.and_then(|l| members.get_mut(&l)) {
                 Some(m) => {
                     m.inflight = Some((assignment.task_id, assignment.job_id));
                     m.wants_work = false;
-                    let _ = m.tx.send(DispatcherMsg::Assign(assignment));
+                    send_member(m, enc, &DispatcherMsg::Assign(assignment));
                 }
                 None => {
                     // Assigned to a member that just died; tell the
                     // dispatcher so it tears the gang down promptly.
-                    let _ = inner.up_tx.send(UpFrame::Gone(worker));
+                    queue_up(inner, UpFrame::Gone(worker));
                 }
             }
             true
         }
         DispatcherMsg::RelayCancel { worker, task_id } => {
             let mut st = inner.state.lock();
-            let local = st.by_global.get(&worker).copied();
-            if let Some(m) = local.and_then(|l| st.members.get_mut(&l)) {
+            let State {
+                members,
+                by_global,
+                enc,
+            } = &mut *st;
+            let local = by_global.get(&worker).copied();
+            if let Some(m) = local.and_then(|l| members.get_mut(&l)) {
                 if m.inflight.map(|(t, _)| t) == Some(task_id) {
                     m.inflight = None;
                 }
-                let _ = m.tx.send(DispatcherMsg::Cancel { task_id });
+                send_member(m, enc, &DispatcherMsg::Cancel { task_id });
             }
             true
         }
         DispatcherMsg::Shutdown => {
             // Fan the shutdown out to the block and stop.
             inner.shutdown.store(true, Ordering::Release);
-            let st = inner.state.lock();
-            for m in st.members.values() {
-                let _ = m.tx.send(DispatcherMsg::Shutdown);
+            let mut st = inner.state.lock();
+            let State { members, enc, .. } = &mut *st;
+            for m in members.values() {
+                send_member(m, enc, &DispatcherMsg::Shutdown);
             }
             false
         }

@@ -36,6 +36,7 @@
 
 pub mod daemon;
 pub mod metrics;
+pub mod upqueue;
 
 pub use daemon::{Relay, RelayConfig, RelayStats};
 pub use metrics::RelayMetrics;

@@ -22,6 +22,10 @@ pub struct RelayMetrics {
     pub local_cancels_total: Arc<Counter>,
     /// Batched liveness frames sent upstream.
     pub batched_heartbeats_total: Arc<Counter>,
+    /// Frames waiting in the bounded upstream replay queue.
+    pub upqueue_depth: Arc<Gauge>,
+    /// Frames evicted by the replay queue's drop-oldest overflow policy.
+    pub upqueue_dropped_total: Arc<Counter>,
 }
 
 impl RelayMetrics {
@@ -45,6 +49,14 @@ impl RelayMetrics {
             batched_heartbeats_total: r.counter(
                 "jets_relay_batched_heartbeats_total",
                 "Batched liveness frames sent upstream",
+            ),
+            upqueue_depth: r.gauge(
+                "jets_relay_upqueue_depth",
+                "Frames waiting in the bounded upstream replay queue",
+            ),
+            upqueue_dropped_total: r.counter(
+                "jets_relay_upqueue_dropped_total",
+                "Frames evicted by the replay queue's drop-oldest policy",
             ),
             registry: r,
         }
@@ -83,6 +95,8 @@ mod tests {
             "jets_relay_upstream_sessions_total",
             "jets_relay_local_cancels_total",
             "jets_relay_batched_heartbeats_total",
+            "jets_relay_upqueue_depth",
+            "jets_relay_upqueue_dropped_total",
         ] {
             assert!(text.contains(name), "missing {name} in render");
         }

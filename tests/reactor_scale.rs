@@ -1,0 +1,81 @@
+//! Tier-1 acceptance for the event-driven connection core: with 512
+//! live worker connections, the dispatcher's OS thread count stays
+//! O(event loops), not O(connections). Under the old design every
+//! connection cost a blocking reader thread plus a writer thread, so
+//! this workload would have added ~1024 threads; the reactor multiplexes
+//! all of it onto the fixed event-loop pool.
+//!
+//! Linux-only: the thread census reads `/proc/self/status`.
+#![cfg(target_os = "linux")]
+
+use jets::core::protocol::{read_msg, write_msg, DispatcherMsg, WorkerMsg};
+use jets::core::{Dispatcher, DispatcherConfig};
+use std::io::BufReader;
+use std::net::TcpStream;
+
+/// Connections held open simultaneously (the issue's floor).
+const CONNS: usize = 512;
+
+/// Thread-count slack: the monitor, the metrics responder, the test
+/// harness's own threads. Far below one-per-connection either way.
+const SLACK: usize = 32;
+
+/// `Threads:` from `/proc/self/status` — every thread in this process.
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .expect("read /proc/self/status")
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line in /proc/self/status")
+}
+
+#[test]
+fn thread_bill_is_o_event_loops_at_512_connections() {
+    let d = Dispatcher::start(DispatcherConfig::default()).unwrap();
+    let addr = d.addr().to_string();
+    // Snapshot after start: the event loops and monitor are running, so
+    // any growth from here on is attributable to connections.
+    let before = thread_count();
+
+    // 512 raw workers, registered sequentially over blocking sockets
+    // and held open. No client-side threads: the register ack proves
+    // the dispatcher processed each handshake.
+    let mut conns = Vec::with_capacity(CONNS);
+    for i in 0..CONNS {
+        let sock = TcpStream::connect(&addr).unwrap();
+        let mut writer = sock.try_clone().unwrap();
+        let mut reader = BufReader::new(sock);
+        write_msg(
+            &mut writer,
+            &WorkerMsg::Register {
+                name: format!("scale-{i}"),
+                cores: 1,
+                location: "scale".to_string(),
+            },
+        )
+        .unwrap();
+        let ack: Option<DispatcherMsg> = read_msg(&mut reader).unwrap();
+        assert!(
+            matches!(ack, Some(DispatcherMsg::Registered { .. })),
+            "connection {i}: expected Registered ack, got {ack:?}"
+        );
+        conns.push((reader, writer));
+    }
+
+    assert_eq!(d.alive_workers(), CONNS, "all raw workers registered");
+    let after = thread_count();
+    let grown = after.saturating_sub(before);
+    assert!(
+        grown < SLACK,
+        "thread count grew by {grown} across {CONNS} connections \
+         (before={before}, after={after}); the reactor should hold it O(event loops)"
+    );
+    assert!(
+        d.reactor_event_loops() < SLACK,
+        "event-loop pool itself should be small"
+    );
+
+    d.shutdown();
+    drop(conns);
+}
