@@ -34,6 +34,14 @@ pub enum FaultAction {
     Partition,
     /// A calm tick: inject nothing.
     Calm,
+    /// Kill the dispatcher abruptly — no goodbyes, journal left where
+    /// it lies — via [`DispatcherHooks::kill`]. Fires only on injectors
+    /// started with [`ChaosInjector::start_with_dispatcher`]; seeded
+    /// plans never draw it (dispatcher faults are scripted, not rolled).
+    KillDispatcher,
+    /// Bring the dispatcher back (typically restarting from its
+    /// journal) via [`DispatcherHooks::restart`].
+    RestartDispatcher,
 }
 
 /// One scheduled fault.
@@ -114,6 +122,33 @@ impl FaultPlan {
         }
         FaultPlan { events }
     }
+
+    /// A plan from an explicit event list (sorted by firing time).
+    /// This is how dispatcher faults enter a plan: a crash-recovery
+    /// test scripts `KillDispatcher` / `RestartDispatcher` at chosen
+    /// offsets, optionally splicing them into a seeded worker-fault
+    /// storm.
+    pub fn scripted(mut events: Vec<FaultEvent>) -> FaultPlan {
+        events.sort_by_key(|e| e.at);
+        FaultPlan { events }
+    }
+}
+
+/// Recorded target index for dispatcher-scoped faults (there is no
+/// worker victim to name).
+pub const DISPATCHER_TARGET: usize = usize::MAX;
+
+/// Callbacks the chaos thread fires for dispatcher-scoped faults.
+///
+/// Worker faults act on the [`Allocation`] handle the injector holds;
+/// the dispatcher belongs to the test harness, so killing and
+/// restarting it are delegated to these hooks — typically closures over
+/// the harness's dispatcher slot and its journal path.
+pub struct DispatcherHooks {
+    /// Fired on [`FaultAction::KillDispatcher`].
+    pub kill: Box<dyn FnMut() + Send>,
+    /// Fired on [`FaultAction::RestartDispatcher`].
+    pub restart: Box<dyn FnMut() + Send>,
 }
 
 /// A running chaos injector replaying a [`FaultPlan`].
@@ -124,8 +159,29 @@ pub struct ChaosInjector {
 
 impl ChaosInjector {
     /// Start replaying `plan` against `allocation` on a background
-    /// thread. Event times are measured from this call.
+    /// thread. Event times are measured from this call. Dispatcher
+    /// faults in the plan are skipped (no hooks); use
+    /// [`ChaosInjector::start_with_dispatcher`] to honour them.
     pub fn start(allocation: Arc<Allocation>, plan: FaultPlan) -> ChaosInjector {
+        Self::launch(allocation, plan, None)
+    }
+
+    /// Start replaying `plan`, with dispatcher-scoped faults delegated
+    /// to `hooks`. Dispatcher faults record
+    /// [`DISPATCHER_TARGET`] as their applied index.
+    pub fn start_with_dispatcher(
+        allocation: Arc<Allocation>,
+        plan: FaultPlan,
+        hooks: DispatcherHooks,
+    ) -> ChaosInjector {
+        Self::launch(allocation, plan, Some(hooks))
+    }
+
+    fn launch(
+        allocation: Arc<Allocation>,
+        plan: FaultPlan,
+        mut hooks: Option<DispatcherHooks>,
+    ) -> ChaosInjector {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let handle = thread::Builder::new()
@@ -151,6 +207,14 @@ impl ChaosInjector {
                             allocation.partition_one_of(|live| live[roll % live.len()])
                         }
                         FaultAction::Calm => None,
+                        FaultAction::KillDispatcher => hooks.as_mut().map(|h| {
+                            (h.kill)();
+                            DISPATCHER_TARGET
+                        }),
+                        FaultAction::RestartDispatcher => hooks.as_mut().map(|h| {
+                            (h.restart)();
+                            DISPATCHER_TARGET
+                        }),
                     };
                     if let Some(idx) = hit {
                         applied.push((ev.action, idx));
@@ -215,6 +279,58 @@ mod tests {
             .filter(|e| e.action == FaultAction::Kill)
             .count();
         assert_eq!(kills, 2, "kill-heavy mix must still respect the cap");
+    }
+
+    #[test]
+    fn scripted_dispatcher_faults_fire_hooks_in_order() {
+        use std::sync::atomic::AtomicU32;
+        // No live workers needed: the plan touches only the dispatcher.
+        let d = jets_core::Dispatcher::start(jets_core::DispatcherConfig::default()).unwrap();
+        let alloc = Arc::new(crate::allocation::Allocation::start(
+            &d.addr().to_string(),
+            crate::allocation::AllocationConfig::new(0),
+            Arc::new(jets_worker::Executor::new(
+                jets_worker::apps::standard_registry(),
+            )),
+        ));
+        let plan = FaultPlan::scripted(vec![
+            FaultEvent {
+                at: Duration::from_millis(30),
+                action: FaultAction::RestartDispatcher,
+                roll: 0,
+            },
+            FaultEvent {
+                at: Duration::from_millis(10),
+                action: FaultAction::KillDispatcher,
+                roll: 0,
+            },
+        ]);
+        // scripted() sorts by firing time: kill precedes restart.
+        assert_eq!(plan.events[0].action, FaultAction::KillDispatcher);
+        let seq = Arc::new(AtomicU32::new(0));
+        let (ks, rs) = (Arc::clone(&seq), Arc::clone(&seq));
+        let kill_at = Arc::new(AtomicU32::new(0));
+        let restart_at = Arc::new(AtomicU32::new(0));
+        let (ka, ra) = (Arc::clone(&kill_at), Arc::clone(&restart_at));
+        let hooks = DispatcherHooks {
+            kill: Box::new(move || {
+                ka.store(ks.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
+            }),
+            restart: Box::new(move || {
+                ra.store(rs.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
+            }),
+        };
+        let applied = ChaosInjector::start_with_dispatcher(alloc, plan, hooks).join();
+        assert_eq!(
+            applied,
+            vec![
+                (FaultAction::KillDispatcher, DISPATCHER_TARGET),
+                (FaultAction::RestartDispatcher, DISPATCHER_TARGET),
+            ]
+        );
+        assert_eq!(kill_at.load(Ordering::SeqCst), 1, "kill fired first");
+        assert_eq!(restart_at.load(Ordering::SeqCst), 2, "restart fired second");
+        d.shutdown();
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub mod workload;
 
 pub use allocation::{Allocation, AllocationConfig};
 pub use apps::{register_namd, science_registry};
-pub use chaos::{ChaosInjector, FaultAction, FaultEvent, FaultMix, FaultPlan};
+pub use chaos::{
+    ChaosInjector, DispatcherHooks, FaultAction, FaultEvent, FaultMix, FaultPlan,
+    DISPATCHER_TARGET,
+};
 pub use faults::FaultInjector;
 pub use relays::{RelayedAllocation, RelayedAllocationConfig};
 pub use spectrum::{halving_spectrum, linear_wait, SpectrumAllocator};

@@ -3,8 +3,10 @@
 //! ```text
 //! jets TASKFILE [--listen ADDR] [--simulate N] [--timeout SECS]
 //!               [--events-out FILE] [--metrics-addr ADDR]
+//!               [--journal FILE] [--fsync-policy always|interval|never]
 //! jets events --in FILE [--nodes N] [--step-ms MS] [--stats]
 //! jets top --metrics ADDR [--interval-ms MS] [--once]
+//! jets journal <dump|verify> FILE
 //! jets bench-conn [--conns N] [--frames M] [--loops L]
 //!                 [--workers W] [--jobs J] [--out FILE]
 //! ```
@@ -26,6 +28,13 @@
 //! `GET /healthz` off the running dispatcher; `jets top --metrics ADDR`
 //! polls that endpoint and renders a one-screen cluster snapshot. See
 //! `docs/observability.md`.
+//!
+//! `--journal FILE` makes the dispatcher keep a crash-recovery
+//! write-ahead journal; re-running with the same file resumes the
+//! batch's unfinished jobs (see `docs/fault-tolerance.md`). `jets
+//! journal dump FILE` prints a journal's records; `jets journal verify
+//! FILE` checks its integrity and summarizes what a restart would
+//! recover.
 
 use cluster_sim::{science_registry, Allocation, AllocationConfig};
 use jets_cli::prom::Scrape;
@@ -51,6 +60,10 @@ fn main() {
         let args = parse_args(argv.into_iter().skip(1), &["metrics", "interval-ms"]);
         top_main(&args);
     }
+    if argv.first().map(String::as_str) == Some("journal") {
+        let args = parse_args(argv.into_iter().skip(1), &[]);
+        journal_main(&args);
+    }
     if argv.first().map(String::as_str) == Some("bench-conn") {
         let args = parse_args(
             argv.into_iter().skip(1),
@@ -60,11 +73,19 @@ fn main() {
     }
     let args = parse_args(
         argv,
-        &["listen", "simulate", "timeout", "events-out", "metrics-addr"],
+        &[
+            "listen",
+            "simulate",
+            "timeout",
+            "events-out",
+            "metrics-addr",
+            "journal",
+            "fsync-policy",
+        ],
     );
     let Some(taskfile) = args.positional.first() else {
         eprintln!(
-            "usage: jets TASKFILE [--listen ADDR] [--simulate N] [--timeout SECS] [--events-out FILE] [--metrics-addr ADDR]\n       jets events --in FILE [--nodes N] [--step-ms MS] [--stats]\n       jets top --metrics ADDR [--interval-ms MS] [--once]"
+            "usage: jets TASKFILE [--listen ADDR] [--simulate N] [--timeout SECS] [--events-out FILE] [--metrics-addr ADDR] [--journal FILE] [--fsync-policy always|interval|never]\n       jets events --in FILE [--nodes N] [--step-ms MS] [--stats]\n       jets top --metrics ADDR [--interval-ms MS] [--once]\n       jets journal <dump|verify> FILE"
         );
         std::process::exit(2);
     };
@@ -75,8 +96,20 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let fsync_policy = match args.get("fsync-policy") {
+        None => jets_core::FsyncPolicy::Always,
+        Some(s) => match jets_core::FsyncPolicy::parse(s) {
+            Some(p) => p,
+            None => {
+                eprintln!("jets: bad --fsync-policy {s:?} (always | interval | never)");
+                std::process::exit(2);
+            }
+        },
+    };
     let config = DispatcherConfig {
         bind_addr: args.get("listen").unwrap_or("127.0.0.1:0").to_string(),
+        journal: args.get("journal").map(std::path::PathBuf::from),
+        fsync_policy,
         ..DispatcherConfig::default()
     };
     let dispatcher = match Dispatcher::start(config) {
@@ -87,6 +120,12 @@ fn main() {
         }
     };
     println!("jets: dispatcher listening on {}", dispatcher.addr());
+    if let Some(path) = args.get("journal") {
+        println!("jets: journaling state transitions to {path}");
+        if dispatcher.recovering() {
+            println!("jets: reconciling jobs recovered from a previous run");
+        }
+    }
     if let Some(addr) = args.get("metrics-addr") {
         match dispatcher.serve_metrics(addr) {
             Ok(local) => println!("jets: serving http://{local}/metrics"),
@@ -300,6 +339,69 @@ fn print_phase_stats(events: &[jets_core::Event]) {
             fmt(&row.run.snapshot())
         );
     }
+}
+
+/// `jets journal <dump|verify> FILE`: inspect a dispatcher write-ahead
+/// journal offline. `dump` prints every intact record in append order;
+/// `verify` checks framing integrity and summarizes what a restart
+/// would recover. Both tolerate a torn tail (the crash case the journal
+/// exists for) and report how many bytes it cost; a file that is not a
+/// journal at all is an error.
+fn journal_main(args: &Args) -> ! {
+    let (Some(action), Some(path)) = (
+        args.positional.first().map(String::as_str),
+        args.positional.get(1),
+    ) else {
+        eprintln!("usage: jets journal <dump|verify> FILE");
+        std::process::exit(2);
+    };
+    if action != "dump" && action != "verify" {
+        eprintln!("jets journal: unknown action {action:?} (dump | verify)");
+        std::process::exit(2);
+    }
+    let summary = match jets_core::journal::scan(std::path::Path::new(path)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("jets journal: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if action == "dump" {
+        for (i, rec) in summary.records.iter().enumerate() {
+            println!("{i:>6}  {rec:?}");
+        }
+    }
+    println!(
+        "jets journal: {path}: {} records, {} bytes valid",
+        summary.records.len(),
+        summary.valid_len
+    );
+    if summary.dropped_bytes() > 0 {
+        println!(
+            "  torn tail: {} trailing bytes will be discarded on reopen",
+            summary.dropped_bytes()
+        );
+    }
+    if action == "verify" {
+        let rec = jets_core::journal::recover(&summary.records);
+        let queued = rec
+            .jobs
+            .iter()
+            .filter(|j| j.phase == jets_core::journal::RecoveredPhase::Queued)
+            .count();
+        println!("  finished jobs:   {}", rec.finished);
+        println!(
+            "  recoverable:     {} ({queued} queued, {} mid-attempt)",
+            rec.jobs.len(),
+            rec.jobs.len() - queued
+        );
+        println!("  next job id:     {}", rec.next_job);
+        println!("  next task id:    {}", rec.next_task);
+        if !rec.strikes.is_empty() {
+            println!("  quarantine strikes carried: {:?}", rec.strikes);
+        }
+    }
+    std::process::exit(0);
 }
 
 /// `jets top`: poll a `/metrics` endpoint and render a one-screen

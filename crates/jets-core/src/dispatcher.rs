@@ -42,6 +42,7 @@
 
 use crate::events::{EventKind, EventLog};
 use crate::group::{select_group_ids, GroupScratch, GroupingPolicy};
+use crate::journal::{self, FsyncPolicy, Journal, Record};
 use crate::metrics::DispatcherMetrics;
 use crate::protocol::{
     decode_msg, encode_msg_buf, DispatcherMsg, TaskAssignment, TaskKind, WorkerMsg, EXIT_CANCELED,
@@ -99,6 +100,19 @@ pub struct DispatcherConfig {
     /// stops reading fills it and is disconnected (the slow-consumer
     /// policy) instead of growing dispatcher memory without limit.
     pub outbox_limit: usize,
+    /// Path of the crash-recovery write-ahead journal. When set, every
+    /// job state transition is appended before it becomes externally
+    /// visible, and a restart with the same path replays the journal to
+    /// rebuild queue and in-flight state (see `docs/fault-tolerance.md`).
+    /// `None` disables durability entirely.
+    pub journal: Option<std::path::PathBuf>,
+    /// When journal appends reach the disk (ignored without `journal`).
+    pub fsync_policy: FsyncPolicy,
+    /// How long a restarted dispatcher waits for surviving workers to
+    /// re-register and claim their in-flight tasks before cancelling and
+    /// requeueing whatever went unclaimed. Scheduling is paused for the
+    /// duration (ends early once every orphaned gang is resolved).
+    pub reconcile_window: Duration,
 }
 
 impl Default for DispatcherConfig {
@@ -114,6 +128,9 @@ impl Default for DispatcherConfig {
             monitor_tick: Duration::from_millis(25),
             event_loops: 2,
             outbox_limit: 16 * 1024 * 1024,
+            journal: None,
+            fsync_policy: FsyncPolicy::Always,
+            reconcile_window: Duration::from_secs(2),
         }
     }
 }
@@ -260,6 +277,22 @@ struct Sched {
     /// (assignments, cancels, shutdown): steady-state sends allocate
     /// nothing.
     enc: Vec<u8>,
+    /// `Some` while the post-restart reconciliation window is open:
+    /// scheduling is paused, surviving workers claim orphaned tasks, and
+    /// the monitor closes the window (cancelling whatever went
+    /// unclaimed) at the deadline. `None` in steady state.
+    recovery: Option<RecoveryState>,
+}
+
+/// The bounded window a restarted dispatcher spends reconciling journal
+/// state against live workers before scheduling resumes.
+struct RecoveryState {
+    /// When the monitor gives up on unclaimed orphans.
+    until: Instant,
+    /// Per orphaned job, the in-flight task ids no surviving worker has
+    /// claimed yet. Task ids are the stable key: worker ids restart with
+    /// the process, task ids never repeat across incarnations.
+    orphans: HashMap<JobId, Vec<TaskId>>,
 }
 
 /// Client-facing bookkeeping, split from `Sched` so `wait_idle` /
@@ -296,6 +329,12 @@ struct Inner {
     /// the relay tier exists to shrink from O(workers) to O(relays).
     accepted: AtomicU64,
     shutdown: AtomicBool,
+    /// Set by [`Dispatcher::kill`]: shut down *silently*, the way a
+    /// crash would — no goodbye frames, no further journal writes (the
+    /// journal belongs to the successor the kill is simulating).
+    killed: AtomicBool,
+    /// The write-ahead journal, when durability is configured.
+    journal: Option<Journal>,
     /// The reactor's monotonic counters; the monitor bridges them into
     /// the metric surface each tick.
     reactor_stats: Arc<ReactorStats>,
@@ -332,6 +371,16 @@ impl Dispatcher {
             thread_stack: CONN_STACK,
             ..ReactorConfig::default()
         })?;
+        // Open (and replay) the journal before anything is externally
+        // visible: a corrupt tail is truncated here, and the records
+        // that survive rebuild queue and in-flight state below.
+        let (journal_handle, replayed) = match &config.journal {
+            Some(path) => {
+                let (j, records) = Journal::open(path, config.fsync_policy)?;
+                (Some(j), records)
+            }
+            None => (None, Vec::new()),
+        };
         let inner = Arc::new(Inner {
             sched: Mutex::new(Sched {
                 queue: JobQueue::new(config.queue_policy),
@@ -345,6 +394,7 @@ impl Dispatcher {
                 chosen: Vec::new(),
                 quarantined_ready: Vec::new(),
                 enc: Vec::new(),
+                recovery: None,
             }),
             book: Mutex::new(Book {
                 records: HashMap::new(),
@@ -361,12 +411,18 @@ impl Dispatcher {
             next_task: AtomicU64::new(1),
             accepted: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            killed: AtomicBool::new(false),
+            journal: journal_handle,
             reactor_stats: reactor.stats(),
         });
         inner
             .metrics
             .reactor_event_loops
             .set(reactor.event_loops() as i64);
+        if !replayed.is_empty() {
+            journal_append(&inner, &Record::Restarted);
+            recover_populate(&inner, journal::recover(&replayed));
+        }
         let factory_inner = Arc::clone(&inner);
         reactor.listen(
             listener,
@@ -462,6 +518,23 @@ impl Dispatcher {
             });
         }
         inner.metrics.jobs_submitted_total.add(jobs.len() as u64);
+        // Journal the whole batch (spec + enqueue per job) before any of
+        // it becomes externally visible, in one frame batch: one fsync
+        // under the `Always` policy, however large the submission.
+        if inner.journal.is_some() {
+            let mut recs = Vec::with_capacity(jobs.len() * 2);
+            for job in &jobs {
+                recs.push(Record::Submitted {
+                    job: job.id,
+                    spec: job.spec.clone(),
+                });
+                recs.push(Record::Enqueued {
+                    job: job.id,
+                    attempts: 0,
+                });
+            }
+            journal_append_all(inner, &recs);
+        }
         {
             let mut book = inner.book.lock();
             for job in &jobs {
@@ -587,11 +660,29 @@ impl Dispatcher {
         self.inner.book.lock().outstanding
     }
 
+    /// True while the post-restart reconciliation window is open (no
+    /// scheduling; surviving workers are claiming their in-flight tasks).
+    pub fn recovering(&self) -> bool {
+        self.inner.sched.lock().recovery.is_some()
+    }
+
+    /// Die the way a crash does: no goodbye frames to workers, no
+    /// journal close marker — connections just drop. Chaos tests use
+    /// this to exercise the journal-replay path; a successor started
+    /// with the same journal path must reconcile and converge.
+    pub fn kill(self) {
+        self.inner.killed.store(true, Ordering::Release);
+        // Drop runs `shutdown`, which sees `killed` and stays silent.
+    }
+
     /// Stop accepting, tell every worker to shut down. Each direct worker
     /// is told on its own connection; each relay is told once and fans
     /// the shutdown out to its block.
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::Release);
+        if self.inner.killed.load(Ordering::Acquire) {
+            return; // killed: vanish silently, as a real crash would
+        }
         let mut st = self.inner.sched.lock();
         let Sched {
             conns, relays, enc, ..
@@ -630,6 +721,15 @@ fn monitor_loop(inner: Arc<Inner>) {
         }
         thread::sleep(tick);
         bridge_reactor_stats(&inner, &mut prev_wakeups, &mut prev_slow);
+        // Under the `Interval` fsync policy the monitor tick is the
+        // durability clock: one flush per tick, off the hot path.
+        if inner.config.fsync_policy == FsyncPolicy::Interval {
+            if let Some(j) = &inner.journal {
+                if j.sync().is_err() {
+                    inner.metrics.journal_errors_total.inc();
+                }
+            }
+        }
         // Hang detection: `stale` reads only the per-worker liveness
         // atomics; the lock is held just long enough to walk the table.
         if let Some(timeout) = inner.config.heartbeat_timeout {
@@ -642,9 +742,18 @@ fn monitor_loop(inner: Arc<Inner>) {
             }
         }
         let mut st = inner.sched.lock();
+        let now = Instant::now();
+        // Close the reconciliation window once every orphaned gang is
+        // resolved — or the patience budget runs out, whichever is first.
+        if st
+            .recovery
+            .as_ref()
+            .is_some_and(|rs| rs.orphans.is_empty() || now >= rs.until)
+        {
+            reconcile_finish(&inner, &mut st);
+        }
         // Deadline enforcement: cancel the whole gang of any attempt that
         // blew its wall-time budget; the failure consumes a retry.
-        let now = Instant::now();
         let expired: Vec<JobId> = st
             .active
             .iter()
@@ -654,12 +763,18 @@ fn monitor_loop(inner: Arc<Inner>) {
         for job in expired {
             inner.log.record(EventKind::DeadlineExceeded { job });
             inner.metrics.deadline_exceeded_total.inc();
+            journal_append(&inner, &Record::DeadlineExceeded { job });
             cancel_gang(&inner, &mut st, job, EXIT_DEADLINE, "deadline exceeded");
         }
         // Quarantine release: benched workers whose penalty expired get
         // their held `Request` replayed through the normal park path.
         let mut replayed = false;
         for worker in st.registry.release_expired() {
+            if inner.journal.is_some() {
+                if let Some(name) = st.registry.get(worker).map(|w| w.name.clone()) {
+                    journal_append(&inner, &Record::QuarantineRelease { name });
+                }
+            }
             if let Some(pos) = st.quarantined_ready.iter().position(|&w| w == worker) {
                 st.quarantined_ready.swap_remove(pos);
                 inner.pending_ready.push(worker);
@@ -845,11 +960,13 @@ impl DispatcherConn {
             | WorkerMsg::Done { .. }
             | WorkerMsg::Heartbeat
             | WorkerMsg::Goodbye
+            | WorkerMsg::SessionState { .. }
             | WorkerMsg::RelayRegister { .. }
             | WorkerMsg::RelayRequest { .. }
             | WorkerMsg::RelayDone { .. }
             | WorkerMsg::BatchedHeartbeat { .. }
-            | WorkerMsg::RelayWorkerGone { .. } => Flow::Close,
+            | WorkerMsg::RelayWorkerGone { .. }
+            | WorkerMsg::RelayMemberState { .. } => Flow::Close,
         }
     }
 
@@ -884,6 +1001,22 @@ impl DispatcherConn {
                 hb.beat();
                 Flow::Continue
             }
+            // Reconciliation: a surviving worker reports the task it is
+            // still running from the previous incarnation. A valid claim
+            // re-adopts it in place; anything else (unknown task, window
+            // already closed, no restart at all) earns a `Cancel` so the
+            // worker kills the zombie and rejoins the pool cleanly.
+            WorkerMsg::SessionState { running } => {
+                hb.beat();
+                if let Some((task_id, job_id)) = running {
+                    if !recover_claim(&self.inner, worker_id, task_id, job_id) {
+                        if let Some(outbox) = &self.outbox {
+                            send_frame(outbox, &mut self.enc, &DispatcherMsg::Cancel { task_id });
+                        }
+                    }
+                }
+                Flow::Continue
+            }
             // `on_close` runs the worker-down path, exactly as EOF would.
             WorkerMsg::Goodbye => Flow::Close,
             // Re-registration or relay-scoped frames on a worker
@@ -894,7 +1027,8 @@ impl DispatcherConn {
             | WorkerMsg::RelayRequest { .. }
             | WorkerMsg::RelayDone { .. }
             | WorkerMsg::BatchedHeartbeat { .. }
-            | WorkerMsg::RelayWorkerGone { .. } => Flow::Close,
+            | WorkerMsg::RelayWorkerGone { .. }
+            | WorkerMsg::RelayMemberState { .. } => Flow::Close,
         }
     }
 
@@ -972,6 +1106,28 @@ impl DispatcherConn {
                 }
                 Flow::Continue
             }
+            // Reconciliation, relayed: the member's in-flight claim
+            // travels in the relay's envelope. Same adopt-or-cancel
+            // decision as the direct `SessionState` path.
+            WorkerMsg::RelayMemberState {
+                worker,
+                task_id,
+                job_id,
+            } => {
+                if members.contains_key(&worker)
+                    && !recover_claim(&self.inner, worker, task_id, job_id)
+                {
+                    let Some(outbox) = &self.outbox else {
+                        return Flow::Close;
+                    };
+                    send_frame(
+                        outbox,
+                        &mut self.enc,
+                        &DispatcherMsg::RelayCancel { worker, task_id },
+                    );
+                }
+                Flow::Continue
+            }
             // The relay's own keepalive; member liveness arrives batched.
             WorkerMsg::Heartbeat => Flow::Continue,
             // `on_close` unwinds the whole block, exactly as EOF would.
@@ -981,7 +1137,8 @@ impl DispatcherConn {
             WorkerMsg::Register { .. }
             | WorkerMsg::Request
             | WorkerMsg::Done { .. }
-            | WorkerMsg::RelayHello { .. } => Flow::Close,
+            | WorkerMsg::RelayHello { .. }
+            | WorkerMsg::SessionState { .. } => Flow::Close,
         }
     }
 }
@@ -1071,6 +1228,13 @@ fn drain_parked(inner: &Inner, st: &mut Sched) {
 /// whole burst.
 fn try_schedule(inner: &Inner, st: &mut Sched) {
     drain_parked(inner, st);
+    // Reconciliation window: no new launches until surviving workers
+    // have claimed their in-flight tasks (or the window expires). The
+    // drain above still runs, so requests parked meanwhile are ready
+    // the instant the window closes.
+    if st.recovery.is_some() {
+        return;
+    }
     // Reuse the chosen-workers buffer across passes (restored on exit).
     let mut chosen = std::mem::take(&mut st.chosen);
     loop {
@@ -1260,6 +1424,19 @@ fn start_job(inner: &Inner, st: &mut Sched, job: QueuedJob, workers: &[WorkerId]
         )]
     };
 
+    // The attempt is journaled before any assignment reaches a wire:
+    // a crash after this record replays with the full gang as orphans.
+    if inner.journal.is_some() {
+        journal_append(
+            inner,
+            &Record::Assigned {
+                job: id,
+                attempt: attempts + 1,
+                tasks: assignments.iter().map(|(w, a)| (*w, a.task_id)).collect(),
+            },
+        );
+    }
+
     for (worker, assignment) in assignments {
         let task_id = assignment.task_id;
         st.tasks.insert(task_id, id);
@@ -1290,6 +1467,14 @@ fn start_job(inner: &Inner, st: &mut Sched, job: QueuedJob, workers: &[WorkerId]
                 ranks: spec.ppn,
                 exit_code: EXIT_UNDELIVERABLE,
             });
+            journal_append(
+                inner,
+                &Record::TaskEnded {
+                    job: id,
+                    task: task_id,
+                    exit_code: EXIT_UNDELIVERABLE,
+                },
+            );
             active.pending.remove(&worker);
             active.any_failure = true;
             active.failed_workers.push(worker);
@@ -1333,6 +1518,18 @@ fn handle_done(
     let Some(job_id) = st.tasks.remove(&task_id) else {
         return; // stale report for an already-failed job
     };
+    // During the reconciliation window, a result for an orphaned task
+    // resolves its claim implicitly: the worker finished the work
+    // instead of re-adopting it mid-flight. Strike it off so the window
+    // close does not cancel-and-requeue a job that actually completed.
+    if let Some(rs) = st.recovery.as_mut() {
+        if let Some(tasks) = rs.orphans.get_mut(&job_id) {
+            tasks.retain(|&t| t != task_id);
+            if tasks.is_empty() {
+                rs.orphans.remove(&job_id);
+            }
+        }
+    }
     let Some(active) = st.active.get_mut(&job_id) else {
         return;
     };
@@ -1345,7 +1542,20 @@ fn handle_done(
         ranks: ppn,
         exit_code,
     });
-    active.pending.remove(&worker);
+    journal_append(
+        inner,
+        &Record::TaskEnded {
+            job,
+            task: task_id,
+            exit_code,
+        },
+    );
+    // An orphaned task reported by a worker that never sent a claim is
+    // still keyed under the dead incarnation's worker id; fall back to
+    // removal by task id (the stable key) so the gang can drain.
+    if active.pending.remove(&worker).is_none() {
+        active.pending.retain(|_, &mut t| t != task_id);
+    }
     active.exit_codes.push(exit_code);
     if let Some(text) = output {
         // The final hop of the paper's output path: "into a file".
@@ -1392,6 +1602,11 @@ fn handle_worker_down(inner: &Inner, worker: WorkerId) {
         // Dying mid-gang is a strike; enough strikes and the name's next
         // registration is admitted quarantined.
         st.registry.record_fault(worker);
+        if inner.journal.is_some() {
+            if let Some(name) = st.registry.get(worker).map(|w| w.name.clone()) {
+                journal_append(inner, &Record::QuarantineStrike { name });
+            }
+        }
         if let Some(mut active) = st.active.remove(&job_id) {
             active.any_failure = true;
             active.failed_workers.push(worker);
@@ -1404,6 +1619,14 @@ fn handle_worker_down(inner: &Inner, worker: WorkerId) {
                     ranks: active.spec.ppn,
                     exit_code: EXIT_WORKER_LOST,
                 });
+                journal_append(
+                    inner,
+                    &Record::TaskEnded {
+                        job: job_id,
+                        task,
+                        exit_code: EXIT_WORKER_LOST,
+                    },
+                );
                 active.exit_codes.push(EXIT_WORKER_LOST);
             }
             if active.pending.is_empty() {
@@ -1443,6 +1666,11 @@ fn cancel_gang(inner: &Inner, st: &mut Sched, job_id: JobId, exit_code: i32, rea
         pmi.abort(reason);
     }
     let pending = std::mem::take(&mut active.pending);
+    let mut recs = Vec::with_capacity(if inner.journal.is_some() {
+        pending.len()
+    } else {
+        0
+    });
     for (&worker, &task) in &pending {
         st.tasks.remove(&task);
         {
@@ -1458,8 +1686,16 @@ fn cancel_gang(inner: &Inner, st: &mut Sched, job_id: JobId, exit_code: i32, rea
             ranks: active.spec.ppn,
             exit_code,
         });
+        if inner.journal.is_some() {
+            recs.push(Record::TaskEnded {
+                job: job_id,
+                task,
+                exit_code,
+            });
+        }
         active.exit_codes.push(exit_code);
     }
+    journal_append_all(inner, &recs);
     active.any_failure = true;
     finish_job(inner, st, active);
 }
@@ -1488,6 +1724,13 @@ fn finish_job(inner: &Inner, st: &mut Sched, active: ActiveJob) {
     if retry {
         inner.metrics.jobs_requeued_total.inc();
         inner.log.record(EventKind::JobRequeued { job: active.id });
+        journal_append(
+            inner,
+            &Record::Requeued {
+                job: active.id,
+                attempts: active.attempts,
+            },
+        );
         {
             let mut book = inner.book.lock();
             if let Some(rec) = book.records.get_mut(&active.id) {
@@ -1517,6 +1760,13 @@ fn finish_job(inner: &Inner, st: &mut Sched, active: ActiveJob) {
         if !success {
             inner.metrics.jobs_failed_total.inc();
         }
+        journal_append(
+            inner,
+            &Record::Finished {
+                job: active.id,
+                success,
+            },
+        );
         let mut book = inner.book.lock();
         if let Some(rec) = book.records.get_mut(&active.id) {
             rec.status = if success {
@@ -1586,6 +1836,13 @@ fn finish_failed_unstarted(inner: &Inner, id: JobId, nodes: u32, ppn: u32, _reas
         ppn,
         success: false,
     });
+    journal_append(
+        inner,
+        &Record::Finished {
+            job: id,
+            success: false,
+        },
+    );
     {
         let mut book = inner.book.lock();
         if let Some(rec) = book.records.get_mut(&id) {
@@ -1594,6 +1851,294 @@ fn finish_failed_unstarted(inner: &Inner, id: JobId, nodes: u32, ppn: u32, _reas
         book.outstanding = book.outstanding.saturating_sub(1);
     }
     inner.idle_cv.notify_all();
+}
+
+/// Append one record to the configured journal (no-op without one).
+/// Append failures are counted and swallowed: the dispatcher keeps
+/// serving, recovery fidelity past that point is degraded but replay
+/// still converges on the journal's valid prefix.
+fn journal_append(inner: &Inner, rec: &Record) {
+    journal_append_all(inner, std::slice::from_ref(rec));
+}
+
+/// Batch variant of [`journal_append`]: one lock, one write, and (under
+/// the `Always` policy) one fsync for the whole slice.
+fn journal_append_all(inner: &Inner, recs: &[Record]) {
+    if recs.is_empty() {
+        return;
+    }
+    let Some(j) = &inner.journal else {
+        return;
+    };
+    // A killed dispatcher must not touch the file again: the journal
+    // now belongs to the successor the kill is simulating.
+    if inner.killed.load(Ordering::Acquire) {
+        return;
+    }
+    match j.append_all(recs) {
+        Ok(()) => inner.metrics.journal_records_total.add(recs.len() as u64),
+        Err(_) => inner.metrics.journal_errors_total.inc(),
+    }
+}
+
+/// Rebuild scheduler and bookkeeping state from a replayed journal.
+/// Runs at startup, before the listener accepts its first connection,
+/// so every lock here is uncontended.
+///
+/// Queued jobs go straight back on the queue. An in-flight *sequential*
+/// gang becomes an orphan: its `ActiveJob` is reconstructed with the
+/// pending map still keyed by the dead incarnation's worker ids, and
+/// the reconciliation window decides whether surviving workers re-claim
+/// the tasks (matched by task id — the stable key) or the job is
+/// cancelled and requeued. An in-flight *MPI* gang is requeued
+/// immediately: its PMI server died with the old process, so the
+/// attempt cannot be salvaged. A gang whose every member had already
+/// reported success is completed in place — the crash merely ate the
+/// `Finished` record — and anything else is requeued with the crashed
+/// attempt refunded (the dispatcher failed, not the job).
+fn recover_populate(inner: &Inner, rec: journal::Recovered) {
+    use crate::journal::RecoveredPhase;
+    inner.next_job.store(rec.next_job, Ordering::Release);
+    inner.next_task.store(rec.next_task, Ordering::Release);
+    inner.metrics.journal_replayed_jobs.set(rec.jobs.len() as i64);
+    let now = Instant::now();
+    let mut synthesized: Vec<Record> = Vec::new();
+    let mut orphans: HashMap<JobId, Vec<TaskId>> = HashMap::new();
+    let mut records: Vec<JobRecord> = Vec::new();
+    let mut outstanding = 0usize;
+    let mut st = inner.sched.lock();
+    for (name, strikes) in &rec.strikes {
+        st.registry.seed_strikes(name, *strikes);
+    }
+    for job in rec.jobs {
+        let id = job.id;
+        match job.phase {
+            RecoveredPhase::Queued => {
+                records.push(JobRecord {
+                    id,
+                    spec: job.spec.clone(),
+                    status: JobStatus::Pending,
+                    attempts: job.attempts,
+                    wall: None,
+                    exit_codes: Vec::new(),
+                    outputs: Vec::new(),
+                });
+                outstanding += 1;
+                st.queue.push(QueuedJob {
+                    id,
+                    spec: job.spec,
+                    attempts: job.attempts,
+                    excluded: Vec::new(),
+                    submitted_at: now,
+                    enqueued_at: now,
+                });
+            }
+            RecoveredPhase::Active { tasks, ended } => {
+                let all_succeeded =
+                    tasks.is_empty() && !ended.is_empty() && ended.iter().all(|&c| c == 0);
+                if all_succeeded {
+                    // The crash fell between the last task report and
+                    // the terminal record: finish, don't re-run.
+                    inner.metrics.jobs_completed_total.inc();
+                    synthesized.push(Record::Finished { job: id, success: true });
+                    records.push(JobRecord {
+                        id,
+                        spec: job.spec,
+                        status: JobStatus::Succeeded,
+                        attempts: job.attempts,
+                        wall: None,
+                        exit_codes: ended,
+                        outputs: Vec::new(),
+                    });
+                } else if tasks.is_empty() || job.spec.is_mpi() {
+                    // Unsalvageable attempt (failed gang mid-finish, or
+                    // MPI whose PMI server died with the old process):
+                    // requeue with the crashed attempt refunded.
+                    let attempts = job.attempts.saturating_sub(1);
+                    inner.metrics.jobs_requeued_total.inc();
+                    inner.log.record(EventKind::JobRequeued { job: id });
+                    synthesized.push(Record::Requeued { job: id, attempts });
+                    records.push(JobRecord {
+                        id,
+                        spec: job.spec.clone(),
+                        status: JobStatus::Pending,
+                        attempts,
+                        wall: None,
+                        exit_codes: Vec::new(),
+                        outputs: Vec::new(),
+                    });
+                    outstanding += 1;
+                    st.queue.push_front(QueuedJob {
+                        id,
+                        spec: job.spec,
+                        attempts,
+                        excluded: Vec::new(),
+                        submitted_at: now,
+                        enqueued_at: now,
+                    });
+                } else {
+                    // Orphaned sequential gang: park it as an active job
+                    // and let the reconciliation window decide.
+                    let mut pending = HashMap::new();
+                    for &(w, t) in &tasks {
+                        pending.insert(w, t);
+                        st.tasks.insert(t, id);
+                    }
+                    let any_failure = ended.iter().any(|&c| c != 0);
+                    st.active.insert(
+                        id,
+                        ActiveJob {
+                            id,
+                            spec: job.spec.clone(),
+                            attempts: job.attempts,
+                            pending,
+                            exit_codes: ended,
+                            outputs: Vec::new(),
+                            any_failure,
+                            failed_workers: Vec::new(),
+                            pmi: None,
+                            started: now,
+                            deadline: job
+                                .spec
+                                .deadline_ms
+                                .map(|ms| now + Duration::from_millis(ms)),
+                            submitted_at: now,
+                            enqueued_at: now,
+                            shipped_at: Some(now),
+                        },
+                    );
+                    orphans.insert(id, tasks.iter().map(|&(_, t)| t).collect());
+                    records.push(JobRecord {
+                        id,
+                        spec: job.spec,
+                        status: JobStatus::Running,
+                        attempts: job.attempts,
+                        wall: None,
+                        exit_codes: Vec::new(),
+                        outputs: Vec::new(),
+                    });
+                    outstanding += 1;
+                }
+            }
+        }
+    }
+    if !orphans.is_empty() {
+        st.recovery = Some(RecoveryState {
+            until: now + inner.config.reconcile_window,
+            orphans,
+        });
+    }
+    sample_gauges(inner, &st);
+    drop(st);
+    {
+        let mut book = inner.book.lock();
+        for r in records {
+            book.records.insert(r.id, r);
+        }
+        book.outstanding += outstanding;
+    }
+    journal_append_all(inner, &synthesized);
+}
+
+/// A surviving worker (or relay member) claims the in-flight task it
+/// kept running across the dispatcher restart. A valid claim re-keys
+/// the orphaned gang entry from the dead incarnation's worker id to the
+/// live one and marks the worker busy; the gang counts as re-adopted
+/// once its last member claims. Returns false when there is nothing to
+/// claim (unknown task, window closed, or no restart happened) — the
+/// caller answers with a cancel so the worker kills the zombie.
+fn recover_claim(inner: &Inner, worker: WorkerId, task: TaskId, job: JobId) -> bool {
+    let mut st = inner.sched.lock();
+    let adopted = {
+        let Some(rs) = st.recovery.as_mut() else {
+            return false;
+        };
+        let Some(tasks) = rs.orphans.get_mut(&job) else {
+            return false;
+        };
+        let Some(pos) = tasks.iter().position(|&t| t == task) else {
+            return false;
+        };
+        tasks.swap_remove(pos);
+        if tasks.is_empty() {
+            rs.orphans.remove(&job);
+            true
+        } else {
+            false
+        }
+    };
+    if let Some(active) = st.active.get_mut(&job) {
+        let old = active
+            .pending
+            .iter()
+            .find_map(|(&w, &t)| (t == task).then_some(w));
+        if let Some(old) = old {
+            active.pending.remove(&old);
+        }
+        active.pending.insert(worker, task);
+    }
+    st.ready.remove(worker);
+    st.registry.mark_busy(worker, job);
+    if adopted {
+        inner.metrics.gangs_readopted_total.inc();
+        inner.log.record(EventKind::GangReadopted { job });
+        // Every orphan resolved: close the window early and resume.
+        if st.recovery.as_ref().is_some_and(|rs| rs.orphans.is_empty()) {
+            reconcile_finish(inner, &mut st);
+        }
+    }
+    true
+}
+
+/// Close the reconciliation window: cancel-and-requeue every orphaned
+/// gang that went unclaimed (or only partially claimed), then resume
+/// scheduling. Runs under the scheduling lock.
+fn reconcile_finish(inner: &Inner, st: &mut Sched) {
+    let Some(rs) = st.recovery.take() else {
+        return;
+    };
+    for (job, _unclaimed) in rs.orphans {
+        reconcile_requeue(inner, st, job);
+    }
+    try_schedule(inner, st);
+}
+
+/// Tear down one orphaned gang the window could not fully reconcile:
+/// cancel whatever members did claim, and put the job back at the queue
+/// front with the crashed attempt refunded — the dispatcher failed, the
+/// job did nothing wrong, so no retry budget is charged and no
+/// `JobCompleted` is recorded.
+fn reconcile_requeue(inner: &Inner, st: &mut Sched, job: JobId) {
+    let Some(mut active) = st.active.remove(&job) else {
+        return;
+    };
+    let pending = std::mem::take(&mut active.pending);
+    for (&worker, &task) in &pending {
+        st.tasks.remove(&task);
+        let Sched { conns, enc, .. } = &mut *st;
+        if let Some(conn) = conns.get(&worker) {
+            conn.send_cancel(worker, task, enc);
+        }
+    }
+    let attempts = active.attempts.saturating_sub(1);
+    inner.metrics.jobs_requeued_total.inc();
+    inner.log.record(EventKind::JobRequeued { job });
+    journal_append(inner, &Record::Requeued { job, attempts });
+    {
+        let mut book = inner.book.lock();
+        if let Some(rec) = book.records.get_mut(&job) {
+            rec.status = JobStatus::Pending;
+            rec.attempts = attempts;
+        }
+    }
+    st.queue.push_front(QueuedJob {
+        id: job,
+        spec: active.spec,
+        attempts,
+        excluded: Vec::new(),
+        submitted_at: active.submitted_at,
+        enqueued_at: Instant::now(),
+    });
 }
 
 #[cfg(test)]
@@ -1847,6 +2392,72 @@ mod tests {
         let pos = |k: &str| kinds.iter().position(|&x| x == k).unwrap();
         assert!(pos("submit") < pos("start"));
         assert!(pos("tstart") < pos("tend"));
+    }
+
+    fn journal_tmp(name: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "jets-dispatcher-{name}-{}.wal",
+            std::process::id()
+        ));
+        std::fs::remove_file(&path).ok();
+        path
+    }
+
+    #[test]
+    fn killed_dispatcher_replays_queued_jobs_from_journal() {
+        let path = journal_tmp("queued");
+        let config = DispatcherConfig {
+            journal: Some(path.clone()),
+            ..DispatcherConfig::default()
+        };
+        let d = Dispatcher::start(config.clone()).unwrap();
+        let ids = d
+            .submit_all((0..5).map(|_| JobSpec::sequential(CommandSpec::builtin("ok", vec![]))));
+        assert_eq!(d.outstanding(), 5);
+        d.kill();
+        // The successor replays the journal: all five jobs pending
+        // again, no reconciliation window (nothing was in flight).
+        let d2 = Dispatcher::start(config).unwrap();
+        assert_eq!(d2.outstanding(), 5);
+        assert!(!d2.recovering(), "queued-only journal needs no window");
+        assert_eq!(d2.metrics().journal_replayed_jobs.get(), 5);
+        for &id in &ids {
+            assert_eq!(d2.job_record(id).unwrap().status, JobStatus::Pending);
+        }
+        // A worker drains them in the new incarnation, exactly once each.
+        let w = raw_worker(d2.addr(), 5);
+        assert!(d2.wait_idle(WAIT));
+        assert_eq!(d2.metrics().jobs_completed_total.get(), 5);
+        for id in ids {
+            assert_eq!(d2.job_record(id).unwrap().status, JobStatus::Succeeded);
+        }
+        d2.shutdown();
+        w.join().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn clean_finish_leaves_nothing_to_replay() {
+        let path = journal_tmp("clean");
+        let config = DispatcherConfig {
+            journal: Some(path.clone()),
+            ..DispatcherConfig::default()
+        };
+        {
+            let d = Dispatcher::start(config.clone()).unwrap();
+            let w = raw_worker(d.addr(), 3);
+            d.submit_all((0..3).map(|_| JobSpec::sequential(CommandSpec::builtin("ok", vec![]))));
+            assert!(d.wait_idle(WAIT));
+            assert!(d.metrics().journal_records_total.get() >= 3 * 4);
+            d.shutdown();
+            w.join().unwrap();
+        }
+        // Every journaled job reached a terminal record, so a restart
+        // resurrects nothing.
+        let d2 = Dispatcher::start(config).unwrap();
+        assert_eq!(d2.outstanding(), 0);
+        assert_eq!(d2.metrics().journal_replayed_jobs.get(), 0);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -141,6 +141,23 @@ pub enum EventKind {
         /// Exit code (0 = success).
         exit_code: i32,
     },
+    /// A restarted dispatcher re-adopted a journaled in-flight gang: every
+    /// member re-registered and claimed its task, so the attempt keeps
+    /// running instead of being relaunched.
+    GangReadopted {
+        /// The job.
+        job: JobId,
+    },
+    /// A relay's bounded upstream queue overflowed and dropped its oldest
+    /// frames. Rate-limited to one event per reporting interval per relay;
+    /// `dropped` is the cumulative drop count at emission, so consecutive
+    /// events show the loss rate.
+    UpQueueDropped {
+        /// The relay (ids share the worker id space).
+        relay: WorkerId,
+        /// Cumulative frames dropped by this relay so far.
+        dropped: u64,
+    },
 }
 
 /// One log entry.
@@ -214,6 +231,9 @@ pub struct EventRecord {
     /// End-to-end duration (`JobPhases`).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub total_us: Option<u64>,
+    /// Cumulative dropped-frame count (`UpQueueDropped`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub dropped: Option<u64>,
 }
 
 impl From<&Event> for EventRecord {
@@ -325,6 +345,15 @@ impl From<&Event> for EventRecord {
                 r.ranks = Some(*ranks);
                 r.exit_code = Some(*exit_code);
             }
+            EventKind::GangReadopted { job } => {
+                r.kind = "GangReadopted".into();
+                r.job = Some(*job);
+            }
+            EventKind::UpQueueDropped { relay, dropped } => {
+                r.kind = "UpQueueDropped".into();
+                r.relay = Some(*relay);
+                r.dropped = Some(*dropped);
+            }
         }
         r
     }
@@ -396,6 +425,13 @@ impl EventRecord {
                 worker: self.worker.ok_or_else(missing)?,
                 ranks: self.ranks.ok_or_else(missing)?,
                 exit_code: self.exit_code.ok_or_else(missing)?,
+            },
+            "GangReadopted" => EventKind::GangReadopted {
+                job: self.job.ok_or_else(missing)?,
+            },
+            "UpQueueDropped" => EventKind::UpQueueDropped {
+                relay: self.relay.ok_or_else(missing)?,
+                dropped: self.dropped.ok_or_else(missing)?,
             },
             other => {
                 return Err(io::Error::new(
@@ -590,6 +626,11 @@ mod tests {
             strikes: 3,
             until_ms: 99,
         });
+        log.record(EventKind::GangReadopted { job: 2 });
+        log.record(EventKind::UpQueueDropped {
+            relay: 7,
+            dropped: 31,
+        });
         log.record(EventKind::RelayDown { relay: 7 });
         log.record(EventKind::WorkerDown { worker: 1 });
 
@@ -623,11 +664,13 @@ mod tests {
                 EventKind::RelayUp { .. } => "RelayUp",
                 EventKind::RelayDown { .. } => "RelayDown",
                 EventKind::TaskEnded { .. } => "TaskEnded",
+                EventKind::GangReadopted { .. } => "GangReadopted",
+                EventKind::UpQueueDropped { .. } => "UpQueueDropped",
             }
         }
         let covered: std::collections::BTreeSet<&str> =
             original.iter().map(|e| tag(&e.kind)).collect();
-        assert_eq!(covered.len(), 13, "a variant is not exercised: {covered:?}");
+        assert_eq!(covered.len(), 15, "a variant is not exercised: {covered:?}");
         // The wire tag written is exactly the variant name.
         for o in &original {
             assert_eq!(EventRecord::from(o).kind, tag(&o.kind));

@@ -36,6 +36,8 @@
 //!   run-time histograms computed from the event log.
 //! * [`metrics`] — the live metric surface (`jets-obs` handles) behind
 //!   `GET /metrics`; see `docs/observability.md`.
+//! * [`journal`] — crash-durable write-ahead journal of dispatcher state
+//!   transitions; replayed on restart (see `docs/fault-tolerance.md`).
 //! * [`dispatcher`] — the engine tying it all together.
 
 #![warn(missing_docs)]
@@ -43,6 +45,7 @@
 pub mod dispatcher;
 pub mod events;
 pub mod group;
+pub mod journal;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
@@ -54,6 +57,7 @@ pub mod stats;
 pub use dispatcher::{Dispatcher, DispatcherConfig, JobRecord, JobStatus};
 pub use events::{read_jsonl, Event, EventKind, EventLog, EventRecord};
 pub use group::GroupingPolicy;
+pub use journal::{FsyncPolicy, Journal};
 pub use metrics::DispatcherMetrics;
 pub use protocol::{DispatcherMsg, TaskAssignment, TaskKind, WorkerMsg};
 pub use queue::QueuePolicy;

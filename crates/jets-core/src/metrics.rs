@@ -73,6 +73,16 @@ pub struct DispatcherMetrics {
     /// Connections dropped because their bounded outbox overflowed
     /// (the slow-consumer disconnect policy).
     pub reactor_slow_consumer_disconnects_total: Arc<Counter>,
+    /// State-transition records appended to the write-ahead journal.
+    pub journal_records_total: Arc<Counter>,
+    /// Journal appends that failed (disk error); the dispatcher keeps
+    /// running, but crash recovery from that point is degraded.
+    pub journal_errors_total: Arc<Counter>,
+    /// Non-terminal jobs rebuilt from the journal at the last restart.
+    pub journal_replayed_jobs: Arc<Gauge>,
+    /// In-flight gangs re-adopted (instead of relaunched) after a
+    /// dispatcher restart.
+    pub gangs_readopted_total: Arc<Counter>,
     /// Queue-wait phase: last enqueue → workers selected.
     pub phase_queue: Arc<Histogram>,
     /// Launch phase: workers selected → assignments shipped.
@@ -118,6 +128,10 @@ impl DispatcherMetrics {
             reactor_wakeups_total: r.counter("jets_reactor_wakeups_total", "Readiness wakeups across all event loops"),
             reactor_outbox_high_water_bytes: r.gauge("jets_reactor_outbox_high_water_bytes", "High-water mark of any connection's bounded outbox"),
             reactor_slow_consumer_disconnects_total: r.counter("jets_reactor_slow_consumer_disconnects_total", "Connections dropped for overflowing their bounded outbox"),
+            journal_records_total: r.counter("jets_journal_records_total", "Records appended to the write-ahead journal"),
+            journal_errors_total: r.counter("jets_journal_errors_total", "Journal appends that failed"),
+            journal_replayed_jobs: r.gauge("jets_journal_replayed_jobs", "Non-terminal jobs rebuilt from the journal at the last restart"),
+            gangs_readopted_total: r.counter("jets_gangs_readopted_total", "In-flight gangs re-adopted after a dispatcher restart"),
             phase_queue: phase("queue"),
             phase_launch: phase("launch"),
             phase_pmi: phase("pmi"),
@@ -177,6 +191,10 @@ mod tests {
             "jets_reactor_wakeups_total",
             "jets_reactor_outbox_high_water_bytes",
             "jets_reactor_slow_consumer_disconnects_total",
+            "jets_journal_records_total",
+            "jets_journal_errors_total",
+            "jets_journal_replayed_jobs",
+            "jets_gangs_readopted_total",
             JOB_PHASE_METRIC,
         ] {
             assert!(text.contains(name), "missing {name} in render");

@@ -122,6 +122,30 @@ pub enum WorkerMsg {
         /// Dispatcher-assigned id of the departed worker.
         worker: u64,
     },
+    /// Sent by a direct worker right after a [`DispatcherMsg::Registered`]
+    /// ack when it is carrying state from a previous dispatcher session:
+    /// the task still running from before the outage, if any. A freshly
+    /// restarted dispatcher uses these claims during its reconciliation
+    /// window to re-adopt surviving gangs instead of relaunching them; an
+    /// established dispatcher answers an unknown claim with
+    /// [`DispatcherMsg::Cancel`] so the worker frees itself.
+    SessionState {
+        /// `(task, job)` the worker is still running, or `None` if it
+        /// re-registered idle.
+        running: Option<(TaskId, JobId)>,
+    },
+    /// Relay-routed equivalent of [`WorkerMsg::SessionState`]: after the
+    /// relay re-registers a member upstream, it reports the member's
+    /// in-flight task so a restarted dispatcher can re-adopt the gang.
+    RelayMemberState {
+        /// Dispatcher-assigned id of the member (from the fresh
+        /// [`DispatcherMsg::RelayRegistered`] ack).
+        worker: u64,
+        /// The task the member is still running.
+        task_id: TaskId,
+        /// The job that task belongs to.
+        job_id: JobId,
+    },
 }
 
 /// Messages the dispatcher sends to a worker.
@@ -456,6 +480,19 @@ mod tests {
         });
         round_trip(WorkerMsg::BatchedHeartbeat { workers: vec![] });
         round_trip(WorkerMsg::RelayWorkerGone { worker: 8 });
+        round_trip(WorkerMsg::RelayMemberState {
+            worker: 8,
+            task_id: 42,
+            job_id: 7,
+        });
+    }
+
+    #[test]
+    fn session_state_messages_round_trip() {
+        round_trip(WorkerMsg::SessionState { running: None });
+        round_trip(WorkerMsg::SessionState {
+            running: Some((42, 7)),
+        });
     }
 
     #[test]

@@ -284,6 +284,24 @@ impl Registry {
         Some(rec.strikes)
     }
 
+    /// Seed `strikes` live strikes against `name` — journal replay after
+    /// a dispatcher restart. The decay clock restarts now: the journal
+    /// records strike counts, not the wall-clock instants they were
+    /// earned (those died with the previous incarnation's epoch).
+    pub fn seed_strikes(&mut self, name: &str, strikes: u32) {
+        if self.quarantine.is_none() || strikes == 0 {
+            return;
+        }
+        let now = self.epoch.elapsed().as_millis() as u64;
+        self.faults.insert(
+            name.to_string(),
+            FaultRecord {
+                strikes,
+                last_ms: now,
+            },
+        );
+    }
+
     /// Live strike count against a worker's name (diagnostics; does not
     /// prune decayed records).
     pub fn strikes(&self, id: WorkerId) -> u32 {
@@ -572,6 +590,26 @@ mod tests {
         // Strikes are stale: the name re-registers Idle.
         r.insert(2, "w".into(), 1, "rack-0".into());
         assert_eq!(r.get(2).unwrap().state, WorkerState::Idle);
+    }
+
+    #[test]
+    fn seeded_strikes_quarantine_like_earned_ones() {
+        let mut r = Registry::with_quarantine(Some(quarantine_policy(50, 10_000)));
+        r.seed_strikes("flaky", 2);
+        r.seed_strikes("fine", 0); // no-op
+        r.insert(1, "flaky".into(), 1, "rack-0".into());
+        assert!(matches!(
+            r.get(1).unwrap().state,
+            WorkerState::Quarantined { .. }
+        ));
+        assert_eq!(r.strikes(1), 2);
+        r.insert(2, "fine".into(), 1, "rack-0".into());
+        assert_eq!(r.get(2).unwrap().state, WorkerState::Idle);
+        // Without a policy, seeding is a no-op.
+        let mut bare = Registry::new();
+        bare.seed_strikes("flaky", 5);
+        bare.insert(3, "flaky".into(), 1, "rack-0".into());
+        assert_eq!(bare.get(3).unwrap().state, WorkerState::Idle);
     }
 
     #[test]

@@ -12,3 +12,13 @@ fn scrape_loop(addr: &str) {
     let text = scrape(addr, "/metrics").unwrap();
     render(&text);
 }
+
+fn recover_claim(book: &mut Book, task: u64) {
+    let job = book.lookup(task).unwrap();
+    job.adopt();
+}
+
+fn reconcile_requeue(book: &mut Book, job: u64) {
+    let rec = book.remove(&job).expect("present");
+    rec.requeue();
+}

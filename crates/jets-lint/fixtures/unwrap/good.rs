@@ -9,3 +9,16 @@ fn serve_worker(stream: TcpStream) {
     let fallback = msg.field.unwrap_or_default();
     consume(fallback);
 }
+
+fn recover_claim(book: &mut Book, task: u64) {
+    if let Some(job) = book.lookup(task) {
+        job.adopt();
+    }
+}
+
+fn reconcile_requeue(book: &mut Book, job: u64) {
+    let Some(rec) = book.remove(&job) else {
+        return;
+    };
+    rec.requeue();
+}

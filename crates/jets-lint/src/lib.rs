@@ -1368,6 +1368,8 @@ fn is_handler_fn(name: &str) -> bool {
     name.starts_with("serve_")
         || name.starts_with("handle_")
         || name.starts_with("accept_")
+        || name.starts_with("recover_")
+        || name.starts_with("reconcile_")
         || name.ends_with("_loop")
         || name.ends_with("_pump")
         || name.contains("session")

@@ -114,7 +114,9 @@ fn unwrap_bad_fires_exactly() {
         vec![
             ("J6".to_string(), 2),
             ("J6".to_string(), 7),
-            ("J6".to_string(), 12)
+            ("J6".to_string(), 12),
+            ("J6".to_string(), 17),
+            ("J6".to_string(), 22)
         ]
     );
 }

@@ -33,6 +33,7 @@
 
 use crate::metrics::RelayMetrics;
 use crate::upqueue::UpQueue;
+use jets_core::events::{EventKind, EventLog};
 use jets_core::protocol::{
     decode_msg, encode_msg_buf, DispatcherMsg, MsgReader, MsgWriter, WorkerMsg, MAX_FRAME_BYTES,
 };
@@ -193,6 +194,11 @@ enum UpFrame {
         /// Captured output tail.
         output: Option<String>,
     },
+    /// Claim member `local`'s in-flight task upstream
+    /// ([`WorkerMsg::RelayMemberState`]) so a restarted dispatcher
+    /// re-adopts the gang during its reconciliation window instead of
+    /// relaunching it.
+    MemberState(u64),
     /// The worker with this *global* id is gone.
     Gone(WorkerId),
     /// Emit a batched liveness frame now.
@@ -217,6 +223,15 @@ struct Inner {
     metrics: Arc<RelayMetrics>,
     /// The `/metrics` responder, when one was started.
     metrics_server: Mutex<Option<MetricsServer>>,
+    /// Operational events (queue overflow, …) — same log shape the
+    /// dispatcher keeps, dumped by `jets events`.
+    events: EventLog,
+    /// This relay's dispatcher-assigned id under the current upstream
+    /// session (0 until the first hello ack); stamps event records.
+    relay_global: AtomicU64,
+    /// `now_ms` of the last `UpQueueDropped` event (`u64::MAX` = never),
+    /// rate-limiting overflow reporting to one event per second.
+    last_drop_event_ms: AtomicU64,
 }
 
 fn now_ms(inner: &Inner) -> u64 {
@@ -228,8 +243,33 @@ fn now_ms(inner: &Inner) -> u64 {
 fn queue_up(inner: &Inner, frame: UpFrame) {
     if inner.up_q.push(frame) {
         inner.metrics.upqueue_dropped_total.inc();
+        note_upqueue_drop(inner);
     }
     inner.metrics.upqueue_depth.set(inner.up_q.len() as i64);
+}
+
+/// Surface a drop-oldest eviction on the event log, at most once per
+/// second: a sustained overflow must not flood the log it reports on.
+/// The event carries the *cumulative* drop counter, so consecutive
+/// events show the loss rate across the gap.
+fn note_upqueue_drop(inner: &Inner) {
+    const MIN_GAP_MS: u64 = 1_000;
+    let now = now_ms(inner);
+    let last = inner.last_drop_event_ms.load(Ordering::Relaxed);
+    if last != u64::MAX && now.saturating_sub(last) < MIN_GAP_MS {
+        return;
+    }
+    // One winner per gap: a losing racer just skips its event.
+    if inner
+        .last_drop_event_ms
+        .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+        .is_ok()
+    {
+        inner.events.record(EventKind::UpQueueDropped {
+            relay: inner.relay_global.load(Ordering::Acquire),
+            dropped: inner.metrics.upqueue_dropped_total.get(),
+        });
+    }
 }
 
 /// Encode `msg` and queue it on a member's bounded outbox. Never
@@ -283,6 +323,9 @@ impl Relay {
             upstream_sessions: AtomicU64::new(0),
             metrics: Arc::new(RelayMetrics::new()),
             metrics_server: Mutex::new(None),
+            events: EventLog::new(),
+            relay_global: AtomicU64::new(0),
+            last_drop_event_ms: AtomicU64::new(u64::MAX),
         });
         let factory_inner = Arc::clone(&inner);
         reactor.listen(
@@ -352,6 +395,13 @@ impl Relay {
     /// This relay's live metric handles.
     pub fn metrics(&self) -> Arc<RelayMetrics> {
         Arc::clone(&self.inner.metrics)
+    }
+
+    /// This relay's operational event log (shared handle). `jets events`
+    /// renders the same record shape the dispatcher's log uses, so relay
+    /// and dispatcher events can be merged offline.
+    pub fn events(&self) -> EventLog {
+        self.inner.events.clone()
     }
 
     /// Live counters from the member-facing reactor (connections,
@@ -501,12 +551,14 @@ impl MemberConn {
             | WorkerMsg::Done { .. }
             | WorkerMsg::Heartbeat
             | WorkerMsg::Goodbye
+            | WorkerMsg::SessionState { .. }
             | WorkerMsg::RelayHello { .. }
             | WorkerMsg::RelayRegister { .. }
             | WorkerMsg::RelayRequest { .. }
             | WorkerMsg::RelayDone { .. }
             | WorkerMsg::BatchedHeartbeat { .. }
-            | WorkerMsg::RelayWorkerGone { .. } => return Flow::Close,
+            | WorkerMsg::RelayWorkerGone { .. }
+            | WorkerMsg::RelayMemberState { .. } => return Flow::Close,
         };
         let Some(outbox) = &self.outbox else {
             return Flow::Close;
@@ -593,6 +645,31 @@ impl MemberConn {
                 Flow::Continue
             }
             WorkerMsg::Goodbye => Flow::Close,
+            // A member re-registered carrying a task across its own
+            // outage: adopt the claim into the table and forward it
+            // upstream under the member's current global id. If the
+            // registration ack is still in flight, the ack handler
+            // forwards the claim instead (it sees the inflight entry).
+            WorkerMsg::SessionState { running } => {
+                // jets-lint: allow(relaxed) liveness timestamp only: the flush filter tolerates staleness; ordering is irrelevant
+                last_heard.store(now_ms(&self.inner), Ordering::Relaxed);
+                if let Some((task_id, job_id)) = running {
+                    let acked = {
+                        let mut st = self.inner.state.lock();
+                        match st.members.get_mut(&local) {
+                            Some(m) => {
+                                m.inflight = Some((task_id, job_id));
+                                m.global.is_some()
+                            }
+                            None => false,
+                        }
+                    };
+                    if acked {
+                        queue_up(&self.inner, UpFrame::MemberState(local));
+                    }
+                }
+                Flow::Continue
+            }
             // Relay-scoped frames (or a second Register) on a member
             // connection are protocol violations; sever.
             WorkerMsg::Register { .. }
@@ -601,7 +678,8 @@ impl MemberConn {
             | WorkerMsg::RelayRequest { .. }
             | WorkerMsg::RelayDone { .. }
             | WorkerMsg::BatchedHeartbeat { .. }
-            | WorkerMsg::RelayWorkerGone { .. } => Flow::Close,
+            | WorkerMsg::RelayWorkerGone { .. }
+            | WorkerMsg::RelayMemberState { .. } => Flow::Close,
         }
     }
 }
@@ -894,6 +972,26 @@ fn forward(
                 }
             }
         }
+        UpFrame::MemberState(local) => {
+            let claim = {
+                let st = inner.state.lock();
+                st.members
+                    .get(&local)
+                    .and_then(|m| m.global.map(|g| (g, m.inflight)))
+            };
+            match claim {
+                Some((worker, Some((task_id, job_id)))) => writer
+                    .send(&WorkerMsg::RelayMemberState {
+                        worker,
+                        task_id,
+                        job_id,
+                    })
+                    .is_ok(),
+                // Finished (or left) before the frame drained: nothing
+                // left to claim.
+                _ => true,
+            }
+        }
         UpFrame::Gone(worker) => writer.send(&WorkerMsg::RelayWorkerGone { worker }).is_ok(),
         UpFrame::Flush => {
             let stale_ms = inner.config.worker_stale_after.as_millis() as u64;
@@ -924,8 +1022,12 @@ fn forward(
 /// (orderly shutdown).
 fn handle_upstream(inner: &Inner, msg: DispatcherMsg) -> bool {
     match msg {
-        // The relay's own hello ack; nothing to route.
-        DispatcherMsg::Registered { .. } => true,
+        // The relay's own hello ack: remember the assigned id — it
+        // stamps this relay's event records.
+        DispatcherMsg::Registered { worker_id } => {
+            inner.relay_global.store(worker_id, Ordering::Release);
+            true
+        }
         DispatcherMsg::RelayRegistered { local, worker_id } => {
             let mut st = inner.state.lock();
             let State {
@@ -939,6 +1041,12 @@ fn handle_upstream(inner: &Inner, msg: DispatcherMsg) -> bool {
                 // (a re-registration's duplicate ack is ignored by the
                 // agent's inbox loop).
                 send_member(m, enc, &DispatcherMsg::Registered { worker_id });
+                // A member still mid-task across the outage: claim its
+                // gang (before any replayed Done) so a restarted
+                // dispatcher re-adopts it instead of relaunching.
+                if m.inflight.is_some() {
+                    queue_up(inner, UpFrame::MemberState(local));
+                }
                 // Replay traffic held across the outage, in order.
                 if let Some((task_id, exit_code, wall_ms, output)) = m.pending_done.take() {
                     queue_up(
@@ -1127,6 +1235,36 @@ mod tests {
         for w in workers {
             w.join();
         }
+    }
+
+    /// A sustained upstream outage overflows a tiny replay queue; the
+    /// drops surface as rate-limited `UpQueueDropped` events alongside
+    /// the counter, not one event per evicted frame.
+    #[test]
+    fn upqueue_overflow_is_surfaced_on_the_event_log() {
+        // No dispatcher ever answers: the liveness ticker's Flush frames
+        // pile into a one-slot queue and each new frame evicts the last.
+        let relay = Relay::start(
+            RelayConfig::new("127.0.0.1:1", "relay-drop")
+                .with_liveness_flush(Duration::from_millis(5))
+                .with_upqueue_limit(1),
+        )
+        .unwrap();
+        wait_until("a drop event", || {
+            relay
+                .events()
+                .snapshot()
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::UpQueueDropped { .. }))
+        });
+        assert!(relay.metrics().upqueue_dropped_total.get() >= 1);
+        let drop_events = relay
+            .events()
+            .snapshot()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::UpQueueDropped { .. }))
+            .count();
+        assert!(drop_events <= 2, "rate limit breached: {drop_events} events");
     }
 
     /// A member dying mid-gang cancels its same-relay gang peers

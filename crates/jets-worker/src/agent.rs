@@ -277,6 +277,37 @@ enum SessionEnd {
     Lost,
 }
 
+/// A task whose session died under it: the execution thread keeps
+/// running, and these handles let the *next* session claim the task,
+/// honour a late `Cancel`, and report the outcome.
+struct CarriedTask {
+    task_id: u64,
+    job_id: u64,
+    rx: Receiver<TaskOutcome>,
+    cancel: CancelToken,
+    started: Instant,
+    canceled: bool,
+    cancel_deadline: Option<Instant>,
+}
+
+/// Task state that outlives one dispatcher session.
+///
+/// A dispatcher restart severs every connection but kills no worker
+/// process: the pilot's task is still running and its results still
+/// matter. The agent carries both across the gap — the in-flight task
+/// (claimed via [`WorkerMsg::SessionState`] so a recovering dispatcher
+/// re-adopts the gang instead of relaunching it) and any terminal
+/// `Done` report that never reached the old wire (replayed verbatim
+/// after the next registration, so the dispatcher hears every result
+/// exactly once).
+#[derive(Default)]
+struct CarryState {
+    /// Terminal reports whose send failed: replayed after re-register.
+    stashed: Vec<WorkerMsg>,
+    /// The in-flight task surviving the outage, if any.
+    running: Option<CarriedTask>,
+}
+
 fn worker_loop(
     config: WorkerConfig,
     executor: Arc<dyn TaskExecutor>,
@@ -294,6 +325,7 @@ fn worker_loop(
     }
     let mut tasks_done = 0u64;
     let mut local_cache = LazyCache::default();
+    let mut carry = CarryState::default();
     let mut failed_attempts = 0u32;
     let mut jitter_state = config
         .reconnect
@@ -318,6 +350,7 @@ fn worker_loop(
                 &sock_slot,
                 &mut local_cache,
                 &mut tasks_done,
+                &mut carry,
             ) {
                 SessionEnd::Shutdown => {
                     return WorkerExit {
@@ -379,6 +412,7 @@ fn worker_loop(
 
 /// Run one registered dispatcher session over an established stream:
 /// register, heartbeat, request/execute/report until the connection ends.
+#[allow(clippy::too_many_arguments)]
 fn run_session(
     stream: TcpStream,
     config: &WorkerConfig,
@@ -387,6 +421,7 @@ fn run_session(
     sock_slot: &Arc<Mutex<Option<TcpStream>>>,
     local_cache: &mut LazyCache,
     tasks_done: &mut u64,
+    carry: &mut CarryState,
 ) -> SessionEnd {
     stream.set_nodelay(true).ok();
     let Ok(write_half) = stream.try_clone() else {
@@ -471,6 +506,31 @@ fn run_session(
         | Err(_) => return lost_or_killed(),
     }
 
+    // Recovery handshake (dispatcher crash recovery): claim the task
+    // carried from the previous session so a restarted dispatcher can
+    // re-adopt its gang during the reconciliation window — an
+    // established dispatcher answers an unknown claim with `Cancel` —
+    // then replay terminal reports that never made it onto the old
+    // wire, oldest first, keeping the rest stashed if this wire dies
+    // too.
+    if carry.running.is_some() || !carry.stashed.is_empty() {
+        let claim = carry.running.as_ref().map(|t| (t.task_id, t.job_id));
+        if writer
+            .lock()
+            .send(&WorkerMsg::SessionState { running: claim })
+            .is_err()
+        {
+            return lost_or_killed();
+        }
+        while let Some(msg) = carry.stashed.first() {
+            if writer.lock().send(msg).is_err() {
+                return lost_or_killed();
+            }
+            carry.stashed.remove(0);
+            *tasks_done += 1;
+        }
+    }
+
     let stop = Arc::new(AtomicBool::new(false));
     if let Some(period) = config.heartbeat {
         let hb_writer = Arc::clone(&writer);
@@ -496,15 +556,21 @@ fn run_session(
         }
     }
 
-    let end = session_task_loop(
-        config,
-        executor,
-        kill,
-        local_cache,
-        tasks_done,
-        &writer,
-        &inbox,
-    );
+    // Wait out the carried task (if any) before asking for new work;
+    // only then fall into the ordinary request/execute/report loop.
+    let end = match resume_carried_task(config, kill, &writer, &inbox, tasks_done, carry) {
+        Some(end) => end,
+        None => session_task_loop(
+            config,
+            executor,
+            kill,
+            local_cache,
+            tasks_done,
+            &writer,
+            &inbox,
+            carry,
+        ),
+    };
     stop.store(true, Ordering::Release);
     if end == SessionEnd::Shutdown {
         let _ = writer.lock().send(&WorkerMsg::Goodbye);
@@ -513,6 +579,7 @@ fn run_session(
 }
 
 /// The request → execute → report loop of one session.
+#[allow(clippy::too_many_arguments)]
 fn session_task_loop(
     config: &WorkerConfig,
     executor: &Arc<dyn TaskExecutor>,
@@ -521,6 +588,7 @@ fn session_task_loop(
     tasks_done: &mut u64,
     writer: &Arc<Mutex<MsgWriter<TcpStream>>>,
     inbox: &Receiver<Option<DispatcherMsg>>,
+    carry: &mut CarryState,
 ) -> SessionEnd {
     let lost_or_killed = || {
         if kill.load(Ordering::Acquire) {
@@ -591,6 +659,7 @@ fn session_task_loop(
         let cancel = CancelToken::new();
         let task_cancel = cancel.clone();
         let task_id = assignment.task_id;
+        let job_id = assignment.job_id;
         let started = Instant::now();
         // A task that never got a thread reports the executor's spawn
         // failure code, exactly as if the process itself had failed to
@@ -646,8 +715,23 @@ fn session_task_loop(
                 }
             }
             if conn_lost && !kill.load(Ordering::Acquire) {
-                // The dispatcher already counted this worker dead and
-                // requeued its job; abandon the task and reconnect.
+                // The dispatcher vanished mid-task. Keep the task alive
+                // and carry its handles into the next session: a
+                // restarted dispatcher re-adopts the gang from our
+                // `SessionState` claim, while a dispatcher that merely
+                // dropped us answers with `Cancel`. A task already
+                // canceled is discounted everywhere — abandon it.
+                if !canceled {
+                    carry.running = Some(CarriedTask {
+                        task_id,
+                        job_id,
+                        rx,
+                        cancel,
+                        started,
+                        canceled: false,
+                        cancel_deadline: None,
+                    });
+                }
                 break 'session SessionEnd::Lost;
             }
             match rx.recv_timeout(Duration::from_millis(20)) {
@@ -688,16 +772,20 @@ fn session_task_loop(
             }
             m.task_seconds.record(wall_ms.saturating_mul(1_000));
         }
-        if writer
-            .lock()
-            .send(&WorkerMsg::Done {
-                task_id,
-                exit_code: outcome.exit_code,
-                wall_ms,
-                output: outcome.output,
-            })
-            .is_err()
-        {
+        let done = WorkerMsg::Done {
+            task_id,
+            exit_code: outcome.exit_code,
+            wall_ms,
+            output: outcome.output,
+        };
+        if writer.lock().send(&done).is_err() {
+            // The report never reached the wire. Stash it for replay
+            // after the next registration so the dispatcher still hears
+            // the result exactly once (a canceled report carries no
+            // information a recovering dispatcher wants).
+            if !kill.load(Ordering::Acquire) && !canceled {
+                carry.stashed.push(done);
+            }
             break lost_or_killed();
         }
         *tasks_done += 1;
@@ -705,6 +793,118 @@ fn session_task_loop(
             break SessionEnd::Shutdown;
         }
     }
+}
+
+/// Wait out a task carried across a lost session. The `SessionState`
+/// claim is already on the wire; this loop honours the dispatcher's
+/// verdict (silence adopts the task, `Cancel` rejects the claim) and
+/// reports the outcome exactly as the original session would have.
+/// Returns `Some(end)` if the session ended here, `None` to continue
+/// into the ordinary task loop.
+fn resume_carried_task(
+    config: &WorkerConfig,
+    kill: &Arc<AtomicBool>,
+    writer: &Arc<Mutex<MsgWriter<TcpStream>>>,
+    inbox: &Receiver<Option<DispatcherMsg>>,
+    tasks_done: &mut u64,
+    carry: &mut CarryState,
+) -> Option<SessionEnd> {
+    let mut task = carry.running.take()?;
+    let _inflight = config.metrics.as_ref().map(|m| {
+        m.tasks_inflight.inc();
+        InflightGuard(&m.tasks_inflight)
+    });
+    let mut shutdown_after = false;
+    let result: Option<TaskOutcome> = loop {
+        let mut conn_lost = false;
+        while let Ok(msg) = inbox.try_recv() {
+            match msg {
+                Some(DispatcherMsg::Cancel { task_id }) if task_id == task.task_id => {
+                    // The claim was rejected (or the job's deadline
+                    // fired during the outage): trip the token and give
+                    // the task the usual grace to stand down.
+                    if !task.canceled {
+                        task.canceled = true;
+                        task.cancel.cancel();
+                        task.cancel_deadline = Some(Instant::now() + config.cancel_grace);
+                    }
+                }
+                Some(DispatcherMsg::Cancel { .. }) => {} // stale
+                Some(DispatcherMsg::Shutdown) => shutdown_after = true,
+                Some(
+                    DispatcherMsg::Registered { .. }
+                    | DispatcherMsg::Assign(_)
+                    | DispatcherMsg::RelayRegistered { .. }
+                    | DispatcherMsg::RelayAssign { .. }
+                    | DispatcherMsg::RelayCancel { .. },
+                ) => {}
+                None => conn_lost = true,
+            }
+        }
+        if conn_lost && !kill.load(Ordering::Acquire) {
+            // Lost again before the task finished: keep carrying it
+            // into the next session (unless it was canceled — that
+            // task is already discounted everywhere).
+            if !task.canceled {
+                carry.running = Some(task);
+            }
+            return Some(SessionEnd::Lost);
+        }
+        match task.rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(outcome) => break Some(outcome),
+            Err(RecvTimeoutError::Timeout) => {
+                if kill.load(Ordering::Acquire) {
+                    return Some(SessionEnd::Killed);
+                }
+                if task.cancel_deadline.is_some_and(|d| Instant::now() >= d) {
+                    break None; // grace expired: abandon the thread
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break None,
+        }
+    };
+    let outcome = match result {
+        Some(o) if task.canceled => TaskOutcome {
+            exit_code: EXIT_CANCELED,
+            output: o.output,
+        },
+        Some(o) => o,
+        None if task.canceled => TaskOutcome {
+            exit_code: EXIT_CANCELED,
+            output: None,
+        },
+        None => return Some(SessionEnd::Killed),
+    };
+    let wall_ms = task.started.elapsed().as_millis() as u64;
+    if let Some(m) = &config.metrics {
+        m.tasks_executed_total.inc();
+        if task.canceled {
+            m.tasks_canceled_total.inc();
+        } else if outcome.exit_code != 0 {
+            m.tasks_failed_total.inc();
+        }
+        m.task_seconds.record(wall_ms.saturating_mul(1_000));
+    }
+    let done = WorkerMsg::Done {
+        task_id: task.task_id,
+        exit_code: outcome.exit_code,
+        wall_ms,
+        output: outcome.output,
+    };
+    if writer.lock().send(&done).is_err() {
+        if kill.load(Ordering::Acquire) {
+            return Some(SessionEnd::Killed);
+        }
+        if !task.canceled {
+            carry.stashed.push(done);
+        }
+        return Some(SessionEnd::Lost);
+    }
+    *tasks_done += 1;
+    if shutdown_after {
+        return Some(SessionEnd::Shutdown);
+    }
+    None
 }
 
 #[cfg(test)]
@@ -874,6 +1074,30 @@ mod tests {
         assert_eq!(d.job_record(ok).unwrap().status, JobStatus::Succeeded);
         d.shutdown();
         w.join();
+    }
+
+    #[test]
+    fn carried_task_yields_to_dispatcher_verdict_after_disconnect() {
+        let d = Dispatcher::start(DispatcherConfig::default()).unwrap();
+        let w = Worker::spawn(
+            WorkerConfig::new(d.addr().to_string(), "carrier")
+                .with_reconnect(ReconnectPolicy::default()),
+            executor(),
+        );
+        let id = d.submit(
+            JobSpec::sequential(CommandSpec::builtin("sleep", vec!["400".into()])).with_retries(1),
+        );
+        thread::sleep(Duration::from_millis(100));
+        // Sever the link mid-task without killing the pilot. The agent
+        // carries the running task into its next session and claims it
+        // via `SessionState`; this dispatcher never died, already
+        // requeued the job, and rejects the claim with `Cancel` — the
+        // retry then runs to completion on the same (recycled) worker.
+        w.disconnect();
+        assert!(d.wait_idle(WAIT));
+        assert_eq!(d.job_record(id).unwrap().status, JobStatus::Succeeded);
+        d.shutdown();
+        assert_eq!(w.join().reason, ExitReason::Shutdown);
     }
 
     #[test]

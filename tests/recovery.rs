@@ -1,0 +1,291 @@
+//! Dispatcher crash recovery: `kill -9` mid-run, restart from the
+//! write-ahead journal, converge with no lost and no duplicated jobs.
+//!
+//! The scenario the journal exists for: a dispatcher driving a large
+//! batch dies abruptly — no goodbye frames, no clean close marker —
+//! while hundreds of jobs sit queued and a full allocation of gangs is
+//! mid-flight. A successor started with the same journal path must
+//! rebuild the queue, let surviving workers claim their in-flight
+//! tasks ([`jets::core::WorkerMsg::SessionState`]), re-adopt the
+//! claimed gangs instead of relaunching them, and finish every job
+//! exactly once.
+
+use jets::core::spec::{CommandSpec, JobSpec};
+use jets::core::{journal, Dispatcher, DispatcherConfig, EventKind, JobStatus};
+use jets::worker::{Executor, ReconnectPolicy, Worker, WorkerConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const WAIT: Duration = Duration::from_secs(120);
+
+fn journal_path(name: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("jets-recovery-{name}-{}.wal", std::process::id()));
+    std::fs::remove_file(&path).ok();
+    path
+}
+
+/// Restart on the address the killed dispatcher held, so reconnecting
+/// agents (whose dial string never changes) find the successor. The
+/// OS may briefly hold the port after the predecessor's listener
+/// drops; retry until the bind sticks.
+fn restart_on(addr: &str, config: &DispatcherConfig) -> Dispatcher {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match Dispatcher::start(DispatcherConfig {
+            bind_addr: addr.to_string(),
+            ..config.clone()
+        }) {
+            Ok(d) => return d,
+            Err(e) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "could not rebind dispatcher on {addr}: {e}"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+#[test]
+fn killed_dispatcher_converges_with_no_lost_or_duplicated_jobs() {
+    const GANGS: usize = 16; // running when the crash hits
+    const QUEUED: usize = 200; // still waiting in the queue
+    let path = journal_path("converge");
+    let config = DispatcherConfig {
+        journal: Some(path.clone()),
+        // Give slow reconnectors room; the window closes early once
+        // every orphaned gang is claimed, so the common case never
+        // waits this long.
+        reconcile_window: Duration::from_secs(10),
+        ..DispatcherConfig::default()
+    };
+    let d = Dispatcher::start(config.clone()).unwrap();
+    let addr = d.addr().to_string();
+
+    // A full allocation of reconnecting pilots, one core each.
+    let registry = jets::worker::apps::standard_registry();
+    let workers: Vec<Worker> = (0..GANGS)
+        .map(|i| {
+            Worker::spawn(
+                WorkerConfig::new(addr.clone(), format!("pilot-{i}"))
+                    .with_reconnect(ReconnectPolicy::default()),
+                Arc::new(Executor::new(registry.clone())),
+            )
+        })
+        .collect();
+    let deadline = Instant::now() + WAIT;
+    while d.alive_workers() < GANGS {
+        assert!(Instant::now() < deadline, "workers never registered");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Occupy every worker with a long task, then stack the queue.
+    let long_ids = d.submit_all((0..GANGS).map(|_| {
+        JobSpec::sequential(CommandSpec::builtin("sleep", vec!["3000".into()])).with_retries(3)
+    }));
+    while d
+        .records()
+        .iter()
+        .filter(|r| r.status == JobStatus::Running)
+        .count()
+        < GANGS
+    {
+        assert!(Instant::now() < deadline, "gangs never launched");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let quick_ids = d.submit_all((0..QUEUED).map(|_| {
+        JobSpec::sequential(CommandSpec::builtin("sleep", vec!["1".into()])).with_retries(3)
+    }));
+    let total = (GANGS + QUEUED) as u64;
+
+    // Crash. No shutdown frames reach the workers; their tasks keep
+    // running and their agents begin reconnect backoff.
+    d.kill();
+
+    // The successor replays the journal before accepting a single
+    // connection: every non-terminal job is back, scheduling is paused
+    // until the in-flight gangs are claimed or the window expires.
+    let d2 = restart_on(&addr, &config);
+    let m = d2.metrics();
+    assert_eq!(m.journal_replayed_jobs.get(), total as i64);
+    // The window is open until the surviving workers reconnect and
+    // claim — unless every claim already landed in the instants since
+    // the bind (possible under extreme scheduling, never the norm).
+    assert!(
+        d2.recovering() || m.gangs_readopted_total.get() == GANGS as u64,
+        "reconciliation window must open"
+    );
+
+    assert!(d2.wait_idle(WAIT), "recovered batch wedged");
+    for id in long_ids.iter().chain(quick_ids.iter()) {
+        assert_eq!(
+            d2.job_record(*id).unwrap().status,
+            JobStatus::Succeeded,
+            "job {id} not terminal after recovery"
+        );
+    }
+    // Exactly once each: every job completed on the successor, and no
+    // adopted gang was also relaunched (a duplicate launch would show
+    // up as a requeue of a job that still finished).
+    assert_eq!(m.jobs_completed_total.get(), total);
+    assert_eq!(m.jobs_requeued_total.get(), 0, "duplicate gang launch");
+    // Every mid-flight gang survived the crash and was re-adopted.
+    assert_eq!(m.gangs_readopted_total.get(), GANGS as u64);
+    let readopted = d2
+        .events()
+        .snapshot()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::GangReadopted { .. }))
+        .count();
+    assert_eq!(readopted, GANGS);
+    assert_eq!(m.journal_errors_total.get(), 0);
+
+    d2.shutdown();
+    for w in workers {
+        w.join();
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn replay_tolerates_a_torn_final_record() {
+    // A crash can land mid-append: the tail of the journal holds a
+    // frame header with no payload, or a payload whose CRC never got
+    // its final bytes. Replay must keep the valid prefix and drop the
+    // tail — silently, because this is the expected crash artifact.
+    let path = journal_path("torn");
+    let config = DispatcherConfig {
+        journal: Some(path.clone()),
+        ..DispatcherConfig::default()
+    };
+    let d = Dispatcher::start(config.clone()).unwrap();
+    let ids = d.submit_all(
+        (0..5).map(|_| JobSpec::sequential(CommandSpec::builtin("noop", vec![])).with_retries(1)),
+    );
+    d.kill();
+
+    // Tear the tail: a partial frame header, as if the process died
+    // inside `write(2)`.
+    let intact = std::fs::metadata(&path).unwrap().len();
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0x2a, 0x00, 0x00]).unwrap();
+    }
+    let summary = journal::scan(&path).unwrap();
+    assert_eq!(summary.dropped_bytes(), 3, "torn bytes must be dropped");
+    assert_eq!(summary.valid_len, intact);
+
+    // The successor replays the intact prefix and finishes the batch.
+    let d2 = Dispatcher::start(config).unwrap();
+    assert_eq!(d2.outstanding(), 5);
+    assert_eq!(d2.metrics().journal_replayed_jobs.get(), 5);
+    let w = Worker::spawn(
+        WorkerConfig::new(d2.addr().to_string(), "sweeper"),
+        Arc::new(Executor::new(jets::worker::apps::standard_registry())),
+    );
+    assert!(d2.wait_idle(WAIT), "torn-tail recovery wedged");
+    for id in ids {
+        assert_eq!(d2.job_record(id).unwrap().status, JobStatus::Succeeded);
+    }
+    assert_eq!(d2.metrics().jobs_completed_total.get(), 5);
+    d2.shutdown();
+    w.join();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn scripted_chaos_covers_a_dispatcher_crash() {
+    // The same crash, driven through the chaos harness: a scripted
+    // plan kills the dispatcher mid-run and restarts it from the
+    // journal via `DispatcherHooks`, proving the fault primitives
+    // compose with the existing worker-fault machinery.
+    use jets::sim::{
+        ChaosInjector, DispatcherHooks, FaultAction, FaultEvent, FaultPlan, DISPATCHER_TARGET,
+    };
+    use std::sync::Mutex;
+
+    let path = journal_path("chaos");
+    let config = DispatcherConfig {
+        journal: Some(path.clone()),
+        reconcile_window: Duration::from_secs(10),
+        ..DispatcherConfig::default()
+    };
+    let d = Dispatcher::start(config.clone()).unwrap();
+    let addr = d.addr().to_string();
+    let registry = jets::worker::apps::standard_registry();
+    let workers: Vec<Worker> = (0..4)
+        .map(|i| {
+            Worker::spawn(
+                WorkerConfig::new(addr.clone(), format!("chaos-pilot-{i}"))
+                    .with_reconnect(ReconnectPolicy::default()),
+                Arc::new(Executor::new(registry.clone())),
+            )
+        })
+        .collect();
+    let deadline = Instant::now() + WAIT;
+    while d.alive_workers() < 4 {
+        assert!(Instant::now() < deadline, "workers never registered");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let ids = d.submit_all((0..24).map(|_| {
+        JobSpec::sequential(CommandSpec::builtin("sleep", vec!["200".into()])).with_retries(3)
+    }));
+
+    // The chaos thread needs somewhere to park the dispatcher between
+    // the kill and the restart; the harness slot is that place.
+    let slot: Arc<Mutex<Option<Dispatcher>>> = Arc::new(Mutex::new(Some(d)));
+    let (kill_slot, restart_slot) = (Arc::clone(&slot), Arc::clone(&slot));
+    let (restart_addr, restart_cfg) = (addr.clone(), config.clone());
+    let hooks = DispatcherHooks {
+        kill: Box::new(move || {
+            if let Some(d) = kill_slot.lock().unwrap().take() {
+                d.kill();
+            }
+        }),
+        restart: Box::new(move || {
+            let d2 = restart_on(&restart_addr, &restart_cfg);
+            *restart_slot.lock().unwrap() = Some(d2);
+        }),
+    };
+    let plan = FaultPlan::scripted(vec![
+        FaultEvent {
+            at: Duration::from_millis(150),
+            action: FaultAction::KillDispatcher,
+            roll: 0,
+        },
+        FaultEvent {
+            at: Duration::from_millis(200),
+            action: FaultAction::RestartDispatcher,
+            roll: 0,
+        },
+    ]);
+    // No worker faults in this plan, so the allocation handle is an
+    // empty stand-in; the dispatcher hooks do all the damage.
+    let alloc = Arc::new(jets::sim::Allocation::start(
+        "127.0.0.1:1",
+        jets::sim::AllocationConfig::new(0),
+        Arc::new(Executor::new(registry.clone())),
+    ));
+    let applied = ChaosInjector::start_with_dispatcher(alloc, plan, hooks).join();
+    assert_eq!(
+        applied,
+        vec![
+            (FaultAction::KillDispatcher, DISPATCHER_TARGET),
+            (FaultAction::RestartDispatcher, DISPATCHER_TARGET),
+        ]
+    );
+
+    let d2 = slot.lock().unwrap().take().expect("restarted dispatcher");
+    assert!(d2.wait_idle(WAIT), "post-chaos batch wedged");
+    for id in ids {
+        assert_eq!(d2.job_record(id).unwrap().status, JobStatus::Succeeded);
+    }
+    assert_eq!(d2.metrics().jobs_requeued_total.get(), 0);
+    d2.shutdown();
+    for w in workers {
+        w.join();
+    }
+    std::fs::remove_file(&path).ok();
+}
