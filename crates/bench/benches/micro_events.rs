@@ -1,0 +1,143 @@
+//! Microbenchmarks of the flight-recorder record path (criterion).
+//!
+//! * `event_record_mutex_vec_baseline` — the replaced design: a
+//!   `Mutex<Vec<..>>` append with overwrite-oldest on wrap. Every
+//!   producer serializes on the lock, and a reader holding it stalls
+//!   them all.
+//! * `event_record_ring` — the shipped path: `EventLog::record`
+//!   (fixed-buffer encode + lock-free ring push) into an anonymous
+//!   mapping.
+//! * `event_record_ring_file` — the same path into a file-backed
+//!   mapping (`--flight-recorder` mode): the page-cache write the
+//!   dispatcher pays in production.
+//! * `event_record_ring_hammered` — `record` while three reader
+//!   threads spin `snapshot()` and cursor `poll()` flat out: the
+//!   acceptance claim that readers never block the writer, measured.
+//! * `ring_push_raw_120b` — the bare `jets_ring::Ring::push` floor
+//!   without the event codec, isolating encode cost by subtraction.
+//!
+//! `ringbench` (`cargo run -p jets-ring --bin ringbench`) reports the
+//! same floor dependency-free for the committed BENCH numbers; this
+//! harness adds the criterion statistics and the locked baseline.
+
+use criterion::Criterion;
+use jets_core::{EventKind, EventLog};
+use jets_ring::{Ring, PAYLOAD_BYTES};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn kind(task: u64) -> EventKind {
+    EventKind::TaskEnded {
+        task,
+        job: task % 17,
+        worker: task % 8,
+        ranks: 4,
+        exit_code: 0,
+    }
+}
+
+fn main() {
+    let mut criterion = Criterion::default()
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_secs(1))
+        .configure_from_args();
+
+    {
+        // The design the ring replaced: one mutex around a bounded Vec,
+        // overwrite-oldest by index. Same retention semantics, but the
+        // lock is on every producer's path.
+        const CAP: usize = 1 << 17;
+        let log: Mutex<Vec<(u64, EventKind)>> = Mutex::new(Vec::with_capacity(CAP));
+        let mut task = 0u64;
+        criterion.bench_function("event_record_mutex_vec_baseline", |b| {
+            b.iter(|| {
+                task += 1;
+                let mut guard = log.lock().unwrap();
+                if guard.len() < CAP {
+                    guard.push((task, kind(task)));
+                } else {
+                    let at = (task as usize) & (CAP - 1);
+                    guard[at] = (task, kind(task));
+                }
+                guard.len()
+            });
+        });
+    }
+
+    {
+        let log = EventLog::new();
+        let mut task = 0u64;
+        criterion.bench_function("event_record_ring", |b| {
+            b.iter(|| {
+                task += 1;
+                log.record(kind(task));
+            });
+        });
+    }
+
+    {
+        let path =
+            std::env::temp_dir().join(format!("jets-bench-flight-{}.ring", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let log = EventLog::file_backed(&path, 1 << 17).expect("create flight file");
+        let mut task = 0u64;
+        criterion.bench_function("event_record_ring_file", |b| {
+            b.iter(|| {
+                task += 1;
+                log.record(kind(task));
+            });
+        });
+        drop(log);
+        std::fs::remove_file(&path).ok();
+    }
+
+    {
+        // Readers at full tilt must not move the writer's latency: three
+        // threads spinning snapshot() and poll() while we record.
+        let log = EventLog::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|i| {
+                let log = log.clone();
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut cursor = log.tail_reader();
+                    let mut seen = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        if i == 0 {
+                            seen += log.snapshot().len() as u64;
+                        } else {
+                            while cursor.poll().is_some() {
+                                seen += 1;
+                            }
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        let mut task = 0u64;
+        criterion.bench_function("event_record_ring_hammered", |b| {
+            b.iter(|| {
+                task += 1;
+                log.record(kind(task));
+            });
+        });
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().expect("reader thread");
+        }
+    }
+
+    {
+        let ring = Ring::anon(1 << 17);
+        let payload = [0x5au8; PAYLOAD_BYTES];
+        criterion.bench_function("ring_push_raw_120b", |b| {
+            b.iter(|| ring.push(&payload));
+        });
+    }
+
+    criterion.final_summary();
+}

@@ -36,8 +36,7 @@ pub mod workload;
 pub use allocation::{Allocation, AllocationConfig};
 pub use apps::{register_namd, science_registry};
 pub use chaos::{
-    ChaosInjector, DispatcherHooks, FaultAction, FaultEvent, FaultMix, FaultPlan,
-    DISPATCHER_TARGET,
+    ChaosInjector, DispatcherHooks, FaultAction, FaultEvent, FaultMix, FaultPlan, DISPATCHER_TARGET,
 };
 pub use faults::FaultInjector;
 pub use relays::{RelayedAllocation, RelayedAllocationConfig};

@@ -4,9 +4,11 @@
 //! jets TASKFILE [--listen ADDR] [--simulate N] [--timeout SECS]
 //!               [--events-out FILE] [--metrics-addr ADDR]
 //!               [--journal FILE] [--fsync-policy always|interval|never]
+//!               [--flight-recorder FILE]
 //! jets events --in FILE [--nodes N] [--step-ms MS] [--stats]
 //! jets top --metrics ADDR [--interval-ms MS] [--once]
 //! jets journal <dump|verify> FILE
+//! jets flight <dump|tail> FILE [--stats] [--interval-ms MS]
 //! jets bench-conn [--conns N] [--frames M] [--loops L]
 //!                 [--workers W] [--jobs J] [--out FILE]
 //! ```
@@ -35,6 +37,12 @@
 //! journal dump FILE` prints a journal's records; `jets journal verify
 //! FILE` checks its integrity and summarizes what a restart would
 //! recover.
+//!
+//! `--flight-recorder FILE` backs the dispatcher's event ring with a
+//! crash-durable mmap at FILE: the last ~131k events survive `kill -9`.
+//! `jets flight dump FILE` replays such a file offline (`--stats` adds
+//! the phase table); `jets flight tail FILE` follows a *live* ring from
+//! another process without ever blocking its writer.
 
 use cluster_sim::{science_registry, Allocation, AllocationConfig};
 use jets_cli::prom::Scrape;
@@ -64,6 +72,10 @@ fn main() {
         let args = parse_args(argv.into_iter().skip(1), &[]);
         journal_main(&args);
     }
+    if argv.first().map(String::as_str) == Some("flight") {
+        let args = parse_args(argv.into_iter().skip(1), &["interval-ms"]);
+        flight_main(&args);
+    }
     if argv.first().map(String::as_str) == Some("bench-conn") {
         let args = parse_args(
             argv.into_iter().skip(1),
@@ -81,11 +93,12 @@ fn main() {
             "metrics-addr",
             "journal",
             "fsync-policy",
+            "flight-recorder",
         ],
     );
     let Some(taskfile) = args.positional.first() else {
         eprintln!(
-            "usage: jets TASKFILE [--listen ADDR] [--simulate N] [--timeout SECS] [--events-out FILE] [--metrics-addr ADDR] [--journal FILE] [--fsync-policy always|interval|never]\n       jets events --in FILE [--nodes N] [--step-ms MS] [--stats]\n       jets top --metrics ADDR [--interval-ms MS] [--once]\n       jets journal <dump|verify> FILE"
+            "usage: jets TASKFILE [--listen ADDR] [--simulate N] [--timeout SECS] [--events-out FILE] [--metrics-addr ADDR] [--journal FILE] [--fsync-policy always|interval|never] [--flight-recorder FILE]\n       jets events --in FILE [--nodes N] [--step-ms MS] [--stats]\n       jets top --metrics ADDR [--interval-ms MS] [--once]\n       jets journal <dump|verify> FILE\n       jets flight <dump|tail> FILE [--stats] [--interval-ms MS]"
         );
         std::process::exit(2);
     };
@@ -110,6 +123,7 @@ fn main() {
         bind_addr: args.get("listen").unwrap_or("127.0.0.1:0").to_string(),
         journal: args.get("journal").map(std::path::PathBuf::from),
         fsync_policy,
+        flight_recorder: args.get("flight-recorder").map(std::path::PathBuf::from),
         ..DispatcherConfig::default()
     };
     let dispatcher = match Dispatcher::start(config) {
@@ -125,6 +139,9 @@ fn main() {
         if dispatcher.recovering() {
             println!("jets: reconciling jobs recovered from a previous run");
         }
+    }
+    if let Some(path) = args.get("flight-recorder") {
+        println!("jets: flight recorder ring at {path}");
     }
     if let Some(addr) = args.get("metrics-addr") {
         match dispatcher.serve_metrics(addr) {
@@ -208,13 +225,17 @@ fn events_main(args: &Args) -> ! {
             std::process::exit(2);
         }
     };
-    let events = match jets_core::read_jsonl(BufReader::new(file)) {
-        Ok(ev) => ev,
+    let load = match jets_core::read_jsonl(BufReader::new(file)) {
+        Ok(load) => load,
         Err(e) => {
             eprintln!("jets: {path}: {e}");
             std::process::exit(2);
         }
     };
+    if load.skipped > 0 {
+        eprintln!("jets: {path}: skipped {} malformed line(s)", load.skipped);
+    }
+    let events = load.events;
     if events.is_empty() {
         println!("jets: {path}: empty event log");
         std::process::exit(0);
@@ -402,6 +423,98 @@ fn journal_main(args: &Args) -> ! {
         }
     }
     std::process::exit(0);
+}
+
+/// `jets flight <dump|tail> FILE`: inspect a flight-recorder ring.
+/// `dump` maps the file read-only and replays everything it retains —
+/// the file may come from a `kill -9`'d process; torn and overwritten
+/// slots are reported, not fatal. `--stats` adds the same per-phase
+/// latency table `jets events --stats` prints. `tail` follows a *live*
+/// ring: it seats a lock-free cursor at the current head and streams
+/// events as the writer commits them, without ever blocking it.
+fn flight_main(args: &Args) -> ! {
+    let (Some(action), Some(path)) = (
+        args.positional.first().map(String::as_str),
+        args.positional.get(1),
+    ) else {
+        eprintln!("usage: jets flight <dump|tail> FILE [--stats] [--interval-ms MS]");
+        std::process::exit(2);
+    };
+    let fmt_event = |e: &jets_core::Event| format!("t={:>12.6}s  {:?}", e.t.as_secs_f64(), e.kind);
+    match action {
+        "dump" => {
+            let view = match jets_core::read_flight(std::path::Path::new(path)) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("jets flight: {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            for (i, e) in view.events.iter().enumerate() {
+                println!("{i:>6}  {}", fmt_event(e));
+            }
+            println!(
+                "jets flight: {path}: {} events retained of {} recorded (epoch {} us)",
+                view.events.len(),
+                view.total_recorded,
+                view.epoch_unix_us
+            );
+            if view.overwritten > 0 {
+                println!(
+                    "  overwritten:  {} oldest events lost to the ring",
+                    view.overwritten
+                );
+            }
+            if view.torn > 0 {
+                println!(
+                    "  torn:         {} slot(s) mid-write at the moment of death",
+                    view.torn
+                );
+            }
+            if view.undecodable > 0 {
+                println!(
+                    "  undecodable:  {} committed slot(s) failed to decode",
+                    view.undecodable
+                );
+            }
+            if args.has_flag("stats") {
+                print_phase_stats(&view.events);
+            }
+            std::process::exit(0);
+        }
+        "tail" => {
+            let mut tail = match jets_core::tail_flight(std::path::Path::new(path)) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("jets flight: {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            eprintln!(
+                "jets flight: tailing {path} (writer pid {}); ctrl-c to stop",
+                tail.writer_pid()
+            );
+            let interval = Duration::from_millis(args.get_parse("interval-ms", 200u64));
+            let mut lapped_seen = 0u64;
+            loop {
+                while let Some(e) = tail.poll() {
+                    println!("{}", fmt_event(&e));
+                }
+                if tail.lapped() > lapped_seen {
+                    eprintln!(
+                        "jets flight: fell behind the writer, skipped {} event(s)",
+                        tail.lapped() - lapped_seen
+                    );
+                    lapped_seen = tail.lapped();
+                }
+                std::thread::sleep(interval);
+            }
+        }
+        _ => {
+            eprintln!("jets flight: unknown action {action:?} (dump | tail)");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// `jets top`: poll a `/metrics` endpoint and render a one-screen
@@ -625,7 +738,9 @@ fn bench_reactor_echo(conns: usize, frames: usize, loops: usize) -> Result<Strin
     })
     .map_err(|e| format!("reactor start: {e}"))?;
     let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
-    let addr = listener.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
     reactor
         .listen(
             listener,
@@ -774,9 +889,7 @@ fn bench_job_throughput(workers: u32, jobs: usize) -> Result<String, String> {
 
     let batch = "@sleep 0\n".repeat(jobs);
     let start = Instant::now();
-    let ids = d
-        .submit_input(&batch)
-        .map_err(|e| format!("submit: {e}"))?;
+    let ids = d.submit_input(&batch).map_err(|e| format!("submit: {e}"))?;
     if !d.wait_idle(Duration::from_secs(300)) {
         return Err(format!(
             "timed out with {} jobs outstanding",
@@ -786,7 +899,12 @@ fn bench_job_throughput(workers: u32, jobs: usize) -> Result<String, String> {
     let wall = start.elapsed();
     let ok = ids
         .iter()
-        .filter(|id| matches!(d.job_record(**id).map(|r| r.status), Some(JobStatus::Succeeded)))
+        .filter(|id| {
+            matches!(
+                d.job_record(**id).map(|r| r.status),
+                Some(JobStatus::Succeeded)
+            )
+        })
         .count();
     let rate = jobs as f64 / wall.as_secs_f64().max(1e-9);
 

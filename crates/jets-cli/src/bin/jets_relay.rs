@@ -6,6 +6,7 @@
 //!            [--reconnect-attempts N] [--reconnect-base-ms MS]
 //!            [--reconnect-cap-ms MS] [--reconnect-jitter F]
 //!            [--reconnect-seed S] [--metrics-addr ADDR]
+//!            [--flight-recorder FILE]
 //! ```
 //!
 //! Fronts a block of workers over one dispatcher connection: point
@@ -37,6 +38,7 @@ fn main() {
             "reconnect-jitter",
             "reconnect-seed",
             "metrics-addr",
+            "flight-recorder",
         ],
     );
     let Some(dispatcher) = args.get("dispatcher") else {
@@ -75,6 +77,10 @@ fn main() {
         jitter: args.get_parse("reconnect-jitter", defaults.jitter),
         seed: args.get_parse("reconnect-seed", defaults.seed),
     };
+    config.flight_recorder = args.get("flight-recorder").map(std::path::PathBuf::from);
+    if let Some(path) = args.get("flight-recorder") {
+        println!("jets-relay: flight recorder ring at {path}");
+    }
     let name = config.name.clone();
     let relay = match Relay::start(config) {
         Ok(r) => r,

@@ -6,7 +6,7 @@
 //!             [--reconnect] [--reconnect-attempts N]
 //!             [--reconnect-base-ms MS] [--reconnect-cap-ms MS]
 //!             [--reconnect-jitter F] [--reconnect-seed S]
-//!             [--metrics-addr ADDR]
+//!             [--metrics-addr ADDR] [--flight-recorder FILE]
 //! jets-worker --relay HOST:PORT [...]
 //! ```
 //!
@@ -21,6 +21,10 @@
 //!
 //! `--metrics-addr ADDR` serves this agent's `GET /metrics` (Prometheus
 //! text) and `GET /healthz`; see `docs/observability.md`.
+//!
+//! `--flight-recorder FILE` records the agent's lifecycle events
+//! (registration, task start/end) into a crash-durable mmap ring at
+//! FILE; replay it with `jets flight dump FILE`.
 
 use cluster_sim::science_registry;
 use jets_cli::parse_args;
@@ -44,6 +48,7 @@ fn main() {
             "reconnect-jitter",
             "reconnect-seed",
             "metrics-addr",
+            "flight-recorder",
         ],
     );
     let endpoint = match (args.get("dispatcher"), args.get("relay")) {
@@ -89,8 +94,12 @@ fn main() {
             .and_then(|s| s.parse().ok())
             .map(Duration::from_secs),
         reconnect,
+        flight_recorder: args.get("flight-recorder").map(std::path::PathBuf::from),
         ..WorkerConfig::new(endpoint.clone(), "unnamed")
     };
+    if let Some(path) = args.get("flight-recorder") {
+        println!("jets-worker: flight recorder ring at {path}");
+    }
     let metrics = Arc::new(WorkerMetrics::new());
     config.metrics = Some(Arc::clone(&metrics));
     // Held for the process lifetime; dropping it would close the port.

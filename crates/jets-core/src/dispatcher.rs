@@ -55,9 +55,7 @@ use crate::spec::{JobId, JobSpec, TaskId, WorkerId};
 use crossbeam::queue::SegQueue;
 use jets_obs::MetricsServer;
 use jets_pmi::{ManualLauncher, PmiServer, PmiServerConfig, RankLayout};
-use jets_reactor::{
-    CloseReason, ConnHandler, Flow, Outbox, Reactor, ReactorConfig, ReactorStats,
-};
+use jets_reactor::{CloseReason, ConnHandler, Flow, Outbox, Reactor, ReactorConfig, ReactorStats};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::io;
@@ -113,6 +111,15 @@ pub struct DispatcherConfig {
     /// requeueing whatever went unclaimed. Scheduling is paused for the
     /// duration (ends early once every orphaned gang is resolved).
     pub reconcile_window: Duration,
+    /// Path of the mmap-backed flight-recorder file. When set, the
+    /// event log's ring lives in a `MAP_SHARED` mapping of this file:
+    /// every recorded event survives `kill -9` and the file replays
+    /// offline with `jets flight dump` (see `docs/observability.md`).
+    /// `None` keeps the ring in anonymous memory.
+    pub flight_recorder: Option<std::path::PathBuf>,
+    /// Events the ring retains before overwriting the oldest (rounded
+    /// up to a power of two).
+    pub flight_capacity: usize,
 }
 
 impl Default for DispatcherConfig {
@@ -131,6 +138,8 @@ impl Default for DispatcherConfig {
             journal: None,
             fsync_policy: FsyncPolicy::Always,
             reconcile_window: Duration::from_secs(2),
+            flight_recorder: None,
+            flight_capacity: crate::events::DEFAULT_EVENT_CAPACITY,
         }
     }
 }
@@ -213,19 +222,12 @@ enum ConnHandle {
 impl ConnHandle {
     /// Ship an assignment to `worker`, encoding through `enc`; false if
     /// the connection is gone or its bounded outbox overflowed.
-    fn send_assign(
-        &self,
-        worker: WorkerId,
-        assignment: TaskAssignment,
-        enc: &mut Vec<u8>,
-    ) -> bool {
+    fn send_assign(&self, worker: WorkerId, assignment: TaskAssignment, enc: &mut Vec<u8>) -> bool {
         match self {
             ConnHandle::Direct(out) => send_frame(out, enc, &DispatcherMsg::Assign(assignment)),
-            ConnHandle::Relayed(out) => send_frame(
-                out,
-                enc,
-                &DispatcherMsg::RelayAssign { worker, assignment },
-            ),
+            ConnHandle::Relayed(out) => {
+                send_frame(out, enc, &DispatcherMsg::RelayAssign { worker, assignment })
+            }
         }
     }
 
@@ -381,6 +383,13 @@ impl Dispatcher {
             }
             None => (None, Vec::new()),
         };
+        // The flight recorder, like the journal, opens before anything
+        // is externally visible; a re-opened file continues the crashed
+        // incarnation's sequence numbers and timeline.
+        let log = match &config.flight_recorder {
+            Some(path) => EventLog::file_backed(path, config.flight_capacity)?,
+            None => EventLog::with_capacity(config.flight_capacity),
+        };
         let inner = Arc::new(Inner {
             sched: Mutex::new(Sched {
                 queue: JobQueue::new(config.queue_policy),
@@ -401,7 +410,7 @@ impl Dispatcher {
                 outstanding: 0,
             }),
             config,
-            log: EventLog::new(),
+            log,
             metrics: Arc::new(DispatcherMetrics::new()),
             idle_cv: Condvar::new(),
             pending_ready: SegQueue::new(),
@@ -695,6 +704,11 @@ impl Dispatcher {
         for out in relays.values() {
             send_frame(out, enc, &DispatcherMsg::Shutdown);
         }
+        drop(st);
+        // Clean-shutdown nicety: push the flight recorder's pages to
+        // disk now. (A kill skips this on purpose — surviving *without*
+        // the flush is what the mmap is for.)
+        let _ = self.inner.log.sync();
     }
 }
 
@@ -715,12 +729,14 @@ fn monitor_loop(inner: Arc<Inner>) {
     // stay monotonic too.
     let mut prev_wakeups = 0u64;
     let mut prev_slow = 0u64;
+    let mut prev_events = 0u64;
     loop {
         if inner.shutdown.load(Ordering::Acquire) {
             return;
         }
         thread::sleep(tick);
         bridge_reactor_stats(&inner, &mut prev_wakeups, &mut prev_slow);
+        bridge_event_log(&inner, &mut prev_events);
         // Under the `Interval` fsync policy the monitor tick is the
         // durability clock: one flush per tick, off the hot path.
         if inner.config.fsync_policy == FsyncPolicy::Interval {
@@ -801,7 +817,8 @@ fn sample_gauges(inner: &Inner, st: &Sched) {
     m.relays_current.set(st.relays.len() as i64);
     m.workers_alive.set(st.registry.alive_count() as i64);
     m.workers_busy.set(st.registry.busy_count() as i64);
-    m.quarantined_current.set(st.registry.quarantined_count() as i64);
+    m.quarantined_current
+        .set(st.registry.quarantined_count() as i64);
 }
 
 /// Publish the reactor's counters into the metric surface. Lock-free on
@@ -820,6 +837,21 @@ fn bridge_reactor_stats(inner: &Inner, prev_wakeups: &mut u64, prev_slow: &mut u
     m.reactor_slow_consumer_disconnects_total
         .add(slow.saturating_sub(*prev_slow));
     *prev_slow = slow;
+}
+
+/// Publish the flight recorder's cursors into the metric surface. The
+/// metric side is a pure ring *reader* (one atomic load of the claim
+/// cursor): `/metrics` scrapes observe the event stream without ever
+/// touching the record path or any scheduling lock.
+fn bridge_event_log(inner: &Inner, prev_events: &mut u64) {
+    let m = &inner.metrics;
+    let recorded = inner.log.len() as u64;
+    m.events_recorded_total
+        .add(recorded.saturating_sub(*prev_events));
+    *prev_events = recorded;
+    let capacity = inner.log.capacity() as u64;
+    m.events_retained.set(recorded.min(capacity) as i64);
+    m.events_capacity.set(capacity as i64);
 }
 
 /// What one reactor connection has proven itself to be. The first frame
@@ -929,7 +961,11 @@ impl DispatcherConn {
                     None,
                     ConnHandle::Direct(Arc::clone(&outbox)),
                 );
-                send_frame(&outbox, &mut self.enc, &DispatcherMsg::Registered { worker_id });
+                send_frame(
+                    &outbox,
+                    &mut self.enc,
+                    &DispatcherMsg::Registered { worker_id },
+                );
                 self.state = ConnState::Direct { worker_id, hb };
                 Flow::Continue
             }
@@ -939,7 +975,9 @@ impl DispatcherConn {
                     let mut st = self.inner.sched.lock();
                     st.relays.insert(relay_id, Arc::clone(&outbox));
                 }
-                self.inner.log.record(EventKind::RelayUp { relay: relay_id });
+                self.inner
+                    .log
+                    .record(EventKind::RelayUp { relay: relay_id });
                 send_frame(
                     &outbox,
                     &mut self.enc,
@@ -1900,7 +1938,10 @@ fn recover_populate(inner: &Inner, rec: journal::Recovered) {
     use crate::journal::RecoveredPhase;
     inner.next_job.store(rec.next_job, Ordering::Release);
     inner.next_task.store(rec.next_task, Ordering::Release);
-    inner.metrics.journal_replayed_jobs.set(rec.jobs.len() as i64);
+    inner
+        .metrics
+        .journal_replayed_jobs
+        .set(rec.jobs.len() as i64);
     let now = Instant::now();
     let mut synthesized: Vec<Record> = Vec::new();
     let mut orphans: HashMap<JobId, Vec<TaskId>> = HashMap::new();
@@ -1940,7 +1981,10 @@ fn recover_populate(inner: &Inner, rec: journal::Recovered) {
                     // The crash fell between the last task report and
                     // the terminal record: finish, don't re-run.
                     inner.metrics.jobs_completed_total.inc();
-                    synthesized.push(Record::Finished { job: id, success: true });
+                    synthesized.push(Record::Finished {
+                        job: id,
+                        success: true,
+                    });
                     records.push(JobRecord {
                         id,
                         spec: job.spec,
@@ -2395,10 +2439,8 @@ mod tests {
     }
 
     fn journal_tmp(name: &str) -> std::path::PathBuf {
-        let path = std::env::temp_dir().join(format!(
-            "jets-dispatcher-{name}-{}.wal",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("jets-dispatcher-{name}-{}.wal", std::process::id()));
         std::fs::remove_file(&path).ok();
         path
     }
@@ -2411,8 +2453,8 @@ mod tests {
             ..DispatcherConfig::default()
         };
         let d = Dispatcher::start(config.clone()).unwrap();
-        let ids = d
-            .submit_all((0..5).map(|_| JobSpec::sequential(CommandSpec::builtin("ok", vec![]))));
+        let ids =
+            d.submit_all((0..5).map(|_| JobSpec::sequential(CommandSpec::builtin("ok", vec![]))));
         assert_eq!(d.outstanding(), 5);
         d.kill();
         // The successor replays the journal: all five jobs pending

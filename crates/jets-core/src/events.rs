@@ -1,4 +1,5 @@
-//! Timestamped event log of dispatcher activity.
+//! Timestamped event log of dispatcher activity, stored in a
+//! [`jets_ring`] flight recorder.
 //!
 //! Every consequential dispatcher action is recorded against a shared
 //! epoch. The evaluation section of the paper is computed entirely from
@@ -6,6 +7,20 @@
 //! nodes-available versus running-jobs timelines under fault injection
 //! (Fig. 10), and task run-time distributions (Fig. 11). See
 //! [`crate::stats`] for the derived series.
+//!
+//! ## Storage
+//!
+//! [`EventLog::record`] encodes the event into a fixed 62-byte-max
+//! layout (tag byte + little-endian fields, no serde) and pushes it
+//! into a lock-free ring — no `Mutex`, no allocation, no unbounded
+//! growth. Consumers ([`EventLog::snapshot`], [`EventCursor`], the
+//! Prometheus gauges, `jets top`) are independent ring readers that
+//! never block the writer; a reader that falls a full window behind is
+//! *lapped* and its cursor reports how many records it missed.
+//!
+//! With [`EventLog::file_backed`] the ring lives in a `MAP_SHARED`
+//! mmap (`--flight-recorder FILE`): the journal survives `kill -9` and
+//! [`read_flight`] replays it offline (`jets flight dump`).
 //!
 //! ## Offline persistence
 //!
@@ -15,11 +30,11 @@
 //! saved run — `jets events --in run.jsonl` does exactly that.
 
 use crate::spec::{JobId, TaskId, WorkerId};
-use parking_lot::Mutex;
+use jets_ring::{Ring, RingReader, PAYLOAD_BYTES};
 use serde::{Deserialize, Serialize};
 use std::io::{self, BufRead, Write};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::path::Path;
+use std::time::{Duration, Instant, SystemTime};
 
 /// What happened.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -167,6 +182,288 @@ pub struct Event {
     pub t: Duration,
     /// What happened.
     pub kind: EventKind,
+}
+
+// ---------------------------------------------------------------------------
+// Ring codec: tag byte + t_us + little-endian fields, fixed layout per
+// variant, 62 bytes worst case (JobPhases) against the ring's 120-byte
+// slot. No serde, no allocation — this runs on the record hot path.
+
+const TAG_WORKER_UP: u8 = 1;
+const TAG_WORKER_DOWN: u8 = 2;
+const TAG_JOB_SUBMITTED: u8 = 3;
+const TAG_JOB_STARTED: u8 = 4;
+const TAG_JOB_COMPLETED: u8 = 5;
+const TAG_JOB_PHASES: u8 = 6;
+const TAG_JOB_REQUEUED: u8 = 7;
+const TAG_DEADLINE_EXCEEDED: u8 = 8;
+const TAG_WORKER_QUARANTINED: u8 = 9;
+const TAG_TASK_STARTED: u8 = 10;
+const TAG_RELAY_UP: u8 = 11;
+const TAG_RELAY_DOWN: u8 = 12;
+const TAG_TASK_ENDED: u8 = 13;
+const TAG_GANG_READOPTED: u8 = 14;
+const TAG_UP_QUEUE_DROPPED: u8 = 15;
+
+/// Fixed-size encoder over a stack buffer.
+struct Enc<'a> {
+    buf: &'a mut [u8; PAYLOAD_BYTES],
+    at: usize,
+}
+
+impl Enc<'_> {
+    #[inline]
+    fn u8(&mut self, v: u8) {
+        self.buf[self.at] = v;
+        self.at += 1;
+    }
+    #[inline]
+    fn u32(&mut self, v: u32) {
+        self.buf[self.at..self.at + 4].copy_from_slice(&v.to_le_bytes());
+        self.at += 4;
+    }
+    #[inline]
+    fn u64(&mut self, v: u64) {
+        self.buf[self.at..self.at + 8].copy_from_slice(&v.to_le_bytes());
+        self.at += 8;
+    }
+    #[inline]
+    fn i32(&mut self, v: i32) {
+        self.buf[self.at..self.at + 4].copy_from_slice(&v.to_le_bytes());
+        self.at += 4;
+    }
+}
+
+/// Encode one event into `buf`; returns the encoded length.
+fn encode_event(t_us: u64, kind: &EventKind, buf: &mut [u8; PAYLOAD_BYTES]) -> usize {
+    let mut e = Enc { buf, at: 0 };
+    e.u64(t_us);
+    match kind {
+        EventKind::WorkerUp { worker } => {
+            e.u8(TAG_WORKER_UP);
+            e.u64(*worker);
+        }
+        EventKind::WorkerDown { worker } => {
+            e.u8(TAG_WORKER_DOWN);
+            e.u64(*worker);
+        }
+        EventKind::JobSubmitted { job, nodes, ppn } => {
+            e.u8(TAG_JOB_SUBMITTED);
+            e.u64(*job);
+            e.u32(*nodes);
+            e.u32(*ppn);
+        }
+        EventKind::JobStarted { job, nodes, ppn } => {
+            e.u8(TAG_JOB_STARTED);
+            e.u64(*job);
+            e.u32(*nodes);
+            e.u32(*ppn);
+        }
+        EventKind::JobCompleted {
+            job,
+            nodes,
+            ppn,
+            success,
+        } => {
+            e.u8(TAG_JOB_COMPLETED);
+            e.u64(*job);
+            e.u32(*nodes);
+            e.u32(*ppn);
+            e.u8(*success as u8);
+        }
+        EventKind::JobPhases {
+            job,
+            nodes,
+            queue_us,
+            launch_us,
+            pmi_us,
+            run_us,
+            total_us,
+        } => {
+            e.u8(TAG_JOB_PHASES);
+            e.u64(*job);
+            e.u32(*nodes);
+            e.u64(*queue_us);
+            e.u64(*launch_us);
+            e.u64(*run_us);
+            e.u64(*total_us);
+            e.u8(pmi_us.is_some() as u8);
+            e.u64(pmi_us.unwrap_or(0));
+        }
+        EventKind::JobRequeued { job } => {
+            e.u8(TAG_JOB_REQUEUED);
+            e.u64(*job);
+        }
+        EventKind::DeadlineExceeded { job } => {
+            e.u8(TAG_DEADLINE_EXCEEDED);
+            e.u64(*job);
+        }
+        EventKind::WorkerQuarantined {
+            worker,
+            strikes,
+            until_ms,
+        } => {
+            e.u8(TAG_WORKER_QUARANTINED);
+            e.u64(*worker);
+            e.u32(*strikes);
+            e.u64(*until_ms);
+        }
+        EventKind::TaskStarted {
+            task,
+            job,
+            worker,
+            ranks,
+        } => {
+            e.u8(TAG_TASK_STARTED);
+            e.u64(*task);
+            e.u64(*job);
+            e.u64(*worker);
+            e.u32(*ranks);
+        }
+        EventKind::RelayUp { relay } => {
+            e.u8(TAG_RELAY_UP);
+            e.u64(*relay);
+        }
+        EventKind::RelayDown { relay } => {
+            e.u8(TAG_RELAY_DOWN);
+            e.u64(*relay);
+        }
+        EventKind::TaskEnded {
+            task,
+            job,
+            worker,
+            ranks,
+            exit_code,
+        } => {
+            e.u8(TAG_TASK_ENDED);
+            e.u64(*task);
+            e.u64(*job);
+            e.u64(*worker);
+            e.u32(*ranks);
+            e.i32(*exit_code);
+        }
+        EventKind::GangReadopted { job } => {
+            e.u8(TAG_GANG_READOPTED);
+            e.u64(*job);
+        }
+        EventKind::UpQueueDropped { relay, dropped } => {
+            e.u8(TAG_UP_QUEUE_DROPPED);
+            e.u64(*relay);
+            e.u64(*dropped);
+        }
+    }
+    e.at
+}
+
+/// Bounds-checked decoder over a record payload.
+struct Dec<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl Dec<'_> {
+    fn u8(&mut self) -> Option<u8> {
+        let v = *self.buf.get(self.at)?;
+        self.at += 1;
+        Some(v)
+    }
+    fn u32(&mut self) -> Option<u32> {
+        let b = self.buf.get(self.at..self.at + 4)?;
+        self.at += 4;
+        Some(u32::from_le_bytes(b.try_into().ok()?))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        let b = self.buf.get(self.at..self.at + 8)?;
+        self.at += 8;
+        Some(u64::from_le_bytes(b.try_into().ok()?))
+    }
+    fn i32(&mut self) -> Option<i32> {
+        let b = self.buf.get(self.at..self.at + 4)?;
+        self.at += 4;
+        Some(i32::from_le_bytes(b.try_into().ok()?))
+    }
+}
+
+/// Decode one ring payload back into an [`Event`]. `None` on an
+/// unknown tag or a short payload (a record from a newer build, or a
+/// torn slot that slipped through — the caller counts, not crashes).
+fn decode_event(payload: &[u8]) -> Option<Event> {
+    let mut d = Dec {
+        buf: payload,
+        at: 0,
+    };
+    let t_us = d.u64()?;
+    let kind = match d.u8()? {
+        TAG_WORKER_UP => EventKind::WorkerUp { worker: d.u64()? },
+        TAG_WORKER_DOWN => EventKind::WorkerDown { worker: d.u64()? },
+        TAG_JOB_SUBMITTED => EventKind::JobSubmitted {
+            job: d.u64()?,
+            nodes: d.u32()?,
+            ppn: d.u32()?,
+        },
+        TAG_JOB_STARTED => EventKind::JobStarted {
+            job: d.u64()?,
+            nodes: d.u32()?,
+            ppn: d.u32()?,
+        },
+        TAG_JOB_COMPLETED => EventKind::JobCompleted {
+            job: d.u64()?,
+            nodes: d.u32()?,
+            ppn: d.u32()?,
+            success: d.u8()? != 0,
+        },
+        TAG_JOB_PHASES => {
+            let job = d.u64()?;
+            let nodes = d.u32()?;
+            let queue_us = d.u64()?;
+            let launch_us = d.u64()?;
+            let run_us = d.u64()?;
+            let total_us = d.u64()?;
+            let has_pmi = d.u8()? != 0;
+            let pmi = d.u64()?;
+            EventKind::JobPhases {
+                job,
+                nodes,
+                queue_us,
+                launch_us,
+                pmi_us: has_pmi.then_some(pmi),
+                run_us,
+                total_us,
+            }
+        }
+        TAG_JOB_REQUEUED => EventKind::JobRequeued { job: d.u64()? },
+        TAG_DEADLINE_EXCEEDED => EventKind::DeadlineExceeded { job: d.u64()? },
+        TAG_WORKER_QUARANTINED => EventKind::WorkerQuarantined {
+            worker: d.u64()?,
+            strikes: d.u32()?,
+            until_ms: d.u64()?,
+        },
+        TAG_TASK_STARTED => EventKind::TaskStarted {
+            task: d.u64()?,
+            job: d.u64()?,
+            worker: d.u64()?,
+            ranks: d.u32()?,
+        },
+        TAG_RELAY_UP => EventKind::RelayUp { relay: d.u64()? },
+        TAG_RELAY_DOWN => EventKind::RelayDown { relay: d.u64()? },
+        TAG_TASK_ENDED => EventKind::TaskEnded {
+            task: d.u64()?,
+            job: d.u64()?,
+            worker: d.u64()?,
+            ranks: d.u32()?,
+            exit_code: d.i32()?,
+        },
+        TAG_GANG_READOPTED => EventKind::GangReadopted { job: d.u64()? },
+        TAG_UP_QUEUE_DROPPED => EventKind::UpQueueDropped {
+            relay: d.u64()?,
+            dropped: d.u64()?,
+        },
+        _ => return None,
+    };
+    Some(Event {
+        t: Duration::from_micros(t_us),
+        kind,
+    })
 }
 
 /// Flat wire form of one [`Event`] — one JSONL line.
@@ -447,31 +744,63 @@ impl EventRecord {
     }
 }
 
+/// Result of loading a JSONL event stream: the events that parsed plus
+/// a count of malformed lines skipped.
+#[derive(Debug, Default)]
+pub struct JsonlLoad {
+    /// Every event that parsed, in file order.
+    pub events: Vec<Event>,
+    /// Lines that were not valid event records (bad JSON, unknown tag,
+    /// missing field) — skipped, like the WAL's torn-tail policy.
+    pub skipped: u64,
+}
+
 /// Load a JSONL event stream written by [`EventLog::write_jsonl`].
-/// Blank lines are skipped; a malformed line fails the whole load.
-pub fn read_jsonl(reader: impl BufRead) -> io::Result<Vec<Event>> {
-    let mut events = Vec::new();
+/// Blank lines are ignored; a malformed line no longer fails the whole
+/// load — it is skipped and counted in [`JsonlLoad::skipped`], matching
+/// the WAL journal's torn-tail recovery policy (a partially flushed
+/// final line must not make the rest of a crashed run unreadable).
+/// I/O errors still fail.
+pub fn read_jsonl(reader: impl BufRead) -> io::Result<JsonlLoad> {
+    let mut load = JsonlLoad::default();
     for line in reader.lines() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let rec: EventRecord = serde_json::from_str(&line)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        events.push(rec.into_event()?);
+        let parsed = serde_json::from_str::<EventRecord>(&line)
+            .ok()
+            .and_then(|rec| rec.into_event().ok());
+        match parsed {
+            Some(event) => load.events.push(event),
+            None => load.skipped += 1,
+        }
     }
-    Ok(events)
+    Ok(load)
 }
 
-/// Shared, thread-safe, append-only event log.
+/// Default ring capacity in slots (2^17 × 128 B = 16 MiB): comfortably
+/// larger than the event count of any tier-1 run, so `snapshot()` is
+/// lossless there, while bounding memory forever on long-lived daemons.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1 << 17;
+
+/// Shared, thread-safe, append-only event log on a lock-free ring.
+///
+/// [`EventLog::record`] takes no lock and performs no allocation; any
+/// number of readers ([`EventLog::snapshot`], [`EventCursor`]) run
+/// concurrently without ever stalling the writer. The ring holds the
+/// most recent [`EventLog::capacity`] events — older ones are
+/// overwritten, and cursors report how many they missed via
+/// [`EventCursor::lapped`].
 #[derive(Clone)]
 pub struct EventLog {
-    inner: Arc<Inner>,
-}
-
-struct Inner {
+    /// The instant this handle's timeline anchors to.
     epoch: Instant,
-    events: Mutex<Vec<Event>>,
+    /// Time already on the journal's clock when this handle opened it
+    /// (non-zero only for a re-opened flight-recorder file, so a
+    /// restarted daemon continues the crashed one's timeline).
+    base: Duration,
+    ring: Ring,
 }
 
 impl Default for EventLog {
@@ -481,45 +810,119 @@ impl Default for EventLog {
 }
 
 impl EventLog {
-    /// A fresh log whose epoch is now.
+    /// A fresh in-memory log whose epoch is now.
     pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// A fresh in-memory log retaining at least `capacity` events
+    /// (rounded up to a power of two, floor [`jets_ring::MIN_CAPACITY`]).
+    pub fn with_capacity(capacity: usize) -> Self {
         EventLog {
-            inner: Arc::new(Inner {
-                epoch: Instant::now(),
-                events: Mutex::new(Vec::new()),
-            }),
+            epoch: Instant::now(),
+            base: Duration::ZERO,
+            ring: Ring::anon(capacity),
         }
     }
 
-    /// The log's epoch.
+    /// A log backed by a `MAP_SHARED` flight-recorder file: every
+    /// record lands in kernel-owned pages and survives `kill -9`, for
+    /// offline replay with [`read_flight`] / `jets flight dump`.
+    /// Re-opening an existing file continues its sequence numbers and
+    /// its timeline (timestamps stay relative to the *original* epoch).
+    pub fn file_backed(path: &Path, capacity: usize) -> io::Result<Self> {
+        let ring = Ring::create(path, capacity)?;
+        let wall_us = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        // For a file created just now this is ~0; for a re-opened one
+        // it is the age of the journal, keeping new timestamps past
+        // the crashed run's instead of restarting at zero.
+        let base = Duration::from_micros(wall_us.saturating_sub(ring.epoch_unix_us()));
+        Ok(EventLog {
+            epoch: Instant::now(),
+            base,
+            ring,
+        })
+    }
+
+    /// The log's epoch (the instant `t == 0`, reconstructed for
+    /// re-opened flight files).
     pub fn epoch(&self) -> Instant {
-        self.inner.epoch
+        self.epoch.checked_sub(self.base).unwrap_or(self.epoch)
     }
 
     /// Time since the epoch.
     pub fn now(&self) -> Duration {
-        self.inner.epoch.elapsed()
+        self.base + self.epoch.elapsed()
     }
 
     /// Append an event stamped with the current time.
+    ///
+    /// Hot path: a fixed-layout encode into a stack buffer and one
+    /// lock-free ring push — no `Mutex`, no allocation (lint-enforced).
     pub fn record(&self, kind: EventKind) {
-        let t = self.now();
-        self.inner.events.lock().push(Event { t, kind });
+        let t_us = self.now().as_micros() as u64;
+        let mut buf = [0u8; PAYLOAD_BYTES];
+        let len = encode_event(t_us, &kind, &mut buf);
+        self.ring.push(&buf[..len]);
     }
 
-    /// Snapshot all events recorded so far.
+    /// Snapshot the retained window, in recording order. This is a ring
+    /// *read* — it copies slots without taking any lock, so a snapshot
+    /// of any size never stalls recording. If more than
+    /// [`EventLog::capacity`] events were ever recorded, the oldest are
+    /// gone from the window (use a flight-recorder file for full
+    /// history).
     pub fn snapshot(&self) -> Vec<Event> {
-        self.inner.events.lock().clone()
+        let replay = self.ring.replay();
+        let mut events = Vec::with_capacity(replay.records.len());
+        for rec in &replay.records {
+            if let Some(ev) = decode_event(rec.payload()) {
+                events.push(ev);
+            }
+        }
+        events
     }
 
-    /// Number of events recorded.
+    /// Total events ever recorded (including any no longer retained).
     pub fn len(&self) -> usize {
-        self.inner.events.lock().len()
+        self.ring.seq() as usize
     }
 
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Events the ring can retain before overwriting the oldest.
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity() as usize
+    }
+
+    /// A cursor over the whole retained window, then the live stream.
+    /// Polling never blocks the writer (or anything else).
+    pub fn reader(&self) -> EventCursor {
+        EventCursor {
+            inner: self.ring.reader(),
+            decode_errors: 0,
+        }
+    }
+
+    /// A cursor that skips history and yields only events recorded
+    /// after this call — the `jets top` live-tail shape.
+    pub fn tail_reader(&self) -> EventCursor {
+        EventCursor {
+            inner: self.ring.reader_from(self.ring.seq()),
+            decode_errors: 0,
+        }
+    }
+
+    /// Flush a file-backed log to disk now (clean-shutdown nicety; the
+    /// mmap survives `kill -9` without it). No-op for in-memory logs.
+    pub fn sync(&self) -> io::Result<()> {
+        self.ring.sync()
     }
 
     /// Persist the log as JSONL: one flat [`EventRecord`] object per
@@ -534,6 +937,131 @@ impl EventLog {
             writer.write_all(b"\n")?;
         }
         writer.flush()
+    }
+}
+
+/// A lock-free cursor over an [`EventLog`]'s ring. Each cursor owns its
+/// position: polling copies committed slots and never takes a lock, so
+/// live consumers (`jets top`, the Prometheus gauges) cannot stall the
+/// dispatcher's record path.
+pub struct EventCursor {
+    inner: RingReader,
+    decode_errors: u64,
+}
+
+impl EventCursor {
+    /// Next event, or `None` when caught up with the writer.
+    pub fn poll(&mut self) -> Option<Event> {
+        loop {
+            let rec = self.inner.poll()?;
+            match decode_event(rec.payload()) {
+                Some(ev) => return Some(ev),
+                None => self.decode_errors += 1,
+            }
+        }
+    }
+
+    /// Events this cursor missed because the writer lapped it.
+    pub fn lapped(&self) -> u64 {
+        self.inner.lapped()
+    }
+
+    /// The sequence number the next poll will look at.
+    pub fn position(&self) -> u64 {
+        self.inner.position()
+    }
+
+    /// Records that could not be decoded (newer build's tags, or torn
+    /// slots that slipped past the lap accounting).
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors
+    }
+}
+
+/// An offline replay of a flight-recorder file (typically from a
+/// process that no longer exists — `kill -9`, OOM, power loss).
+#[derive(Debug)]
+pub struct FlightView {
+    /// Every committed, decodable event, in recording order.
+    pub events: Vec<Event>,
+    /// Slots lost to writes in flight at the moment of death (0 or 1
+    /// for a quiescent file; the mmap commits records atomically per
+    /// slot, so at most the very last claims can be torn).
+    pub torn: u64,
+    /// Committed slots whose payload did not decode (a newer build's
+    /// event tags, or corruption).
+    pub undecodable: u64,
+    /// Events overwritten before the crash (total recorded − retained).
+    pub overwritten: u64,
+    /// Total events ever recorded by the dead process(es).
+    pub total_recorded: u64,
+    /// Wall-clock microseconds (Unix epoch) of the journal's `t == 0`.
+    pub epoch_unix_us: u64,
+}
+
+/// Map a flight-recorder file read-only and replay everything it
+/// retains. The file need not come from a clean shutdown — that is the
+/// point.
+pub fn read_flight(path: &Path) -> io::Result<FlightView> {
+    let ring = Ring::open_read(path)?;
+    let replay = ring.replay();
+    let mut events = Vec::with_capacity(replay.records.len());
+    let mut undecodable = 0u64;
+    for rec in &replay.records {
+        match decode_event(rec.payload()) {
+            Some(ev) => events.push(ev),
+            None => undecodable += 1,
+        }
+    }
+    Ok(FlightView {
+        events,
+        torn: replay.torn,
+        undecodable,
+        overwritten: replay.earliest,
+        total_recorded: replay.head,
+        epoch_unix_us: ring.epoch_unix_us(),
+    })
+}
+
+/// A live follow of *another process's* flight-recorder file: the ring
+/// is mapped read-only and the cursor starts at the current head, so
+/// polling yields only events the writer records after this call — the
+/// `jets flight tail` shape. The writer never knows we exist.
+pub struct FlightTail {
+    ring: Ring,
+    cursor: EventCursor,
+}
+
+/// Open `path` read-only and seat a cursor at the live head.
+pub fn tail_flight(path: &Path) -> io::Result<FlightTail> {
+    let ring = Ring::open_read(path)?;
+    let cursor = EventCursor {
+        inner: ring.reader_from(ring.seq()),
+        decode_errors: 0,
+    };
+    Ok(FlightTail { ring, cursor })
+}
+
+impl FlightTail {
+    /// Next event recorded since the last poll, or `None` when caught up.
+    pub fn poll(&mut self) -> Option<Event> {
+        self.cursor.poll()
+    }
+
+    /// Events missed because the writer lapped this cursor (a tail that
+    /// polls slower than the writer records).
+    pub fn lapped(&self) -> u64 {
+        self.cursor.lapped()
+    }
+
+    /// Wall-clock microseconds (Unix epoch) of the writer's `t == 0`.
+    pub fn epoch_unix_us(&self) -> u64 {
+        self.ring.epoch_unix_us()
+    }
+
+    /// PID the writer stamped into the header at open.
+    pub fn writer_pid(&self) -> u64 {
+        self.ring.writer_pid()
     }
 }
 
@@ -563,82 +1091,96 @@ mod tests {
         assert_eq!(log.epoch(), log2.epoch());
     }
 
+    /// Record one of every variant; returns what was recorded, in
+    /// order, so callers can compare storage against ground truth.
+    fn one_of_each(log: &EventLog) -> Vec<EventKind> {
+        let kinds = vec![
+            EventKind::WorkerUp { worker: 1 },
+            EventKind::RelayUp { relay: 7 },
+            EventKind::JobSubmitted {
+                job: 2,
+                nodes: 4,
+                ppn: 2,
+            },
+            EventKind::JobStarted {
+                job: 2,
+                nodes: 4,
+                ppn: 2,
+            },
+            EventKind::TaskStarted {
+                task: 3,
+                job: 2,
+                worker: 1,
+                ranks: 2,
+            },
+            EventKind::TaskEnded {
+                task: 3,
+                job: 2,
+                worker: 1,
+                ranks: 2,
+                exit_code: crate::spec::EXIT_CANCELED,
+            },
+            EventKind::JobCompleted {
+                job: 2,
+                nodes: 4,
+                ppn: 2,
+                success: false,
+            },
+            EventKind::JobPhases {
+                job: 2,
+                nodes: 4,
+                queue_us: 1_500,
+                launch_us: 200,
+                pmi_us: Some(900),
+                run_us: 10_000,
+                total_us: 12_600,
+            },
+            // A sequential job has no PMI phase: `pmi_us` must
+            // round-trip as absent, not as zero.
+            EventKind::JobPhases {
+                job: 5,
+                nodes: 1,
+                queue_us: 10,
+                launch_us: 5,
+                pmi_us: None,
+                run_us: 50,
+                total_us: 65,
+            },
+            EventKind::JobRequeued { job: 2 },
+            EventKind::DeadlineExceeded { job: 2 },
+            EventKind::WorkerQuarantined {
+                worker: 1,
+                strikes: 3,
+                until_ms: 99,
+            },
+            EventKind::GangReadopted { job: 2 },
+            EventKind::UpQueueDropped {
+                relay: 7,
+                dropped: 31,
+            },
+            EventKind::RelayDown { relay: 7 },
+            EventKind::WorkerDown { worker: 1 },
+        ];
+        for k in &kinds {
+            log.record(k.clone());
+        }
+        kinds
+    }
+
     /// Every `EventKind` variant must survive the JSONL round trip with
     /// its timestamp (at microsecond resolution) and payload intact.
     #[test]
     fn jsonl_round_trips_every_kind() {
         let log = EventLog::new();
-        log.record(EventKind::WorkerUp { worker: 1 });
-        log.record(EventKind::RelayUp { relay: 7 });
-        log.record(EventKind::JobSubmitted {
-            job: 2,
-            nodes: 4,
-            ppn: 2,
-        });
-        log.record(EventKind::JobStarted {
-            job: 2,
-            nodes: 4,
-            ppn: 2,
-        });
-        log.record(EventKind::TaskStarted {
-            task: 3,
-            job: 2,
-            worker: 1,
-            ranks: 2,
-        });
-        log.record(EventKind::TaskEnded {
-            task: 3,
-            job: 2,
-            worker: 1,
-            ranks: 2,
-            exit_code: crate::spec::EXIT_CANCELED,
-        });
-        log.record(EventKind::JobCompleted {
-            job: 2,
-            nodes: 4,
-            ppn: 2,
-            success: false,
-        });
-        log.record(EventKind::JobPhases {
-            job: 2,
-            nodes: 4,
-            queue_us: 1_500,
-            launch_us: 200,
-            pmi_us: Some(900),
-            run_us: 10_000,
-            total_us: 12_600,
-        });
-        // A sequential job has no PMI phase: `pmi_us` must round-trip
-        // as absent, not as zero.
-        log.record(EventKind::JobPhases {
-            job: 5,
-            nodes: 1,
-            queue_us: 10,
-            launch_us: 5,
-            pmi_us: None,
-            run_us: 50,
-            total_us: 65,
-        });
-        log.record(EventKind::JobRequeued { job: 2 });
-        log.record(EventKind::DeadlineExceeded { job: 2 });
-        log.record(EventKind::WorkerQuarantined {
-            worker: 1,
-            strikes: 3,
-            until_ms: 99,
-        });
-        log.record(EventKind::GangReadopted { job: 2 });
-        log.record(EventKind::UpQueueDropped {
-            relay: 7,
-            dropped: 31,
-        });
-        log.record(EventKind::RelayDown { relay: 7 });
-        log.record(EventKind::WorkerDown { worker: 1 });
+        one_of_each(&log);
 
         let mut buf = Vec::new();
         log.write_jsonl(&mut buf).unwrap();
         assert_eq!(buf.iter().filter(|&&b| b == b'\n').count(), log.len());
 
-        let back = read_jsonl(std::io::BufReader::new(&buf[..])).unwrap();
+        let load = read_jsonl(std::io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(load.skipped, 0);
+        let back = load.events;
         let original = log.snapshot();
         assert_eq!(back.len(), original.len());
         for (b, o) in back.iter().zip(&original) {
@@ -677,6 +1219,49 @@ mod tests {
         }
     }
 
+    /// The ring codec is the *primary* storage now: every variant must
+    /// survive the encode → slot → decode trip bit-exactly, and the
+    /// worst-case encoding must fit a slot with room to grow. No serde
+    /// anywhere on this path, so this test genuinely runs in the
+    /// offline stub workspace too.
+    #[test]
+    fn ring_codec_round_trips_every_kind() {
+        let log = EventLog::new();
+        let recorded = one_of_each(&log);
+        let back = log.snapshot();
+        assert_eq!(back.len(), recorded.len(), "nothing lost in the ring");
+        for (b, k) in back.iter().zip(&recorded) {
+            assert_eq!(&b.kind, k);
+        }
+        for pair in back.windows(2) {
+            assert!(pair[0].t <= pair[1].t, "timestamps stay monotone");
+        }
+
+        // Worst-case encoded size stays well inside a 120-byte slot.
+        let mut enc = [0u8; PAYLOAD_BYTES];
+        let len = encode_event(
+            u64::MAX,
+            &EventKind::JobPhases {
+                job: u64::MAX,
+                nodes: u32::MAX,
+                queue_us: u64::MAX,
+                launch_us: u64::MAX,
+                pmi_us: Some(u64::MAX),
+                run_us: u64::MAX,
+                total_us: u64::MAX,
+            },
+            &mut enc,
+        );
+        assert!(len <= PAYLOAD_BYTES, "JobPhases is the largest encoding");
+        assert_eq!(len, 62);
+
+        // Garbage payloads decode to None, never panic.
+        assert!(decode_event(&[]).is_none());
+        assert!(decode_event(&[0xff; 9]).is_none());
+        let short = &enc[..len - 1];
+        assert!(decode_event(short).is_none(), "truncated field rejected");
+    }
+
     /// Saved logs must feed the stats module unchanged: the recomputed
     /// series from a reloaded log match the in-memory ones.
     #[test]
@@ -699,31 +1284,44 @@ mod tests {
         });
         let mut buf = Vec::new();
         log.write_jsonl(&mut buf).unwrap();
-        let back = read_jsonl(std::io::BufReader::new(&buf[..])).unwrap();
+        let back = read_jsonl(std::io::BufReader::new(&buf[..]))
+            .unwrap()
+            .events;
         let live = crate::stats::measured_utilization(&log.snapshot(), 4);
         let offline = crate::stats::measured_utilization(&back, 4);
         assert!((live - offline).abs() < 1e-6);
     }
 
+    /// Malformed lines are skipped and counted, never fatal: one torn
+    /// tail line must not make a crashed run's log unreadable.
     #[test]
-    fn jsonl_rejects_garbage_and_unknown_kinds() {
-        let err = read_jsonl(std::io::BufReader::new(&b"not json\n"[..])).unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    fn jsonl_skips_and_counts_garbage() {
+        let input = concat!(
+            "{\"t_us\":1,\"kind\":\"WorkerUp\",\"worker\":1}\n",
+            "not json\n",
+            "{\"t_us\":2,\"kind\":\"NoSuchKind\"}\n",
+            "{\"t_us\":3,\"kind\":\"WorkerUp\"}\n", // missing field
+            "\n  \n",
+            "{\"t_us\":4,\"kind\":\"WorkerDown\",\"worker\":1}\n",
+            "{\"t_us\":5,\"kind\":\"JobRequeued\",\"job\"", // torn tail
+        );
+        let load = read_jsonl(std::io::BufReader::new(input.as_bytes())).unwrap();
+        assert_eq!(load.events.len(), 2, "the good lines load");
+        assert_eq!(load.skipped, 4, "every bad line counted");
+        assert_eq!(load.events[0].kind, EventKind::WorkerUp { worker: 1 });
+        assert_eq!(load.events[1].kind, EventKind::WorkerDown { worker: 1 });
+
+        // Direct record conversion still reports errors precisely.
         let rec = EventRecord {
             kind: "NoSuchKind".into(),
             ..EventRecord::default()
         };
         assert!(rec.into_event().is_err());
-        // A known kind with a missing payload field is also rejected.
         let rec = EventRecord {
             kind: "WorkerUp".into(),
             ..EventRecord::default()
         };
         assert!(rec.into_event().is_err());
-        // Blank lines are tolerated.
-        assert!(read_jsonl(std::io::BufReader::new(&b"\n  \n"[..]))
-            .unwrap()
-            .is_empty());
     }
 
     #[test]
@@ -742,5 +1340,109 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(log.len(), 800);
+        assert_eq!(log.snapshot().len(), 800);
+    }
+
+    /// The window is bounded: overflowing it overwrites the oldest
+    /// events, `len()` keeps counting, and a cursor reports the lap.
+    #[test]
+    fn overwrite_oldest_with_lap_accounting() {
+        let log = EventLog::with_capacity(1024); // the ring's floor
+        assert_eq!(log.capacity(), 1024);
+        let mut cursor = log.reader();
+        for i in 0..1500u64 {
+            log.record(EventKind::WorkerUp { worker: i });
+        }
+        assert_eq!(log.len(), 1500, "total recorded keeps counting");
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 1024, "window holds the newest capacity-many");
+        assert_eq!(
+            snap[0].kind,
+            EventKind::WorkerUp { worker: 476 },
+            "oldest retained is total - capacity"
+        );
+        let mut seen = 0u64;
+        while cursor.poll().is_some() {
+            seen += 1;
+        }
+        assert_eq!(seen + cursor.lapped(), 1500, "cursor accounts for the lap");
+        assert_eq!(cursor.lapped(), 476);
+        assert_eq!(cursor.decode_errors(), 0);
+    }
+
+    /// The snapshot-stall satellite: readers hammering `snapshot()` and
+    /// cursors must never stall `record`. The writer runs a fixed count
+    /// flat-out; the test passes iff it completes with full accounting
+    /// while three readers spin — with the old `Mutex<Vec>` log this
+    /// shape serialized every snapshot clone against the writer.
+    #[test]
+    fn snapshot_hammer_never_stalls_the_writer() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let log = EventLog::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut hammers = Vec::new();
+        for _ in 0..2 {
+            let l = log.clone();
+            let stop = Arc::clone(&stop);
+            hammers.push(thread::spawn(move || {
+                let mut snaps = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let _ = l.snapshot();
+                    snaps += 1;
+                }
+                snaps
+            }));
+        }
+        let mut cursor = log.reader();
+        const TOTAL: u64 = 100_000;
+        for i in 0..TOTAL {
+            log.record(EventKind::WorkerUp { worker: i });
+        }
+        stop.store(true, Ordering::Release);
+        for h in hammers {
+            assert!(h.join().unwrap() > 0, "snapshots ran during the storm");
+        }
+        let mut seen = 0u64;
+        while cursor.poll().is_some() {
+            seen += 1;
+        }
+        assert_eq!(seen + cursor.lapped(), TOTAL);
+        assert_eq!(log.len() as u64, TOTAL);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn file_backed_log_replays_offline() {
+        let path = std::env::temp_dir().join(format!("jets-events-{}.ring", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = EventLog::file_backed(&path, 2048).unwrap();
+            one_of_each(&log);
+            assert_eq!(log.len(), 16);
+        } // dropped without sync(): the mmap still has everything
+        let view = read_flight(&path).unwrap();
+        assert_eq!(view.events.len(), 16);
+        assert_eq!(view.torn, 0);
+        assert_eq!(view.undecodable, 0);
+        assert_eq!(view.overwritten, 0);
+        assert_eq!(view.total_recorded, 16);
+        assert!(view.epoch_unix_us > 0);
+        assert_eq!(view.events[0].kind, EventKind::WorkerUp { worker: 1 });
+
+        // Re-opening continues the sequence and the timeline.
+        {
+            let log = EventLog::file_backed(&path, 2048).unwrap();
+            assert_eq!(log.len(), 16);
+            let before = view.events.last().unwrap().t;
+            log.record(EventKind::WorkerDown { worker: 9 });
+            let view2 = read_flight(&path).unwrap();
+            assert_eq!(view2.events.len(), 17);
+            assert!(
+                view2.events.last().unwrap().t >= before,
+                "restarted run's clock continues, never rewinds"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -551,12 +551,7 @@ pub fn scan(path: &Path) -> io::Result<ReplaySummary> {
             break;
         }
         let len = u32::from_le_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]]);
-        let crc = u32::from_le_bytes([
-            data[pos + 4],
-            data[pos + 5],
-            data[pos + 6],
-            data[pos + 7],
-        ]);
+        let crc = u32::from_le_bytes([data[pos + 4], data[pos + 5], data[pos + 6], data[pos + 7]]);
         if len == 0 || len > MAX_RECORD_BYTES {
             break; // corrupt length field
         }
@@ -599,7 +594,10 @@ impl Journal {
     /// Open (or create) the journal at `path` for appending, first
     /// truncating any torn or corrupt tail, and return the surviving
     /// records for replay.
-    pub fn open(path: impl Into<PathBuf>, policy: FsyncPolicy) -> io::Result<(Journal, Vec<Record>)> {
+    pub fn open(
+        path: impl Into<PathBuf>,
+        policy: FsyncPolicy,
+    ) -> io::Result<(Journal, Vec<Record>)> {
         let path = path.into();
         let summary = scan(&path)?;
         let mut file = OpenOptions::new()
@@ -790,9 +788,7 @@ pub fn recover(records: &[Record]) -> Recovered {
                 exit_code,
             } => {
                 next_task = next_task.max(task + 1);
-                if let Some((pending, ended)) =
-                    jobs.get_mut(job).and_then(|e| e.active.as_mut())
-                {
+                if let Some((pending, ended)) = jobs.get_mut(job).and_then(|e| e.active.as_mut()) {
                     if let Some(pos) = pending.iter().position(|&(_, t)| t == *task) {
                         pending.swap_remove(pos);
                         ended.push(*exit_code);
@@ -874,8 +870,14 @@ mod tests {
 
     fn all_kinds() -> Vec<Record> {
         vec![
-            Record::Submitted { job: 1, spec: spec() },
-            Record::Enqueued { job: 1, attempts: 0 },
+            Record::Submitted {
+                job: 1,
+                spec: spec(),
+            },
+            Record::Enqueued {
+                job: 1,
+                attempts: 0,
+            },
             Record::Assigned {
                 job: 1,
                 attempt: 1,
@@ -886,7 +888,10 @@ mod tests {
                 task: 100,
                 exit_code: crate::spec::EXIT_WORKER_LOST,
             },
-            Record::Requeued { job: 1, attempts: 1 },
+            Record::Requeued {
+                job: 1,
+                attempts: 1,
+            },
             Record::QuarantineStrike { name: "w3".into() },
             Record::QuarantineRelease { name: "w3".into() },
             Record::DeadlineExceeded { job: 1 },
@@ -977,8 +982,14 @@ mod tests {
         assert_eq!(
             summary.records,
             vec![
-                Record::Enqueued { job: 0, attempts: 0 },
-                Record::Enqueued { job: 1, attempts: 0 },
+                Record::Enqueued {
+                    job: 0,
+                    attempts: 0
+                },
+                Record::Enqueued {
+                    job: 1,
+                    attempts: 0
+                },
             ]
         );
         assert_eq!(summary.dropped_bytes(), 3 * frame as u64);
@@ -1014,22 +1025,70 @@ mod tests {
         let s = spec();
         let records = vec![
             // Job 1: finished before the crash — not resurrected.
-            Record::Submitted { job: 1, spec: s.clone() },
-            Record::Enqueued { job: 1, attempts: 0 },
-            Record::Assigned { job: 1, attempt: 1, tasks: vec![(4, 40)] },
-            Record::TaskEnded { job: 1, task: 40, exit_code: 0 },
-            Record::Finished { job: 1, success: true },
+            Record::Submitted {
+                job: 1,
+                spec: s.clone(),
+            },
+            Record::Enqueued {
+                job: 1,
+                attempts: 0,
+            },
+            Record::Assigned {
+                job: 1,
+                attempt: 1,
+                tasks: vec![(4, 40)],
+            },
+            Record::TaskEnded {
+                job: 1,
+                task: 40,
+                exit_code: 0,
+            },
+            Record::Finished {
+                job: 1,
+                success: true,
+            },
             // Job 2: queued at the crash.
-            Record::Submitted { job: 2, spec: s.clone() },
-            Record::Enqueued { job: 2, attempts: 0 },
+            Record::Submitted {
+                job: 2,
+                spec: s.clone(),
+            },
+            Record::Enqueued {
+                job: 2,
+                attempts: 0,
+            },
             // Job 3: second attempt in flight, one member already ended.
-            Record::Submitted { job: 3, spec: s.clone() },
-            Record::Enqueued { job: 3, attempts: 0 },
-            Record::Assigned { job: 3, attempt: 1, tasks: vec![(5, 50)] },
-            Record::TaskEnded { job: 3, task: 50, exit_code: crate::spec::EXIT_WORKER_LOST },
-            Record::Requeued { job: 3, attempts: 1 },
-            Record::Assigned { job: 3, attempt: 2, tasks: vec![(6, 60), (7, 61)] },
-            Record::TaskEnded { job: 3, task: 60, exit_code: 0 },
+            Record::Submitted {
+                job: 3,
+                spec: s.clone(),
+            },
+            Record::Enqueued {
+                job: 3,
+                attempts: 0,
+            },
+            Record::Assigned {
+                job: 3,
+                attempt: 1,
+                tasks: vec![(5, 50)],
+            },
+            Record::TaskEnded {
+                job: 3,
+                task: 50,
+                exit_code: crate::spec::EXIT_WORKER_LOST,
+            },
+            Record::Requeued {
+                job: 3,
+                attempts: 1,
+            },
+            Record::Assigned {
+                job: 3,
+                attempt: 2,
+                tasks: vec![(6, 60), (7, 61)],
+            },
+            Record::TaskEnded {
+                job: 3,
+                task: 60,
+                exit_code: 0,
+            },
             // Strikes: two for w9, one struck-and-released for w5.
             Record::QuarantineStrike { name: "w9".into() },
             Record::QuarantineStrike { name: "w9".into() },

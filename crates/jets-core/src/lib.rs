@@ -55,7 +55,10 @@ pub mod spec;
 pub mod stats;
 
 pub use dispatcher::{Dispatcher, DispatcherConfig, JobRecord, JobStatus};
-pub use events::{read_jsonl, Event, EventKind, EventLog, EventRecord};
+pub use events::{
+    read_flight, read_jsonl, tail_flight, Event, EventCursor, EventKind, EventLog, EventRecord,
+    FlightTail, FlightView, JsonlLoad,
+};
 pub use group::GroupingPolicy;
 pub use journal::{FsyncPolicy, Journal};
 pub use metrics::DispatcherMetrics;

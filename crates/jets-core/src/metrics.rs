@@ -83,6 +83,14 @@ pub struct DispatcherMetrics {
     /// In-flight gangs re-adopted (instead of relaunched) after a
     /// dispatcher restart.
     pub gangs_readopted_total: Arc<Counter>,
+    /// Events recorded into the flight-recorder ring. Bridged from the
+    /// ring's claim cursor by the monitor — the metric surface is a
+    /// ring *reader* and never touches the record path.
+    pub events_recorded_total: Arc<Counter>,
+    /// Events currently retained in the ring window.
+    pub events_retained: Arc<Gauge>,
+    /// The ring's capacity: events held before overwriting the oldest.
+    pub events_capacity: Arc<Gauge>,
     /// Queue-wait phase: last enqueue → workers selected.
     pub phase_queue: Arc<Histogram>,
     /// Launch phase: workers selected → assignments shipped.
@@ -107,31 +115,94 @@ impl DispatcherMetrics {
             )
         };
         DispatcherMetrics {
-            jobs_submitted_total: r.counter("jets_jobs_submitted_total", "Jobs accepted into the queue"),
-            jobs_completed_total: r.counter("jets_jobs_completed_total", "Jobs that reached a terminal state"),
-            jobs_failed_total: r.counter("jets_jobs_failed_total", "Terminal jobs whose final attempt failed"),
-            jobs_requeued_total: r.counter("jets_jobs_requeued_total", "Failed attempts requeued for retry"),
-            deadline_exceeded_total: r.counter("jets_deadline_exceeded_total", "Attempts canceled for exceeding their deadline"),
-            tasks_started_total: r.counter("jets_tasks_started_total", "Task assignments shipped to workers"),
-            tasks_ended_total: r.counter("jets_tasks_ended_total", "Task results reported by workers"),
-            reconnects_total: r.counter("jets_reconnects_total", "Registrations under a previously seen worker name"),
-            connections_accepted_total: r.counter("jets_connections_accepted_total", "TCP connections accepted (workers + relays)"),
+            jobs_submitted_total: r
+                .counter("jets_jobs_submitted_total", "Jobs accepted into the queue"),
+            jobs_completed_total: r.counter(
+                "jets_jobs_completed_total",
+                "Jobs that reached a terminal state",
+            ),
+            jobs_failed_total: r.counter(
+                "jets_jobs_failed_total",
+                "Terminal jobs whose final attempt failed",
+            ),
+            jobs_requeued_total: r.counter(
+                "jets_jobs_requeued_total",
+                "Failed attempts requeued for retry",
+            ),
+            deadline_exceeded_total: r.counter(
+                "jets_deadline_exceeded_total",
+                "Attempts canceled for exceeding their deadline",
+            ),
+            tasks_started_total: r.counter(
+                "jets_tasks_started_total",
+                "Task assignments shipped to workers",
+            ),
+            tasks_ended_total: r
+                .counter("jets_tasks_ended_total", "Task results reported by workers"),
+            reconnects_total: r.counter(
+                "jets_reconnects_total",
+                "Registrations under a previously seen worker name",
+            ),
+            connections_accepted_total: r.counter(
+                "jets_connections_accepted_total",
+                "TCP connections accepted (workers + relays)",
+            ),
             queue_depth: r.gauge("jets_queue_depth", "Jobs waiting in the queue"),
             running_gangs: r.gauge("jets_running_gangs", "Gangs currently executing"),
             workers_alive: r.gauge("jets_workers_alive", "Registered workers in any live state"),
-            workers_ready: r.gauge("jets_workers_ready", "Idle workers parked in the ready list"),
+            workers_ready: r.gauge(
+                "jets_workers_ready",
+                "Idle workers parked in the ready list",
+            ),
             workers_busy: r.gauge("jets_workers_busy", "Workers executing a task"),
-            quarantined_current: r.gauge("jets_quarantined_current", "Workers currently benched by quarantine"),
+            quarantined_current: r.gauge(
+                "jets_quarantined_current",
+                "Workers currently benched by quarantine",
+            ),
             relays_current: r.gauge("jets_relays_current", "Connected relay daemons"),
-            reactor_connections: r.gauge("jets_reactor_connections", "Connections registered on the reactor event loops"),
+            reactor_connections: r.gauge(
+                "jets_reactor_connections",
+                "Connections registered on the reactor event loops",
+            ),
             reactor_event_loops: r.gauge("jets_reactor_event_loops", "Reactor event-loop threads"),
-            reactor_wakeups_total: r.counter("jets_reactor_wakeups_total", "Readiness wakeups across all event loops"),
-            reactor_outbox_high_water_bytes: r.gauge("jets_reactor_outbox_high_water_bytes", "High-water mark of any connection's bounded outbox"),
-            reactor_slow_consumer_disconnects_total: r.counter("jets_reactor_slow_consumer_disconnects_total", "Connections dropped for overflowing their bounded outbox"),
-            journal_records_total: r.counter("jets_journal_records_total", "Records appended to the write-ahead journal"),
-            journal_errors_total: r.counter("jets_journal_errors_total", "Journal appends that failed"),
-            journal_replayed_jobs: r.gauge("jets_journal_replayed_jobs", "Non-terminal jobs rebuilt from the journal at the last restart"),
-            gangs_readopted_total: r.counter("jets_gangs_readopted_total", "In-flight gangs re-adopted after a dispatcher restart"),
+            reactor_wakeups_total: r.counter(
+                "jets_reactor_wakeups_total",
+                "Readiness wakeups across all event loops",
+            ),
+            reactor_outbox_high_water_bytes: r.gauge(
+                "jets_reactor_outbox_high_water_bytes",
+                "High-water mark of any connection's bounded outbox",
+            ),
+            reactor_slow_consumer_disconnects_total: r.counter(
+                "jets_reactor_slow_consumer_disconnects_total",
+                "Connections dropped for overflowing their bounded outbox",
+            ),
+            journal_records_total: r.counter(
+                "jets_journal_records_total",
+                "Records appended to the write-ahead journal",
+            ),
+            journal_errors_total: r
+                .counter("jets_journal_errors_total", "Journal appends that failed"),
+            journal_replayed_jobs: r.gauge(
+                "jets_journal_replayed_jobs",
+                "Non-terminal jobs rebuilt from the journal at the last restart",
+            ),
+            gangs_readopted_total: r.counter(
+                "jets_gangs_readopted_total",
+                "In-flight gangs re-adopted after a dispatcher restart",
+            ),
+            events_recorded_total: r.counter(
+                "jets_events_recorded_total",
+                "Events recorded into the flight-recorder ring",
+            ),
+            events_retained: r.gauge(
+                "jets_events_retained",
+                "Events currently retained in the ring window",
+            ),
+            events_capacity: r.gauge(
+                "jets_events_capacity",
+                "Ring capacity before overwriting the oldest event",
+            ),
             phase_queue: phase("queue"),
             phase_launch: phase("launch"),
             phase_pmi: phase("pmi"),
@@ -195,6 +266,9 @@ mod tests {
             "jets_journal_errors_total",
             "jets_journal_replayed_jobs",
             "jets_gangs_readopted_total",
+            "jets_events_recorded_total",
+            "jets_events_retained",
+            "jets_events_capacity",
             JOB_PHASE_METRIC,
         ] {
             assert!(text.contains(name), "missing {name} in render");

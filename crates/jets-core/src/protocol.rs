@@ -306,8 +306,8 @@ pub fn encode_msg_buf<M: Serialize>(msg: &M, buf: &mut Vec<u8>) -> io::Result<()
 /// reactor delivers complete frames (trailing newline stripped), so no
 /// buffered reader is involved.
 pub fn decode_msg<M: DeserializeOwned>(frame: &[u8]) -> io::Result<M> {
-    let text = std::str::from_utf8(frame)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let text =
+        std::str::from_utf8(frame).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     serde_json::from_str(text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 

@@ -1,0 +1,10 @@
+fn push_frame(state: &Shared, payload: &[u8]) {
+    state.lock();
+    let copy = payload.to_vec();
+    let label = format!("slot {}", copy.len());
+    let spill = Vec::new();
+    sleep(label);
+}
+fn record_claim(head: &AtomicU64) -> u64 {
+    head.fetch_add(1, Ordering::Relaxed)
+}

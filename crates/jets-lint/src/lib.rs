@@ -27,6 +27,7 @@
 //! | J5 | `exit-code`          | negative sentinel exit codes only in `spec.rs`    |
 //! | J6 | `unwrap`             | no unwrap/expect in connection-handler paths      |
 //! | J7 | `reactor`            | no thread spawns in per-connection serve paths; no blocking calls in reactor callbacks |
+//! | J8 | `ring`               | flight-recorder writer path stays lock-free and allocation-free |
 //!
 //! Suppression syntax (the reason is mandatory):
 //!
@@ -67,6 +68,10 @@ pub enum Rule {
     /// of a reactor-converted crate, or a blocking call inside a
     /// reactor callback (`on_open`/`on_frame`/`on_close`).
     J7,
+    /// Ring writer discipline: lock acquisition, blocking call, or
+    /// heap allocation inside a flight-recorder writer-path function
+    /// (`push*`/`record*`/`encode*` in ring-scoped files).
+    J8,
 }
 
 impl Rule {
@@ -81,6 +86,7 @@ impl Rule {
             Rule::J5 => "exit-code",
             Rule::J6 => "unwrap",
             Rule::J7 => "reactor",
+            Rule::J8 => "ring",
         }
     }
 
@@ -95,6 +101,7 @@ impl Rule {
             Rule::J5 => "J5",
             Rule::J6 => "J6",
             Rule::J7 => "J7",
+            Rule::J8 => "J8",
         }
     }
 }
@@ -109,6 +116,7 @@ const ALLOW_KEYS: &[&str] = &[
     "exit-code",
     "unwrap",
     "reactor",
+    "ring",
 ];
 
 /// How many lines below a suppression comment it still covers, so the
@@ -231,6 +239,7 @@ pub fn lint_sources(sources: &[(PathBuf, String)]) -> Vec<Finding> {
         rule_exit_code(file, &mut findings);
         rule_unwrap_in_handler(file, &mut findings);
         rule_reactor_discipline(file, &mut findings);
+        rule_ring_writer(file, &mut findings);
         sup.sort_by_key(|s| s.line);
         suppressions.push((fi, sup));
     }
@@ -884,6 +893,12 @@ fn rule_relaxed_atomics(
     if file.file_is_test {
         return;
     }
+    // Ring-scoped files get the strict form: *every* `Relaxed` mutation
+    // (including `fetch_add`/`fetch_sub` claim cursors) needs a reason,
+    // because every slot and cursor atomic there is cross-thread by
+    // construction — the cross-function load heuristic below would
+    // under-approximate on mmap'd words read by other *processes*.
+    let in_ring = ring_scoped_path(&file.path);
     for func in &file.funcs {
         if func.in_test {
             continue;
@@ -894,7 +909,11 @@ fn rule_relaxed_atomics(
             // Shape: `.store(` or `.swap(` with receiver ident, whose
             // argument list mentions `Relaxed`.
             if toks[i].is_punct(".")
-                && (toks[i + 1].is_ident("store") || toks[i + 1].is_ident("swap"))
+                && (toks[i + 1].is_ident("store")
+                    || toks[i + 1].is_ident("swap")
+                    || (in_ring
+                        && (toks[i + 1].is_ident("fetch_add")
+                            || toks[i + 1].is_ident("fetch_sub"))))
                 && toks[i + 2].is_punct("(")
                 && i > 0
                 && toks[i - 1].kind == TokKind::Ident
@@ -918,10 +937,12 @@ fn rule_relaxed_atomics(
                 if relaxed {
                     // Cross-thread shape: the same field is loaded in a
                     // different function somewhere in the analysis set.
-                    let cross = load_sites
-                        .get(&field)
-                        .map(|fns| fns.iter().any(|f| f != &func.name))
-                        .unwrap_or(false);
+                    // In ring scope that is assumed, not inferred.
+                    let cross = in_ring
+                        || load_sites
+                            .get(&field)
+                            .map(|fns| fns.iter().any(|f| f != &func.name))
+                            .unwrap_or(false);
                     if cross {
                         findings.push(Finding {
                             rule: Rule::J3,
@@ -1492,6 +1513,125 @@ fn rule_reactor_discipline(file: &SourceFile, findings: &mut Vec<Finding>) {
                         ),
                     });
                 }
+            }
+            i += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// J8: ring writer discipline.
+// ---------------------------------------------------------------------------
+
+/// Path predicate for the flight recorder's writer path: the
+/// `jets-ring` crate itself, plus the `EventLog` facade in jets-core's
+/// `events.rs` (whose `record`/`encode_event` feed the ring).
+fn ring_scoped_path(path: &Path) -> bool {
+    let s = path.to_string_lossy().replace('\\', "/");
+    s.split('/')
+        .any(|comp| comp.contains("jets-ring") || comp == "ring")
+        || (s.ends_with("events.rs") && s.contains("jets-core"))
+}
+
+/// Writer-path functions inside ring scope: what runs between a
+/// producer deciding to record and the slot's publishing store.
+fn is_ring_writer_fn(name: &str) -> bool {
+    name.starts_with("push") || name.starts_with("record") || name.starts_with("encode")
+}
+
+/// Macros that allocate (`name!`-shape).
+const RING_ALLOC_MACROS: &[&str] = &["format", "vec"];
+
+/// Methods that allocate (`.name(`-shape).
+const RING_ALLOC_METHODS: &[&str] = &["to_string", "to_vec", "to_owned", "collect"];
+
+/// Heap-owning types whose associated constructors (`Name::`-shape)
+/// have no business in a record path that encodes into stack buffers.
+const RING_ALLOC_TYPES: &[&str] = &["Vec", "String", "Box"];
+
+/// The acceptance invariant of the flight recorder, machine-checked:
+/// `EventLog::record` and everything under it takes no lock, blocks on
+/// nothing, and allocates nothing — a producer records an event for the
+/// cost of a claim `fetch_add` plus sixteen word stores, always.
+fn rule_ring_writer(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if file.file_is_test || !ring_scoped_path(&file.path) {
+        return;
+    }
+    let toks = &file.lexed.toks;
+    for func in &file.funcs {
+        if func.in_test || !is_ring_writer_fn(&func.name) {
+            continue;
+        }
+        let mut i = func.body.start;
+        while i < func.body.end {
+            let t = &toks[i];
+            // Lock acquisition: the writer path may never contend.
+            if t.is_punct(".")
+                && toks.get(i + 1).map(|n| n.is_ident("lock")).unwrap_or(false)
+                && toks.get(i + 2).map(|n| n.is_punct("(")).unwrap_or(false)
+            {
+                findings.push(Finding {
+                    rule: Rule::J8,
+                    path: file.path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "`.lock()` in ring writer path `{}`: the flight-recorder record path must stay lock-free; annotate with `// jets-lint: allow(ring) <reason>` only if this is provably off the hot path",
+                        func.name
+                    ),
+                });
+                i += 3;
+                continue;
+            }
+            // Blocking I/O or sleeps: shared detector with J2/J7.
+            if let Some(op) = blocking_op_at(toks, i) {
+                findings.push(Finding {
+                    rule: Rule::J8,
+                    path: file.path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "blocking call {op} in ring writer path `{}`: producers record events at task-dispatch rate and must never wait",
+                        func.name
+                    ),
+                });
+                i += 1;
+                continue;
+            }
+            // Heap allocation: `format!`/`vec!`, allocating method
+            // calls, and `Vec::`/`String::`/`Box::` constructors.
+            let alloc: Option<String> = if t.kind == TokKind::Ident
+                && RING_ALLOC_MACROS.contains(&t.text.as_str())
+                && toks.get(i + 1).map(|n| n.is_punct("!")).unwrap_or(false)
+            {
+                Some(format!("{}!", t.text))
+            } else if t.is_punct(".")
+                && toks
+                    .get(i + 1)
+                    .map(|n| {
+                        n.kind == TokKind::Ident
+                            && RING_ALLOC_METHODS.contains(&n.text.as_str())
+                            && is_called(toks, i + 1)
+                    })
+                    .unwrap_or(false)
+            {
+                Some(format!(".{}()", toks[i + 1].text))
+            } else if t.kind == TokKind::Ident
+                && RING_ALLOC_TYPES.contains(&t.text.as_str())
+                && toks.get(i + 1).map(|n| n.is_punct("::")).unwrap_or(false)
+            {
+                Some(format!("{}::", t.text))
+            } else {
+                None
+            };
+            if let Some(what) = alloc {
+                findings.push(Finding {
+                    rule: Rule::J8,
+                    path: file.path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "allocation (`{what}`) in ring writer path `{}`: records are encoded into fixed stack buffers, never the heap",
+                        func.name
+                    ),
+                });
             }
             i += 1;
         }

@@ -146,6 +146,30 @@ fn reactor_good_is_clean() {
 }
 
 #[test]
+fn ring_bad_fires_exactly() {
+    // Writer-path violations in `push_frame`: lock (2), allocating
+    // method (3), allocating macro (4), allocating constructor (5),
+    // blocking sleep (6) — plus the strict ring form of J3 on the
+    // unannotated Relaxed claim cursor in `record_claim` (9).
+    assert_eq!(
+        fired("ring/bad.rs"),
+        vec![
+            ("J3".to_string(), 9),
+            ("J8".to_string(), 2),
+            ("J8".to_string(), 3),
+            ("J8".to_string(), 4),
+            ("J8".to_string(), 5),
+            ("J8".to_string(), 6)
+        ]
+    );
+}
+
+#[test]
+fn ring_good_is_clean() {
+    assert_clean("ring/good.rs");
+}
+
+#[test]
 fn suppression_bad_fires_exactly() {
     // Missing reason (J0@2) does NOT silence the sentinel (J5@3);
     // unknown key (J0@6); unused suppression (J0@9).

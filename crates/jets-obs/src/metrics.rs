@@ -83,7 +83,10 @@ const NUM_BUCKETS: usize = LINEAR_MAX as usize + 60 * SUB;
 /// relative error on quantiles across the full `u64` range for a fixed
 /// 7.6 KiB of `AtomicU64`s. Recording is wait-free; snapshots read the
 /// buckets racily, which can momentarily undercount the tail but never
-/// invents samples.
+/// invents samples: `record` bumps `count` *before* the bucket and
+/// publishes the bucket increment with `Release`, so a snapshot that
+/// sums an increment is guaranteed a subsequent `count()` covers it
+/// (`tests/hammer.rs` races this).
 pub struct Histogram {
     buckets: Box<[AtomicU64; NUM_BUCKETS]>,
     count: AtomicU64,
@@ -119,7 +122,11 @@ impl Default for Histogram {
 impl std::fmt::Debug for Histogram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = self.snapshot();
-        write!(f, "Histogram(count={}, p50={}, p99={})", s.count, s.p50, s.p99)
+        write!(
+            f,
+            "Histogram(count={}, p50={}, p99={})",
+            s.count, s.p50, s.p99
+        )
     }
 }
 
@@ -155,11 +162,14 @@ impl Histogram {
         Histogram::default()
     }
 
-    /// Record one sample. Three relaxed `fetch_add`s, nothing else.
+    /// Record one sample. Three `fetch_add`s, nothing else. `count`
+    /// and `sum` land first; the bucket increment's `Release` orders
+    /// them before it, so a reader that observes the bucket (snapshot
+    /// sums are `Acquire`) also observes the totals that cover it.
     pub fn record(&self, v: u64) {
-        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Release);
     }
 
     /// Samples recorded so far.
@@ -177,7 +187,9 @@ impl Histogram {
         let mut counts = [0u64; NUM_BUCKETS];
         let mut total = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
-            let c = b.load(Ordering::Relaxed);
+            // Acquire pairs with `record`'s Release: every sample this
+            // sum sees is already covered by `count`/`sum`.
+            let c = b.load(Ordering::Acquire);
             counts[i] = c;
             total += c;
         }
@@ -376,10 +388,7 @@ fn label_str(labels: &[(&'static str, String)], quantile: Option<&str>) -> Strin
     if labels.is_empty() && quantile.is_none() {
         return String::new();
     }
-    let mut parts: Vec<String> = labels
-        .iter()
-        .map(|(k, v)| format!("{k}=\"{v}\""))
-        .collect();
+    let mut parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
     if let Some(q) = quantile {
         parts.push(format!("quantile=\"{q}\""));
     }
@@ -409,7 +418,20 @@ mod tests {
     #[test]
     fn bucket_index_is_monotone_and_bounded() {
         let mut last = 0usize;
-        for v in [0u64, 1, 15, 16, 17, 31, 32, 33, 100, 1_000, 1_000_000, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            33,
+            100,
+            1_000,
+            1_000_000,
+            u64::MAX,
+        ] {
             let idx = bucket_index(v);
             assert!(idx >= last, "index not monotone at {v}");
             assert!(idx < NUM_BUCKETS);
@@ -425,7 +447,10 @@ mod tests {
         for v in [20u64, 100, 999, 12_345, 1 << 20, (1 << 40) + 12345] {
             let up = bucket_upper(bucket_index(v));
             assert!(up >= v);
-            assert!((up - v) as f64 <= v as f64 / 16.0 + 1.0, "error too large at {v}: {up}");
+            assert!(
+                (up - v) as f64 <= v as f64 / 16.0 + 1.0,
+                "error too large at {v}: {up}"
+            );
         }
     }
 
@@ -458,8 +483,16 @@ mod tests {
         let r = Registry::new();
         let c = r.counter("jets_jobs_completed_total", "Jobs finished");
         let g = r.gauge("jets_workers_ready", "Idle registered workers");
-        let h1 = r.histogram_micros("jets_job_phase_seconds", "Phase latency", &[("phase", "queue")]);
-        let h2 = r.histogram_micros("jets_job_phase_seconds", "Phase latency", &[("phase", "run")]);
+        let h1 = r.histogram_micros(
+            "jets_job_phase_seconds",
+            "Phase latency",
+            &[("phase", "queue")],
+        );
+        let h2 = r.histogram_micros(
+            "jets_job_phase_seconds",
+            "Phase latency",
+            &[("phase", "run")],
+        );
         c.add(3);
         g.set(16);
         h1.record(1_000);
@@ -470,7 +503,11 @@ mod tests {
         assert!(text.contains("# TYPE jets_workers_ready gauge"));
         assert!(text.contains("jets_workers_ready 16"));
         // One TYPE header for the grouped histogram despite two series.
-        assert_eq!(text.matches("# TYPE jets_job_phase_seconds summary").count(), 1);
+        assert_eq!(
+            text.matches("# TYPE jets_job_phase_seconds summary")
+                .count(),
+            1
+        );
         assert!(text.contains("jets_job_phase_seconds{phase=\"queue\",quantile=\"0.5\"}"));
         assert!(text.contains("jets_job_phase_seconds_count{phase=\"run\"} 1"));
         // Microsecond samples render as seconds.

@@ -114,7 +114,11 @@ fn snapshot_while_recording_never_invents_samples() {
 fn render_under_concurrent_recording_is_well_formed() {
     let r = Arc::new(Registry::new());
     let c = r.counter("jets_hammer_total", "hammered counter");
-    let h = r.histogram_micros("jets_hammer_seconds", "hammered histogram", &[("phase", "x")]);
+    let h = r.histogram_micros(
+        "jets_hammer_seconds",
+        "hammered histogram",
+        &[("phase", "x")],
+    );
     let stop = Arc::new(AtomicBool::new(false));
     let writer = {
         let stop = stop.clone();

@@ -163,9 +163,7 @@ mod linux {
                 let bits = raw.events;
                 events.push(Event {
                     token: raw.data,
-                    readable: bits
-                        & (p::EPOLLIN | p::EPOLLERR | p::EPOLLHUP | p::EPOLLRDHUP)
-                        != 0,
+                    readable: bits & (p::EPOLLIN | p::EPOLLERR | p::EPOLLHUP | p::EPOLLRDHUP) != 0,
                     writable: bits & p::EPOLLOUT != 0,
                 });
             }

@@ -448,7 +448,10 @@ fn run_loop(router: Arc<Router>, me: usize, wake_rx: OwnedFd, mut poller: Box<dy
                     }
                 };
                 q.buf.drain(..n);
-                router.stats.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                router
+                    .stats
+                    .bytes_out
+                    .fetch_add(n as u64, Ordering::Relaxed);
             }
             q.buf.clear();
             if q.closed.is_none() {
@@ -625,7 +628,10 @@ fn flush_outbox(conn: &mut Conn, router: &Arc<Router>) -> FlushResult {
             }
         };
         q.buf.drain(..n);
-        router.stats.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+        router
+            .stats
+            .bytes_out
+            .fetch_add(n as u64, Ordering::Relaxed);
     }
     if q.closed == Some(CloseReason::Closed) {
         FlushResult::Close(CloseReason::Closed)
@@ -864,7 +870,9 @@ mod tests {
     fn peer_close_mid_frame_reports_peer_closed() {
         let (_reactor, probe, addr) = start_probe(ReactorConfig::default(), vec![], None);
         let mut client = TcpStream::connect(addr).unwrap();
-        client.write_all(b"incomplete frame without newline").unwrap();
+        client
+            .write_all(b"incomplete frame without newline")
+            .unwrap();
         drop(client);
         wait_until("peer close", || !probe.closes().is_empty());
         assert_eq!(probe.closes(), vec![CloseReason::PeerClosed]);
@@ -935,9 +943,7 @@ mod tests {
         });
         // Every connection answers through the same two loops.
         for (i, client) in clients.iter_mut().enumerate() {
-            client
-                .write_all(format!("ping {i}\n").as_bytes())
-                .unwrap();
+            client.write_all(format!("ping {i}\n").as_bytes()).unwrap();
         }
         wait_until("64 frames", || probe.frames().len() == 64);
         assert_eq!(reactor.stats().connections_open(), 64);

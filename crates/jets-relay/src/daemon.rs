@@ -80,6 +80,11 @@ pub struct RelayConfig {
     /// newest, so a long partition under a busy block caps relay memory
     /// instead of growing it without bound.
     pub upqueue_limit: usize,
+    /// Path of the mmap-backed flight-recorder file for the relay's own
+    /// event log (drop events, member churn). When set, events survive
+    /// `kill -9` and replay with `jets flight dump`. `None` keeps the
+    /// ring in anonymous memory.
+    pub flight_recorder: Option<std::path::PathBuf>,
 }
 
 impl RelayConfig {
@@ -94,6 +99,7 @@ impl RelayConfig {
             worker_stale_after: Duration::from_secs(1),
             reconnect: ReconnectPolicy::default(),
             upqueue_limit: 65_536,
+            flight_recorder: None,
         }
     }
 
@@ -310,6 +316,10 @@ impl Relay {
             ..ReactorConfig::default()
         })?;
         let up_q = Arc::new(UpQueue::new(config.upqueue_limit));
+        let events = match &config.flight_recorder {
+            Some(path) => EventLog::file_backed(path, jets_core::events::DEFAULT_EVENT_CAPACITY)?,
+            None => EventLog::new(),
+        };
         let inner = Arc::new(Inner {
             config,
             epoch: Instant::now(),
@@ -323,7 +333,7 @@ impl Relay {
             upstream_sessions: AtomicU64::new(0),
             metrics: Arc::new(RelayMetrics::new()),
             metrics_server: Mutex::new(None),
-            events: EventLog::new(),
+            events,
             relay_global: AtomicU64::new(0),
             last_drop_event_ms: AtomicU64::new(u64::MAX),
         });
@@ -1264,7 +1274,10 @@ mod tests {
             .iter()
             .filter(|e| matches!(e.kind, EventKind::UpQueueDropped { .. }))
             .count();
-        assert!(drop_events <= 2, "rate limit breached: {drop_events} events");
+        assert!(
+            drop_events <= 2,
+            "rate limit breached: {drop_events} events"
+        );
     }
 
     /// A member dying mid-gang cancels its same-relay gang peers

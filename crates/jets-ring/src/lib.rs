@@ -1,0 +1,36 @@
+//! # jets-ring — the JETS flight recorder
+//!
+//! A fixed-capacity, lock-free, optionally `mmap`-backed ring journal
+//! for high-rate event streams. This is the storage engine under
+//! `jets_core::EventLog`: every dispatcher/relay/worker state
+//! transition becomes one 128-byte slot write — no `Mutex`, no heap
+//! allocation, no growth — and every consumer (`jets top`, `jets
+//! events --stats`, the Prometheus registry) is an independent cursor
+//! that chases the writer without ever blocking it.
+//!
+//! Two backings, one protocol:
+//!
+//! * [`Ring::anon`] — heap-backed, in-process. The default for
+//!   `EventLog::new()`.
+//! * [`Ring::create`] — a `MAP_SHARED` file mapping
+//!   (`--flight-recorder FILE`). The kernel owns the dirty pages, so
+//!   the journal survives `kill -9` and [`Ring::open_read`] +
+//!   [`Ring::replay`] reconstruct the final seconds offline
+//!   (`jets flight dump FILE`).
+//!
+//! The ordering discipline (per-slot seqlock stamps, Release-publish /
+//! Acquire-observe, validated copies) is documented where it lives, in
+//! [`ring`]. Records are opaque 120-byte payloads here; the event
+//! codec lives with `EventKind` in jets-core.
+//!
+//! Zero dependencies, `std` only — like jets-obs, jets-lint, and
+//! jets-reactor, so the crate's tests and the `ringbench` measurement
+//! binary run in the offline stub workspace.
+
+mod region;
+mod ring;
+mod sys;
+
+pub use ring::{
+    Record, Replay, Ring, RingReader, MIN_CAPACITY, PAYLOAD_BYTES, SLOT_BYTES, SLOT_WORDS,
+};

@@ -1,0 +1,696 @@
+//! The ring itself: fixed-capacity slots, one claim cursor, per-slot
+//! commit stamps, overwrite-oldest semantics.
+//!
+//! ## Layout (all little-endian `u64` words)
+//!
+//! ```text
+//! header: | MAGIC | VERSION | SLOT_BYTES | CAPACITY | HEAD | EPOCH_US | PID | rsvd |
+//! slots:  | stamp | payload word 0..=14 |  × capacity          (128 B per slot)
+//! ```
+//!
+//! `HEAD` is the claim cursor: the sequence number of the *next* record
+//! to be written, monotone over the whole life of the ring (it never
+//! wraps; slot index is `seq & (capacity-1)`). Each slot carries a
+//! stamp encoding what the slot holds:
+//!
+//! ```text
+//! 0                  never written
+//! 2·seq + 1          record `seq` is being written (torn if seen at rest)
+//! 2·seq + 2          record `seq` is committed
+//! ```
+//!
+//! ## Memory ordering
+//!
+//! The write/read protocol is the seqlock recipe used by
+//! `crossbeam-utils`' `SeqLock` (per Boehm, *Can seqlocks get along
+//! with programming models?*), applied per slot:
+//!
+//! * **Writer**: claim a seq (`HEAD.fetch_add`), mark the slot's stamp
+//!   *writing* with a `swap(Acquire)` (the Acquire pairs with the
+//!   previous committer's Release on the same slot, ordering this
+//!   overwrite after the previous record's publication), issue a
+//!   `fence(Release)` so the *writing* mark is ordered before the
+//!   payload stores, write the payload words (`Relaxed` — they are
+//!   atomics, so concurrent readers race safely), then publish with
+//!   `stamp.store(committed, Release)`.
+//! * **Reader**: load the stamp with `Acquire` (pairs with the
+//!   writer's committing Release, making the payload words it covers
+//!   visible), copy the payload (`Relaxed` loads), then
+//!   `fence(Acquire)` and re-load the stamp `Relaxed`: if it moved,
+//!   the copy may interleave two records and is discarded. The fence
+//!   orders the payload loads before the validating re-load, so a
+//!   writer that raced the copy cannot have its stamp update hidden.
+//!
+//! `HEAD` itself is *not* the publication point — slot stamps are.
+//! Readers use `HEAD` only to bound their scan, and a stale value
+//! merely means a reader looks at slightly old state; hence the
+//! claim `fetch_add` can be (and is) `Relaxed`, with the reasoning
+//! annotated inline.
+//!
+//! ## Writers and readers
+//!
+//! The ring is single-writer *per record*: each `push` claims its own
+//! sequence number, so multiple threads may share one [`Ring`] handle
+//! (the dispatcher's event producers do). The pathological case — two
+//! in-flight pushes a full `capacity` apart landing on the same slot —
+//! would need `capacity` pushes to complete in the nanoseconds one
+//! push is in flight; with the enforced minimum capacity of 1024 this
+//! is unreachable in practice, and a reader only ever sees a stamp
+//! mismatch (discarding the slot), never a phantom record.
+//!
+//! Readers never write shared state: a [`RingReader`] owns its cursor
+//! and lap/torn counters, so any number of them chase the writer
+//! without a lock, a CAS, or any cross-core store at all.
+
+use crate::region::Region;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{fence, Ordering};
+use std::sync::Arc;
+
+/// `"JETSRNG1"` little-endian.
+const MAGIC: u64 = u64::from_le_bytes(*b"JETSRNG1");
+/// Bump when the slot layout changes.
+const VERSION: u64 = 1;
+
+/// Header size, in words.
+const HDR_WORDS: usize = 8;
+const W_MAGIC: usize = 0;
+const W_VERSION: usize = 1;
+const W_SLOT_BYTES: usize = 2;
+const W_CAPACITY: usize = 3;
+const W_HEAD: usize = 4;
+const W_EPOCH_US: usize = 5;
+const W_PID: usize = 6;
+
+/// Words per slot (1 stamp + 15 payload words).
+pub const SLOT_WORDS: usize = 16;
+/// Bytes per slot.
+pub const SLOT_BYTES: usize = SLOT_WORDS * 8;
+/// Payload bytes per record; pushes larger than this are refused.
+pub const PAYLOAD_BYTES: usize = SLOT_BYTES - 8;
+const PAYLOAD_WORDS: usize = SLOT_WORDS - 1;
+
+/// Smallest accepted capacity; see the module docs on same-slot races.
+pub const MIN_CAPACITY: usize = 1024;
+
+#[inline]
+fn stamp_writing(seq: u64) -> u64 {
+    2 * seq + 1
+}
+
+#[inline]
+fn stamp_committed(seq: u64) -> u64 {
+    2 * seq + 2
+}
+
+/// The shared state under every handle cloned from one ring.
+struct Shared {
+    region: Region,
+    /// Capacity in slots; always a power of two.
+    cap: u64,
+}
+
+impl Shared {
+    #[inline]
+    fn slot_word(&self, seq: u64) -> usize {
+        HDR_WORDS + ((seq & (self.cap - 1)) as usize) * SLOT_WORDS
+    }
+}
+
+/// One fixed-size record copied out of the ring.
+///
+/// The copy is the price of a *validated* read: the payload bytes are
+/// only trusted after the stamp re-check proves no writer touched the
+/// slot mid-copy, so they must live on the reader's stack, not in the
+/// shared memory. 120 bytes, no heap.
+#[derive(Clone, Copy)]
+pub struct Record {
+    /// The record's sequence number (position in the journal).
+    pub seq: u64,
+    payload: [u8; PAYLOAD_BYTES],
+}
+
+impl Record {
+    /// The fixed-size payload. Trailing bytes past the logical record
+    /// are zero; the producer's codec knows the real length.
+    pub fn payload(&self) -> &[u8; PAYLOAD_BYTES] {
+        &self.payload
+    }
+}
+
+/// Outcome of one validated slot read.
+enum SlotRead {
+    /// Committed and copied intact.
+    Ok(Record),
+    /// Claimed (or simply not reached) but not committed yet.
+    Pending,
+    /// Overwritten by a newer record before or during the copy.
+    Gone,
+}
+
+/// A lock-free ring journal. Cloning shares the same memory; any clone
+/// may push (each push claims its own slot) and any clone can mint
+/// independent readers.
+#[derive(Clone)]
+pub struct Ring {
+    shared: Arc<Shared>,
+}
+
+impl Ring {
+    /// An in-process (heap-backed) ring of at least `capacity` slots,
+    /// rounded up to a power of two.
+    pub fn anon(capacity: usize) -> Ring {
+        let cap = capacity.max(MIN_CAPACITY).next_power_of_two();
+        let region = Region::anon(HDR_WORDS + cap * SLOT_WORDS);
+        let ring = Ring {
+            shared: Arc::new(Shared {
+                region,
+                cap: cap as u64,
+            }),
+        };
+        ring.init_header(cap as u64);
+        ring
+    }
+
+    /// Create (or re-open) a file-backed ring at `path` with at least
+    /// `capacity` slots. Re-opening an existing recorder file keeps its
+    /// contents and sequence cursor — a restarted daemon appends where
+    /// the crashed one stopped. The capacity of an existing file must
+    /// not exceed the requested one.
+    pub fn create(path: &Path, capacity: usize) -> io::Result<Ring> {
+        let cap = capacity.max(MIN_CAPACITY).next_power_of_two();
+        let bytes = (HDR_WORDS + cap * SLOT_WORDS) * 8;
+        let region = Region::file(path, bytes)?;
+        let shared = Shared {
+            region,
+            cap: cap as u64,
+        };
+        let magic = shared.region.word(W_MAGIC).load(Ordering::Acquire);
+        if magic == 0 {
+            let ring = Ring {
+                shared: Arc::new(shared),
+            };
+            ring.init_header(cap as u64);
+            return Ok(ring);
+        }
+        let mut shared = shared;
+        validate_header(&shared.region, path)?;
+        // An existing (validated) file dictates the live capacity; it
+        // can only be ≤ the mapped size (a longer file was rejected by
+        // the region layer).
+        shared.cap = shared.region.word(W_CAPACITY).load(Ordering::Acquire);
+        shared
+            .region
+            .word(W_PID)
+            .store(std::process::id() as u64, Ordering::Release);
+        Ok(Ring {
+            shared: Arc::new(shared),
+        })
+    }
+
+    /// Map an existing recorder file read-only for offline replay.
+    pub fn open_read(path: &Path) -> io::Result<Ring> {
+        let region = Region::file_readonly(path)?;
+        validate_header(&region, path)?;
+        let cap = region.word(W_CAPACITY).load(Ordering::Acquire);
+        let need = HDR_WORDS + (cap as usize) * SLOT_WORDS;
+        if region.words() < need {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{}: header claims {cap} slots but file has {} words",
+                    path.display(),
+                    region.words()
+                ),
+            ));
+        }
+        Ok(Ring {
+            shared: Arc::new(Shared { region, cap }),
+        })
+    }
+
+    fn init_header(&self, cap: u64) {
+        let r = &self.shared.region;
+        r.word(W_VERSION).store(VERSION, Ordering::Release);
+        r.word(W_SLOT_BYTES)
+            .store(SLOT_BYTES as u64, Ordering::Release);
+        r.word(W_CAPACITY).store(cap, Ordering::Release);
+        r.word(W_EPOCH_US).store(unix_micros(), Ordering::Release);
+        r.word(W_PID)
+            .store(std::process::id() as u64, Ordering::Release);
+        // Magic last: a mapping with the magic set has a full header.
+        r.word(W_MAGIC).store(MAGIC, Ordering::Release);
+    }
+
+    /// Append one record; returns its sequence number. Lock-free and
+    /// allocation-free: one `fetch_add`, one stamp swap, sixteen word
+    /// stores, one publishing store. Payloads longer than
+    /// [`PAYLOAD_BYTES`] are refused with a panic (producer bug, not
+    /// data-dependent).
+    pub fn push(&self, payload: &[u8]) -> u64 {
+        assert!(
+            payload.len() <= PAYLOAD_BYTES,
+            "ring payload of {} bytes exceeds the {} byte slot",
+            payload.len(),
+            PAYLOAD_BYTES
+        );
+        let s = &self.shared;
+        debug_assert!(!s.region.readonly(), "push on a read-only (replay) ring");
+        let head = s.region.word(W_HEAD);
+        // jets-lint: allow(relaxed) HEAD only bounds reader scans; publication is the slot stamp's Release store below
+        let seq = head.fetch_add(1, Ordering::Relaxed);
+        let base = s.slot_word(seq);
+        let stamp = s.region.word(base);
+        // Mark the slot torn while we overwrite it. Acquire pairs with
+        // the previous committer's Release on this same stamp.
+        stamp.swap(stamp_writing(seq), Ordering::Acquire);
+        // Order the *writing* mark before the payload stores.
+        fence(Ordering::Release);
+        let mut i = 0;
+        while i < PAYLOAD_WORDS {
+            let lo = i * 8;
+            let mut w = [0u8; 8];
+            if lo < payload.len() {
+                let take = (payload.len() - lo).min(8);
+                w[..take].copy_from_slice(&payload[lo..lo + take]);
+            }
+            let cell = s.region.word(base + 1 + i);
+            // jets-lint: allow(relaxed) payload words are covered by the stamp's Release/Acquire pair; see module docs
+            cell.store(u64::from_le_bytes(w), Ordering::Relaxed);
+            i += 1;
+        }
+        // Publish: everything above happens-before a reader's Acquire
+        // load that observes this committed stamp.
+        stamp.store(stamp_committed(seq), Ordering::Release);
+        seq
+    }
+
+    /// Total records ever pushed (the claim cursor). Monotone; survives
+    /// re-opening a file-backed ring.
+    pub fn seq(&self) -> u64 {
+        self.shared.region.word(W_HEAD).load(Ordering::Acquire)
+    }
+
+    /// Capacity in slots (always a power of two).
+    pub fn capacity(&self) -> u64 {
+        self.shared.cap
+    }
+
+    /// Wall-clock microseconds (Unix epoch) when the ring was created —
+    /// the anchor for interpreting record timestamps offline.
+    pub fn epoch_unix_us(&self) -> u64 {
+        self.shared.region.word(W_EPOCH_US).load(Ordering::Acquire)
+    }
+
+    /// Pid of the most recent writer process (diagnostics only).
+    pub fn writer_pid(&self) -> u64 {
+        self.shared.region.word(W_PID).load(Ordering::Acquire)
+    }
+
+    /// The sequence number of the oldest record still retained.
+    pub fn earliest(&self) -> u64 {
+        let head = self.seq();
+        head.saturating_sub(self.shared.cap)
+    }
+
+    /// A reader positioned at the oldest retained record.
+    pub fn reader(&self) -> RingReader {
+        self.reader_from(self.earliest())
+    }
+
+    /// A reader positioned at `seq` (clamped into the retained window
+    /// on first poll). `reader_from(ring.seq())` tails only new records.
+    pub fn reader_from(&self, seq: u64) -> RingReader {
+        RingReader {
+            shared: Arc::clone(&self.shared),
+            next: seq,
+            lapped: 0,
+            torn: 0,
+        }
+    }
+
+    /// Offline sweep of everything retained, tolerating torn slots (the
+    /// crash case): committed records in sequence order, plus a count
+    /// of slots lost to in-flight writes. Meant for quiescent rings
+    /// (replay of a dead process's file); on a live ring a slot being
+    /// written right now counts as torn.
+    pub fn replay(&self) -> Replay {
+        let head = self.seq();
+        let lo = self.earliest();
+        let mut records = Vec::with_capacity((head - lo) as usize);
+        let mut torn = 0u64;
+        for seq in lo..head {
+            match self.read_slot(seq) {
+                SlotRead::Ok(rec) => records.push(rec),
+                SlotRead::Pending | SlotRead::Gone => torn += 1,
+            }
+        }
+        Replay {
+            records,
+            torn,
+            earliest: lo,
+            head,
+        }
+    }
+
+    /// Flush a file-backed ring to disk now (clean-shutdown nicety; a
+    /// `MAP_SHARED` mapping survives `kill -9` without this).
+    pub fn sync(&self) -> io::Result<()> {
+        self.shared.region.sync()
+    }
+
+    fn read_slot(&self, seq: u64) -> SlotRead {
+        read_slot(&self.shared, seq)
+    }
+}
+
+fn validate_header(region: &Region, path: &Path) -> io::Result<()> {
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    if region.words() < HDR_WORDS {
+        return Err(bad(format!(
+            "{}: too short for a ring header",
+            path.display()
+        )));
+    }
+    if region.word(W_MAGIC).load(Ordering::Acquire) != MAGIC {
+        return Err(bad(format!(
+            "{}: not a jets-ring file (bad magic)",
+            path.display()
+        )));
+    }
+    let version = region.word(W_VERSION).load(Ordering::Acquire);
+    if version != VERSION {
+        return Err(bad(format!(
+            "{}: ring version {version}, this build reads {VERSION}",
+            path.display()
+        )));
+    }
+    let slot = region.word(W_SLOT_BYTES).load(Ordering::Acquire);
+    if slot != SLOT_BYTES as u64 {
+        return Err(bad(format!(
+            "{}: {slot}-byte slots, this build uses {SLOT_BYTES}",
+            path.display()
+        )));
+    }
+    let cap = region.word(W_CAPACITY).load(Ordering::Acquire);
+    if cap == 0 || !cap.is_power_of_two() {
+        return Err(bad(format!(
+            "{}: capacity {cap} is not a power of two",
+            path.display()
+        )));
+    }
+    Ok(())
+}
+
+fn read_slot(shared: &Shared, seq: u64) -> SlotRead {
+    let base = shared.slot_word(seq);
+    let stamp = shared.region.word(base);
+    // Acquire pairs with the writer's committing Release: observing
+    // `committed(seq)` makes that record's payload stores visible.
+    let s1 = stamp.load(Ordering::Acquire);
+    let committed = stamp_committed(seq);
+    if s1 != committed {
+        return if s1 < committed {
+            SlotRead::Pending
+        } else {
+            SlotRead::Gone
+        };
+    }
+    let mut payload = [0u8; PAYLOAD_BYTES];
+    let mut i = 0;
+    while i < PAYLOAD_WORDS {
+        let cell = shared.region.word(base + 1 + i);
+        let w = cell.load(Ordering::Relaxed);
+        payload[i * 8..i * 8 + 8].copy_from_slice(&w.to_le_bytes());
+        i += 1;
+    }
+    // Validate: order the payload loads before the re-load, then check
+    // no writer moved the stamp while we copied.
+    fence(Ordering::Acquire);
+    if stamp.load(Ordering::Relaxed) != s1 {
+        return SlotRead::Gone;
+    }
+    SlotRead::Ok(Record { seq, payload })
+}
+
+/// Result of an offline [`Ring::replay`] sweep.
+pub struct Replay {
+    /// Committed records, in sequence order.
+    pub records: Vec<Record>,
+    /// Slots in the retained window lost to in-flight (torn) writes.
+    pub torn: u64,
+    /// Oldest sequence number the window could hold.
+    pub earliest: u64,
+    /// The claim cursor at sweep time (total records ever pushed).
+    pub head: u64,
+}
+
+/// A lock-free cursor chasing the writer. Each reader owns its position
+/// and counters — polling performs no store to shared memory, so any
+/// number of readers run without slowing the writer or each other.
+pub struct RingReader {
+    shared: Arc<Shared>,
+    next: u64,
+    lapped: u64,
+    torn: u64,
+}
+
+impl RingReader {
+    /// Next committed record, or `None` when caught up (or when the
+    /// next record in sequence is still being written — it will be
+    /// committed nanoseconds later; poll again).
+    ///
+    /// A reader that falls more than `capacity` behind is *lapped*:
+    /// the cursor jumps forward to the oldest retained record and
+    /// [`RingReader::lapped`] grows by the number of records skipped.
+    pub fn poll(&mut self) -> Option<Record> {
+        loop {
+            let head = self.shared.region.word(W_HEAD).load(Ordering::Acquire);
+            let lo = head.saturating_sub(self.shared.cap);
+            if self.next < lo {
+                self.lapped += lo - self.next;
+                self.next = lo;
+            }
+            if self.next >= head {
+                return None;
+            }
+            match read_slot(&self.shared, self.next) {
+                SlotRead::Ok(rec) => {
+                    self.next += 1;
+                    return Some(rec);
+                }
+                SlotRead::Pending => return None,
+                SlotRead::Gone => {
+                    // Overwritten between the head load and the copy:
+                    // we were lapped mid-read. Count it and move on.
+                    self.torn += 1;
+                    self.lapped += 1;
+                    self.next += 1;
+                }
+            }
+        }
+    }
+
+    /// The sequence number the next successful poll will return.
+    pub fn position(&self) -> u64 {
+        self.next
+    }
+
+    /// Records this reader skipped because the writer overwrote them
+    /// before they were read.
+    pub fn lapped(&self) -> u64 {
+        self.lapped
+    }
+
+    /// Of the lapped records, those lost mid-copy (stamp moved during
+    /// the read) rather than before it.
+    pub fn torn(&self) -> u64 {
+        self.torn
+    }
+}
+
+fn unix_micros() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_then_read_round_trips() {
+        let ring = Ring::anon(1024);
+        assert_eq!(ring.push(b"alpha"), 0);
+        assert_eq!(ring.push(b"beta"), 1);
+        let mut r = ring.reader();
+        let a = r.poll().expect("first record");
+        assert_eq!(a.seq, 0);
+        assert_eq!(&a.payload()[..5], b"alpha");
+        assert_eq!(&a.payload()[5..8], &[0, 0, 0]);
+        let b = r.poll().expect("second record");
+        assert_eq!(b.seq, 1);
+        assert_eq!(&b.payload()[..4], b"beta");
+        assert!(r.poll().is_none());
+        assert_eq!(r.lapped(), 0);
+    }
+
+    #[test]
+    fn capacity_rounds_up_and_has_a_floor() {
+        assert_eq!(Ring::anon(1).capacity(), MIN_CAPACITY as u64);
+        assert_eq!(Ring::anon(1500).capacity(), 2048);
+    }
+
+    #[test]
+    fn wraparound_overwrites_oldest_and_counts_laps() {
+        let ring = Ring::anon(1024);
+        let cap = ring.capacity();
+        let total = cap + 300;
+        let mut r = ring.reader(); // positioned at 0, then left behind
+        for i in 0..total {
+            ring.push(&i.to_le_bytes());
+        }
+        assert_eq!(ring.seq(), total);
+        assert_eq!(ring.earliest(), 300);
+        let first = r.poll().expect("retained record");
+        assert_eq!(first.seq, 300, "oldest retained after one lap");
+        assert_eq!(r.lapped(), 300, "everything before it was overwritten");
+        let mut seen = 1u64;
+        let mut last = first.seq;
+        while let Some(rec) = r.poll() {
+            assert_eq!(rec.seq, last + 1, "strictly sequential");
+            last = rec.seq;
+            seen += 1;
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&rec.payload()[..8]);
+            assert_eq!(u64::from_le_bytes(bytes), rec.seq, "payload matches seq");
+        }
+        assert_eq!(seen, cap, "a full window was readable");
+        assert_eq!(seen + r.lapped(), total);
+    }
+
+    #[test]
+    fn tail_reader_sees_only_new_records() {
+        let ring = Ring::anon(1024);
+        ring.push(b"old");
+        let mut tail = ring.reader_from(ring.seq());
+        assert!(tail.poll().is_none());
+        ring.push(b"new");
+        let rec = tail.poll().expect("new record");
+        assert_eq!(&rec.payload()[..3], b"new");
+        assert_eq!(rec.seq, 1);
+    }
+
+    #[test]
+    fn replay_matches_reader_view() {
+        let ring = Ring::anon(1024);
+        for i in 0u64..50 {
+            ring.push(&i.to_le_bytes());
+        }
+        let replay = ring.replay();
+        assert_eq!(replay.records.len(), 50);
+        assert_eq!(replay.torn, 0);
+        assert_eq!(replay.head, 50);
+        assert_eq!(replay.earliest, 0);
+        for (i, rec) in replay.records.iter().enumerate() {
+            assert_eq!(rec.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn oversized_payload_panics() {
+        let ring = Ring::anon(1024);
+        let too_big = [0u8; PAYLOAD_BYTES + 1];
+        assert!(std::panic::catch_unwind(|| ring.push(&too_big)).is_err());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn file_backed_ring_survives_reopen() {
+        let path =
+            std::env::temp_dir().join(format!("jets-ring-reopen-{}.ring", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let ring = Ring::create(&path, 1024).expect("create");
+            for i in 0u64..10 {
+                ring.push(&i.to_le_bytes());
+            }
+        } // dropped: unmapped, NOT flushed explicitly
+        {
+            let ring = Ring::create(&path, 1024).expect("reopen");
+            assert_eq!(ring.seq(), 10, "claim cursor persisted");
+            assert_eq!(ring.push(b"more"), 10, "appends continue the sequence");
+        }
+        let replay = Ring::open_read(&path).expect("open_read").replay();
+        assert_eq!(replay.records.len(), 11);
+        assert_eq!(replay.torn, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn open_read_rejects_garbage() {
+        let path = std::env::temp_dir().join(format!("jets-ring-bad-{}.ring", std::process::id()));
+        std::fs::write(&path, vec![7u8; 4096]).unwrap();
+        let err = Ring::open_read(&path)
+            .err()
+            .expect("garbage must be rejected");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn many_readers_never_stall_the_writer() {
+        // The hammer shape the EventLog satellite asks for: readers
+        // polling flat-out must not slow or block pushes. The writer
+        // runs a fixed record count to completion while readers chase;
+        // the assertion is completion plus exact accounting.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc as StdArc;
+        let ring = Ring::anon(4096);
+        let stop = StdArc::new(AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let mut r = ring.reader();
+            let stop = StdArc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut seen = 0u64;
+                let mut last: Option<u64> = None;
+                while !stop.load(Ordering::Acquire) {
+                    while let Some(rec) = r.poll() {
+                        if let Some(prev) = last {
+                            assert!(rec.seq > prev, "reader went backwards");
+                        }
+                        last = Some(rec.seq);
+                        seen += 1;
+                    }
+                }
+                while let Some(rec) = r.poll() {
+                    if let Some(prev) = last {
+                        assert!(rec.seq > prev);
+                    }
+                    last = Some(rec.seq);
+                    seen += 1;
+                }
+                (seen, r.lapped())
+            }));
+        }
+        const TOTAL: u64 = 200_000;
+        for i in 0..TOTAL {
+            ring.push(&i.to_le_bytes());
+        }
+        stop.store(true, Ordering::Release);
+        for h in readers {
+            let (seen, lapped) = h.join().expect("reader thread");
+            assert_eq!(
+                seen + lapped,
+                TOTAL,
+                "every record either read or accounted as lapped"
+            );
+        }
+        assert_eq!(ring.seq(), TOTAL);
+    }
+}

@@ -9,6 +9,7 @@ use jets_core::protocol::{
     DispatcherMsg, MsgReader, MsgWriter, TaskAssignment, WorkerMsg, EXIT_CANCELED,
 };
 use jets_core::spec::CommandSpec;
+use jets_core::{EventKind, EventLog};
 use parking_lot::Mutex;
 use std::io::BufReader;
 use std::net::{Shutdown, TcpStream};
@@ -77,6 +78,12 @@ pub struct WorkerConfig {
     /// every agent of a simulated allocation, so one scrape covers them
     /// all.
     pub metrics: Option<Arc<WorkerMetrics>>,
+    /// File-backed flight-recorder ring for this agent's lifecycle
+    /// events; `None` (the default) records nothing. Only the file mode
+    /// exists on workers: a simulated allocation spawns hundreds of
+    /// agents, and an anonymous ring per agent would be pure overhead
+    /// nobody can replay after a crash anyway.
+    pub flight_recorder: Option<std::path::PathBuf>,
 }
 
 impl WorkerConfig {
@@ -92,6 +99,7 @@ impl WorkerConfig {
             reconnect: None,
             cancel_grace: Duration::from_millis(200),
             metrics: None,
+            flight_recorder: None,
         }
     }
 
@@ -104,6 +112,13 @@ impl WorkerConfig {
     /// Builder-style metric handles (shared across a process's agents).
     pub fn with_metrics(mut self, metrics: Arc<WorkerMetrics>) -> Self {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Builder-style flight-recorder file: the agent's lifecycle events
+    /// land in a crash-durable ring at `path`.
+    pub fn with_flight_recorder(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.flight_recorder = Some(path.into());
         self
     }
 }
@@ -134,6 +149,7 @@ pub struct Worker {
     sock: Arc<Mutex<Option<TcpStream>>>,
     handle: Option<JoinHandle<WorkerExit>>,
     name: String,
+    events: Option<EventLog>,
 }
 
 impl Worker {
@@ -143,24 +159,50 @@ impl Worker {
         let kill_flag = Arc::new(AtomicBool::new(false));
         let sock = Arc::new(Mutex::new(None));
         let name = config.name.clone();
+        // The flight recorder is opened here (not in the loop thread) so
+        // a bad path surfaces before the agent silently runs unrecorded,
+        // and so callers can read the same ring via `events()`. A failed
+        // open degrades to no recording: the agent's job is running
+        // tasks, not archiving its own diagnostics.
+        let events = config.flight_recorder.as_ref().and_then(|path| {
+            match EventLog::file_backed(path, jets_core::events::DEFAULT_EVENT_CAPACITY) {
+                Ok(log) => Some(log),
+                Err(err) => {
+                    eprintln!(
+                        "worker {name}: flight recorder {} unavailable: {err}",
+                        path.display()
+                    );
+                    None
+                }
+            }
+        });
         let loop_kill = Arc::clone(&kill_flag);
         let loop_sock = Arc::clone(&sock);
+        let loop_events = events.clone();
         let handle = thread::Builder::new()
             .name(format!("worker-{name}"))
             .stack_size(256 * 1024)
-            .spawn(move || worker_loop(config, executor, loop_kill, loop_sock))
+            .spawn(move || worker_loop(config, executor, loop_kill, loop_sock, loop_events))
             .expect("spawn worker thread");
         Worker {
             kill_flag,
             sock,
             handle: Some(handle),
             name,
+            events,
         }
     }
 
     /// The worker's name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The agent's flight-recorder log, when one was configured and its
+    /// file opened. Handing out a clone is free — `EventLog` is a shared
+    /// handle — and reading it never blocks the agent's writes.
+    pub fn events(&self) -> Option<&EventLog> {
+        self.events.as_ref()
     }
 
     /// Kill the worker abruptly: sever the dispatcher connection without a
@@ -266,6 +308,24 @@ impl Drop for InflightGuard<'_> {
     }
 }
 
+/// Records `WorkerDown` into the flight recorder when a registered
+/// session ends, on every exit path — the ring replay then pairs one
+/// down with every `WorkerUp`.
+struct SessionEventGuard<'a> {
+    events: Option<&'a EventLog>,
+    worker: u64,
+}
+
+impl Drop for SessionEventGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(log) = self.events {
+            log.record(EventKind::WorkerDown {
+                worker: self.worker,
+            });
+        }
+    }
+}
+
 /// How one dispatcher session ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SessionEnd {
@@ -313,6 +373,7 @@ fn worker_loop(
     executor: Arc<dyn TaskExecutor>,
     kill: Arc<AtomicBool>,
     sock_slot: Arc<Mutex<Option<TcpStream>>>,
+    events: Option<EventLog>,
 ) -> WorkerExit {
     if !config.connect_delay.is_zero() {
         thread::sleep(config.connect_delay);
@@ -351,6 +412,7 @@ fn worker_loop(
                 &mut local_cache,
                 &mut tasks_done,
                 &mut carry,
+                events.as_ref(),
             ) {
                 SessionEnd::Shutdown => {
                     return WorkerExit {
@@ -422,6 +484,7 @@ fn run_session(
     local_cache: &mut LazyCache,
     tasks_done: &mut u64,
     carry: &mut CarryState,
+    events: Option<&EventLog>,
 ) -> SessionEnd {
     stream.set_nodelay(true).ok();
     let Ok(write_half) = stream.try_clone() else {
@@ -485,11 +548,12 @@ fn run_session(
     {
         return lost_or_killed();
     }
-    match inbox.recv() {
-        Ok(Some(DispatcherMsg::Registered { .. })) => {
+    let worker_id = match inbox.recv() {
+        Ok(Some(DispatcherMsg::Registered { worker_id })) => {
             if let Some(m) = &config.metrics {
                 m.sessions_total.inc();
             }
+            worker_id
         }
         // Anything but the Registered ack before the handshake
         // completes means a confused or dying dispatcher: resync by
@@ -504,7 +568,17 @@ fn run_session(
         ))
         | Ok(None)
         | Err(_) => return lost_or_killed(),
+    };
+    if let Some(log) = events {
+        log.record(EventKind::WorkerUp { worker: worker_id });
     }
+    // Drop guard, not per-return records: the session exits from many
+    // arms below, and the replayed ring should show one `WorkerDown`
+    // for every `WorkerUp` on all of them.
+    let _session_events = SessionEventGuard {
+        events,
+        worker: worker_id,
+    };
 
     // Recovery handshake (dispatcher crash recovery): claim the task
     // carried from the previous session so a restarted dispatcher can
@@ -569,6 +643,8 @@ fn run_session(
             &writer,
             &inbox,
             carry,
+            events,
+            worker_id,
         ),
     };
     stop.store(true, Ordering::Release);
@@ -589,6 +665,8 @@ fn session_task_loop(
     writer: &Arc<Mutex<MsgWriter<TcpStream>>>,
     inbox: &Receiver<Option<DispatcherMsg>>,
     carry: &mut CarryState,
+    events: Option<&EventLog>,
+    worker_id: u64,
 ) -> SessionEnd {
     let lost_or_killed = || {
         if kill.load(Ordering::Acquire) {
@@ -660,6 +738,10 @@ fn session_task_loop(
         let task_cancel = cancel.clone();
         let task_id = assignment.task_id;
         let job_id = assignment.job_id;
+        let ranks = match &assignment.kind {
+            jets_core::protocol::TaskKind::Sequential { .. } => 1,
+            jets_core::protocol::TaskKind::MpiProxy { ranks, .. } => ranks.len() as u32,
+        };
         let started = Instant::now();
         // A task that never got a thread reports the executor's spawn
         // failure code, exactly as if the process itself had failed to
@@ -683,6 +765,14 @@ fn session_task_loop(
             m.tasks_inflight.inc();
             InflightGuard(&m.tasks_inflight)
         });
+        if let Some(log) = events {
+            log.record(EventKind::TaskStarted {
+                task: task_id,
+                job: job_id,
+                worker: worker_id,
+                ranks,
+            });
+        }
 
         let mut canceled = false;
         let mut cancel_deadline: Option<Instant> = None;
@@ -763,6 +853,15 @@ fn session_task_loop(
             None => break SessionEnd::Killed,
         };
         let wall_ms = started.elapsed().as_millis() as u64;
+        if let Some(log) = events {
+            log.record(EventKind::TaskEnded {
+                task: task_id,
+                job: job_id,
+                worker: worker_id,
+                ranks,
+                exit_code: outcome.exit_code,
+            });
+        }
         if let Some(m) = &config.metrics {
             m.tasks_executed_total.inc();
             if canceled {

@@ -33,6 +33,6 @@ pub mod metrics;
 pub mod staging;
 
 pub use agent::{ReconnectPolicy, Worker, WorkerConfig, WorkerExit};
-pub use metrics::WorkerMetrics;
 pub use executor::{AppRegistry, CancelToken, Executor, TaskContext, TaskExecutor};
+pub use metrics::WorkerMetrics;
 pub use staging::{NodeLocalCache, StageFile};

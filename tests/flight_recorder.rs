@@ -1,0 +1,287 @@
+//! Tier-1 loopback: the flight recorder end to end — a file-backed
+//! event ring under a real batch, its metrics bridge, offline replay
+//! after a kill cross-checked against the write-ahead journal, and the
+//! worker agent's own producer path.
+//!
+//! The ring's internal protocol (seqlock stamps, wraparound, torn-slot
+//! accounting, literal `kill -9` of a writer process) is tortured in
+//! `crates/jets-ring/tests/torture.rs`; this suite exercises the
+//! *system*: dispatcher and worker producers recording real lifecycle
+//! events, readers observing them live, and the file surviving an
+//! abrupt death with counts a crash investigator can reconcile.
+
+use jets::core::spec::{CommandSpec, JobSpec};
+use jets::core::{
+    journal, read_flight, Dispatcher, DispatcherConfig, EventKind, FlightView, JobStatus,
+};
+use jets::sim::{science_registry, Allocation, AllocationConfig};
+use jets::worker::{Executor, Worker, WorkerConfig};
+use jets_cli::prom::Scrape;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const WAIT: Duration = Duration::from_secs(120);
+
+fn temp_path(name: &str, ext: &str) -> std::path::PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("jets-flight-{name}-{}.{ext}", std::process::id()));
+    std::fs::remove_file(&path).ok();
+    path
+}
+
+fn boot(config: DispatcherConfig, nodes: u32) -> (Dispatcher, Allocation) {
+    let dispatcher = Dispatcher::start(config).unwrap();
+    let allocation = Allocation::start(
+        &dispatcher.addr().to_string(),
+        AllocationConfig::new(nodes),
+        Arc::new(Executor::new(science_registry())),
+    );
+    while dispatcher.alive_workers() < nodes as usize {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    (dispatcher, allocation)
+}
+
+fn count(view: &FlightView, pred: impl Fn(&EventKind) -> bool) -> usize {
+    view.events.iter().filter(|e| pred(&e.kind)).count()
+}
+
+#[test]
+fn file_backed_batch_replays_clean_and_feeds_metrics() {
+    const WORKERS: u32 = 8;
+    const JOBS: usize = 40;
+    let flight = temp_path("clean", "ring");
+    let (dispatcher, allocation) = boot(
+        DispatcherConfig {
+            flight_recorder: Some(flight.clone()),
+            ..DispatcherConfig::default()
+        },
+        WORKERS,
+    );
+    let metrics_addr = dispatcher.serve_metrics("127.0.0.1:0").unwrap().to_string();
+    // A cursor seated before any job exists sees the whole story.
+    let mut cursor = dispatcher.events().reader();
+
+    let ids = dispatcher.submit_all(
+        (0..JOBS).map(|_| JobSpec::sequential(CommandSpec::builtin("sleep", vec!["2".into()]))),
+    );
+    assert!(dispatcher.wait_idle(WAIT));
+    for id in &ids {
+        assert_eq!(
+            dispatcher.job_record(*id).unwrap().status,
+            JobStatus::Succeeded
+        );
+    }
+
+    // The log tells the batch's story with conservation intact.
+    let log = dispatcher.events();
+    let events = log.snapshot();
+    let of = |pred: &dyn Fn(&EventKind) -> bool| events.iter().filter(|e| pred(&e.kind)).count();
+    assert_eq!(of(&|k| matches!(k, EventKind::JobSubmitted { .. })), JOBS);
+    assert_eq!(
+        of(&|k| matches!(k, EventKind::JobCompleted { success: true, .. })),
+        JOBS
+    );
+    assert_eq!(of(&|k| matches!(k, EventKind::JobPhases { .. })), JOBS);
+    assert_eq!(
+        of(&|k| matches!(k, EventKind::TaskStarted { .. })),
+        of(&|k| matches!(k, EventKind::TaskEnded { .. }))
+    );
+    assert_eq!(
+        of(&|k| matches!(k, EventKind::WorkerUp { .. })),
+        WORKERS as usize
+    );
+    // Nothing was overwritten at this scale, so the independent cursor
+    // drains to exactly the same count, without ever being lapped.
+    let mut polled = 0usize;
+    while cursor.poll().is_some() {
+        polled += 1;
+    }
+    assert_eq!(polled, log.len());
+    assert_eq!(cursor.lapped(), 0);
+    assert_eq!(cursor.decode_errors(), 0);
+
+    // The Prometheus surface is a ring reader too: the monitor bridges
+    // the claim cursor into `jets_events_*` without touching `record`.
+    let deadline = Instant::now() + WAIT;
+    let scrape = loop {
+        let text = jets::obs::scrape(&metrics_addr, "/metrics").expect("scrape /metrics");
+        let scrape = Scrape::parse(&text);
+        if scrape.value("jets_events_recorded_total") == Some(log.len() as f64)
+            || Instant::now() >= deadline
+        {
+            break scrape;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert_eq!(
+        scrape.value("jets_events_recorded_total"),
+        Some(log.len() as f64)
+    );
+    assert_eq!(
+        scrape.value("jets_events_capacity"),
+        Some(log.capacity() as f64)
+    );
+    assert_eq!(
+        scrape.value("jets_events_retained"),
+        Some(log.len() as f64),
+        "below capacity, retained == recorded"
+    );
+
+    dispatcher.shutdown();
+    drop(allocation);
+    drop(dispatcher);
+
+    // Shutdown records the workers' sign-offs from connection-teardown
+    // threads; wait for the log to go quiet before freezing the truth.
+    let deadline = Instant::now() + WAIT;
+    let mut last = log.len();
+    let mut stable_since = Instant::now();
+    while Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(50));
+        if log.len() != last {
+            last = log.len();
+            stable_since = Instant::now();
+        } else if stable_since.elapsed() >= Duration::from_millis(300) {
+            break;
+        }
+    }
+    let final_events = log.snapshot();
+
+    // Offline replay of the file equals the live snapshot.
+    let view = read_flight(&flight).expect("replay flight file");
+    assert_eq!(view.events.len(), final_events.len());
+    assert_eq!(view.total_recorded, final_events.len() as u64);
+    assert_eq!((view.torn, view.undecodable, view.overwritten), (0, 0, 0));
+    assert!(view.epoch_unix_us > 0, "epoch anchors offline timestamps");
+    assert_eq!(
+        count(&view, |k| matches!(k, EventKind::JobPhases { .. })),
+        JOBS
+    );
+    std::fs::remove_file(&flight).ok();
+}
+
+#[test]
+fn killed_dispatcher_flight_file_reconciles_with_the_journal() {
+    const WORKERS: u32 = 8;
+    const JOBS: usize = 120;
+    let flight = temp_path("kill", "ring");
+    let wal = temp_path("kill", "wal");
+    let (dispatcher, allocation) = boot(
+        DispatcherConfig {
+            flight_recorder: Some(flight.clone()),
+            journal: Some(wal.clone()),
+            ..DispatcherConfig::default()
+        },
+        WORKERS,
+    );
+    let ids = dispatcher.submit_all(
+        (0..JOBS).map(|_| JobSpec::sequential(CommandSpec::builtin("sleep", vec!["2".into()]))),
+    );
+
+    // Kill mid-batch: some jobs done, some queued, a full allocation of
+    // gangs in flight. No sync, no goodbye — the crash case.
+    let deadline = Instant::now() + WAIT;
+    loop {
+        let done = ids
+            .iter()
+            .filter(|id| {
+                dispatcher
+                    .job_record(**id)
+                    .map(|r| r.status == JobStatus::Succeeded)
+                    .unwrap_or(false)
+            })
+            .count();
+        if done >= JOBS / 3 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "batch never reached kill point");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    dispatcher.kill();
+    drop(allocation);
+    // Give connection threads holding the last Arc clones a beat to
+    // finish any record already in flight.
+    std::thread::sleep(Duration::from_millis(300));
+
+    // The journal is the ground truth of terminal jobs; the flight
+    // ring must agree. The two records of one completion are adjacent
+    // but not atomic, so the kill can split at most a gang's worth.
+    let summary = journal::scan(&wal).expect("scan journal");
+    let finished = journal::recover(&summary.records).finished as i64;
+    let view = read_flight(&flight).expect("replay flight file");
+    assert_eq!(view.overwritten, 0, "well below capacity");
+    assert!(
+        view.torn <= 4,
+        "torn {} exceeds in-flight writers",
+        view.torn
+    );
+    assert_eq!(view.undecodable, 0);
+    let completed = count(&view, |k| matches!(k, EventKind::JobCompleted { .. })) as i64;
+    assert!(
+        (completed - finished).abs() <= WORKERS as i64,
+        "flight ring saw {completed} completions, journal finished {finished}"
+    );
+    assert!(
+        completed >= (JOBS / 3 - WORKERS as usize) as i64,
+        "kill point reached first (completed {completed})"
+    );
+    // Accounting identity: every claimed slot is exactly one of
+    // retained, torn, or overwritten.
+    assert_eq!(
+        view.total_recorded,
+        view.events.len() as u64 + view.undecodable + view.torn + view.overwritten
+    );
+    std::fs::remove_file(&flight).ok();
+    std::fs::remove_file(&wal).ok();
+}
+
+#[test]
+fn worker_agent_records_its_own_lifecycle() {
+    const JOBS: usize = 5;
+    let flight = temp_path("agent", "ring");
+    let dispatcher = Dispatcher::start(DispatcherConfig::default()).unwrap();
+    let config =
+        WorkerConfig::new(dispatcher.addr().to_string(), "flight-w0").with_flight_recorder(&flight);
+    let worker = Worker::spawn(config, Arc::new(Executor::new(science_registry())));
+    assert!(worker.events().is_some(), "flight file must open");
+    while dispatcher.alive_workers() < 1 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let ids = dispatcher.submit_all(
+        (0..JOBS).map(|_| JobSpec::sequential(CommandSpec::builtin("sleep", vec!["1".into()]))),
+    );
+    assert!(dispatcher.wait_idle(WAIT));
+    for id in &ids {
+        assert_eq!(
+            dispatcher.job_record(*id).unwrap().status,
+            JobStatus::Succeeded
+        );
+    }
+    dispatcher.shutdown();
+    let exit = worker.join();
+    assert_eq!(exit.tasks_done, JOBS as u64);
+    drop(dispatcher);
+
+    // The agent's ring tells its side: one registration, every task
+    // started and ended with exit 0, one sign-off at shutdown.
+    let view = read_flight(&flight).expect("replay worker flight file");
+    assert_eq!(count(&view, |k| matches!(k, EventKind::WorkerUp { .. })), 1);
+    assert_eq!(
+        count(&view, |k| matches!(k, EventKind::WorkerDown { .. })),
+        1
+    );
+    assert_eq!(
+        count(&view, |k| matches!(k, EventKind::TaskStarted { .. })),
+        JOBS
+    );
+    assert_eq!(
+        count(&view, |k| matches!(
+            k,
+            EventKind::TaskEnded { exit_code: 0, .. }
+        )),
+        JOBS
+    );
+    std::fs::remove_file(&flight).ok();
+}

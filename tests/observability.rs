@@ -47,7 +47,10 @@ fn live_scrape_tracks_a_running_batch() {
     let metrics_addr = dispatcher.serve_metrics("127.0.0.1:0").unwrap().to_string();
 
     // /healthz answers before any work exists.
-    assert_eq!(jets::obs::scrape(&metrics_addr, "/healthz").unwrap(), "ok\n");
+    assert_eq!(
+        jets::obs::scrape(&metrics_addr, "/healthz").unwrap(),
+        "ok\n"
+    );
 
     // A batch long enough that a scrape lands mid-run: 16 workers × 100
     // jobs of ~2 simulated ms each.
@@ -67,7 +70,9 @@ fn live_scrape_tracks_a_running_batch() {
     assert_eq!(mid.value("jets_jobs_submitted_total"), Some(total));
     assert!(mid.value("jets_jobs_completed_total").unwrap_or(0.0) > 0.0);
     // The worker gauges exist and stay within the allocation size.
-    let ready = mid.value("jets_workers_ready").expect("workers_ready gauge");
+    let ready = mid
+        .value("jets_workers_ready")
+        .expect("workers_ready gauge");
     assert!((0.0..=WORKERS as f64).contains(&ready), "ready {ready}");
     let alive = mid.value("jets_workers_alive").unwrap_or(0.0);
     assert!((0.0..=WORKERS as f64).contains(&alive), "alive {alive}");
@@ -153,7 +158,9 @@ fn mpi_jobs_record_pmi_phase_and_event_log_matches() {
                 pmi_us,
                 run_us,
                 total_us,
-            } => Some((*job, *nodes, *queue_us, *launch_us, *pmi_us, *run_us, *total_us)),
+            } => Some((
+                *job, *nodes, *queue_us, *launch_us, *pmi_us, *run_us, *total_us,
+            )),
             _ => None,
         })
         .collect();

@@ -19,7 +19,8 @@ use std::time::{Duration, Instant};
 const WAIT: Duration = Duration::from_secs(120);
 
 fn journal_path(name: &str) -> std::path::PathBuf {
-    let path = std::env::temp_dir().join(format!("jets-recovery-{name}-{}.wal", std::process::id()));
+    let path =
+        std::env::temp_dir().join(format!("jets-recovery-{name}-{}.wal", std::process::id()));
     std::fs::remove_file(&path).ok();
     path
 }
@@ -170,7 +171,10 @@ fn replay_tolerates_a_torn_final_record() {
     let intact = std::fs::metadata(&path).unwrap().len();
     {
         use std::io::Write;
-        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
         f.write_all(&[0x2a, 0x00, 0x00]).unwrap();
     }
     let summary = journal::scan(&path).unwrap();
