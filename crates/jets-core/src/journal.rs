@@ -602,6 +602,7 @@ impl Journal {
         let summary = scan(&path)?;
         let mut file = OpenOptions::new()
             .create(true)
+            .truncate(false)
             .read(true)
             .write(true)
             .open(&path)?;
@@ -732,11 +733,15 @@ pub struct Recovered {
     pub next_task: u64,
 }
 
+/// An in-flight attempt: the tasks still assigned, and the exit codes
+/// collected so far.
+type ActiveAttempt = (Vec<(WorkerId, TaskId)>, Vec<i32>);
+
 #[derive(Default)]
 struct JobFold {
     spec: Option<JobSpec>,
     attempts: u32,
-    active: Option<(Vec<(WorkerId, TaskId)>, Vec<i32>)>,
+    active: Option<ActiveAttempt>,
     done: bool,
     order: usize,
 }

@@ -1,0 +1,15 @@
+fn forward(inner: &Inner) {
+    let st = inner.sched.lock();
+    let bk = inner.book.lock();
+    bk.note(&st);
+}
+
+fn backward(inner: &Inner) {
+    let bk = inner.book.lock();
+    touch_sched(inner, &bk);
+}
+
+fn touch_sched(inner: &Inner, bk: &Book) {
+    let st = inner.sched.lock();
+    st.note(bk);
+}

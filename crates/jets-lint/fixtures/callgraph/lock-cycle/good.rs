@@ -1,0 +1,15 @@
+fn forward(inner: &Inner) {
+    let st = inner.sched.lock();
+    let bk = inner.book.lock();
+    bk.note(&st);
+}
+
+fn also_forward(inner: &Inner) {
+    let st = inner.sched.lock();
+    take_book(inner, &st);
+}
+
+fn take_book(inner: &Inner, st: &Sched) {
+    let bk = inner.book.lock();
+    bk.note(st);
+}

@@ -1,0 +1,16 @@
+enum WorkerMsg {
+    Register,
+    Zombie,
+}
+
+fn emit(out: &mut Vec<WorkerMsg>) {
+    out.push(WorkerMsg::Zombie);
+    out.push(WorkerMsg::Register);
+}
+
+fn check(m: &WorkerMsg) -> bool {
+    if let WorkerMsg::Register = m {
+        return true;
+    }
+    false
+}

@@ -1,0 +1,16 @@
+enum WorkerMsg {
+    Register,
+    Zombie,
+}
+
+fn emit(out: &mut Vec<WorkerMsg>) {
+    out.push(WorkerMsg::Zombie);
+    out.push(WorkerMsg::Register);
+}
+
+fn dispatch(m: &WorkerMsg) -> u32 {
+    match m {
+        WorkerMsg::Register => 1,
+        WorkerMsg::Zombie => 2,
+    }
+}

@@ -1,0 +1,11 @@
+fn drain_outbox(stream: &mut TcpStream) {
+    stream.flush();
+}
+
+fn serve_tick(inner: &Inner, stream: &mut TcpStream) {
+    {
+        let st = inner.sched.lock();
+        st.note();
+    }
+    drain_outbox(stream);
+}

@@ -1,0 +1,12 @@
+fn nap() {
+    thread::sleep(Duration::from_millis(1));
+}
+
+fn settle() {
+    nap();
+}
+
+fn on_frame(state: &mut Conn, frame: &[u8]) -> Flow {
+    settle();
+    Flow::Continue
+}

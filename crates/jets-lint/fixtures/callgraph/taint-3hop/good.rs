@@ -1,0 +1,12 @@
+fn nap() {
+    thread::sleep(Duration::from_millis(1));
+}
+
+fn on_frame(state: &mut Conn, frame: &[u8]) -> Flow {
+    state.outbox.send(frame);
+    Flow::Continue
+}
+
+fn service_pump(rx: &Receiver<Job>) {
+    nap();
+}

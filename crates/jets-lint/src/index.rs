@@ -1,0 +1,1072 @@
+//! Pass 1 of the two-pass analysis: the workspace symbol index.
+//!
+//! Every source file is lexed and split into functions, and each
+//! function is summarized into [`FnFacts`]: the calls it makes, the
+//! lock guards it acquires (and what was already held at that point),
+//! and the blocking operations it performs directly. Pass 2 (see
+//! [`crate::callgraph`]) stitches these per-file summaries into a
+//! workspace call graph and runs the interprocedural rules over it.
+//!
+//! Indexing is embarrassingly parallel — each file's facts depend only
+//! on its own tokens — so [`index_sources`] fans the file list out
+//! across a fixed pool of `std::thread` workers (the same thread model
+//! as the reactor's event loops: N threads, static assignment, no work
+//! queue). All cross-file resolution (call edges, lock-field
+//! declarations, protocol enum definitions) happens after the join.
+
+use crate::lexer::{lex, Lexed, Tok, TokKind};
+use std::collections::BTreeSet;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+/// How many lines below a suppression comment it still covers, so the
+/// comment can sit above a multi-line statement.
+pub const SUPPRESSION_REACH: u32 = 3;
+
+/// Does `line` fall under a well-formed, reasoned
+/// `allow(lock-across-blocking)` suppression in this file? The taint
+/// pass treats such a site as *documented-contract* blocking — the
+/// suppression records a reviewed decision that the op is bounded and
+/// intentional (e.g. the journal's serialized WAL write), so it does
+/// not seed transitive taint and callers are not re-flagged for the
+/// same decision. Malformed or reason-less suppressions confer
+/// nothing.
+pub fn blocking_contract_at(file: &FileIndex, line: u32) -> bool {
+    file.lexed.suppressions.iter().any(|s| {
+        let text = s.text.trim();
+        let Some(rest) = text.strip_prefix("allow(") else {
+            return false;
+        };
+        let Some(close) = rest.find(')') else {
+            return false;
+        };
+        rest[..close].trim() == "lock-across-blocking"
+            && !rest[close + 1..].trim().is_empty()
+            && line >= s.line
+            && line <= s.line + SUPPRESSION_REACH
+    })
+}
+
+/// Method names (called as `.name(`) that block on I/O or time.
+pub const BLOCKING_METHODS: &[&str] = &[
+    "recv",
+    "recv_timeout",
+    "read_line",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "write_all",
+    "flush",
+    "accept",
+    "connect",
+];
+
+/// Free functions / paths that block (`thread::sleep`, frame I/O).
+pub const BLOCKING_CALLS: &[&str] = &[
+    "sleep",
+    "read_msg",
+    "read_msg_buf",
+    "write_msg",
+    "write_msg_buf",
+];
+
+/// A lock guard that is live at some program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeldGuard {
+    /// Binding name (`st`, `bk`).
+    pub name: String,
+    /// The field the lock was taken on (`sched`, `book`, `members`, …).
+    pub field: String,
+    /// Line the guard was acquired on.
+    pub line: u32,
+}
+
+/// A call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name: the last path segment (`drain_outbox` for both
+    /// `drain_outbox(..)` and `self.drain_outbox(..)`).
+    pub name: String,
+    pub line: u32,
+    /// Lock guards live at the call.
+    pub held: Vec<HeldGuard>,
+    /// The call happens inside the argument list of a `spawn(..)`
+    /// (`thread::spawn`, `Builder::spawn`): it runs on another thread,
+    /// so it neither blocks the caller nor runs under its guards.
+    pub in_spawn: bool,
+}
+
+/// A directly-blocking operation inside a function body.
+#[derive(Debug, Clone)]
+pub struct BlockSite {
+    /// Human description (`.flush()`, `sleep()`, `writer.send()`).
+    pub op: String,
+    pub line: u32,
+    pub held: Vec<HeldGuard>,
+    pub in_spawn: bool,
+}
+
+/// A lock acquisition inside a function body.
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// Receiver field of `.lock()` / `.read()` / `.write()`.
+    pub field: String,
+    /// `lock` for Mutex, `read`/`write` for RwLock candidates (only
+    /// counted by pass 2 when the field is a declared RwLock).
+    pub method: String,
+    pub line: u32,
+    pub held: Vec<HeldGuard>,
+    pub is_let: bool,
+    pub in_spawn: bool,
+}
+
+/// One function with its interprocedural facts.
+#[derive(Debug)]
+pub struct FnFacts {
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Token index range of the body, *inside* the braces.
+    pub body: Range<usize>,
+    pub in_test: bool,
+    pub calls: Vec<CallSite>,
+    pub blocking: Vec<BlockSite>,
+    pub locks: Vec<LockSite>,
+}
+
+/// A `field: Mutex<..>` / `field: RwLock<..>` struct-field declaration.
+#[derive(Debug, Clone)]
+pub struct LockDecl {
+    pub field: String,
+    /// `Mutex` or `RwLock`.
+    pub kind: String,
+    pub line: u32,
+}
+
+/// One appearance of `Enum::Variant` for a protocol enum.
+#[derive(Debug, Clone)]
+pub struct VariantUse {
+    pub enum_name: String,
+    pub variant: String,
+    pub line: u32,
+    /// The use sits in pattern position (match arm, `let` / `if let`
+    /// binding pattern, `matches!` argument) rather than being a
+    /// construction.
+    pub is_pattern: bool,
+    pub in_test: bool,
+}
+
+/// One source file prepared for analysis: pass-1 output.
+pub struct FileIndex {
+    pub path: PathBuf,
+    /// Crate the file belongs to (`jets-core` for
+    /// `crates/jets-core/src/dispatcher.rs`), used to namespace lock
+    /// fields so same-named fields in unrelated crates don't alias.
+    pub krate: String,
+    pub lexed: Lexed,
+    /// Whole file is test-ish scope (tests/, benches/, examples/ dirs).
+    pub file_is_test: bool,
+    pub funcs: Vec<FnFacts>,
+    pub lock_decls: Vec<LockDecl>,
+    /// Protocol enum definitions found in this file.
+    pub enum_defs: Vec<(String, BTreeSet<String>)>,
+    /// Protocol `Enum::Variant` uses (constructions and patterns).
+    pub variant_uses: Vec<VariantUse>,
+    /// `(atomic-field, function)` pairs for `.load(` sites (rule J3).
+    pub atomic_loads: Vec<(String, String)>,
+}
+
+/// Enum names whose matches must be exhaustive and whose constructed
+/// variants must be matched somewhere (rules J4 / J10).
+pub const PROTOCOL_ENUMS: &[&str] = &["WorkerMsg", "DispatcherMsg"];
+
+/// Derive the owning crate from a path: the component after `crates`,
+/// else `root` for the top-level `src/` / `tests/` trees.
+pub fn crate_of(path: &Path) -> String {
+    let s = path.to_string_lossy().replace('\\', "/");
+    let comps: Vec<&str> = s.split('/').filter(|c| !c.is_empty()).collect();
+    for (i, c) in comps.iter().enumerate() {
+        if *c == "crates" && i + 1 < comps.len() {
+            return comps[i + 1].to_string();
+        }
+    }
+    "root".to_string()
+}
+
+/// Index a set of in-memory sources across a fixed pool of `threads`
+/// worker threads. Output order matches input order regardless of the
+/// thread count, so the analysis is deterministic.
+pub fn index_sources(sources: &[(PathBuf, String)], threads: usize) -> Vec<FileIndex> {
+    let threads = threads.max(1).min(sources.len().max(1));
+    if threads == 1 {
+        return sources
+            .iter()
+            .map(|(p, s)| index_file(p.clone(), s))
+            .collect();
+    }
+    // Static round-robin assignment, reactor-style: worker `w` owns
+    // every file whose position ≡ w (mod threads). No shared queue, no
+    // locks; the join is the only synchronization.
+    let mut slots: Vec<Option<FileIndex>> = Vec::with_capacity(sources.len());
+    slots.resize_with(sources.len(), || None);
+    let mut out: Vec<Vec<(usize, FileIndex)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let srcs = &sources;
+            handles.push(scope.spawn(move || {
+                let mut mine = Vec::new();
+                let mut i = w;
+                while i < srcs.len() {
+                    let (p, s) = &srcs[i];
+                    mine.push((i, index_file(p.clone(), s)));
+                    i += threads;
+                }
+                mine
+            }));
+        }
+        for h in handles {
+            // A worker panicking means an indexing bug; propagate.
+            out.push(h.join().expect("index worker panicked"));
+        }
+    });
+    for chunk in out {
+        for (i, fi) in chunk {
+            slots[i] = Some(fi);
+        }
+    }
+    slots.into_iter().map(|s| s.expect("indexed")).collect()
+}
+
+/// Index one file: lex, split into functions, extract per-function
+/// facts and file-level declarations.
+pub fn index_file(path: PathBuf, src: &str) -> FileIndex {
+    let lexed = lex(src);
+    let file_is_test = {
+        let s = path.to_string_lossy().replace('\\', "/");
+        s.contains("/tests/") || s.contains("/benches/") || s.contains("/examples/")
+    };
+    let krate = crate_of(&path);
+    let test_mask = compute_test_mask(&lexed.toks);
+    let mut funcs = split_functions(&lexed.toks, &test_mask);
+    for f in &mut funcs {
+        extract_fn_facts(&lexed.toks, f);
+    }
+    let lock_decls = collect_lock_decls(&lexed.toks);
+    let enum_defs = collect_enum_defs(&lexed.toks);
+    let pattern_mask = compute_pattern_mask(&lexed.toks);
+    let variant_uses = collect_variant_uses(&lexed.toks, &pattern_mask, &test_mask, file_is_test);
+    let atomic_loads = collect_atomic_loads_file(&lexed.toks, &funcs);
+    FileIndex {
+        path,
+        krate,
+        lexed,
+        file_is_test,
+        funcs,
+        lock_decls,
+        enum_defs,
+        variant_uses,
+        atomic_loads,
+    }
+}
+
+/// Mark tokens inside `#[cfg(test)]`-gated items and `#[test]` fns.
+fn compute_test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct("#") && i + 1 < toks.len() && toks[i + 1].is_punct("[") {
+            // Scan the attribute tokens.
+            let attr_start = i + 2;
+            let mut j = attr_start;
+            let mut depth = 1;
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct("[") {
+                    depth += 1;
+                } else if toks[j].is_punct("]") {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+            let attr = &toks[attr_start..j.saturating_sub(1)];
+            let is_test_attr = attr.first().map(|t| t.is_ident("test")).unwrap_or(false)
+                || (attr.first().map(|t| t.is_ident("cfg")).unwrap_or(false)
+                    && attr.iter().any(|t| t.is_ident("test")));
+            if is_test_attr {
+                // Mark through the attached item: scan forward past any
+                // further attributes to the item's braced body (or `;`).
+                let mut k = j;
+                // Skip stacked attributes.
+                while k + 1 < toks.len() && toks[k].is_punct("#") && toks[k + 1].is_punct("[") {
+                    let mut d = 0;
+                    k += 1;
+                    while k < toks.len() {
+                        if toks[k].is_punct("[") {
+                            d += 1;
+                        } else if toks[k].is_punct("]") {
+                            d -= 1;
+                            if d == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                }
+                // Find the first `{` at depth 0 relative to here, or `;`.
+                let mut d = 0i32;
+                let mut end = k;
+                while end < toks.len() {
+                    let t = &toks[end];
+                    if t.is_punct("{") {
+                        d += 1;
+                    } else if t.is_punct("}") {
+                        d -= 1;
+                        if d == 0 {
+                            end += 1;
+                            break;
+                        }
+                    } else if t.is_punct(";") && d == 0 {
+                        end += 1;
+                        break;
+                    }
+                    end += 1;
+                }
+                for m in mask.iter_mut().take(end.min(toks.len())).skip(i) {
+                    *m = true;
+                }
+                i = end;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Split the token stream into named functions with body ranges.
+fn split_functions(toks: &[Tok], test_mask: &[bool]) -> Vec<FnFacts> {
+    let mut funcs = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") && i + 1 < toks.len() && toks[i + 1].kind == TokKind::Ident {
+            let name = toks[i + 1].text.clone();
+            let line = toks[i].line;
+            let in_test = test_mask.get(i).copied().unwrap_or(false);
+            // Find the opening `{` of the body, skipping generics,
+            // params, return types, and where clauses. `;` first means
+            // a trait method declaration with no body.
+            let mut j = i + 2;
+            let mut angle = 0i32;
+            let mut paren = 0i32;
+            let mut body_start = None;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct("<") {
+                    angle += 1;
+                } else if t.is_punct(">") {
+                    angle -= 1;
+                } else if t.is_punct("(") {
+                    paren += 1;
+                } else if t.is_punct(")") {
+                    paren -= 1;
+                } else if t.is_punct(";") && paren == 0 {
+                    break;
+                } else if t.is_punct("{") && paren == 0 && angle <= 0 {
+                    body_start = Some(j + 1);
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(start) = body_start {
+                let mut depth = 1i32;
+                let mut k = start;
+                while k < toks.len() && depth > 0 {
+                    if toks[k].is_punct("{") {
+                        depth += 1;
+                    } else if toks[k].is_punct("}") {
+                        depth -= 1;
+                    }
+                    k += 1;
+                }
+                let body = start..k.saturating_sub(1);
+                funcs.push(FnFacts {
+                    name,
+                    line,
+                    body,
+                    in_test,
+                    calls: Vec::new(),
+                    blocking: Vec::new(),
+                    locks: Vec::new(),
+                });
+                // Continue *inside* the body so nested fns are found too.
+                i = start;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    funcs
+}
+
+/// A guard tracked during the scan (same semantics as the J1/J2 rules:
+/// let-bound guards live until `drop`, shadowing, or scope exit).
+#[derive(Debug, Clone)]
+pub struct Guard {
+    pub name: String,
+    pub field: String,
+    /// Brace depth the binding was created at.
+    pub depth: i32,
+    pub line: u32,
+}
+
+/// Scan a function body, calling `on_lock` at every `.lock()` call with
+/// (receiver-field, live guards, is-let-binding, token index) and
+/// `on_tok` for every other token with the live-guard list. Maintains
+/// the guard list: let-bound guards live until `drop(name)`, shadowing,
+/// or scope exit; temporary `x.lock().y` guards are not tracked as live
+/// past the statement (they die at the end of the expression).
+pub fn scan_guards<FL, FT>(toks: &[Tok], body: Range<usize>, mut on_lock: FL, mut on_tok: FT)
+where
+    FL: FnMut(&str, &[Guard], bool, usize),
+    FT: FnMut(&Tok, usize, &[Guard]),
+{
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = body.start;
+    while i < body.end {
+        let t = &toks[i];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            guards.retain(|g| g.depth <= depth);
+        }
+
+        // drop(name) kills a guard.
+        if t.is_ident("drop")
+            && i + 2 < body.end
+            && toks[i + 1].is_punct("(")
+            && toks[i + 2].kind == TokKind::Ident
+        {
+            let victim = &toks[i + 2].text;
+            guards.retain(|g| &g.name != victim);
+        }
+
+        // `.lock()` / `.lock().` — find the receiver field: the ident
+        // immediately before the `.`.
+        if t.is_punct(".")
+            && i + 3 < body.end
+            && toks[i + 1].is_ident("lock")
+            && toks[i + 2].is_punct("(")
+            && toks[i + 3].is_punct(")")
+        {
+            let field = if i > body.start && toks[i - 1].kind == TokKind::Ident {
+                toks[i - 1].text.clone()
+            } else {
+                String::new()
+            };
+            // Is this a let binding? Walk back to the statement start.
+            let binding = find_let_binding(toks, body.start, i);
+            on_lock(&field, &guards, binding.is_some(), i);
+            if let Some((name, _let_idx)) = binding {
+                // Shadowing: a rebound name kills the old guard.
+                guards.retain(|g| g.name != name);
+                guards.push(Guard {
+                    name,
+                    field,
+                    depth,
+                    line: t.line,
+                });
+            }
+            i += 4;
+            // If this was a temporary (no let), the guard lives only to
+            // the end of the statement; we simply don't track it.
+            continue;
+        }
+
+        on_tok(t, i, &guards);
+        i += 1;
+    }
+}
+
+/// If the `.lock()` at token `dot` is the RHS of `let [mut] NAME = …`,
+/// return (NAME, index of `let`). Walks back to the nearest `;`, `{`,
+/// or `}` and checks the statement starts with `let`.
+fn find_let_binding(toks: &[Tok], lo: usize, dot: usize) -> Option<(String, usize)> {
+    let mut j = dot;
+    while j > lo {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            j += 1;
+            break;
+        }
+        // A `=` between here and the dot is fine; keep walking.
+    }
+    if !toks.get(j)?.is_ident("let") {
+        return None;
+    }
+    let mut k = j + 1;
+    if toks.get(k)?.is_ident("mut") {
+        k += 1;
+    }
+    let name_tok = toks.get(k)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    // Require `= … .lock()` to follow (not `let (a, b) = …` patterns).
+    let eq = toks.get(k + 1)?;
+    if !(eq.is_punct("=") || eq.is_punct(":")) {
+        return None;
+    }
+    Some((name_tok.text.clone(), j))
+}
+
+/// If the token at `i` begins a blocking operation, describe it.
+/// Shapes: `.recv()`-style method calls from [`BLOCKING_METHODS`],
+/// `.send(` on a socket-writer receiver (channel sends are
+/// non-blocking for the unbounded channels used here), and free or
+/// method calls of the [`BLOCKING_CALLS`] frame helpers. Shared by J2
+/// (blocking under a lock guard), J7 (blocking in a reactor callback),
+/// J8 (blocking in the ring writer path), and the taint seed.
+pub fn blocking_op_at(toks: &[Tok], i: usize) -> Option<String> {
+    let t = toks.get(i)?;
+    if t.is_punct(".")
+        && toks
+            .get(i + 1)
+            .map(|n| n.kind == TokKind::Ident)
+            .unwrap_or(false)
+    {
+        let name = &toks[i + 1].text;
+        let called = is_called(toks, i + 1);
+        if called && BLOCKING_METHODS.contains(&name.as_str()) {
+            return Some(format!(".{name}()"));
+        }
+        if called && name == "send" {
+            let recv = if i > 0 && toks[i - 1].kind == TokKind::Ident {
+                toks[i - 1].text.as_str()
+            } else {
+                ""
+            };
+            if recv.contains("writer") || recv.contains("sock") || recv.contains("stream") {
+                return Some(format!("{recv}.send()"));
+            }
+        }
+        return None;
+    }
+    // Exclude method position: `x.read_msg()` still counts, but
+    // `guard.recv()` is handled above; here we accept both free and
+    // method calls of the frame helpers.
+    if t.kind == TokKind::Ident && BLOCKING_CALLS.contains(&t.text.as_str()) && is_called(toks, i) {
+        return Some(format!("{}()", t.text));
+    }
+    None
+}
+
+/// Token at `i` (an ident) is immediately invoked: `name(` or
+/// `name::<T>(`.
+pub fn is_called(toks: &[Tok], i: usize) -> bool {
+    match toks.get(i + 1) {
+        Some(t) if t.is_punct("(") => true,
+        Some(t) if t.is_punct("::") => {
+            // turbofish: name::<T>(
+            let mut j = i + 2;
+            if toks.get(j).map(|t| t.is_punct("<")).unwrap_or(false) {
+                let mut depth = 1;
+                j += 1;
+                while j < toks.len() && depth > 0 {
+                    if toks[j].is_punct("<") {
+                        depth += 1;
+                    } else if toks[j].is_punct(">") {
+                        depth -= 1;
+                    }
+                    j += 1;
+                }
+                toks.get(j).map(|t| t.is_punct("(")).unwrap_or(false)
+            } else {
+                false
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Is the ident at `i` qualified by a PascalCase type name other than
+/// `Self` (`PmiServer::start`)? Associated-function calls on foreign
+/// types cannot be resolved by bare name; `Self::helper` and
+/// snake_case module paths (`journal::replay`) stay resolvable.
+fn is_type_qualified(toks: &[Tok], i: usize, start: usize) -> bool {
+    i >= start + 2
+        && toks[i - 1].is_punct("::")
+        && toks[i - 2].kind == TokKind::Ident
+        && toks[i - 2].text != "Self"
+        && toks[i - 2]
+            .text
+            .chars()
+            .next()
+            .map(|c| c.is_uppercase())
+            .unwrap_or(false)
+}
+
+/// Keywords that can appear as `ident (`-shaped tokens but are not
+/// calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "match", "for", "loop", "return", "move", "in", "as", "fn", "let", "else",
+    "unsafe", "await", "break", "continue",
+];
+
+/// Extract the call sites, blocking ops, and lock acquisitions of one
+/// function, with the held-guard set at each point.
+fn extract_fn_facts(toks: &[Tok], f: &mut FnFacts) {
+    let body = f.body.clone();
+    // Pre-compute the token ranges covered by `spawn(..)` argument
+    // lists: work inside them runs on another thread.
+    let spawn_mask = compute_spawn_mask(toks, body.clone());
+
+    let mut calls = Vec::new();
+    let mut blocking = Vec::new();
+    // Both scan_guards closures record lock sites (let-bound `.lock()`
+    // in the first, `.read()`/`.write()` candidates in the second), so
+    // the vec is shared through a RefCell.
+    let locks = std::cell::RefCell::new(Vec::new());
+
+    let held_of = |guards: &[Guard]| -> Vec<HeldGuard> {
+        guards
+            .iter()
+            .map(|g| HeldGuard {
+                name: g.name.clone(),
+                field: g.field.clone(),
+                line: g.line,
+            })
+            .collect()
+    };
+
+    scan_guards(
+        toks,
+        body.clone(),
+        |field, guards, is_let, idx| {
+            locks.borrow_mut().push(LockSite {
+                field: field.to_string(),
+                method: "lock".to_string(),
+                line: toks[idx].line,
+                held: held_of(guards),
+                is_let,
+                in_spawn: spawn_mask[idx - body.start],
+            });
+        },
+        |t, i, guards| {
+            let in_spawn = spawn_mask[i - body.start];
+            // RwLock acquisition candidates: `.read()` / `.write()`
+            // with an ident receiver. Pass 2 only keeps these when the
+            // receiver is a declared RwLock field, so `stream.read(..)`
+            // style I/O never aliases in.
+            if t.is_punct(".")
+                && i + 3 < body.end
+                && (toks[i + 1].is_ident("read") || toks[i + 1].is_ident("write"))
+                && toks[i + 2].is_punct("(")
+                && toks[i + 3].is_punct(")")
+                && i > body.start
+                && toks[i - 1].kind == TokKind::Ident
+            {
+                locks.borrow_mut().push(LockSite {
+                    field: toks[i - 1].text.clone(),
+                    method: toks[i + 1].text.clone(),
+                    line: t.line,
+                    held: held_of(guards),
+                    is_let: false,
+                    in_spawn,
+                });
+            }
+            if let Some(op) = blocking_op_at(toks, i) {
+                blocking.push(BlockSite {
+                    op,
+                    line: t.line,
+                    held: held_of(guards),
+                    in_spawn,
+                });
+            }
+            // Call sites: `.name(` method calls and `name(` free calls
+            // (last path segment for `a::b::name(`). Macros (`name!`)
+            // and keywords are not calls; names already covered by the
+            // blocking detector are recorded there instead.
+            let (is_call, name_idx) = if t.is_punct(".")
+                && toks
+                    .get(i + 1)
+                    .map(|n| n.kind == TokKind::Ident && is_called(toks, i + 1))
+                    .unwrap_or(false)
+            {
+                (true, i + 1)
+            } else if t.kind == TokKind::Ident
+                && is_called(toks, i)
+                && !NON_CALL_KEYWORDS.contains(&t.text.as_str())
+                && !(i > body.start && toks[i - 1].is_punct("."))
+                && !is_type_qualified(toks, i, body.start)
+            {
+                // Module-qualified calls (`journal::replay(..)`) and
+                // `Self::x(..)` are kept: the last segment is the
+                // callee name. `.`-prefixed idents are skipped — the
+                // `.`-branch above already recorded the method call —
+                // and `Type::assoc(..)` calls are skipped: resolving
+                // `PmiServer::start` by the bare name `start` would hit
+                // every constructor in the crate.
+                (true, i)
+            } else {
+                (false, 0)
+            };
+            if is_call {
+                let name = &toks[name_idx].text;
+                // Skip type constructors (PascalCase) and macro-ish
+                // names; workspace functions are snake_case.
+                let snake = name
+                    .chars()
+                    .next()
+                    .map(|c| c.is_lowercase() || c == '_')
+                    .unwrap_or(false);
+                let is_macro = toks
+                    .get(name_idx + 1)
+                    .map(|n| n.is_punct("!"))
+                    .unwrap_or(false);
+                if snake && !is_macro {
+                    calls.push(CallSite {
+                        name: name.clone(),
+                        line: toks[name_idx].line,
+                        held: held_of(guards),
+                        in_spawn,
+                    });
+                }
+            }
+        },
+    );
+
+    f.calls = calls;
+    f.blocking = blocking;
+    f.locks = locks.into_inner();
+}
+
+/// Mark the token offsets (relative to `body.start`) inside the
+/// argument list of any `spawn(..)` call.
+fn compute_spawn_mask(toks: &[Tok], body: Range<usize>) -> Vec<bool> {
+    let mut mask = vec![false; body.len()];
+    let mut i = body.start;
+    while i < body.end {
+        if toks[i].is_ident("spawn") && toks.get(i + 1).map(|t| t.is_punct("(")).unwrap_or(false) {
+            let mut depth = 1i32;
+            let mut j = i + 2;
+            while j < body.end && depth > 0 {
+                if toks[j].is_punct("(") {
+                    depth += 1;
+                } else if toks[j].is_punct(")") {
+                    depth -= 1;
+                }
+                if depth > 0 {
+                    mask[j - body.start] = true;
+                }
+                j += 1;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Collect `field: Mutex<..>` / `field: RwLock<..>` declarations
+/// (including `Arc<Mutex<..>>` wrappers) anywhere in the file.
+fn collect_lock_decls(toks: &[Tok]) -> Vec<LockDecl> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i + 1].is_punct(":") {
+            // Walk the type expression: `Mutex<`, `Arc<Mutex<`,
+            // `Arc<RwLock<` — accept any wrapper chain of idents and
+            // `<` until the lock type or something else.
+            let mut j = i + 2;
+            let mut hops = 0;
+            while hops < 4 && j + 1 < toks.len() && toks[j].kind == TokKind::Ident {
+                let name = toks[j].text.as_str();
+                if (name == "Mutex" || name == "RwLock") && toks[j + 1].is_punct("<") {
+                    out.push(LockDecl {
+                        field: toks[i].text.clone(),
+                        kind: name.to_string(),
+                        line: toks[i].line,
+                    });
+                    break;
+                }
+                if toks[j + 1].is_punct("<") {
+                    j += 2;
+                    hops += 1;
+                } else if toks[j + 1].is_punct("::") {
+                    // `std::sync::Mutex<`, `parking_lot::Mutex<`
+                    j += 2;
+                } else {
+                    break;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Collect protocol enum definitions (`enum WorkerMsg { … }`) from the
+/// token stream.
+fn collect_enum_defs(toks: &[Tok]) -> Vec<(String, BTreeSet<String>)> {
+    let mut defs = Vec::new();
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if toks[i].is_ident("enum")
+            && toks[i + 1].kind == TokKind::Ident
+            && PROTOCOL_ENUMS.contains(&toks[i + 1].text.as_str())
+        {
+            let name = toks[i + 1].text.clone();
+            // Find the `{`, then variants are idents at depth 1
+            // that either start the body or follow a `,` at depth 1.
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct("{") {
+                j += 1;
+            }
+            let mut depth = 0i32;
+            let mut variants = BTreeSet::new();
+            let mut expect_variant = true;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct("{") {
+                    depth += 1;
+                } else if t.is_punct("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if depth == 1 {
+                    if t.is_punct(",") {
+                        expect_variant = true;
+                    } else if t.is_punct("#") {
+                        // attribute on a variant; skip the [ ... ]
+                        let mut d = 0;
+                        j += 1;
+                        while j < toks.len() {
+                            if toks[j].is_punct("[") {
+                                d += 1;
+                            } else if toks[j].is_punct("]") {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            j += 1;
+                        }
+                    } else if expect_variant && t.kind == TokKind::Ident {
+                        variants.insert(t.text.clone());
+                        expect_variant = false;
+                    }
+                }
+                j += 1;
+            }
+            defs.push((name, variants));
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    defs
+}
+
+/// A parsed match expression: arm pattern token ranges.
+pub struct MatchExpr {
+    pub line: u32,
+    /// Pattern token ranges (pattern is everything before `=>` in the arm).
+    pub arms: Vec<Range<usize>>,
+}
+
+/// Parse the match starting at `match_idx` (`match` keyword). Returns
+/// None for malformed input.
+pub fn parse_match(toks: &[Tok], match_idx: usize, limit: usize) -> Option<MatchExpr> {
+    // Scrutinee: tokens until the `{` at depth 0 (tracking parens and
+    // braces of struct literals is the hard part; in this codebase
+    // scrutinees are simple expressions, so track (), [], and stop at
+    // the first `{` outside them).
+    let mut i = match_idx + 1;
+    let mut paren = 0i32;
+    while i < limit {
+        let t = &toks[i];
+        if t.is_punct("(") || t.is_punct("[") {
+            paren += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            paren -= 1;
+        } else if t.is_punct("{") && paren == 0 {
+            break;
+        }
+        i += 1;
+    }
+    if i >= limit {
+        return None;
+    }
+    let body_start = i + 1;
+    // Split arms: pattern = tokens up to `=>` at depth 0; then the arm
+    // value runs to `,` at depth 0 or a `{ … }` block.
+    let mut arms = Vec::new();
+    let mut j = body_start;
+    let mut depth = 0i32; // braces/parens/brackets within the match body
+    let mut pat_start = j;
+    let mut in_pattern = true;
+    while j < limit {
+        let t = &toks[j];
+        if t.is_punct("{") || t.is_punct("(") || t.is_punct("[") {
+            if t.is_punct("{") && depth == 0 && !in_pattern {
+                // Block-bodied arm: skip the block, then next arm.
+                let mut d = 1;
+                j += 1;
+                while j < limit && d > 0 {
+                    if toks[j].is_punct("{") {
+                        d += 1;
+                    } else if toks[j].is_punct("}") {
+                        d -= 1;
+                    }
+                    j += 1;
+                }
+                // Optional trailing comma.
+                if j < limit && toks[j].is_punct(",") {
+                    j += 1;
+                }
+                in_pattern = true;
+                pat_start = j;
+                continue;
+            }
+            depth += 1;
+        } else if t.is_punct("}") || t.is_punct(")") || t.is_punct("]") {
+            if t.is_punct("}") && depth == 0 {
+                // End of the match body.
+                break;
+            }
+            depth -= 1;
+        } else if t.is_punct("=>") && depth == 0 && in_pattern {
+            arms.push(pat_start..j);
+            in_pattern = false;
+        } else if t.is_punct(",") && depth == 0 && !in_pattern {
+            in_pattern = true;
+            pat_start = j + 1;
+        }
+        j += 1;
+    }
+    Some(MatchExpr {
+        line: toks[match_idx].line,
+        arms,
+    })
+}
+
+/// Mark every token index that sits in *pattern position*: match-arm
+/// patterns, the pattern of `let` / `if let` / `while let` bindings
+/// (tokens between `let` and the `=`), and `matches!(..)` argument
+/// lists. Everything else mentioning `Enum::Variant` is a construction.
+fn compute_pattern_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_ident("match") {
+            if let Some(m) = parse_match(toks, i, toks.len()) {
+                for arm in &m.arms {
+                    for k in arm.clone() {
+                        mask[k] = true;
+                    }
+                }
+            }
+        } else if t.is_ident("let") {
+            // `let PAT = …` / `if let PAT = …` / `while let PAT = …`:
+            // mark until the `=` at bracket depth 0 (stop at `;` or
+            // `{` for safety on `let … else` and malformed input).
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                    depth += 1;
+                } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                } else if depth == 0 && (t.is_punct("=") || t.is_punct(";")) {
+                    break;
+                }
+                mask[j] = true;
+                j += 1;
+            }
+        } else if t.is_ident("matches")
+            && toks.get(i + 1).map(|n| n.is_punct("!")).unwrap_or(false)
+            && toks.get(i + 2).map(|n| n.is_punct("(")).unwrap_or(false)
+        {
+            let mut depth = 1i32;
+            let mut j = i + 3;
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct("(") {
+                    depth += 1;
+                } else if toks[j].is_punct(")") {
+                    depth -= 1;
+                }
+                if depth > 0 {
+                    mask[j] = true;
+                }
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Collect every `Enum::Variant` appearance for the protocol enums,
+/// classified as pattern or construction.
+fn collect_variant_uses(
+    toks: &[Tok],
+    pattern_mask: &[bool],
+    test_mask: &[bool],
+    file_is_test: bool,
+) -> Vec<VariantUse> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if toks[i].kind == TokKind::Ident
+            && PROTOCOL_ENUMS.contains(&toks[i].text.as_str())
+            && toks[i + 1].is_punct("::")
+            && toks[i + 2].kind == TokKind::Ident
+        {
+            out.push(VariantUse {
+                enum_name: toks[i].text.clone(),
+                variant: toks[i + 2].text.clone(),
+                line: toks[i].line,
+                is_pattern: pattern_mask[i] || pattern_mask[i + 2],
+                in_test: file_is_test || test_mask[i],
+            });
+            i += 3;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// `(atomic-field, enclosing-function)` pairs for every `.load(` with
+/// an ident receiver (rule J3's cross-function heuristic).
+fn collect_atomic_loads_file(toks: &[Tok], funcs: &[FnFacts]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for func in funcs {
+        let mut i = func.body.start;
+        while i + 2 < func.body.end {
+            if toks[i].is_punct(".")
+                && toks[i + 1].is_ident("load")
+                && toks[i + 2].is_punct("(")
+                && i > 0
+                && toks[i - 1].kind == TokKind::Ident
+            {
+                out.push((toks[i - 1].text.clone(), func.name.clone()));
+            }
+            i += 1;
+        }
+    }
+    out
+}

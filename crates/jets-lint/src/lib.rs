@@ -10,24 +10,34 @@
 //! machine-checked pass that runs as a hard CI gate.
 //!
 //! The analysis is token-based (see [`lexer`]) rather than `syn`-based
-//! so it works with zero dependencies in offline environments. Each
-//! rule is deliberately narrow: it targets the exact shape of the
-//! invariant in this codebase, preferring a missed exotic case over a
-//! false positive that trains people to sprinkle suppressions.
+//! so it works with zero dependencies in offline environments, and runs
+//! in two passes: pass 1 ([`index`]) summarizes every function in the
+//! workspace in parallel (calls made, locks acquired, blocking ops
+//! performed); pass 2 ([`callgraph`]) stitches the summaries into a
+//! name-based call graph and derives blocking taint, transitive lock
+//! sets, and the lock-order graph. Rules J1–J8 keep their per-file
+//! forms; J2 and J7 additionally fire *through* the graph on calls to
+//! blocking-tainted helpers (with the witness chain in the
+//! diagnostic), and J9/J10 are graph-native. Each rule is deliberately
+//! narrow: it targets the exact shape of the invariant in this
+//! codebase, preferring a missed exotic case over a false positive
+//! that trains people to sprinkle suppressions.
 //!
 //! Rules:
 //!
-//! | id | key                  | invariant                                         |
-//! |----|----------------------|---------------------------------------------------|
-//! | J0 | (meta)               | suppression comments must be well-formed + reasoned|
-//! | J1 | `lock-order`         | `sched` before `book`, never reversed or re-entered|
-//! | J2 | `lock-across-blocking` | no let-bound lock guard live across blocking ops |
-//! | J3 | `relaxed`            | Relaxed store/swap on a cross-thread flag needs a reason |
-//! | J4 | `protocol`           | WorkerMsg/DispatcherMsg matches name every variant |
-//! | J5 | `exit-code`          | negative sentinel exit codes only in `spec.rs`    |
-//! | J6 | `unwrap`             | no unwrap/expect in connection-handler paths      |
-//! | J7 | `reactor`            | no thread spawns in per-connection serve paths; no blocking calls in reactor callbacks |
-//! | J8 | `ring`               | flight-recorder writer path stays lock-free and allocation-free |
+//! | id  | key                  | invariant                                         |
+//! |-----|----------------------|---------------------------------------------------|
+//! | J0  | (meta)               | suppression comments must be well-formed + reasoned|
+//! | J1  | `lock-order`         | `sched` before `book`, never reversed or re-entered|
+//! | J2  | `lock-across-blocking` | no let-bound lock guard live across blocking ops (direct or via a tainted callee) |
+//! | J3  | `relaxed`            | Relaxed store/swap on a cross-thread flag needs a reason |
+//! | J4  | `protocol`           | WorkerMsg/DispatcherMsg matches name every variant |
+//! | J5  | `exit-code`          | negative sentinel exit codes only in `spec.rs`    |
+//! | J6  | `unwrap`             | no unwrap/expect in connection-handler paths      |
+//! | J7  | `reactor`            | no thread spawns in per-connection serve paths; no blocking calls (direct or transitive) in reactor callbacks |
+//! | J8  | `ring`               | flight-recorder writer path stays lock-free and allocation-free |
+//! | J9  | `lock-cycle`         | the workspace lock-acquisition graph is acyclic   |
+//! | J10 | `protocol-parity`    | every protocol variant constructed is matched somewhere |
 //!
 //! Suppression syntax (the reason is mandatory):
 //!
@@ -38,12 +48,17 @@
 //! A suppression covers findings with the matching key on its own line
 //! and the next three lines, so it can sit above a multi-line statement.
 
+pub mod callgraph;
+pub mod index;
 pub mod lexer;
 
-use lexer::{lex, Lexed, Tok, TokKind};
+use callgraph::CallGraph;
+use index::{FileIndex, MatchExpr, PROTOCOL_ENUMS};
+use lexer::{Tok, TokKind};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// Rule identifiers, used in diagnostics (`J4`) and JSON output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -53,7 +68,8 @@ pub enum Rule {
     /// Lock-order violation (`book` held while acquiring `sched`, or
     /// re-acquiring a held lock).
     J1,
-    /// Lock guard live across a blocking operation.
+    /// Lock guard live across a blocking operation — performed directly
+    /// or by a transitively-blocking callee (graph form).
     J2,
     /// `Ordering::Relaxed` store/swap on a cross-thread flag without an
     /// `allow(relaxed)` marker.
@@ -65,13 +81,20 @@ pub enum Rule {
     /// `unwrap`/`expect` in a connection-handler function.
     J6,
     /// Reactor discipline: thread spawn in a per-connection serve path
-    /// of a reactor-converted crate, or a blocking call inside a
-    /// reactor callback (`on_open`/`on_frame`/`on_close`).
+    /// of a reactor-converted crate, or a blocking call — direct or via
+    /// a tainted callee — inside a reactor callback
+    /// (`on_open`/`on_frame`/`on_close`).
     J7,
     /// Ring writer discipline: lock acquisition, blocking call, or
     /// heap allocation inside a flight-recorder writer-path function
     /// (`push*`/`record*`/`encode*` in ring-scoped files).
     J8,
+    /// Cycle in the workspace lock-acquisition graph (interprocedural;
+    /// includes transitive re-entry of a held lock through a callee).
+    J9,
+    /// Protocol parity: a `WorkerMsg`/`DispatcherMsg` variant is
+    /// constructed somewhere but matched nowhere.
+    J10,
 }
 
 impl Rule {
@@ -87,6 +110,8 @@ impl Rule {
             Rule::J6 => "unwrap",
             Rule::J7 => "reactor",
             Rule::J8 => "ring",
+            Rule::J9 => "lock-cycle",
+            Rule::J10 => "protocol-parity",
         }
     }
 
@@ -102,6 +127,8 @@ impl Rule {
             Rule::J6 => "J6",
             Rule::J7 => "J7",
             Rule::J8 => "J8",
+            Rule::J9 => "J9",
+            Rule::J10 => "J10",
         }
     }
 }
@@ -117,11 +144,11 @@ const ALLOW_KEYS: &[&str] = &[
     "unwrap",
     "reactor",
     "ring",
+    "lock-cycle",
+    "protocol-parity",
 ];
 
-/// How many lines below a suppression comment it still covers, so the
-/// comment can sit above a multi-line statement.
-const SUPPRESSION_REACH: u32 = 3;
+pub use index::SUPPRESSION_REACH;
 
 /// One diagnostic.
 #[derive(Debug, Clone)]
@@ -132,8 +159,54 @@ pub struct Finding {
     pub path: PathBuf,
     /// 1-based line.
     pub line: u32,
+    /// Last line of the flagged construct (== `line` for single-line
+    /// findings); `[line, end_line]` is the JSON span.
+    pub end_line: u32,
+    /// Interprocedural witness chain (function names ending in the
+    /// blocking op, or the lock-field ring for J9). Empty for
+    /// single-function findings.
+    pub chain: Vec<String>,
     /// Human-readable description.
     pub message: String,
+}
+
+impl Finding {
+    fn new(rule: Rule, path: &Path, line: u32, message: String) -> Finding {
+        Finding {
+            rule,
+            path: path.to_path_buf(),
+            line,
+            end_line: line,
+            chain: Vec::new(),
+            message,
+        }
+    }
+
+    fn with_chain(mut self, chain: Vec<String>) -> Finding {
+        self.chain = chain;
+        self
+    }
+
+    /// Serialize as a JSON object (hand-rolled; no serde available).
+    pub fn to_json(&self) -> String {
+        let chain = self
+            .chain
+            .iter()
+            .map(|c| format!("\"{}\"", json_escape(c)))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"rule\":\"{}\",\"key\":\"{}\",\"path\":\"{}\",\"line\":{},\"span\":[{},{}],\"chain\":[{}],\"message\":\"{}\"}}",
+            self.rule.id(),
+            self.rule.key(),
+            json_escape(&self.path.display().to_string()),
+            self.line,
+            self.line,
+            self.end_line,
+            chain,
+            json_escape(&self.message)
+        )
+    }
 }
 
 impl fmt::Display for Finding {
@@ -146,21 +219,11 @@ impl fmt::Display for Finding {
             self.rule.id(),
             self.rule.key(),
             self.message
-        )
-    }
-}
-
-impl Finding {
-    /// Serialize as a JSON object (hand-rolled; no serde available).
-    pub fn to_json(&self) -> String {
-        format!(
-            "{{\"rule\":\"{}\",\"key\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
-            self.rule.id(),
-            self.rule.key(),
-            json_escape(&self.path.display().to_string()),
-            self.line,
-            json_escape(&self.message)
-        )
+        )?;
+        if !self.chain.is_empty() {
+            write!(f, " [chain: {}]", self.chain.join(" -> "))?;
+        }
+        Ok(())
     }
 }
 
@@ -187,44 +250,80 @@ struct Suppression {
     used: bool,
 }
 
-/// A function body within the token stream.
-#[derive(Debug)]
-struct Func {
-    name: String,
-    /// Token index range of the body, *inside* the braces.
-    body: std::ops::Range<usize>,
-    in_test: bool,
-}
-
-/// One source file prepared for analysis.
-struct SourceFile {
-    path: PathBuf,
-    lexed: Lexed,
-    /// Whole file is test-ish scope (tests/, benches/, examples/ dirs).
-    file_is_test: bool,
-    funcs: Vec<Func>,
-}
-
 /// Variant sets of the protocol enums found in the analysis set,
 /// keyed by enum name (`WorkerMsg`, `DispatcherMsg`).
 type EnumDefs = BTreeMap<String, BTreeSet<String>>;
 
+/// Timing and size counters for one lint run, printed under
+/// `--verbose`.
+#[derive(Debug, Clone)]
+pub struct LintStats {
+    /// Files indexed.
+    pub files: usize,
+    /// Functions indexed (pass-1 nodes before test filtering).
+    pub funcs: usize,
+    /// Worker threads used for pass-1 indexing.
+    pub threads: usize,
+    /// Edges in the derived lock-order graph.
+    pub lock_edges: usize,
+    /// Pass 1: parallel per-file indexing.
+    pub pass1: Duration,
+    /// Pass 2: graph construction + rules + suppression application.
+    pub pass2: Duration,
+}
+
+/// Default pass-1 pool width: one worker per available core, capped —
+/// file indexing saturates memory bandwidth well before 8 threads.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
 /// Lint in-memory sources: `(path, contents)` pairs. This is the core
 /// entry point; [`lint_paths`] reads files and delegates here. Enum
-/// definitions for rule J4 and cross-function load sites for rule J3
-/// are resolved across the whole set, so fixtures can carry their own
-/// mini enum definitions.
+/// definitions for rules J4/J10 and cross-function load sites for rule
+/// J3 are resolved across the whole set, so fixtures can carry their
+/// own mini enum definitions.
 pub fn lint_sources(sources: &[(PathBuf, String)]) -> Vec<Finding> {
-    let mut files: Vec<SourceFile> = Vec::with_capacity(sources.len());
-    for (path, src) in sources {
-        files.push(prepare(path.clone(), src));
-    }
+    lint_sources_with_stats(sources, default_threads()).0
+}
 
-    let enums = collect_protocol_enums(&files);
+/// [`lint_sources`] plus per-pass timing, with an explicit pass-1
+/// thread count.
+pub fn lint_sources_with_stats(
+    sources: &[(PathBuf, String)],
+    threads: usize,
+) -> (Vec<Finding>, LintStats) {
+    let t0 = Instant::now();
+    let files = index::index_sources(sources, threads);
+    let pass1 = t0.elapsed();
+
+    let t1 = Instant::now();
+    let graph = CallGraph::build(&files);
+
+    let mut enums = EnumDefs::new();
+    for file in &files {
+        for (name, variants) in &file.enum_defs {
+            enums
+                .entry(name.clone())
+                .or_default()
+                .extend(variants.iter().cloned());
+        }
+    }
     // J3 needs to know which atomic field names are loaded in *some
     // other* function than the store site; collect (field -> functions
     // that load it) across the whole set.
-    let load_sites = collect_atomic_loads(&files);
+    let mut load_sites: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for file in &files {
+        for (field, func) in &file.atomic_loads {
+            load_sites
+                .entry(field.clone())
+                .or_default()
+                .insert(func.clone());
+        }
+    }
 
     let mut findings = Vec::new();
     let mut suppressions: Vec<(usize, Vec<Suppression>)> = Vec::new();
@@ -233,16 +332,18 @@ pub fn lint_sources(sources: &[(PathBuf, String)]) -> Vec<Finding> {
         let (mut sup, mut j0) = parse_suppressions(file);
         findings.append(&mut j0);
         rule_lock_order(file, &mut findings);
-        rule_lock_across_blocking(file, &mut findings);
+        rule_lock_across_blocking(file, &graph, &mut findings);
         rule_relaxed_atomics(file, &load_sites, &mut findings);
         rule_protocol_exhaustive(file, &enums, &mut findings);
         rule_exit_code(file, &mut findings);
         rule_unwrap_in_handler(file, &mut findings);
-        rule_reactor_discipline(file, &mut findings);
+        rule_reactor_discipline(file, &graph, &mut findings);
         rule_ring_writer(file, &mut findings);
         sup.sort_by_key(|s| s.line);
         suppressions.push((fi, sup));
     }
+    rule_lock_cycles(&graph, &mut findings);
+    rule_protocol_parity(&files, &enums, &mut findings);
 
     // Apply suppressions per file.
     let mut kept = Vec::new();
@@ -271,33 +372,46 @@ pub fn lint_sources(sources: &[(PathBuf, String)]) -> Vec<Finding> {
     for (fi, sups) in &suppressions {
         for s in sups {
             if !s.used {
-                kept.push(Finding {
-                    rule: Rule::J0,
-                    path: files[*fi].path.clone(),
-                    line: s.line,
-                    message: format!(
+                kept.push(Finding::new(
+                    Rule::J0,
+                    &files[*fi].path,
+                    s.line,
+                    format!(
                         "unused suppression `allow({})`: no matching finding within {} lines",
                         s.key, SUPPRESSION_REACH
                     ),
-                });
+                ));
             }
         }
     }
 
     kept.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-    kept
+    let stats = LintStats {
+        files: files.len(),
+        funcs: files.iter().map(|f| f.funcs.len()).sum(),
+        threads: threads.max(1),
+        lock_edges: graph.lock_edges.len(),
+        pass1,
+        pass2: t1.elapsed(),
+    };
+    (kept, stats)
 }
 
 /// Read and lint files from disk. Unreadable files are skipped (the
 /// walker only hands us paths it just saw).
 pub fn lint_paths(paths: &[PathBuf]) -> Vec<Finding> {
+    lint_paths_with_stats(paths, default_threads()).0
+}
+
+/// [`lint_paths`] plus per-pass timing.
+pub fn lint_paths_with_stats(paths: &[PathBuf], threads: usize) -> (Vec<Finding>, LintStats) {
     let mut sources = Vec::with_capacity(paths.len());
     for p in paths {
         if let Ok(src) = std::fs::read_to_string(p) {
             sources.push((p.clone(), src));
         }
     }
-    lint_sources(&sources)
+    lint_sources_with_stats(&sources, threads)
 }
 
 /// Collect the `.rs` files of a workspace rooted at `root`, excluding
@@ -334,176 +448,15 @@ pub fn workspace_files(root: &Path) -> Vec<PathBuf> {
 }
 
 // ---------------------------------------------------------------------------
-// Preparation: lexing, test-scope masking, function splitting.
+// J0: suppression hygiene (+ the --fix-suppressions helpers).
 // ---------------------------------------------------------------------------
 
-fn prepare(path: PathBuf, src: &str) -> SourceFile {
-    let lexed = lex(src);
-    let file_is_test = {
-        let s = path.to_string_lossy().replace('\\', "/");
-        s.contains("/tests/") || s.contains("/benches/") || s.contains("/examples/")
-    };
-    let test_mask = compute_test_mask(&lexed.toks);
-    let funcs = split_functions(&lexed.toks, &test_mask);
-    SourceFile {
-        path,
-        lexed,
-        file_is_test,
-        funcs,
-    }
-}
-
-/// Mark tokens inside `#[cfg(test)]`-gated items and `#[test]` fns.
-fn compute_test_mask(toks: &[Tok]) -> Vec<bool> {
-    let mut mask = vec![false; toks.len()];
-    let mut i = 0;
-    while i < toks.len() {
-        if toks[i].is_punct("#") && i + 1 < toks.len() && toks[i + 1].is_punct("[") {
-            // Scan the attribute tokens.
-            let attr_start = i + 2;
-            let mut j = attr_start;
-            let mut depth = 1;
-            while j < toks.len() && depth > 0 {
-                if toks[j].is_punct("[") {
-                    depth += 1;
-                } else if toks[j].is_punct("]") {
-                    depth -= 1;
-                }
-                j += 1;
-            }
-            let attr = &toks[attr_start..j.saturating_sub(1)];
-            let is_test_attr = attr.first().map(|t| t.is_ident("test")).unwrap_or(false)
-                || (attr.first().map(|t| t.is_ident("cfg")).unwrap_or(false)
-                    && attr.iter().any(|t| t.is_ident("test")));
-            if is_test_attr {
-                // Mark through the attached item: scan forward past any
-                // further attributes to the item's braced body (or `;`).
-                let mut k = j;
-                // Skip stacked attributes.
-                while k + 1 < toks.len() && toks[k].is_punct("#") && toks[k + 1].is_punct("[") {
-                    let mut d = 0;
-                    k += 1;
-                    while k < toks.len() {
-                        if toks[k].is_punct("[") {
-                            d += 1;
-                        } else if toks[k].is_punct("]") {
-                            d -= 1;
-                            if d == 0 {
-                                k += 1;
-                                break;
-                            }
-                        }
-                        k += 1;
-                    }
-                }
-                // Find the first `{` at depth 0 relative to here, or `;`.
-                let mut d = 0i32;
-                let mut end = k;
-                while end < toks.len() {
-                    let t = &toks[end];
-                    if t.is_punct("{") {
-                        d += 1;
-                    } else if t.is_punct("}") {
-                        d -= 1;
-                        if d == 0 {
-                            end += 1;
-                            break;
-                        }
-                    } else if t.is_punct(";") && d == 0 {
-                        end += 1;
-                        break;
-                    }
-                    end += 1;
-                }
-                for m in mask.iter_mut().take(end.min(toks.len())).skip(i) {
-                    *m = true;
-                }
-                i = end;
-                continue;
-            }
-            i = j;
-            continue;
-        }
-        i += 1;
-    }
-    mask
-}
-
-/// Split the token stream into named functions with body ranges.
-fn split_functions(toks: &[Tok], test_mask: &[bool]) -> Vec<Func> {
-    let mut funcs = Vec::new();
-    let mut i = 0;
-    while i < toks.len() {
-        if toks[i].is_ident("fn") && i + 1 < toks.len() && toks[i + 1].kind == TokKind::Ident {
-            let name = toks[i + 1].text.clone();
-            let in_test = test_mask.get(i).copied().unwrap_or(false);
-            // Find the opening `{` of the body, skipping generics,
-            // params, return types, and where clauses. `;` first means
-            // a trait method declaration with no body.
-            let mut j = i + 2;
-            let mut angle = 0i32;
-            let mut paren = 0i32;
-            let mut body_start = None;
-            while j < toks.len() {
-                let t = &toks[j];
-                if t.is_punct("<") {
-                    angle += 1;
-                } else if t.is_punct(">") {
-                    angle -= 1;
-                } else if t.is_punct("(") {
-                    paren += 1;
-                } else if t.is_punct(")") {
-                    paren -= 1;
-                } else if t.is_punct(";") && paren == 0 {
-                    break;
-                } else if t.is_punct("{") && paren == 0 && angle <= 0 {
-                    body_start = Some(j + 1);
-                    break;
-                }
-                j += 1;
-            }
-            if let Some(start) = body_start {
-                let mut depth = 1i32;
-                let mut k = start;
-                while k < toks.len() && depth > 0 {
-                    if toks[k].is_punct("{") {
-                        depth += 1;
-                    } else if toks[k].is_punct("}") {
-                        depth -= 1;
-                    }
-                    k += 1;
-                }
-                let body = start..k.saturating_sub(1);
-                funcs.push(Func {
-                    name,
-                    body: body.clone(),
-                    in_test,
-                });
-                // Continue *inside* the body so nested fns are found too.
-                i = start;
-                continue;
-            }
-        }
-        i += 1;
-    }
-    funcs
-}
-
-// ---------------------------------------------------------------------------
-// J0: suppression hygiene.
-// ---------------------------------------------------------------------------
-
-fn parse_suppressions(file: &SourceFile) -> (Vec<Suppression>, Vec<Finding>) {
+fn parse_suppressions(file: &FileIndex) -> (Vec<Suppression>, Vec<Finding>) {
     let mut sups = Vec::new();
     let mut findings = Vec::new();
     for raw in &file.lexed.suppressions {
         let text = raw.text.trim();
-        let bad = |msg: String| Finding {
-            rule: Rule::J0,
-            path: file.path.clone(),
-            line: raw.line,
-            message: msg,
-        };
+        let bad = |msg: String| Finding::new(Rule::J0, &file.path, raw.line, msg);
         let Some(rest) = text.strip_prefix("allow(") else {
             findings.push(bad(format!(
                 "malformed jets-lint comment `{text}`: expected `allow(<key>) <reason>`"
@@ -540,8 +493,45 @@ fn parse_suppressions(file: &SourceFile) -> (Vec<Suppression>, Vec<Finding>) {
     (sups, findings)
 }
 
+/// Is this finding an *unused suppression* J0 — the kind
+/// `--fix-suppressions` can delete mechanically? (Malformed
+/// suppressions are not auto-deleted: they usually mean a typo'd key
+/// or a missing reason the author should fix, not dead weight.)
+pub fn is_unused_suppression(f: &Finding) -> bool {
+    f.rule == Rule::J0 && f.message.starts_with("unused suppression")
+}
+
+/// Remove the `// jets-lint:` comments on the given 1-based lines of
+/// `src`. A line that holds only the comment is deleted outright; a
+/// trailing comment after code is stripped back to the code. Returns
+/// the rewritten source.
+pub fn strip_suppression_lines(src: &str, lines: &BTreeSet<u32>) -> String {
+    let mut out = String::with_capacity(src.len());
+    for (i, line) in src.lines().enumerate() {
+        let lineno = (i + 1) as u32;
+        if lines.contains(&lineno) {
+            if let Some(pos) = line.find("// jets-lint:") {
+                let prefix = &line[..pos];
+                if prefix.trim().is_empty() {
+                    continue; // comment-only line: delete it
+                }
+                out.push_str(prefix.trim_end());
+                out.push('\n');
+                continue;
+            }
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    // Preserve the absence of a trailing newline.
+    if !src.ends_with('\n') && out.ends_with('\n') {
+        out.pop();
+    }
+    out
+}
+
 // ---------------------------------------------------------------------------
-// Shared guard tracking for J1/J2.
+// Shared helpers for J1/J2.
 // ---------------------------------------------------------------------------
 
 /// The locks with a canonical order. Lower rank is acquired first.
@@ -553,127 +543,11 @@ fn lock_rank(field: &str) -> Option<u8> {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Guard {
-    name: String,
-    /// The field the lock was taken on (`sched`, `book`, `writer`, …).
-    field: String,
-    /// Brace depth the binding was created at; the guard dies when the
-    /// enclosing block closes.
-    depth: i32,
-    line: u32,
-}
-
-/// Scan a function body, calling `on_lock` at every `.lock()` call with
-/// (receiver-field, live guards, is-let-binding, token index) and
-/// `on_tok` for every token with the live-guard list. Maintains the
-/// guard list: let-bound guards live until `drop(name)`, shadowing, or
-/// scope exit; temporary `x.lock().y` guards are not tracked as live
-/// past the statement (they die at the end of the expression).
-fn scan_guards<FL, FT>(file: &SourceFile, func: &Func, mut on_lock: FL, mut on_tok: FT)
-where
-    FL: FnMut(&str, &[Guard], bool, usize),
-    FT: FnMut(&Tok, usize, &[Guard]),
-{
-    let toks = &file.lexed.toks;
-    let body = func.body.clone();
-    let mut guards: Vec<Guard> = Vec::new();
-    let mut depth = 0i32;
-    let mut i = body.start;
-    while i < body.end {
-        let t = &toks[i];
-        if t.is_punct("{") {
-            depth += 1;
-        } else if t.is_punct("}") {
-            depth -= 1;
-            guards.retain(|g| g.depth <= depth);
-        }
-
-        // drop(name) kills a guard.
-        if t.is_ident("drop")
-            && i + 2 < body.end
-            && toks[i + 1].is_punct("(")
-            && toks[i + 2].kind == TokKind::Ident
-        {
-            let victim = &toks[i + 2].text;
-            guards.retain(|g| &g.name != victim);
-        }
-
-        // `.lock()` / `.lock().` — find the receiver field: the ident
-        // immediately before the `.`.
-        if t.is_punct(".")
-            && i + 3 < body.end
-            && toks[i + 1].is_ident("lock")
-            && toks[i + 2].is_punct("(")
-            && toks[i + 3].is_punct(")")
-        {
-            let field = if i > body.start && toks[i - 1].kind == TokKind::Ident {
-                toks[i - 1].text.clone()
-            } else {
-                String::new()
-            };
-            // Is this a let binding? Walk back to the statement start.
-            let binding = find_let_binding(toks, body.start, i);
-            on_lock(&field, &guards, binding.is_some(), i);
-            if let Some((name, _let_idx)) = binding {
-                // Shadowing: a rebound name kills the old guard.
-                guards.retain(|g| g.name != name);
-                guards.push(Guard {
-                    name,
-                    field,
-                    depth,
-                    line: t.line,
-                });
-            }
-            i += 4;
-            // If this was a temporary (no let), the guard lives only to
-            // the end of the statement; we simply don't track it.
-            continue;
-        }
-
-        on_tok(t, i, &guards);
-        i += 1;
-    }
-}
-
-/// If the `.lock()` at token `dot` is the RHS of `let [mut] NAME = …`,
-/// return (NAME, index of `let`). Walks back to the nearest `;`, `{`,
-/// or `}` and checks the statement starts with `let`.
-fn find_let_binding(toks: &[Tok], lo: usize, dot: usize) -> Option<(String, usize)> {
-    let mut j = dot;
-    while j > lo {
-        j -= 1;
-        let t = &toks[j];
-        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
-            j += 1;
-            break;
-        }
-        // A `=` between here and the dot is fine; keep walking.
-    }
-    if !toks.get(j)?.is_ident("let") {
-        return None;
-    }
-    let mut k = j + 1;
-    if toks.get(k)?.is_ident("mut") {
-        k += 1;
-    }
-    let name_tok = toks.get(k)?;
-    if name_tok.kind != TokKind::Ident {
-        return None;
-    }
-    // Require `= … .lock()` to follow (not `let (a, b) = …` patterns).
-    let eq = toks.get(k + 1)?;
-    if !(eq.is_punct("=") || eq.is_punct(":")) {
-        return None;
-    }
-    Some((name_tok.text.clone(), j))
-}
-
 // ---------------------------------------------------------------------------
-// J1: lock order.
+// J1: lock order (intra-function; the graph form is J9).
 // ---------------------------------------------------------------------------
 
-fn rule_lock_order(file: &SourceFile, findings: &mut Vec<Finding>) {
+fn rule_lock_order(file: &FileIndex, findings: &mut Vec<Finding>) {
     if file.file_is_test {
         return;
     }
@@ -681,116 +555,49 @@ fn rule_lock_order(file: &SourceFile, findings: &mut Vec<Finding>) {
         if func.in_test {
             continue;
         }
-        let toks = &file.lexed.toks;
-        scan_guards(
-            file,
-            func,
-            |field, guards, _is_let, idx| {
-                let Some(rank) = lock_rank(field) else {
-                    return;
+        for l in &func.locks {
+            if l.method != "lock" {
+                continue;
+            }
+            let Some(rank) = lock_rank(&l.field) else {
+                continue;
+            };
+            for g in &l.held {
+                let Some(held) = lock_rank(&g.field) else {
+                    continue;
                 };
-                for g in guards {
-                    let Some(held) = lock_rank(&g.field) else {
-                        continue;
-                    };
-                    let line = toks[idx].line;
-                    if held == rank {
-                        findings.push(Finding {
-                            rule: Rule::J1,
-                            path: file.path.clone(),
-                            line,
-                            message: format!(
-                                "`{field}` re-acquired while guard `{}` (line {}) already holds it: self-deadlock",
-                                g.name, g.line
-                            ),
-                        });
-                    } else if held > rank {
-                        findings.push(Finding {
-                            rule: Rule::J1,
-                            path: file.path.clone(),
-                            line,
-                            message: format!(
-                                "lock-order inversion: `{field}` acquired while `{}` guard `{}` (line {}) is live; canonical order is sched → book",
-                                g.field, g.name, g.line
-                            ),
-                        });
-                    }
+                if held == rank {
+                    findings.push(Finding::new(
+                        Rule::J1,
+                        &file.path,
+                        l.line,
+                        format!(
+                            "`{}` re-acquired while guard `{}` (line {}) already holds it: self-deadlock",
+                            l.field, g.name, g.line
+                        ),
+                    ));
+                } else if held > rank {
+                    findings.push(Finding::new(
+                        Rule::J1,
+                        &file.path,
+                        l.line,
+                        format!(
+                            "lock-order inversion: `{}` acquired while `{}` guard `{}` (line {}) is live; canonical order is sched → book",
+                            l.field, g.field, g.name, g.line
+                        ),
+                    ));
                 }
-            },
-            |_t, _i, _guards| {},
-        );
-    }
-}
-
-// ---------------------------------------------------------------------------
-// J2: no lock across blocking.
-// ---------------------------------------------------------------------------
-
-/// Method names (called as `.name(`) that block on I/O or time.
-const BLOCKING_METHODS: &[&str] = &[
-    "recv",
-    "recv_timeout",
-    "read_line",
-    "read_exact",
-    "read_to_end",
-    "read_to_string",
-    "write_all",
-    "flush",
-    "accept",
-    "connect",
-];
-
-/// Free functions / paths that block (`thread::sleep`, frame I/O).
-const BLOCKING_CALLS: &[&str] = &[
-    "sleep",
-    "read_msg",
-    "read_msg_buf",
-    "write_msg",
-    "write_msg_buf",
-];
-
-/// If the token at `i` begins a blocking operation, describe it.
-/// Shapes: `.recv()`-style method calls from [`BLOCKING_METHODS`],
-/// `.send(` on a socket-writer receiver (channel sends are
-/// non-blocking for the unbounded channels used here), and free or
-/// method calls of the [`BLOCKING_CALLS`] frame helpers. Shared by J2
-/// (blocking under a lock guard) and J7 (blocking in a reactor
-/// callback).
-fn blocking_op_at(toks: &[Tok], i: usize) -> Option<String> {
-    let t = toks.get(i)?;
-    if t.is_punct(".")
-        && toks
-            .get(i + 1)
-            .map(|n| n.kind == TokKind::Ident)
-            .unwrap_or(false)
-    {
-        let name = &toks[i + 1].text;
-        let called = is_called(toks, i + 1);
-        if called && BLOCKING_METHODS.contains(&name.as_str()) {
-            return Some(format!(".{name}()"));
-        }
-        if called && name == "send" {
-            let recv = if i > 0 && toks[i - 1].kind == TokKind::Ident {
-                toks[i - 1].text.as_str()
-            } else {
-                ""
-            };
-            if recv.contains("writer") || recv.contains("sock") || recv.contains("stream") {
-                return Some(format!("{recv}.send()"));
             }
         }
-        return None;
     }
-    // Exclude method position: `x.read_msg()` still counts, but
-    // `guard.recv()` is handled above; here we accept both free and
-    // method calls of the frame helpers.
-    if t.kind == TokKind::Ident && BLOCKING_CALLS.contains(&t.text.as_str()) && is_called(toks, i) {
-        return Some(format!("{}()", t.text));
-    }
-    None
 }
 
-fn rule_lock_across_blocking(file: &SourceFile, findings: &mut Vec<Finding>) {
+// ---------------------------------------------------------------------------
+// J2: no lock across blocking — direct ops, plus calls into
+// blocking-tainted helpers (the graph form).
+// ---------------------------------------------------------------------------
+
+fn rule_lock_across_blocking(file: &FileIndex, graph: &CallGraph, findings: &mut Vec<Finding>) {
     if file.file_is_test {
         return;
     }
@@ -798,60 +605,55 @@ fn rule_lock_across_blocking(file: &SourceFile, findings: &mut Vec<Finding>) {
         if func.in_test {
             continue;
         }
-        let toks = &file.lexed.toks;
-        scan_guards(
-            file,
-            func,
-            |_field, _guards, _is_let, _idx| {},
-            |t, i, guards| {
-                if guards.is_empty() {
-                    return;
-                }
-                if let Some(op) = blocking_op_at(toks, i) {
-                    for g in guards {
-                        // Condvar waits release the lock; they are
-                        // filtered by not being in the blocking sets.
-                        findings.push(Finding {
-                            rule: Rule::J2,
-                            path: file.path.clone(),
-                            line: t.line,
-                            message: format!(
-                                "blocking call {op} while lock guard `{}` (on `{}`, line {}) is live",
-                                g.name, g.field, g.line
-                            ),
-                        });
-                    }
-                }
-            },
-        );
-    }
-}
-
-/// Token at `i` (an ident) is immediately invoked: `name(` or
-/// `name::<T>(`.
-fn is_called(toks: &[Tok], i: usize) -> bool {
-    match toks.get(i + 1) {
-        Some(t) if t.is_punct("(") => true,
-        Some(t) if t.is_punct("::") => {
-            // turbofish: name::<T>(
-            let mut j = i + 2;
-            if toks.get(j).map(|t| t.is_punct("<")).unwrap_or(false) {
-                let mut depth = 1;
-                j += 1;
-                while j < toks.len() && depth > 0 {
-                    if toks[j].is_punct("<") {
-                        depth += 1;
-                    } else if toks[j].is_punct(">") {
-                        depth -= 1;
-                    }
-                    j += 1;
-                }
-                toks.get(j).map(|t| t.is_punct("(")).unwrap_or(false)
-            } else {
-                false
+        for b in &func.blocking {
+            for g in &b.held {
+                // Condvar waits release the lock; they are filtered by
+                // not being in the blocking sets.
+                findings.push(Finding::new(
+                    Rule::J2,
+                    &file.path,
+                    b.line,
+                    format!(
+                        "blocking call {} while lock guard `{}` (on `{}`, line {}) is live",
+                        b.op, g.name, g.field, g.line
+                    ),
+                ));
             }
         }
-        _ => false,
+        // Transitive form: a call made under a guard into a helper that
+        // (transitively) blocks. Calls inside spawn(..) run on another
+        // thread and carry neither the guard nor the stall. A call
+        // matching the function's own name is a method on some other
+        // type (true recursion under a guard would deadlock on entry).
+        for c in &func.calls {
+            if c.in_spawn || c.held.is_empty() || c.name == func.name {
+                continue;
+            }
+            let Some(callee) = graph.tainted_callee(&file.krate, &c.name) else {
+                continue;
+            };
+            let tail = graph.taint_chain(callee);
+            let mut chain = vec![func.name.clone()];
+            chain.extend(tail);
+            for g in &c.held {
+                findings.push(
+                    Finding::new(
+                        Rule::J2,
+                        &file.path,
+                        c.line,
+                        format!(
+                            "call to blocking-tainted `{}` while lock guard `{}` (on `{}`, line {}) is live; blocks via {}",
+                            c.name,
+                            g.name,
+                            g.field,
+                            g.line,
+                            chain.join(" -> ")
+                        ),
+                    )
+                    .with_chain(chain.clone()),
+                );
+            }
+        }
     }
 }
 
@@ -859,34 +661,8 @@ fn is_called(toks: &[Tok], i: usize) -> bool {
 // J3: Relaxed atomics policy.
 // ---------------------------------------------------------------------------
 
-/// Map from atomic field name to the set of functions that `.load(` it.
-fn collect_atomic_loads(files: &[SourceFile]) -> BTreeMap<String, BTreeSet<String>> {
-    let mut loads: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
-    for file in files {
-        for func in &file.funcs {
-            let toks = &file.lexed.toks;
-            let mut i = func.body.start;
-            while i + 2 < func.body.end {
-                if toks[i].is_punct(".")
-                    && toks[i + 1].is_ident("load")
-                    && toks[i + 2].is_punct("(")
-                    && i > 0
-                    && toks[i - 1].kind == TokKind::Ident
-                {
-                    loads
-                        .entry(toks[i - 1].text.clone())
-                        .or_default()
-                        .insert(func.name.clone());
-                }
-                i += 1;
-            }
-        }
-    }
-    loads
-}
-
 fn rule_relaxed_atomics(
-    file: &SourceFile,
+    file: &FileIndex,
     load_sites: &BTreeMap<String, BTreeSet<String>>,
     findings: &mut Vec<Finding>,
 ) {
@@ -944,14 +720,14 @@ fn rule_relaxed_atomics(
                             .map(|fns| fns.iter().any(|f| f != &func.name))
                             .unwrap_or(false);
                     if cross {
-                        findings.push(Finding {
-                            rule: Rule::J3,
-                            path: file.path.clone(),
-                            line: toks[i].line,
-                            message: format!(
+                        findings.push(Finding::new(
+                            Rule::J3,
+                            &file.path,
+                            toks[i].line,
+                            format!(
                                 "`{field}.{op}(.., Ordering::Relaxed)` on a flag read elsewhere (cross-thread signal shape); annotate with `// jets-lint: allow(relaxed) <reason>` or upgrade the ordering"
                             ),
-                        });
+                        ));
                     }
                 }
                 i = j;
@@ -966,84 +742,7 @@ fn rule_relaxed_atomics(
 // J4: protocol exhaustiveness.
 // ---------------------------------------------------------------------------
 
-/// Enum names whose matches must be exhaustive without wildcards.
-const PROTOCOL_ENUMS: &[&str] = &["WorkerMsg", "DispatcherMsg"];
-
-/// Collect variant sets for the protocol enums from `enum Name { … }`
-/// definitions anywhere in the analysis set.
-fn collect_protocol_enums(files: &[SourceFile]) -> EnumDefs {
-    let mut defs = EnumDefs::new();
-    for file in files {
-        let toks = &file.lexed.toks;
-        let mut i = 0;
-        while i + 2 < toks.len() {
-            if toks[i].is_ident("enum")
-                && toks[i + 1].kind == TokKind::Ident
-                && PROTOCOL_ENUMS.contains(&toks[i + 1].text.as_str())
-            {
-                let name = toks[i + 1].text.clone();
-                // Find the `{`, then variants are idents at depth 1
-                // that either start the body or follow a `,` at depth 1.
-                let mut j = i + 2;
-                while j < toks.len() && !toks[j].is_punct("{") {
-                    j += 1;
-                }
-                let mut depth = 0i32;
-                let mut variants = BTreeSet::new();
-                let mut expect_variant = true;
-                while j < toks.len() {
-                    let t = &toks[j];
-                    if t.is_punct("{") {
-                        depth += 1;
-                        if depth > 1 {
-                            // struct-variant payload; skip it wholesale
-                        }
-                    } else if t.is_punct("}") {
-                        depth -= 1;
-                        if depth == 0 {
-                            break;
-                        }
-                    } else if depth == 1 {
-                        if t.is_punct(",") {
-                            expect_variant = true;
-                        } else if t.is_punct("#") {
-                            // attribute on a variant; skip the [ ... ]
-                            let mut d = 0;
-                            j += 1;
-                            while j < toks.len() {
-                                if toks[j].is_punct("[") {
-                                    d += 1;
-                                } else if toks[j].is_punct("]") {
-                                    d -= 1;
-                                    if d == 0 {
-                                        break;
-                                    }
-                                }
-                                j += 1;
-                            }
-                        } else if expect_variant && t.kind == TokKind::Ident {
-                            variants.insert(t.text.clone());
-                            expect_variant = false;
-                        }
-                    } else if depth > 1 || t.is_punct("(") {
-                        // payload tokens: irrelevant. Parens don't
-                        // change `depth` (brace depth) so tuple-variant
-                        // payload idents could slip in at depth 1 —
-                        // guard by flipping expect_variant off above.
-                    }
-                    j += 1;
-                }
-                defs.entry(name).or_default().extend(variants);
-                i = j;
-                continue;
-            }
-            i += 1;
-        }
-    }
-    defs
-}
-
-fn rule_protocol_exhaustive(file: &SourceFile, enums: &EnumDefs, findings: &mut Vec<Finding>) {
+fn rule_protocol_exhaustive(file: &FileIndex, enums: &EnumDefs, findings: &mut Vec<Finding>) {
     if file.file_is_test {
         return;
     }
@@ -1055,7 +754,7 @@ fn rule_protocol_exhaustive(file: &SourceFile, enums: &EnumDefs, findings: &mut 
         let mut i = func.body.start;
         while i < func.body.end {
             if toks[i].is_ident("match") {
-                if let Some(m) = parse_match(toks, i, func.body.end) {
+                if let Some(m) = index::parse_match(toks, i, func.body.end) {
                     check_match(file, enums, &m, findings);
                     // Continue scanning *inside* the match for nested
                     // matches; just advance past the keyword.
@@ -1066,93 +765,10 @@ fn rule_protocol_exhaustive(file: &SourceFile, enums: &EnumDefs, findings: &mut 
     }
 }
 
-/// A parsed match expression: arm pattern token ranges.
-struct MatchExpr {
-    line: u32,
-    /// Pattern token ranges (pattern is everything before `=>` in the arm).
-    arms: Vec<std::ops::Range<usize>>,
-}
-
-/// Parse the match starting at `match_idx` (`match` keyword). Returns
-/// None for malformed input.
-fn parse_match(toks: &[Tok], match_idx: usize, limit: usize) -> Option<MatchExpr> {
-    // Scrutinee: tokens until the `{` at depth 0 (tracking parens and
-    // braces of struct literals is the hard part; in this codebase
-    // scrutinees are simple expressions, so track (), [], and stop at
-    // the first `{` outside them).
-    let mut i = match_idx + 1;
-    let mut paren = 0i32;
-    while i < limit {
-        let t = &toks[i];
-        if t.is_punct("(") || t.is_punct("[") {
-            paren += 1;
-        } else if t.is_punct(")") || t.is_punct("]") {
-            paren -= 1;
-        } else if t.is_punct("{") && paren == 0 {
-            break;
-        }
-        i += 1;
-    }
-    if i >= limit {
-        return None;
-    }
-    let body_start = i + 1;
-    // Split arms: pattern = tokens up to `=>` at depth 0; then the arm
-    // value runs to `,` at depth 0 or a `{ … }` block.
-    let mut arms = Vec::new();
-    let mut j = body_start;
-    let mut depth = 0i32; // braces/parens/brackets within the match body
-    let mut pat_start = j;
-    let mut in_pattern = true;
-    while j < limit {
-        let t = &toks[j];
-        if t.is_punct("{") || t.is_punct("(") || t.is_punct("[") {
-            if t.is_punct("{") && depth == 0 && !in_pattern {
-                // Block-bodied arm: skip the block, then next arm.
-                let mut d = 1;
-                j += 1;
-                while j < limit && d > 0 {
-                    if toks[j].is_punct("{") {
-                        d += 1;
-                    } else if toks[j].is_punct("}") {
-                        d -= 1;
-                    }
-                    j += 1;
-                }
-                // Optional trailing comma.
-                if j < limit && toks[j].is_punct(",") {
-                    j += 1;
-                }
-                in_pattern = true;
-                pat_start = j;
-                continue;
-            }
-            depth += 1;
-        } else if t.is_punct("}") || t.is_punct(")") || t.is_punct("]") {
-            if t.is_punct("}") && depth == 0 {
-                // End of the match body.
-                break;
-            }
-            depth -= 1;
-        } else if t.is_punct("=>") && depth == 0 && in_pattern {
-            arms.push(pat_start..j);
-            in_pattern = false;
-        } else if t.is_punct(",") && depth == 0 && !in_pattern {
-            in_pattern = true;
-            pat_start = j + 1;
-        }
-        j += 1;
-    }
-    Some(MatchExpr {
-        line: toks[match_idx].line,
-        arms,
-    })
-}
-
 /// Check one match expression against the protocol enums. The match is
 /// in scope iff at least one arm pattern mentions `WorkerMsg::` or
 /// `DispatcherMsg::`.
-fn check_match(file: &SourceFile, enums: &EnumDefs, m: &MatchExpr, findings: &mut Vec<Finding>) {
+fn check_match(file: &FileIndex, enums: &EnumDefs, m: &MatchExpr, findings: &mut Vec<Finding>) {
     let toks = &file.lexed.toks;
     let mut touched: BTreeSet<&str> = BTreeSet::new();
     for arm in &m.arms {
@@ -1185,15 +801,15 @@ fn check_match(file: &SourceFile, enums: &EnumDefs, m: &MatchExpr, findings: &mu
         // *inside* a variant payload (`Assign(_)`, `Cancel { .. }`) or
         // inside `Err(..)` is fine.
         if wildcard_in_enum_position(toks, arm.clone()) {
-            findings.push(Finding {
-                rule: Rule::J4,
-                path: file.path.clone(),
-                line: toks.get(arm.start).map(|t| t.line).unwrap_or(m.line),
-                message: format!(
+            findings.push(Finding::new(
+                Rule::J4,
+                &file.path,
+                toks.get(arm.start).map(|t| t.line).unwrap_or(m.line),
+                format!(
                     "wildcard arm in a {} match: name every variant so new envelopes force a decision",
                     touched.iter().cloned().collect::<Vec<_>>().join("/")
                 ),
-            });
+            ));
         }
         let mut i = arm.start;
         while i + 2 < arm.end {
@@ -1220,11 +836,11 @@ fn check_match(file: &SourceFile, enums: &EnumDefs, m: &MatchExpr, findings: &mu
         let have = named.remove(*e).unwrap_or_default();
         let missing: Vec<&String> = def.difference(&have).collect();
         if !missing.is_empty() {
-            findings.push(Finding {
-                rule: Rule::J4,
-                path: file.path.clone(),
-                line: m.line,
-                message: format!(
+            findings.push(Finding::new(
+                Rule::J4,
+                &file.path,
+                m.line,
+                format!(
                     "{e} match does not name variant(s): {}",
                     missing
                         .iter()
@@ -1232,7 +848,7 @@ fn check_match(file: &SourceFile, enums: &EnumDefs, m: &MatchExpr, findings: &mu
                         .collect::<Vec<_>>()
                         .join(", ")
                 ),
-            });
+            ));
         }
     }
 }
@@ -1323,7 +939,7 @@ fn wildcard_in_enum_position(toks: &[Tok], arm: std::ops::Range<usize>) -> bool 
 /// (dispatcher-synthesized) forms are restricted.
 const SENTINEL_CODES: &[&str] = &["125", "126", "127", "128"];
 
-fn rule_exit_code(file: &SourceFile, findings: &mut Vec<Finding>) {
+fn rule_exit_code(file: &FileIndex, findings: &mut Vec<Finding>) {
     let fname = file
         .path
         .file_name()
@@ -1367,14 +983,14 @@ fn rule_exit_code(file: &SourceFile, findings: &mut Vec<Finding>) {
                 continue;
             }
         }
-        findings.push(Finding {
-            rule: Rule::J5,
-            path: file.path.clone(),
-            line: t.line,
-            message: format!(
+        findings.push(Finding::new(
+            Rule::J5,
+            &file.path,
+            t.line,
+            format!(
                 "magic exit-code literal -{digits}: use the named constant from jets-core `spec.rs` (EXIT_*)"
             ),
-        });
+        ));
     }
 }
 
@@ -1396,7 +1012,7 @@ fn is_handler_fn(name: &str) -> bool {
         || name.contains("session")
 }
 
-fn rule_unwrap_in_handler(file: &SourceFile, findings: &mut Vec<Finding>) {
+fn rule_unwrap_in_handler(file: &FileIndex, findings: &mut Vec<Finding>) {
     if file.file_is_test {
         return;
     }
@@ -1411,15 +1027,15 @@ fn rule_unwrap_in_handler(file: &SourceFile, findings: &mut Vec<Finding>) {
                 && (toks[i + 1].is_ident("unwrap") || toks[i + 1].is_ident("expect"))
                 && toks.get(i + 2).map(|t| t.is_punct("(")).unwrap_or(false)
             {
-                findings.push(Finding {
-                    rule: Rule::J6,
-                    path: file.path.clone(),
-                    line: toks[i + 1].line,
-                    message: format!(
+                findings.push(Finding::new(
+                    Rule::J6,
+                    &file.path,
+                    toks[i + 1].line,
+                    format!(
                         "`.{}()` in connection handler `{}`: a peer-triggered panic here tears down shared state; handle the error or suppress with a reason",
                         toks[i + 1].text, func.name
                     ),
-                });
+                ));
                 i += 3;
                 continue;
             }
@@ -1451,7 +1067,7 @@ fn reactor_scoped_path(path: &Path) -> bool {
     })
 }
 
-fn rule_reactor_discipline(file: &SourceFile, findings: &mut Vec<Finding>) {
+fn rule_reactor_discipline(file: &FileIndex, graph: &CallGraph, findings: &mut Vec<Finding>) {
     if file.file_is_test {
         return;
     }
@@ -1489,12 +1105,7 @@ fn rule_reactor_discipline(file: &SourceFile, findings: &mut Vec<Finding>) {
                         func.name
                     )
                 };
-                findings.push(Finding {
-                    rule: Rule::J7,
-                    path: file.path.clone(),
-                    line: t.line,
-                    message,
-                });
+                findings.push(Finding::new(Rule::J7, &file.path, t.line, message));
                 i += 3;
                 continue;
             }
@@ -1502,19 +1113,48 @@ fn rule_reactor_discipline(file: &SourceFile, findings: &mut Vec<Finding>) {
             // the blocking side may legitimately block, they just may
             // not spawn).
             if is_callback {
-                if let Some(op) = blocking_op_at(toks, i) {
-                    findings.push(Finding {
-                        rule: Rule::J7,
-                        path: file.path.clone(),
-                        line: t.line,
-                        message: format!(
+                if let Some(op) = index::blocking_op_at(toks, i) {
+                    findings.push(Finding::new(
+                        Rule::J7,
+                        &file.path,
+                        t.line,
+                        format!(
                             "blocking call {op} inside reactor callback `{}`: the event loop must never block; queue on the outbox or defer to a service thread",
                             func.name
                         ),
-                    });
+                    ));
                 }
             }
             i += 1;
+        }
+        // Transitive form: a callback calling a blocking-tainted
+        // helper stalls the loop just as surely as blocking inline.
+        if is_callback {
+            for c in &func.calls {
+                if c.in_spawn || c.name == func.name {
+                    continue;
+                }
+                let Some(callee) = graph.tainted_callee(&file.krate, &c.name) else {
+                    continue;
+                };
+                let tail = graph.taint_chain(callee);
+                let mut chain = vec![func.name.clone()];
+                chain.extend(tail);
+                findings.push(
+                    Finding::new(
+                        Rule::J7,
+                        &file.path,
+                        c.line,
+                        format!(
+                            "call to blocking-tainted `{}` inside reactor callback `{}`: the event loop must never block; blocks via {}",
+                            c.name,
+                            func.name,
+                            chain.join(" -> ")
+                        ),
+                    )
+                    .with_chain(chain),
+                );
+            }
         }
     }
 }
@@ -1553,7 +1193,7 @@ const RING_ALLOC_TYPES: &[&str] = &["Vec", "String", "Box"];
 /// `EventLog::record` and everything under it takes no lock, blocks on
 /// nothing, and allocates nothing — a producer records an event for the
 /// cost of a claim `fetch_add` plus sixteen word stores, always.
-fn rule_ring_writer(file: &SourceFile, findings: &mut Vec<Finding>) {
+fn rule_ring_writer(file: &FileIndex, findings: &mut Vec<Finding>) {
     if file.file_is_test || !ring_scoped_path(&file.path) {
         return;
     }
@@ -1570,29 +1210,29 @@ fn rule_ring_writer(file: &SourceFile, findings: &mut Vec<Finding>) {
                 && toks.get(i + 1).map(|n| n.is_ident("lock")).unwrap_or(false)
                 && toks.get(i + 2).map(|n| n.is_punct("(")).unwrap_or(false)
             {
-                findings.push(Finding {
-                    rule: Rule::J8,
-                    path: file.path.clone(),
-                    line: t.line,
-                    message: format!(
+                findings.push(Finding::new(
+                    Rule::J8,
+                    &file.path,
+                    t.line,
+                    format!(
                         "`.lock()` in ring writer path `{}`: the flight-recorder record path must stay lock-free; annotate with `// jets-lint: allow(ring) <reason>` only if this is provably off the hot path",
                         func.name
                     ),
-                });
+                ));
                 i += 3;
                 continue;
             }
             // Blocking I/O or sleeps: shared detector with J2/J7.
-            if let Some(op) = blocking_op_at(toks, i) {
-                findings.push(Finding {
-                    rule: Rule::J8,
-                    path: file.path.clone(),
-                    line: t.line,
-                    message: format!(
+            if let Some(op) = index::blocking_op_at(toks, i) {
+                findings.push(Finding::new(
+                    Rule::J8,
+                    &file.path,
+                    t.line,
+                    format!(
                         "blocking call {op} in ring writer path `{}`: producers record events at task-dispatch rate and must never wait",
                         func.name
                     ),
-                });
+                ));
                 i += 1;
                 continue;
             }
@@ -1609,7 +1249,7 @@ fn rule_ring_writer(file: &SourceFile, findings: &mut Vec<Finding>) {
                     .map(|n| {
                         n.kind == TokKind::Ident
                             && RING_ALLOC_METHODS.contains(&n.text.as_str())
-                            && is_called(toks, i + 1)
+                            && index::is_called(toks, i + 1)
                     })
                     .unwrap_or(false)
             {
@@ -1623,17 +1263,114 @@ fn rule_ring_writer(file: &SourceFile, findings: &mut Vec<Finding>) {
                 None
             };
             if let Some(what) = alloc {
-                findings.push(Finding {
-                    rule: Rule::J8,
-                    path: file.path.clone(),
-                    line: t.line,
-                    message: format!(
+                findings.push(Finding::new(
+                    Rule::J8,
+                    &file.path,
+                    t.line,
+                    format!(
                         "allocation (`{what}`) in ring writer path `{}`: records are encoded into fixed stack buffers, never the heap",
                         func.name
                     ),
-                });
+                ));
             }
             i += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// J9: interprocedural lock-order cycles.
+// ---------------------------------------------------------------------------
+
+fn rule_lock_cycles(graph: &CallGraph, findings: &mut Vec<Finding>) {
+    for cycle in graph.lock_cycles() {
+        let mut ring: Vec<&str> = cycle.fields.iter().map(|f| f.as_str()).collect();
+        if let Some(first) = cycle.fields.first() {
+            ring.push(first.as_str());
+        }
+        let witnesses = cycle
+            .edges
+            .iter()
+            .map(|e| {
+                let via = if e.chain.is_empty() {
+                    String::new()
+                } else {
+                    format!(" via {}", e.chain.join(" -> "))
+                };
+                format!(
+                    "`{}` -> `{}` at {}:{} in `{}`{}",
+                    e.from,
+                    e.to,
+                    e.path.display(),
+                    e.line,
+                    e.func,
+                    via
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("; ");
+        // Anchor the finding at the first witness edge so a suppression
+        // (if ever justified) sits next to real code.
+        let anchor = &cycle.edges[0];
+        findings.push(
+            Finding::new(
+                Rule::J9,
+                &anchor.path,
+                anchor.line,
+                format!(
+                    "lock-order cycle {}: {witnesses}; pick one canonical acquisition order",
+                    ring.join(" -> ")
+                ),
+            )
+            .with_chain(cycle.fields.clone()),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// J10: protocol parity — constructed variants must be matched.
+// ---------------------------------------------------------------------------
+
+fn rule_protocol_parity(files: &[FileIndex], enums: &EnumDefs, findings: &mut Vec<Finding>) {
+    // Which (enum, variant) pairs are matched (pattern position) in
+    // non-test code anywhere in the analysis set?
+    let mut matched: BTreeSet<(&str, &str)> = BTreeSet::new();
+    for file in files {
+        for u in &file.variant_uses {
+            if u.is_pattern && !u.in_test {
+                matched.insert((u.enum_name.as_str(), u.variant.as_str()));
+            }
+        }
+    }
+    // First non-test construction site per (enum, variant), in file
+    // order (deterministic: sources arrive sorted).
+    let mut reported: BTreeSet<(String, String)> = BTreeSet::new();
+    for file in files {
+        for u in &file.variant_uses {
+            if u.is_pattern || u.in_test {
+                continue;
+            }
+            let Some(def) = enums.get(&u.enum_name) else {
+                continue; // enum not defined in the analysis set
+            };
+            if !def.contains(&u.variant) {
+                continue; // associated fn / const, not a variant
+            }
+            if matched.contains(&(u.enum_name.as_str(), u.variant.as_str())) {
+                continue;
+            }
+            if !reported.insert((u.enum_name.clone(), u.variant.clone())) {
+                continue;
+            }
+            findings.push(Finding::new(
+                Rule::J10,
+                &file.path,
+                u.line,
+                format!(
+                    "`{}::{}` is constructed here but matched nowhere in the workspace: a dead or unhandled protocol arm is how wire-protocol drift starts",
+                    u.enum_name, u.variant
+                ),
+            ));
         }
     }
 }
@@ -1772,6 +1509,7 @@ mod tests {
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, Rule::J0);
         assert!(f[0].message.contains("unused"));
+        assert!(is_unused_suppression(&f[0]));
     }
 
     #[test]
@@ -2003,5 +1741,227 @@ mod tests {
             }
         "#;
         assert!(lint_one(src).is_empty(), "{:?}", lint_one(src));
+    }
+
+    // --- interprocedural (graph) rules --------------------------------
+
+    #[test]
+    fn two_hop_taint_under_guard_fires_j2_with_chain() {
+        let src = r#"
+            fn drain_outbox(stream: &mut TcpStream) {
+                stream.flush();
+            }
+            fn serve_tick(inner: &Inner, stream: &mut TcpStream) {
+                let st = inner.sched.lock();
+                drain_outbox(stream);
+            }
+        "#;
+        let f = lint_one(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::J2);
+        assert_eq!(f[0].chain, vec!["serve_tick", "drain_outbox", ".flush()"]);
+        assert!(f[0]
+            .message
+            .contains("serve_tick -> drain_outbox -> .flush()"));
+    }
+
+    #[test]
+    fn three_hop_taint_in_callback_fires_j7_with_chain() {
+        let src = r#"
+            fn nap() {
+                thread::sleep(Duration::from_millis(1));
+            }
+            fn settle() {
+                nap();
+            }
+            fn on_frame(&mut self, frame: &[u8]) -> Flow {
+                settle();
+                Flow::Continue
+            }
+        "#;
+        let f = lint_one(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::J7);
+        assert_eq!(f[0].chain, vec!["on_frame", "settle", "nap", "sleep()"]);
+    }
+
+    #[test]
+    fn blocking_inside_spawn_does_not_taint_caller() {
+        // Work handed to another thread neither blocks the caller nor
+        // runs under its guards.
+        let src = r#"
+            fn worker_body() {
+                thread::sleep(Duration::from_millis(1));
+            }
+            fn launch(inner: &Inner) {
+                let st = inner.sched.lock();
+                thread::spawn(move || worker_body());
+            }
+        "#;
+        assert!(lint_one(src).is_empty(), "{:?}", lint_one(src));
+    }
+
+    #[test]
+    fn tainted_call_without_guard_is_fine() {
+        let src = r#"
+            fn drain(stream: &mut TcpStream) {
+                stream.flush();
+            }
+            fn tick(stream: &mut TcpStream) {
+                drain(stream);
+            }
+        "#;
+        assert!(lint_one(src).is_empty(), "{:?}", lint_one(src));
+    }
+
+    #[test]
+    fn interprocedural_lock_cycle_fires_j9() {
+        let src = r#"
+            fn forward(inner: &Inner) {
+                let st = inner.sched.lock();
+                let bk = inner.book.lock();
+            }
+            fn backward(inner: &Inner) {
+                let bk = inner.book.lock();
+                touch_sched(inner);
+            }
+            fn touch_sched(inner: &Inner) {
+                let st = inner.sched.lock();
+            }
+        "#;
+        let f = lint_one(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::J9);
+        assert!(f[0].message.contains("x:book"));
+        assert!(f[0].message.contains("x:sched"));
+        assert!(f[0].message.contains("touch_sched"));
+    }
+
+    #[test]
+    fn canonical_order_alone_has_no_cycle() {
+        let src = r#"
+            fn forward(inner: &Inner) {
+                let st = inner.sched.lock();
+                let bk = inner.book.lock();
+            }
+            fn also_forward(inner: &Inner) {
+                let st = inner.sched.lock();
+                take_book(inner);
+            }
+            fn take_book(inner: &Inner) {
+                let bk = inner.book.lock();
+            }
+        "#;
+        assert!(lint_one(src).is_empty(), "{:?}", lint_one(src));
+    }
+
+    #[test]
+    fn transitive_reentry_is_a_one_cycle() {
+        // `hold_sched` calls into a helper that re-acquires sched: J1
+        // cannot see it (different functions), J9 reports it as a
+        // 1-cycle.
+        let src = r#"
+            fn hold_sched(inner: &Inner) {
+                let st = inner.sched.lock();
+                helper(inner);
+            }
+            fn helper(inner: &Inner) {
+                let st = inner.sched.lock();
+            }
+        "#;
+        let f = lint_one(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::J9);
+        assert!(f[0].message.contains("x:sched -> x:sched"));
+    }
+
+    #[test]
+    fn constructed_but_never_matched_variant_fires_j10() {
+        let src = r#"
+            enum WorkerMsg { Register, Zombie }
+            fn emit(out: &mut Vec<WorkerMsg>) {
+                out.push(WorkerMsg::Zombie);
+            }
+            fn check(m: &WorkerMsg) -> bool {
+                if let WorkerMsg::Register = m { true } else { false }
+            }
+        "#;
+        let f = lint_one(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::J10);
+        assert!(f[0].message.contains("WorkerMsg::Zombie"));
+    }
+
+    #[test]
+    fn constructed_and_matched_variant_is_fine() {
+        let src = r#"
+            enum WorkerMsg { Register, Done }
+            fn emit(out: &mut Vec<WorkerMsg>) {
+                out.push(WorkerMsg::Register);
+                out.push(WorkerMsg::Done);
+            }
+            fn dispatch(m: WorkerMsg) {
+                match m {
+                    WorkerMsg::Register => {}
+                    WorkerMsg::Done => {}
+                }
+            }
+        "#;
+        assert!(lint_one(src).is_empty(), "{:?}", lint_one(src));
+    }
+
+    #[test]
+    fn associated_fn_on_protocol_enum_is_not_a_variant() {
+        let src = r#"
+            enum WorkerMsg { Register }
+            fn pump(buf: &[u8]) {
+                let m = WorkerMsg::decode(buf);
+                if let WorkerMsg::Register = m {}
+            }
+            fn emit(out: &mut Vec<WorkerMsg>) {
+                out.push(WorkerMsg::Register);
+            }
+        "#;
+        assert!(lint_one(src).is_empty(), "{:?}", lint_one(src));
+    }
+
+    #[test]
+    fn strip_suppression_lines_removes_comment_only_lines() {
+        let src = "fn a() {}\n// jets-lint: allow(ring) stale\nfn b() {}\n";
+        let lines: BTreeSet<u32> = [2].into_iter().collect();
+        assert_eq!(
+            strip_suppression_lines(src, &lines),
+            "fn a() {}\nfn b() {}\n"
+        );
+    }
+
+    #[test]
+    fn strip_suppression_lines_trims_trailing_comments() {
+        let src = "let x = 1; // jets-lint: allow(relaxed) stale\nlet y = 2;\n";
+        let lines: BTreeSet<u32> = [1].into_iter().collect();
+        assert_eq!(
+            strip_suppression_lines(src, &lines),
+            "let x = 1;\nlet y = 2;\n"
+        );
+    }
+
+    #[test]
+    fn finding_json_carries_span_and_chain() {
+        let src = r#"
+            fn drain_outbox(stream: &mut TcpStream) {
+                stream.flush();
+            }
+            fn serve_tick(inner: &Inner, stream: &mut TcpStream) {
+                let st = inner.sched.lock();
+                drain_outbox(stream);
+            }
+        "#;
+        let f = lint_one(src);
+        let json = f[0].to_json();
+        assert!(json.contains("\"span\":[7,7]"), "{json}");
+        assert!(
+            json.contains("\"chain\":[\"serve_tick\",\"drain_outbox\",\".flush()\"]"),
+            "{json}"
+        );
     }
 }

@@ -189,6 +189,92 @@ fn suppression_good_is_clean() {
     assert_clean("suppression/good.rs");
 }
 
+#[test]
+fn callgraph_two_hop_taint_bad_fires_exactly() {
+    // The call to the blocking helper under the live guard (line 7).
+    assert_eq!(
+        fired("callgraph/taint-2hop/bad.rs"),
+        vec![("J2".to_string(), 7)]
+    );
+}
+
+#[test]
+fn callgraph_two_hop_taint_reports_full_chain() {
+    let findings = lint_paths(&[fixture("callgraph/taint-2hop/bad.rs")]);
+    assert_eq!(findings.len(), 1, "{}", render(&findings));
+    assert_eq!(
+        findings[0].chain,
+        vec!["serve_tick", "drain_outbox", ".flush()"]
+    );
+    assert!(
+        findings[0]
+            .message
+            .contains("serve_tick -> drain_outbox -> .flush()"),
+        "chain missing from diagnostic: {}",
+        findings[0]
+    );
+}
+
+#[test]
+fn callgraph_two_hop_taint_good_is_clean() {
+    assert_clean("callgraph/taint-2hop/good.rs");
+}
+
+#[test]
+fn callgraph_three_hop_taint_bad_fires_exactly() {
+    // The reactor callback's call into the 3-hop blocking chain
+    // (line 10), with every hop in the diagnostic.
+    assert_eq!(
+        fired("callgraph/taint-3hop/bad.rs"),
+        vec![("J7".to_string(), 10)]
+    );
+    let findings = lint_paths(&[fixture("callgraph/taint-3hop/bad.rs")]);
+    assert_eq!(
+        findings[0].chain,
+        vec!["on_frame", "settle", "nap", "sleep()"]
+    );
+}
+
+#[test]
+fn callgraph_three_hop_taint_good_is_clean() {
+    assert_clean("callgraph/taint-3hop/good.rs");
+}
+
+#[test]
+fn callgraph_lock_cycle_bad_fires_exactly() {
+    // One cycle, anchored at the inter-procedural witness edge: the
+    // call made while `book` is held (line 9).
+    assert_eq!(
+        fired("callgraph/lock-cycle/bad.rs"),
+        vec![("J9".to_string(), 9)]
+    );
+    let findings = lint_paths(&[fixture("callgraph/lock-cycle/bad.rs")]);
+    assert!(
+        findings[0].message.contains("touch_sched"),
+        "witness path missing: {}",
+        findings[0]
+    );
+}
+
+#[test]
+fn callgraph_lock_cycle_good_is_clean() {
+    assert_clean("callgraph/lock-cycle/good.rs");
+}
+
+#[test]
+fn callgraph_parity_bad_fires_exactly() {
+    // `WorkerMsg::Zombie` is constructed (line 7) but matched nowhere.
+    assert_eq!(
+        fired("callgraph/parity/bad.rs"),
+        vec![("J10".to_string(), 7)]
+    );
+}
+
+#[test]
+fn callgraph_parity_good_is_clean() {
+    assert_clean("callgraph/parity/good.rs");
+}
+
 /// The acceptance gate, runnable from the test suite: the real tree
 /// must carry zero unsuppressed findings. Walks up from this crate to
 /// the workspace root (works from the real crate and from the

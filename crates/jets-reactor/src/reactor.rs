@@ -408,8 +408,7 @@ fn run_loop(router: Arc<Router>, me: usize, wake_rx: OwnedFd, mut poller: Box<dy
             break;
         }
         router.stats.wakeups.fetch_add(1, Ordering::Relaxed);
-        for i in 0..events.len() {
-            let ev = events[i];
+        for ev in events.iter().copied() {
             if ev.token == WAKE_TOKEN {
                 let mut buf = [0u8; 64];
                 while sys::read_fd(wake_rx.as_raw_fd(), &mut buf) > 0 {}

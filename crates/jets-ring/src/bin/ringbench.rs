@@ -38,7 +38,7 @@ struct Summary {
     ops_per_sec: f64,
 }
 
-fn summarize(samples: &mut Vec<u64>, wall_ns: u64) -> Summary {
+fn summarize(samples: &mut [u64], wall_ns: u64) -> Summary {
     samples.sort_unstable();
     let total: u64 = samples.iter().sum();
     Summary {

@@ -95,7 +95,7 @@ impl Region {
         use std::os::fd::AsRawFd;
         let file = OpenOptions::new().read(true).open(path)?;
         let bytes = file.metadata()?.len() as usize;
-        if bytes < 8 || bytes % 8 != 0 {
+        if bytes < 8 || !bytes.is_multiple_of(8) {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("{}: {bytes} bytes is not a ring file", path.display()),
