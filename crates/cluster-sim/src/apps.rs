@@ -133,6 +133,7 @@ mod tests {
             job_id: 1,
             kind: TaskKind::Sequential { cmd },
             stage: Vec::new(),
+            trace: 0,
         }
     }
 
@@ -187,6 +188,7 @@ mod tests {
                 pmi_jobid: "namd-app".into(),
             },
             stage: Vec::new(),
+            trace: 0,
         };
         assert_eq!(exec.execute(&assignment), 0);
         let xsc = read_xsc(Path::new(&format!("{}.xsc", out.to_string_lossy()))).unwrap();

@@ -9,6 +9,7 @@
 //! jets top --metrics ADDR [--interval-ms MS] [--once]
 //! jets journal <dump|verify> FILE
 //! jets flight <dump|tail> FILE [--stats] [--interval-ms MS]
+//! jets trace <export|critical-path JOB|stats> FLIGHT_FILE... [--out FILE]
 //! jets bench-conn [--conns N] [--frames M] [--loops L]
 //!                 [--workers W] [--jobs J] [--out FILE]
 //! ```
@@ -43,6 +44,12 @@
 //! `jets flight dump FILE` replays such a file offline (`--stats` adds
 //! the phase table); `jets flight tail FILE` follows a *live* ring from
 //! another process without ever blocking its writer.
+//!
+//! `jets trace` merges dispatcher + relay + worker flight files into one
+//! cross-process span timeline (see `docs/observability.md`): `export`
+//! writes Chrome trace-event / Perfetto JSON, `critical-path JOB` prints
+//! where one job's wall time went phase by phase, and `stats` recomputes
+//! the paper's Eq. (1) utilization from exec spans.
 
 use cluster_sim::{science_registry, Allocation, AllocationConfig};
 use jets_cli::prom::Scrape;
@@ -76,6 +83,10 @@ fn main() {
         let args = parse_args(argv.into_iter().skip(1), &["interval-ms"]);
         flight_main(&args);
     }
+    if argv.first().map(String::as_str) == Some("trace") {
+        let args = parse_args(argv.into_iter().skip(1), &["out"]);
+        trace_main(&args);
+    }
     if argv.first().map(String::as_str) == Some("bench-conn") {
         let args = parse_args(
             argv.into_iter().skip(1),
@@ -98,7 +109,7 @@ fn main() {
     );
     let Some(taskfile) = args.positional.first() else {
         eprintln!(
-            "usage: jets TASKFILE [--listen ADDR] [--simulate N] [--timeout SECS] [--events-out FILE] [--metrics-addr ADDR] [--journal FILE] [--fsync-policy always|interval|never] [--flight-recorder FILE]\n       jets events --in FILE [--nodes N] [--step-ms MS] [--stats]\n       jets top --metrics ADDR [--interval-ms MS] [--once]\n       jets journal <dump|verify> FILE\n       jets flight <dump|tail> FILE [--stats] [--interval-ms MS]"
+            "usage: jets TASKFILE [--listen ADDR] [--simulate N] [--timeout SECS] [--events-out FILE] [--metrics-addr ADDR] [--journal FILE] [--fsync-policy always|interval|never] [--flight-recorder FILE]\n       jets events --in FILE [--nodes N] [--step-ms MS] [--stats]\n       jets top --metrics ADDR [--interval-ms MS] [--once]\n       jets journal <dump|verify> FILE\n       jets flight <dump|tail> FILE [--stats] [--interval-ms MS]\n       jets trace <export|critical-path JOB|stats> FLIGHT_FILE... [--out FILE]"
         );
         std::process::exit(2);
     };
@@ -299,6 +310,11 @@ fn events_main(args: &Args) -> ! {
 /// `jets events --stats`: per-phase latency percentiles by job size,
 /// computed from `JobPhases` records through the same histogram type
 /// (and under the same metric name) a live `/metrics` scrape uses.
+///
+/// The pmi column's denominator is honest: only gangs that actually
+/// released a barrier feed the pmi percentiles. Jobs with no barrier
+/// (sequential jobs, or gangs that died before fencing) are counted and
+/// reported separately, never folded in as zeros.
 fn print_phase_stats(events: &[jets_core::Event]) {
     use std::collections::BTreeMap;
 
@@ -307,6 +323,9 @@ fn print_phase_stats(events: &[jets_core::Event]) {
         queue: Histogram,
         launch: Histogram,
         run: Histogram,
+        pmi: Histogram,
+        pmi_jobs: u64,
+        no_barrier: u64,
     }
     let mut by_size: BTreeMap<u32, SizeRow> = BTreeMap::new();
     for e in events {
@@ -314,6 +333,7 @@ fn print_phase_stats(events: &[jets_core::Event]) {
             nodes,
             queue_us,
             launch_us,
+            pmi_us,
             run_us,
             ..
         } = &e.kind
@@ -323,11 +343,21 @@ fn print_phase_stats(events: &[jets_core::Event]) {
                 queue: Histogram::new(),
                 launch: Histogram::new(),
                 run: Histogram::new(),
+                pmi: Histogram::new(),
+                pmi_jobs: 0,
+                no_barrier: 0,
             });
             row.jobs += 1;
             row.queue.record(*queue_us);
             row.launch.record(*launch_us);
             row.run.record(*run_us);
+            match pmi_us {
+                Some(us) => {
+                    row.pmi.record(*us);
+                    row.pmi_jobs += 1;
+                }
+                None => row.no_barrier += 1,
+            }
         }
     }
     if by_size.is_empty() {
@@ -347,17 +377,29 @@ fn print_phase_stats(events: &[jets_core::Event]) {
         jets_core::metrics::JOB_PHASE_METRIC
     );
     println!(
-        "  {:>5} {:>6}  {:<28} {:<28} {:<28}",
-        "nodes", "jobs", "queue", "launch", "run"
+        "  {:>5} {:>6}  {:<28} {:<28} {:<28} {:<28}",
+        "nodes", "jobs", "queue", "launch", "run", "pmi"
     );
     for (nodes, row) in &by_size {
         println!(
-            "  {:>5} {:>6}  {:<28} {:<28} {:<28}",
+            "  {:>5} {:>6}  {:<28} {:<28} {:<28} {:<28}",
             nodes,
             row.jobs,
             fmt(&row.queue.snapshot()),
             fmt(&row.launch.snapshot()),
-            fmt(&row.run.snapshot())
+            fmt(&row.run.snapshot()),
+            if row.pmi_jobs > 0 {
+                format!("{} ({} gangs)", fmt(&row.pmi.snapshot()), row.pmi_jobs)
+            } else {
+                "-".to_string()
+            }
+        );
+    }
+    let no_barrier: u64 = by_size.values().map(|r| r.no_barrier).sum();
+    if no_barrier > 0 {
+        println!(
+            "  {no_barrier} job(s) released no PMI barrier (sequential or died \
+             before fencing); excluded from the pmi percentiles above"
         );
     }
 }
@@ -512,6 +554,173 @@ fn flight_main(args: &Args) -> ! {
         }
         _ => {
             eprintln!("jets flight: unknown action {action:?} (dump | tail)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `jets trace <export|critical-path JOB|stats> FLIGHT_FILE...`: merge
+/// dispatcher + relay + worker flight-recorder files into one
+/// cross-process span timeline. Every input may come from a `kill -9`'d
+/// process — spans whose end never landed are reported as open, never
+/// fatal. `export` writes Chrome trace-event / Perfetto JSON to `--out`
+/// (or stdout); `critical-path JOB` prints where that job's wall time
+/// went; `stats` recomputes Eq. (1) utilization from exec spans.
+fn trace_main(args: &Args) -> ! {
+    const USAGE: &str =
+        "usage: jets trace <export|critical-path JOB|stats> FLIGHT_FILE... [--out FILE]";
+    let Some(action) = args.positional.first().map(String::as_str) else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let fmt_s = |us: u64| format!("{:.6}", us as f64 / 1e6);
+    let load = |paths: &[String]| -> jets_trace::TraceModel {
+        if paths.is_empty() {
+            eprintln!("jets trace: no flight files given\n{USAGE}");
+            std::process::exit(2);
+        }
+        match jets_trace::TraceModel::from_files(paths) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("jets trace: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    let lane_summary = |m: &jets_trace::TraceModel| {
+        for lane in &m.lanes {
+            println!(
+                "  lane {} (pid {}): torn {}, undecodable {}, overwritten {}",
+                lane.role.as_str(),
+                lane.pid,
+                lane.torn,
+                lane.undecodable,
+                lane.overwritten
+            );
+        }
+        if m.unmatched_ends > 0 {
+            println!(
+                "  {} span end(s) whose start was lost to ring wraparound",
+                m.unmatched_ends
+            );
+        }
+        if !m.open.is_empty() {
+            println!(
+                "  {} span(s) still open at end of log (crash or in flight)",
+                m.open.len()
+            );
+        }
+    };
+    match action {
+        "export" => {
+            let model = load(&args.positional[1..]);
+            let json = model.perfetto_json();
+            match args.get("out") {
+                Some(out) => {
+                    if let Err(e) = std::fs::write(out, &json) {
+                        eprintln!("jets trace: cannot write {out}: {e}");
+                        std::process::exit(1);
+                    }
+                    println!(
+                        "jets trace: wrote {} span(s) from {} lane(s) to {out}",
+                        model.spans.len(),
+                        model.lanes.len()
+                    );
+                    lane_summary(&model);
+                }
+                None => print!("{json}"),
+            }
+            std::process::exit(0);
+        }
+        "critical-path" => {
+            let Some(Ok(job)) = args.positional.get(1).map(|s| s.parse::<u64>()) else {
+                eprintln!("jets trace: critical-path needs a numeric JOB id\n{USAGE}");
+                std::process::exit(2);
+            };
+            let model = load(&args.positional[2..]);
+            let Some(cp) = model.critical_path(job) else {
+                eprintln!("jets trace: no spans for job {job}");
+                std::process::exit(1);
+            };
+            println!(
+                "jets trace: job {job} (trace {:#018x}): {} s wall across {} lane(s)",
+                cp.trace,
+                fmt_s(cp.total_us),
+                model.lanes.len()
+            );
+            println!(
+                "  {:<14} {:>5} {:>12} {:>7}",
+                "phase", "spans", "seconds", "share"
+            );
+            for p in &cp.phases {
+                println!(
+                    "  {:<14} {:>5} {:>12} {:>6.1}%",
+                    p.kind.as_str(),
+                    p.spans,
+                    fmt_s(p.dur_us),
+                    p.share * 100.0
+                );
+            }
+            println!(
+                "  {:<14} {:>5} {:>12} {:>6.1}%",
+                "(slack)",
+                "",
+                fmt_s(cp.slack_us),
+                cp.slack_us as f64 / cp.total_us as f64 * 100.0
+            );
+            if let Some(task) = cp.dominant_task {
+                println!("  dominant task {task} (last exec to finish):");
+                for p in &cp.task_phases {
+                    println!(
+                        "  {:<14} {:>5} {:>12} {:>6.1}%",
+                        p.kind.as_str(),
+                        p.spans,
+                        fmt_s(p.dur_us),
+                        p.share * 100.0
+                    );
+                }
+            }
+            lane_summary(&model);
+            std::process::exit(0);
+        }
+        "stats" => {
+            let model = load(&args.positional[1..]);
+            let st = model.stats();
+            println!(
+                "jets trace: {} job(s), {} closed span(s) over {} s",
+                st.jobs,
+                st.spans,
+                fmt_s(st.window_us)
+            );
+            println!(
+                "  utilization (Eq. 1): {:.4} ({} s exec-busy / {} worker lane(s) x {} s)",
+                st.utilization,
+                fmt_s(st.busy_us),
+                st.worker_lanes,
+                fmt_s(st.window_us)
+            );
+            println!(
+                "  {:<14} {:>6} {:>12} {:>12} {:>12}",
+                "kind", "count", "total s", "mean s", "max s"
+            );
+            for k in &st.per_kind {
+                if k.count == 0 {
+                    continue;
+                }
+                println!(
+                    "  {:<14} {:>6} {:>12} {:>12} {:>12}",
+                    k.kind.as_str(),
+                    k.count,
+                    fmt_s(k.total_us),
+                    fmt_s(k.mean_us),
+                    fmt_s(k.max_us)
+                );
+            }
+            lane_summary(&model);
+            std::process::exit(0);
+        }
+        _ => {
+            eprintln!("jets trace: unknown action {action:?} (export | critical-path | stats)");
             std::process::exit(2);
         }
     }

@@ -40,7 +40,7 @@
 //! peer ranks unblock, and requeues the job at the front of the queue if
 //! it has retry budget left.
 
-use crate::events::{EventKind, EventLog};
+use crate::events::{EventCursor, EventKind, EventLog, SpanKind};
 use crate::group::{select_group_ids, GroupScratch, GroupingPolicy};
 use crate::journal::{self, FsyncPolicy, Journal, Record};
 use crate::metrics::DispatcherMetrics;
@@ -56,6 +56,7 @@ use crossbeam::queue::SegQueue;
 use jets_obs::MetricsServer;
 use jets_pmi::{ManualLauncher, PmiServer, PmiServerConfig, RankLayout};
 use jets_reactor::{CloseReason, ConnHandler, Flow, Outbox, Reactor, ReactorConfig, ReactorStats};
+use jets_ring::WriterRole;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::io;
@@ -63,7 +64,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Tuning knobs for a dispatcher instance.
 #[derive(Debug, Clone)]
@@ -202,6 +203,14 @@ struct ActiveJob {
     submitted_at: Instant,
     enqueued_at: Instant,
     shipped_at: Option<Instant>,
+    /// The job's trace id (minted at submission, carried across
+    /// requeues): the correlation key every span and wire frame for
+    /// this job carries.
+    trace: u64,
+    /// True while the dispatcher's `pmi-barrier` span is open — set
+    /// when an MPI gang ships, cleared when the monitor observes the
+    /// first fence release (or, as a fallback, when the job finishes).
+    pmi_span_open: bool,
 }
 
 /// The write path that reaches one worker: its connection's bounded
@@ -337,6 +346,10 @@ struct Inner {
     killed: AtomicBool,
     /// The write-ahead journal, when durability is configured.
     journal: Option<Journal>,
+    /// Wall-clock seed (startup µs since the Unix epoch) mixed into
+    /// every minted trace id, so incarnations sharing flight files
+    /// cannot collide on trace ids.
+    trace_seed: u64,
     /// The reactor's monotonic counters; the monitor bridges them into
     /// the metric surface each tick.
     reactor_stats: Arc<ReactorStats>,
@@ -387,7 +400,16 @@ impl Dispatcher {
         // is externally visible; a re-opened file continues the crashed
         // incarnation's sequence numbers and timeline.
         let log = match &config.flight_recorder {
-            Some(path) => EventLog::file_backed(path, config.flight_capacity)?,
+            Some(path) => {
+                // The dispatcher stamps its role into the ring header so
+                // `jets trace` can lane-assign this file in a merged
+                // cross-process timeline.
+                EventLog::file_backed_with_role(
+                    path,
+                    config.flight_capacity,
+                    WriterRole::Dispatcher,
+                )?
+            }
             None => EventLog::with_capacity(config.flight_capacity),
         };
         let inner = Arc::new(Inner {
@@ -422,6 +444,10 @@ impl Dispatcher {
             shutdown: AtomicBool::new(false),
             killed: AtomicBool::new(false),
             journal: journal_handle,
+            trace_seed: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .unwrap_or_default()
+                .as_micros() as u64,
             reactor_stats: reactor.stats(),
         });
         inner
@@ -511,11 +537,15 @@ impl Dispatcher {
         let mut jobs = Vec::with_capacity(specs.len());
         for spec in specs {
             let id = inner.next_job.fetch_add(1, Ordering::Relaxed);
+            let trace = mint_trace(inner.trace_seed, id);
             inner.log.record(EventKind::JobSubmitted {
                 job: id,
                 nodes: spec.nodes,
                 ppn: spec.ppn,
             });
+            inner
+                .log
+                .span_start(trace, SpanKind::Submit, WriterRole::Dispatcher, id, 0);
             ids.push(id);
             jobs.push(QueuedJob {
                 id,
@@ -524,6 +554,7 @@ impl Dispatcher {
                 excluded: Vec::new(),
                 submitted_at: now,
                 enqueued_at: now,
+                trace,
             });
         }
         inner.metrics.jobs_submitted_total.add(jobs.len() as u64);
@@ -566,6 +597,20 @@ impl Dispatcher {
         // sched → book must never be reversed.
         let mut st = inner.sched.lock();
         for job in jobs {
+            inner.log.span_end(
+                job.trace,
+                SpanKind::Submit,
+                WriterRole::Dispatcher,
+                job.id,
+                0,
+            );
+            inner.log.span_start(
+                job.trace,
+                SpanKind::Queue,
+                WriterRole::Dispatcher,
+                job.id,
+                0,
+            );
             st.queue.push(job);
         }
         try_schedule(inner, &mut st);
@@ -729,14 +774,18 @@ fn monitor_loop(inner: Arc<Inner>) {
     // stay monotonic too.
     let mut prev_wakeups = 0u64;
     let mut prev_slow = 0u64;
-    let mut prev_events = 0u64;
+    // The metrics-bridge cursor: a persistent ring reader whose lap and
+    // torn-slot accounting makes an undersized `--flight-recorder` ring
+    // visible on /metrics instead of silently overwriting history.
+    let mut cursor = inner.log.reader();
+    let mut prev_reader = ReaderPrev::default();
     loop {
         if inner.shutdown.load(Ordering::Acquire) {
             return;
         }
         thread::sleep(tick);
         bridge_reactor_stats(&inner, &mut prev_wakeups, &mut prev_slow);
-        bridge_event_log(&inner, &mut prev_events);
+        bridge_event_log(&inner, &mut cursor, &mut prev_reader);
         // Under the `Interval` fsync policy the monitor tick is the
         // durability clock: one flush per tick, off the hot path.
         if inner.config.fsync_policy == FsyncPolicy::Interval {
@@ -767,6 +816,34 @@ fn monitor_loop(inner: Arc<Inner>) {
             .is_some_and(|rs| rs.orphans.is_empty() || now >= rs.until)
         {
             reconcile_finish(&inner, &mut st);
+        }
+        // PMI-barrier span closure: the first fence releases on the PMI
+        // server's own thread, so the monitor polls each MPI gang and
+        // stamps the pmi-barrier → run boundary within one tick of the
+        // release (span pushes are lock-free; holding `sched` is fine).
+        for active in st.active.values_mut() {
+            if active.pmi_span_open
+                && active
+                    .pmi
+                    .as_ref()
+                    .is_some_and(|p| p.first_barrier_at().is_some())
+            {
+                active.pmi_span_open = false;
+                inner.log.span_end(
+                    active.trace,
+                    SpanKind::PmiBarrier,
+                    WriterRole::Dispatcher,
+                    active.id,
+                    0,
+                );
+                inner.log.span_start(
+                    active.trace,
+                    SpanKind::Run,
+                    WriterRole::Dispatcher,
+                    active.id,
+                    0,
+                );
+            }
         }
         // Deadline enforcement: cancel the whole gang of any attempt that
         // blew its wall-time budget; the failure consumes a retry.
@@ -839,18 +916,44 @@ fn bridge_reactor_stats(inner: &Inner, prev_wakeups: &mut u64, prev_slow: &mut u
     *prev_slow = slow;
 }
 
+/// Previous samples of the metrics-bridge cursor's monotonic reader
+/// counters, so [`bridge_event_log`] can publish deltas and the
+/// jets-obs counters stay monotonic too.
+#[derive(Default)]
+struct ReaderPrev {
+    position: u64,
+    laps: u64,
+    torn: u64,
+}
+
 /// Publish the flight recorder's cursors into the metric surface. The
-/// metric side is a pure ring *reader* (one atomic load of the claim
-/// cursor): `/metrics` scrapes observe the event stream without ever
-/// touching the record path or any scheduling lock.
-fn bridge_event_log(inner: &Inner, prev_events: &mut u64) {
+/// metric side is a pure ring *reader*: each tick drains the persistent
+/// bridge cursor (copying committed slots, never taking a lock), so
+/// `/metrics` scrapes observe the event stream — including how many
+/// events the writer overwrote before this reader got to them
+/// (`jets_flight_reader_laps_total`) and how many slots were lost
+/// mid-copy (`jets_flight_reader_torn_total`) — without ever touching
+/// the record path or any scheduling lock.
+fn bridge_event_log(inner: &Inner, cursor: &mut EventCursor, prev: &mut ReaderPrev) {
     let m = &inner.metrics;
-    let recorded = inner.log.len() as u64;
+    while cursor.poll().is_some() {}
+    // After a full drain the cursor's position equals the writer's
+    // sequence number, so its delta is "events recorded since the last
+    // tick" even when the ring lapped us in between.
+    let position = cursor.position();
     m.events_recorded_total
-        .add(recorded.saturating_sub(*prev_events));
-    *prev_events = recorded;
+        .add(position.saturating_sub(prev.position));
+    prev.position = position;
+    let laps = cursor.lapped();
+    m.flight_reader_laps_total
+        .add(laps.saturating_sub(prev.laps));
+    prev.laps = laps;
+    let torn = cursor.torn();
+    m.flight_reader_torn_total
+        .add(torn.saturating_sub(prev.torn));
+    prev.torn = torn;
     let capacity = inner.log.capacity() as u64;
-    m.events_retained.set(recorded.min(capacity) as i64);
+    m.events_retained.set(position.min(capacity) as i64);
     m.events_capacity.set(capacity as i64);
 }
 
@@ -1028,6 +1131,7 @@ impl DispatcherConn {
                 exit_code,
                 wall_ms,
                 output,
+                trace: _,
             } => {
                 hb.beat();
                 handle_done(&self.inner, worker_id, task_id, exit_code, wall_ms, output);
@@ -1121,6 +1225,7 @@ impl DispatcherConn {
                 exit_code,
                 wall_ms,
                 output,
+                trace: _,
             } => {
                 if let Some(hb) = members.get(&worker) {
                     hb.beat();
@@ -1358,6 +1463,7 @@ fn start_job(inner: &Inner, st: &mut Sched, job: QueuedJob, workers: &[WorkerId]
         attempts,
         submitted_at,
         enqueued_at,
+        trace,
         ..
     } = job;
     inner.log.record(EventKind::JobStarted {
@@ -1365,6 +1471,14 @@ fn start_job(inner: &Inner, st: &mut Sched, job: QueuedJob, workers: &[WorkerId]
         nodes: spec.nodes,
         ppn: spec.ppn,
     });
+    // Queue wait is over; the scheduling decision (group assembly +
+    // assignment construction) runs inside the `sched` span.
+    inner
+        .log
+        .span_end(trace, SpanKind::Queue, WriterRole::Dispatcher, id, 0);
+    inner
+        .log
+        .span_start(trace, SpanKind::Sched, WriterRole::Dispatcher, id, 0);
     {
         let mut book = inner.book.lock();
         if let Some(rec) = book.records.get_mut(&id) {
@@ -1391,6 +1505,8 @@ fn start_job(inner: &Inner, st: &mut Sched, job: QueuedJob, workers: &[WorkerId]
         deadline: spec
             .deadline_ms
             .map(|ms| started + Duration::from_millis(ms)),
+        trace,
+        pmi_span_open: false,
     };
 
     // Build one assignment per worker.
@@ -1408,6 +1524,9 @@ fn start_job(inner: &Inner, st: &mut Sched, job: QueuedJob, workers: &[WorkerId]
                     let loc = st.registry.get(w).map(|i| i.loc).unwrap_or(0);
                     st.ready.park(w, loc);
                 }
+                inner
+                    .log
+                    .span_end(trace, SpanKind::Sched, WriterRole::Dispatcher, id, 0);
                 finish_failed_unstarted(
                     inner,
                     id,
@@ -1442,6 +1561,7 @@ fn start_job(inner: &Inner, st: &mut Sched, job: QueuedJob, workers: &[WorkerId]
                             pmi_jobid: proxy.jobid,
                         },
                         stage: spec.stage.clone(),
+                        trace,
                     },
                 )
             })
@@ -1458,6 +1578,7 @@ fn start_job(inner: &Inner, st: &mut Sched, job: QueuedJob, workers: &[WorkerId]
                     cmd: spec.cmd.clone(),
                 },
                 stage: spec.stage.clone(),
+                trace,
             },
         )]
     };
@@ -1475,6 +1596,14 @@ fn start_job(inner: &Inner, st: &mut Sched, job: QueuedJob, workers: &[WorkerId]
         );
     }
 
+    // Assignments built: the `sched` span ends and `ship` covers the
+    // send loop putting them on the wire.
+    inner
+        .log
+        .span_end(trace, SpanKind::Sched, WriterRole::Dispatcher, id, 0);
+    inner
+        .log
+        .span_start(trace, SpanKind::Ship, WriterRole::Dispatcher, id, 0);
     for (worker, assignment) in assignments {
         let task_id = assignment.task_id;
         st.tasks.insert(task_id, id);
@@ -1504,6 +1633,7 @@ fn start_job(inner: &Inner, st: &mut Sched, job: QueuedJob, workers: &[WorkerId]
                 worker,
                 ranks: spec.ppn,
                 exit_code: EXIT_UNDELIVERABLE,
+                trace,
             });
             journal_append(
                 inner,
@@ -1521,6 +1651,22 @@ fn start_job(inner: &Inner, st: &mut Sched, job: QueuedJob, workers: &[WorkerId]
     }
 
     active.shipped_at = Some(Instant::now());
+    inner
+        .log
+        .span_end(trace, SpanKind::Ship, WriterRole::Dispatcher, id, 0);
+    // What follows shipping: MPI gangs converge on the first PMI fence
+    // (`pmi-barrier`, closed by the monitor when the fence releases);
+    // everything else is straight into `run`.
+    if active.pmi.is_some() {
+        active.pmi_span_open = true;
+        inner
+            .log
+            .span_start(trace, SpanKind::PmiBarrier, WriterRole::Dispatcher, id, 0);
+    } else {
+        inner
+            .log
+            .span_start(trace, SpanKind::Run, WriterRole::Dispatcher, id, 0);
+    }
 
     if active.pending.is_empty() {
         // Everything failed to deliver.
@@ -1579,6 +1725,7 @@ fn handle_done(
         worker,
         ranks: ppn,
         exit_code,
+        trace: active.trace,
     });
     journal_append(
         inner,
@@ -1656,6 +1803,7 @@ fn handle_worker_down(inner: &Inner, worker: WorkerId) {
                     worker,
                     ranks: active.spec.ppn,
                     exit_code: EXIT_WORKER_LOST,
+                    trace: active.trace,
                 });
                 journal_append(
                     inner,
@@ -1723,6 +1871,7 @@ fn cancel_gang(inner: &Inner, st: &mut Sched, job_id: JobId, exit_code: i32, rea
             worker,
             ranks: active.spec.ppn,
             exit_code,
+            trace: active.trace,
         });
         if inner.journal.is_some() {
             recs.push(Record::TaskEnded {
@@ -1741,10 +1890,30 @@ fn cancel_gang(inner: &Inner, st: &mut Sched, job_id: JobId, exit_code: i32, rea
 /// A job finished (all participants accounted for). Requeue or record.
 /// Runs under the scheduling lock; record updates take `book` briefly
 /// (lock order sched → book).
-fn finish_job(inner: &Inner, st: &mut Sched, active: ActiveJob) {
+fn finish_job(inner: &Inner, st: &mut Sched, mut active: ActiveJob) {
     let success = !active.any_failure;
     let done = Instant::now();
     let wall = active.started.elapsed();
+    let trace = active.trace;
+    // Close the execution spans. A gang torn down before its first
+    // fence release still has `pmi-barrier` open: close it here with a
+    // zero-length `run` so every finished job's span chain terminates.
+    if active.pmi_span_open {
+        active.pmi_span_open = false;
+        inner.log.span_end(
+            trace,
+            SpanKind::PmiBarrier,
+            WriterRole::Dispatcher,
+            active.id,
+            0,
+        );
+        inner
+            .log
+            .span_start(trace, SpanKind::Run, WriterRole::Dispatcher, active.id, 0);
+    }
+    inner
+        .log
+        .span_end(trace, SpanKind::Run, WriterRole::Dispatcher, active.id, 0);
     // Drop the PMI server; abort it first if the job failed so lingering
     // ranks unblock promptly.
     if let Some(pmi) = &active.pmi {
@@ -1781,6 +1950,11 @@ fn finish_job(inner: &Inner, st: &mut Sched, active: ActiveJob) {
         let mut excluded = active.failed_workers;
         excluded.sort_unstable();
         excluded.dedup();
+        // The trace survives the requeue with the job; the next attempt
+        // opens a fresh queue span under the same trace id.
+        inner
+            .log
+            .span_start(trace, SpanKind::Queue, WriterRole::Dispatcher, active.id, 0);
         st.queue.push_front(QueuedJob {
             id: active.id,
             spec: active.spec,
@@ -1790,9 +1964,17 @@ fn finish_job(inner: &Inner, st: &mut Sched, active: ActiveJob) {
             // epoch restarts now.
             submitted_at: active.submitted_at,
             enqueued_at: done,
+            trace,
         });
         // outstanding unchanged: the job is still in flight.
     } else {
+        inner.log.span_start(
+            trace,
+            SpanKind::Report,
+            WriterRole::Dispatcher,
+            active.id,
+            0,
+        );
         record_job_phases(inner, &active, done);
         inner.metrics.jobs_completed_total.inc();
         if !success {
@@ -1819,8 +2001,29 @@ fn finish_job(inner: &Inner, st: &mut Sched, active: ActiveJob) {
         book.outstanding = book.outstanding.saturating_sub(1);
         drop(book);
         inner.idle_cv.notify_all();
+        inner.log.span_end(
+            trace,
+            SpanKind::Report,
+            WriterRole::Dispatcher,
+            active.id,
+            0,
+        );
     }
     try_schedule(inner, st);
+}
+
+/// Mint a job's 64-bit trace id: the job id mixed with the dispatcher's
+/// startup wall-clock seed through a splitmix64 finalizer. Ids are
+/// unique within an incarnation by construction (distinct job ids),
+/// collision-resistant across incarnations sharing flight files (the
+/// seed differs), and never zero — zero is the "untraced" sentinel old
+/// peers' frames decode to.
+fn mint_trace(seed: u64, job: JobId) -> u64 {
+    let mut z = seed ^ job.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z | 1
 }
 
 /// Microseconds from `a` to `b`, saturating to zero if the clock reads
@@ -1972,6 +2175,9 @@ fn recover_populate(inner: &Inner, rec: journal::Recovered) {
                     excluded: Vec::new(),
                     submitted_at: now,
                     enqueued_at: now,
+                    // Traces are not journaled; a recovered job gets a
+                    // fresh id for the successor's span chain.
+                    trace: mint_trace(inner.trace_seed, id),
                 });
             }
             RecoveredPhase::Active { tasks, ended } => {
@@ -2019,6 +2225,7 @@ fn recover_populate(inner: &Inner, rec: journal::Recovered) {
                         excluded: Vec::new(),
                         submitted_at: now,
                         enqueued_at: now,
+                        trace: mint_trace(inner.trace_seed, id),
                     });
                 } else {
                     // Orphaned sequential gang: park it as an active job
@@ -2049,6 +2256,8 @@ fn recover_populate(inner: &Inner, rec: journal::Recovered) {
                             submitted_at: now,
                             enqueued_at: now,
                             shipped_at: Some(now),
+                            trace: mint_trace(inner.trace_seed, id),
+                            pmi_span_open: false,
                         },
                     );
                     orphans.insert(id, tasks.iter().map(|&(_, t)| t).collect());
@@ -2175,6 +2384,13 @@ fn reconcile_requeue(inner: &Inner, st: &mut Sched, job: JobId) {
             rec.attempts = attempts;
         }
     }
+    inner.log.span_start(
+        active.trace,
+        SpanKind::Queue,
+        WriterRole::Dispatcher,
+        job,
+        0,
+    );
     st.queue.push_front(QueuedJob {
         id: job,
         spec: active.spec,
@@ -2182,6 +2398,7 @@ fn reconcile_requeue(inner: &Inner, st: &mut Sched, job: JobId) {
         excluded: Vec::new(),
         submitted_at: active.submitted_at,
         enqueued_at: Instant::now(),
+        trace: active.trace,
     });
 }
 
@@ -2226,6 +2443,7 @@ mod tests {
                                 exit_code: exit,
                                 wall_ms: 1,
                                 output: None,
+                                trace: a.trace,
                             },
                         )
                         .unwrap();
@@ -2581,6 +2799,7 @@ mod tests {
                                 exit_code: exit,
                                 wall_ms: 1,
                                 output: None,
+                                trace: assignment.trace,
                             },
                         )
                         .unwrap();

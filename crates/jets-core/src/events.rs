@@ -30,11 +30,142 @@
 //! saved run — `jets events --in run.jsonl` does exactly that.
 
 use crate::spec::{JobId, TaskId, WorkerId};
+pub use jets_ring::WriterRole;
 use jets_ring::{Ring, RingReader, PAYLOAD_BYTES};
 use serde::{Deserialize, Serialize};
 use std::io::{self, BufRead, Write};
 use std::path::Path;
 use std::time::{Duration, Instant, SystemTime};
+
+/// The lifecycle phase a trace span measures, in submit→report order.
+///
+/// Every phase of one job's journey across the three process roles is
+/// one span kind: the dispatcher owns `Submit`/`Queue`/`Sched`/`Ship`/
+/// `PmiBarrier`/`Run`/`Report`, a relay owns `RelayForward`, and a
+/// worker owns `Stage`/`Exec`. `jets trace` pairs each
+/// [`EventKind::SpanStart`]/[`EventKind::SpanEnd`] by
+/// `(trace, kind, task)` when assembling the cross-process timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanKind {
+    /// Submission accepted (dispatcher): batch parse → queue insert.
+    Submit,
+    /// Queue wait (dispatcher): enqueue → workers selected.
+    Queue,
+    /// Scheduling (dispatcher): workers selected → assignments built.
+    Sched,
+    /// Shipping (dispatcher): assignments built → all sends issued.
+    Ship,
+    /// Relay fan-out (relay): upstream `RelayAssign` received →
+    /// delivered to the member worker.
+    RelayForward,
+    /// Input staging (worker): assignment received → staged files ready.
+    Stage,
+    /// Execution (worker): process spawn → exit collected.
+    Exec,
+    /// PMI negotiation (dispatcher): assignments shipped → first
+    /// barrier released.
+    PmiBarrier,
+    /// Run (dispatcher): tasks shipped → last task reported.
+    Run,
+    /// Result report (dispatcher): last `Done` received → terminal
+    /// state recorded.
+    Report,
+}
+
+impl SpanKind {
+    /// The on-wire code (one byte in the ring codec).
+    pub fn code(self) -> u8 {
+        match self {
+            SpanKind::Submit => 0,
+            SpanKind::Queue => 1,
+            SpanKind::Sched => 2,
+            SpanKind::Ship => 3,
+            SpanKind::RelayForward => 4,
+            SpanKind::Stage => 5,
+            SpanKind::Exec => 6,
+            SpanKind::PmiBarrier => 7,
+            SpanKind::Run => 8,
+            SpanKind::Report => 9,
+        }
+    }
+
+    /// Decode a ring-codec byte; `None` on a newer build's codes.
+    pub fn from_code(code: u8) -> Option<SpanKind> {
+        Some(match code {
+            0 => SpanKind::Submit,
+            1 => SpanKind::Queue,
+            2 => SpanKind::Sched,
+            3 => SpanKind::Ship,
+            4 => SpanKind::RelayForward,
+            5 => SpanKind::Stage,
+            6 => SpanKind::Exec,
+            7 => SpanKind::PmiBarrier,
+            8 => SpanKind::Run,
+            9 => SpanKind::Report,
+            _ => return None,
+        })
+    }
+
+    /// Stable lowercase label (JSONL field, Perfetto span name,
+    /// `jets trace critical-path` phase column).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Submit => "submit",
+            SpanKind::Queue => "queue",
+            SpanKind::Sched => "sched",
+            SpanKind::Ship => "ship",
+            SpanKind::RelayForward => "relay-forward",
+            SpanKind::Stage => "stage",
+            SpanKind::Exec => "exec",
+            SpanKind::PmiBarrier => "pmi-barrier",
+            SpanKind::Run => "run",
+            SpanKind::Report => "report",
+        }
+    }
+
+    /// Parse the [`SpanKind::as_str`] label back (JSONL reload).
+    pub fn from_name(name: &str) -> Option<SpanKind> {
+        Some(match name {
+            "submit" => SpanKind::Submit,
+            "queue" => SpanKind::Queue,
+            "sched" => SpanKind::Sched,
+            "ship" => SpanKind::Ship,
+            "relay-forward" => SpanKind::RelayForward,
+            "stage" => SpanKind::Stage,
+            "exec" => SpanKind::Exec,
+            "pmi-barrier" => SpanKind::PmiBarrier,
+            "run" => SpanKind::Run,
+            "report" => SpanKind::Report,
+            _ => return None,
+        })
+    }
+
+    /// Every span kind, in lifecycle order (exhaustive-iteration guard
+    /// for tests and the trace assembler's phase tables).
+    pub const ALL: [SpanKind; 10] = [
+        SpanKind::Submit,
+        SpanKind::Queue,
+        SpanKind::Sched,
+        SpanKind::Ship,
+        SpanKind::RelayForward,
+        SpanKind::Stage,
+        SpanKind::Exec,
+        SpanKind::PmiBarrier,
+        SpanKind::Run,
+        SpanKind::Report,
+    ];
+}
+
+/// Parse a [`WriterRole::as_str`] label back (JSONL reload).
+fn role_from_name(name: &str) -> Option<WriterRole> {
+    Some(match name {
+        "unknown" => WriterRole::Unknown,
+        "dispatcher" => WriterRole::Dispatcher,
+        "relay" => WriterRole::Relay,
+        "worker" => WriterRole::Worker,
+        _ => return None,
+    })
+}
 
 /// What happened.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -155,6 +286,9 @@ pub enum EventKind {
         ranks: u32,
         /// Exit code (0 = success).
         exit_code: i32,
+        /// The job's trace id (0 for records from builds or peers that
+        /// predate tracing).
+        trace: u64,
     },
     /// A restarted dispatcher re-adopted a journaled in-flight gang: every
     /// member re-registered and claimed its task, so the attempt keeps
@@ -172,6 +306,38 @@ pub enum EventKind {
         relay: WorkerId,
         /// Cumulative frames dropped by this relay so far.
         dropped: u64,
+    },
+    /// A traced phase opened in this process. Paired with the matching
+    /// [`EventKind::SpanEnd`] by `(trace, kind, task)`; `jets trace`
+    /// merges these across the dispatcher/relay/worker flight files
+    /// into one per-job timeline.
+    SpanStart {
+        /// The job's 64-bit trace id, minted at submission and carried
+        /// through the wire protocol.
+        trace: u64,
+        /// Which lifecycle phase opened.
+        kind: SpanKind,
+        /// The emitting process's role (its lane in the merge).
+        role: WriterRole,
+        /// The job (0 when not yet known, e.g. a relay forward for a
+        /// job the relay never learns).
+        job: JobId,
+        /// The task, for per-task spans; 0 for job-wide spans.
+        task: TaskId,
+    },
+    /// A traced phase closed in this process. See
+    /// [`EventKind::SpanStart`].
+    SpanEnd {
+        /// The job's trace id.
+        trace: u64,
+        /// Which lifecycle phase closed.
+        kind: SpanKind,
+        /// The emitting process's role.
+        role: WriterRole,
+        /// The job.
+        job: JobId,
+        /// The task; 0 for job-wide spans.
+        task: TaskId,
     },
 }
 
@@ -204,6 +370,8 @@ const TAG_RELAY_DOWN: u8 = 12;
 const TAG_TASK_ENDED: u8 = 13;
 const TAG_GANG_READOPTED: u8 = 14;
 const TAG_UP_QUEUE_DROPPED: u8 = 15;
+const TAG_SPAN_START: u8 = 16;
+const TAG_SPAN_END: u8 = 17;
 
 /// Fixed-size encoder over a stack buffer.
 struct Enc<'a> {
@@ -334,6 +502,7 @@ fn encode_event(t_us: u64, kind: &EventKind, buf: &mut [u8; PAYLOAD_BYTES]) -> u
             worker,
             ranks,
             exit_code,
+            trace,
         } => {
             e.u8(TAG_TASK_ENDED);
             e.u64(*task);
@@ -341,6 +510,9 @@ fn encode_event(t_us: u64, kind: &EventKind, buf: &mut [u8; PAYLOAD_BYTES]) -> u
             e.u64(*worker);
             e.u32(*ranks);
             e.i32(*exit_code);
+            // Appended last: slots written by earlier builds decode the
+            // payload's zero padding here, i.e. the untraced sentinel.
+            e.u64(*trace);
         }
         EventKind::GangReadopted { job } => {
             e.u8(TAG_GANG_READOPTED);
@@ -350,6 +522,34 @@ fn encode_event(t_us: u64, kind: &EventKind, buf: &mut [u8; PAYLOAD_BYTES]) -> u
             e.u8(TAG_UP_QUEUE_DROPPED);
             e.u64(*relay);
             e.u64(*dropped);
+        }
+        EventKind::SpanStart {
+            trace,
+            kind,
+            role,
+            job,
+            task,
+        } => {
+            e.u8(TAG_SPAN_START);
+            e.u64(*trace);
+            e.u8(kind.code());
+            e.u8(role.code() as u8);
+            e.u64(*job);
+            e.u64(*task);
+        }
+        EventKind::SpanEnd {
+            trace,
+            kind,
+            role,
+            job,
+            task,
+        } => {
+            e.u8(TAG_SPAN_END);
+            e.u64(*trace);
+            e.u8(kind.code());
+            e.u8(role.code() as u8);
+            e.u64(*job);
+            e.u64(*task);
         }
     }
     e.at
@@ -452,12 +652,37 @@ fn decode_event(payload: &[u8]) -> Option<Event> {
             worker: d.u64()?,
             ranks: d.u32()?,
             exit_code: d.i32()?,
+            trace: d.u64()?,
         },
         TAG_GANG_READOPTED => EventKind::GangReadopted { job: d.u64()? },
         TAG_UP_QUEUE_DROPPED => EventKind::UpQueueDropped {
             relay: d.u64()?,
             dropped: d.u64()?,
         },
+        tag @ (TAG_SPAN_START | TAG_SPAN_END) => {
+            let trace = d.u64()?;
+            let kind = SpanKind::from_code(d.u8()?)?;
+            let role = WriterRole::from_code(d.u8()? as u64);
+            let job = d.u64()?;
+            let task = d.u64()?;
+            if tag == TAG_SPAN_START {
+                EventKind::SpanStart {
+                    trace,
+                    kind,
+                    role,
+                    job,
+                    task,
+                }
+            } else {
+                EventKind::SpanEnd {
+                    trace,
+                    kind,
+                    role,
+                    job,
+                    task,
+                }
+            }
+        }
         _ => return None,
     };
     Some(Event {
@@ -531,6 +756,16 @@ pub struct EventRecord {
     /// Cumulative dropped-frame count (`UpQueueDropped`).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub dropped: Option<u64>,
+    /// Trace id (`SpanStart`/`SpanEnd`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trace: Option<u64>,
+    /// Span phase label (`SpanStart`/`SpanEnd`; [`SpanKind::as_str`]).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub span: Option<String>,
+    /// Emitting process role (`SpanStart`/`SpanEnd`;
+    /// [`WriterRole::as_str`]).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub role: Option<String>,
 }
 
 impl From<&Event> for EventRecord {
@@ -634,6 +869,7 @@ impl From<&Event> for EventRecord {
                 worker,
                 ranks,
                 exit_code,
+                trace,
             } => {
                 r.kind = "TaskEnded".into();
                 r.task = Some(*task);
@@ -641,6 +877,9 @@ impl From<&Event> for EventRecord {
                 r.worker = Some(*worker);
                 r.ranks = Some(*ranks);
                 r.exit_code = Some(*exit_code);
+                // The untraced sentinel is omitted, keeping lines from
+                // pre-tracing builds byte-identical.
+                r.trace = (*trace != 0).then_some(*trace);
             }
             EventKind::GangReadopted { job } => {
                 r.kind = "GangReadopted".into();
@@ -650,6 +889,34 @@ impl From<&Event> for EventRecord {
                 r.kind = "UpQueueDropped".into();
                 r.relay = Some(*relay);
                 r.dropped = Some(*dropped);
+            }
+            EventKind::SpanStart {
+                trace,
+                kind,
+                role,
+                job,
+                task,
+            } => {
+                r.kind = "SpanStart".into();
+                r.trace = Some(*trace);
+                r.span = Some(kind.as_str().into());
+                r.role = Some(role.as_str().into());
+                r.job = Some(*job);
+                r.task = Some(*task);
+            }
+            EventKind::SpanEnd {
+                trace,
+                kind,
+                role,
+                job,
+                task,
+            } => {
+                r.kind = "SpanEnd".into();
+                r.trace = Some(*trace);
+                r.span = Some(kind.as_str().into());
+                r.role = Some(role.as_str().into());
+                r.job = Some(*job);
+                r.task = Some(*task);
             }
         }
         r
@@ -722,6 +989,8 @@ impl EventRecord {
                 worker: self.worker.ok_or_else(missing)?,
                 ranks: self.ranks.ok_or_else(missing)?,
                 exit_code: self.exit_code.ok_or_else(missing)?,
+                // Absent on JSONL from pre-tracing builds.
+                trace: self.trace.unwrap_or(0),
             },
             "GangReadopted" => EventKind::GangReadopted {
                 job: self.job.ok_or_else(missing)?,
@@ -730,6 +999,38 @@ impl EventRecord {
                 relay: self.relay.ok_or_else(missing)?,
                 dropped: self.dropped.ok_or_else(missing)?,
             },
+            tag @ ("SpanStart" | "SpanEnd") => {
+                let trace = self.trace.ok_or_else(missing)?;
+                let kind = self
+                    .span
+                    .as_deref()
+                    .and_then(SpanKind::from_name)
+                    .ok_or_else(missing)?;
+                let role = self
+                    .role
+                    .as_deref()
+                    .and_then(role_from_name)
+                    .ok_or_else(missing)?;
+                let job = self.job.ok_or_else(missing)?;
+                let task = self.task.ok_or_else(missing)?;
+                if tag == "SpanStart" {
+                    EventKind::SpanStart {
+                        trace,
+                        kind,
+                        role,
+                        job,
+                        task,
+                    }
+                } else {
+                    EventKind::SpanEnd {
+                        trace,
+                        kind,
+                        role,
+                        job,
+                        task,
+                    }
+                }
+            }
             other => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -831,7 +1132,18 @@ impl EventLog {
     /// Re-opening an existing file continues its sequence numbers and
     /// its timeline (timestamps stay relative to the *original* epoch).
     pub fn file_backed(path: &Path, capacity: usize) -> io::Result<Self> {
-        let ring = Ring::create(path, capacity)?;
+        Self::file_backed_with_role(path, capacity, WriterRole::Unknown)
+    }
+
+    /// [`EventLog::file_backed`] with the writer's process role stamped
+    /// into the ring header — the file's *lane* when `jets trace`
+    /// merges several processes' flight recorders into one timeline.
+    pub fn file_backed_with_role(
+        path: &Path,
+        capacity: usize,
+        role: WriterRole,
+    ) -> io::Result<Self> {
+        let ring = Ring::create_with_role(path, capacity, role)?;
         let wall_us = SystemTime::now()
             .duration_since(SystemTime::UNIX_EPOCH)
             .map(|d| d.as_micros() as u64)
@@ -867,6 +1179,38 @@ impl EventLog {
         let mut buf = [0u8; PAYLOAD_BYTES];
         let len = encode_event(t_us, &kind, &mut buf);
         self.ring.push(&buf[..len]);
+    }
+
+    /// Open a traced phase: record a [`EventKind::SpanStart`]. Hot
+    /// path with the same contract as [`EventLog::record`] — no lock,
+    /// no allocation, one ring push (lint-enforced, rule J8).
+    pub fn span_start(
+        &self,
+        trace: u64,
+        kind: SpanKind,
+        role: WriterRole,
+        job: JobId,
+        task: TaskId,
+    ) {
+        self.record(EventKind::SpanStart {
+            trace,
+            kind,
+            role,
+            job,
+            task,
+        });
+    }
+
+    /// Close a traced phase: record a [`EventKind::SpanEnd`]. Same
+    /// hot-path contract as [`EventLog::span_start`].
+    pub fn span_end(&self, trace: u64, kind: SpanKind, role: WriterRole, job: JobId, task: TaskId) {
+        self.record(EventKind::SpanEnd {
+            trace,
+            kind,
+            role,
+            job,
+            task,
+        });
     }
 
     /// Snapshot the retained window, in recording order. This is a ring
@@ -976,6 +1320,12 @@ impl EventCursor {
     pub fn decode_errors(&self) -> u64 {
         self.decode_errors
     }
+
+    /// Of the lapped records, those lost mid-copy (the writer moved the
+    /// slot stamp during the read) rather than before it.
+    pub fn torn(&self) -> u64 {
+        self.inner.torn()
+    }
 }
 
 /// An offline replay of a flight-recorder file (typically from a
@@ -997,6 +1347,11 @@ pub struct FlightView {
     pub total_recorded: u64,
     /// Wall-clock microseconds (Unix epoch) of the journal's `t == 0`.
     pub epoch_unix_us: u64,
+    /// PID of the most recent writer process.
+    pub writer_pid: u64,
+    /// The writer's process role — this file's lane in a merged
+    /// cross-process trace ([`WriterRole::Unknown`] for legacy files).
+    pub role: WriterRole,
 }
 
 /// Map a flight-recorder file read-only and replay everything it
@@ -1020,6 +1375,8 @@ pub fn read_flight(path: &Path) -> io::Result<FlightView> {
         overwritten: replay.earliest,
         total_recorded: replay.head,
         epoch_unix_us: ring.epoch_unix_us(),
+        writer_pid: ring.writer_pid(),
+        role: ring.writer_role(),
     })
 }
 
@@ -1119,6 +1476,7 @@ mod tests {
                 worker: 1,
                 ranks: 2,
                 exit_code: crate::spec::EXIT_CANCELED,
+                trace: 0xDEAD_BEEF_CAFE_F00D,
             },
             EventKind::JobCompleted {
                 job: 2,
@@ -1157,6 +1515,20 @@ mod tests {
             EventKind::UpQueueDropped {
                 relay: 7,
                 dropped: 31,
+            },
+            EventKind::SpanStart {
+                trace: 0xDEAD_BEEF_CAFE_F00D,
+                kind: SpanKind::Exec,
+                role: WriterRole::Worker,
+                job: 2,
+                task: 3,
+            },
+            EventKind::SpanEnd {
+                trace: 0xDEAD_BEEF_CAFE_F00D,
+                kind: SpanKind::Exec,
+                role: WriterRole::Worker,
+                job: 2,
+                task: 3,
             },
             EventKind::RelayDown { relay: 7 },
             EventKind::WorkerDown { worker: 1 },
@@ -1208,11 +1580,13 @@ mod tests {
                 EventKind::TaskEnded { .. } => "TaskEnded",
                 EventKind::GangReadopted { .. } => "GangReadopted",
                 EventKind::UpQueueDropped { .. } => "UpQueueDropped",
+                EventKind::SpanStart { .. } => "SpanStart",
+                EventKind::SpanEnd { .. } => "SpanEnd",
             }
         }
         let covered: std::collections::BTreeSet<&str> =
             original.iter().map(|e| tag(&e.kind)).collect();
-        assert_eq!(covered.len(), 15, "a variant is not exercised: {covered:?}");
+        assert_eq!(covered.len(), 17, "a variant is not exercised: {covered:?}");
         // The wire tag written is exactly the variant name.
         for o in &original {
             assert_eq!(EventRecord::from(o).kind, tag(&o.kind));
@@ -1281,6 +1655,7 @@ mod tests {
             worker: 1,
             ranks: 4,
             exit_code: 0,
+            trace: 0,
         });
         let mut buf = Vec::new();
         log.write_jsonl(&mut buf).unwrap();
@@ -1417,27 +1792,29 @@ mod tests {
         let path = std::env::temp_dir().join(format!("jets-events-{}.ring", std::process::id()));
         let _ = std::fs::remove_file(&path);
         {
-            let log = EventLog::file_backed(&path, 2048).unwrap();
+            let log = EventLog::file_backed_with_role(&path, 2048, WriterRole::Dispatcher).unwrap();
             one_of_each(&log);
-            assert_eq!(log.len(), 16);
+            assert_eq!(log.len(), 18);
         } // dropped without sync(): the mmap still has everything
         let view = read_flight(&path).unwrap();
-        assert_eq!(view.events.len(), 16);
+        assert_eq!(view.events.len(), 18);
         assert_eq!(view.torn, 0);
         assert_eq!(view.undecodable, 0);
         assert_eq!(view.overwritten, 0);
-        assert_eq!(view.total_recorded, 16);
+        assert_eq!(view.total_recorded, 18);
         assert!(view.epoch_unix_us > 0);
+        assert_eq!(view.role, WriterRole::Dispatcher, "lane survives replay");
+        assert!(view.writer_pid > 0);
         assert_eq!(view.events[0].kind, EventKind::WorkerUp { worker: 1 });
 
         // Re-opening continues the sequence and the timeline.
         {
             let log = EventLog::file_backed(&path, 2048).unwrap();
-            assert_eq!(log.len(), 16);
+            assert_eq!(log.len(), 18);
             let before = view.events.last().unwrap().t;
             log.record(EventKind::WorkerDown { worker: 9 });
             let view2 = read_flight(&path).unwrap();
-            assert_eq!(view2.events.len(), 17);
+            assert_eq!(view2.events.len(), 19);
             assert!(
                 view2.events.last().unwrap().t >= before,
                 "restarted run's clock continues, never rewinds"

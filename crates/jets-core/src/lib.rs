@@ -57,7 +57,7 @@ pub mod stats;
 pub use dispatcher::{Dispatcher, DispatcherConfig, JobRecord, JobStatus};
 pub use events::{
     read_flight, read_jsonl, tail_flight, Event, EventCursor, EventKind, EventLog, EventRecord,
-    FlightTail, FlightView, JsonlLoad,
+    FlightTail, FlightView, JsonlLoad, SpanKind, WriterRole,
 };
 pub use group::GroupingPolicy;
 pub use journal::{FsyncPolicy, Journal};

@@ -91,6 +91,13 @@ pub struct DispatcherMetrics {
     pub events_retained: Arc<Gauge>,
     /// The ring's capacity: events held before overwriting the oldest.
     pub events_capacity: Arc<Gauge>,
+    /// Times the writer lapped the metrics-bridge cursor — events
+    /// overwritten before any reader saw them. Nonzero means the
+    /// `--flight-recorder` ring is too small for the event rate.
+    pub flight_reader_laps_total: Arc<Counter>,
+    /// Slots the metrics-bridge cursor lost mid-copy (the writer moved
+    /// the slot stamp during the read).
+    pub flight_reader_torn_total: Arc<Counter>,
     /// Queue-wait phase: last enqueue → workers selected.
     pub phase_queue: Arc<Histogram>,
     /// Launch phase: workers selected → assignments shipped.
@@ -107,6 +114,11 @@ impl DispatcherMetrics {
     /// Register the dispatcher's full metric set on a fresh registry.
     pub fn new() -> DispatcherMetrics {
         let r = Arc::new(Registry::new());
+        jets_obs::register_build_info(
+            &r,
+            env!("CARGO_PKG_VERSION"),
+            option_env!("JETS_GIT_HASH").unwrap_or("unknown"),
+        );
         let phase = |name: &'static str| {
             r.histogram_micros(
                 JOB_PHASE_METRIC,
@@ -203,6 +215,14 @@ impl DispatcherMetrics {
                 "jets_events_capacity",
                 "Ring capacity before overwriting the oldest event",
             ),
+            flight_reader_laps_total: r.counter(
+                "jets_flight_reader_laps_total",
+                "Events the ring writer overwrote before the metrics-bridge cursor read them",
+            ),
+            flight_reader_torn_total: r.counter(
+                "jets_flight_reader_torn_total",
+                "Ring slots the metrics-bridge cursor lost mid-copy",
+            ),
             phase_queue: phase("queue"),
             phase_launch: phase("launch"),
             phase_pmi: phase("pmi"),
@@ -269,10 +289,16 @@ mod tests {
             "jets_events_recorded_total",
             "jets_events_retained",
             "jets_events_capacity",
+            "jets_flight_reader_laps_total",
+            "jets_flight_reader_torn_total",
+            "jets_build_info",
             JOB_PHASE_METRIC,
         ] {
             assert!(text.contains(name), "missing {name} in render");
         }
+        // The identity gauge carries the build's version label and the
+        // constant sample value 1.
+        assert!(text.contains(&format!("version=\"{}\"", env!("CARGO_PKG_VERSION"))));
         for phase in JOB_PHASES {
             assert!(
                 text.contains(&format!("phase=\"{phase}\"")),

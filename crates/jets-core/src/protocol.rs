@@ -54,6 +54,11 @@ pub enum WorkerMsg {
         /// dispatcher exactly as the paper's Section 6.1.6 describes.
         #[serde(default)]
         output: Option<String>,
+        /// The job's trace id, echoed from the assignment so span
+        /// events on both ends of the wire join one timeline (0 from
+        /// peers predating tracing).
+        #[serde(default)]
+        trace: u64,
     },
     /// Liveness signal while busy or idle.
     Heartbeat,
@@ -105,6 +110,10 @@ pub enum WorkerMsg {
         /// Captured standard output (tail).
         #[serde(default)]
         output: Option<String>,
+        /// The job's trace id, echoed from the assignment (0 from
+        /// peers predating tracing).
+        #[serde(default)]
+        trace: u64,
     },
     /// Coalesced liveness for a relay's whole block: one periodic frame
     /// replaces per-worker `Heartbeat` traffic upstream. Each listed
@@ -216,6 +225,12 @@ pub struct TaskAssignment {
     /// Files the worker must stage to node-local storage first.
     #[serde(default)]
     pub stage: Vec<StageFile>,
+    /// The job's 64-bit trace id, minted at submission. Rides every
+    /// `Assign`/`RelayAssign` so the relay and worker can emit span
+    /// events into their own flight recorders under the same id (0
+    /// from dispatchers predating tracing).
+    #[serde(default)]
+    pub trace: u64,
 }
 
 /// The two shapes of work.
@@ -431,6 +446,7 @@ mod tests {
             exit_code: -1,
             wall_ms: 10_500,
             output: Some("ETITLE: TS   BOND\n".to_string()),
+            trace: 0xFEED_F00D,
         });
         round_trip(WorkerMsg::Heartbeat);
         round_trip(WorkerMsg::Goodbye);
@@ -444,6 +460,7 @@ mod tests {
         round_trip(DispatcherMsg::Assign(TaskAssignment {
             task_id: 1,
             job_id: 2,
+            trace: 77,
             kind: TaskKind::MpiProxy {
                 cmd: CommandSpec::builtin("sleep", vec!["10".into()]),
                 ranks: vec![4, 5],
@@ -474,6 +491,7 @@ mod tests {
             exit_code: 0,
             wall_ms: 99,
             output: Some("tail".into()),
+            trace: 77,
         });
         round_trip(WorkerMsg::BatchedHeartbeat {
             workers: vec![3, 5, 8, 13],
@@ -510,6 +528,7 @@ mod tests {
             assignment: TaskAssignment {
                 task_id: 1,
                 job_id: 2,
+                trace: 77,
                 kind: TaskKind::Sequential {
                     cmd: CommandSpec::builtin("noop", vec![]),
                 },
@@ -537,6 +556,7 @@ mod tests {
         let a = TaskAssignment {
             task_id: 0,
             job_id: 0,
+            trace: 0,
             kind: TaskKind::Sequential {
                 cmd: CommandSpec::exec("echo", vec!["hi".into()]),
             },
@@ -569,6 +589,7 @@ mod tests {
             exit_code: 0,
             wall_ms: 12,
             output: Some("tail".into()),
+            trace: 7,
         };
         let mut legacy = Vec::new();
         write_msg(&mut legacy, &msg).unwrap();
@@ -599,6 +620,7 @@ mod tests {
                     exit_code: 0,
                     wall_ms: i,
                     output: None,
+                    trace: i,
                 })
                 .unwrap();
                 w.send(&WorkerMsg::Heartbeat).unwrap();
@@ -638,6 +660,7 @@ mod tests {
             exit_code: 0,
             wall_ms: 0,
             output: Some("y".repeat(MAX_FRAME_BYTES)),
+            trace: 0,
         };
         let mut sink = Vec::new();
         let err = write_msg(&mut sink, &msg).unwrap_err();

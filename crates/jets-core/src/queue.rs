@@ -49,6 +49,10 @@ pub struct QueuedJob {
     /// When this attempt entered the queue: the span epoch for the
     /// queue-wait phase, reset on every requeue.
     pub enqueued_at: Instant,
+    /// The job's trace id, minted at submission and carried unchanged
+    /// across requeues: the correlation key for cross-process span
+    /// tracing (see `docs/observability.md`).
+    pub trace: u64,
 }
 
 /// Pending-job queue under a [`QueuePolicy`].
@@ -170,6 +174,7 @@ mod tests {
             excluded: Vec::new(),
             submitted_at: Instant::now(),
             enqueued_at: Instant::now(),
+            trace: 0,
         }
     }
 

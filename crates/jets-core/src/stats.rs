@@ -253,6 +253,7 @@ mod tests {
                 worker: task,
                 ranks,
                 exit_code: 0,
+                trace: 0,
             },
         )
     }

@@ -51,6 +51,7 @@ fn worker(addr: SocketAddr) -> thread::JoinHandle<usize> {
                             exit_code: 0,
                             wall_ms: 0,
                             output: None,
+                            trace: a.trace,
                         })
                         .unwrap();
                     done += 1;

@@ -8,3 +8,10 @@ fn push_frame(state: &Shared, payload: &[u8]) {
 fn record_claim(head: &AtomicU64) -> u64 {
     head.fetch_add(1, Ordering::Relaxed)
 }
+fn span_start(log: &Log, trace: u64) {
+    log.guard.lock();
+    let label = format!("{trace:x}");
+}
+fn emit_span(log: &Log, bytes: &[u8]) {
+    let spill = bytes.to_vec();
+}

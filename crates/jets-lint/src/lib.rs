@@ -1174,9 +1174,15 @@ fn ring_scoped_path(path: &Path) -> bool {
 }
 
 /// Writer-path functions inside ring scope: what runs between a
-/// producer deciding to record and the slot's publishing store.
+/// producer deciding to record and the slot's publishing store. Span
+/// emitters (`span_start`/`span_end`, `emit_*`) are writer-path too —
+/// they run at task-dispatch rate on every traced process.
 fn is_ring_writer_fn(name: &str) -> bool {
-    name.starts_with("push") || name.starts_with("record") || name.starts_with("encode")
+    name.starts_with("push")
+        || name.starts_with("record")
+        || name.starts_with("encode")
+        || name.starts_with("span_")
+        || name.starts_with("emit_")
 }
 
 /// Macros that allocate (`name!`-shape).

@@ -150,7 +150,9 @@ fn ring_bad_fires_exactly() {
     // Writer-path violations in `push_frame`: lock (2), allocating
     // method (3), allocating macro (4), allocating constructor (5),
     // blocking sleep (6) — plus the strict ring form of J3 on the
-    // unannotated Relaxed claim cursor in `record_claim` (9).
+    // unannotated Relaxed claim cursor in `record_claim` (9), and the
+    // span-emitter extension: lock (12) and `format!` (13) in
+    // `span_start`, allocating method (16) in `emit_span`.
     assert_eq!(
         fired("ring/bad.rs"),
         vec![
@@ -159,7 +161,10 @@ fn ring_bad_fires_exactly() {
             ("J8".to_string(), 3),
             ("J8".to_string(), 4),
             ("J8".to_string(), 5),
-            ("J8".to_string(), 6)
+            ("J8".to_string(), 6),
+            ("J8".to_string(), 12),
+            ("J8".to_string(), 13),
+            ("J8".to_string(), 16)
         ]
     );
 }

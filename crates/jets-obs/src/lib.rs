@@ -26,4 +26,6 @@ mod http;
 mod metrics;
 
 pub use http::{scrape, serve_metrics, MetricsServer};
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Unit};
+pub use metrics::{
+    register_build_info, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Unit,
+};

@@ -283,6 +283,25 @@ impl Registry {
         g
     }
 
+    /// Register a gauge with a fixed label set (e.g. the
+    /// `jets_build_info` identity gauge) and return its recording
+    /// handle. Labels are rendered on every sample of this series.
+    pub fn gauge_labeled(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::default());
+        self.push(Entry {
+            name,
+            help,
+            labels: labels.iter().map(|(k, v)| (*k, v.to_string())).collect(),
+            kind: Kind::Gauge(g.clone()),
+        });
+        g
+    }
+
     /// Register a histogram of microsecond samples, exposed as a
     /// Prometheus summary in seconds with p50/p95/p99 quantiles. The
     /// label pair distinguishes series sharing one metric name (e.g.
@@ -375,6 +394,21 @@ impl Registry {
         }
         out
     }
+}
+
+/// Register the conventional `jets_build_info` identity gauge: constant
+/// value 1 with the build's version and git hash as labels, so scrapes
+/// across a cluster can spot mixed-version deployments at a glance.
+/// Callers pass their own compile-time identity (typically
+/// `env!("CARGO_PKG_VERSION")` and an `option_env!`-provided hash).
+pub fn register_build_info(registry: &Registry, version: &str, git_hash: &str) {
+    registry
+        .gauge_labeled(
+            "jets_build_info",
+            "Build identity (constant 1; version and git hash in labels)",
+            &[("version", version), ("git_hash", git_hash)],
+        )
+        .set(1);
 }
 
 fn fmt_sample(v: u64, unit: Unit) -> String {

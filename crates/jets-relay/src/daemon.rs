@@ -33,7 +33,7 @@
 
 use crate::metrics::RelayMetrics;
 use crate::upqueue::UpQueue;
-use jets_core::events::{EventKind, EventLog};
+use jets_core::events::{EventKind, EventLog, SpanKind, WriterRole};
 use jets_core::protocol::{
     decode_msg, encode_msg_buf, DispatcherMsg, MsgReader, MsgWriter, WorkerMsg, MAX_FRAME_BYTES,
 };
@@ -120,6 +120,13 @@ impl RelayConfig {
         self.upqueue_limit = limit;
         self
     }
+
+    /// Builder-style flight-recorder path (the relay's lane in a merged
+    /// `jets trace`).
+    pub fn with_flight_recorder(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.flight_recorder = Some(path.into());
+        self
+    }
 }
 
 /// Counters a test or operator can read off a running relay.
@@ -139,7 +146,9 @@ pub struct RelayStats {
 
 /// A worker's task result held for replay (at most one per member: a
 /// worker reports one `Done` per assignment before requesting again).
-type DoneFrame = (TaskId, i32, u64, Option<String>);
+/// The trailing `u64` is the job's trace id, carried so the replayed
+/// frame still correlates with the submission's span tree.
+type DoneFrame = (TaskId, i32, u64, Option<String>, u64);
 
 /// One downstream worker, as the relay sees it.
 struct Member {
@@ -199,6 +208,8 @@ enum UpFrame {
         wall_ms: u64,
         /// Captured output tail.
         output: Option<String>,
+        /// Trace id minted at submission (0 = untraced).
+        trace: u64,
     },
     /// Claim member `local`'s in-flight task upstream
     /// ([`WorkerMsg::RelayMemberState`]) so a restarted dispatcher
@@ -317,7 +328,11 @@ impl Relay {
         })?;
         let up_q = Arc::new(UpQueue::new(config.upqueue_limit));
         let events = match &config.flight_recorder {
-            Some(path) => EventLog::file_backed(path, jets_core::events::DEFAULT_EVENT_CAPACITY)?,
+            Some(path) => EventLog::file_backed_with_role(
+                path,
+                jets_core::events::DEFAULT_EVENT_CAPACITY,
+                WriterRole::Relay,
+            )?,
             None => EventLog::new(),
         };
         let inner = Arc::new(Inner {
@@ -626,6 +641,7 @@ impl MemberConn {
                 exit_code,
                 wall_ms,
                 output,
+                trace,
             } => {
                 // jets-lint: allow(relaxed) liveness timestamp only: the flush filter tolerates staleness; ordering is irrelevant
                 last_heard.store(now_ms(&self.inner), Ordering::Relaxed);
@@ -643,6 +659,7 @@ impl MemberConn {
                         exit_code,
                         wall_ms,
                         output,
+                        trace,
                     },
                 );
                 Flow::Continue
@@ -954,6 +971,7 @@ fn forward(
             exit_code,
             wall_ms,
             output,
+            trace,
         } => {
             let global = {
                 let st = inner.state.lock();
@@ -967,6 +985,7 @@ fn forward(
                         exit_code,
                         wall_ms,
                         output,
+                        trace,
                     })
                     .is_ok(),
                 None => {
@@ -976,7 +995,7 @@ fn forward(
                     // replay keeps the frame order intact).
                     let mut st = inner.state.lock();
                     if let Some(m) = st.members.get_mut(&local) {
-                        m.pending_done = Some((task_id, exit_code, wall_ms, output));
+                        m.pending_done = Some((task_id, exit_code, wall_ms, output, trace));
                     }
                     true
                 }
@@ -1058,7 +1077,7 @@ fn handle_upstream(inner: &Inner, msg: DispatcherMsg) -> bool {
                     queue_up(inner, UpFrame::MemberState(local));
                 }
                 // Replay traffic held across the outage, in order.
-                if let Some((task_id, exit_code, wall_ms, output)) = m.pending_done.take() {
+                if let Some((task_id, exit_code, wall_ms, output, trace)) = m.pending_done.take() {
                     queue_up(
                         inner,
                         UpFrame::Done {
@@ -1067,6 +1086,7 @@ fn handle_upstream(inner: &Inner, msg: DispatcherMsg) -> bool {
                             exit_code,
                             wall_ms,
                             output,
+                            trace,
                         },
                     );
                 }
@@ -1092,7 +1112,27 @@ fn handle_upstream(inner: &Inner, msg: DispatcherMsg) -> bool {
                 Some(m) => {
                     m.inflight = Some((assignment.task_id, assignment.job_id));
                     m.wants_work = false;
+                    // The forward span covers unwrap → member outbox; the
+                    // pushes are lock-free ring writes, safe under the
+                    // state lock. Actual socket drain time shows up as
+                    // the gap to the worker's stage span.
+                    let (trace, job, task) =
+                        (assignment.trace, assignment.job_id, assignment.task_id);
+                    inner.events.span_start(
+                        trace,
+                        SpanKind::RelayForward,
+                        WriterRole::Relay,
+                        job,
+                        task,
+                    );
                     send_member(m, enc, &DispatcherMsg::Assign(assignment));
+                    inner.events.span_end(
+                        trace,
+                        SpanKind::RelayForward,
+                        WriterRole::Relay,
+                        job,
+                        task,
+                    );
                 }
                 None => {
                     // Assigned to a member that just died; tell the

@@ -32,6 +32,11 @@ impl RelayMetrics {
     /// Register the relay metric set on a fresh registry.
     pub fn new() -> RelayMetrics {
         let r = Arc::new(Registry::new());
+        jets_obs::register_build_info(
+            &r,
+            env!("CARGO_PKG_VERSION"),
+            option_env!("JETS_GIT_HASH").unwrap_or("unknown"),
+        );
         RelayMetrics {
             members: r.gauge("jets_relay_members", "Currently connected members"),
             upstream_connected: r.gauge(
@@ -97,6 +102,7 @@ mod tests {
             "jets_relay_batched_heartbeats_total",
             "jets_relay_upqueue_depth",
             "jets_relay_upqueue_dropped_total",
+            "jets_build_info",
         ] {
             assert!(text.contains(name), "missing {name} in render");
         }

@@ -32,5 +32,6 @@ mod ring;
 mod sys;
 
 pub use ring::{
-    Record, Replay, Ring, RingReader, MIN_CAPACITY, PAYLOAD_BYTES, SLOT_BYTES, SLOT_WORDS,
+    Record, Replay, Ring, RingReader, WriterRole, MIN_CAPACITY, PAYLOAD_BYTES, SLOT_BYTES,
+    SLOT_WORDS,
 };

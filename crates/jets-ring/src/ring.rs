@@ -4,7 +4,7 @@
 //! ## Layout (all little-endian `u64` words)
 //!
 //! ```text
-//! header: | MAGIC | VERSION | SLOT_BYTES | CAPACITY | HEAD | EPOCH_US | PID | rsvd |
+//! header: | MAGIC | VERSION | SLOT_BYTES | CAPACITY | HEAD | EPOCH_US | PID | ROLE |
 //! slots:  | stamp | payload word 0..=14 |  × capacity          (128 B per slot)
 //! ```
 //!
@@ -82,6 +82,7 @@ const W_CAPACITY: usize = 3;
 const W_HEAD: usize = 4;
 const W_EPOCH_US: usize = 5;
 const W_PID: usize = 6;
+const W_ROLE: usize = 7;
 
 /// Words per slot (1 stamp + 15 payload words).
 pub const SLOT_WORDS: usize = 16;
@@ -93,6 +94,55 @@ const PAYLOAD_WORDS: usize = SLOT_WORDS - 1;
 
 /// Smallest accepted capacity; see the module docs on same-slot races.
 pub const MIN_CAPACITY: usize = 1024;
+
+/// Which process wrote a flight-recorder file — the *lane* a merged
+/// cross-process trace sorts its records into. Stamped into header
+/// word 7 (previously reserved: legacy files read back as
+/// [`WriterRole::Unknown`], so the version number does not change).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WriterRole {
+    /// Legacy file (header word 7 zero) or an in-memory ring.
+    Unknown,
+    /// The central dispatcher.
+    Dispatcher,
+    /// A relay daemon fronting a block of workers.
+    Relay,
+    /// A worker agent (pilot job).
+    Worker,
+}
+
+impl WriterRole {
+    /// The on-disk code stamped into header word 7.
+    pub fn code(self) -> u64 {
+        match self {
+            WriterRole::Unknown => 0,
+            WriterRole::Dispatcher => 1,
+            WriterRole::Relay => 2,
+            WriterRole::Worker => 3,
+        }
+    }
+
+    /// Decode a header word; unknown codes (a newer build's roles)
+    /// degrade to [`WriterRole::Unknown`] instead of failing the open.
+    pub fn from_code(code: u64) -> WriterRole {
+        match code {
+            1 => WriterRole::Dispatcher,
+            2 => WriterRole::Relay,
+            3 => WriterRole::Worker,
+            _ => WriterRole::Unknown,
+        }
+    }
+
+    /// Stable lowercase label (`jets trace` lane names, Perfetto pids).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WriterRole::Unknown => "unknown",
+            WriterRole::Dispatcher => "dispatcher",
+            WriterRole::Relay => "relay",
+            WriterRole::Worker => "worker",
+        }
+    }
+}
 
 #[inline]
 fn stamp_writing(seq: u64) -> u64 {
@@ -179,6 +229,15 @@ impl Ring {
     /// the crashed one stopped. The capacity of an existing file must
     /// not exceed the requested one.
     pub fn create(path: &Path, capacity: usize) -> io::Result<Ring> {
+        Ring::create_with_role(path, capacity, WriterRole::Unknown)
+    }
+
+    /// [`Ring::create`] with the writer's process role stamped into the
+    /// header, so an offline merge ([`Ring::open_read`] across several
+    /// files) can sort each file into its lane without guessing from
+    /// file names. Passing [`WriterRole::Unknown`] leaves an existing
+    /// file's role untouched.
+    pub fn create_with_role(path: &Path, capacity: usize, role: WriterRole) -> io::Result<Ring> {
         let cap = capacity.max(MIN_CAPACITY).next_power_of_two();
         let bytes = (HDR_WORDS + cap * SLOT_WORDS) * 8;
         let region = Region::file(path, bytes)?;
@@ -192,6 +251,10 @@ impl Ring {
                 shared: Arc::new(shared),
             };
             ring.init_header(cap as u64);
+            ring.shared
+                .region
+                .word(W_ROLE)
+                .store(role.code(), Ordering::Release);
             return Ok(ring);
         }
         let mut shared = shared;
@@ -204,6 +267,12 @@ impl Ring {
             .region
             .word(W_PID)
             .store(std::process::id() as u64, Ordering::Release);
+        if role != WriterRole::Unknown {
+            shared
+                .region
+                .word(W_ROLE)
+                .store(role.code(), Ordering::Release);
+        }
         Ok(Ring {
             shared: Arc::new(shared),
         })
@@ -306,6 +375,13 @@ impl Ring {
     /// Pid of the most recent writer process (diagnostics only).
     pub fn writer_pid(&self) -> u64 {
         self.shared.region.word(W_PID).load(Ordering::Acquire)
+    }
+
+    /// Role of the writer process — the file's lane in a merged
+    /// cross-process trace. Legacy files report
+    /// [`WriterRole::Unknown`].
+    pub fn writer_role(&self) -> WriterRole {
+        WriterRole::from_code(self.shared.region.word(W_ROLE).load(Ordering::Acquire))
     }
 
     /// The sequence number of the oldest record still retained.
@@ -628,6 +704,39 @@ mod tests {
         assert_eq!(replay.records.len(), 11);
         assert_eq!(replay.torn, 0);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn writer_role_round_trips_and_survives_reopen() {
+        let path = std::env::temp_dir().join(format!("jets-ring-role-{}.ring", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let ring = Ring::create_with_role(&path, 1024, WriterRole::Relay).expect("create");
+            assert_eq!(ring.writer_role(), WriterRole::Relay);
+            ring.push(b"laned");
+        }
+        {
+            // A role-less reopen (the legacy entry point) keeps the lane.
+            let ring = Ring::create(&path, 1024).expect("reopen");
+            assert_eq!(ring.writer_role(), WriterRole::Relay);
+        }
+        let reader = Ring::open_read(&path).expect("open_read");
+        assert_eq!(reader.writer_role(), WriterRole::Relay);
+        assert_eq!(reader.writer_role().as_str(), "relay");
+        let _ = std::fs::remove_file(&path);
+
+        // Legacy files (word 7 zero) and future codes degrade cleanly.
+        assert_eq!(WriterRole::from_code(0), WriterRole::Unknown);
+        assert_eq!(WriterRole::from_code(99), WriterRole::Unknown);
+        for role in [
+            WriterRole::Unknown,
+            WriterRole::Dispatcher,
+            WriterRole::Relay,
+            WriterRole::Worker,
+        ] {
+            assert_eq!(WriterRole::from_code(role.code()), role);
+        }
     }
 
     #[cfg(unix)]

@@ -9,7 +9,7 @@ use jets_core::protocol::{
     DispatcherMsg, MsgReader, MsgWriter, TaskAssignment, WorkerMsg, EXIT_CANCELED,
 };
 use jets_core::spec::CommandSpec;
-use jets_core::{EventKind, EventLog};
+use jets_core::{EventKind, EventLog, SpanKind, WriterRole};
 use parking_lot::Mutex;
 use std::io::BufReader;
 use std::net::{Shutdown, TcpStream};
@@ -164,18 +164,26 @@ impl Worker {
         // and so callers can read the same ring via `events()`. A failed
         // open degrades to no recording: the agent's job is running
         // tasks, not archiving its own diagnostics.
-        let events = config.flight_recorder.as_ref().and_then(|path| {
-            match EventLog::file_backed(path, jets_core::events::DEFAULT_EVENT_CAPACITY) {
-                Ok(log) => Some(log),
-                Err(err) => {
-                    eprintln!(
-                        "worker {name}: flight recorder {} unavailable: {err}",
-                        path.display()
-                    );
-                    None
-                }
-            }
-        });
+        let events =
+            config
+                .flight_recorder
+                .as_ref()
+                .and_then(|path| {
+                    match EventLog::file_backed_with_role(
+                        path,
+                        jets_core::events::DEFAULT_EVENT_CAPACITY,
+                        WriterRole::Worker,
+                    ) {
+                        Ok(log) => Some(log),
+                        Err(err) => {
+                            eprintln!(
+                                "worker {name}: flight recorder {} unavailable: {err}",
+                                path.display()
+                            );
+                            None
+                        }
+                    }
+                });
         let loop_kill = Arc::clone(&kill_flag);
         let loop_sock = Arc::clone(&sock);
         let loop_events = events.clone();
@@ -278,12 +286,18 @@ fn push_env(assignment: &mut TaskAssignment, key: &str, value: &str) {
 }
 
 /// Report a task failure that happened before execution started.
-fn report_failure(writer: &Arc<Mutex<MsgWriter<TcpStream>>>, task_id: u64, exit_code: i32) {
+fn report_failure(
+    writer: &Arc<Mutex<MsgWriter<TcpStream>>>,
+    task_id: u64,
+    exit_code: i32,
+    trace: u64,
+) {
     let _ = writer.lock().send(&WorkerMsg::Done {
         task_id,
         exit_code,
         wall_ms: 0,
         output: None,
+        trace,
     });
 }
 
@@ -343,6 +357,9 @@ enum SessionEnd {
 struct CarriedTask {
     task_id: u64,
     job_id: u64,
+    /// Trace id from the assignment, so the replayed `Done` and the
+    /// deferred exec span-end still correlate with the submission.
+    trace: u64,
     rx: Receiver<TaskOutcome>,
     cancel: CancelToken,
     started: Instant,
@@ -632,7 +649,7 @@ fn run_session(
 
     // Wait out the carried task (if any) before asking for new work;
     // only then fall into the ordinary request/execute/report loop.
-    let end = match resume_carried_task(config, kill, &writer, &inbox, tasks_done, carry) {
+    let end = match resume_carried_task(config, kill, &writer, &inbox, tasks_done, carry, events) {
         Some(end) => end,
         None => session_task_loop(
             config,
@@ -704,28 +721,32 @@ fn session_task_loop(
         // listed files into this node's cache once, then expose the cache
         // directory to the task.
         if !assignment.stage.is_empty() {
-            let cache = match local_cache.get_or_init(&config.name) {
-                Ok(c) => c,
-                Err(_) => {
-                    if let Some(m) = &config.metrics {
-                        m.staging_failed_total.inc();
-                    }
-                    report_failure(writer, assignment.task_id, EXIT_STAGING_FAILED);
-                    continue;
-                }
+            let (trace, job, task) = (assignment.trace, assignment.job_id, assignment.task_id);
+            if let Some(log) = events {
+                log.span_start(trace, SpanKind::Stage, WriterRole::Worker, job, task);
+            }
+            // The span closes on failure too — a stage span whose end
+            // abuts a failed report is exactly what the trace should show.
+            let staged = match local_cache.get_or_init(&config.name) {
+                Ok(cache) => cache.stage_all(&assignment.stage).is_ok().then(|| {
+                    push_env(
+                        &mut assignment,
+                        "JETS_LOCAL_DIR",
+                        &cache.dir().to_string_lossy(),
+                    );
+                }),
+                Err(_) => None,
             };
-            if cache.stage_all(&assignment.stage).is_err() {
+            if let Some(log) = events {
+                log.span_end(trace, SpanKind::Stage, WriterRole::Worker, job, task);
+            }
+            if staged.is_none() {
                 if let Some(m) = &config.metrics {
                     m.staging_failed_total.inc();
                 }
-                report_failure(writer, assignment.task_id, EXIT_STAGING_FAILED);
+                report_failure(writer, task, EXIT_STAGING_FAILED, trace);
                 continue;
             }
-            push_env(
-                &mut assignment,
-                "JETS_LOCAL_DIR",
-                &cache.dir().to_string_lossy(),
-            );
         }
 
         // Execute on a dedicated thread so a kill or an expired cancel
@@ -738,6 +759,7 @@ fn session_task_loop(
         let task_cancel = cancel.clone();
         let task_id = assignment.task_id;
         let job_id = assignment.job_id;
+        let trace = assignment.trace;
         let ranks = match &assignment.kind {
             jets_core::protocol::TaskKind::Sequential { .. } => 1,
             jets_core::protocol::TaskKind::MpiProxy { ranks, .. } => ranks.len() as u32,
@@ -755,7 +777,7 @@ fn session_task_loop(
             })
             .is_err()
         {
-            report_failure(writer, task_id, crate::executor::EXIT_SPAWN_FAILED);
+            report_failure(writer, task_id, crate::executor::EXIT_SPAWN_FAILED, trace);
             continue;
         }
         // Guard, not paired inc/dec calls: the wait loop below exits the
@@ -772,6 +794,7 @@ fn session_task_loop(
                 worker: worker_id,
                 ranks,
             });
+            log.span_start(trace, SpanKind::Exec, WriterRole::Worker, job_id, task_id);
         }
 
         let mut canceled = false;
@@ -815,6 +838,7 @@ fn session_task_loop(
                     carry.running = Some(CarriedTask {
                         task_id,
                         job_id,
+                        trace,
                         rx,
                         cancel,
                         started,
@@ -854,12 +878,14 @@ fn session_task_loop(
         };
         let wall_ms = started.elapsed().as_millis() as u64;
         if let Some(log) = events {
+            log.span_end(trace, SpanKind::Exec, WriterRole::Worker, job_id, task_id);
             log.record(EventKind::TaskEnded {
                 task: task_id,
                 job: job_id,
                 worker: worker_id,
                 ranks,
                 exit_code: outcome.exit_code,
+                trace,
             });
         }
         if let Some(m) = &config.metrics {
@@ -876,6 +902,7 @@ fn session_task_loop(
             exit_code: outcome.exit_code,
             wall_ms,
             output: outcome.output,
+            trace,
         };
         if writer.lock().send(&done).is_err() {
             // The report never reached the wire. Stash it for replay
@@ -907,6 +934,7 @@ fn resume_carried_task(
     inbox: &Receiver<Option<DispatcherMsg>>,
     tasks_done: &mut u64,
     carry: &mut CarryState,
+    events: Option<&EventLog>,
 ) -> Option<SessionEnd> {
     let mut task = carry.running.take()?;
     let _inflight = config.metrics.as_ref().map(|m| {
@@ -975,6 +1003,17 @@ fn resume_carried_task(
         None => return Some(SessionEnd::Killed),
     };
     let wall_ms = task.started.elapsed().as_millis() as u64;
+    if let Some(log) = events {
+        // Close the exec span the original session opened; the gap the
+        // outage caused is inside the span, which is the truth.
+        log.span_end(
+            task.trace,
+            SpanKind::Exec,
+            WriterRole::Worker,
+            task.job_id,
+            task.task_id,
+        );
+    }
     if let Some(m) = &config.metrics {
         m.tasks_executed_total.inc();
         if task.canceled {
@@ -989,6 +1028,7 @@ fn resume_carried_task(
         exit_code: outcome.exit_code,
         wall_ms,
         output: outcome.output,
+        trace: task.trace,
     };
     if writer.lock().send(&done).is_err() {
         if kill.load(Ordering::Acquire) {

@@ -108,6 +108,7 @@ mod tests {
             job_id: 1,
             kind: TaskKind::Sequential { cmd },
             stage: Vec::new(),
+            trace: 0,
         }
     }
 
@@ -169,6 +170,7 @@ mod tests {
                 pmi_jobid: "apps-test".into(),
             },
             stage: Vec::new(),
+            trace: 0,
         };
         let t = Instant::now();
         assert_eq!(exec.execute(&assignment), 0);
@@ -199,6 +201,7 @@ mod tests {
                 pmi_jobid: "apps-w".into(),
             },
             stage: Vec::new(),
+            trace: 0,
         };
         assert_eq!(exec.execute(&assignment), 0);
         for rank in 0..2 {

@@ -490,6 +490,7 @@ mod tests {
             job_id: 1,
             kind: TaskKind::Sequential { cmd },
             stage: Vec::new(),
+            trace: 0,
         }
     }
 
@@ -573,6 +574,7 @@ mod tests {
                 pmi_jobid: "exec-test".into(),
             },
             stage: Vec::new(),
+            trace: 0,
         };
         assert_eq!(exec.execute(&assignment), 0);
         assert_eq!(counted.load(Ordering::SeqCst), 4);
@@ -608,6 +610,7 @@ mod tests {
                 pmi_jobid: "fail-test".into(),
             },
             stage: Vec::new(),
+            trace: 0,
         };
         assert_eq!(exec.execute(&assignment), 3);
     }

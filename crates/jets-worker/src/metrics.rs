@@ -39,6 +39,11 @@ impl WorkerMetrics {
     /// Register the worker metric set on a fresh registry.
     pub fn new() -> WorkerMetrics {
         let r = Arc::new(Registry::new());
+        jets_obs::register_build_info(
+            &r,
+            env!("CARGO_PKG_VERSION"),
+            option_env!("JETS_GIT_HASH").unwrap_or("unknown"),
+        );
         WorkerMetrics {
             sessions_total: r.counter(
                 "jets_worker_sessions_total",
@@ -123,6 +128,7 @@ mod tests {
             "jets_worker_staging_failed_total",
             "jets_worker_tasks_inflight",
             "jets_worker_task_seconds",
+            "jets_build_info",
         ] {
             assert!(text.contains(name), "missing {name} in render");
         }

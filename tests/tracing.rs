@@ -1,0 +1,380 @@
+//! Tier-1 loopback: distributed span tracing end to end.
+//!
+//! The acceptance topology: 16 workers — half connected directly, half
+//! behind a relay — run a mixed sequential + MPI batch while every
+//! process records its flight lane. Merging the lanes must yield a
+//! fully-closed submit→run span chain for every completed job, spanning
+//! at least two processes; the Perfetto export must be valid JSON; and
+//! the critical-path phase durations must reconcile with the same
+//! `jets_job_phase_seconds` measurements the live histograms record.
+//!
+//! The crash half: `kill` the dispatcher mid-batch and merge whatever
+//! the surviving flight files retain — open spans and torn slots are
+//! counted, never fatal, and every job whose report span closed before
+//! the kill still has a complete chain.
+
+use jets::core::spec::{CommandSpec, JobSpec};
+use jets::core::{read_flight, Dispatcher, DispatcherConfig, EventKind, JobStatus, SpanKind};
+use jets::relay::{Relay, RelayConfig};
+use jets::sim::science_registry;
+use jets::worker::{Executor, Worker, WorkerConfig};
+use jets_trace::TraceModel;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const WAIT: Duration = Duration::from_secs(120);
+
+fn temp_path(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("jets-trace-{name}-{}.ring", std::process::id()));
+    std::fs::remove_file(&path).ok();
+    path
+}
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + WAIT;
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Spawn `n` worker agents against `addr`, each with its own flight
+/// file. Returns the workers and their flight paths.
+fn spawn_workers(addr: &str, prefix: &str, n: usize) -> (Vec<Worker>, Vec<PathBuf>) {
+    let mut workers = Vec::with_capacity(n);
+    let mut paths = Vec::with_capacity(n);
+    for i in 0..n {
+        let path = temp_path(&format!("{prefix}{i}"));
+        let config =
+            WorkerConfig::new(addr.to_string(), format!("{prefix}{i}")).with_flight_recorder(&path);
+        let worker = Worker::spawn(config, Arc::new(Executor::new(science_registry())));
+        assert!(worker.events().is_some(), "worker flight file must open");
+        workers.push(worker);
+        paths.push(path);
+    }
+    (workers, paths)
+}
+
+/// Minimal recursive-descent JSON validator: the export promises *valid*
+/// Chrome trace-event JSON, and the workspace is zero-dependency, so the
+/// test checks well-formedness by hand rather than trusting a library.
+fn assert_valid_json(s: &str) {
+    fn skip_ws(b: &[u8], mut i: usize) -> usize {
+        while i < b.len() && (b[i] as char).is_ascii_whitespace() {
+            i += 1;
+        }
+        i
+    }
+    fn value(b: &[u8], i: usize) -> Result<usize, usize> {
+        let i = skip_ws(b, i);
+        match b.get(i) {
+            Some(b'{') => {
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b'}') {
+                    return Ok(i + 1);
+                }
+                loop {
+                    i = string(b, skip_ws(b, i))?;
+                    i = skip_ws(b, i);
+                    if b.get(i) != Some(&b':') {
+                        return Err(i);
+                    }
+                    i = value(b, i + 1)?;
+                    i = skip_ws(b, i);
+                    match b.get(i) {
+                        Some(b',') => i += 1,
+                        Some(b'}') => return Ok(i + 1),
+                        _ => return Err(i),
+                    }
+                }
+            }
+            Some(b'[') => {
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b']') {
+                    return Ok(i + 1);
+                }
+                loop {
+                    i = value(b, i)?;
+                    i = skip_ws(b, i);
+                    match b.get(i) {
+                        Some(b',') => i += 1,
+                        Some(b']') => return Ok(i + 1),
+                        _ => return Err(i),
+                    }
+                }
+            }
+            Some(b'"') => string(b, i),
+            Some(b't') if b[i..].starts_with(b"true") => Ok(i + 4),
+            Some(b'f') if b[i..].starts_with(b"false") => Ok(i + 5),
+            Some(b'n') if b[i..].starts_with(b"null") => Ok(i + 4),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                let mut i = i + 1;
+                while i < b.len()
+                    && (b[i].is_ascii_digit() || matches!(b[i], b'.' | b'e' | b'E' | b'+' | b'-'))
+                {
+                    i += 1;
+                }
+                Ok(i)
+            }
+            _ => Err(i),
+        }
+    }
+    fn string(b: &[u8], i: usize) -> Result<usize, usize> {
+        if b.get(i) != Some(&b'"') {
+            return Err(i);
+        }
+        let mut i = i + 1;
+        while let Some(&c) = b.get(i) {
+            match c {
+                b'"' => return Ok(i + 1),
+                b'\\' => i += 2,
+                _ => i += 1,
+            }
+        }
+        Err(i)
+    }
+    let b = s.as_bytes();
+    match value(b, 0) {
+        Ok(end) => assert!(
+            skip_ws(b, end) == b.len(),
+            "trailing garbage after JSON at byte {end}"
+        ),
+        Err(at) => panic!(
+            "invalid JSON at byte {at}: ...{}...",
+            &s[at.saturating_sub(40)..(at + 40).min(s.len())]
+        ),
+    }
+}
+
+/// The acceptance run: 8 direct + 8 relayed workers, a mixed batch, and
+/// a merged trace where every job's chain closes across processes and
+/// the phase durations agree with `jets_job_phase_seconds`.
+#[test]
+fn mixed_topology_trace_closes_every_job_across_processes() {
+    const DIRECT: usize = 8;
+    const RELAYED: usize = 8;
+    const SEQ_JOBS: usize = 48;
+    const MPI_JOBS: usize = 4;
+    let dispatcher_flight = temp_path("d");
+    let relay_flight = temp_path("r");
+    let dispatcher = Dispatcher::start(DispatcherConfig {
+        flight_recorder: Some(dispatcher_flight.clone()),
+        monitor_tick: Duration::from_millis(10),
+        ..DispatcherConfig::default()
+    })
+    .unwrap();
+    let relay = Relay::start(
+        RelayConfig::new(dispatcher.addr().to_string(), "trace-relay")
+            .with_liveness_flush(Duration::from_millis(50))
+            .with_flight_recorder(&relay_flight),
+    )
+    .unwrap();
+    let (direct, direct_paths) = spawn_workers(&dispatcher.addr().to_string(), "td", DIRECT);
+    let (relayed, relayed_paths) = spawn_workers(&relay.addr().to_string(), "tr", RELAYED);
+    wait_until("all 16 workers", || {
+        dispatcher.alive_workers() == DIRECT + RELAYED
+    });
+
+    let mut specs: Vec<JobSpec> = (0..SEQ_JOBS)
+        .map(|_| JobSpec::sequential(CommandSpec::builtin("sleep", vec!["5".into()])))
+        .collect();
+    specs.extend(
+        (0..MPI_JOBS)
+            .map(|_| JobSpec::mpi(4, CommandSpec::builtin("mpi-sleep", vec!["10".into()]))),
+    );
+    let ids = dispatcher.submit_all(specs);
+    assert!(dispatcher.wait_idle(WAIT), "batch did not drain");
+    for id in &ids {
+        assert_eq!(
+            dispatcher.job_record(*id).unwrap().status,
+            JobStatus::Succeeded
+        );
+    }
+
+    // Freeze every lane: tear the whole topology down before reading.
+    dispatcher.shutdown();
+    for w in direct.into_iter().chain(relayed) {
+        w.join();
+    }
+    relay.shutdown();
+    drop(dispatcher);
+    std::thread::sleep(Duration::from_millis(300));
+
+    let mut paths = vec![dispatcher_flight.clone(), relay_flight.clone()];
+    paths.extend(direct_paths.iter().cloned());
+    paths.extend(relayed_paths.iter().cloned());
+    let model = TraceModel::from_files(&paths).expect("merge flight lanes");
+
+    // A clean run: every start met its end, nothing lost to wraparound.
+    assert_eq!(model.unmatched_ends, 0);
+    assert_eq!(
+        model.open.len(),
+        0,
+        "open spans after idle: {:?}",
+        model.open
+    );
+    assert_eq!(model.lanes.len(), 2 + DIRECT + RELAYED);
+    // Every completed job's chain is closed and crosses processes.
+    for id in &ids {
+        assert!(
+            model.job_chain_closed(*id),
+            "job {id} chain not fully closed"
+        );
+    }
+    // The relayed half really went through the relay's lane.
+    assert!(
+        model.spans.iter().any(|s| s.kind == SpanKind::RelayForward),
+        "no relay-forward spans despite 8 relayed workers"
+    );
+    // The gangs fenced: each MPI job owns a closed pmi-barrier span.
+    for id in &ids[SEQ_JOBS..] {
+        assert!(
+            model
+                .spans
+                .iter()
+                .any(|s| s.job == *id && s.kind == SpanKind::PmiBarrier),
+            "MPI job {id} has no pmi-barrier span"
+        );
+    }
+
+    // The export is valid Chrome trace-event JSON with every span in it.
+    let json = model.perfetto_json();
+    assert_valid_json(&json);
+    assert_eq!(json.matches("\"ph\":\"X\"").count(), model.spans.len());
+    assert_eq!(json.matches("\"ph\":\"B\"").count(), 0);
+
+    // Critical-path durations reconcile with the JobPhases record that
+    // fed `jets_job_phase_seconds` — same clock, independent code paths,
+    // so agreement is tight; the tolerance only absorbs the instants
+    // being taken a few statements apart.
+    const TOLERANCE_US: u64 = 100_000;
+    let dispatcher_view = read_flight(&dispatcher_flight).expect("replay dispatcher lane");
+    let probe = ids[0];
+    let phases = dispatcher_view
+        .events
+        .iter()
+        .find_map(|e| match e.kind {
+            EventKind::JobPhases {
+                job,
+                queue_us,
+                run_us,
+                ..
+            } if job == probe => Some((queue_us, run_us)),
+            _ => None,
+        })
+        .expect("JobPhases record for the probe job");
+    let cp = model.critical_path(probe).expect("critical path");
+    let phase_dur = |kind: SpanKind| {
+        cp.phases
+            .iter()
+            .find(|p| p.kind == kind)
+            .map(|p| p.dur_us)
+            .unwrap_or(0)
+    };
+    assert!(
+        phase_dur(SpanKind::Queue).abs_diff(phases.0) <= TOLERANCE_US,
+        "queue span {} us vs jets_job_phase_seconds queue {} us",
+        phase_dur(SpanKind::Queue),
+        phases.0
+    );
+    assert!(
+        phase_dur(SpanKind::Run).abs_diff(phases.1) <= TOLERANCE_US,
+        "run span {} us vs jets_job_phase_seconds run {} us",
+        phase_dur(SpanKind::Run),
+        phases.1
+    );
+    assert!(cp.total_us >= phase_dur(SpanKind::Run));
+
+    // Eq. (1) over the merged lanes: 16 worker lanes, real busy time.
+    let st = model.stats();
+    assert_eq!(st.worker_lanes, (DIRECT + RELAYED) as u64);
+    assert!(st.busy_us > 0);
+    assert!(st.utilization > 0.0 && st.utilization <= 1.0);
+    assert_eq!(st.jobs, ids.len() as u64);
+
+    for p in paths {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+/// The crash half: kill the dispatcher mid-batch, merge the surviving
+/// lanes. Open spans and torn slots are counted — never a panic — and
+/// jobs whose report span closed before the kill still have complete
+/// cross-process chains.
+#[test]
+fn killed_dispatcher_trace_exports_with_open_spans_counted() {
+    const WORKERS: usize = 4;
+    const JOBS: usize = 60;
+    let dispatcher_flight = temp_path("kill-d");
+    let dispatcher = Dispatcher::start(DispatcherConfig {
+        flight_recorder: Some(dispatcher_flight.clone()),
+        ..DispatcherConfig::default()
+    })
+    .unwrap();
+    let (workers, worker_paths) = spawn_workers(&dispatcher.addr().to_string(), "tk", WORKERS);
+    wait_until("workers", || dispatcher.alive_workers() == WORKERS);
+
+    let ids = dispatcher.submit_all(
+        (0..JOBS).map(|_| JobSpec::sequential(CommandSpec::builtin("sleep", vec!["5".into()]))),
+    );
+    wait_until("first third of the batch", || {
+        ids.iter()
+            .filter(|id| {
+                dispatcher
+                    .job_record(**id)
+                    .is_some_and(|r| r.status == JobStatus::Succeeded)
+            })
+            .count()
+            >= JOBS / 3
+    });
+    // No sync, no goodbye — the crash case the flight recorder exists
+    // for. The workers lose their dispatcher and wind down.
+    dispatcher.kill();
+    for w in workers {
+        w.join();
+    }
+    std::thread::sleep(Duration::from_millis(300));
+
+    let mut paths = vec![dispatcher_flight];
+    paths.extend(worker_paths);
+    let model = TraceModel::from_files(&paths).expect("merge lanes after kill");
+
+    // The batch was cut mid-flight: queued and running jobs have open
+    // spans, and that is reported, not fatal.
+    assert!(
+        !model.open.is_empty(),
+        "a mid-batch kill must leave open spans"
+    );
+    // Jobs whose report span closed finished before the kill; their
+    // whole chain — including the worker-side exec — must be closed.
+    let reported: Vec<u64> = model
+        .spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Report)
+        .map(|s| s.job)
+        .collect();
+    assert!(
+        reported.len() >= JOBS / 3 - 1,
+        "only {} report spans survived the kill",
+        reported.len()
+    );
+    for job in &reported {
+        assert!(
+            model.job_chain_closed(*job),
+            "completed job {job} lost part of its chain"
+        );
+    }
+
+    // The export never panics on a crashed trace, stays valid JSON, and
+    // renders the open spans as begin-only events.
+    let json = model.perfetto_json();
+    assert_valid_json(&json);
+    assert_eq!(json.matches("\"ph\":\"B\"").count(), model.open.len());
+    let st = model.stats();
+    assert_eq!(st.open_spans, model.open.len() as u64);
+
+    for p in paths {
+        std::fs::remove_file(p).ok();
+    }
+}
